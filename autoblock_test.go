@@ -1,0 +1,85 @@
+package clusterid
+
+import (
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/rng"
+)
+
+func TestMonitorAutoBlockCutsTheFloodMidAttack(t *testing.T) {
+	cl, err := New(Config{Topo: Torus2D(8), Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := NodeID(0)
+	mon, err := NewMonitor(cl, victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.AutoBlock = 200
+	cl.Sim.OnDeliver(mon.Deliver)
+
+	bg := &attack.Background{
+		Pattern: attack.Uniform, InjectionRate: 0.002,
+		Start: 0, Stop: 12000, R: rng.NewStream(1),
+	}
+	if err := bg.Launch(cl.Sim, cl.Net, cl.Plan); err != nil {
+		t.Fatal(err)
+	}
+	attacker := NodeID(37)
+	flood := &attack.Flood{
+		Zombies: []attack.Zombie{{
+			Node: attacker, Victim: victim,
+			Arrival: attack.CBR{Interval: 2},
+			Spoof:   attack.RandomSpoof{Plan: cl.Plan, R: rng.NewStream(2)},
+		}},
+		Start: 3000, Stop: 12000, // 4500 attack packets
+		RandomID: rng.NewStream(3),
+	}
+	if err := flood.Launch(cl.Sim, cl.Plan); err != nil {
+		t.Fatal(err)
+	}
+	cl.Sim.RunAll(1_000_000_000)
+
+	if under, _ := mon.UnderAttack(); !under {
+		t.Fatal("flood not detected")
+	}
+	if mon.Blocklist.Len() == 0 {
+		t.Fatal("auto-block never fired")
+	}
+	// The monitor must have cut the flood long before its end: of the
+	// 4500 attack packets, only ~AutoBlock + detection-latency worth
+	// were accepted; the rest dropped at the NIC.
+	_, dropped := mon.Counts()
+	if dropped < 3000 {
+		t.Errorf("only %d packets auto-dropped; expected the bulk of the flood", dropped)
+	}
+	// And the attacker is the one blocked.
+	if got := mon.Identifier.Count(attacker); got <= mon.AutoBlock {
+		t.Errorf("attacker tally %d never crossed the trigger", got)
+	}
+}
+
+func TestMonitorAutoBlockStaysQuietWithoutAlarm(t *testing.T) {
+	cl, _ := New(Config{Topo: Mesh2D(4), Seed: 5})
+	mon, _ := NewMonitor(cl, NodeID(15))
+	mon.AutoBlock = 1
+	cl.Sim.OnDeliver(mon.Deliver)
+	// Benign steady traffic from one peer: plenty of packets but no
+	// detector alarm, so nothing may be blocked.
+	bg := &attack.Background{
+		Pattern: attack.Uniform, InjectionRate: 0.001,
+		Start: 0, Stop: 20000, R: rng.NewStream(6),
+	}
+	if err := bg.Launch(cl.Sim, cl.Net, cl.Plan); err != nil {
+		t.Fatal(err)
+	}
+	cl.Sim.RunAll(1_000_000_000)
+	if under, _ := mon.UnderAttack(); under {
+		t.Skip("detector alarmed on benign traffic in this configuration")
+	}
+	if mon.Blocklist.Len() != 0 {
+		t.Errorf("auto-block fired without an alarm: %d blocked", mon.Blocklist.Len())
+	}
+}

@@ -1,0 +1,101 @@
+package clusterid
+
+import (
+	"testing"
+
+	"repro/internal/flitsim"
+	"repro/internal/marking"
+	"repro/internal/packet"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+// BenchmarkE4FlitThroughput is the flit-level half of E4: wormhole
+// fabric cycles per delivered packet with DDPM marking on vs off, at a
+// moderate uniform load. The marking cost vanishes into the router
+// pipeline — the §6.2 expectation.
+func BenchmarkE4FlitThroughput(b *testing.B) {
+	for _, withMarking := range []bool{false, true} {
+		name := "none"
+		if withMarking {
+			name = "ddpm"
+		}
+		b.Run(name, func(b *testing.B) {
+			var latency float64
+			for i := 0; i < b.N; i++ {
+				m := topology.NewMesh2D(8)
+				plan := packet.NewAddrPlan(packet.DefaultBase, m.NumNodes())
+				var scheme marking.Scheme
+				if withMarking {
+					d, err := marking.NewDDPM(m)
+					if err != nil {
+						b.Fatal(err)
+					}
+					scheme = d
+				}
+				f, err := flitsim.New(flitsim.Config{Net: m, Plan: plan, Scheme: scheme, Seed: uint64(i) + 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				r := rng.NewStream(uint64(i) + 7)
+				for cycle := 0; cycle < 500; cycle += 10 {
+					for src := 0; src < m.NumNodes(); src++ {
+						dst := topology.NodeID(r.Intn(m.NumNodes()))
+						if dst == topology.NodeID(src) {
+							continue
+						}
+						f.Inject(packet.NewPacket(plan, topology.NodeID(src), dst, packet.ProtoUDP, 32))
+					}
+					f.Run(10)
+				}
+				if !f.RunUntilDrained(1_000_000) {
+					b.Fatal("fabric stuck")
+				}
+				latency += f.Stats().AvgLatency
+			}
+			b.ReportMetric(latency/float64(b.N), "avg-latency-cycles")
+		})
+	}
+}
+
+// BenchmarkFlitFabricCycles measures raw simulation speed: cycles/sec
+// for an 8×8 mesh under sustained load (simulator engineering metric,
+// not a paper claim).
+func BenchmarkFlitFabricCycles(b *testing.B) {
+	m := topology.NewMesh2D(8)
+	plan := packet.NewAddrPlan(packet.DefaultBase, m.NumNodes())
+	f, err := flitsim.New(flitsim.Config{Net: m, Plan: plan, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.NewStream(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%10 == 0 {
+			for src := 0; src < m.NumNodes(); src++ {
+				dst := topology.NodeID(r.Intn(m.NumNodes()))
+				if dst != topology.NodeID(src) {
+					f.Inject(packet.NewPacket(plan, topology.NodeID(src), dst, packet.ProtoUDP, 16))
+				}
+			}
+		}
+		f.Step()
+	}
+}
+
+// BenchmarkE1AnalyticGrid sanity-checks the closed form across the grid
+// used by cmd/sweep (pure math; exists so the harness covers every E1
+// cell cheaply).
+func BenchmarkE1AnalyticGrid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sum := 0.0
+		for _, p := range []float64{0.01, 0.04, 0.1, 0.2} {
+			for d := 2; d <= 62; d++ {
+				sum += E1Analytic(p, d)
+			}
+		}
+		if sum <= 0 {
+			b.Fatal("analytic sum non-positive")
+		}
+	}
+}

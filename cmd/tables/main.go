@@ -1,0 +1,58 @@
+// Command tables regenerates the paper's scalability tables (Tables
+// 1–3): the marking-field bits each scheme needs per topology family
+// and the largest cluster that fits the 16-bit IP Identification field.
+//
+//	tables            # all three tables
+//	tables -table 3   # one table
+//	tables -sweep     # per-size bit requirements (CSV)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/marking"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table number (1, 2 or 3); 0 prints all")
+	sweep := flag.Bool("sweep", false, "emit the per-size bit-requirement sweep as CSV")
+	flag.Parse()
+
+	if *sweep {
+		emitSweep()
+		return
+	}
+	tables := []int{1, 2, 3}
+	if *table != 0 {
+		tables = []int{*table}
+	}
+	for i, tnum := range tables {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := core.WriteTable(os.Stdout, tnum); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func emitSweep() {
+	fmt.Println("family,n,scheme,bits,fits16")
+	kinds := []marking.SchemeKind{marking.KindSimplePPM, marking.KindBitDiffPPM, marking.KindDDPM}
+	for n := 2; n <= 512; n <<= 1 {
+		for _, k := range kinds {
+			bits := marking.MeshBits(k, n)
+			fmt.Printf("mesh,%d,%s,%d,%v\n", n, k, bits, bits <= marking.MFBits)
+		}
+	}
+	for n := 1; n <= 20; n++ {
+		for _, k := range kinds {
+			bits := marking.CubeBits(k, n)
+			fmt.Printf("hypercube,%d,%s,%d,%v\n", n, k, bits, bits <= marking.MFBits)
+		}
+	}
+}

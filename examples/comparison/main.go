@@ -1,0 +1,128 @@
+// Comparison: the paper's core argument as a head-to-head — the same
+// single-attacker scenario on an 8×8 mesh, once with deterministic XY
+// routing and once with fully adaptive routing, traced back with
+// DDPM, simple PPM and DPM. Reports packets-to-identification and
+// whether the verdict survives adaptive routing.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/marking"
+	"repro/internal/packet"
+	"repro/internal/rng"
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/traceback"
+)
+
+const pktBudget = 30000
+
+func main() {
+	m := topology.NewMesh2D(8)
+	plan := packet.NewAddrPlan(packet.DefaultBase, m.NumNodes())
+	attacker := m.IndexOf(topology.Coord{0, 0})
+	victim := m.IndexOf(topology.Coord{7, 7})
+	fmt.Printf("scenario: attacker %v floods victim %v on %s (14 hops via XY)\n\n",
+		m.CoordOf(attacker), m.CoordOf(victim), m.Name())
+	fmt.Printf("%-12s %-18s %-22s %s\n", "scheme", "routing", "packets to identify", "verdict")
+
+	for _, routingName := range []string{"xy", "minimal-adaptive"} {
+		newRouter := func(seed uint64) *routing.Router {
+			var alg routing.Algorithm
+			if routingName == "xy" {
+				alg = routing.NewXY(m)
+			} else {
+				alg = routing.NewMinimalAdaptive(m)
+			}
+			r := routing.NewRouter(m, alg)
+			r.Sel = routing.RandomSelector{R: rng.NewStream(seed)}
+			return r
+		}
+
+		// --- DDPM: one packet, any routing. -------------------------
+		{
+			d, _ := marking.NewDDPM(m)
+			r := newRouter(1)
+			pk := sendOne(r, d, plan, attacker, victim, 0xDEAD)
+			got, ok := d.IdentifySource(victim, pk.Hdr.ID)
+			verdict := "WRONG"
+			if ok && got == attacker {
+				verdict = "exact source, single packet"
+			}
+			fmt.Printf("%-12s %-18s %-22d %s\n", "ddpm", routingName, 1, verdict)
+		}
+
+		// --- Simple PPM: needs many packets; ambiguous when adaptive.
+		{
+			scheme, _ := marking.NewSimplePPM(m, 0.2, rng.NewStream(2))
+			r := newRouter(3)
+			rec := traceback.ForSimplePPM(scheme)
+			rec.MinCount = 4
+			rec.Adjacency = m.IsNeighbor
+			preload := rng.NewStream(4)
+			needed := -1
+			for i := 1; i <= pktBudget; i++ {
+				rec.Observe(sendOne(r, scheme, plan, attacker, victim, uint16(preload.Intn(1<<16))))
+				if i%50 == 0 || i < 50 {
+					if srcs := rec.Sources(); len(srcs) == 1 && srcs[0] == attacker {
+						needed = i
+						break
+					}
+				}
+			}
+			verdict := fmt.Sprintf("never pinned 1 source in %d pkts (graph %d nodes)",
+				pktBudget, len(rec.OnPathNodes()))
+			shown := pktBudget
+			if needed > 0 {
+				verdict = "exact source"
+				shown = needed
+			}
+			fmt.Printf("%-12s %-18s %-22d %s\n", "simple-ppm", routingName, shown, verdict)
+		}
+
+		// --- DPM: signature filtering; shatters when adaptive. ------
+		{
+			dpm := marking.NewDPM()
+			r := newRouter(5)
+			tbl := traceback.NewSignatureTable()
+			for i := 0; i < 200; i++ {
+				tbl.Learn(sendOne(r, dpm, plan, attacker, victim, 0))
+			}
+			sigs := tbl.SignaturesForFlow(plan.AddrOf(attacker))
+			// How many innocent flows collide with the learned set?
+			collisions := 0
+			for s := 0; s < m.NumNodes(); s++ {
+				if topology.NodeID(s) == attacker || topology.NodeID(s) == victim {
+					continue
+				}
+				pk := sendOne(r, dpm, plan, topology.NodeID(s), victim, 0)
+				if tbl.Match(pk) {
+					collisions++
+				}
+			}
+			verdict := fmt.Sprintf("path signature only: %d signature(s)/flow, %d innocent flows collide",
+				sigs, collisions)
+			fmt.Printf("%-12s %-18s %-22d %s\n", "dpm", routingName, 200, verdict)
+		}
+		fmt.Println()
+	}
+	fmt.Println("takeaway: DDPM is the only scheme whose verdict is exact, single-packet,")
+	fmt.Println("and invariant under adaptive routing — the paper's Table 3 + §5 claim.")
+}
+
+func sendOne(r *routing.Router, scheme marking.Scheme, plan *packet.AddrPlan,
+	src, dst topology.NodeID, preload uint16) *packet.Packet {
+	path, err := r.Walk(src, dst, 0)
+	if err != nil {
+		panic(err)
+	}
+	pk := packet.NewPacket(plan, src, dst, packet.ProtoTCPSYN, 0)
+	pk.Hdr.ID = preload
+	scheme.OnInject(pk)
+	for i := 0; i+1 < len(path); i++ {
+		scheme.OnForward(path[i], path[i+1], pk)
+		pk.Hdr.TTL--
+	}
+	return pk
+}

@@ -1,0 +1,87 @@
+// Service: the paper's §1 threat made concrete at connection level. A
+// TCP-like server with a 16-entry half-open table runs on a 6×6 mesh;
+// legitimate clients handshake while a compromised node SYN-floods with
+// spoofed sources. The demo shows the three acts: full service, denial
+// (with backscatter landing on innocent nodes), and recovery once the
+// victim blocks the DDPM-identified source at its front door.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/eventq"
+	"repro/internal/filter"
+	"repro/internal/packet"
+	"repro/internal/topology"
+	"repro/internal/traceback"
+	"repro/internal/victim"
+)
+
+func main() {
+	run := func(phase string, withFlood, withBlock bool) {
+		cl, err := core.Build(core.Config{Topo: core.Mesh2D(6), Seed: 12, QueueCap: 512})
+		if err != nil {
+			panic(err)
+		}
+		d, _ := cl.DDPM()
+		svcNode := topology.NodeID(cl.Net.NumNodes() - 1)
+		svc, err := victim.NewService(cl.Sim, cl.Plan, svcNode, 16, 2000)
+		if err != nil {
+			panic(err)
+		}
+		clients := victim.NewClients(cl.Sim, cl.Plan, svcNode)
+		ident := traceback.NewDDPMIdentifier(d, svcNode)
+		zombie := topology.NodeID(3)
+		if withBlock {
+			bl := filter.NewBlocklist(d, svcNode)
+			bl.Block(zombie)
+			svc.Blocklist = bl
+		}
+		cl.Sim.OnDeliver(func(now eventq.Time, pk *packet.Packet) {
+			if pk.DstNode == svcNode {
+				ident.Observe(pk)
+			}
+			svc.HandleDeliver(now, pk)
+			clients.HandleDeliver(now, pk)
+		})
+		if withFlood {
+			flood := &attack.Flood{
+				Zombies: []attack.Zombie{{
+					Node: zombie, Victim: svcNode, Proto: packet.ProtoTCPSYN,
+					Arrival: attack.CBR{Interval: 2},
+					Spoof:   attack.RandomSpoof{Plan: cl.Plan, R: cl.Rng.Stream("spoof")},
+				}},
+				Start: 0, Stop: 4000, RandomID: cl.Rng.Stream("ids"),
+			}
+			if err := flood.Launch(cl.Sim, cl.Plan); err != nil {
+				panic(err)
+			}
+		}
+		cstream := cl.Rng.Stream("clients")
+		for i := 0; i < 40; i++ {
+			node := topology.NodeID(cstream.Intn(cl.Net.NumNodes()))
+			if node == svcNode || node == zombie {
+				continue
+			}
+			clients.Connect(eventq.Time(100+i*90), node)
+		}
+		cl.Sim.RunAll(1_000_000_000)
+
+		fmt.Printf("%-8s  completion %3.0f%%  (established %d/%d)  refused %5d  blocked %5d  backscatter %3d\n",
+			phase, 100*float64(svc.Established)/float64(clients.Attempts),
+			svc.Established, clients.Attempts, svc.Refused, svc.Blocked, clients.Backscatter)
+		if withFlood && !withBlock {
+			srcs := ident.SourcesAbove(200)
+			fmt.Printf("          victim's DDPM identifier points at: %v (true zombie: node %d)\n", srcs, zombie)
+		}
+	}
+
+	fmt.Println("SYN flood against a 16-entry half-open table on mesh-6x6; 40 legit handshakes attempted")
+	run("clean", false, false)
+	run("attack", true, false)
+	run("blocked", true, true)
+	fmt.Println("\nthe blocklist uses the marking field, so the spoofed headers — and the")
+	fmt.Println("backscatter their SYN-ACKs caused — are gone the moment the source is blocked")
+}

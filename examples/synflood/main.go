@@ -1,0 +1,119 @@
+// Synflood: a distributed SYN flood on an 8×8 torus — sixteen zombies,
+// three different spoofing strategies, legitimate background load — and
+// the victim's full pipeline: SYN-table + rate + entropy detection,
+// single-packet DDPM identification, then blocklisting. Also shows the
+// Ferguson–Senie ingress-filtering baseline for comparison.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	clusterid "repro"
+	"repro/internal/attack"
+	"repro/internal/eventq"
+	"repro/internal/packet"
+	"repro/internal/rng"
+)
+
+func main() {
+	cl, err := clusterid.New(clusterid.Config{
+		Topo:    clusterid.Torus2D(8),
+		Routing: "minimal-adaptive",
+		Seed:    2026,
+	})
+	if err != nil {
+		panic(err)
+	}
+	victim := clusterid.NodeID(0)
+	mon, err := clusterid.NewMonitor(cl, victim)
+	if err != nil {
+		panic(err)
+	}
+
+	// The ingress-filter baseline runs in parallel for comparison: it
+	// would stop spoofing at the source switch, at the price of an
+	// address-table lookup in every switch (the paper's §6.2 tradeoff).
+	ingress := clusterid.NewIngressFilter(cl)
+	cl.Sim.OnDeliver(mon.Deliver)
+
+	// Sixteen zombies spread over the torus with three spoofing styles.
+	zombies := make([]attack.Zombie, 0, 16)
+	zrng := rng.NewStream(1)
+	used := map[clusterid.NodeID]bool{victim: true}
+	spoofers := []attack.Spoofer{
+		attack.RandomSpoof{Plan: cl.Plan, R: rng.NewStream(2)},
+		attack.FixedSpoof{Addr: cl.Plan.AddrOf(5)}, // frame node 5
+		attack.ExternalSpoof{R: rng.NewStream(3)},  // bogon sources
+	}
+	for len(zombies) < 16 {
+		z := clusterid.NodeID(zrng.Intn(cl.Net.NumNodes()))
+		if used[z] {
+			continue
+		}
+		used[z] = true
+		zombies = append(zombies, attack.Zombie{
+			Node: z, Victim: victim, Proto: packet.ProtoTCPSYN,
+			Arrival: &attack.OnOff{BurstLen: 16, IdleGap: 40},
+			Spoof:   spoofers[len(zombies)%len(spoofers)],
+		})
+	}
+
+	const warmup, attackEnd = 3000, 9000
+	bg := &attack.Background{
+		Pattern: attack.Uniform, InjectionRate: 0.003,
+		Start: 0, Stop: attackEnd, R: rng.NewStream(4),
+	}
+	if err := bg.Launch(cl.Sim, cl.Net, cl.Plan); err != nil {
+		panic(err)
+	}
+	flood := &attack.Flood{
+		Zombies: zombies, Start: warmup, Stop: attackEnd,
+		RandomID: rng.NewStream(5),
+	}
+	if err := flood.Launch(cl.Sim, cl.Plan); err != nil {
+		panic(err)
+	}
+	fmt.Printf("torus-8x8 SYN flood: 16 zombies, %d attack packets, %d background packets\n",
+		flood.Launched(), bg.Launched())
+
+	cl.Sim.RunAll(1_000_000_000)
+
+	if under, at := mon.UnderAttack(); under {
+		fmt.Printf("detection: alarm at tick %d (flood began at %d, latency %d ticks)\n",
+			at, warmup, at-eventq.Time(warmup))
+	} else {
+		fmt.Println("detection: NO ALARM — tune the detectors")
+	}
+
+	srcs := mon.IdentifiedSources(100)
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+	zset := map[clusterid.NodeID]bool{}
+	for _, z := range zombies {
+		zset[z.Node] = true
+	}
+	hits, misses := 0, 0
+	fmt.Printf("identification: %d sources exceeded 100 attributed packets\n", len(srcs))
+	for _, s := range srcs {
+		tag := "FALSE POSITIVE"
+		if zset[s] {
+			tag = "zombie"
+			hits++
+		} else {
+			misses++
+		}
+		fmt.Printf("  node %2d %v  %6d pkts  %s\n",
+			s, cl.Net.CoordOf(s), mon.Identifier.Count(s), tag)
+	}
+	fmt.Printf("score: %d/16 zombies identified, %d false positives\n", hits, misses)
+	fmt.Println("note: node 5 was framed by FixedSpoof on every third zombie —")
+	fmt.Println("      DDPM attribution ignores the forged header and it is NOT in the list")
+
+	// Demonstrate the ingress baseline on a replayed sample: a spoofed
+	// injection is rejected at its source switch.
+	sample := packet.NewPacket(cl.Plan, zombies[0].Node, victim, packet.ProtoTCPSYN, 0)
+	zombies[0].Spoof.Apply(sample)
+	fmt.Printf("ingress-filter baseline: spoofed injection at the source switch -> %v,\n",
+		ingress.CheckInjection(zombies[0].Node, sample))
+	fmt.Println("      but it costs an address lookup per injection in every switch (§6.2 tradeoff)")
+}

@@ -1,0 +1,191 @@
+// Package attack generates the DDoS workloads of the paper's threat
+// model (§1): compromised cluster nodes ("zombies", in the TFN/trinoo
+// style) flooding a victim with spoofed-source packets, plus the
+// legitimate background traffic patterns the HPC literature uses
+// (uniform random, transpose, bit-complement, hotspot, tornado), so
+// experiments can measure detection and identification with attack
+// traffic camouflaged inside normal load.
+package attack
+
+import (
+	"fmt"
+
+	"repro/internal/eventq"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+// Arrival models a packet-injection process; Next returns the gap to
+// the next injection in ticks (> 0).
+type Arrival interface {
+	Name() string
+	Next() eventq.Time
+}
+
+// CBR injects at a constant interval — the first-generation flooder's
+// "dump packets as fast as possible" behavior when the interval is 1.
+type CBR struct {
+	Interval eventq.Time
+}
+
+func (c CBR) Name() string { return "cbr" }
+
+func (c CBR) Next() eventq.Time {
+	if c.Interval < 1 {
+		return 1
+	}
+	return c.Interval
+}
+
+// Poisson injects with exponential gaps at the given mean rate
+// (packets per tick) — background traffic's usual model.
+type Poisson struct {
+	Rate float64
+	R    *rng.Stream
+}
+
+func (p Poisson) Name() string { return "poisson" }
+
+func (p Poisson) Next() eventq.Time {
+	g := eventq.Time(p.R.Exp(p.Rate) + 0.5)
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// OnOff alternates busy bursts (gap 1) with idle periods — the pulsing
+// shape many DDoS tools use to dodge rate detectors.
+type OnOff struct {
+	BurstLen int         // packets per burst
+	IdleGap  eventq.Time // gap between bursts
+	sent     int
+}
+
+func (o *OnOff) Name() string { return "onoff" }
+
+func (o *OnOff) Next() eventq.Time {
+	o.sent++
+	if o.BurstLen > 0 && o.sent%o.BurstLen == 0 {
+		if o.IdleGap < 1 {
+			return 1
+		}
+		return o.IdleGap
+	}
+	return 1
+}
+
+// Spoofer rewrites a packet's source address before injection.
+type Spoofer interface {
+	Name() string
+	Apply(pk *packet.Packet)
+}
+
+// NoSpoof leaves the true address — the naive attacker DDPM is not even
+// needed for.
+type NoSpoof struct{}
+
+func (NoSpoof) Name() string            { return "none" }
+func (NoSpoof) Apply(pk *packet.Packet) {}
+
+// RandomSpoof draws a uniformly random in-cluster address per packet —
+// the classic "spoofed IP packets" pattern the paper targets, which
+// maximizes source entropy at the victim.
+type RandomSpoof struct {
+	Plan *packet.AddrPlan
+	R    *rng.Stream
+}
+
+func (RandomSpoof) Name() string { return "random" }
+
+func (s RandomSpoof) Apply(pk *packet.Packet) {
+	pk.Spoof(s.Plan.AddrOf(topology.NodeID(s.R.Intn(s.Plan.NumNodes()))))
+}
+
+// FixedSpoof frames one specific node on every packet.
+type FixedSpoof struct {
+	Addr packet.Addr
+}
+
+func (FixedSpoof) Name() string { return "fixed" }
+
+func (s FixedSpoof) Apply(pk *packet.Packet) { pk.Spoof(s.Addr) }
+
+// ExternalSpoof uses addresses outside the cluster plan entirely
+// (bogons), defeating plain address-table lookups.
+type ExternalSpoof struct {
+	R *rng.Stream
+}
+
+func (ExternalSpoof) Name() string { return "external" }
+
+func (s ExternalSpoof) Apply(pk *packet.Packet) {
+	pk.Spoof(packet.AddrFrom4(192, 0, 2, byte(s.R.Intn(256)))) // TEST-NET-1
+}
+
+// Zombie is one compromised node flooding a victim.
+type Zombie struct {
+	Node    topology.NodeID
+	Victim  topology.NodeID
+	Proto   packet.Proto
+	Payload int
+	Arrival Arrival
+	Spoof   Spoofer
+
+	// PreloadMF, when set, seeds the Identification field of every
+	// attack packet (marking-pollution attacks); nil leaves the OS-like
+	// random default.
+	PreloadMF func() uint16
+}
+
+// Flood drives a set of zombies against a network for a time window.
+type Flood struct {
+	Zombies []Zombie
+	Start   eventq.Time
+	Stop    eventq.Time // exclusive
+
+	// RandomID seeds realistic varied Identification fields on packets
+	// without an explicit PreloadMF.
+	RandomID *rng.Stream
+
+	launched uint64
+}
+
+// Launch schedules the whole flood into the simulator. It must be
+// called before running the horizon past Start.
+func (f *Flood) Launch(n *netsim.Network, plan *packet.AddrPlan) error {
+	if f.Stop <= f.Start {
+		return fmt.Errorf("attack: empty flood window [%d,%d)", f.Start, f.Stop)
+	}
+	for i := range f.Zombies {
+		z := &f.Zombies[i]
+		if z.Arrival == nil {
+			return fmt.Errorf("attack: zombie %d has no arrival process", i)
+		}
+		if z.Spoof == nil {
+			z.Spoof = NoSpoof{}
+		}
+		if z.Proto == 0 {
+			z.Proto = packet.ProtoTCPSYN
+		}
+		at := f.Start + z.Arrival.Next() - 1
+		for at < f.Stop {
+			pk := packet.NewPacket(plan, z.Node, z.Victim, z.Proto, z.Payload)
+			if z.PreloadMF != nil {
+				pk.Hdr.ID = z.PreloadMF()
+			} else if f.RandomID != nil {
+				pk.Hdr.ID = uint16(f.RandomID.Intn(1 << 16))
+			}
+			z.Spoof.Apply(pk)
+			n.InjectAt(at, pk)
+			f.launched++
+			at += z.Arrival.Next()
+		}
+	}
+	return nil
+}
+
+// Launched returns the number of attack packets scheduled.
+func (f *Flood) Launched() uint64 { return f.launched }

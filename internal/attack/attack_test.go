@@ -1,0 +1,258 @@
+package attack
+
+import (
+	"testing"
+
+	"repro/internal/eventq"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/rng"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func sim(t *testing.T, net topology.Network) (*netsim.Network, *packet.AddrPlan) {
+	t.Helper()
+	r := routing.NewRouter(net, routing.NewMinimalAdaptive(net))
+	r.Sel = routing.RandomSelector{R: rng.NewStream(1)}
+	plan := packet.NewAddrPlan(packet.DefaultBase, net.NumNodes())
+	n, err := netsim.New(netsim.Config{Net: net, Router: r, Plan: plan, QueueCap: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, plan
+}
+
+func TestCBRArrival(t *testing.T) {
+	c := CBR{Interval: 5}
+	if c.Next() != 5 {
+		t.Errorf("Next = %d", c.Next())
+	}
+	zero := CBR{}
+	if zero.Next() != 1 {
+		t.Errorf("zero-interval CBR must clamp to 1")
+	}
+}
+
+func TestPoissonArrivalMeanGap(t *testing.T) {
+	p := Poisson{Rate: 0.1, R: rng.NewStream(2)}
+	var sum eventq.Time
+	const n = 20000
+	for i := 0; i < n; i++ {
+		g := p.Next()
+		if g < 1 {
+			t.Fatal("gap < 1")
+		}
+		sum += g
+	}
+	mean := float64(sum) / n
+	if mean < 9 || mean < 1 || mean > 11.5 {
+		t.Errorf("mean gap = %v, want ≈10", mean)
+	}
+}
+
+func TestOnOffArrival(t *testing.T) {
+	o := &OnOff{BurstLen: 3, IdleGap: 10}
+	gaps := make([]eventq.Time, 7)
+	for i := range gaps {
+		gaps[i] = o.Next()
+	}
+	want := []eventq.Time{1, 1, 10, 1, 1, 10, 1}
+	for i, w := range want {
+		if gaps[i] != w {
+			t.Fatalf("gaps = %v, want %v", gaps, want)
+		}
+	}
+}
+
+func TestSpooferBehaviors(t *testing.T) {
+	plan := packet.NewAddrPlan(packet.DefaultBase, 16)
+	pk := packet.NewPacket(plan, 3, 7, packet.ProtoTCPSYN, 0)
+
+	NoSpoof{}.Apply(pk)
+	if pk.Spoofed {
+		t.Error("NoSpoof spoofed")
+	}
+
+	FixedSpoof{Addr: plan.AddrOf(9)}.Apply(pk)
+	if !pk.Spoofed || pk.Hdr.Src != plan.AddrOf(9) {
+		t.Error("FixedSpoof failed")
+	}
+
+	rs := RandomSpoof{Plan: plan, R: rng.NewStream(3)}
+	seen := map[packet.Addr]bool{}
+	for i := 0; i < 200; i++ {
+		p2 := packet.NewPacket(plan, 3, 7, packet.ProtoTCPSYN, 0)
+		rs.Apply(p2)
+		seen[p2.Hdr.Src] = true
+		if !plan.Contains(p2.Hdr.Src) {
+			t.Fatal("RandomSpoof left the plan")
+		}
+	}
+	if len(seen) < 10 {
+		t.Errorf("RandomSpoof drew only %d distinct addresses", len(seen))
+	}
+
+	es := ExternalSpoof{R: rng.NewStream(4)}
+	p3 := packet.NewPacket(plan, 3, 7, packet.ProtoTCPSYN, 0)
+	es.Apply(p3)
+	if plan.Contains(p3.Hdr.Src) {
+		t.Error("ExternalSpoof stayed inside the plan")
+	}
+}
+
+func TestFloodLaunchesAndDelivers(t *testing.T) {
+	m := topology.NewMesh2D(4)
+	n, plan := sim(t, m)
+	victim := m.IndexOf(topology.Coord{3, 3})
+	received := 0
+	spoofed := 0
+	n.OnDeliver(func(_ eventq.Time, pk *packet.Packet) {
+		if pk.DstNode == victim {
+			received++
+			if pk.Spoofed {
+				spoofed++
+			}
+		}
+	})
+	f := &Flood{
+		Zombies: []Zombie{
+			{Node: 0, Victim: victim, Arrival: CBR{Interval: 10},
+				Spoof: RandomSpoof{Plan: plan, R: rng.NewStream(5)}},
+			{Node: 5, Victim: victim, Arrival: CBR{Interval: 10},
+				Spoof: RandomSpoof{Plan: plan, R: rng.NewStream(6)}},
+		},
+		Start:    0,
+		Stop:     1000,
+		RandomID: rng.NewStream(7),
+	}
+	if err := f.Launch(n, plan); err != nil {
+		t.Fatal(err)
+	}
+	if f.Launched() != 200 {
+		t.Errorf("Launched = %d, want 200", f.Launched())
+	}
+	n.RunAll(1e6)
+	if received != 200 {
+		t.Errorf("victim received %d/200", received)
+	}
+	if spoofed < 150 {
+		t.Errorf("only %d/200 spoofed under RandomSpoof", spoofed)
+	}
+}
+
+func TestFloodValidation(t *testing.T) {
+	m := topology.NewMesh2D(4)
+	n, plan := sim(t, m)
+	f := &Flood{Zombies: []Zombie{{Node: 0, Victim: 5, Arrival: CBR{Interval: 1}}}, Start: 10, Stop: 10}
+	if err := f.Launch(n, plan); err == nil {
+		t.Error("empty window accepted")
+	}
+	f2 := &Flood{Zombies: []Zombie{{Node: 0, Victim: 5}}, Start: 0, Stop: 10}
+	if err := f2.Launch(n, plan); err == nil {
+		t.Error("missing arrival accepted")
+	}
+}
+
+func TestFloodDefaultsToSYN(t *testing.T) {
+	m := topology.NewMesh2D(4)
+	n, plan := sim(t, m)
+	var proto packet.Proto
+	n.OnDeliver(func(_ eventq.Time, pk *packet.Packet) { proto = pk.Hdr.Proto })
+	f := &Flood{Zombies: []Zombie{{Node: 0, Victim: 5, Arrival: CBR{Interval: 100}}}, Start: 0, Stop: 100}
+	if err := f.Launch(n, plan); err != nil {
+		t.Fatal(err)
+	}
+	n.RunAll(1e5)
+	if proto != packet.ProtoTCPSYN {
+		t.Errorf("proto = %v, want tcp-syn", proto)
+	}
+}
+
+func TestBackgroundPatterns(t *testing.T) {
+	m := topology.NewMesh2D(4)
+	for _, p := range []Pattern{Uniform, Transpose, BitComplement, Hotspot, Tornado} {
+		n, plan := sim(t, m)
+		delivered := 0
+		n.OnDeliver(func(_ eventq.Time, pk *packet.Packet) {
+			delivered++
+			if pk.Spoofed {
+				t.Errorf("%v: background traffic spoofed", p)
+			}
+		})
+		b := &Background{
+			Pattern:       p,
+			InjectionRate: 0.01,
+			Start:         0,
+			Stop:          2000,
+			HotspotNode:   5,
+			HotspotFrac:   0.5,
+			R:             rng.NewStream(uint64(p) + 10),
+		}
+		if err := b.Launch(n, m, plan); err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if b.Launched() == 0 {
+			t.Fatalf("%v: nothing launched", p)
+		}
+		n.RunAll(1e7)
+		if uint64(delivered) != b.Launched() {
+			t.Errorf("%v: delivered %d of %d", p, delivered, b.Launched())
+		}
+	}
+}
+
+func TestBackgroundDestinationMaps(t *testing.T) {
+	m := topology.NewMesh2D(4)
+	b := &Background{Pattern: Transpose, R: rng.NewStream(1)}
+	src := m.IndexOf(topology.Coord{1, 3})
+	if dst := b.destination(m, src); dst != m.IndexOf(topology.Coord{3, 1}) {
+		t.Errorf("transpose dst = %v", m.CoordOf(dst))
+	}
+	b.Pattern = BitComplement
+	if dst := b.destination(m, 0); dst != 15 {
+		t.Errorf("bit-complement dst = %d", dst)
+	}
+	b.Pattern = Tornado
+	if dst := b.destination(m, m.IndexOf(topology.Coord{0, 0})); dst != m.IndexOf(topology.Coord{2, 2}) {
+		t.Errorf("tornado dst = %v", m.CoordOf(dst))
+	}
+	b.Pattern = Hotspot
+	b.HotspotFrac = 1.0
+	b.HotspotNode = 7
+	if dst := b.destination(m, 0); dst != 7 {
+		t.Errorf("hotspot dst = %d", dst)
+	}
+}
+
+func TestBackgroundValidation(t *testing.T) {
+	m := topology.NewMesh2D(4)
+	n, plan := sim(t, m)
+	if err := (&Background{Pattern: Uniform, InjectionRate: 0.1, Start: 5, Stop: 5, R: rng.NewStream(1)}).Launch(n, m, plan); err == nil {
+		t.Error("empty window accepted")
+	}
+	if err := (&Background{Pattern: Uniform, InjectionRate: 0, Start: 0, Stop: 10, R: rng.NewStream(1)}).Launch(n, m, plan); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if err := (&Background{Pattern: Uniform, InjectionRate: 0.1, Start: 0, Stop: 10}).Launch(n, m, plan); err == nil {
+		t.Error("missing RNG accepted")
+	}
+}
+
+func TestPatternStrings(t *testing.T) {
+	for _, p := range []Pattern{Uniform, Transpose, BitComplement, Hotspot, Tornado, Pattern(99)} {
+		if p.String() == "" {
+			t.Error("empty pattern string")
+		}
+	}
+	for _, a := range []Arrival{CBR{}, Poisson{Rate: 1, R: rng.NewStream(1)}, &OnOff{}} {
+		if a.Name() == "" {
+			t.Error("empty arrival name")
+		}
+	}
+	for _, s := range []Spoofer{NoSpoof{}, RandomSpoof{}, FixedSpoof{}, ExternalSpoof{}} {
+		if s.Name() == "" {
+			t.Error("empty spoofer name")
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package attack
+
+import (
+	"fmt"
+
+	"repro/internal/eventq"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+// Pattern names a synthetic background-traffic destination map.
+type Pattern int
+
+const (
+	// Uniform sends each packet to an independently random node.
+	Uniform Pattern = iota
+	// Transpose sends (x, y) → (y, x); 2-D networks only.
+	Transpose
+	// BitComplement sends node i → ^i (one-to-one, long paths).
+	BitComplement
+	// Hotspot concentrates a fraction of traffic on one node and
+	// spreads the rest uniformly.
+	Hotspot
+	// Tornado sends halfway around each dimension (torus stress).
+	Tornado
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case Uniform:
+		return "uniform"
+	case Transpose:
+		return "transpose"
+	case BitComplement:
+		return "bit-complement"
+	case Hotspot:
+		return "hotspot"
+	case Tornado:
+		return "tornado"
+	default:
+		return fmt.Sprintf("pattern(%d)", int(p))
+	}
+}
+
+// Background generates legitimate traffic over a window: every node
+// injects with Poisson gaps at InjectionRate (packets/tick/node) toward
+// the destination its pattern chooses.
+type Background struct {
+	Pattern       Pattern
+	InjectionRate float64
+	Start, Stop   eventq.Time
+	Proto         packet.Proto
+	Payload       int
+
+	// HotspotNode and HotspotFrac configure the Hotspot pattern.
+	HotspotNode topology.NodeID
+	HotspotFrac float64
+
+	R *rng.Stream
+
+	launched uint64
+}
+
+// destination resolves the pattern for a source node.
+func (b *Background) destination(net topology.Network, src topology.NodeID) topology.NodeID {
+	switch b.Pattern {
+	case Uniform:
+		return topology.NodeID(b.R.Intn(net.NumNodes()))
+	case Transpose:
+		c := net.CoordOf(src)
+		if len(c) != 2 {
+			panic("attack: transpose requires a 2-D network")
+		}
+		dims := net.Dims()
+		if dims[0] != dims[1] {
+			panic("attack: transpose requires a square network")
+		}
+		return net.IndexOf(topology.Coord{c[1], c[0]})
+	case BitComplement:
+		return topology.NodeID(net.NumNodes() - 1 - int(src))
+	case Hotspot:
+		if b.R.Float64() < b.HotspotFrac {
+			return b.HotspotNode
+		}
+		return topology.NodeID(b.R.Intn(net.NumNodes()))
+	case Tornado:
+		c := net.CoordOf(src)
+		dims := net.Dims()
+		d := make(topology.Coord, len(c))
+		for i := range c {
+			d[i] = (c[i] + dims[i]/2) % dims[i]
+		}
+		return net.IndexOf(d)
+	default:
+		panic(fmt.Sprintf("attack: unknown pattern %d", int(b.Pattern)))
+	}
+}
+
+// Launch schedules the background load into the simulator.
+func (b *Background) Launch(n *netsim.Network, net topology.Network, plan *packet.AddrPlan) error {
+	if b.Stop <= b.Start {
+		return fmt.Errorf("attack: empty background window [%d,%d)", b.Start, b.Stop)
+	}
+	if b.InjectionRate <= 0 {
+		return fmt.Errorf("attack: non-positive injection rate %v", b.InjectionRate)
+	}
+	if b.R == nil {
+		return fmt.Errorf("attack: background needs an RNG stream")
+	}
+	if b.Proto == 0 {
+		b.Proto = packet.ProtoRaw
+	}
+	for src := 0; src < net.NumNodes(); src++ {
+		at := b.Start + eventq.Time(b.R.Exp(b.InjectionRate))
+		for at < b.Stop {
+			dst := b.destination(net, topology.NodeID(src))
+			if dst != topology.NodeID(src) {
+				pk := packet.NewPacket(plan, topology.NodeID(src), dst, b.Proto, b.Payload)
+				pk.Hdr.ID = uint16(b.R.Intn(1 << 16)) // realistic varied IDs
+				n.InjectAt(at, pk)
+				b.launched++
+			}
+			gap := eventq.Time(b.R.Exp(b.InjectionRate) + 0.5)
+			if gap < 1 {
+				gap = 1
+			}
+			at += gap
+		}
+	}
+	return nil
+}
+
+// Launched returns the number of background packets scheduled.
+func (b *Background) Launched() uint64 { return b.launched }

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestRunX4DDPMDamageConfinedToCrossingFlows(t *testing.T) {
+	bad := topology.NodeID(27) // interior of the 8x8 mesh
+	row, err := RunX4(Mesh2D(8), "ddpm", bad, 600, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.ThroughBad == 0 {
+		t.Fatal("no flows crossed the bad switch; bad test placement")
+	}
+	// Containment: flows that never met the liar identify perfectly.
+	if row.MisattributedClean != 0 {
+		t.Errorf("%d clean flows misattributed — DDPM corruption leaked", row.MisattributedClean)
+	}
+	// Flows through the liar are corrupted (the 0xA5A5 XOR shifts the
+	// vector): essentially all of them misattribute.
+	if row.Misattributed < row.ThroughBad/2 {
+		t.Errorf("only %d/%d crossing flows corrupted; the lie is too weak to measure",
+			row.Misattributed, row.ThroughBad)
+	}
+	if row.Misattributed > row.ThroughBad {
+		t.Errorf("misattributed %d exceeds crossing flows %d", row.Misattributed, row.ThroughBad)
+	}
+}
+
+func TestRunX4IngressStampOnlySourceSwitchMatters(t *testing.T) {
+	// Ingress stamping writes the MF once, at the source switch; a
+	// lying TRANSIT switch that rewrites it corrupts every flow it
+	// carries — same blast radius shape as DDPM here — but a lying
+	// SOURCE switch forges arbitrary origins for its own flows, which
+	// DDPM cannot fully prevent either. The measurable contrast: under
+	// ingress stamping a corrupted MF often still decodes to a VALID
+	// innocent node (silent framing), while DDPM's corrupted vectors
+	// frequently decode off-mesh and are caught. Count the silent
+	// misattributions.
+	bad := topology.NodeID(27)
+	ddpm, err := RunX4(Mesh2D(8), "ddpm", bad, 600, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stamp, err := RunX4(Mesh2D(8), "ingress-stamp", bad, 600, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stamp.MisattributedClean != 0 {
+		t.Errorf("%d clean flows misattributed under ingress stamp", stamp.MisattributedClean)
+	}
+	// Both schemes corrupt the crossing flows; the rows exist to be
+	// reported side by side by the harness.
+	if ddpm.Flows != stamp.Flows {
+		t.Errorf("flow counts diverged: %d vs %d", ddpm.Flows, stamp.Flows)
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import "testing"
+
+// The whole experiment harness is seeded: identical seeds must yield
+// bit-identical outcomes across runs, or regression comparisons and
+// golden numbers in EXPERIMENTS.md are meaningless. These tests pin the
+// property on the most stateful paths.
+
+func TestE5Deterministic(t *testing.T) {
+	cfg := E5Config{
+		Topo: Torus2D(8), Zombies: 3, Seed: 99,
+		AttackGap: 4, Background: 0.002,
+		WarmupTicks: 1000, AttackTicks: 1500, AfterTicks: 1000,
+	}
+	a, err := RunE5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunE5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("E5 not deterministic:\n  %+v\n  %+v", a, b)
+	}
+}
+
+func TestE2Deterministic(t *testing.T) {
+	a, err := RunE2(Mesh2D(8), "minimal-adaptive", 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := RunE2(Mesh2D(8), "minimal-adaptive", 10, 5)
+	if a != b {
+		t.Errorf("E2 not deterministic:\n  %+v\n  %+v", a, b)
+	}
+}
+
+func TestE6Deterministic(t *testing.T) {
+	a, err := RunE6(Mesh2D(8), "fully-adaptive", 0.1, 200, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := RunE6(Mesh2D(8), "fully-adaptive", 0.1, 200, 13)
+	if a != b {
+		t.Errorf("E6 not deterministic:\n  %+v\n  %+v", a, b)
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a, err := RunE6(Mesh2D(8), "fully-adaptive", 0.1, 200, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunE6(Mesh2D(8), "fully-adaptive", 0.1, 200, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("different seeds produced identical E6 rows — seeding is not wired through")
+	}
+}

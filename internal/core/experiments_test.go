@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func testStream() *rng.Stream { return rng.NewStream(12345) }
+
+func TestE1AnalyticFormula(t *testing.T) {
+	// ln(8)/(0.1 · 0.9^7) ≈ 43.5
+	got := E1Analytic(0.1, 8)
+	want := math.Log(8) / (0.1 * math.Pow(0.9, 7))
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("E1Analytic = %v, want %v", got, want)
+	}
+}
+
+func TestRunE1MatchesAnalyticShape(t *testing.T) {
+	// Convergence cost must grow with d and roughly track the bound
+	// (within a small constant factor — the bound is loose).
+	short, err := RunE1(0.1, 4, 40, 1, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := RunE1(0.1, 16, 40, 2, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.MeanPkts <= short.MeanPkts {
+		t.Errorf("packets(d=16)=%v <= packets(d=4)=%v", long.MeanPkts, short.MeanPkts)
+	}
+	for _, row := range []E1Row{short, long} {
+		if row.MeanPkts < float64(row.D) {
+			t.Errorf("d=%d: mean %v below information floor d", row.D, row.MeanPkts)
+		}
+		if row.MeanPkts > 10*row.Analytic+100 {
+			t.Errorf("d=%d: mean %v far above analytic %v", row.D, row.MeanPkts, row.Analytic)
+		}
+	}
+}
+
+func TestRunE1Validation(t *testing.T) {
+	if _, err := RunE1(0.1, 1, 5, 1, 100); err == nil {
+		t.Error("d=1 accepted")
+	}
+}
+
+func TestRunE2DeterministicVsAdaptive(t *testing.T) {
+	det, err := RunE2(Mesh2D(8), "xy", 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.SigsPerFlowMean != 1 {
+		t.Errorf("deterministic sigs/flow = %v, want 1", det.SigsPerFlowMean)
+	}
+	if det.SrcsPerSigMean <= 1 {
+		t.Errorf("deterministic srcs/sig = %v: expected some ambiguity", det.SrcsPerSigMean)
+	}
+
+	ad, err := RunE2(Mesh2D(8), "minimal-adaptive", 20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ad.SigsPerFlowMean < 2*det.SigsPerFlowMean {
+		t.Errorf("adaptive sigs/flow = %v, deterministic = %v: expected shattering",
+			ad.SigsPerFlowMean, det.SigsPerFlowMean)
+	}
+	if det.FlowsMeasured != 63 || ad.FlowsMeasured != 63 {
+		t.Errorf("flows = %d/%d", det.FlowsMeasured, ad.FlowsMeasured)
+	}
+}
+
+func TestRunE3PerfectAccuracy(t *testing.T) {
+	cases := []struct {
+		spec    TopoSpec
+		routing string
+	}{
+		{Mesh2D(8), "xy"},
+		{Mesh2D(8), "west-first"},
+		{Mesh2D(8), "fully-adaptive"},
+		{Torus2D(8), "dor"},
+		{Torus2D(8), "minimal-adaptive"},
+		{Cube(6), "dor"},
+		{Cube(6), "minimal-adaptive"},
+		{Mesh(16, 16, 32), "minimal-adaptive"},
+	}
+	for _, tc := range cases {
+		row, err := RunE3(tc.spec, tc.routing, 300, 5)
+		if err != nil {
+			t.Fatalf("%v/%s: %v", tc.spec, tc.routing, err)
+		}
+		if row.Accuracy() != 1.0 {
+			t.Errorf("%v/%s: accuracy %.4f (correct %d/%d, undecoded %d)",
+				tc.spec, tc.routing, row.Accuracy(), row.Correct, row.Trials, row.Undecoded)
+		}
+	}
+}
+
+func TestRunE5EndToEnd(t *testing.T) {
+	row, err := RunE5(E5Config{
+		Topo:        Torus2D(8),
+		Zombies:     4,
+		Seed:        9,
+		AttackGap:   4,
+		Background:  0.002,
+		WarmupTicks: 2000,
+		AttackTicks: 3000,
+		AfterTicks:  2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.Detected {
+		t.Error("flood not detected")
+	}
+	if row.Detected && row.DetectedAt < 2000 {
+		t.Errorf("detected at %d, before the attack started", row.DetectedAt)
+	}
+	if !row.IdentifiedAll {
+		t.Error("not all zombies identified")
+	}
+	if row.FalsePositives != 0 {
+		t.Errorf("%d innocent nodes blocked", row.FalsePositives)
+	}
+	if row.BlockedFraction < 0.99 {
+		t.Errorf("blocked fraction = %v, want ~1 (DDPM attributes every packet)", row.BlockedFraction)
+	}
+	if row.AttackPkts == 0 {
+		t.Error("no attack packets launched")
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/marking"
+	"repro/internal/packet"
+	"repro/internal/rng"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// ---------------------------------------------------------------------
+// E6 — fault tolerance: Figure 2 made quantitative. Fail a random
+// fraction of cables and measure, per routing algorithm, how many flows
+// still deliver — and confirm DDPM identification stays exact on every
+// delivered packet (misroutes around faults included).
+// ---------------------------------------------------------------------
+
+// E6Row is one (failure fraction, routing) measurement.
+type E6Row struct {
+	Topo         string
+	Routing      string
+	FailFraction float64
+	FailedCables int
+	Flows        int
+	Delivered    int
+	DDPMCorrect  int // of the delivered flows
+}
+
+// DeliveryRate returns delivered/flows.
+func (r E6Row) DeliveryRate() float64 {
+	if r.Flows == 0 {
+		return 0
+	}
+	return float64(r.Delivered) / float64(r.Flows)
+}
+
+// RunE6 fails failFraction of the cables (both directions), routes
+// `flows` random (src,dst) pairs, and scores delivery + identification.
+// The misroute budget gives adaptive algorithms room to detour.
+func RunE6(spec TopoSpec, routingName string, failFraction float64, flows int, seed uint64) (E6Row, error) {
+	if failFraction < 0 || failFraction >= 1 {
+		return E6Row{}, fmt.Errorf("core: failure fraction %v outside [0,1)", failFraction)
+	}
+	net, err := BuildTopology(spec)
+	if err != nil {
+		return E6Row{}, err
+	}
+	alg, err := BuildRouting(routingName, net)
+	if err != nil {
+		return E6Row{}, err
+	}
+	d, err := marking.NewDDPM(net)
+	if err != nil {
+		return E6Row{}, err
+	}
+	src := rng.NewSource(seed)
+	r := routing.NewRouter(net, alg)
+	r.Sel = routing.RandomSelector{R: src.Stream("sel")}
+	r.MisrouteBudget = 2 * len(net.Dims())
+
+	// Fail cables (undirected) uniformly.
+	row := E6Row{Topo: net.Name(), Routing: routingName, FailFraction: failFraction}
+	failStream := src.Stream("fail")
+	for _, l := range topology.Links(net) {
+		if l.From < l.To && failStream.Float64() < failFraction {
+			r.State.FailBoth(l.From, l.To)
+			row.FailedCables++
+		}
+	}
+
+	plan := packet.NewAddrPlan(packet.DefaultBase, net.NumNodes())
+	pairStream := src.Stream("pairs")
+	for row.Flows < flows {
+		a := topology.NodeID(pairStream.Intn(net.NumNodes()))
+		b := topology.NodeID(pairStream.Intn(net.NumNodes()))
+		if a == b {
+			continue
+		}
+		row.Flows++
+		path, err := r.Walk(a, b, 0)
+		if err != nil {
+			continue // stranded by failures: not delivered
+		}
+		row.Delivered++
+		pk := packet.NewPacket(plan, a, b, packet.ProtoTCPSYN, 0)
+		pk.Hdr.ID = uint16(pairStream.Intn(1 << 16))
+		d.OnInject(pk)
+		for i := 0; i+1 < len(path); i++ {
+			d.OnForward(path[i], path[i+1], pk)
+		}
+		if got, ok := d.IdentifySource(b, pk.Hdr.ID); ok && got == a {
+			row.DDPMCorrect++
+		}
+	}
+	return row, nil
+}

@@ -1,0 +1,64 @@
+package core
+
+import "testing"
+
+func TestRunE6HealthyFabricDeliversEverything(t *testing.T) {
+	for _, r := range []string{"xy", "minimal-adaptive", "fully-adaptive"} {
+		row, err := RunE6(Mesh2D(8), r, 0, 300, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row.DeliveryRate() != 1.0 {
+			t.Errorf("%s: delivery %.3f on healthy fabric", r, row.DeliveryRate())
+		}
+		if row.DDPMCorrect != row.Delivered {
+			t.Errorf("%s: DDPM correct %d/%d", r, row.DDPMCorrect, row.Delivered)
+		}
+		if row.FailedCables != 0 {
+			t.Errorf("failed cables = %d at f=0", row.FailedCables)
+		}
+	}
+}
+
+func TestRunE6AdaptivityOrdersDeliveryRates(t *testing.T) {
+	// Figure 2's message, quantified: under the same failures,
+	// fully adaptive ≥ partially adaptive (west-first) ≥ deterministic.
+	const f = 0.08
+	xy, err := RunE6(Mesh2D(8), "xy", f, 400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, err := RunE6(Mesh2D(8), "west-first", f, 400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, err := RunE6(Mesh2D(8), "fully-adaptive", f, 400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(fa.DeliveryRate() >= wf.DeliveryRate() && wf.DeliveryRate() >= xy.DeliveryRate()) {
+		t.Errorf("delivery order violated: xy=%.3f wf=%.3f fa=%.3f",
+			xy.DeliveryRate(), wf.DeliveryRate(), fa.DeliveryRate())
+	}
+	if fa.DeliveryRate() <= xy.DeliveryRate() {
+		t.Errorf("adaptivity bought nothing: xy=%.3f fa=%.3f", xy.DeliveryRate(), fa.DeliveryRate())
+	}
+	// DDPM stays exact on everything that arrives, detours included.
+	for _, row := range []E6Row{xy, wf, fa} {
+		if row.DDPMCorrect != row.Delivered {
+			t.Errorf("%s: DDPM correct %d of %d delivered", row.Routing, row.DDPMCorrect, row.Delivered)
+		}
+	}
+}
+
+func TestRunE6Validation(t *testing.T) {
+	if _, err := RunE6(Mesh2D(4), "xy", -0.1, 10, 1); err == nil {
+		t.Error("negative fraction accepted")
+	}
+	if _, err := RunE6(Mesh2D(4), "xy", 1.0, 10, 1); err == nil {
+		t.Error("fraction 1.0 accepted")
+	}
+	if _, err := RunE6(Mesh2D(4), "bogus", 0.1, 10, 1); err == nil {
+		t.Error("bogus routing accepted")
+	}
+}

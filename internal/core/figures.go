@@ -1,0 +1,268 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/marking"
+	"repro/internal/packet"
+	"repro/internal/rng"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// ---------------------------------------------------------------------
+// Tables 1–3 (scalability): rows match the paper's tables, reporting
+// the paper's formula/claim next to this implementation's exact layout.
+// ---------------------------------------------------------------------
+
+// TableRow is one topology-family row of a scalability table.
+type TableRow struct {
+	Topology   string
+	Formula    string
+	PaperMaxN  int // paper-claimed max (n of n×n, or cube dimension)
+	PaperNodes int
+	ExactMaxN  int // computed from this package's exact layouts
+	ExactNodes int
+	Agree      bool
+}
+
+// ScalabilityTable regenerates Table 1, 2 or 3.
+func ScalabilityTable(table int) ([]TableRow, error) {
+	var kind marking.SchemeKind
+	var meshFormula, cubeFormula string
+	switch table {
+	case 1:
+		kind = marking.KindSimplePPM
+		meshFormula = "2·log n² + log 2n"
+		cubeFormula = "2n + log(n+1)"
+	case 2:
+		kind = marking.KindBitDiffPPM
+		meshFormula = "log n² + log log n² + log 2n"
+		cubeFormula = "n + log n + log(n+1)"
+	case 3:
+		kind = marking.KindDDPM
+		meshFormula = "2·(log n + 1)  [two signed fields]"
+		cubeFormula = "n  [XOR word]"
+	default:
+		return nil, fmt.Errorf("core: no table %d (have 1, 2, 3)", table)
+	}
+	pm, pmNodes := marking.PaperMaxMesh(kind)
+	em, emNodes := marking.MaxMesh(kind)
+	pc, pcNodes := marking.PaperMaxCube(kind)
+	ec, ecNodes := marking.MaxCube(kind)
+	return []TableRow{
+		{
+			Topology: "n×n mesh, torus", Formula: meshFormula,
+			PaperMaxN: pm, PaperNodes: pmNodes,
+			ExactMaxN: em, ExactNodes: emNodes,
+			Agree: pm == em,
+		},
+		{
+			Topology: "n-cube hypercube", Formula: cubeFormula,
+			PaperMaxN: pc, PaperNodes: pcNodes,
+			ExactMaxN: ec, ExactNodes: ecNodes,
+			Agree: pc == ec,
+		},
+	}, nil
+}
+
+// WriteTable renders a scalability table in the paper's layout.
+func WriteTable(w io.Writer, table int) error {
+	rows, err := ScalabilityTable(table)
+	if err != nil {
+		return err
+	}
+	name := map[int]string{1: "Simple PPM", 2: "Simple Bit Difference PPM", 3: "DDPM"}[table]
+	fmt.Fprintf(w, "Table %d. Scalability of %s\n", table, name)
+	fmt.Fprintf(w, "%-20s %-36s %-22s %-22s %s\n",
+		"Topology", "Required Field", "Paper Max Cluster", "Exact Max Cluster", "Agree")
+	for _, r := range rows {
+		paper := fmt.Sprintf("%d (%d nodes)", r.PaperMaxN, r.PaperNodes)
+		exact := fmt.Sprintf("%d (%d nodes)", r.ExactMaxN, r.ExactNodes)
+		agree := "yes"
+		if !r.Agree {
+			agree = "NO (see EXPERIMENTS.md)"
+		}
+		fmt.Fprintf(w, "%-20s %-36s %-22s %-22s %s\n", r.Topology, r.Formula, paper, exact, agree)
+	}
+	if table == 3 {
+		widths, nodes := marking.Mesh3DDDPMSplit()
+		fmt.Fprintf(w, "3-D mesh/torus split %v -> 16x16x32 = %d nodes\n", widths, nodes)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Figure 2 — routing deliverability under link failures.
+// ---------------------------------------------------------------------
+
+// Figure2Cell is one (scenario, algorithm) outcome.
+type Figure2Cell struct {
+	Scenario  string // "a", "b", "c"
+	Algorithm string
+	S1OK      bool
+	S2OK      bool
+}
+
+// Figure2 reproduces the deliverability matrix of the paper's Figure 2:
+// 4×4 mesh, S1=(2,0), S2=(0,0), D=(1,2), three failure scenarios, three
+// algorithms. Expected shape: XY delivers only in (a); west-first in
+// (a) and (b); fully adaptive in all three.
+func Figure2(seed uint64) ([]Figure2Cell, error) {
+	m := topology.NewMesh2D(4)
+	s1 := m.IndexOf(topology.Coord{2, 0})
+	s2 := m.IndexOf(topology.Coord{0, 0})
+	d := m.IndexOf(topology.Coord{1, 2})
+
+	failB := func(st *routing.LinkState) {
+		st.FailBoth(s1, m.IndexOf(topology.Coord{2, 1}))
+		st.FailBoth(s2, m.IndexOf(topology.Coord{0, 1}))
+	}
+	failC := func(st *routing.LinkState) {
+		for _, nb := range []topology.Coord{{0, 2}, {2, 2}, {1, 1}} {
+			st.FailBoth(m.IndexOf(nb), d)
+		}
+	}
+	scenarios := []struct {
+		name string
+		fail func(*routing.LinkState)
+	}{
+		{"a", func(*routing.LinkState) {}},
+		{"b", failB},
+		{"c", failC},
+	}
+	algs := []string{"xy", "west-first", "fully-adaptive"}
+
+	var out []Figure2Cell
+	rsrc := rng.NewSource(seed)
+	for _, sc := range scenarios {
+		for _, algName := range algs {
+			alg, err := BuildRouting(algName, m)
+			if err != nil {
+				return nil, err
+			}
+			r := routing.NewRouter(m, alg)
+			r.Sel = routing.RandomSelector{R: rsrc.Stream(sc.name + algName)}
+			r.MisrouteBudget = 6
+			sc.fail(r.State)
+			out = append(out, Figure2Cell{
+				Scenario:  sc.name,
+				Algorithm: algName,
+				S1OK:      r.Deliverable(s1, d, 300),
+				S2OK:      r.Deliverable(s2, d, 300),
+			})
+		}
+	}
+	return out, nil
+}
+
+// WriteFigure2 renders the matrix.
+func WriteFigure2(w io.Writer, seed uint64) error {
+	cells, err := Figure2(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 2. Routing algorithms on a 4x4 mesh: S1=(2,0), S2=(0,0), D=(1,2)")
+	fmt.Fprintln(w, "  (a) no failures  (b) east links out of S1/S2 failed  (c) only (1,3)->D live")
+	fmt.Fprintf(w, "%-10s %-16s %-8s %-8s\n", "Scenario", "Algorithm", "S1->D", "S2->D")
+	for _, c := range cells {
+		fmt.Fprintf(w, "%-10s %-16s %-8v %-8v\n", c.Scenario, c.Algorithm, c.S1OK, c.S2OK)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Figure 3 — marking-field traces along the paper's example routes.
+// ---------------------------------------------------------------------
+
+// Figure3bTrace replays the §5 adaptive route (1,1)→(2,3) on the 4×4
+// mesh and returns the DDPM vector after each hop plus the identified
+// source.
+func Figure3bTrace() (vectors []topology.Vector, identified topology.Coord, err error) {
+	m := topology.NewMesh2D(4)
+	d, err := marking.NewDDPM(m)
+	if err != nil {
+		return nil, nil, err
+	}
+	coords := []topology.Coord{
+		{1, 1}, {2, 1}, {3, 1}, {3, 0}, {2, 0}, {2, 1}, {2, 2}, {2, 3},
+	}
+	pk := &packet.Packet{}
+	d.OnInject(pk)
+	for i := 0; i+1 < len(coords); i++ {
+		d.OnForward(m.IndexOf(coords[i]), m.IndexOf(coords[i+1]), pk)
+		vectors = append(vectors, topology.Vector(d.Codec().Decode(pk.Hdr.ID)))
+	}
+	srcID, ok := d.IdentifySource(m.IndexOf(coords[len(coords)-1]), pk.Hdr.ID)
+	if !ok {
+		return vectors, nil, fmt.Errorf("core: figure 3b identification failed")
+	}
+	return vectors, m.CoordOf(srcID), nil
+}
+
+// Figure3cTrace replays the §5 hypercube route (1,1,0)→(0,0,0).
+func Figure3cTrace() (vectors []topology.Vector, identified topology.Coord, err error) {
+	h := topology.NewHypercube(3)
+	d, err := marking.NewDDPM(h)
+	if err != nil {
+		return nil, nil, err
+	}
+	coords := []topology.Coord{
+		{1, 1, 0}, {0, 1, 0}, {0, 1, 1}, {1, 1, 1}, {1, 0, 1}, {1, 0, 0}, {0, 0, 0},
+	}
+	pk := &packet.Packet{}
+	d.OnInject(pk)
+	for i := 0; i+1 < len(coords); i++ {
+		d.OnForward(h.IndexOf(coords[i]), h.IndexOf(coords[i+1]), pk)
+		vectors = append(vectors, topology.Vector(d.Codec().Decode(pk.Hdr.ID)))
+	}
+	srcID, ok := d.IdentifySource(h.IndexOf(coords[len(coords)-1]), pk.Hdr.ID)
+	if !ok {
+		return vectors, nil, fmt.Errorf("core: figure 3c identification failed")
+	}
+	return vectors, h.CoordOf(srcID), nil
+}
+
+// Figure3aTrace replays the simple-PPM example: for each mark position
+// along the path 0001→0011→0010→0110→1110 it reports the sample the
+// victim decodes, as (startLabel, endLabel, dist) strings.
+func Figure3aTrace() ([]string, error) {
+	m := topology.NewMesh2D(4)
+	lab, err := marking.NewLabeler(m)
+	if err != nil {
+		return nil, err
+	}
+	coords := []topology.Coord{{0, 1}, {0, 2}, {0, 3}, {1, 3}, {2, 3}}
+	path := make([]topology.NodeID, len(coords))
+	for i, c := range coords {
+		path[i] = m.IndexOf(c)
+	}
+	scheme, err := marking.NewSimplePPM(m, 0.5, rng.NewSource(1).Stream("x"))
+	if err != nil {
+		return nil, err
+	}
+	marker, _ := marking.NewSimplePPM(m, 1.0, rng.NewSource(2).Stream("m"))
+	passer, _ := marking.NewSimplePPM(m, 1e-12, rng.NewSource(3).Stream("p"))
+	var out []string
+	for mark := 0; mark+1 < len(path); mark++ {
+		pk := &packet.Packet{}
+		for i := 0; i+1 < len(path); i++ {
+			if i == mark {
+				marker.OnForward(path[i], path[i+1], pk)
+			} else {
+				passer.OnForward(path[i], path[i+1], pk)
+			}
+		}
+		es, ok := scheme.DecodeMF(pk.Hdr.ID)
+		if !ok {
+			return nil, fmt.Errorf("core: figure 3a sample %d undecodable", mark)
+		}
+		if es.Dist == 0 {
+			out = append(out, fmt.Sprintf("(%04b, ----, %d)", lab.Label(es.Start), es.Dist))
+		} else {
+			out = append(out, fmt.Sprintf("(%04b, %04b, %d)", lab.Label(es.Start), lab.Label(es.End), es.Dist))
+		}
+	}
+	return out, nil
+}

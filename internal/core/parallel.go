@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// RunParallel fans n independent jobs across a bounded worker pool and
+// returns their results in input order. Experiment cells are
+// embarrassingly parallel (each builds its own cluster, RNG streams and
+// event queue — nothing is shared), so sweeps scale with cores; the
+// simulator itself stays single-threaded by design.
+//
+// workers ≤ 0 uses GOMAXPROCS. The first job error cancels nothing —
+// all jobs run to completion (they are cheap and side-effect free) —
+// but only the lowest-index error is returned, keeping failures
+// deterministic regardless of scheduling.
+func RunParallel[T any](n, workers int, job func(i int) (T, error)) ([]T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("core: negative job count %d", n)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i], errs[i] = job(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}

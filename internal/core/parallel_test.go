@@ -1,0 +1,107 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunParallelOrderPreserved(t *testing.T) {
+	got, err := RunParallel(100, 8, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestRunParallelUsesConcurrency(t *testing.T) {
+	var cur, peak int64
+	gate := make(chan struct{})
+	_, err := RunParallel(8, 4, func(i int) (int, error) {
+		c := atomic.AddInt64(&cur, 1)
+		for {
+			p := atomic.LoadInt64(&peak)
+			if c <= p || atomic.CompareAndSwapInt64(&peak, p, c) {
+				break
+			}
+		}
+		if i == 0 {
+			// Block until at least one other worker has raised the
+			// peak, proving overlap.
+			<-gate
+		}
+		if atomic.LoadInt64(&peak) >= 2 {
+			select {
+			case gate <- struct{}{}:
+			default:
+			}
+		}
+		atomic.AddInt64(&cur, -1)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak < 2 {
+		t.Errorf("peak concurrency = %d, want >= 2", peak)
+	}
+}
+
+func TestRunParallelFirstErrorDeterministic(t *testing.T) {
+	e3 := errors.New("job 3")
+	e7 := errors.New("job 7")
+	for trial := 0; trial < 20; trial++ {
+		_, err := RunParallel(10, 5, func(i int) (int, error) {
+			switch i {
+			case 3:
+				return 0, e3
+			case 7:
+				return 0, e7
+			}
+			return i, nil
+		})
+		if !errors.Is(err, e3) {
+			t.Fatalf("trial %d: err = %v, want the lowest-index error", trial, err)
+		}
+	}
+}
+
+func TestRunParallelEdgeCases(t *testing.T) {
+	if _, err := RunParallel(-1, 2, func(int) (int, error) { return 0, nil }); err == nil {
+		t.Error("negative n accepted")
+	}
+	got, err := RunParallel(0, 2, func(int) (int, error) { return 0, nil })
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty run: %v %v", got, err)
+	}
+	// workers <= 0 defaults sanely.
+	got, err = RunParallel(3, 0, func(i int) (int, error) { return i, nil })
+	if err != nil || len(got) != 3 {
+		t.Errorf("default workers: %v %v", got, err)
+	}
+}
+
+func TestRunParallelE3SweepMatchesSequential(t *testing.T) {
+	// The real use: a parallel E3 sweep must produce exactly the rows a
+	// sequential loop does (independent seeds, no shared state).
+	specs := []TopoSpec{Mesh2D(4), Mesh2D(8), Torus2D(4), Cube(4)}
+	par, err := RunParallel(len(specs), 4, func(i int) (E3Row, error) {
+		return RunE3(specs[i], "minimal-adaptive", 50, uint64(i)+1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, spec := range specs {
+		seq, err := RunE3(spec, "minimal-adaptive", 50, uint64(i)+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par[i] != seq {
+			t.Errorf("spec %v: parallel %+v != sequential %+v", spec, par[i], seq)
+		}
+	}
+}

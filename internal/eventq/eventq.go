@@ -1,0 +1,165 @@
+// Package eventq implements the discrete-event simulation kernel: a
+// monotone virtual clock and a priority queue of timestamped events
+// with deterministic FIFO tie-breaking. All network, attack and
+// detection activity in the simulator is driven by this queue.
+package eventq
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulation time in abstract ticks. The network simulator
+// interprets one tick as one link-traversal cycle.
+type Time int64
+
+// Event is a callback scheduled at a point in simulated time.
+type Event func(now Time)
+
+type item struct {
+	at   Time
+	seq  uint64 // insertion order; breaks ties deterministically
+	fn   Event
+	idx  int
+	dead bool
+}
+
+// Handle refers to a scheduled event and allows cancellation.
+type Handle struct{ it *item }
+
+// Cancel marks the event so it will not fire. Cancelling an already
+// fired or cancelled event is a no-op. Cancel is O(1); the item is
+// dropped lazily when it reaches the top of the heap.
+func (h Handle) Cancel() {
+	if h.it != nil {
+		h.it.dead = true
+	}
+}
+
+type pq []*item
+
+func (p pq) Len() int { return len(p) }
+func (p pq) Less(i, j int) bool {
+	if p[i].at != p[j].at {
+		return p[i].at < p[j].at
+	}
+	return p[i].seq < p[j].seq
+}
+func (p pq) Swap(i, j int) {
+	p[i], p[j] = p[j], p[i]
+	p[i].idx = i
+	p[j].idx = j
+}
+func (p *pq) Push(x any) {
+	it := x.(*item)
+	it.idx = len(*p)
+	*p = append(*p, it)
+}
+func (p *pq) Pop() any {
+	old := *p
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*p = old[:n-1]
+	return it
+}
+
+// Queue is a discrete-event scheduler. It is not safe for concurrent
+// use; the simulation is single-threaded by design (parallel runs are
+// achieved by running independent Queue instances per goroutine).
+type Queue struct {
+	now   Time
+	seq   uint64
+	items pq
+	fired uint64
+}
+
+// New returns an empty queue at time 0.
+func New() *Queue { return &Queue{} }
+
+// Now returns the current simulation time.
+func (q *Queue) Now() Time { return q.now }
+
+// Fired returns the number of events executed so far.
+func (q *Queue) Fired() uint64 { return q.fired }
+
+// Len returns the number of pending (non-cancelled) events. Cancelled
+// events still buried in the heap are counted until popped, so Len is
+// an upper bound; Empty is exact for scheduling purposes.
+func (q *Queue) Len() int { return len(q.items) }
+
+// At schedules fn to run at absolute time at. Scheduling in the past
+// (before Now) panics: it indicates a simulator bug, and silently
+// clamping would mask causality violations.
+func (q *Queue) At(at Time, fn Event) Handle {
+	if at < q.now {
+		panic(fmt.Sprintf("eventq: scheduling at %d before now %d", at, q.now))
+	}
+	if fn == nil {
+		panic("eventq: nil event")
+	}
+	it := &item{at: at, seq: q.seq, fn: fn}
+	q.seq++
+	heap.Push(&q.items, it)
+	return Handle{it: it}
+}
+
+// After schedules fn to run delay ticks from now.
+func (q *Queue) After(delay Time, fn Event) Handle {
+	if delay < 0 {
+		panic(fmt.Sprintf("eventq: negative delay %d", delay))
+	}
+	return q.At(q.now+delay, fn)
+}
+
+// Step pops and runs the earliest event, advancing the clock to its
+// timestamp. It returns false when no events remain.
+func (q *Queue) Step() bool {
+	for len(q.items) > 0 {
+		it := heap.Pop(&q.items).(*item)
+		if it.dead {
+			continue
+		}
+		q.now = it.at
+		q.fired++
+		it.fn(q.now)
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or the clock passes
+// horizon (exclusive). Events at exactly horizon do not run, so
+// successive Run(h1), Run(h2) windows partition time cleanly. It
+// returns the number of events executed.
+func (q *Queue) Run(horizon Time) uint64 {
+	start := q.fired
+	for len(q.items) > 0 {
+		// Peek: find the earliest live event.
+		top := q.items[0]
+		if top.dead {
+			heap.Pop(&q.items)
+			continue
+		}
+		if top.at >= horizon {
+			break
+		}
+		q.Step()
+	}
+	if q.now < horizon {
+		q.now = horizon
+	}
+	return q.fired - start
+}
+
+// Drain runs every remaining event. maxEvents guards against runaway
+// self-rescheduling loops; Drain panics if the bound is hit.
+func (q *Queue) Drain(maxEvents uint64) uint64 {
+	start := q.fired
+	for q.Step() {
+		if q.fired-start > maxEvents {
+			panic(fmt.Sprintf("eventq: Drain exceeded %d events — runaway schedule?", maxEvents))
+		}
+	}
+	return q.fired - start
+}

@@ -1,0 +1,196 @@
+package eventq
+
+import (
+	"testing"
+)
+
+func TestOrderingByTime(t *testing.T) {
+	q := New()
+	var got []int
+	q.At(30, func(Time) { got = append(got, 3) })
+	q.At(10, func(Time) { got = append(got, 1) })
+	q.At(20, func(Time) { got = append(got, 2) })
+	q.Drain(100)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("execution order %v, want [1 2 3]", got)
+	}
+	if q.Now() != 30 {
+		t.Errorf("Now = %d, want 30", q.Now())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	q := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.At(5, func(Time) { got = append(got, i) })
+	}
+	q.Drain(100)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events ran out of insertion order: %v", got)
+		}
+	}
+}
+
+func TestClockAdvancesToEventTime(t *testing.T) {
+	q := New()
+	var at Time
+	q.At(42, func(now Time) { at = now })
+	q.Step()
+	if at != 42 || q.Now() != 42 {
+		t.Errorf("event saw time %d, queue at %d; want 42", at, q.Now())
+	}
+}
+
+func TestAfterIsRelative(t *testing.T) {
+	q := New()
+	var second Time
+	q.At(10, func(now Time) {
+		q.After(5, func(n2 Time) { second = n2 })
+	})
+	q.Drain(100)
+	if second != 15 {
+		t.Errorf("After(5) from t=10 fired at %d, want 15", second)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	q := New()
+	q.At(10, func(Time) {})
+	q.Step()
+	defer func() {
+		if recover() == nil {
+			t.Error("At(5) at now=10 did not panic")
+		}
+	}()
+	q.At(5, func(Time) {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	q := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("After(-1) did not panic")
+		}
+	}()
+	q.After(-1, func(Time) {})
+}
+
+func TestNilEventPanics(t *testing.T) {
+	q := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("nil event did not panic")
+		}
+	}()
+	q.At(1, nil)
+}
+
+func TestCancel(t *testing.T) {
+	q := New()
+	fired := false
+	h := q.At(10, func(Time) { fired = true })
+	h.Cancel()
+	q.Drain(100)
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if q.Fired() != 0 {
+		t.Errorf("Fired = %d, want 0", q.Fired())
+	}
+	// Double cancel is a no-op.
+	h.Cancel()
+}
+
+func TestRunHorizonExclusive(t *testing.T) {
+	q := New()
+	var got []Time
+	for _, at := range []Time{5, 10, 15, 20} {
+		at := at
+		q.At(at, func(now Time) { got = append(got, now) })
+	}
+	n := q.Run(15)
+	if n != 2 {
+		t.Errorf("Run(15) executed %d events, want 2 (horizon exclusive)", n)
+	}
+	if q.Now() != 15 {
+		t.Errorf("Now = %d, want 15 after Run(15)", q.Now())
+	}
+	n = q.Run(100)
+	if n != 2 {
+		t.Errorf("second Run executed %d, want 2", n)
+	}
+	if len(got) != 4 {
+		t.Errorf("events fired: %v", got)
+	}
+}
+
+func TestRunAdvancesClockOnEmptyQueue(t *testing.T) {
+	q := New()
+	q.Run(50)
+	if q.Now() != 50 {
+		t.Errorf("Now = %d, want 50", q.Now())
+	}
+}
+
+func TestSelfRescheduling(t *testing.T) {
+	q := New()
+	count := 0
+	var tick func(Time)
+	tick = func(now Time) {
+		count++
+		if count < 10 {
+			q.After(3, tick)
+		}
+	}
+	q.After(3, tick)
+	q.Drain(1000)
+	if count != 10 {
+		t.Errorf("ticks = %d, want 10", count)
+	}
+	if q.Now() != 30 {
+		t.Errorf("Now = %d, want 30", q.Now())
+	}
+}
+
+func TestDrainRunawayGuard(t *testing.T) {
+	q := New()
+	var loop func(Time)
+	loop = func(Time) { q.After(1, loop) }
+	q.After(1, loop)
+	defer func() {
+		if recover() == nil {
+			t.Error("runaway Drain did not panic")
+		}
+	}()
+	q.Drain(100)
+}
+
+func TestCancelledBuriedEventsSkippedByRun(t *testing.T) {
+	q := New()
+	var hs []Handle
+	for i := 0; i < 5; i++ {
+		hs = append(hs, q.At(Time(i+1), func(Time) {}))
+	}
+	for _, h := range hs {
+		h.Cancel()
+	}
+	q.At(10, func(Time) {})
+	if n := q.Run(20); n != 1 {
+		t.Errorf("Run executed %d events, want 1", n)
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	q := New()
+	if q.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+	h := q.At(1, func(Time) {})
+	h.Cancel()
+	if q.Step() {
+		t.Error("Step with only cancelled events returned true")
+	}
+}

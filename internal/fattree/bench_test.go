@@ -1,0 +1,47 @@
+package fattree
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/rng"
+)
+
+func BenchmarkRoute(b *testing.B) {
+	tr, _ := New(4, 6) // 4096 leaves
+	choose := RandomUp(rng.NewStream(1))
+	r := rng.NewStream(2)
+	for i := 0; i < b.N; i++ {
+		src := LeafID(r.Intn(tr.NumLeaves()))
+		dst := LeafID(r.Intn(tr.NumLeaves()))
+		if _, err := tr.Route(src, dst, tr.NCALevel(src, dst), choose); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStampAndIdentify(b *testing.B) {
+	tr, _ := New(4, 6)
+	st, _ := NewStamper(tr)
+	choose := RandomUp(rng.NewStream(3))
+	r := rng.NewStream(4)
+	src := LeafID(r.Intn(tr.NumLeaves()))
+	dst := LeafID(r.Intn(tr.NumLeaves()))
+	hops, _ := tr.Route(src, dst, tr.NCALevel(src, dst), choose)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pk := &packet.Packet{}
+		st.Apply(pk, hops)
+		if got, ok := st.Identify(dst, pk.Hdr.ID); !ok || got != src {
+			b.Fatal("misidentified")
+		}
+	}
+}
+
+func BenchmarkNCALevel(b *testing.B) {
+	tr, _ := New(2, 12)
+	n := tr.NumLeaves()
+	for i := 0; i < b.N; i++ {
+		_ = tr.NCALevel(LeafID(i%n), LeafID((i*31+7)%n))
+	}
+}

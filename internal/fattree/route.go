@@ -1,0 +1,192 @@
+package fattree
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/rng"
+)
+
+// Hop is one switch traversal on a fat-tree route.
+type Hop struct {
+	Switch SwitchID
+	// InPort is the port through which the packet entered the switch:
+	// a down-port index on the ascending phase (the digit the stamper
+	// records), an up-port index on the descending phase.
+	InPort int
+	Up     bool // true while ascending
+}
+
+// UpChooser selects the up-port at each ascending hop — the fat tree's
+// adaptivity lives entirely here (any up-port works).
+type UpChooser func(sw SwitchID, k int) int
+
+// RandomUp picks uniformly random up-ports.
+func RandomUp(r *rng.Stream) UpChooser {
+	return func(_ SwitchID, k int) int { return r.Intn(k) }
+}
+
+// FirstUp always picks port 0 (deterministic routing).
+func FirstUp(_ SwitchID, _ int) int { return 0 }
+
+// Route computes an up/down path from src to dst ascending exactly to
+// level ascend (which must be ≥ NCALevel; passing a larger value models
+// non-minimal ascent). The returned hops include every switch visited
+// in order.
+func (t *Tree) Route(src, dst LeafID, ascend int, choose UpChooser) ([]Hop, error) {
+	if ascend < t.NCALevel(src, dst) {
+		return nil, fmt.Errorf("fattree: ascent level %d below NCA %d", ascend, t.NCALevel(src, dst))
+	}
+	if ascend > t.N-1 {
+		return nil, fmt.Errorf("fattree: ascent level %d above roots (%d)", ascend, t.N-1)
+	}
+	if choose == nil {
+		choose = FirstUp
+	}
+	var hops []Hop
+	sw, port := t.LeafSwitch(src)
+	hops = append(hops, Hop{Switch: sw, InPort: port, Up: true})
+	// Ascend.
+	for sw.Level < ascend {
+		u := choose(sw, t.K)
+		if u < 0 || u >= t.K {
+			return nil, fmt.Errorf("fattree: chooser returned bad up-port %d", u)
+		}
+		next, inPort := t.Up(sw, u)
+		sw = next
+		hops = append(hops, Hop{Switch: sw, InPort: inPort, Up: true})
+	}
+	// Descend deterministically toward dst. The stamper ignores
+	// descending hops; InPort records the chosen down-port for tracing.
+	dd := t.Digits(dst)
+	for sw.Level > 0 {
+		digit := dd[t.N-1-sw.Level] // leaf digit a_{level}
+		sw = t.Down(sw, digit)
+		hops = append(hops, Hop{Switch: sw, InPort: digit, Up: false})
+	}
+	return hops, nil
+}
+
+// ---------------------------------------------------------------------
+// Port stamping: the DDPM analog for fat trees.
+// ---------------------------------------------------------------------
+
+// Stamper is the switch-side marking scheme. MF layout, low bits first:
+//
+//	[ digit_0 | digit_1 | … | digit_{n−1} | ascent count ]
+//
+// with ⌈log₂k⌉ bits per digit and ⌈log₂(n+1)⌉ ascent bits. On the
+// ascending phase each switch writes its input down-port into the digit
+// slot for its level and bumps the ascent count; descending switches
+// leave the MF untouched. The level-0 injection stamp also zeroes the
+// rest of the field, erasing attacker preloads (the DDPM inject rule).
+type Stamper struct {
+	t         *Tree
+	digitBits int
+	countBits int
+}
+
+// NewStamper validates that the layout fits the 16-bit MF.
+func NewStamper(t *Tree) (*Stamper, error) {
+	db := bitsFor(t.K)
+	cb := bitsFor(t.N + 1)
+	total := t.N*db + cb
+	if total > 16 {
+		return nil, fmt.Errorf("fattree: %s needs %d MF bits (%d digits × %d + %d count), have 16",
+			t.Name(), total, t.N, db, cb)
+	}
+	return &Stamper{t: t, digitBits: db, countBits: cb}, nil
+}
+
+// bitsFor returns ⌈log₂ v⌉ for v ≥ 2 (bits to index v values).
+func bitsFor(v int) int {
+	b := 0
+	for x := v - 1; x > 0; x >>= 1 {
+		b++
+	}
+	if b == 0 {
+		b = 1
+	}
+	return b
+}
+
+// Bits returns the MF bits used.
+func (s *Stamper) Bits() int { return s.t.N*s.digitBits + s.countBits }
+
+// StampLeafInjection runs at the level-0 switch when the packet arrives
+// from its source leaf on down-port p: MF := 0, digit_0 := p, count := 1.
+func (s *Stamper) StampLeafInjection(pk *packet.Packet, port int) {
+	pk.Hdr.ID = 0
+	s.setDigit(pk, 0, port)
+	s.setCount(pk, 1)
+}
+
+// StampUp runs at each level ≥ 1 switch the packet *ascends into*,
+// with the down-port it entered through: digit_{level} := port,
+// count := level + 1.
+func (s *Stamper) StampUp(pk *packet.Packet, level, port int) {
+	s.setDigit(pk, level, port)
+	s.setCount(pk, level+1)
+}
+
+// Apply walks a Route result and applies the stamps exactly as the
+// switches on the path would.
+func (s *Stamper) Apply(pk *packet.Packet, hops []Hop) {
+	for i, h := range hops {
+		if !h.Up {
+			break
+		}
+		if i == 0 {
+			s.StampLeafInjection(pk, h.InPort)
+		} else {
+			s.StampUp(pk, h.Switch.Level, h.InPort)
+		}
+	}
+}
+
+// Identify recovers the source leaf at destination dst: the stamped
+// digits cover a_0 … a_{count−1}; the higher digits are copied from the
+// destination's own address (source and destination share them above
+// the ascent level). ok is false for malformed counts.
+func (s *Stamper) Identify(dst LeafID, mf uint16) (LeafID, bool) {
+	count := int(mf >> (s.t.N * s.digitBits) & (1<<s.countBits - 1))
+	if count < 1 || count > s.t.N {
+		return -1, false
+	}
+	digits := s.t.Digits(dst)
+	for j := 0; j < count; j++ {
+		d := int(mf >> (j * s.digitBits) & (1<<s.digitBits - 1))
+		if d >= s.t.K {
+			return -1, false
+		}
+		digits[s.t.N-1-j] = d
+	}
+	return s.t.LeafOf(digits), true
+}
+
+func (s *Stamper) setDigit(pk *packet.Packet, j, d int) {
+	mask := uint16(1<<s.digitBits-1) << (j * s.digitBits)
+	pk.Hdr.ID = pk.Hdr.ID&^mask | uint16(d)<<(j*s.digitBits)&mask
+}
+
+func (s *Stamper) setCount(pk *packet.Packet, c int) {
+	shift := s.t.N * s.digitBits
+	mask := uint16(1<<s.countBits-1) << shift
+	pk.Hdr.ID = pk.Hdr.ID&^mask | uint16(c)<<shift&mask
+}
+
+// MaxLeavesIn16Bits reports, for arity k, the largest n (and leaf
+// count) whose stamp layout fits the MF — the fat-tree analog of the
+// paper's Table 3.
+func MaxLeavesIn16Bits(k int) (n, leaves int) {
+	for cand := 1; ; cand++ {
+		t, err := New(k, cand)
+		if err != nil {
+			return n, leaves
+		}
+		if _, err := NewStamper(t); err != nil {
+			return n, leaves
+		}
+		n, leaves = cand, t.NumLeaves()
+	}
+}

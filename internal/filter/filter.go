@@ -1,0 +1,141 @@
+// Package filter implements the response side of the pipeline: once
+// sources or signatures are identified, traffic is blocked. Three
+// mechanisms, matching the paper's discussion:
+//
+//   - Blocklist: drop traffic whose DDPM-identified source node is
+//     blocked ("Once a source or a path is identified, we can protect
+//     our system by blocking packets from that source", §1)
+//   - SignatureFilter: drop traffic whose MF matches a learned DPM
+//     signature (§2, Yaar-style)
+//   - IngressFilter: the Ferguson–Senie baseline (§2 [10]): a switch
+//     verifies the source address of locally injected packets against
+//     the node's assigned address and drops spoofed ones — effective
+//     but it costs a table lookup in every switch, the performance/
+//     security trade-off of §6.2.
+package filter
+
+import (
+	"repro/internal/marking"
+	"repro/internal/packet"
+	"repro/internal/topology"
+	"repro/internal/traceback"
+)
+
+// Verdict is a filter decision.
+type Verdict int
+
+const (
+	Accept Verdict = iota
+	Drop
+)
+
+func (v Verdict) String() string {
+	if v == Drop {
+		return "drop"
+	}
+	return "accept"
+}
+
+// Blocklist drops packets whose marking-identified source node is
+// blocked. It is keyed by node, not by (spoofable) header address.
+type Blocklist struct {
+	ddpm    *marking.DDPM
+	victim  topology.NodeID
+	blocked map[topology.NodeID]bool
+
+	accepted, dropped uint64
+}
+
+// NewBlocklist builds an empty blocklist for a victim using DDPM
+// identification.
+func NewBlocklist(ddpm *marking.DDPM, victim topology.NodeID) *Blocklist {
+	return &Blocklist{ddpm: ddpm, victim: victim, blocked: make(map[topology.NodeID]bool)}
+}
+
+// Block adds a node; BlockAll adds many (e.g. from
+// traceback.DDPMIdentifier.SourcesAbove).
+func (b *Blocklist) Block(n topology.NodeID) { b.blocked[n] = true }
+
+func (b *Blocklist) BlockAll(ns []topology.NodeID) {
+	for _, n := range ns {
+		b.Block(n)
+	}
+}
+
+// Unblock removes a node.
+func (b *Blocklist) Unblock(n topology.NodeID) { delete(b.blocked, n) }
+
+// Len returns the number of blocked nodes.
+func (b *Blocklist) Len() int { return len(b.blocked) }
+
+// Check filters one delivered packet by identifying its source from the
+// MF. Unidentifiable packets are accepted (fail-open, like a real
+// victim that cannot attribute them).
+func (b *Blocklist) Check(pk *packet.Packet) Verdict {
+	src, ok := b.ddpm.IdentifySource(b.victim, pk.Hdr.ID)
+	if ok && b.blocked[src] {
+		b.dropped++
+		return Drop
+	}
+	b.accepted++
+	return Accept
+}
+
+// Counts returns accepted and dropped tallies.
+func (b *Blocklist) Counts() (accepted, dropped uint64) { return b.accepted, b.dropped }
+
+// SignatureFilter drops packets whose MF matches a learned DPM
+// signature. Its false positives against innocent flows sharing a
+// signature are exactly the DPM ambiguity of experiment E2.
+type SignatureFilter struct {
+	table *traceback.SignatureTable
+
+	accepted, dropped uint64
+}
+
+// NewSignatureFilter wraps a signature table.
+func NewSignatureFilter(table *traceback.SignatureTable) *SignatureFilter {
+	return &SignatureFilter{table: table}
+}
+
+// Check filters one packet.
+func (f *SignatureFilter) Check(pk *packet.Packet) Verdict {
+	if f.table.Match(pk) {
+		f.dropped++
+		return Drop
+	}
+	f.accepted++
+	return Accept
+}
+
+// Counts returns accepted and dropped tallies.
+func (f *SignatureFilter) Counts() (accepted, dropped uint64) { return f.accepted, f.dropped }
+
+// IngressFilter is the switch-side spoofing block: every injected
+// packet's header source must equal the injecting node's assigned
+// address. It defeats spoofing outright but requires per-switch address
+// state and a lookup on every injection (the §6.2 cost).
+type IngressFilter struct {
+	plan *packet.AddrPlan
+
+	accepted, dropped uint64
+}
+
+// NewIngressFilter builds the filter over the cluster's address plan.
+func NewIngressFilter(plan *packet.AddrPlan) *IngressFilter {
+	return &IngressFilter{plan: plan}
+}
+
+// CheckInjection validates a packet as it enters the fabric at node
+// src. Unlike the victim-side filters it runs before any marking.
+func (f *IngressFilter) CheckInjection(src topology.NodeID, pk *packet.Packet) Verdict {
+	if pk.Hdr.Src != f.plan.AddrOf(src) {
+		f.dropped++
+		return Drop
+	}
+	f.accepted++
+	return Accept
+}
+
+// Counts returns accepted and dropped tallies.
+func (f *IngressFilter) Counts() (accepted, dropped uint64) { return f.accepted, f.dropped }

@@ -1,0 +1,153 @@
+package filter
+
+import (
+	"testing"
+
+	"repro/internal/marking"
+	"repro/internal/packet"
+	"repro/internal/rng"
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/traceback"
+)
+
+func markedPacket(t *testing.T, m topology.Network, d *marking.DDPM, plan *packet.AddrPlan,
+	src, dst topology.NodeID) *packet.Packet {
+	t.Helper()
+	r := routing.NewRouter(m, routing.NewMinimalAdaptive(m))
+	r.Sel = routing.RandomSelector{R: rng.NewStream(17)}
+	path, err := r.Walk(src, dst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk := packet.NewPacket(plan, src, dst, packet.ProtoTCPSYN, 0)
+	d.OnInject(pk)
+	for i := 0; i+1 < len(path); i++ {
+		d.OnForward(path[i], path[i+1], pk)
+	}
+	return pk
+}
+
+func TestBlocklistDropsIdentifiedSource(t *testing.T) {
+	m := topology.NewMesh2D(8)
+	d, _ := marking.NewDDPM(m)
+	plan := packet.NewAddrPlan(packet.DefaultBase, m.NumNodes())
+	victim := m.IndexOf(topology.Coord{7, 7})
+	attacker := m.IndexOf(topology.Coord{0, 2})
+	innocent := m.IndexOf(topology.Coord{3, 3})
+
+	b := NewBlocklist(d, victim)
+	b.Block(attacker)
+	if b.Len() != 1 {
+		t.Errorf("Len = %d", b.Len())
+	}
+
+	atk := markedPacket(t, m, d, plan, attacker, victim)
+	atk.Spoof(plan.AddrOf(innocent)) // spoofing does not help
+	if b.Check(atk) != Drop {
+		t.Error("attack packet accepted despite blocklist")
+	}
+	good := markedPacket(t, m, d, plan, innocent, victim)
+	if b.Check(good) != Accept {
+		t.Error("innocent packet dropped")
+	}
+	acc, drop := b.Counts()
+	if acc != 1 || drop != 1 {
+		t.Errorf("counts = %d/%d", acc, drop)
+	}
+
+	b.Unblock(attacker)
+	if b.Check(markedPacket(t, m, d, plan, attacker, victim)) != Accept {
+		t.Error("unblocked source still dropped")
+	}
+}
+
+func TestBlocklistFailOpenOnGarbage(t *testing.T) {
+	m := topology.NewMesh2D(4)
+	d, _ := marking.NewDDPM(m)
+	b := NewBlocklist(d, m.IndexOf(topology.Coord{0, 0}))
+	b.Block(5)
+	pk := &packet.Packet{}
+	codec := d.Codec().(*marking.SignedFieldCodec)
+	pk.Hdr.ID, _ = codec.Encode(topology.Vector{100, 100})
+	if b.Check(pk) != Accept {
+		t.Error("unattributable packet dropped (should fail open)")
+	}
+}
+
+func TestBlocklistBlockAllFromIdentifier(t *testing.T) {
+	m := topology.NewMesh2D(8)
+	d, _ := marking.NewDDPM(m)
+	plan := packet.NewAddrPlan(packet.DefaultBase, m.NumNodes())
+	victim := m.IndexOf(topology.Coord{7, 0})
+	z1 := m.IndexOf(topology.Coord{0, 0})
+	z2 := m.IndexOf(topology.Coord{0, 7})
+
+	ident := traceback.NewDDPMIdentifier(d, victim)
+	for i := 0; i < 20; i++ {
+		ident.Observe(markedPacket(t, m, d, plan, z1, victim))
+		ident.Observe(markedPacket(t, m, d, plan, z2, victim))
+	}
+	b := NewBlocklist(d, victim)
+	b.BlockAll(ident.SourcesAbove(10))
+	if b.Len() != 2 {
+		t.Fatalf("blocked %d nodes, want 2", b.Len())
+	}
+	if b.Check(markedPacket(t, m, d, plan, z1, victim)) != Drop ||
+		b.Check(markedPacket(t, m, d, plan, z2, victim)) != Drop {
+		t.Error("zombies not blocked")
+	}
+}
+
+func TestSignatureFilter(t *testing.T) {
+	tbl := traceback.NewSignatureTable()
+	plan := packet.NewAddrPlan(packet.DefaultBase, 16)
+	atk := packet.NewPacket(plan, 0, 5, packet.ProtoTCPSYN, 0)
+	atk.Hdr.ID = 0xBEEF
+	tbl.Learn(atk)
+
+	f := NewSignatureFilter(tbl)
+	probe := packet.NewPacket(plan, 2, 5, packet.ProtoTCPSYN, 0)
+	probe.Hdr.ID = 0xBEEF
+	if f.Check(probe) != Drop {
+		t.Error("matching signature accepted")
+	}
+	probe.Hdr.ID = 0xBEE0
+	if f.Check(probe) != Accept {
+		t.Error("non-matching signature dropped")
+	}
+	acc, drop := f.Counts()
+	if acc != 1 || drop != 1 {
+		t.Errorf("counts = %d/%d", acc, drop)
+	}
+}
+
+func TestIngressFilterBlocksSpoofing(t *testing.T) {
+	plan := packet.NewAddrPlan(packet.DefaultBase, 16)
+	f := NewIngressFilter(plan)
+
+	honest := packet.NewPacket(plan, 3, 7, packet.ProtoTCPSYN, 0)
+	if f.CheckInjection(3, honest) != Accept {
+		t.Error("honest packet dropped at ingress")
+	}
+	spoofed := packet.NewPacket(plan, 3, 7, packet.ProtoTCPSYN, 0)
+	spoofed.Spoof(plan.AddrOf(9))
+	if f.CheckInjection(3, spoofed) != Drop {
+		t.Error("spoofed packet passed ingress")
+	}
+	external := packet.NewPacket(plan, 3, 7, packet.ProtoTCPSYN, 0)
+	external.Spoof(packet.AddrFrom4(192, 0, 2, 1))
+	if f.CheckInjection(3, external) != Drop {
+		t.Error("bogon source passed ingress")
+	}
+	acc, drop := f.Counts()
+	if acc != 1 || drop != 2 {
+		t.Errorf("counts = %d/%d", acc, drop)
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if Accept.String() != "accept" || Drop.String() != "drop" {
+		t.Error("bad verdict strings")
+	}
+}

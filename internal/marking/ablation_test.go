@@ -1,0 +1,99 @@
+package marking
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+func TestAddSatClampsAtExtremes(t *testing.T) {
+	c, _ := NewSignedFieldCodec(4, 4) // fields hold [−8, 7]
+	mf, _ := c.Encode(topology.Vector{7, -8})
+	mf = c.AddSat(mf, topology.Vector{1, -1}) // both clamp
+	got := c.Decode(mf)
+	if !got.Equal(topology.Vector{7, -8}) {
+		t.Errorf("clamped decode = %v", got)
+	}
+	// And it does not disturb in-range fields.
+	mf = c.AddSat(mf, topology.Vector{-3, 2})
+	if got := c.Decode(mf); !got.Equal(topology.Vector{4, -6}) {
+		t.Errorf("decode = %v", got)
+	}
+}
+
+func TestWrapBeatsSaturationOnLongTorusWalks(t *testing.T) {
+	// The §6.2 ablation result: on a power-of-two torus, wraparound
+	// accumulation keeps the DDPM invariant exact over arbitrarily long
+	// walks, while saturating accumulation corrupts it as soon as any
+	// field pins.
+	tr := topology.NewTorus2D(16)
+	c, err := CodecForDims(tr.Dims())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.NewStream(77)
+	src := topology.NodeID(0)
+	cur := src
+	wrapMF, satMF := uint16(0), uint16(0)
+	// March +1 in dimension 0 for 500 steps: 31+ wraps of the ring.
+	for s := 0; s < 500; s++ {
+		next := tr.Step(cur, 0, 1)
+		d := topology.Displacement(tr, cur, next)
+		wrapMF = c.Add(wrapMF, d)
+		satMF = c.AddSat(satMF, d)
+		cur = next
+	}
+	_ = r
+	want := tr.CoordOf(cur).Sub(tr.CoordOf(src)).Mod(tr.Dims())
+	if got := topology.Vector(c.Decode(wrapMF)).Mod(tr.Dims()); !got.Equal(want) {
+		t.Errorf("wraparound decode %v, want %v", got, want)
+	}
+	if got := topology.Vector(c.Decode(satMF)).Mod(tr.Dims()); got.Equal(want) {
+		t.Error("saturating accumulation unexpectedly survived 500 wrapping steps")
+	}
+}
+
+func TestAddSatFineForMinimalMeshRoutes(t *testing.T) {
+	// Within field range the two accumulators agree, so minimal mesh
+	// routing could use either — the ablation's "when does it matter"
+	// boundary.
+	m := topology.NewMesh2D(8)
+	c, _ := CodecForDims(m.Dims())
+	r := rng.NewStream(78)
+	for trial := 0; trial < 100; trial++ {
+		src := topology.NodeID(r.Intn(m.NumNodes()))
+		dst := topology.NodeID(r.Intn(m.NumNodes()))
+		cur := src
+		wrapMF, satMF := uint16(0), uint16(0)
+		for cur != dst {
+			mins := topology.MinimalDims(m, cur, dst)
+			mv := mins[r.Intn(len(mins))]
+			next := m.Step(cur, mv.Dim, mv.Dir)
+			d := topology.Displacement(m, cur, next)
+			wrapMF = c.Add(wrapMF, d)
+			satMF = c.AddSat(satMF, d)
+			cur = next
+		}
+		if wrapMF != satMF {
+			t.Fatalf("accumulators diverged on a minimal route: %04x vs %04x", wrapMF, satMF)
+		}
+	}
+}
+
+func TestAMSSchemeBasics(t *testing.T) {
+	a, err := NewAMS(0.5, 8, rng.NewStream(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != "ams" {
+		t.Errorf("name = %q", a.Name())
+	}
+	if h := a.Hash(42); h >= 1<<8 {
+		t.Errorf("hash %d exceeds 8 bits", h)
+	}
+	s := a.DecodeMF(uint16(3)<<8 | 0x5A)
+	if s.Dist != 3 || s.Frag != 0x5A {
+		t.Errorf("decode = %+v", s)
+	}
+}

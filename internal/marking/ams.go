@@ -1,0 +1,77 @@
+package marking
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+// AMS is the Song–Perrig Advanced Marking Scheme (AMS-I) the paper
+// summarizes in §2: probabilistic single-node marking under the
+// assumption that "a victim has a complete router map". A marking
+// switch writes an h-bit hash of its own identity (no edge XOR, no end
+// filling) with distance zero; every later switch only increments the
+// distance. Because one sample per switch suffices — versus the 8
+// hash fragments per edge that Savage's encoding needs — the victim
+// converges with roughly an eighth of the packets, which is exactly the
+// factor the paper quotes. The map is consulted at reconstruction time
+// to resolve hash collisions by adjacency.
+//
+// MF layout: [ distance : 5 | hash fragment : HashBits ≤ 11 ].
+type AMS struct {
+	P        float64
+	HashBits int
+	r        *rng.Stream
+}
+
+// amsDistMax saturates the 5-bit distance field.
+const amsDistMax = 31
+
+// NewAMS builds the scheme; hashBits defaults to Song–Perrig's 11 when
+// zero.
+func NewAMS(p float64, hashBits int, r *rng.Stream) (*AMS, error) {
+	if p <= 0 || p > 1 {
+		return nil, fmt.Errorf("marking: AMS probability %v outside (0,1]", p)
+	}
+	if hashBits == 0 {
+		hashBits = 11
+	}
+	if hashBits < 1 || hashBits > 11 {
+		return nil, fmt.Errorf("marking: AMS hash width %d outside [1,11]", hashBits)
+	}
+	return &AMS{P: p, HashBits: hashBits, r: r}, nil
+}
+
+func (a *AMS) Name() string { return "ams" }
+
+// Hash returns the switch's h-bit identity hash.
+func (a *AMS) Hash(id topology.NodeID) uint16 {
+	return uint16(hashIndex(uint32(id))) & (1<<a.HashBits - 1)
+}
+
+func (a *AMS) OnInject(*packet.Packet) {}
+
+func (a *AMS) OnForward(cur, _ topology.NodeID, pk *packet.Packet) {
+	if a.r.Float64() < a.P {
+		pk.Hdr.ID = 0<<a.HashBits | a.Hash(cur)
+		return
+	}
+	dist := int(pk.Hdr.ID >> a.HashBits)
+	if dist < amsDistMax {
+		dist++
+	}
+	pk.Hdr.ID = uint16(dist)<<a.HashBits | pk.Hdr.ID&(1<<a.HashBits-1)
+}
+
+// AMSSample is one decoded mark.
+type AMSSample struct {
+	Dist int
+	Frag uint16
+}
+
+// DecodeMF splits a received MF.
+func (a *AMS) DecodeMF(mf uint16) AMSSample {
+	return AMSSample{Dist: int(mf >> a.HashBits), Frag: mf & (1<<a.HashBits - 1)}
+}

@@ -1,0 +1,122 @@
+package marking
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+func BenchmarkCodecAdd2D(b *testing.B) {
+	c, _ := NewSignedFieldCodec(8, 8)
+	delta := topology.Vector{1, 0}
+	mf := uint16(0)
+	for i := 0; i < b.N; i++ {
+		mf = c.Add(mf, delta)
+	}
+	_ = mf
+}
+
+func BenchmarkCodecAdd3D(b *testing.B) {
+	c, _ := NewSignedFieldCodec(5, 5, 6)
+	delta := topology.Vector{0, 0, 1}
+	mf := uint16(0)
+	for i := 0; i < b.N; i++ {
+		mf = c.Add(mf, delta)
+	}
+	_ = mf
+}
+
+func BenchmarkCubeCodecAdd(b *testing.B) {
+	c, _ := NewCubeCodec(16)
+	delta := make(topology.Vector, 16)
+	delta[3] = 1
+	mf := uint16(0)
+	for i := 0; i < b.N; i++ {
+		mf = c.Add(mf, delta)
+	}
+	_ = mf
+}
+
+func BenchmarkCodecDecode(b *testing.B) {
+	c, _ := NewSignedFieldCodec(8, 8)
+	for i := 0; i < b.N; i++ {
+		_ = c.Decode(uint16(i))
+	}
+}
+
+func BenchmarkDDPMOnForward(b *testing.B) {
+	m := topology.NewMesh2D(128)
+	d, err := NewDDPM(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cur := m.IndexOf(topology.Coord{5, 5})
+	next := m.IndexOf(topology.Coord{5, 6})
+	pk := &packet.Packet{}
+	for i := 0; i < b.N; i++ {
+		d.OnForward(cur, next, pk)
+	}
+}
+
+func BenchmarkDDPMIdentifySource(b *testing.B) {
+	m := topology.NewMesh2D(128)
+	d, _ := NewDDPM(m)
+	victim := m.IndexOf(topology.Coord{100, 100})
+	codec := d.Codec().(*SignedFieldCodec)
+	mf, _ := codec.Encode(topology.Vector{37, -20})
+	for i := 0; i < b.N; i++ {
+		if _, ok := d.IdentifySource(victim, mf); !ok {
+			b.Fatal("decode failed")
+		}
+	}
+}
+
+func BenchmarkGrayLabel(b *testing.B) {
+	m := topology.NewMesh2D(128)
+	l, _ := NewLabeler(m)
+	n := m.NumNodes()
+	for i := 0; i < b.N; i++ {
+		_ = l.Label(topology.NodeID(i % n))
+	}
+}
+
+func BenchmarkDPMOnForward(b *testing.B) {
+	d := NewDPM()
+	pk := &packet.Packet{}
+	pk.Hdr.TTL = 64
+	for i := 0; i < b.N; i++ {
+		d.OnForward(topology.NodeID(i&1023), 0, pk)
+	}
+}
+
+func BenchmarkSimplePPMOnForward(b *testing.B) {
+	m := topology.NewMesh2D(8)
+	s, err := NewSimplePPM(m, 0.04, rng.NewStream(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pk := &packet.Packet{}
+	cur := m.IndexOf(topology.Coord{3, 3})
+	for i := 0; i < b.N; i++ {
+		s.OnForward(cur, 0, pk)
+	}
+}
+
+func BenchmarkFragmentPPMOnForward(b *testing.B) {
+	f, _ := NewFragmentPPM(0.04, rng.NewStream(2))
+	pk := &packet.Packet{}
+	for i := 0; i < b.N; i++ {
+		f.OnForward(topology.NodeID(i&1023), 0, pk)
+	}
+}
+
+func BenchmarkScalabilitySweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, k := range []SchemeKind{KindSimplePPM, KindBitDiffPPM, KindDDPM} {
+			MaxMesh(k)
+			MaxCube(k)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package marking
+
+import (
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+// Compromised wraps a scheme with one lying switch — the threat the
+// paper assumes away ("switches cannot be compromised", §4.1) and then
+// reopens in §6.2 ("we should add an authentication function working on
+// the switching layer"). Experiment X4 uses it to measure each scheme's
+// blast radius: how many flows a single bad switch can misattribute.
+//
+// The lying switch applies Corrupt to the MF after the inner scheme's
+// honest work, on every packet it forwards and at injection when it is
+// the source switch. Every other switch behaves honestly.
+type Compromised struct {
+	Inner Scheme
+
+	// BadSwitch is the lying switch.
+	BadSwitch topology.NodeID
+
+	// Corrupt transforms the MF the bad switch emits; nil XORs 0xA5A5,
+	// a fixed memoryless lie.
+	Corrupt func(mf uint16) uint16
+}
+
+// NewCompromised wraps inner.
+func NewCompromised(inner Scheme, bad topology.NodeID, corrupt func(uint16) uint16) *Compromised {
+	if corrupt == nil {
+		corrupt = func(mf uint16) uint16 { return mf ^ 0xA5A5 }
+	}
+	return &Compromised{Inner: inner, BadSwitch: bad, Corrupt: corrupt}
+}
+
+func (c *Compromised) Name() string { return c.Inner.Name() + "+compromised" }
+
+// Unwrap exposes the honest scheme for victim-side accessors.
+func (c *Compromised) Unwrap() Scheme { return c.Inner }
+
+func (c *Compromised) OnInject(pk *packet.Packet) {
+	c.Inner.OnInject(pk)
+	if pk.SrcNode == c.BadSwitch {
+		pk.Hdr.ID = c.Corrupt(pk.Hdr.ID)
+	}
+}
+
+func (c *Compromised) OnForward(cur, next topology.NodeID, pk *packet.Packet) {
+	c.Inner.OnForward(cur, next, pk)
+	if cur == c.BadSwitch {
+		pk.Hdr.ID = c.Corrupt(pk.Hdr.ID)
+	}
+}

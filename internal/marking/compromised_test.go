@@ -1,0 +1,79 @@
+package marking
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+func TestCompromisedCorruptsOnlyAtBadSwitch(t *testing.T) {
+	m := topology.NewMesh2D(4)
+	inner, _ := NewDDPM(m)
+	c := NewCompromised(inner, 5, nil)
+	if c.Name() != "ddpm+compromised" {
+		t.Errorf("Name = %q", c.Name())
+	}
+	if c.Unwrap() != Scheme(inner) {
+		t.Error("Unwrap broken")
+	}
+
+	// Honest route avoiding node 5: marking is untouched.
+	pk := &packet.Packet{SrcNode: 0}
+	c.OnInject(pk)
+	c.OnForward(0, 1, pk) // (0,0) -> (0,1)
+	c.OnForward(1, 2, pk)
+	if got, ok := inner.IdentifySource(2, pk.Hdr.ID); !ok || got != 0 {
+		t.Errorf("honest route misidentified: %d", got)
+	}
+
+	// Route through node 5: the MF no longer telescopes.
+	pk2 := &packet.Packet{SrcNode: 4} // (1,0)
+	c.OnInject(pk2)
+	c.OnForward(4, 5, pk2) // into the liar
+	c.OnForward(5, 6, pk2) // the liar forwards and corrupts
+	if got, ok := inner.IdentifySource(6, pk2.Hdr.ID); ok && got == 4 {
+		t.Error("corrupted route identified correctly — the lie did nothing")
+	}
+}
+
+func TestCompromisedBadSourceSwitch(t *testing.T) {
+	m := topology.NewMesh2D(4)
+	inner, _ := NewDDPM(m)
+	flips := 0
+	c := NewCompromised(inner, 0, func(mf uint16) uint16 { flips++; return mf ^ 0x0101 })
+	pk := &packet.Packet{SrcNode: 0}
+	c.OnInject(pk) // source switch lies at injection
+	if flips != 1 {
+		t.Errorf("inject corruption count = %d", flips)
+	}
+	c.OnForward(0, 1, pk) // and again when forwarding
+	if flips != 2 {
+		t.Errorf("forward corruption count = %d", flips)
+	}
+}
+
+func TestNopAndCubeDims(t *testing.T) {
+	var n Nop
+	pk := &packet.Packet{}
+	pk.Hdr.ID = 0x1111
+	n.OnInject(pk)
+	n.OnForward(0, 1, pk)
+	if pk.Hdr.ID != 0x1111 {
+		t.Error("Nop touched the MF")
+	}
+	cc, _ := NewCubeCodec(7)
+	if cc.Dims() != 7 {
+		t.Errorf("CubeCodec.Dims = %d", cc.Dims())
+	}
+}
+
+func TestAMSOnInjectLeavesMF(t *testing.T) {
+	a, _ := NewAMS(0.5, 8, nil)
+	pk := &packet.Packet{}
+	pk.Hdr.ID = 0xABCD
+	a.OnInject(pk)
+	if pk.Hdr.ID != 0xABCD {
+		t.Error("AMS rewrote the MF at injection")
+	}
+}

@@ -1,0 +1,110 @@
+package marking
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+// DDPM is the paper's Deterministic Distance Packet Marking (§5,
+// Figure 4). Every switch, after routing decides the next node Y,
+// computes the displacement Δ = Y − X and accumulates it into the MF:
+// V' := V + Δ. Because the displacements of any walk telescope to the
+// coordinate difference between its endpoints, the destination recovers
+// the source as S = D − V (mesh/torus, reduced mod k on a torus) or
+// S = D ⊕ V (hypercube) — from a single packet, independent of the
+// route, which is what makes the scheme robust to adaptive routing.
+//
+// The MF is zeroed when the packet first enters the fabric ("V is set
+// to a zero vector when the packet first enters a switch from a
+// computing node"), which also erases any attacker-preloaded value —
+// a load-bearing security property that the ZeroOnInject ablation knob
+// lets experiments disable.
+type DDPM struct {
+	net   topology.Network
+	codec VectorCodec
+
+	// ZeroOnInject controls the Figure 4 injection rule. It defaults to
+	// true; disabling it models a broken deployment where the source
+	// switch trusts the attacker-supplied Identification field.
+	ZeroOnInject bool
+}
+
+// NewDDPM builds DDPM for any of the paper's topologies, choosing the
+// codec automatically: CubeCodec for hypercubes, CodecForDims widths
+// for meshes and tori. It errors where Table 3 says the topology
+// exceeds the 16-bit MF.
+func NewDDPM(net topology.Network) (*DDPM, error) {
+	var codec VectorCodec
+	var err error
+	if h, ok := net.(*topology.Hypercube); ok {
+		codec, err = NewCubeCodec(h.DimBits())
+	} else {
+		codec, err = CodecForDims(net.Dims())
+	}
+	if err != nil {
+		return nil, fmt.Errorf("marking: DDPM on %s: %w", net.Name(), err)
+	}
+	return &DDPM{net: net, codec: codec, ZeroOnInject: true}, nil
+}
+
+// NewDDPMWithCodec builds DDPM with an explicit codec (e.g. the paper's
+// 5/5/6 three-dimensional split).
+func NewDDPMWithCodec(net topology.Network, codec VectorCodec) (*DDPM, error) {
+	if codec.Dims() != len(net.Dims()) {
+		return nil, fmt.Errorf("marking: codec has %d dims, %s has %d",
+			codec.Dims(), net.Name(), len(net.Dims()))
+	}
+	return &DDPM{net: net, codec: codec, ZeroOnInject: true}, nil
+}
+
+func (d *DDPM) Name() string { return "ddpm" }
+
+// Codec exposes the MF layout for victim-side decoding.
+func (d *DDPM) Codec() VectorCodec { return d.codec }
+
+// OnInject zeroes the MF (unless the ablation knob disabled it).
+func (d *DDPM) OnInject(pk *packet.Packet) {
+	if d.ZeroOnInject {
+		pk.Hdr.ID = 0
+	}
+}
+
+// OnForward performs the Figure 4 switch procedure: Δ := Y − X;
+// V' := V + Δ; Store_MF(V'). The displacement of a torus wraparound hop
+// is the physical ±1 direction of travel (see topology.Displacement).
+func (d *DDPM) OnForward(cur, next topology.NodeID, pk *packet.Packet) {
+	delta := topology.Displacement(d.net, cur, next)
+	pk.Hdr.ID = d.codec.Add(pk.Hdr.ID, delta)
+}
+
+// IdentifySource performs the victim-side computation of Figure 4:
+// V := Extract_MF(); S := X − V (mesh/torus, component-wise mod k) or
+// S := X ⊕ V (hypercube). dst is the victim's own node. The returned
+// node is the claimed origin of the packet; with intact marking it is
+// the packet's true injection point regardless of header spoofing.
+// ok is false when the decoded source coordinate falls outside the
+// topology (possible on a mesh when marking was corrupted or bypassed).
+func (d *DDPM) IdentifySource(dst topology.NodeID, mf uint16) (topology.NodeID, bool) {
+	v := d.codec.Decode(mf)
+	dc := d.net.CoordOf(dst)
+	if _, isCube := d.net.(*topology.Hypercube); isCube {
+		src := dc.Xor(topology.Coord(v))
+		return d.net.IndexOf(src), true
+	}
+	src := make(topology.Coord, len(v)) // S = D − V, component-wise
+	dims := d.net.Dims()
+	for i := range v {
+		x := dc[i] - v[i]
+		if d.net.Wraparound() {
+			k := dims[i]
+			x = ((x % k) + k) % k
+		}
+		if x < 0 || x >= dims[i] {
+			return topology.None, false
+		}
+		src[i] = x
+	}
+	return d.net.IndexOf(src), true
+}

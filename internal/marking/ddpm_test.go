@@ -1,0 +1,308 @@
+package marking
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/rng"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// scriptRoute pushes a packet through DDPM along an explicit node path,
+// returning the decoded vector after every hop.
+func scriptRoute(t *testing.T, d *DDPM, path []topology.NodeID) []topology.Vector {
+	t.Helper()
+	pk := &packet.Packet{}
+	d.OnInject(pk)
+	var out []topology.Vector
+	for i := 0; i+1 < len(path); i++ {
+		d.OnForward(path[i], path[i+1], pk)
+		out = append(out, d.Codec().Decode(pk.Hdr.ID))
+	}
+	return out
+}
+
+func TestFigure3bVectorEvolution(t *testing.T) {
+	// Paper §5: a packet traverses the 2-D mesh adaptively from (1,1)
+	// to (2,3); "The distance vector changes as following: (1,0), (2,0),
+	// (2,-1), (1,-1), (1,0), (1,1), and (1,2)."
+	m := topology.NewMesh2D(4)
+	d, err := NewDDPM(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := []topology.NodeID{
+		m.IndexOf(topology.Coord{1, 1}),
+		m.IndexOf(topology.Coord{2, 1}),
+		m.IndexOf(topology.Coord{3, 1}),
+		m.IndexOf(topology.Coord{3, 0}),
+		m.IndexOf(topology.Coord{2, 0}),
+		m.IndexOf(topology.Coord{2, 1}),
+		m.IndexOf(topology.Coord{2, 2}),
+		m.IndexOf(topology.Coord{2, 3}),
+	}
+	want := []topology.Vector{
+		{1, 0}, {2, 0}, {2, -1}, {1, -1}, {1, 0}, {1, 1}, {1, 2},
+	}
+	got := scriptRoute(t, d, path)
+	if len(got) != len(want) {
+		t.Fatalf("hops = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Errorf("hop %d: vector %v, want %v", i+1, got[i], want[i])
+		}
+	}
+	// "When (2,3) node receives the distance vector (1,2), it can
+	// subtract (1,2) from (2,3) and quickly identify the source (1,1)."
+	pk := &packet.Packet{}
+	d.OnInject(pk)
+	for i := 0; i+1 < len(path); i++ {
+		d.OnForward(path[i], path[i+1], pk)
+	}
+	src, ok := d.IdentifySource(path[len(path)-1], pk.Hdr.ID)
+	if !ok || src != path[0] {
+		t.Errorf("identified %v, want (1,1)", m.CoordOf(src))
+	}
+}
+
+func TestFigure3cHypercubeEvolution(t *testing.T) {
+	// Paper §5: in the 3-cube "the distance vector changes as following:
+	// (1,0,0), (1,0,1), (0,0,1), (0,1,1), (0,1,0), and (1,1,0). (0,0,0)
+	// can identify the source (1,1,0) by XORing its coordinate."
+	h := topology.NewHypercube(3)
+	d, err := NewDDPM(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := []topology.NodeID{
+		h.IndexOf(topology.Coord{1, 1, 0}),
+		h.IndexOf(topology.Coord{0, 1, 0}),
+		h.IndexOf(topology.Coord{0, 1, 1}),
+		h.IndexOf(topology.Coord{1, 1, 1}),
+		h.IndexOf(topology.Coord{1, 0, 1}),
+		h.IndexOf(topology.Coord{1, 0, 0}),
+		h.IndexOf(topology.Coord{0, 0, 0}),
+	}
+	want := []topology.Vector{
+		{1, 0, 0}, {1, 0, 1}, {0, 0, 1}, {0, 1, 1}, {0, 1, 0}, {1, 1, 0},
+	}
+	got := scriptRoute(t, d, path)
+	if len(got) != len(want) {
+		t.Fatalf("hops = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Errorf("hop %d: vector %v, want %v", i+1, got[i], want[i])
+		}
+	}
+	pk := &packet.Packet{}
+	d.OnInject(pk)
+	for i := 0; i+1 < len(path); i++ {
+		d.OnForward(path[i], path[i+1], pk)
+	}
+	src, ok := d.IdentifySource(path[len(path)-1], pk.Hdr.ID)
+	if !ok || src != path[0] {
+		t.Errorf("identified node %d, want (1,1,0)", src)
+	}
+}
+
+func TestDDPMIdentifiesUnderEveryRoutingAlgorithm(t *testing.T) {
+	// E3 core claim: one packet suffices to identify the true source on
+	// every topology under every routing algorithm, including
+	// non-minimal fully adaptive with misroutes.
+	type scenario struct {
+		net  topology.Network
+		algs []routing.Algorithm
+	}
+	m := topology.NewMesh2D(8)
+	tr := topology.NewTorus2D(8)
+	h := topology.NewHypercube(6)
+	m3 := topology.NewMesh(8, 8, 4)
+	scenarios := []scenario{
+		{m, []routing.Algorithm{
+			routing.NewXY(m), routing.NewWestFirst(m), routing.NewNorthLast(m),
+			routing.NewNegativeFirst(m), routing.NewMinimalAdaptive(m),
+			routing.NewFullyAdaptiveMisroute(m),
+		}},
+		{tr, []routing.Algorithm{
+			routing.NewDimensionOrder(tr), routing.NewMinimalAdaptive(tr),
+			routing.NewFullyAdaptiveMisroute(tr),
+		}},
+		{h, []routing.Algorithm{
+			routing.NewDimensionOrder(h), routing.NewMinimalAdaptive(h),
+			routing.NewFullyAdaptiveMisroute(h),
+		}},
+		{m3, []routing.Algorithm{
+			routing.NewDimensionOrder(m3), routing.NewNegativeFirst(m3),
+			routing.NewMinimalAdaptive(m3),
+		}},
+	}
+	for _, sc := range scenarios {
+		d, err := NewDDPM(sc.net)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.net.Name(), err)
+		}
+		for _, alg := range sc.algs {
+			r := routing.NewRouter(sc.net, alg)
+			r.Sel = routing.RandomSelector{R: rng.NewStream(77)}
+			r.MisrouteBudget = 3
+			stream := rng.NewStream(11)
+			for trial := 0; trial < 200; trial++ {
+				src := topology.NodeID(stream.Intn(sc.net.NumNodes()))
+				dst := topology.NodeID(stream.Intn(sc.net.NumNodes()))
+				if src == dst {
+					continue
+				}
+				path, err := r.Walk(src, dst, 0)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", sc.net.Name(), alg.Name(), err)
+				}
+				pk := &packet.Packet{}
+				pk.Hdr.ID = 0xABCD // attacker-preloaded garbage
+				d.OnInject(pk)
+				for i := 0; i+1 < len(path); i++ {
+					d.OnForward(path[i], path[i+1], pk)
+				}
+				got, ok := d.IdentifySource(dst, pk.Hdr.ID)
+				if !ok || got != src {
+					t.Fatalf("%s/%s: identified %d, want %d (path %v)",
+						sc.net.Name(), alg.Name(), got, src, path)
+				}
+			}
+		}
+	}
+}
+
+func TestDDPMTorusWraparoundIdentification(t *testing.T) {
+	// Wraparound hops contribute ±1, and the victim's mod-k reduction
+	// recovers the source across the seam.
+	tr := topology.NewTorus2D(8)
+	d, err := NewDDPM(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := tr.IndexOf(topology.Coord{7, 7})
+	dst := tr.IndexOf(topology.Coord{0, 0})
+	// Route across the seam: (7,7) -> (0,7) -> (0,0).
+	path := []topology.NodeID{src, tr.IndexOf(topology.Coord{0, 7}), dst}
+	pk := &packet.Packet{}
+	d.OnInject(pk)
+	for i := 0; i+1 < len(path); i++ {
+		d.OnForward(path[i], path[i+1], pk)
+	}
+	got, ok := d.IdentifySource(dst, pk.Hdr.ID)
+	if !ok || got != src {
+		t.Errorf("identified %v, want (7,7)", tr.CoordOf(got))
+	}
+}
+
+func TestDDPMZeroOnInjectDefeatsPreloadedMF(t *testing.T) {
+	// Security ablation: with the Figure 4 injection rule the attacker's
+	// preloaded MF is erased; without it the victim misidentifies.
+	m := topology.NewMesh2D(8)
+	src := m.IndexOf(topology.Coord{1, 1})
+	dst := m.IndexOf(topology.Coord{1, 3})
+	path := []topology.NodeID{src, m.IndexOf(topology.Coord{1, 2}), dst}
+
+	run := func(zero bool) (topology.NodeID, bool) {
+		d, _ := NewDDPM(m)
+		d.ZeroOnInject = zero
+		pk := &packet.Packet{}
+		pk.Hdr.ID, _ = d.Codec().(*SignedFieldCodec).Encode(topology.Vector{3, 0})
+		d.OnInject(pk)
+		for i := 0; i+1 < len(path); i++ {
+			d.OnForward(path[i], path[i+1], pk)
+		}
+		return d.IdentifySource(dst, pk.Hdr.ID)
+	}
+
+	if got, ok := run(true); !ok || got != src {
+		t.Errorf("with inject-zeroing: identified %d, want %d", got, src)
+	}
+	if got, ok := run(false); ok && got == src {
+		t.Error("without inject-zeroing the preloaded MF should have corrupted identification")
+	}
+}
+
+func TestDDPMIdentifySourceRejectsOffMesh(t *testing.T) {
+	// A corrupted MF can decode to a coordinate outside the mesh.
+	m := topology.NewMesh2D(4)
+	d, _ := NewDDPM(m)
+	codec := d.Codec().(*SignedFieldCodec)
+	mf, _ := codec.Encode(topology.Vector{100, 0})
+	if _, ok := d.IdentifySource(m.IndexOf(topology.Coord{0, 0}), mf); ok {
+		t.Error("off-mesh decode accepted")
+	}
+}
+
+func TestDDPMScalabilityErrors(t *testing.T) {
+	// Table 3 boundaries: 128×128 builds, 256×256 does not; 16-cube
+	// builds, 17-cube cannot even be expressed in the codec.
+	if _, err := NewDDPM(topology.NewMesh2D(128)); err != nil {
+		t.Errorf("128x128 DDPM: %v", err)
+	}
+	if _, err := NewDDPM(topology.NewMesh2D(256)); err == nil {
+		t.Error("256x256 DDPM built; Table 3 says it must not fit")
+	}
+	if _, err := NewDDPM(topology.NewHypercube(16)); err != nil {
+		t.Errorf("16-cube DDPM: %v", err)
+	}
+	if _, err := NewDDPM(topology.NewHypercube(17)); err == nil {
+		t.Error("17-cube DDPM built")
+	}
+}
+
+func TestNewDDPMWithCodecValidation(t *testing.T) {
+	m := topology.NewMesh(16, 16, 32)
+	c, _ := NewSignedFieldCodec(5, 5, 6)
+	d, err := NewDDPMWithCodec(m, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Codec().Bits() != 16 {
+		t.Errorf("bits = %d", d.Codec().Bits())
+	}
+	wrong, _ := NewSignedFieldCodec(8, 8)
+	if _, err := NewDDPMWithCodec(m, wrong); err == nil {
+		t.Error("dim-mismatched codec accepted")
+	}
+}
+
+func TestDDPM3DPaperSplitIdentifies(t *testing.T) {
+	// The paper's 16×16×32 cluster with the 5/5/6 split: single-packet
+	// identification still works end to end.
+	m := topology.NewMesh(16, 16, 32)
+	c, _ := NewSignedFieldCodec(5, 5, 6)
+	d, _ := NewDDPMWithCodec(m, c)
+	r := routing.NewRouter(m, routing.NewMinimalAdaptive(m))
+	r.Sel = routing.RandomSelector{R: rng.NewStream(3)}
+	stream := rng.NewStream(4)
+	for trial := 0; trial < 100; trial++ {
+		src := topology.NodeID(stream.Intn(m.NumNodes()))
+		dst := topology.NodeID(stream.Intn(m.NumNodes()))
+		if src == dst {
+			continue
+		}
+		path, err := r.Walk(src, dst, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pk := &packet.Packet{}
+		d.OnInject(pk)
+		for i := 0; i+1 < len(path); i++ {
+			d.OnForward(path[i], path[i+1], pk)
+		}
+		if got, ok := d.IdentifySource(dst, pk.Hdr.ID); !ok || got != src {
+			t.Fatalf("trial %d: identified %d, want %d", trial, got, src)
+		}
+	}
+}
+
+func TestDDPMName(t *testing.T) {
+	d, _ := NewDDPM(topology.NewMesh2D(4))
+	if d.Name() != "ddpm" {
+		t.Errorf("Name = %q", d.Name())
+	}
+}

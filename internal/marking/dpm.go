@@ -1,0 +1,58 @@
+package marking
+
+import (
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+// DPM is the deterministic path-signature scheme of §4.3 (after Yaar's
+// Pi): every switch writes one bit — the last bit of the hash of its
+// index — into the MF at position TTL mod 16, then the fabric
+// decrements TTL at each hop, so consecutive switches fill consecutive
+// (descending, wrapping) positions and the MF accumulates a path
+// signature. The victim blocks traffic whose MF matches a known
+// attacking signature.
+//
+// The paper's two criticisms, both reproduced by experiment E2:
+//
+//  1. Ambiguity — one bit per hop means ~half the neighbors at each
+//     step share a bit, so many distinct paths (and sources) collide on
+//     one signature; and past 16 hops earlier bits are overwritten.
+//  2. Adaptive routing — one flow takes many paths, shattering into
+//     many signatures, so signature filtering stops matching.
+type DPM struct {
+	// UseIndexHash selects the hash input: true hashes the switch index
+	// (the robust choice); false uses the raw index's last bit, the
+	// paper's illustrative simplification ("If we use the node index
+	// for the hash value").
+	UseIndexHash bool
+}
+
+// NewDPM builds the scheme with hashing enabled.
+func NewDPM() *DPM { return &DPM{UseIndexHash: true} }
+
+func (d *DPM) Name() string { return "dpm" }
+
+// OnInject leaves the MF as-is; like PPM, DPM overwrites bits hop by
+// hop and relies on path length ≥ 16 to cover attacker seeding.
+func (d *DPM) OnInject(*packet.Packet) {}
+
+// Bit returns the marking bit for a switch.
+func (d *DPM) Bit(cur topology.NodeID) uint16 {
+	if d.UseIndexHash {
+		return uint16(hashIndex(uint32(cur)) & 1)
+	}
+	return uint16(cur) & 1
+}
+
+func (d *DPM) OnForward(cur, _ topology.NodeID, pk *packet.Packet) {
+	pos := uint(pk.Hdr.TTL % 16)
+	bit := d.Bit(cur)
+	pk.Hdr.ID = pk.Hdr.ID&^(1<<pos) | bit<<pos
+}
+
+// Signature is the victim-side filtering key: the full MF. Two packets
+// from the same source along the same path with the same initial TTL
+// carry equal signatures; adaptive routing breaks that equality, which
+// is experiment E2's measurement.
+func (d *DPM) Signature(mf uint16) uint16 { return mf }

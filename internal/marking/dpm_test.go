@@ -1,0 +1,145 @@
+package marking
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+func TestDPMWritesBitAtTTLPosition(t *testing.T) {
+	d := NewDPM()
+	pk := &packet.Packet{}
+	pk.Hdr.TTL = 37 // position 37 mod 16 = 5
+	sw := topology.NodeID(3)
+	d.OnForward(sw, 0, pk)
+	want := d.Bit(sw) << 5
+	if pk.Hdr.ID != want {
+		t.Errorf("MF = %016b, want %016b", pk.Hdr.ID, want)
+	}
+}
+
+func TestDPMSequentialPositions(t *testing.T) {
+	// The fabric decrements TTL per hop, so consecutive switches write
+	// consecutive descending positions; we emulate the decrement here.
+	d := NewDPM()
+	d.UseIndexHash = false // paper's "use the node index for the hash value"
+	pk := &packet.Packet{}
+	pk.Hdr.TTL = 3
+	switches := []topology.NodeID{1, 3, 2, 6} // last bits 1,1,0,0
+	for _, sw := range switches {
+		d.OnForward(sw, 0, pk)
+		pk.Hdr.TTL--
+	}
+	// Positions 3,2,1,0 carry bits 1,1,0,0 → MF = 0b1100.
+	if pk.Hdr.ID != 0b1100 {
+		t.Errorf("MF = %04b, want 1100", pk.Hdr.ID)
+	}
+}
+
+func TestDPMFigure3aSignatures(t *testing.T) {
+	// Paper §4.3: with node-index hashing, victim 1110 receives the
+	// bit sequence 0011 from 0001's path and 110 from 0101's path
+	// (written most-recent-first in our descending layout).
+	m := topology.NewMesh2D(4)
+	l, _ := NewLabeler(m)
+	d := NewDPM()
+	d.UseIndexHash = false
+
+	run := func(coords []topology.Coord, ttl0 uint8) uint16 {
+		pk := &packet.Packet{}
+		pk.Hdr.TTL = ttl0
+		for i := 0; i+1 < len(coords); i++ {
+			// The paper marks with the label's last bit.
+			sw := m.IndexOf(coords[i])
+			bit := l.Label(sw) & 1
+			pos := uint(pk.Hdr.TTL % 16)
+			pk.Hdr.ID = pk.Hdr.ID&^(1<<pos) | bit<<pos
+			pk.Hdr.TTL--
+		}
+		return pk.Hdr.ID
+	}
+
+	// Path 1: labels 0001,0011,0010,0110 → last bits 1,1,0,0.
+	sig1 := run([]topology.Coord{{0, 1}, {0, 2}, {0, 3}, {1, 3}, {2, 3}}, 3)
+	if sig1 != 0b1100 {
+		t.Errorf("path-1 signature = %04b, want 1100", sig1)
+	}
+	// Path 2: labels 0101,0111,0110 → last bits 1,1,0.
+	sig2 := run([]topology.Coord{{1, 1}, {1, 2}, {1, 3}, {2, 3}}, 2)
+	if sig2 != 0b110 {
+		t.Errorf("path-2 signature = %03b, want 110", sig2)
+	}
+}
+
+func TestDPMOverwriteBeyond16Hops(t *testing.T) {
+	// Past 16 hops the positions wrap and earlier bits are overwritten:
+	// the paper's "after the 16th hop, the MF starts to lose information".
+	d := NewDPM()
+	pk := &packet.Packet{}
+	pk.Hdr.TTL = 64
+
+	// First 16 switches write a known pattern.
+	var first16 uint16
+	for i := 0; i < 16; i++ {
+		sw := topology.NodeID(i)
+		d.OnForward(sw, 0, pk)
+		pk.Hdr.TTL--
+	}
+	first16 = pk.Hdr.ID
+
+	// A 17th switch with the opposite bit of the first position
+	// overwrites it.
+	pos0 := uint(64 % 16)
+	var flip topology.NodeID
+	for cand := topology.NodeID(100); ; cand++ {
+		if d.Bit(cand) != first16>>pos0&1 {
+			flip = cand
+			break
+		}
+	}
+	d.OnForward(flip, 0, pk)
+	if pk.Hdr.ID == first16 {
+		t.Error("17th hop did not overwrite the first mark")
+	}
+	if (pk.Hdr.ID^first16)&^(1<<pos0) != 0 {
+		t.Error("17th hop disturbed bits other than the wrapped position")
+	}
+}
+
+func TestDPMSamePathSameSignature(t *testing.T) {
+	d := NewDPM()
+	run := func() uint16 {
+		pk := &packet.Packet{}
+		pk.Hdr.TTL = packet.DefaultTTL
+		for _, sw := range []topology.NodeID{9, 4, 11, 6, 2} {
+			d.OnForward(sw, 0, pk)
+			pk.Hdr.TTL--
+		}
+		return d.Signature(pk.Hdr.ID)
+	}
+	if run() != run() {
+		t.Error("same path produced different signatures")
+	}
+}
+
+func TestDPMNeighborBitCollisionRate(t *testing.T) {
+	// The paper: "On an average, two out of four neighbors in the 2-D
+	// mesh have the same last bit" — the root of DPM's ambiguity. Check
+	// the hash-bit collision rate over all mesh links is near 1/2.
+	m := topology.NewMesh2D(16)
+	d := NewDPM()
+	same, total := 0, 0
+	for _, link := range topology.Links(m) {
+		if link.From < link.To {
+			total++
+			if d.Bit(link.From) == d.Bit(link.To) {
+				same++
+			}
+		}
+	}
+	frac := float64(same) / float64(total)
+	if frac < 0.4 || frac > 0.6 {
+		t.Errorf("neighbor bit collision rate = %.3f, want ≈ 0.5", frac)
+	}
+}

@@ -1,0 +1,109 @@
+package marking
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+// FragmentPPM is the Savage-style compressed edge-fragment encoding the
+// paper summarizes in §2 ("an encoding scheme which hashes IP addresses
+// and writes a fraction of it"): each switch's identity is expanded
+// into a 64-bit block — the 32-bit index concatenated with a 32-bit
+// verification hash — split into 8 byte-wide fragments. The MF layout
+// is Savage's exact proposal:
+//
+//	[ offset : 3 | distance : 5 | fragment : 8 ]
+//
+// On a mark the switch picks a random offset and writes its own
+// fragment with distance zero; the next switch XORs its fragment at the
+// same offset (distance still zero), producing an edge fragment
+// frag(a) ⊕ frag(b); every switch increments distance (saturating at
+// 31). The victim reconstructs upstream node blocks level by level,
+// XORing out the known downstream fragment and checking the hash half —
+// which costs k·ln(kd)/p(1−p)^{d−1} expected packets (§2) because all 8
+// offsets of every edge must be collected.
+type FragmentPPM struct {
+	P float64
+	r *rng.Stream
+}
+
+// FragmentCount is the number of fragments per identity block (k in
+// Savage's analysis).
+const FragmentCount = 8
+
+// fragDistMax is the saturation value of the 5-bit distance field.
+const fragDistMax = 31
+
+// NewFragmentPPM builds the sampler.
+func NewFragmentPPM(p float64, r *rng.Stream) (*FragmentPPM, error) {
+	if p <= 0 || p > 1 {
+		return nil, fmt.Errorf("marking: PPM probability %v outside (0,1]", p)
+	}
+	return &FragmentPPM{P: p, r: r}, nil
+}
+
+func (f *FragmentPPM) Name() string { return "fragment-ppm" }
+
+func (f *FragmentPPM) OnInject(*packet.Packet) {}
+
+// IdentityBlock expands a switch index into its 64-bit block:
+// high 32 bits verification hash, low 32 bits the index itself.
+func IdentityBlock(id topology.NodeID) uint64 {
+	return uint64(hashIndex(uint32(id)))<<32 | uint64(uint32(id))
+}
+
+// Fragment extracts byte o (0 = least significant) of the block.
+func Fragment(block uint64, o int) uint8 {
+	return uint8(block >> (8 * o))
+}
+
+func (f *FragmentPPM) OnForward(cur, _ topology.NodeID, pk *packet.Packet) {
+	if f.r.Float64() < f.P {
+		o := f.r.Intn(FragmentCount)
+		frag := Fragment(IdentityBlock(cur), o)
+		pk.Hdr.ID = uint16(o)<<13 | 0<<8 | uint16(frag)
+		return
+	}
+	o := int(pk.Hdr.ID >> 13)
+	dist := int(pk.Hdr.ID >> 8 & 0x1F)
+	frag := uint8(pk.Hdr.ID)
+	if dist == 0 {
+		frag ^= Fragment(IdentityBlock(cur), o)
+	}
+	if dist < fragDistMax {
+		dist++
+	}
+	pk.Hdr.ID = uint16(o)<<13 | uint16(dist)<<8 | uint16(frag)
+}
+
+// FragmentSample is a decoded fragment mark.
+type FragmentSample struct {
+	Offset int
+	Dist   int
+	Frag   uint8
+}
+
+// DecodeMF splits a received MF.
+func (f *FragmentPPM) DecodeMF(mf uint16) FragmentSample {
+	return FragmentSample{
+		Offset: int(mf >> 13),
+		Dist:   int(mf >> 8 & 0x1F),
+		Frag:   uint8(mf),
+	}
+}
+
+// VerifyBlock checks a candidate reconstructed block's hash half
+// against its index half and that the index names a real node.
+func VerifyBlock(block uint64, numNodes int) (topology.NodeID, bool) {
+	idx := uint32(block)
+	if uint64(hashIndex(idx))<<32|uint64(idx) != block {
+		return topology.None, false
+	}
+	if int(idx) >= numNodes {
+		return topology.None, false
+	}
+	return topology.NodeID(idx), true
+}

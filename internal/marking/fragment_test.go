@@ -1,0 +1,105 @@
+package marking
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+func TestIdentityBlockFragments(t *testing.T) {
+	b := IdentityBlock(42)
+	if uint32(b) != 42 {
+		t.Errorf("low half = %d, want 42", uint32(b))
+	}
+	// Reassemble from fragments.
+	var re uint64
+	for o := 0; o < FragmentCount; o++ {
+		re |= uint64(Fragment(b, o)) << (8 * o)
+	}
+	if re != b {
+		t.Error("fragments do not reassemble the block")
+	}
+}
+
+func TestVerifyBlock(t *testing.T) {
+	b := IdentityBlock(7)
+	id, ok := VerifyBlock(b, 100)
+	if !ok || id != 7 {
+		t.Errorf("VerifyBlock = %d, %v", id, ok)
+	}
+	if _, ok := VerifyBlock(b^1<<40, 100); ok {
+		t.Error("corrupted block verified")
+	}
+	if _, ok := VerifyBlock(IdentityBlock(200), 100); ok {
+		t.Error("out-of-range node verified")
+	}
+}
+
+func TestFragmentPPMMarkAndXor(t *testing.T) {
+	f, err := NewFragmentPPM(1.0, rng.NewStream(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	passer, _ := NewFragmentPPM(1e-12, rng.NewStream(9))
+	a, b := topology.NodeID(10), topology.NodeID(20)
+	pk := &packet.Packet{}
+	f.OnForward(a, b, pk) // mark at a, random offset
+	s0 := f.DecodeMF(pk.Hdr.ID)
+	if s0.Dist != 0 {
+		t.Fatalf("fresh mark dist = %d", s0.Dist)
+	}
+	if s0.Frag != Fragment(IdentityBlock(a), s0.Offset) {
+		t.Error("mark fragment wrong")
+	}
+	passer.OnForward(b, 30, pk) // b XORs its fragment, dist -> 1
+	s1 := f.DecodeMF(pk.Hdr.ID)
+	if s1.Dist != 1 || s1.Offset != s0.Offset {
+		t.Fatalf("after pass: %+v", s1)
+	}
+	want := Fragment(IdentityBlock(a), s0.Offset) ^ Fragment(IdentityBlock(b), s0.Offset)
+	if s1.Frag != want {
+		t.Errorf("edge fragment = %#02x, want %#02x", s1.Frag, want)
+	}
+	// Further switches only bump distance.
+	passer.OnForward(30, 40, pk)
+	s2 := f.DecodeMF(pk.Hdr.ID)
+	if s2.Dist != 2 || s2.Frag != s1.Frag {
+		t.Errorf("after second pass: %+v", s2)
+	}
+}
+
+func TestFragmentPPMDistanceSaturates(t *testing.T) {
+	passer, _ := NewFragmentPPM(1e-12, rng.NewStream(10))
+	pk := &packet.Packet{}
+	pk.Hdr.ID = 1<<8 | 5 // offset 0, dist 1, frag 5: past the XOR stage
+	for i := 0; i < 100; i++ {
+		passer.OnForward(topology.NodeID(i), 0, pk)
+	}
+	if s := passer.DecodeMF(pk.Hdr.ID); s.Dist != fragDistMax {
+		t.Errorf("dist = %d, want %d", s.Dist, fragDistMax)
+	}
+}
+
+func TestFragmentPPMOffsetsCoverAll(t *testing.T) {
+	f, _ := NewFragmentPPM(1.0, rng.NewStream(11))
+	seen := map[int]bool{}
+	for i := 0; i < 500; i++ {
+		pk := &packet.Packet{}
+		f.OnForward(1, 2, pk)
+		seen[f.DecodeMF(pk.Hdr.ID).Offset] = true
+	}
+	if len(seen) != FragmentCount {
+		t.Errorf("offsets seen = %d, want %d", len(seen), FragmentCount)
+	}
+}
+
+func TestFragmentPPMBadProbability(t *testing.T) {
+	if _, err := NewFragmentPPM(0, nil); err == nil {
+		t.Error("P=0 accepted")
+	}
+	if _, err := NewFragmentPPM(1.5, nil); err == nil {
+		t.Error("P=1.5 accepted")
+	}
+}

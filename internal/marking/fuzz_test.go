@@ -1,0 +1,61 @@
+package marking
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// FuzzSignedFieldCodec checks decode/encode stability for every 16-bit
+// pattern and width split: Decode never panics, and Encode(Decode(mf))
+// reproduces mf exactly (every pattern is a valid packed vector).
+func FuzzSignedFieldCodec(f *testing.F) {
+	f.Add(uint16(0), uint8(8))
+	f.Add(uint16(0xFFFF), uint8(5))
+	f.Add(uint16(0xA5A5), uint8(3))
+	f.Fuzz(func(t *testing.T, mf uint16, w uint8) {
+		w0 := 2 + int(w)%13 // first field width in [2,14]
+		w1 := 16 - w0
+		if w1 < 2 {
+			w1 = 2
+			w0 = 14
+		}
+		c, err := NewSignedFieldCodec(w0, w1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := c.Decode(mf)
+		back, err := c.Encode(v)
+		if err != nil {
+			t.Fatalf("decode produced unencodable vector %v: %v", v, err)
+		}
+		if back != mf {
+			t.Fatalf("round trip %04x -> %v -> %04x", mf, v, back)
+		}
+	})
+}
+
+// FuzzDDPMIdentify checks the victim decode never panics and never
+// returns an out-of-range node for arbitrary marking fields.
+func FuzzDDPMIdentify(f *testing.F) {
+	f.Add(uint16(0), uint8(0))
+	f.Add(uint16(0xFFFF), uint8(63))
+	f.Fuzz(func(t *testing.T, mf uint16, dstRaw uint8) {
+		m := topology.NewMesh2D(8)
+		d, err := NewDDPM(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := topology.NodeID(int(dstRaw) % m.NumNodes())
+		src, ok := d.IdentifySource(dst, mf)
+		if ok && (src < 0 || int(src) >= m.NumNodes()) {
+			t.Fatalf("identified out-of-range node %d", src)
+		}
+		// On a torus every field decodes to some node.
+		tr := topology.NewTorus2D(8)
+		dt, _ := NewDDPM(tr)
+		if src, ok := dt.IdentifySource(dst, mf); !ok || int(src) >= tr.NumNodes() {
+			t.Fatalf("torus decode failed: %d %v", src, ok)
+		}
+	})
+}

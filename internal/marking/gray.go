@@ -1,0 +1,90 @@
+package marking
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// Labeler produces the compact binary node labels the paper's marking
+// examples use (Figure 3(a): the 4×4 mesh nodes are labeled 0001, 0011,
+// 0110, 1110 …). Each dimension's coordinate is encoded with a
+// reflected Gray code and the per-dimension codes are concatenated,
+// dimension 0 most significant. Gray coding gives the property the
+// paper's XOR and bit-difference schemes rely on: the labels of
+// neighboring nodes differ in exactly one bit (including torus
+// wraparound neighbors when every radix is a power of two).
+type Labeler struct {
+	net    topology.Network
+	widths []int
+	bits   int
+	exact  bool // every radix is a power of two → 1-bit-neighbor property holds
+}
+
+// NewLabeler builds the labeler for a topology. Total label width must
+// fit in 16 bits.
+func NewLabeler(net topology.Network) (*Labeler, error) {
+	dims := net.Dims()
+	l := &Labeler{net: net, widths: make([]int, len(dims)), exact: true}
+	for i, k := range dims {
+		w := ceilLog2(k)
+		if w == 0 {
+			w = 1
+		}
+		l.widths[i] = w
+		l.bits += w
+		if k&(k-1) != 0 {
+			l.exact = false
+		}
+	}
+	if l.bits > 16 {
+		return nil, fmt.Errorf("marking: %s needs %d label bits, have 16", net.Name(), l.bits)
+	}
+	return l, nil
+}
+
+// Bits returns the label width in bits.
+func (l *Labeler) Bits() int { return l.bits }
+
+// Exact reports whether the single-bit-difference neighbor property is
+// guaranteed (all radixes are powers of two).
+func (l *Labeler) Exact() bool { return l.exact }
+
+// gray returns the reflected Gray code of v.
+func gray(v int) int { return v ^ (v >> 1) }
+
+// ungray inverts gray.
+func ungray(g int) int {
+	v := 0
+	for ; g > 0; g >>= 1 {
+		v ^= g
+	}
+	return v
+}
+
+// Label returns the node's Gray-coded label.
+func (l *Labeler) Label(id topology.NodeID) uint16 {
+	c := l.net.CoordOf(id)
+	var out uint16
+	for i, v := range c {
+		out = out<<l.widths[i] | uint16(gray(v)&(1<<l.widths[i]-1))
+	}
+	return out
+}
+
+// Unlabel inverts Label; ok is false for bit patterns that do not
+// correspond to a node (possible when a radix is not a power of two).
+func (l *Labeler) Unlabel(label uint16) (topology.NodeID, bool) {
+	c := make(topology.Coord, len(l.widths))
+	shift := 0
+	for i := len(l.widths) - 1; i >= 0; i-- {
+		g := int(label>>shift) & (1<<l.widths[i] - 1)
+		v := ungray(g)
+		if v >= l.net.Dims()[i] {
+			return topology.None, false
+		}
+		c[i] = v
+		shift += l.widths[i]
+	}
+	return l.net.IndexOf(c), true
+}

@@ -1,0 +1,138 @@
+package marking
+
+import (
+	"math/bits"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestGrayCodeBasics(t *testing.T) {
+	want := []int{0, 1, 3, 2, 6, 7, 5, 4}
+	for v, g := range want {
+		if gray(v) != g {
+			t.Errorf("gray(%d) = %d, want %d", v, gray(v), g)
+		}
+		if ungray(g) != v {
+			t.Errorf("ungray(%d) = %d, want %d", g, ungray(g), v)
+		}
+	}
+}
+
+func TestLabelerFigure3aLabels(t *testing.T) {
+	// The paper's Figure 3(a) labels on the 4×4 mesh: the two attack
+	// paths run through nodes labeled 0001, 0011, 0010, 0110, 1110 and
+	// 0101, 0111, 0110, 1110.
+	m := topology.NewMesh2D(4)
+	l, err := NewLabeler(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Bits() != 4 {
+		t.Fatalf("label bits = %d, want 4", l.Bits())
+	}
+	wantLabels := map[string]uint16{
+		"(0,1)": 0b0001,
+		"(0,2)": 0b0011,
+		"(0,3)": 0b0010,
+		"(1,3)": 0b0110,
+		"(2,3)": 0b1110,
+		"(1,1)": 0b0101,
+		"(1,2)": 0b0111,
+	}
+	coords := map[string]topology.Coord{
+		"(0,1)": {0, 1}, "(0,2)": {0, 2}, "(0,3)": {0, 3},
+		"(1,3)": {1, 3}, "(2,3)": {2, 3}, "(1,1)": {1, 1}, "(1,2)": {1, 2},
+	}
+	for name, want := range wantLabels {
+		got := l.Label(m.IndexOf(coords[name]))
+		if got != want {
+			t.Errorf("label%s = %04b, want %04b", name, got, want)
+		}
+	}
+}
+
+func TestLabelerNeighborsDifferInOneBit(t *testing.T) {
+	nets := []topology.Network{
+		topology.NewMesh2D(4),
+		topology.NewMesh2D(8),
+		topology.NewMesh(4, 8, 2),
+		topology.NewTorus2D(8), // power-of-two radix: wraparound is cyclic Gray
+		topology.NewHypercube(5),
+	}
+	for _, net := range nets {
+		l, err := NewLabeler(net)
+		if err != nil {
+			t.Fatalf("%s: %v", net.Name(), err)
+		}
+		if !l.Exact() {
+			t.Fatalf("%s: Exact() = false for power-of-two radixes", net.Name())
+		}
+		for id := 0; id < net.NumNodes(); id++ {
+			la := l.Label(topology.NodeID(id))
+			for _, nb := range net.Neighbors(topology.NodeID(id)) {
+				lb := l.Label(nb)
+				if bits.OnesCount16(la^lb) != 1 {
+					t.Fatalf("%s: labels of neighbors %d(%04b) and %d(%04b) differ in %d bits",
+						net.Name(), id, la, nb, lb, bits.OnesCount16(la^lb))
+				}
+			}
+		}
+	}
+}
+
+func TestLabelerRoundTrip(t *testing.T) {
+	for _, net := range []topology.Network{
+		topology.NewMesh2D(8), topology.NewMesh(3, 5), topology.NewTorus2D(6),
+	} {
+		l, err := NewLabeler(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := 0; id < net.NumNodes(); id++ {
+			back, ok := l.Unlabel(l.Label(topology.NodeID(id)))
+			if !ok || back != topology.NodeID(id) {
+				t.Fatalf("%s: label round trip failed for %d", net.Name(), id)
+			}
+		}
+	}
+}
+
+func TestLabelerNonPowerOfTwoNotExact(t *testing.T) {
+	l, err := NewLabeler(topology.NewMesh2D(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Exact() {
+		t.Error("radix-5 mesh reported exact single-bit labels")
+	}
+	// Some 3-bit patterns are not valid radix-5 Gray codes.
+	found := false
+	for lbl := uint16(0); lbl < 1<<l.Bits(); lbl++ {
+		if _, ok := l.Unlabel(lbl); !ok {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("expected some unlabelable patterns for radix 5")
+	}
+}
+
+func TestLabelerTooBig(t *testing.T) {
+	if _, err := NewLabeler(topology.NewMesh2D(512)); err == nil {
+		t.Error("512x512 labeler built; needs 18 bits")
+	}
+}
+
+func TestHypercubeLabelsAreAddresses(t *testing.T) {
+	h := topology.NewHypercube(4)
+	l, _ := NewLabeler(h)
+	for id := 0; id < h.NumNodes(); id++ {
+		// Per-dimension Gray of a single bit is the identity, so the
+		// concatenated label is exactly the node address.
+		if l.Label(topology.NodeID(id)) != uint16(id) {
+			t.Fatalf("unexpected hypercube label for %d", id)
+		}
+	}
+}

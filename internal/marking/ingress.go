@@ -1,0 +1,78 @@
+package marking
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+// IngressStamp is the obvious-in-hindsight alternative the reproduction
+// adds as an ablation (X3): under the paper's own trust model (switches
+// are separate from compute nodes and cannot be compromised, §4.1), the
+// SOURCE switch alone can just write its global index into the MF at
+// injection. That identifies the source on any topology — direct,
+// indirect, irregular — in ⌈log₂N⌉ bits, with a single write.
+//
+// What DDPM buys over this baseline, and why the paper's design is
+// still interesting:
+//
+//   - DDPM switches need no global identity or configuration: each hop
+//     adds a locally known displacement. Ingress stamping requires every
+//     switch to know (and keep consistent) its own cluster-wide index —
+//     real configuration state that can rot or be mis-set.
+//   - Ingress stamping concentrates all trust in one device; a single
+//     misbehaving source switch forges arbitrary origins undetectably.
+//     Under DDPM a lying switch can only shift the vector by its own
+//     local displacements, and any inconsistent sum decodes off-mesh.
+//   - DDPM keeps working when the injection point is ambiguous (e.g.
+//     multi-homed NICs) because it measures the path actually taken.
+//
+// The experiments use IngressStamp as the accuracy/overhead yardstick.
+type IngressStamp struct {
+	bits int
+	n    int
+}
+
+// Sized is the only thing the stamp needs from a fabric — its node
+// count — so the scheme applies to any substrate (direct, fat-tree,
+// irregular), not just topology.Topology implementations.
+type Sized interface {
+	NumNodes() int
+}
+
+// NewIngressStamp errors when the node index does not fit the MF
+// (beyond 65536 nodes — comfortably past every Table 3 bound).
+func NewIngressStamp(net Sized) (*IngressStamp, error) {
+	n := net.NumNodes()
+	bits := ceilLog2(n)
+	if bits > 16 {
+		return nil, fmt.Errorf("marking: ingress stamp needs %d bits for %d nodes, MF has 16", bits, n)
+	}
+	return &IngressStamp{bits: bits, n: n}, nil
+}
+
+func (s *IngressStamp) Name() string { return "ingress-stamp" }
+
+// Bits returns the MF bits used.
+func (s *IngressStamp) Bits() int { return s.bits }
+
+// OnInject writes the source switch's index, erasing any preload. The
+// source node is exactly where OnInject runs (the packet's entry
+// switch), so using pk.SrcNode here models the switch writing its own
+// identity — not trusting any header field.
+func (s *IngressStamp) OnInject(pk *packet.Packet) {
+	pk.Hdr.ID = uint16(pk.SrcNode)
+}
+
+// OnForward leaves the MF alone: zero per-hop cost.
+func (s *IngressStamp) OnForward(topology.NodeID, topology.NodeID, *packet.Packet) {}
+
+// IdentifySource reads the stamp; ok is false for out-of-range indexes
+// (corruption, or a packet that bypassed the source switch).
+func (s *IngressStamp) IdentifySource(mf uint16) (topology.NodeID, bool) {
+	if int(mf) >= s.n {
+		return topology.None, false
+	}
+	return topology.NodeID(mf), true
+}

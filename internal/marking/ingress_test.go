@@ -1,0 +1,65 @@
+package marking
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+func TestIngressStampIdentifies(t *testing.T) {
+	m := topology.NewMesh2D(8)
+	s, err := NewIngressStamp(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Bits() != 6 {
+		t.Errorf("Bits = %d, want 6", s.Bits())
+	}
+	r := rng.NewStream(1)
+	for trial := 0; trial < 200; trial++ {
+		src := topology.NodeID(r.Intn(m.NumNodes()))
+		pk := &packet.Packet{SrcNode: src}
+		pk.Hdr.ID = uint16(r.Intn(1 << 16)) // hostile preload erased
+		s.OnInject(pk)
+		// Any number of forwards leaves the stamp intact.
+		for h := 0; h < 5; h++ {
+			s.OnForward(0, 1, pk)
+		}
+		got, ok := s.IdentifySource(pk.Hdr.ID)
+		if !ok || got != src {
+			t.Fatalf("identified %d, want %d", got, src)
+		}
+	}
+}
+
+func TestIngressStampRejectsOutOfRange(t *testing.T) {
+	m := topology.NewMesh2D(4) // 16 nodes
+	s, _ := NewIngressStamp(m)
+	if _, ok := s.IdentifySource(16); ok {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+func TestIngressStampSizeLimit(t *testing.T) {
+	// 65536 nodes fits exactly; beyond it must error.
+	if _, err := NewIngressStamp(topology.NewHypercube(16)); err != nil {
+		t.Errorf("2^16 nodes rejected: %v", err)
+	}
+	if _, err := NewIngressStamp(topology.NewHypercube(17)); err == nil {
+		t.Error("2^17 nodes accepted")
+	}
+}
+
+func TestIngressStampZeroPerHopCost(t *testing.T) {
+	m := topology.NewMesh2D(4)
+	s, _ := NewIngressStamp(m)
+	pk := &packet.Packet{SrcNode: 7}
+	s.OnInject(pk)
+	before := pk.Hdr.ID
+	s.OnForward(3, 4, pk)
+	if pk.Hdr.ID != before {
+		t.Error("OnForward modified the MF")
+	}
+}

@@ -1,0 +1,82 @@
+// Package marking implements every packet-marking traceback scheme the
+// paper analyzes for direct networks, plus the paper's contribution:
+//
+//   - SimplePPM — probabilistic edge sampling with two full node
+//     indexes and a distance field in the MF (§4.2, Table 1)
+//   - XORPPM — edge sampling that XORs the neighbor indexes (§4.2)
+//   - BitDiffPPM — one index + bit-difference position + distance
+//     (§4.2, Table 2)
+//   - WidePPM — edge sampling in an unbounded side-band (the IP-option
+//     variant the paper sketches and rejects; used to study PPM
+//     convergence independent of encoding limits)
+//   - FragmentPPM — Savage-style hashed edge fragments (§2)
+//   - DPM — deterministic one-bit-per-hop path signatures written at
+//     position TTL mod 16 (§4.3)
+//   - DDPM — Deterministic Distance Packet Marking (§5, Figure 4),
+//     the paper's scheme: each switch adds the per-hop coordinate
+//     displacement into the MF; the victim recovers the source from a
+//     single packet regardless of the route taken.
+//
+// All schemes write only the 16-bit IP Identification field (the
+// Marking Field, MF) unless explicitly documented as "wide".
+package marking
+
+import (
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+// Scheme is the switch-side marking contract. The network simulator
+// invokes OnInject exactly once, at the source switch, when the packet
+// enters from its compute node; and OnForward at every switch
+// (including the source switch) immediately after the routing function
+// commits the next hop — the Figure 4 ordering (Routing() first, then
+// Δ := Y − X, V' := V + Δ, Store_MF). The final ejection hop from the
+// destination switch to its compute node is not a switch-to-switch
+// forward and is not marked.
+//
+// Schemes must not inspect simulator-only ground truth (TrueSrc,
+// SrcNode, Spoofed); they may read and write only the header.
+type Scheme interface {
+	Name() string
+	OnInject(pk *packet.Packet)
+	OnForward(cur, next topology.NodeID, pk *packet.Packet)
+}
+
+// Nop is the no-marking baseline: the fabric forwards packets
+// untouched, leaving the victim only the (spoofable) source address.
+type Nop struct{}
+
+func (Nop) Name() string                                               { return "none" }
+func (Nop) OnInject(*packet.Packet)                                    {}
+func (Nop) OnForward(topology.NodeID, topology.NodeID, *packet.Packet) {}
+
+// ceilLog2 returns ⌈log₂ n⌉ for n ≥ 1: the number of bits needed to
+// index n distinct values.
+func ceilLog2(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	b := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// hashIndex is the switch-index hash used by DPM and FragmentPPM:
+// a 32-bit integer mix (Murmur3 finalizer) — cheap enough for a switch
+// data path, well distributed.
+func hashIndex(v uint32) uint32 {
+	v ^= v >> 16
+	v *= 0x85ebca6b
+	v ^= v >> 13
+	v *= 0xc2b2ae35
+	v ^= v >> 16
+	return v
+}
+
+// hashEdge hashes a directed edge (a, b) into 32 bits.
+func hashEdge(a, b topology.NodeID) uint32 {
+	return hashIndex(uint32(a)*0x9e3779b9 + hashIndex(uint32(b)))
+}

@@ -1,0 +1,111 @@
+package marking
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/rng"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Non-power-of-two radixes are the delicate case for the wraparound
+// codec: field arithmetic wraps mod 2^w while the victim reduces mod k,
+// and the two only commute when the accumulated component never leaves
+// the field range. CodecForDims gives each dimension ⌈log₂k⌉+1 bits
+// plus spare headroom, so minimal routes (|v| ≤ ⌊k/2⌋) and boundedly
+// misrouted routes stay exact. These tests pin that boundary.
+
+func TestDDPMOddRadixTorusMinimalRouting(t *testing.T) {
+	tr := topology.NewTorus2D(5)
+	d, err := NewDDPM(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := routing.NewRouter(tr, routing.NewMinimalAdaptive(tr))
+	r.Sel = routing.RandomSelector{R: rng.NewStream(91)}
+	stream := rng.NewStream(92)
+	for trial := 0; trial < 500; trial++ {
+		src := topology.NodeID(stream.Intn(tr.NumNodes()))
+		dst := topology.NodeID(stream.Intn(tr.NumNodes()))
+		if src == dst {
+			continue
+		}
+		path, err := r.Walk(src, dst, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pk := &packet.Packet{}
+		pk.Hdr.ID = uint16(stream.Intn(1 << 16))
+		d.OnInject(pk)
+		for i := 0; i+1 < len(path); i++ {
+			d.OnForward(path[i], path[i+1], pk)
+		}
+		if got, ok := d.IdentifySource(dst, pk.Hdr.ID); !ok || got != src {
+			t.Fatalf("odd-radix torus misidentified: got %d want %d", got, src)
+		}
+	}
+}
+
+func TestDDPMOddRadixTorusWithBoundedMisrouting(t *testing.T) {
+	tr := topology.NewTorus(7, 9)
+	d, err := NewDDPM(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := routing.NewRouter(tr, routing.NewFullyAdaptiveMisroute(tr))
+	r.Sel = routing.RandomSelector{R: rng.NewStream(93)}
+	r.MisrouteBudget = 2
+	stream := rng.NewStream(94)
+	for trial := 0; trial < 500; trial++ {
+		src := topology.NodeID(stream.Intn(tr.NumNodes()))
+		dst := topology.NodeID(stream.Intn(tr.NumNodes()))
+		if src == dst {
+			continue
+		}
+		path, err := r.Walk(src, dst, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pk := &packet.Packet{}
+		d.OnInject(pk)
+		for i := 0; i+1 < len(path); i++ {
+			d.OnForward(path[i], path[i+1], pk)
+		}
+		if got, ok := d.IdentifySource(dst, pk.Hdr.ID); !ok || got != src {
+			t.Fatalf("misrouted odd-radix torus misidentified: got %d want %d (path %v)",
+				got, src, path)
+		}
+	}
+}
+
+func TestDDPMOddRadixBreaksBeyondFieldRange(t *testing.T) {
+	// Document the boundary: a pathological walk that accumulates a
+	// component past the field range on a non-power-of-two radix
+	// decodes incorrectly, because 2^w ≢ 0 (mod k). The simulator's
+	// misroute budgets keep real routes inside the range; this test
+	// certifies the failure mode exists exactly where theory says.
+	tr := topology.NewTorus2D(5)
+	d, _ := NewDDPM(tr)
+	codec := d.Codec().(*SignedFieldCodec)
+	lo, hi := codec.Range(0)
+	span := hi - lo + 1 // field modulus 2^w
+	if span%5 == 0 {
+		t.Skip("field modulus divisible by radix; wraparound stays exact")
+	}
+	// March +1 around the ring until the raw sum exceeds the range.
+	src := tr.IndexOf(topology.Coord{0, 0})
+	cur := src
+	pk := &packet.Packet{}
+	d.OnInject(pk)
+	steps := span + 3 // strictly past one field wrap
+	for s := 0; s < steps; s++ {
+		next := tr.Step(cur, 0, 1)
+		d.OnForward(cur, next, pk)
+		cur = next
+	}
+	got, ok := d.IdentifySource(cur, pk.Hdr.ID)
+	if ok && got == src {
+		t.Error("expected wraparound/mod-k mismatch past the field range, but identification succeeded")
+	}
+}

@@ -1,0 +1,317 @@
+package marking
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+// EdgeSample is the decoded content of one probabilistic edge-sampling
+// mark: the edge (Start → End) at Dist hops upstream of the victim.
+// For Dist == 0 the mark was written by the victim's upstream switch
+// and End never got filled in (the destination switch ejects instead of
+// forwarding), so End is meaningless and reconstruction uses Start
+// alone — exactly Savage's "last edge" convention.
+type EdgeSample struct {
+	Start, End topology.NodeID
+	Dist       int
+	// EndValid reports whether a downstream switch filled the End slot.
+	EndValid bool
+}
+
+// SimplePPM is the paper's §4.2 straightforward probabilistic edge
+// sampling with the full node labels in the MF:
+//
+//	[ start label | end label | distance ]
+//
+// Each switch marks a forwarded packet with probability P (writing its
+// own label into start and zeroing distance); otherwise, if distance is
+// zero it writes its label into end, and it always increments distance
+// (saturating). The layout fits 16 bits only for tiny networks —
+// Table 1's point.
+type SimplePPM struct {
+	lab      *Labeler
+	distBits int
+	P        float64
+	r        *rng.Stream
+}
+
+// NewSimplePPM errors when the layout exceeds the 16-bit MF (the
+// Table 1 scalability boundary). p is the per-switch marking
+// probability.
+func NewSimplePPM(net topology.Network, p float64, r *rng.Stream) (*SimplePPM, error) {
+	if p <= 0 || p > 1 {
+		return nil, fmt.Errorf("marking: PPM probability %v outside (0,1]", p)
+	}
+	lab, err := NewLabeler(net)
+	if err != nil {
+		return nil, err
+	}
+	s := &SimplePPM{lab: lab, distBits: ceilLog2(net.Diameter() + 1), P: p, r: r}
+	if s.RequiredBits() > 16 {
+		return nil, fmt.Errorf("marking: simple PPM on %s needs %d bits, MF has 16 (Table 1 limit)",
+			net.Name(), s.RequiredBits())
+	}
+	return s, nil
+}
+
+// RequiredBits returns the exact MF bits of the layout:
+// 2·(label bits) + distance bits.
+func (s *SimplePPM) RequiredBits() int { return 2*s.lab.Bits() + s.distBits }
+
+func (s *SimplePPM) Name() string { return "simple-ppm" }
+
+// OnInject leaves the MF alone: classic PPM trusts whatever is in the
+// Identification field, one of its documented weaknesses (an attacker
+// can seed fake marks; the victim compensates with sample counts).
+func (s *SimplePPM) OnInject(*packet.Packet) {}
+
+func (s *SimplePPM) OnForward(cur, _ topology.NodeID, pk *packet.Packet) {
+	b := s.lab.Bits()
+	distMask := uint16(1<<s.distBits - 1)
+	if s.r.Float64() < s.P {
+		// Mark: start := label(cur), distance := 0. The stale end field
+		// is deliberately left as-is (Savage's algorithm): the next
+		// switch overwrites it because distance is zero.
+		start := s.lab.Label(cur)
+		end := (pk.Hdr.ID >> s.distBits) & (1<<b - 1)
+		pk.Hdr.ID = start<<(b+s.distBits) | end<<s.distBits | 0
+		return
+	}
+	dist := pk.Hdr.ID & distMask
+	if dist == 0 {
+		// Fill the end slot with our label.
+		start := pk.Hdr.ID >> (b + s.distBits)
+		pk.Hdr.ID = start<<(b+s.distBits) | s.lab.Label(cur)<<s.distBits | 0
+	}
+	if dist < distMask { // saturate
+		dist++
+	}
+	pk.Hdr.ID = pk.Hdr.ID&^distMask | dist
+}
+
+// DecodeMF splits a received MF into an EdgeSample. Unlabelable bit
+// patterns (only possible with non-power-of-two radixes or unmarked
+// attacker garbage) yield ok = false.
+func (s *SimplePPM) DecodeMF(mf uint16) (EdgeSample, bool) {
+	b := s.lab.Bits()
+	start, okS := s.lab.Unlabel(mf >> (b + s.distBits) & (1<<b - 1))
+	end, okE := s.lab.Unlabel(mf >> s.distBits & (1<<b - 1))
+	dist := int(mf & (1<<s.distBits - 1))
+	if !okS {
+		return EdgeSample{}, false
+	}
+	es := EdgeSample{Start: start, Dist: dist}
+	if dist > 0 && okE {
+		es.End = end
+		es.EndValid = true
+	}
+	return es, okE || dist == 0
+}
+
+// WidePPM performs the same edge sampling but records the sample
+// losslessly in the packet's side band — the paper's IP-option
+// alternative. It exists to measure PPM's convergence overhead
+// (expected packets ≈ ln(d)/p(1−p)^{d−1}) at cluster-scale path lengths
+// where no 16-bit layout fits.
+type WidePPM struct {
+	P float64
+	r *rng.Stream
+}
+
+// NewWidePPM builds the idealized sampler.
+func NewWidePPM(p float64, r *rng.Stream) (*WidePPM, error) {
+	if p <= 0 || p > 1 {
+		return nil, fmt.Errorf("marking: PPM probability %v outside (0,1]", p)
+	}
+	return &WidePPM{P: p, r: r}, nil
+}
+
+func (w *WidePPM) Name() string { return "wide-ppm" }
+
+func (w *WidePPM) OnInject(pk *packet.Packet) { pk.Wide = nil }
+
+func (w *WidePPM) OnForward(cur, _ topology.NodeID, pk *packet.Packet) {
+	if w.r.Float64() < w.P {
+		pk.Wide = &EdgeSample{Start: cur, Dist: 0}
+		return
+	}
+	if es, ok := pk.Wide.(*EdgeSample); ok && es != nil {
+		if es.Dist == 0 && !es.EndValid {
+			es.End = cur
+			es.EndValid = true
+		}
+		es.Dist++
+	}
+}
+
+// Sample extracts the wide-band sample from a delivered packet, nil if
+// no switch marked it.
+func (w *WidePPM) Sample(pk *packet.Packet) *EdgeSample {
+	es, _ := pk.Wide.(*EdgeSample)
+	return es
+}
+
+// XORPPM is the §4.2 XOR variant: marks carry label(a) ⊕ label(b) for
+// the sampled edge instead of both labels:
+//
+//	[ xor value | distance ]
+//
+// With Gray-coded labels neighboring nodes differ in one bit, so the
+// XOR value is one-hot and, as the paper argues, reconstruction is
+// hopelessly ambiguous: in an n×n mesh one value maps to ~n(n−1)/log n
+// edges.
+type XORPPM struct {
+	lab      *Labeler
+	distBits int
+	P        float64
+	r        *rng.Stream
+}
+
+// NewXORPPM builds the XOR sampler; the layout always fits (label bits
+// + distance), the scheme's problem is ambiguity, not width.
+func NewXORPPM(net topology.Network, p float64, r *rng.Stream) (*XORPPM, error) {
+	if p <= 0 || p > 1 {
+		return nil, fmt.Errorf("marking: PPM probability %v outside (0,1]", p)
+	}
+	lab, err := NewLabeler(net)
+	if err != nil {
+		return nil, err
+	}
+	x := &XORPPM{lab: lab, distBits: ceilLog2(net.Diameter() + 1), P: p, r: r}
+	if lab.Bits()+x.distBits > 16 {
+		return nil, fmt.Errorf("marking: XOR PPM on %s needs %d bits", net.Name(), lab.Bits()+x.distBits)
+	}
+	return x, nil
+}
+
+func (x *XORPPM) Name() string { return "xor-ppm" }
+
+func (x *XORPPM) OnInject(*packet.Packet) {}
+
+func (x *XORPPM) OnForward(cur, _ topology.NodeID, pk *packet.Packet) {
+	distMask := uint16(1<<x.distBits - 1)
+	if x.r.Float64() < x.P {
+		pk.Hdr.ID = x.lab.Label(cur) << x.distBits
+		return
+	}
+	dist := pk.Hdr.ID & distMask
+	if dist == 0 {
+		// XOR our label into the value field: value becomes a ⊕ b.
+		val := pk.Hdr.ID >> x.distBits
+		pk.Hdr.ID = (val ^ x.lab.Label(cur)) << x.distBits
+	}
+	if dist < distMask {
+		dist++
+	}
+	pk.Hdr.ID = pk.Hdr.ID&^distMask | dist
+}
+
+// DecodeMF returns the XOR value and distance.
+func (x *XORPPM) DecodeMF(mf uint16) (val uint16, dist int) {
+	return mf >> x.distBits, int(mf & (1<<x.distBits - 1))
+}
+
+// Labeler exposes the label space for ambiguity analysis.
+func (x *XORPPM) Labeler() *Labeler { return x.lab }
+
+// BitDiffPPM is the §4.2 "bit difference position" variant (Table 2):
+//
+//	[ start label | diff position | distance ]
+//
+// The mark stores one full label plus the position of the single bit in
+// which the downstream neighbor's label differs, removing the XOR
+// scheme's ambiguity at the cost of a position field.
+type BitDiffPPM struct {
+	lab      *Labeler
+	posBits  int
+	distBits int
+	P        float64
+	r        *rng.Stream
+}
+
+// NewBitDiffPPM errors when the layout exceeds 16 bits (the Table 2
+// boundary) or when the topology lacks the single-bit-difference label
+// property (non-power-of-two radixes).
+func NewBitDiffPPM(net topology.Network, p float64, r *rng.Stream) (*BitDiffPPM, error) {
+	if p <= 0 || p > 1 {
+		return nil, fmt.Errorf("marking: PPM probability %v outside (0,1]", p)
+	}
+	lab, err := NewLabeler(net)
+	if err != nil {
+		return nil, err
+	}
+	if !lab.Exact() {
+		return nil, fmt.Errorf("marking: bit-difference PPM requires power-of-two radixes on %s", net.Name())
+	}
+	b := &BitDiffPPM{
+		lab:      lab,
+		posBits:  ceilLog2(lab.Bits()),
+		distBits: ceilLog2(net.Diameter() + 1),
+		P:        p,
+		r:        r,
+	}
+	if b.posBits == 0 {
+		b.posBits = 1
+	}
+	if b.RequiredBits() > 16 {
+		return nil, fmt.Errorf("marking: bit-difference PPM on %s needs %d bits, MF has 16 (Table 2 limit)",
+			net.Name(), b.RequiredBits())
+	}
+	return b, nil
+}
+
+// RequiredBits returns label bits + position bits + distance bits.
+func (b *BitDiffPPM) RequiredBits() int { return b.lab.Bits() + b.posBits + b.distBits }
+
+func (b *BitDiffPPM) Name() string { return "bitdiff-ppm" }
+
+func (b *BitDiffPPM) OnInject(*packet.Packet) {}
+
+func (b *BitDiffPPM) OnForward(cur, _ topology.NodeID, pk *packet.Packet) {
+	distMask := uint16(1<<b.distBits - 1)
+	if b.r.Float64() < b.P {
+		pk.Hdr.ID = b.lab.Label(cur) << (b.posBits + b.distBits)
+		return
+	}
+	dist := pk.Hdr.ID & distMask
+	if dist == 0 {
+		start := pk.Hdr.ID >> (b.posBits + b.distBits)
+		diff := start ^ b.lab.Label(cur)
+		pos := uint16(0)
+		for d := diff; d > 1; d >>= 1 {
+			pos++
+		}
+		pk.Hdr.ID = start<<(b.posBits+b.distBits) | pos<<b.distBits
+	}
+	if dist < distMask {
+		dist++
+	}
+	pk.Hdr.ID = pk.Hdr.ID&^distMask | dist
+}
+
+// DecodeMF returns the sampled edge: Start from the stored label, End
+// by flipping the stored bit position. The paper's example for
+// Figure 3(a): 1110 receives (0001, 1, 3) meaning label 0001 with bit 1
+// flipped → 0011, at distance 3.
+func (b *BitDiffPPM) DecodeMF(mf uint16) (EdgeSample, bool) {
+	startLbl := mf >> (b.posBits + b.distBits)
+	pos := mf >> b.distBits & (1<<b.posBits - 1)
+	dist := int(mf & (1<<b.distBits - 1))
+	start, ok := b.lab.Unlabel(startLbl)
+	if !ok {
+		return EdgeSample{}, false
+	}
+	es := EdgeSample{Start: start, Dist: dist}
+	if dist > 0 {
+		end, okE := b.lab.Unlabel(startLbl ^ 1<<pos)
+		if !okE {
+			return es, false
+		}
+		es.End = end
+		es.EndValid = true
+	}
+	return es, true
+}

@@ -1,0 +1,144 @@
+package marking
+
+// This file regenerates the paper's scalability analysis (Tables 1–3):
+// for each scheme and topology family, the MF bits required as a
+// function of size, and the largest cluster that fits the 16-bit MF.
+// Two computations are reported side by side:
+//
+//   - PaperBits: the closed-form expressions printed in the paper
+//     (log n² + log n² + log 2n, etc.), evaluated with exact ceilings;
+//   - ExactBits: the bit count of this package's concrete layouts.
+//
+// They agree everywhere except the paper's Table 2 mesh row, whose
+// printed maximum (64×64) is inconsistent with its own formula; see
+// EXPERIMENTS.md.
+
+// MFBits is the marking-field width every scheme must fit (the IPv4
+// Identification field).
+const MFBits = 16
+
+// SchemeKind enumerates the analyzed schemes.
+type SchemeKind int
+
+const (
+	KindSimplePPM SchemeKind = iota
+	KindBitDiffPPM
+	KindDDPM
+)
+
+func (k SchemeKind) String() string {
+	switch k {
+	case KindSimplePPM:
+		return "simple-ppm"
+	case KindBitDiffPPM:
+		return "bitdiff-ppm"
+	case KindDDPM:
+		return "ddpm"
+	default:
+		return "unknown"
+	}
+}
+
+// MeshBits returns the required MF bits for an n×n mesh or torus under
+// the given scheme, using this package's exact layouts:
+//
+//	simple PPM:  2·⌈log₂ n²⌉ + ⌈log₂ 2n⌉   (two labels + distance)
+//	bitdiff PPM: ⌈log₂ n²⌉ + ⌈log₂⌈log₂ n²⌉⌉ + ⌈log₂ 2n⌉
+//	DDPM:        2·(⌈log₂ n⌉ + 1)          (two signed fields)
+func MeshBits(kind SchemeKind, n int) int {
+	label := 2 * ceilLog2(n) // label bits for n×n nodes
+	dist := ceilLog2(2 * n)  // distance field covering the diameter 2n−2
+	switch kind {
+	case KindSimplePPM:
+		return 2*label + dist
+	case KindBitDiffPPM:
+		pos := ceilLog2(label)
+		if pos == 0 {
+			pos = 1
+		}
+		return label + pos + dist
+	case KindDDPM:
+		return 2 * (ceilLog2(n) + 1)
+	}
+	return -1
+}
+
+// CubeBits returns the required MF bits for an n-cube hypercube:
+//
+//	simple PPM:  2n + ⌈log₂(n+1)⌉
+//	bitdiff PPM: n + ⌈log₂ n⌉ + ⌈log₂(n+1)⌉
+//	DDPM:        n
+func CubeBits(kind SchemeKind, n int) int {
+	dist := ceilLog2(n + 1)
+	switch kind {
+	case KindSimplePPM:
+		return 2*n + dist
+	case KindBitDiffPPM:
+		pos := ceilLog2(n)
+		if pos == 0 {
+			pos = 1
+		}
+		return n + pos + dist
+	case KindDDPM:
+		return n
+	}
+	return -1
+}
+
+// MaxMesh returns the largest n (power of two, matching the paper's
+// table entries) such that an n×n mesh/torus fits the MF under kind,
+// and the corresponding node count.
+func MaxMesh(kind SchemeKind) (n, nodes int) {
+	best := 0
+	for k := 2; k <= 1<<12; k <<= 1 {
+		if MeshBits(kind, k) <= MFBits {
+			best = k
+		}
+	}
+	return best, best * best
+}
+
+// MaxCube returns the largest hypercube dimension fitting the MF under
+// kind, and the node count.
+func MaxCube(kind SchemeKind) (n, nodes int) {
+	best := 0
+	for k := 1; k <= 24; k++ {
+		if CubeBits(kind, k) <= MFBits {
+			best = k
+		}
+	}
+	return best, 1 << best
+}
+
+// PaperMaxMesh and PaperMaxCube are the maxima the paper's tables
+// claim, for side-by-side reporting.
+func PaperMaxMesh(kind SchemeKind) (n, nodes int) {
+	switch kind {
+	case KindSimplePPM:
+		return 8, 64 // Table 1: "8 × 8 nodes"
+	case KindBitDiffPPM:
+		return 64, 4096 // Table 2: "64 × 64 nodes" (inconsistent with its formula)
+	case KindDDPM:
+		return 128, 16384 // Table 3: "128 × 128 nodes"
+	}
+	return 0, 0
+}
+
+func PaperMaxCube(kind SchemeKind) (n, nodes int) {
+	switch kind {
+	case KindSimplePPM:
+		return 6, 64 // Table 1: "2^6 nodes"
+	case KindBitDiffPPM:
+		return 8, 256 // Table 2: "2^8 nodes"
+	case KindDDPM:
+		return 16, 65536 // Table 3: "2^16 nodes"
+	}
+	return 0, 0
+}
+
+// Mesh3DDDPMSplit returns the paper's explicit 3-D DDPM split — two
+// 5-bit fields and one 6-bit field — and the node count it supports
+// (16 × 16 × 32 = 8192, "8192 nodes cluster").
+func Mesh3DDDPMSplit() (widths []int, nodes int) {
+	return []int{5, 5, 6}, 16 * 16 * 32
+}

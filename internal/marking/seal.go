@@ -1,0 +1,104 @@
+package marking
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+// Ejector is the optional last hook of a marking scheme: the simulator
+// invokes OnEject at the destination switch just before handing the
+// packet to the victim's NIC. It exists for §6.2's "authentication
+// function working on the switching layer".
+type Ejector interface {
+	OnEject(pk *packet.Packet)
+}
+
+// SealTag is the authenticated ejection record a sealing switch
+// attaches: a truncated HMAC over the marking field and the header
+// addresses.
+type SealTag [8]byte
+
+// Seal wraps a scheme with destination-switch sealing: at ejection the
+// (trusted) destination switch MACs the marking field plus the header
+// endpoints with a key it shares with the victim host. The victim can
+// then hand the packet to any host-level audit pipeline knowing a
+// compromised process on the host cannot fabricate marking-field
+// "evidence" framing an innocent source — the forged tag will not
+// verify. This is the cheapest §6.2 authentication point: one HMAC per
+// *delivered* packet, nothing per hop, so the fabric's critical path is
+// untouched (BenchmarkSealCost quantifies the ejection cost).
+//
+// Seal must not wrap schemes that use the packet's Wide side band
+// (WidePPM); NewSeal rejects them.
+type Seal struct {
+	Inner Scheme
+	key   []byte
+
+	sealed uint64
+}
+
+// NewSeal wraps inner with the given key (≥ 16 bytes).
+func NewSeal(inner Scheme, key []byte) (*Seal, error) {
+	if inner == nil {
+		inner = Nop{}
+	}
+	if _, usesWide := inner.(*WidePPM); usesWide {
+		return nil, fmt.Errorf("marking: Seal cannot wrap %s (both use the wide side band)", inner.Name())
+	}
+	if len(key) < 16 {
+		return nil, fmt.Errorf("marking: seal key must be >= 16 bytes, got %d", len(key))
+	}
+	k := make([]byte, len(key))
+	copy(k, key)
+	return &Seal{Inner: inner, key: k}, nil
+}
+
+func (s *Seal) Name() string { return s.Inner.Name() + "+seal" }
+
+// Unwrap exposes the inner scheme.
+func (s *Seal) Unwrap() Scheme { return s.Inner }
+
+// Sealed returns the number of ejections sealed.
+func (s *Seal) Sealed() uint64 { return s.sealed }
+
+func (s *Seal) OnInject(pk *packet.Packet) { s.Inner.OnInject(pk) }
+
+func (s *Seal) OnForward(cur, next topology.NodeID, pk *packet.Packet) {
+	s.Inner.OnForward(cur, next, pk)
+}
+
+// OnEject computes and attaches the tag.
+func (s *Seal) OnEject(pk *packet.Packet) {
+	tag := s.mac(pk)
+	pk.Wide = &tag
+	s.sealed++
+}
+
+// Verify checks a delivered packet's tag; false means the tag is
+// missing or the MF/header was modified after ejection.
+func (s *Seal) Verify(pk *packet.Packet) bool {
+	tag, ok := pk.Wide.(*SealTag)
+	if !ok || tag == nil {
+		return false
+	}
+	want := s.mac(pk)
+	return hmac.Equal(tag[:], want[:])
+}
+
+func (s *Seal) mac(pk *packet.Packet) SealTag {
+	h := hmac.New(sha256.New, s.key)
+	var buf [14]byte
+	binary.BigEndian.PutUint16(buf[0:2], pk.Hdr.ID)
+	binary.BigEndian.PutUint32(buf[2:6], uint32(pk.Hdr.Src))
+	binary.BigEndian.PutUint32(buf[6:10], uint32(pk.Hdr.Dst))
+	binary.BigEndian.PutUint32(buf[10:14], uint32(pk.DstNode))
+	h.Write(buf[:])
+	var tag SealTag
+	copy(tag[:], h.Sum(nil))
+	return tag
+}

@@ -1,0 +1,96 @@
+package marking
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+var sealKey = []byte("0123456789abcdef0123456789abcdef")
+
+func TestSealRoundTrip(t *testing.T) {
+	m := topology.NewMesh2D(4)
+	inner, _ := NewDDPM(m)
+	s, err := NewSeal(inner, sealKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := packet.NewAddrPlan(packet.DefaultBase, m.NumNodes())
+	pk := packet.NewPacket(plan, 0, 5, packet.ProtoTCPSYN, 0)
+	s.OnInject(pk)
+	s.OnForward(0, 1, pk)
+	s.OnForward(1, 5, pk)
+	s.OnEject(pk)
+	if !s.Verify(pk) {
+		t.Fatal("fresh seal does not verify")
+	}
+	if s.Sealed() != 1 {
+		t.Errorf("Sealed = %d", s.Sealed())
+	}
+	// Inner scheme behavior unchanged: DDPM still identifies.
+	if got, ok := inner.IdentifySource(5, pk.Hdr.ID); !ok || got != 0 {
+		t.Errorf("DDPM through seal identified %d", got)
+	}
+	if s.Name() != "ddpm+seal" || s.Unwrap() != Scheme(inner) {
+		t.Error("wrapper surface wrong")
+	}
+}
+
+func TestSealDetectsHostTampering(t *testing.T) {
+	s, _ := NewSeal(Nop{}, sealKey)
+	plan := packet.NewAddrPlan(packet.DefaultBase, 16)
+	pk := packet.NewPacket(plan, 2, 7, packet.ProtoTCPSYN, 0)
+	pk.Hdr.ID = 0x1234
+	s.OnEject(pk)
+	if !s.Verify(pk) {
+		t.Fatal("seal does not verify")
+	}
+	// A compromised host rewrites the MF to frame someone else.
+	pk.Hdr.ID = 0x4321
+	if s.Verify(pk) {
+		t.Error("tampered MF verified")
+	}
+	pk.Hdr.ID = 0x1234
+	pk.Hdr.Src = plan.AddrOf(9)
+	if s.Verify(pk) {
+		t.Error("tampered source address verified")
+	}
+}
+
+func TestSealRejectsMissingOrForeignTag(t *testing.T) {
+	s, _ := NewSeal(Nop{}, sealKey)
+	plan := packet.NewAddrPlan(packet.DefaultBase, 16)
+	pk := packet.NewPacket(plan, 2, 7, packet.ProtoTCPSYN, 0)
+	if s.Verify(pk) {
+		t.Error("unsealed packet verified")
+	}
+	// A tag minted under a different key fails.
+	other, _ := NewSeal(Nop{}, []byte("ffffffffffffffffffffffffffffffff"))
+	other.OnEject(pk)
+	if s.Verify(pk) {
+		t.Error("foreign-key tag verified")
+	}
+}
+
+func TestSealValidation(t *testing.T) {
+	if _, err := NewSeal(Nop{}, []byte("short")); err == nil {
+		t.Error("short key accepted")
+	}
+	w, _ := NewWidePPM(0.1, rng.NewStream(1))
+	if _, err := NewSeal(w, sealKey); err == nil {
+		t.Error("wide-band scheme accepted (side-band collision)")
+	}
+}
+
+func BenchmarkSealCost(b *testing.B) {
+	// The §6.2 number: cost of one ejection-time HMAC.
+	s, _ := NewSeal(Nop{}, sealKey)
+	plan := packet.NewAddrPlan(packet.DefaultBase, 64)
+	pk := packet.NewPacket(plan, 2, 7, packet.ProtoTCPSYN, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.OnEject(pk)
+	}
+}

@@ -1,0 +1,72 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/marking"
+	"repro/internal/packet"
+	"repro/internal/rng"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// BenchmarkUniformLoad measures simulator throughput: events per second
+// moving 1000 uniform packets through an 8×8 mesh.
+func BenchmarkUniformLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := topology.NewMesh2D(8)
+		r := routing.NewRouter(m, routing.NewMinimalAdaptive(m))
+		r.Sel = routing.CongestionSelector{R: rng.NewStream(uint64(i))}
+		plan := packet.NewAddrPlan(packet.DefaultBase, m.NumNodes())
+		n, err := New(Config{Net: m, Router: r, Plan: plan, QueueCap: 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		stream := rng.NewStream(uint64(i) + 99)
+		for k := 0; k < 1000; k++ {
+			src := topology.NodeID(stream.Intn(m.NumNodes()))
+			dst := topology.NodeID(stream.Intn(m.NumNodes()))
+			n.InjectAt(0, packet.NewPacket(plan, src, dst, packet.ProtoUDP, 32))
+		}
+		n.RunAll(10_000_000)
+		if n.Stats().Delivered+n.Stats().DroppedTotal() != 1000 {
+			b.Fatal("packets lost")
+		}
+	}
+}
+
+// BenchmarkMarkedVsUnmarkedFabric isolates the per-packet scheme cost
+// inside the event-driven fabric.
+func BenchmarkMarkedVsUnmarkedFabric(b *testing.B) {
+	for _, withDDPM := range []bool{false, true} {
+		name := "none"
+		if withDDPM {
+			name = "ddpm"
+		}
+		b.Run(name, func(b *testing.B) {
+			m := topology.NewMesh2D(8)
+			var scheme marking.Scheme = marking.Nop{}
+			if withDDPM {
+				d, err := marking.NewDDPM(m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				scheme = d
+			}
+			for i := 0; i < b.N; i++ {
+				r := routing.NewRouter(m, routing.NewXY(m))
+				plan := packet.NewAddrPlan(packet.DefaultBase, m.NumNodes())
+				n, err := New(Config{Net: m, Router: r, Scheme: scheme, Plan: plan, QueueCap: 512})
+				if err != nil {
+					b.Fatal(err)
+				}
+				src := m.IndexOf(topology.Coord{0, 0})
+				dst := m.IndexOf(topology.Coord{7, 7})
+				for k := 0; k < 200; k++ {
+					n.InjectAt(0, packet.NewPacket(plan, src, dst, packet.ProtoTCPSYN, 32))
+				}
+				n.RunAll(10_000_000)
+			}
+		})
+	}
+}

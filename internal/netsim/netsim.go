@@ -1,0 +1,360 @@
+// Package netsim is the cluster-interconnect simulator the experiments
+// run on: a discrete-event, packet-level model of a direct network
+// whose switches are separate from the compute nodes (the paper's §4.1
+// assumption), forward packets under a pluggable routing algorithm, and
+// execute a pluggable marking scheme at every hop in the Figure 4
+// order (route first, then mark, then transmit).
+//
+// The model per switch: one output queue per outgoing link with unit
+// service rate (one packet per tick) and a configurable link latency.
+// Adaptive routers see queue depths through the routing.LinkState
+// congestion oracle, so congestion actually spreads traffic — the
+// behavior that breaks path-based marking schemes.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/eventq"
+	"repro/internal/marking"
+	"repro/internal/packet"
+	"repro/internal/routing"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// DropReason classifies why the fabric discarded a packet.
+type DropReason int
+
+const (
+	DropNone      DropReason = iota
+	DropNoRoute              // routing stranded the packet (failures/turn rules)
+	DropTTL                  // TTL expired (misrouting livelock guard)
+	DropQueueFull            // output queue overflow — the congestion loss mode
+)
+
+func (d DropReason) String() string {
+	switch d {
+	case DropNone:
+		return "none"
+	case DropNoRoute:
+		return "no-route"
+	case DropTTL:
+		return "ttl-expired"
+	case DropQueueFull:
+		return "queue-full"
+	default:
+		return fmt.Sprintf("drop(%d)", int(d))
+	}
+}
+
+// Config assembles a simulation.
+type Config struct {
+	Net    topology.Network
+	Router *routing.Router
+	Scheme marking.Scheme
+	Plan   *packet.AddrPlan
+
+	// LinkLatency is the propagation delay of one hop in ticks (≥ 1).
+	LinkLatency eventq.Time
+
+	// QueueCap is the per-output-link queue capacity in packets (≥ 1).
+	QueueCap int
+
+	// SwitchDelay is the per-switch processing time in ticks (≥ 0),
+	// covering routing plus marking.
+	SwitchDelay eventq.Time
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Net == nil || c.Router == nil || c.Plan == nil {
+		return fmt.Errorf("netsim: Net, Router and Plan are required")
+	}
+	if c.Scheme == nil {
+		c.Scheme = marking.Nop{}
+	}
+	if c.LinkLatency <= 0 {
+		c.LinkLatency = 1
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 16
+	}
+	if c.SwitchDelay < 0 {
+		return fmt.Errorf("netsim: negative SwitchDelay")
+	}
+	if c.Plan.NumNodes() != c.Net.NumNodes() {
+		return fmt.Errorf("netsim: plan has %d nodes, network has %d", c.Plan.NumNodes(), c.Net.NumNodes())
+	}
+	return nil
+}
+
+// DeliverFunc receives every packet ejected to its destination NIC.
+type DeliverFunc func(now eventq.Time, pk *packet.Packet)
+
+// DropFunc receives every discarded packet.
+type DropFunc func(now eventq.Time, pk *packet.Packet, reason DropReason)
+
+// Stats aggregates fabric-level counters.
+type Stats struct {
+	Injected  uint64
+	Delivered uint64
+	Dropped   map[DropReason]uint64
+	TotalHops uint64
+	// LatencySum accumulates delivery latency in ticks for averaging.
+	LatencySum uint64
+	// Misroutes counts non-productive hops taken.
+	Misroutes uint64
+}
+
+// AvgLatency returns mean delivery latency in ticks.
+func (s Stats) AvgLatency() float64 {
+	if s.Delivered == 0 {
+		return 0
+	}
+	return float64(s.LatencySum) / float64(s.Delivered)
+}
+
+// AvgHops returns mean hop count of delivered packets.
+func (s Stats) AvgHops() float64 {
+	if s.Delivered == 0 {
+		return 0
+	}
+	return float64(s.TotalHops) / float64(s.Delivered)
+}
+
+// DroppedTotal sums drops across reasons.
+func (s Stats) DroppedTotal() uint64 {
+	var t uint64
+	for _, v := range s.Dropped {
+		t += v
+	}
+	return t
+}
+
+// outLink is one output port's queue + serializer.
+type outLink struct {
+	to    topology.NodeID
+	queue []*packet.Packet
+	busy  bool
+}
+
+// Network is the running simulator.
+type Network struct {
+	cfg   Config
+	Q     *eventq.Queue
+	links map[topology.Link]*outLink
+	stats Stats
+
+	onDeliver DeliverFunc
+	onDrop    DropFunc
+
+	// misroutesUsed tracks per-packet misroute budget consumption,
+	// keyed by packet sequence number.
+	misroutesUsed map[uint64]int
+
+	nextSeq uint64
+
+	// latHist, when set, receives each delivered packet's latency.
+	latHist *stats.Histogram
+
+	// linkPkts counts packets serialized onto each directed link — the
+	// per-link load profile hotspot analyses read.
+	linkPkts map[topology.Link]uint64
+}
+
+// New builds a simulator; the router's congestion oracle is wired to
+// the output-queue depths.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	n := &Network{
+		cfg:           cfg,
+		Q:             eventq.New(),
+		links:         make(map[topology.Link]*outLink),
+		misroutesUsed: make(map[uint64]int),
+		linkPkts:      make(map[topology.Link]uint64),
+	}
+	n.stats.Dropped = make(map[DropReason]uint64)
+	for _, l := range topology.Links(cfg.Net) {
+		n.links[l] = &outLink{to: l.To}
+	}
+	cfg.Router.State.Congestion = func(l topology.Link) int {
+		if ol, ok := n.links[l]; ok {
+			return len(ol.queue)
+		}
+		return 0
+	}
+	return n, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (n *Network) Stats() Stats {
+	s := n.stats
+	s.Dropped = make(map[DropReason]uint64, len(n.stats.Dropped))
+	for k, v := range n.stats.Dropped {
+		s.Dropped[k] = v
+	}
+	return s
+}
+
+// OnDeliver registers the delivery sink (victim NICs, traceback
+// observers). Only one sink is supported; use a fan-out closure for
+// multiple observers.
+func (n *Network) OnDeliver(fn DeliverFunc) { n.onDeliver = fn }
+
+// OnDrop registers the drop sink.
+func (n *Network) OnDrop(fn DropFunc) { n.onDrop = fn }
+
+// SetLatencyHistogram attaches a histogram that receives every
+// delivered packet's latency in ticks.
+func (n *Network) SetLatencyHistogram(h *stats.Histogram) { n.latHist = h }
+
+// LinkLoad returns the number of packets serialized onto the directed
+// link so far.
+func (n *Network) LinkLoad(l topology.Link) uint64 { return n.linkPkts[l] }
+
+// HottestLinks returns the k most-loaded directed links, descending;
+// ties break on (From, To) for determinism.
+func (n *Network) HottestLinks(k int) []topology.Link {
+	links := make([]topology.Link, 0, len(n.linkPkts))
+	for l, c := range n.linkPkts {
+		if c > 0 {
+			links = append(links, l)
+		}
+	}
+	sort.Slice(links, func(i, j int) bool {
+		ci, cj := n.linkPkts[links[i]], n.linkPkts[links[j]]
+		if ci != cj {
+			return ci > cj
+		}
+		if links[i].From != links[j].From {
+			return links[i].From < links[j].From
+		}
+		return links[i].To < links[j].To
+	})
+	if k > len(links) {
+		k = len(links)
+	}
+	return links[:k]
+}
+
+// Now returns the current simulation time.
+func (n *Network) Now() eventq.Time { return n.Q.Now() }
+
+// Inject introduces a packet into the fabric at its source node's
+// switch at the current simulation time. The scheme's OnInject hook
+// runs here — the "first enters a switch from a computing node" moment.
+func (n *Network) Inject(pk *packet.Packet) {
+	n.InjectAt(n.Q.Now(), pk)
+}
+
+// InjectAt schedules the injection at a future time.
+func (n *Network) InjectAt(at eventq.Time, pk *packet.Packet) {
+	if pk.SrcNode < 0 || int(pk.SrcNode) >= n.cfg.Net.NumNodes() {
+		panic(fmt.Sprintf("netsim: inject at invalid node %d", pk.SrcNode))
+	}
+	pk.Seq = n.nextSeq
+	n.nextSeq++
+	n.stats.Injected++
+	n.Q.At(at, func(now eventq.Time) {
+		pk.InjectedAt = int64(now)
+		n.cfg.Scheme.OnInject(pk)
+		n.arriveAtSwitch(now, pk, pk.SrcNode)
+	})
+}
+
+// arriveAtSwitch processes a packet at switch cur: eject, or route +
+// mark + enqueue.
+func (n *Network) arriveAtSwitch(now eventq.Time, pk *packet.Packet, cur topology.NodeID) {
+	if cur == pk.DstNode {
+		n.deliver(now, pk)
+		return
+	}
+	if pk.Hdr.TTL == 0 {
+		n.drop(now, pk, DropTTL)
+		return
+	}
+	hop, err := n.cfg.Router.NextHop(cur, pk.DstNode, n.misroutesUsed[pk.Seq])
+	if err != nil {
+		n.drop(now, pk, DropNoRoute)
+		return
+	}
+	if hop.Misroute {
+		n.misroutesUsed[pk.Seq]++
+		n.stats.Misroutes++
+	}
+	// Figure 4 order: the routing decision is committed, now mark.
+	n.cfg.Scheme.OnForward(cur, hop.Next, pk)
+	pk.Hdr.TTL--
+	n.enqueue(now, pk, topology.Link{From: cur, To: hop.Next})
+}
+
+func (n *Network) enqueue(now eventq.Time, pk *packet.Packet, l topology.Link) {
+	ol := n.links[l]
+	if ol == nil {
+		panic(fmt.Sprintf("netsim: no link %v", l))
+	}
+	if len(ol.queue) >= n.cfg.QueueCap {
+		n.drop(now, pk, DropQueueFull)
+		return
+	}
+	ol.queue = append(ol.queue, pk)
+	if !ol.busy {
+		n.startTransmit(now, l, ol)
+	}
+}
+
+// startTransmit begins serializing the head packet: one tick of
+// service plus SwitchDelay, then LinkLatency of flight.
+func (n *Network) startTransmit(now eventq.Time, l topology.Link, ol *outLink) {
+	ol.busy = true
+	n.Q.At(now+1+n.cfg.SwitchDelay, func(t eventq.Time) {
+		pk := ol.queue[0]
+		ol.queue = ol.queue[1:]
+		pk.Hops++
+		n.linkPkts[l]++
+		n.Q.At(t+n.cfg.LinkLatency, func(t2 eventq.Time) {
+			n.arriveAtSwitch(t2, pk, l.To)
+		})
+		if len(ol.queue) > 0 {
+			n.startTransmit(t, l, ol)
+		} else {
+			ol.busy = false
+		}
+	})
+}
+
+func (n *Network) deliver(now eventq.Time, pk *packet.Packet) {
+	// §6.2 authentication point: the destination switch's ejection hook
+	// (e.g. marking.Seal) runs before the NIC sees the packet.
+	if ej, ok := n.cfg.Scheme.(marking.Ejector); ok {
+		ej.OnEject(pk)
+	}
+	pk.DeliveredAt = int64(now)
+	n.stats.Delivered++
+	n.stats.TotalHops += uint64(pk.Hops)
+	n.stats.LatencySum += uint64(int64(now) - pk.InjectedAt)
+	if n.latHist != nil {
+		n.latHist.Add(float64(int64(now) - pk.InjectedAt))
+	}
+	delete(n.misroutesUsed, pk.Seq)
+	if n.onDeliver != nil {
+		n.onDeliver(now, pk)
+	}
+}
+
+func (n *Network) drop(now eventq.Time, pk *packet.Packet, reason DropReason) {
+	n.stats.Dropped[reason]++
+	delete(n.misroutesUsed, pk.Seq)
+	if n.onDrop != nil {
+		n.onDrop(now, pk, reason)
+	}
+}
+
+// Run executes events until the horizon (exclusive); RunAll drains the
+// queue with a runaway bound.
+func (n *Network) Run(horizon eventq.Time) { n.Q.Run(horizon) }
+
+func (n *Network) RunAll(maxEvents uint64) { n.Q.Drain(maxEvents) }

@@ -1,0 +1,45 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/eventq"
+	"repro/internal/marking"
+	"repro/internal/packet"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func TestEjectionHookSealsDeliveredPackets(t *testing.T) {
+	m := topology.NewMesh2D(4)
+	d, _ := marking.NewDDPM(m)
+	seal, err := marking.NewSeal(d, []byte("0123456789abcdef0123456789abcdef"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := routing.NewRouter(m, routing.NewXY(m))
+	plan := packet.NewAddrPlan(packet.DefaultBase, m.NumNodes())
+	n, err := New(Config{Net: m, Router: r, Scheme: seal, Plan: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verified := 0
+	n.OnDeliver(func(_ eventq.Time, pk *packet.Packet) {
+		if seal.Verify(pk) {
+			verified++
+		}
+		if got, ok := d.IdentifySource(pk.DstNode, pk.Hdr.ID); !ok || got != pk.SrcNode {
+			t.Error("DDPM through seal misidentified")
+		}
+	})
+	for i := 0; i < 20; i++ {
+		n.InjectAt(eventq.Time(i), packet.NewPacket(plan, topology.NodeID(i%15), 15, packet.ProtoTCPSYN, 0))
+	}
+	n.RunAll(1_000_000)
+	if verified != 20 {
+		t.Errorf("verified %d/20 delivered packets", verified)
+	}
+	if seal.Sealed() != 20 {
+		t.Errorf("Sealed = %d", seal.Sealed())
+	}
+}

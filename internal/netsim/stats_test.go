@@ -1,0 +1,76 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/routing"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+func TestLatencyHistogramFills(t *testing.T) {
+	m := topology.NewMesh2D(4)
+	r := routing.NewRouter(m, routing.NewXY(m))
+	plan := packet.NewAddrPlan(packet.DefaultBase, m.NumNodes())
+	n, err := New(Config{Net: m, Router: r, Plan: plan, QueueCap: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := stats.NewHistogram(0, 200, 40)
+	n.SetLatencyHistogram(h)
+	src, dst := m.IndexOf(topology.Coord{0, 0}), m.IndexOf(topology.Coord{3, 3})
+	for i := 0; i < 50; i++ {
+		n.InjectAt(0, packet.NewPacket(plan, src, dst, packet.ProtoUDP, 0))
+	}
+	n.RunAll(1_000_000)
+	if h.N() != 50 {
+		t.Fatalf("histogram saw %d deliveries", h.N())
+	}
+	// Same-pair burst through one XY path: the 50th packet queues
+	// behind 49 others, so P90 must exceed P10 by a wide margin.
+	if h.Percentile(90) <= h.Percentile(10) {
+		t.Errorf("P90 %.1f <= P10 %.1f under queueing", h.Percentile(90), h.Percentile(10))
+	}
+	if h.Mean() < float64(m.MinDistance(src, dst)) {
+		t.Errorf("mean latency %.1f below hop floor", h.Mean())
+	}
+}
+
+func TestLinkLoadAndHottestLinks(t *testing.T) {
+	m := topology.NewMesh2D(4)
+	r := routing.NewRouter(m, routing.NewXY(m))
+	plan := packet.NewAddrPlan(packet.DefaultBase, m.NumNodes())
+	n, err := New(Config{Net: m, Router: r, Plan: plan, QueueCap: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dst := m.IndexOf(topology.Coord{0, 0}), m.IndexOf(topology.Coord{0, 3})
+	for i := 0; i < 30; i++ {
+		n.InjectAt(0, packet.NewPacket(plan, src, dst, packet.ProtoUDP, 0))
+	}
+	n.RunAll(1_000_000)
+	// XY drives every packet down the same three row links.
+	first := topology.Link{From: src, To: m.IndexOf(topology.Coord{0, 1})}
+	if got := n.LinkLoad(first); got != 30 {
+		t.Errorf("LinkLoad(first hop) = %d, want 30", got)
+	}
+	hot := n.HottestLinks(3)
+	if len(hot) != 3 {
+		t.Fatalf("HottestLinks = %v", hot)
+	}
+	for _, l := range hot {
+		if n.LinkLoad(l) != 30 {
+			t.Errorf("hot link %v load = %d, want 30", l, n.LinkLoad(l))
+		}
+	}
+	// Unused links report zero and never appear.
+	cold := topology.Link{From: m.IndexOf(topology.Coord{3, 3}), To: m.IndexOf(topology.Coord{3, 2})}
+	if n.LinkLoad(cold) != 0 {
+		t.Error("cold link has load")
+	}
+	all := n.HottestLinks(1000)
+	if len(all) != 3 {
+		t.Errorf("loaded links = %d, want 3", len(all))
+	}
+}

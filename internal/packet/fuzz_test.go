@@ -1,0 +1,49 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal checks the parser never panics and that every accepted
+// header re-marshals to identical bytes (parse/print round trip).
+func FuzzUnmarshal(f *testing.F) {
+	h := Header{TTL: 64, Proto: ProtoTCPSYN, ID: 0x1234, Src: 0x0A000001, Dst: 0x0A000002, Length: 60}
+	f.Add(h.Marshal())
+	f.Add(make([]byte, HeaderLen))
+	f.Add([]byte{0x45})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		re := got.Marshal()
+		if !bytes.Equal(re, data[:HeaderLen]) {
+			t.Fatalf("accepted header does not round trip:\n in  %x\n out %x", data[:HeaderLen], re)
+		}
+	})
+}
+
+// FuzzChecksum checks the verification identity: any marshaled header
+// verifies to zero, and flipping any bit breaks it.
+func FuzzChecksum(f *testing.F) {
+	f.Add(uint8(64), uint8(6), uint16(1), uint32(2), uint32(3), uint16(20), uint8(0))
+	f.Fuzz(func(t *testing.T, ttl, proto uint8, id uint16, src, dst uint32, length uint16, flip uint8) {
+		h := Header{TTL: ttl, Proto: Proto(proto), ID: id, Src: Addr(src), Dst: Addr(dst), Length: length}
+		b := h.Marshal()
+		if Verify(b) != 0 {
+			t.Fatal("fresh header does not verify")
+		}
+		pos := int(flip) % (HeaderLen * 8)
+		if pos/8 == 0 {
+			return // flipping version byte is rejected before checksum
+		}
+		b[pos/8] ^= 1 << (pos % 8)
+		if _, err := Unmarshal(b); err == nil {
+			// A flipped bit may cancel only if it hits the checksum
+			// field itself in a way that keeps the fold consistent —
+			// impossible for a single bit flip in one's complement.
+			t.Fatalf("single-bit corruption at %d accepted", pos)
+		}
+	})
+}

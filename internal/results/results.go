@@ -1,0 +1,163 @@
+// Package results provides the small, dependency-free result sinks the
+// experiment harness writes through: an escaping CSV writer with a
+// fixed header discipline and a JSONL (one-object-per-line) writer, so
+// sweeps can be piped straight into plotting tools. Everything is
+// deterministic: column order is fixed at construction, map iteration
+// never leaks into output.
+package results
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CSV writes rows under a fixed header. It escapes per RFC 4180
+// (quotes around fields containing commas, quotes or newlines; embedded
+// quotes doubled).
+type CSV struct {
+	w      io.Writer
+	cols   []string
+	wrote  int
+	failed error
+}
+
+// NewCSV writes the header immediately. At least one column is
+// required; column names must be unique.
+func NewCSV(w io.Writer, columns ...string) (*CSV, error) {
+	if len(columns) == 0 {
+		return nil, fmt.Errorf("results: CSV needs at least one column")
+	}
+	seen := map[string]bool{}
+	for _, c := range columns {
+		if seen[c] {
+			return nil, fmt.Errorf("results: duplicate column %q", c)
+		}
+		seen[c] = true
+	}
+	c := &CSV{w: w, cols: append([]string(nil), columns...)}
+	if err := c.writeRecord(c.cols); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Columns returns the header.
+func (c *CSV) Columns() []string { return append([]string(nil), c.cols...) }
+
+// Rows returns the number of data rows written.
+func (c *CSV) Rows() int { return c.wrote }
+
+// Row writes one record; the value count must match the header.
+// Supported types: string, bool, integers, floats, fmt.Stringer.
+func (c *CSV) Row(values ...any) error {
+	if c.failed != nil {
+		return c.failed
+	}
+	if len(values) != len(c.cols) {
+		return fmt.Errorf("results: row has %d values, header has %d", len(values), len(c.cols))
+	}
+	fields := make([]string, len(values))
+	for i, v := range values {
+		fields[i] = format(v)
+	}
+	if err := c.writeRecord(fields); err != nil {
+		c.failed = err
+		return err
+	}
+	c.wrote++
+	return nil
+}
+
+func (c *CSV) writeRecord(fields []string) error {
+	for i, f := range fields {
+		fields[i] = escape(f)
+	}
+	_, err := io.WriteString(c.w, strings.Join(fields, ",")+"\n")
+	return err
+}
+
+func escape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n\r") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+func format(v any) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case bool:
+		return strconv.FormatBool(x)
+	case int:
+		return strconv.Itoa(x)
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case uint64:
+		return strconv.FormatUint(x, 10)
+	case float64:
+		return strconv.FormatFloat(x, 'g', 6, 64)
+	case float32:
+		return strconv.FormatFloat(float64(x), 'g', 6, 32)
+	case fmt.Stringer:
+		return x.String()
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// JSONL writes one JSON object per line. Keys are emitted in the fixed
+// order given at construction (encoding/json maps would sort, but a
+// fixed declared order keeps columns aligned with CSV twins).
+type JSONL struct {
+	w    io.Writer
+	keys []string
+}
+
+// NewJSONL fixes the key order.
+func NewJSONL(w io.Writer, keys ...string) (*JSONL, error) {
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("results: JSONL needs at least one key")
+	}
+	return &JSONL{w: w, keys: append([]string(nil), keys...)}, nil
+}
+
+// Row writes one object; values align positionally with the keys.
+func (j *JSONL) Row(values ...any) error {
+	if len(values) != len(j.keys) {
+		return fmt.Errorf("results: row has %d values, keys have %d", len(values), len(j.keys))
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range j.keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		kb, err := json.Marshal(k)
+		if err != nil {
+			return err
+		}
+		vb, err := json.Marshal(normalize(values[i]))
+		if err != nil {
+			return fmt.Errorf("results: key %q: %w", k, err)
+		}
+		sb.Write(kb)
+		sb.WriteByte(':')
+		sb.Write(vb)
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(j.w, sb.String())
+	return err
+}
+
+// normalize renders Stringers as their string form so node ids and
+// enums serialize readably.
+func normalize(v any) any {
+	if s, ok := v.(fmt.Stringer); ok {
+		return s.String()
+	}
+	return v
+}

@@ -1,0 +1,156 @@
+package results
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+func TestCSVBasic(t *testing.T) {
+	var sb strings.Builder
+	c, err := NewCSV(&sb, "a", "b", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Row("x", 1, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Row("y", int64(-7), false); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b,c\nx,1,2.5\ny,-7,false\n"
+	if sb.String() != want {
+		t.Errorf("csv = %q, want %q", sb.String(), want)
+	}
+	if c.Rows() != 2 {
+		t.Errorf("Rows = %d", c.Rows())
+	}
+	if got := c.Columns(); len(got) != 3 || got[0] != "a" {
+		t.Errorf("Columns = %v", got)
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	var sb strings.Builder
+	c, _ := NewCSV(&sb, "v")
+	if err := c.Row(`with,comma and "quote"` + "\nnewline"); err != nil {
+		t.Fatal(err)
+	}
+	want := "v\n\"with,comma and \"\"quote\"\"\nnewline\"\n"
+	if sb.String() != want {
+		t.Errorf("csv = %q", sb.String())
+	}
+}
+
+func TestCSVValidation(t *testing.T) {
+	var sb strings.Builder
+	if _, err := NewCSV(&sb); err == nil {
+		t.Error("zero columns accepted")
+	}
+	if _, err := NewCSV(&sb, "a", "a"); err == nil {
+		t.Error("duplicate columns accepted")
+	}
+	c, _ := NewCSV(&sb, "a", "b")
+	if err := c.Row(1); err == nil {
+		t.Error("short row accepted")
+	}
+}
+
+func TestCSVStringer(t *testing.T) {
+	var sb strings.Builder
+	c, _ := NewCSV(&sb, "reason")
+	if err := c.Row(netsim.DropTTL); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "ttl-expired") {
+		t.Errorf("stringer not rendered: %q", sb.String())
+	}
+}
+
+func TestJSONLBasic(t *testing.T) {
+	var sb strings.Builder
+	j, err := NewJSONL(&sb, "name", "n", "ok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Row("run1", 42, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Row("run2", 0, false); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	var obj map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &obj); err != nil {
+		t.Fatalf("line not JSON: %v", err)
+	}
+	if obj["name"] != "run1" || obj["n"] != float64(42) || obj["ok"] != true {
+		t.Errorf("obj = %v", obj)
+	}
+	// Declared key order preserved verbatim.
+	if !strings.HasPrefix(lines[0], `{"name":`) {
+		t.Errorf("key order not fixed: %q", lines[0])
+	}
+}
+
+func TestJSONLValidation(t *testing.T) {
+	var sb strings.Builder
+	if _, err := NewJSONL(&sb); err == nil {
+		t.Error("zero keys accepted")
+	}
+	j, _ := NewJSONL(&sb, "a")
+	if err := j.Row(1, 2); err == nil {
+		t.Error("long row accepted")
+	}
+}
+
+func TestJSONLStringer(t *testing.T) {
+	var sb strings.Builder
+	j, _ := NewJSONL(&sb, "reason")
+	if err := j.Row(netsim.DropQueueFull); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"queue-full"`) {
+		t.Errorf("stringer not rendered: %q", sb.String())
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n++
+	if f.n > 1 {
+		return 0, errSink
+	}
+	return len(p), nil
+}
+
+var errSink = errors.New("sink failed")
+
+func TestCSVStickyFailure(t *testing.T) {
+	fw := &failWriter{}
+	c, err := NewCSV(fw, "a") // header write succeeds
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Row(1); err == nil {
+		t.Fatal("write to failing sink succeeded")
+	}
+	// Subsequent rows fail fast without touching the sink.
+	n := fw.n
+	if err := c.Row(2); err == nil {
+		t.Fatal("sticky failure not reported")
+	}
+	if fw.n != n {
+		t.Error("failed CSV kept writing to the sink")
+	}
+	if c.Rows() != 0 {
+		t.Errorf("Rows = %d after failures", c.Rows())
+	}
+}

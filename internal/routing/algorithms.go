@@ -1,0 +1,339 @@
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// DimensionOrder is deterministic dimension-order routing: resolve the
+// lowest-index unresolved dimension completely before touching the
+// next. On a 2-D mesh this is the paper's XY routing ("forwards packets
+// along rows first and then along columns later. Just one turn is
+// allowed"); on a hypercube it is e-cube routing. It offers exactly one
+// path per (src, dst) pair, which is why classic marking schemes assume
+// it — and why adaptive fabrics break them.
+type DimensionOrder struct {
+	net   topology.Network
+	order []int // dimension resolution order
+	name  string
+}
+
+// NewDimensionOrder builds DOR resolving dimensions in ascending index
+// order, for any topology.
+func NewDimensionOrder(net topology.Network) *DimensionOrder {
+	order := make([]int, len(net.Dims()))
+	for i := range order {
+		order[i] = i
+	}
+	return &DimensionOrder{net: net, order: order, name: "dor"}
+}
+
+// NewXY builds the paper's XY routing on a 2-D network: packets move
+// along the row (resolving the column coordinate, dimension 1) first,
+// then along the column (dimension 0) — "just one turn is allowed".
+func NewXY(net topology.Network) *DimensionOrder {
+	if len(net.Dims()) != 2 {
+		panic(fmt.Sprintf("routing: XY requires a 2-D network, got %s", net.Name()))
+	}
+	return &DimensionOrder{net: net, order: []int{1, 0}, name: "xy"}
+}
+
+func (d *DimensionOrder) Name() string           { return d.name }
+func (d *DimensionOrder) Adaptivity() Adaptivity { return Deterministic }
+
+func (d *DimensionOrder) Candidates(cur, dst topology.NodeID) (productive, nonproductive []topology.NodeID) {
+	mins := topology.MinimalDims(d.net, cur, dst)
+	if len(mins) == 0 {
+		return nil, nil
+	}
+	byDim := make(map[int]topology.DimDir, len(mins))
+	for _, mv := range mins {
+		byDim[mv.Dim] = mv
+	}
+	for _, dim := range d.order {
+		mv, ok := byDim[dim]
+		if !ok {
+			continue
+		}
+		next := d.net.Step(cur, mv.Dim, mv.Dir)
+		if next == topology.None {
+			return nil, nil
+		}
+		return []topology.NodeID{next}, nil
+	}
+	return nil, nil
+}
+
+// MinimalAdaptive is fully adaptive minimal routing: every productive
+// dimension move is permissible at every hop, so the packet can slide
+// around congestion and failures inside its minimal quadrant. It works
+// on every topology.
+type MinimalAdaptive struct {
+	net topology.Network
+}
+
+// NewMinimalAdaptive builds the algorithm for any topology.
+func NewMinimalAdaptive(net topology.Network) *MinimalAdaptive {
+	return &MinimalAdaptive{net: net}
+}
+
+func (m *MinimalAdaptive) Name() string           { return "minimal-adaptive" }
+func (m *MinimalAdaptive) Adaptivity() Adaptivity { return FullyAdaptive }
+
+func (m *MinimalAdaptive) Candidates(cur, dst topology.NodeID) (productive, nonproductive []topology.NodeID) {
+	for _, mv := range topology.MinimalDims(m.net, cur, dst) {
+		if next := m.net.Step(cur, mv.Dim, mv.Dir); next != topology.None {
+			productive = append(productive, next)
+		}
+		// On a torus, a dimension at exactly half the ring is minimal
+		// both ways; expose the second direction too.
+		if m.net.Wraparound() {
+			k := m.net.Dims()[mv.Dim]
+			cc, dc := m.net.CoordOf(cur), m.net.CoordOf(dst)
+			fwd := ((dc[mv.Dim]-cc[mv.Dim])%k + k) % k
+			if fwd*2 == k {
+				if next := m.net.Step(cur, mv.Dim, -mv.Dir); next != topology.None {
+					productive = append(productive, next)
+				}
+			}
+		}
+	}
+	return productive, nil
+}
+
+// FullyAdaptiveMisroute extends MinimalAdaptive with legal misrouting:
+// every neighbor is permissible, with non-minimal hops charged against
+// the Router's misroute budget (livelock avoidance by bounded
+// misrouting). This is the paper's Figure 2(c) "fully adaptive routing
+// does not have such restrictions" algorithm.
+type FullyAdaptiveMisroute struct {
+	net topology.Network
+	min *MinimalAdaptive
+}
+
+// NewFullyAdaptiveMisroute builds the algorithm for any topology.
+func NewFullyAdaptiveMisroute(net topology.Network) *FullyAdaptiveMisroute {
+	return &FullyAdaptiveMisroute{net: net, min: NewMinimalAdaptive(net)}
+}
+
+func (f *FullyAdaptiveMisroute) Name() string           { return "fully-adaptive" }
+func (f *FullyAdaptiveMisroute) Adaptivity() Adaptivity { return FullyAdaptive }
+
+func (f *FullyAdaptiveMisroute) Candidates(cur, dst topology.NodeID) (productive, nonproductive []topology.NodeID) {
+	productive, _ = f.min.Candidates(cur, dst)
+	inProd := make(map[topology.NodeID]bool, len(productive))
+	for _, p := range productive {
+		inProd[p] = true
+	}
+	for _, nb := range f.net.Neighbors(cur) {
+		if !inProd[nb] {
+			nonproductive = append(nonproductive, nb)
+		}
+	}
+	return productive, nonproductive
+}
+
+// mesh2D asserts the algorithm's topology requirement and caches the
+// geometry for the 2-D turn-model algorithms. Directions follow the
+// paper's Figure 2 compass: dimension 0 is the row (north = −1,
+// south = +1), dimension 1 is the column (west = −1, east = +1).
+type mesh2D struct {
+	m *topology.Mesh
+}
+
+func newMesh2D(kind string, net topology.Network) mesh2D {
+	m, ok := net.(*topology.Mesh)
+	if !ok || len(m.Dims()) != 2 {
+		panic(fmt.Sprintf("routing: %s requires a 2-D mesh, got %s", kind, net.Name()))
+	}
+	return mesh2D{m: m}
+}
+
+func (g mesh2D) step(cur topology.NodeID, dim, dir int) topology.NodeID {
+	return g.m.Step(cur, dim, dir)
+}
+
+// WestFirst is the Glass–Ni turn-model algorithm of Figure 2(b):
+// a packet makes all its westward hops first; afterwards it may route
+// adaptively east, north and south, including non-minimal north/south
+// misroutes around faults — but it may never turn (back) into west, and
+// it never overshoots east of the destination column (an east overshoot
+// would require a later illegal west turn).
+type WestFirst struct {
+	g mesh2D
+}
+
+// NewWestFirst builds the algorithm; it panics unless net is a 2-D mesh.
+func NewWestFirst(net topology.Network) *WestFirst {
+	return &WestFirst{g: newMesh2D("west-first", net)}
+}
+
+func (w *WestFirst) Name() string           { return "west-first" }
+func (w *WestFirst) Adaptivity() Adaptivity { return PartiallyAdaptive }
+
+func (w *WestFirst) Candidates(cur, dst topology.NodeID) (productive, nonproductive []topology.NodeID) {
+	cc, dc := w.g.m.CoordOf(cur), w.g.m.CoordOf(dst)
+	if dc[1] < cc[1] {
+		// Westward displacement outstanding: west is the only legal
+		// move, with no adaptive escape (turning into west later is the
+		// turn the model removes, so a failed west link strands the
+		// packet — exactly the Figure 2(c) failure mode).
+		if next := w.g.step(cur, 1, -1); next != topology.None {
+			productive = append(productive, next)
+		}
+		return productive, nil
+	}
+	// East/north/south phase: productive moves first.
+	if dc[1] > cc[1] {
+		if next := w.g.step(cur, 1, 1); next != topology.None {
+			productive = append(productive, next)
+		}
+	}
+	if dc[0] < cc[0] {
+		if next := w.g.step(cur, 0, -1); next != topology.None {
+			productive = append(productive, next)
+		}
+	}
+	if dc[0] > cc[0] {
+		if next := w.g.step(cur, 0, 1); next != topology.None {
+			productive = append(productive, next)
+		}
+	}
+	// Non-minimal escapes: north/south misroutes are legal (the packet
+	// can still correct with a later south/north leg — turns into north
+	// and south are permitted). East misrouting past the destination
+	// column is illegal (it would force a west turn), and west is never
+	// an escape.
+	if dc[0] <= cc[0] { // south not productive here, so it is a misroute
+		if next := w.g.step(cur, 0, 1); next != topology.None {
+			nonproductive = append(nonproductive, next)
+		}
+	}
+	if dc[0] >= cc[0] { // north misroute
+		if next := w.g.step(cur, 0, -1); next != topology.None {
+			nonproductive = append(nonproductive, next)
+		}
+	}
+	return productive, nonproductive
+}
+
+// NorthLast is the complementary turn model: a packet may route
+// adaptively among east, west and south, but once it turns north it
+// must continue north to the destination — so northward moves are
+// legal only when north is the sole remaining direction.
+type NorthLast struct {
+	g mesh2D
+}
+
+// NewNorthLast builds the algorithm; it panics unless net is a 2-D mesh.
+func NewNorthLast(net topology.Network) *NorthLast {
+	return &NorthLast{g: newMesh2D("north-last", net)}
+}
+
+func (n *NorthLast) Name() string           { return "north-last" }
+func (n *NorthLast) Adaptivity() Adaptivity { return PartiallyAdaptive }
+
+func (n *NorthLast) Candidates(cur, dst topology.NodeID) (productive, nonproductive []topology.NodeID) {
+	cc, dc := n.g.m.CoordOf(cur), n.g.m.CoordOf(dst)
+	needNorth := dc[0] < cc[0]
+	colAligned := dc[1] == cc[1]
+	if needNorth && colAligned {
+		// Only north remains; the final, non-adaptive leg.
+		if next := n.g.step(cur, 0, -1); next != topology.None {
+			productive = append(productive, next)
+		}
+		return productive, nil
+	}
+	if dc[1] > cc[1] {
+		if next := n.g.step(cur, 1, 1); next != topology.None {
+			productive = append(productive, next)
+		}
+	}
+	if dc[1] < cc[1] {
+		if next := n.g.step(cur, 1, -1); next != topology.None {
+			productive = append(productive, next)
+		}
+	}
+	if dc[0] > cc[0] {
+		if next := n.g.step(cur, 0, 1); next != topology.None {
+			productive = append(productive, next)
+		}
+	}
+	// South misroute is always legal (a later north leg fixes it);
+	// east/west misroutes are legal while the column is unresolved.
+	if dc[0] <= cc[0] {
+		if next := n.g.step(cur, 0, 1); next != topology.None {
+			nonproductive = append(nonproductive, next)
+		}
+	}
+	if !colAligned {
+		if dc[1] <= cc[1] {
+			if next := n.g.step(cur, 1, 1); next != topology.None {
+				nonproductive = append(nonproductive, next)
+			}
+		}
+		if dc[1] >= cc[1] {
+			if next := n.g.step(cur, 1, -1); next != topology.None {
+				nonproductive = append(nonproductive, next)
+			}
+		}
+	}
+	return productive, nonproductive
+}
+
+// NegativeFirst routes all negative-direction hops (any dimension)
+// before any positive-direction hop, on an n-dimensional mesh. During
+// the negative phase it is adaptive across every dimension that still
+// needs a negative move, and may even misroute in other negative
+// directions; during the positive phase only productive positive moves
+// are legal (a positive overshoot would need an illegal return to
+// negative).
+type NegativeFirst struct {
+	m *topology.Mesh
+}
+
+// NewNegativeFirst builds the algorithm; it panics unless net is a mesh.
+func NewNegativeFirst(net topology.Network) *NegativeFirst {
+	m, ok := net.(*topology.Mesh)
+	if !ok {
+		panic(fmt.Sprintf("routing: negative-first requires a mesh, got %s", net.Name()))
+	}
+	return &NegativeFirst{m: m}
+}
+
+func (n *NegativeFirst) Name() string           { return "negative-first" }
+func (n *NegativeFirst) Adaptivity() Adaptivity { return PartiallyAdaptive }
+
+func (n *NegativeFirst) Candidates(cur, dst topology.NodeID) (productive, nonproductive []topology.NodeID) {
+	cc, dc := n.m.CoordOf(cur), n.m.CoordOf(dst)
+	negPhase := false
+	for i := range cc {
+		if dc[i] < cc[i] {
+			negPhase = true
+			break
+		}
+	}
+	if negPhase {
+		for i := range cc {
+			next := n.m.Step(cur, i, -1)
+			if next == topology.None {
+				continue
+			}
+			if dc[i] < cc[i] {
+				productive = append(productive, next)
+			} else {
+				nonproductive = append(nonproductive, next)
+			}
+		}
+		return productive, nonproductive
+	}
+	for i := range cc {
+		if dc[i] > cc[i] {
+			if next := n.m.Step(cur, i, 1); next != topology.None {
+				productive = append(productive, next)
+			}
+		}
+	}
+	return productive, nil
+}

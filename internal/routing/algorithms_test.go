@@ -1,0 +1,335 @@
+package routing
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+func mesh4() *topology.Mesh { return topology.NewMesh2D(4) }
+
+func id(m topology.Topology, r, c int) topology.NodeID {
+	return m.IndexOf(topology.Coord{r, c})
+}
+
+func TestXYFollowsRowThenColumn(t *testing.T) {
+	// Paper Figure 2(a): packets from S1=(2,0) reach D=(1,2) by moving
+	// along the row and then along the column — one turn.
+	m := mesh4()
+	r := NewRouter(m, NewXY(m))
+	path, err := r.Walk(id(m, 2, 0), id(m, 1, 2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []topology.NodeID{id(m, 2, 0), id(m, 2, 1), id(m, 2, 2), id(m, 1, 2)}
+	if !equalPath(path, want) {
+		t.Errorf("XY path %v, want %v", coords(m, path), coords(m, want))
+	}
+	// S2=(0,0): along row 0, then down column 2.
+	path, err = r.Walk(id(m, 0, 0), id(m, 1, 2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = []topology.NodeID{id(m, 0, 0), id(m, 0, 1), id(m, 0, 2), id(m, 1, 2)}
+	if !equalPath(path, want) {
+		t.Errorf("XY path %v, want %v", coords(m, path), coords(m, want))
+	}
+}
+
+func TestDORResolvesDimZeroFirst(t *testing.T) {
+	m := mesh4()
+	r := NewRouter(m, NewDimensionOrder(m))
+	path, err := r.Walk(id(m, 2, 0), id(m, 0, 2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plain DOR resolves dimension 0 (the row) first.
+	if path[1] != id(m, 1, 0) {
+		t.Errorf("DOR first hop %v, want (1,0)", m.CoordOf(path[1]))
+	}
+}
+
+func TestDORDeterministicAndMinimalEverywhere(t *testing.T) {
+	nets := []topology.Network{
+		topology.NewMesh2D(4), topology.NewMesh(3, 4, 3),
+		topology.NewTorus2D(5), topology.NewTorus(4, 6),
+		topology.NewHypercube(4),
+	}
+	for _, net := range nets {
+		r := NewRouter(net, NewDimensionOrder(net))
+		for src := 0; src < net.NumNodes(); src++ {
+			for dst := 0; dst < net.NumNodes(); dst++ {
+				if src == dst {
+					continue
+				}
+				p1, err := r.Walk(topology.NodeID(src), topology.NodeID(dst), 0)
+				if err != nil {
+					t.Fatalf("%s: DOR failed %d->%d: %v", net.Name(), src, dst, err)
+				}
+				if len(p1)-1 != net.MinDistance(topology.NodeID(src), topology.NodeID(dst)) {
+					t.Fatalf("%s: DOR path %d->%d not minimal: %d hops", net.Name(), src, dst, len(p1)-1)
+				}
+				p2, _ := r.Walk(topology.NodeID(src), topology.NodeID(dst), 0)
+				if !equalPath(p1, p2) {
+					t.Fatalf("%s: DOR not deterministic for %d->%d", net.Name(), src, dst)
+				}
+			}
+		}
+	}
+}
+
+func TestMinimalAdaptivePathsAreMinimal(t *testing.T) {
+	nets := []topology.Network{
+		topology.NewMesh2D(5), topology.NewTorus2D(6), topology.NewHypercube(5),
+	}
+	for _, net := range nets {
+		r := NewRouter(net, NewMinimalAdaptive(net))
+		r.Sel = RandomSelector{R: rng.NewStream(1)}
+		for trial := 0; trial < 500; trial++ {
+			src := topology.NodeID(trial % net.NumNodes())
+			dst := topology.NodeID((trial * 7) % net.NumNodes())
+			if src == dst {
+				continue
+			}
+			p, err := r.Walk(src, dst, 0)
+			if err != nil {
+				t.Fatalf("%s: %v", net.Name(), err)
+			}
+			if len(p)-1 != net.MinDistance(src, dst) {
+				t.Fatalf("%s: adaptive minimal path %d->%d has %d hops, want %d",
+					net.Name(), src, dst, len(p)-1, net.MinDistance(src, dst))
+			}
+		}
+	}
+}
+
+func TestMinimalAdaptiveTakesMultiplePaths(t *testing.T) {
+	// The defining property for the paper: the same (src,dst) pair uses
+	// different routes on different packets.
+	m := mesh4()
+	r := NewRouter(m, NewMinimalAdaptive(m))
+	r.Sel = RandomSelector{R: rng.NewStream(99)}
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		p, err := r.Walk(id(m, 0, 0), id(m, 3, 3), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[pathKey(p)] = true
+	}
+	if len(seen) < 5 {
+		t.Errorf("adaptive routing produced only %d distinct paths for 200 packets", len(seen))
+	}
+}
+
+func TestTorusMinimalAdaptiveHalfRingBothWays(t *testing.T) {
+	// At exactly k/2 both directions are minimal; the adaptive router
+	// must expose both.
+	tr := topology.NewTorus2D(4)
+	alg := NewMinimalAdaptive(tr)
+	prod, _ := alg.Candidates(tr.IndexOf(topology.Coord{0, 0}), tr.IndexOf(topology.Coord{0, 2}))
+	if len(prod) != 2 {
+		t.Fatalf("half-ring candidates = %d, want 2", len(prod))
+	}
+}
+
+func TestWestFirstWestPhaseIsDeterministic(t *testing.T) {
+	m := mesh4()
+	alg := NewWestFirst(m)
+	prod, nonprod := alg.Candidates(id(m, 1, 3), id(m, 2, 0))
+	if len(prod) != 1 || prod[0] != id(m, 1, 2) {
+		t.Errorf("west-phase candidates = %v", coords(m, prod))
+	}
+	if len(nonprod) != 0 {
+		t.Errorf("west phase must not offer escapes, got %v", coords(m, nonprod))
+	}
+}
+
+func TestWestFirstAdaptiveEastPhase(t *testing.T) {
+	m := mesh4()
+	alg := NewWestFirst(m)
+	// From (2,0) to (1,2): east and north are both productive.
+	prod, _ := alg.Candidates(id(m, 2, 0), id(m, 1, 2))
+	if len(prod) != 2 {
+		t.Fatalf("east-phase productive = %v, want 2 candidates", coords(m, prod))
+	}
+	hasE, hasN := false, false
+	for _, c := range prod {
+		if c == id(m, 2, 1) {
+			hasE = true
+		}
+		if c == id(m, 1, 0) {
+			hasN = true
+		}
+	}
+	if !hasE || !hasN {
+		t.Errorf("east-phase candidates = %v, want east and north", coords(m, prod))
+	}
+}
+
+func TestWestFirstNeverTurnsWestLate(t *testing.T) {
+	// No candidate may ever decrease the column unless the packet still
+	// needs west at that point from the start (memoryless rule: dst
+	// strictly west).
+	m := mesh4()
+	alg := NewWestFirst(m)
+	for src := 0; src < m.NumNodes(); src++ {
+		for dst := 0; dst < m.NumNodes(); dst++ {
+			if src == dst {
+				continue
+			}
+			sc, dc := m.CoordOf(topology.NodeID(src)), m.CoordOf(topology.NodeID(dst))
+			prod, nonprod := alg.Candidates(topology.NodeID(src), topology.NodeID(dst))
+			for _, c := range append(append([]topology.NodeID{}, prod...), nonprod...) {
+				cc := m.CoordOf(c)
+				if cc[1] < sc[1] && dc[1] >= sc[1] {
+					t.Fatalf("west-first offered west move %v->%v with dst %v",
+						sc, cc, dc)
+				}
+				if cc[1] > sc[1] && cc[1] > dc[1] {
+					t.Fatalf("west-first overshot east: %v->%v with dst %v", sc, cc, dc)
+				}
+			}
+		}
+	}
+}
+
+func TestNorthLastFinalLegOnly(t *testing.T) {
+	m := mesh4()
+	alg := NewNorthLast(m)
+	// Column aligned, dst north: only north.
+	prod, nonprod := alg.Candidates(id(m, 3, 2), id(m, 0, 2))
+	if len(prod) != 1 || prod[0] != id(m, 2, 2) {
+		t.Errorf("north-only leg candidates = %v", coords(m, prod))
+	}
+	if len(nonprod) != 0 {
+		t.Errorf("north leg must be non-adaptive, got escapes %v", coords(m, nonprod))
+	}
+	// Column not aligned: north must not be offered even if productive.
+	prod, nonprod = alg.Candidates(id(m, 3, 0), id(m, 0, 2))
+	for _, c := range append(append([]topology.NodeID{}, prod...), nonprod...) {
+		if m.CoordOf(c)[0] < 3 {
+			t.Errorf("north-last offered early north move to %v", m.CoordOf(c))
+		}
+	}
+}
+
+func TestNegativeFirstPhases(t *testing.T) {
+	m := topology.NewMesh(4, 4, 4)
+	alg := NewNegativeFirst(m)
+	// Mixed displacement: only negative moves allowed first.
+	src := m.IndexOf(topology.Coord{2, 1, 3})
+	dst := m.IndexOf(topology.Coord{0, 3, 1})
+	prod, nonprod := alg.Candidates(src, dst)
+	for _, c := range append(append([]topology.NodeID{}, prod...), nonprod...) {
+		cc, sc := m.CoordOf(c), m.CoordOf(src)
+		for i := range cc {
+			if cc[i] > sc[i] {
+				t.Fatalf("negative phase offered positive move %v->%v", sc, cc)
+			}
+		}
+	}
+	if len(prod) != 2 { // dims 0 and 2 need negative moves
+		t.Errorf("negative productive = %v, want 2", coords(m, prod))
+	}
+	// Positive-only displacement: positive productive moves, no escapes.
+	src2 := m.IndexOf(topology.Coord{0, 1, 0})
+	dst2 := m.IndexOf(topology.Coord{2, 3, 0})
+	prod, nonprod = alg.Candidates(src2, dst2)
+	if len(prod) != 2 || len(nonprod) != 0 {
+		t.Errorf("positive phase = %v / %v", coords(m, prod), coords(m, nonprod))
+	}
+}
+
+func TestNegativeFirstDelivers(t *testing.T) {
+	m := topology.NewMesh2D(5)
+	r := NewRouter(m, NewNegativeFirst(m))
+	r.Sel = RandomSelector{R: rng.NewStream(5)}
+	for src := 0; src < m.NumNodes(); src++ {
+		for dst := 0; dst < m.NumNodes(); dst++ {
+			if src == dst {
+				continue
+			}
+			p, err := r.Walk(topology.NodeID(src), topology.NodeID(dst), 0)
+			if err != nil {
+				t.Fatalf("negative-first stranded %d->%d: %v", src, dst, err)
+			}
+			if len(p)-1 != m.MinDistance(topology.NodeID(src), topology.NodeID(dst)) {
+				t.Fatalf("negative-first path not minimal for %d->%d", src, dst)
+			}
+		}
+	}
+}
+
+func TestTurnModelConstructorsRequireMesh(t *testing.T) {
+	h := topology.NewHypercube(3)
+	tr := topology.NewTorus2D(4)
+	m3 := topology.NewMesh(3, 3, 3)
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("west-first on hypercube", func() { NewWestFirst(h) })
+	expectPanic("west-first on 3-D mesh", func() { NewWestFirst(m3) })
+	expectPanic("north-last on torus", func() { NewNorthLast(tr) })
+	expectPanic("negative-first on torus", func() { NewNegativeFirst(tr) })
+	expectPanic("xy on 3-D mesh", func() { NewXY(m3) })
+}
+
+func TestAdaptivityLabels(t *testing.T) {
+	m := mesh4()
+	cases := []struct {
+		alg  Algorithm
+		want Adaptivity
+	}{
+		{NewXY(m), Deterministic},
+		{NewWestFirst(m), PartiallyAdaptive},
+		{NewNorthLast(m), PartiallyAdaptive},
+		{NewNegativeFirst(m), PartiallyAdaptive},
+		{NewMinimalAdaptive(m), FullyAdaptive},
+		{NewFullyAdaptiveMisroute(m), FullyAdaptive},
+	}
+	for _, tc := range cases {
+		if tc.alg.Adaptivity() != tc.want {
+			t.Errorf("%s adaptivity = %v, want %v", tc.alg.Name(), tc.alg.Adaptivity(), tc.want)
+		}
+	}
+	for _, a := range []Adaptivity{Deterministic, PartiallyAdaptive, FullyAdaptive, Adaptivity(9)} {
+		if a.String() == "" {
+			t.Error("empty Adaptivity string")
+		}
+	}
+}
+
+func equalPath(a, b []topology.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func pathKey(p []topology.NodeID) string {
+	k := ""
+	for _, n := range p {
+		k += string(rune(n)) + ","
+	}
+	return k
+}
+
+func coords(m topology.Topology, ids []topology.NodeID) []topology.Coord {
+	out := make([]topology.Coord, len(ids))
+	for i, id := range ids {
+		out[i] = m.CoordOf(id)
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package routing
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+func BenchmarkXYNextHop(b *testing.B) {
+	m := topology.NewMesh2D(32)
+	r := NewRouter(m, NewXY(m))
+	n := m.NumNodes()
+	for i := 0; i < b.N; i++ {
+		src := topology.NodeID(i % n)
+		dst := topology.NodeID((i*17 + 3) % n)
+		if src == dst {
+			continue
+		}
+		if _, err := r.NextHop(src, dst, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMinimalAdaptiveNextHop(b *testing.B) {
+	m := topology.NewMesh2D(32)
+	r := NewRouter(m, NewMinimalAdaptive(m))
+	r.Sel = RandomSelector{R: rng.NewStream(1)}
+	n := m.NumNodes()
+	for i := 0; i < b.N; i++ {
+		src := topology.NodeID(i % n)
+		dst := topology.NodeID((i*17 + 3) % n)
+		if src == dst {
+			continue
+		}
+		if _, err := r.NextHop(src, dst, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWalkAcrossDiameter(b *testing.B) {
+	m := topology.NewMesh2D(32)
+	r := NewRouter(m, NewMinimalAdaptive(m))
+	r.Sel = RandomSelector{R: rng.NewStream(2)}
+	src := m.IndexOf(topology.Coord{0, 0})
+	dst := m.IndexOf(topology.Coord{31, 31})
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Walk(src, dst, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWestFirstCandidates(b *testing.B) {
+	m := topology.NewMesh2D(32)
+	alg := NewWestFirst(m)
+	n := m.NumNodes()
+	for i := 0; i < b.N; i++ {
+		src := topology.NodeID(i % n)
+		dst := topology.NodeID((i*29 + 7) % n)
+		if src == dst {
+			continue
+		}
+		alg.Candidates(src, dst)
+	}
+}
+
+func BenchmarkCongestionSelector(b *testing.B) {
+	m := topology.NewMesh2D(8)
+	r := NewRouter(m, NewMinimalAdaptive(m))
+	r.Sel = CongestionSelector{R: rng.NewStream(3)}
+	r.State.Congestion = func(l topology.Link) int { return int(l.To) % 5 }
+	src := m.IndexOf(topology.Coord{0, 0})
+	dst := m.IndexOf(topology.Coord{7, 7})
+	for i := 0; i < b.N; i++ {
+		if _, err := r.NextHop(src, dst, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package routing
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+// Figure2Scenario reproduces the paper's Figure 2 on a 4×4 mesh:
+// S1=(2,0), S2=(0,0), D=(1,2).
+//
+//	(a) no failures: XY routes both flows.
+//	(b) the east links out of S1 and S2 fail: XY strands, west-first
+//	    routes around via north/south.
+//	(c) every link into D except the one from its east neighbor fails:
+//	    west-first strands (it would need an illegal late west turn),
+//	    fully adaptive routing with misrouting delivers.
+type figure2 struct {
+	m         *topology.Mesh
+	s1, s2, d topology.NodeID
+}
+
+func newFigure2() figure2 {
+	m := topology.NewMesh2D(4)
+	return figure2{
+		m:  m,
+		s1: m.IndexOf(topology.Coord{2, 0}),
+		s2: m.IndexOf(topology.Coord{0, 0}),
+		d:  m.IndexOf(topology.Coord{1, 2}),
+	}
+}
+
+// failB fails the eastward links out of both sources (the "two small
+// blocks on the right side of sources").
+func (f figure2) failB(state *LinkState) {
+	state.FailBoth(f.s1, f.m.IndexOf(topology.Coord{2, 1}))
+	state.FailBoth(f.s2, f.m.IndexOf(topology.Coord{0, 1}))
+}
+
+// failC leaves (1,3)→D as the only live link into D, so every delivery
+// must end with a westward turn at D's east neighbor.
+func (f figure2) failC(state *LinkState) {
+	for _, nb := range []topology.Coord{{0, 2}, {2, 2}, {1, 1}} {
+		state.FailBoth(f.m.IndexOf(nb), f.d)
+	}
+}
+
+func TestFigure2aXYDelivers(t *testing.T) {
+	f := newFigure2()
+	r := NewRouter(f.m, NewXY(f.m))
+	for _, src := range []topology.NodeID{f.s1, f.s2} {
+		if !r.Deliverable(src, f.d, 1) {
+			t.Errorf("XY failed to deliver from %v with no failures", f.m.CoordOf(src))
+		}
+	}
+}
+
+func TestFigure2bXYStrandsWestFirstDelivers(t *testing.T) {
+	f := newFigure2()
+
+	xy := NewRouter(f.m, NewXY(f.m))
+	f.failB(xy.State)
+	for _, src := range []topology.NodeID{f.s1, f.s2} {
+		if xy.Deliverable(src, f.d, 1) {
+			t.Errorf("XY delivered from %v despite failed east link", f.m.CoordOf(src))
+		}
+	}
+
+	wf := NewRouter(f.m, NewWestFirst(f.m))
+	wf.Sel = RandomSelector{R: rng.NewStream(2)}
+	wf.MisrouteBudget = 4
+	f.failB(wf.State)
+	for _, src := range []topology.NodeID{f.s1, f.s2} {
+		if !wf.Deliverable(src, f.d, 20) {
+			t.Errorf("west-first failed to deliver from %v in scenario (b)", f.m.CoordOf(src))
+		}
+	}
+}
+
+func TestFigure2bWestFirstRoutesAroundViaRowMove(t *testing.T) {
+	// The delivered path's first hop must be a row move (north for S1,
+	// south for S2), as the paper narrates.
+	f := newFigure2()
+	wf := NewRouter(f.m, NewWestFirst(f.m))
+	wf.Sel = RandomSelector{R: rng.NewStream(3)}
+	f.failB(wf.State)
+	path, err := wf.Walk(f.s2, f.d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path[1] != f.m.IndexOf(topology.Coord{1, 0}) {
+		t.Errorf("S2 first hop %v, want south to (1,0)", f.m.CoordOf(path[1]))
+	}
+	path, err = wf.Walk(f.s1, f.d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path[1] != f.m.IndexOf(topology.Coord{1, 0}) {
+		t.Errorf("S1 first hop %v, want north to (1,0)", f.m.CoordOf(path[1]))
+	}
+}
+
+func TestFigure2cWestFirstStrandsFullyAdaptiveDelivers(t *testing.T) {
+	f := newFigure2()
+
+	wf := NewRouter(f.m, NewWestFirst(f.m))
+	wf.Sel = RandomSelector{R: rng.NewStream(4)}
+	wf.MisrouteBudget = 8
+	f.failC(wf.State)
+	for _, src := range []topology.NodeID{f.s1, f.s2} {
+		if wf.Deliverable(src, f.d, 50) {
+			t.Errorf("west-first delivered from %v despite requiring a late west turn", f.m.CoordOf(src))
+		}
+	}
+
+	xy := NewRouter(f.m, NewXY(f.m))
+	f.failC(xy.State)
+	for _, src := range []topology.NodeID{f.s1, f.s2} {
+		if xy.Deliverable(src, f.d, 1) {
+			t.Errorf("XY delivered from %v in scenario (c)", f.m.CoordOf(src))
+		}
+	}
+
+	fa := NewRouter(f.m, NewFullyAdaptiveMisroute(f.m))
+	fa.Sel = RandomSelector{R: rng.NewStream(5)}
+	fa.MisrouteBudget = 6
+	f.failC(fa.State)
+	for _, src := range []topology.NodeID{f.s1, f.s2} {
+		if !fa.Deliverable(src, f.d, 200) {
+			t.Errorf("fully adaptive failed to deliver from %v in scenario (c)", f.m.CoordOf(src))
+		}
+	}
+}
+
+func TestFigure2cDeliveredPathEntersFromEast(t *testing.T) {
+	f := newFigure2()
+	fa := NewRouter(f.m, NewFullyAdaptiveMisroute(f.m))
+	fa.Sel = RandomSelector{R: rng.NewStream(6)}
+	fa.MisrouteBudget = 6
+	f.failC(fa.State)
+	east := f.m.IndexOf(topology.Coord{1, 3})
+	found := false
+	for trial := 0; trial < 300 && !found; trial++ {
+		path, err := fa.Walk(f.s1, f.d, 0)
+		if err != nil {
+			continue
+		}
+		if path[len(path)-2] != east {
+			t.Fatalf("delivered path entered D from %v, only east neighbor is live",
+				f.m.CoordOf(path[len(path)-2]))
+		}
+		found = true
+	}
+	if !found {
+		t.Fatal("no delivered path found in 300 trials")
+	}
+}

@@ -1,0 +1,176 @@
+package routing
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+// Selector picks one next hop among the usable candidates. Candidates
+// are always non-empty when Select is called.
+type Selector interface {
+	Name() string
+	Select(state *LinkState, cur topology.NodeID, cands []topology.NodeID) topology.NodeID
+}
+
+// FirstSelector always picks the first candidate: combined with a
+// deterministic algorithm it yields fully deterministic paths.
+type FirstSelector struct{}
+
+func (FirstSelector) Name() string { return "first" }
+
+func (FirstSelector) Select(_ *LinkState, _ topology.NodeID, cands []topology.NodeID) topology.NodeID {
+	return cands[0]
+}
+
+// RandomSelector picks uniformly at random — the paper's "packets can
+// move through different paths" adaptivity in its purest form.
+type RandomSelector struct {
+	R *rng.Stream
+}
+
+func (RandomSelector) Name() string { return "random" }
+
+func (s RandomSelector) Select(_ *LinkState, _ topology.NodeID, cands []topology.NodeID) topology.NodeID {
+	return cands[s.R.Intn(len(cands))]
+}
+
+// CongestionSelector picks the least-loaded output link, breaking ties
+// randomly; this is how an adaptive fabric actually exploits its
+// flexibility under load.
+type CongestionSelector struct {
+	R *rng.Stream
+}
+
+func (CongestionSelector) Name() string { return "least-congested" }
+
+func (s CongestionSelector) Select(state *LinkState, cur topology.NodeID, cands []topology.NodeID) topology.NodeID {
+	best := make([]topology.NodeID, 0, len(cands))
+	bestLoad := int(^uint(0) >> 1)
+	for _, c := range cands {
+		l := state.load(cur, c)
+		switch {
+		case l < bestLoad:
+			bestLoad = l
+			best = best[:0]
+			best = append(best, c)
+		case l == bestLoad:
+			best = append(best, c)
+		}
+	}
+	if len(best) == 1 || s.R == nil {
+		return best[0]
+	}
+	return best[s.R.Intn(len(best))]
+}
+
+// Router resolves next hops for packets: it applies the algorithm,
+// filters failed links, prefers productive hops, and charges
+// non-productive hops against a per-packet misroute budget so adaptive
+// routing cannot livelock.
+type Router struct {
+	Net   topology.Network
+	Alg   Algorithm
+	Sel   Selector
+	State *LinkState
+
+	// MisrouteBudget bounds the number of non-productive hops one
+	// packet may take (0 disables misrouting entirely).
+	MisrouteBudget int
+}
+
+// NewRouter wires a router with sensible defaults: no failures, first
+// selection, no misrouting.
+func NewRouter(net topology.Network, alg Algorithm) *Router {
+	return &Router{Net: net, Alg: alg, Sel: FirstSelector{}, State: NewLinkState()}
+}
+
+// ErrNoRoute is returned when no usable candidate exists (all legal
+// next hops failed, or the algorithm's turn rules strand the packet —
+// the Figure 2 outcomes for XY and west-first under failures).
+var ErrNoRoute = errors.New("routing: no usable next hop")
+
+// Hop is one routing decision.
+type Hop struct {
+	Next     topology.NodeID
+	Misroute bool // true when the hop was non-productive
+}
+
+// NextHop picks the next hop from cur toward dst. misroutesUsed is the
+// number of misroutes the packet has already taken.
+func (r *Router) NextHop(cur, dst topology.NodeID, misroutesUsed int) (Hop, error) {
+	if cur == dst {
+		return Hop{}, fmt.Errorf("routing: NextHop called at destination %d", dst)
+	}
+	productive, nonproductive := r.Alg.Candidates(cur, dst)
+	usable := filterFailed(r.State, cur, productive)
+	if len(usable) > 0 {
+		return Hop{Next: r.Sel.Select(r.State, cur, usable)}, nil
+	}
+	if misroutesUsed < r.MisrouteBudget {
+		escape := filterFailed(r.State, cur, nonproductive)
+		if len(escape) > 0 {
+			return Hop{Next: r.Sel.Select(r.State, cur, escape), Misroute: true}, nil
+		}
+	}
+	return Hop{}, ErrNoRoute
+}
+
+func filterFailed(state *LinkState, cur topology.NodeID, cands []topology.NodeID) []topology.NodeID {
+	if state.NumFailed() == 0 {
+		return cands
+	}
+	out := make([]topology.NodeID, 0, len(cands))
+	for _, c := range cands {
+		if !state.Failed(cur, c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Walk routes a virtual packet from src to dst hop by hop, returning
+// the node sequence including both endpoints. It fails with ErrNoRoute
+// if the packet strands, or with an error if it exceeds maxHops
+// (livelock guard). Walk performs no timing simulation; the network
+// simulator does its own per-hop scheduling and calls NextHop itself.
+func (r *Router) Walk(src, dst topology.NodeID, maxHops int) ([]topology.NodeID, error) {
+	if maxHops <= 0 {
+		maxHops = 4*r.Net.Diameter() + 4*r.MisrouteBudget + 8
+	}
+	path := []topology.NodeID{src}
+	cur := src
+	misroutes := 0
+	for cur != dst {
+		if len(path) > maxHops {
+			return path, fmt.Errorf("routing: walk from %d to %d exceeded %d hops (livelock?)", src, dst, maxHops)
+		}
+		hop, err := r.NextHop(cur, dst, misroutes)
+		if err != nil {
+			return path, fmt.Errorf("stranded at %d after %d hops: %w", cur, len(path)-1, err)
+		}
+		if hop.Misroute {
+			misroutes++
+		}
+		cur = hop.Next
+		path = append(path, cur)
+	}
+	return path, nil
+}
+
+// Deliverable reports whether a packet from src can reach dst under
+// this router, by attempting trials walks (1 suffices for deterministic
+// selectors). Used to regenerate the Figure 2 deliverability matrix.
+func (r *Router) Deliverable(src, dst topology.NodeID, trials int) bool {
+	if trials < 1 {
+		trials = 1
+	}
+	for i := 0; i < trials; i++ {
+		if _, err := r.Walk(src, dst, 0); err == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,94 @@
+package topology
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Hypercube is an n-cube: an n-dimensional mesh with k_i = 2 for every
+// dimension (paper §3, Figure 1(c)). Both its degree and diameter are n.
+// Coordinates are bit vectors; two nodes are neighbors iff their
+// addresses differ in exactly one bit.
+type Hypercube struct {
+	n    int // dimensions
+	dims []int
+	name string
+}
+
+// NewHypercube constructs an n-cube with 2^n nodes. n must be in [1, 22]
+// (the simulator's 4M-node limit).
+func NewHypercube(n int) *Hypercube {
+	if n < 1 || n > 22 {
+		panic(fmt.Sprintf("topology: hypercube dimension %d out of range [1,22]", n))
+	}
+	dims := make([]int, n)
+	for i := range dims {
+		dims[i] = 2
+	}
+	return &Hypercube{n: n, dims: dims, name: fmt.Sprintf("hypercube-%d", n)}
+}
+
+func (h *Hypercube) Name() string  { return h.name }
+func (h *Hypercube) Dims() []int   { return h.dims }
+func (h *Hypercube) NumNodes() int { return 1 << h.n }
+func (h *Hypercube) Degree() int   { return h.n }
+func (h *Hypercube) Diameter() int { return h.n }
+
+// DimBits returns n, the address width in bits.
+func (h *Hypercube) DimBits() int { return h.n }
+
+func (h *Hypercube) IndexOf(c Coord) NodeID {
+	if len(c) != h.n {
+		panic(fmt.Sprintf("topology: hypercube coordinate %v has %d dims, want %d", c, len(c), h.n))
+	}
+	id := 0
+	for i, v := range c {
+		if v != 0 && v != 1 {
+			panic(fmt.Sprintf("topology: hypercube coordinate %v has non-binary entry", c))
+		}
+		id = id<<1 | v
+		_ = i
+	}
+	return NodeID(id)
+}
+
+func (h *Hypercube) CoordOf(id NodeID) Coord {
+	if id < 0 || int(id) >= h.NumNodes() {
+		panic(fmt.Sprintf("topology: hypercube node id %d out of range", id))
+	}
+	c := make(Coord, h.n)
+	for i := 0; i < h.n; i++ {
+		c[h.n-1-i] = int(id) >> i & 1
+	}
+	return c
+}
+
+// Neighbors flips each address bit in turn, dimension 0 (most
+// significant bit) first to match Coord ordering.
+func (h *Hypercube) Neighbors(id NodeID) []NodeID {
+	out := make([]NodeID, h.n)
+	for dim := 0; dim < h.n; dim++ {
+		out[dim] = id ^ NodeID(1<<(h.n-1-dim))
+	}
+	return out
+}
+
+func (h *Hypercube) IsNeighbor(a, b NodeID) bool {
+	return bits.OnesCount(uint(a^b)) == 1
+}
+
+// MinDistance is the Hamming distance between the two addresses.
+func (h *Hypercube) MinDistance(a, b NodeID) int {
+	return bits.OnesCount(uint(a ^ b))
+}
+
+func (h *Hypercube) Wraparound() bool { return false }
+
+// Step flips the bit for dim; dir is accepted for interface symmetry
+// but both directions reach the same neighbor in an n-cube.
+func (h *Hypercube) Step(id NodeID, dim, dir int) NodeID {
+	if dim < 0 || dim >= h.n {
+		panic(fmt.Sprintf("topology: hypercube Step dimension %d out of range", dim))
+	}
+	return id ^ NodeID(1<<(h.n-1-dim))
+}

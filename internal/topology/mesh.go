@@ -1,0 +1,97 @@
+package topology
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Mesh is an n-dimensional mesh with k_0 × k_1 × … × k_{n−1} nodes.
+// Nodes X and Y are neighbors iff their coordinates agree in every
+// dimension except one, where they differ by exactly 1 (paper §3).
+type Mesh struct {
+	dims []int
+	name string
+}
+
+// NewMesh constructs an n-dimensional mesh. Each radix must be >= 2.
+func NewMesh(dims ...int) *Mesh {
+	validateDims("mesh", dims)
+	d := make([]int, len(dims))
+	copy(d, dims)
+	return &Mesh{dims: d, name: "mesh-" + dimString(d)}
+}
+
+// NewMesh2D is a convenience constructor for the k×k 2-D meshes used
+// throughout the paper's examples.
+func NewMesh2D(k int) *Mesh { return NewMesh(k, k) }
+
+func (m *Mesh) Name() string  { return m.name }
+func (m *Mesh) Dims() []int   { return m.dims }
+func (m *Mesh) NumNodes() int { return prod(m.dims) }
+
+// Degree is 2n for an n-dimensional mesh (paper §3); boundary nodes
+// have fewer incident links but Degree reports the maximum.
+func (m *Mesh) Degree() int { return 2 * len(m.dims) }
+
+// Diameter is Σ(k_i − 1): the corner-to-corner Manhattan distance.
+func (m *Mesh) Diameter() int {
+	d := 0
+	for _, k := range m.dims {
+		d += k - 1
+	}
+	return d
+}
+
+func (m *Mesh) IndexOf(c Coord) NodeID  { return indexOf(m.dims, c) }
+func (m *Mesh) CoordOf(id NodeID) Coord { return coordOf(m.dims, id) }
+
+func (m *Mesh) Neighbors(id NodeID) []NodeID {
+	c := m.CoordOf(id)
+	out := make([]NodeID, 0, 2*len(m.dims))
+	for dim := 0; dim < len(m.dims); dim++ {
+		if c[dim] > 0 {
+			c[dim]--
+			out = append(out, m.IndexOf(c))
+			c[dim]++
+		}
+		if c[dim] < m.dims[dim]-1 {
+			c[dim]++
+			out = append(out, m.IndexOf(c))
+			c[dim]--
+		}
+	}
+	return out
+}
+
+func (m *Mesh) IsNeighbor(a, b NodeID) bool {
+	ca, cb := m.CoordOf(a), m.CoordOf(b)
+	return ca.Manhattan(cb) == 1
+}
+
+func (m *Mesh) MinDistance(a, b NodeID) int {
+	return m.CoordOf(a).Manhattan(m.CoordOf(b))
+}
+
+func (m *Mesh) Wraparound() bool { return false }
+
+// Step returns the neighbor of id offset by ±1 along dim, or None if
+// that would leave the mesh.
+func (m *Mesh) Step(id NodeID, dim, dir int) NodeID {
+	if dir != 1 && dir != -1 {
+		panic(fmt.Sprintf("topology: Step direction must be ±1, got %d", dir))
+	}
+	c := m.CoordOf(id)
+	c[dim] += dir
+	if c[dim] < 0 || c[dim] >= m.dims[dim] {
+		return None
+	}
+	return m.IndexOf(c)
+}
+
+func dimString(dims []int) string {
+	parts := make([]string, len(dims))
+	for i, k := range dims {
+		parts[i] = fmt.Sprintf("%d", k)
+	}
+	return strings.Join(parts, "x")
+}

@@ -1,0 +1,105 @@
+package topology
+
+// Stepper is implemented by every concrete topology in this package:
+// it moves one hop along a single dimension. Routing algorithms are
+// written against Stepper + Topology so they stay agnostic of the
+// concrete network.
+type Stepper interface {
+	// Step returns the neighbor reached by moving dir ∈ {−1,+1} along
+	// dim, or None when the move would leave the network (mesh edges).
+	Step(id NodeID, dim, dir int) NodeID
+}
+
+// Network bundles the two views every router needs.
+type Network interface {
+	Topology
+	Stepper
+}
+
+// Displacement returns the per-hop displacement vector Δ = next − cur
+// that a DDPM switch adds into the marking field when forwarding from
+// cur to next. On a torus a wraparound hop contributes ±1 (not ±(k−1)):
+// the switch knows which physical channel it used, so it records the
+// direction of travel, and the victim reduces the sum mod k.
+func Displacement(t Topology, cur, next NodeID) Vector {
+	cc, nc := t.CoordOf(cur), t.CoordOf(next)
+	v := nc.Sub(cc)
+	if !t.Wraparound() {
+		return v
+	}
+	dims := t.Dims()
+	for i := range v {
+		k := dims[i]
+		switch v[i] {
+		case k - 1: // wrapped downward: physically a −1 hop
+			v[i] = -1
+		case -(k - 1): // wrapped upward: physically a +1 hop
+			v[i] = 1
+		}
+	}
+	return v
+}
+
+// BFSDistances returns the hop distance from src to every node,
+// ignoring the links in failed (treated as bidirectional failures when
+// both directions are present; only the given directed links are
+// skipped). Unreachable nodes get −1. Used to validate MinDistance and
+// fault-tolerant routing.
+func BFSDistances(t Topology, src NodeID, failed map[Link]bool) []int {
+	n := t.NumNodes()
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range t.Neighbors(cur) {
+			if failed != nil && failed[Link{From: cur, To: nb}] {
+				continue
+			}
+			if dist[nb] == -1 {
+				dist[nb] = dist[cur] + 1
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return dist
+}
+
+// MinimalDims returns the dimensions in which cur still differs from
+// dst, together with the productive direction (+1/−1) in each. For a
+// torus the shorter way around is chosen; exact ties prefer +1.
+func MinimalDims(t Topology, cur, dst NodeID) []DimDir {
+	cc, dc := t.CoordOf(cur), t.CoordOf(dst)
+	dims := t.Dims()
+	var out []DimDir
+	for i := range cc {
+		if cc[i] == dc[i] {
+			continue
+		}
+		dir := 1
+		if t.Wraparound() {
+			k := dims[i]
+			fwd := ((dc[i]-cc[i])%k + k) % k
+			if fwd > k-fwd {
+				dir = -1
+			} else if fwd == k-fwd {
+				dir = 1 // tie: either way is minimal; canonicalize to +1
+			}
+		} else if dc[i] < cc[i] {
+			dir = -1
+		}
+		out = append(out, DimDir{Dim: i, Dir: dir})
+	}
+	return out
+}
+
+// DimDir is a (dimension, direction) pair describing one productive
+// move of a minimal route.
+type DimDir struct {
+	Dim int
+	Dir int // +1 or −1
+}

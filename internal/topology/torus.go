@@ -1,0 +1,111 @@
+package topology
+
+import "fmt"
+
+// Torus is a k-ary n-cube: an n-dimensional mesh with wraparound
+// channels, so X and Y are neighbors iff they agree in every dimension
+// except one where x_i = (y_i ± 1) mod k_i (paper §3).
+type Torus struct {
+	dims []int
+	name string
+}
+
+// NewTorus constructs a torus with the given per-dimension radixes.
+// Radixes must be >= 2 (for k=2 the wraparound link coincides with the
+// mesh link and is collapsed to a single channel).
+func NewTorus(dims ...int) *Torus {
+	validateDims("torus", dims)
+	d := make([]int, len(dims))
+	copy(d, dims)
+	return &Torus{dims: d, name: "torus-" + dimString(d)}
+}
+
+// NewTorus2D builds the k-ary 2-cube of the paper's Figure 1(b).
+func NewTorus2D(k int) *Torus { return NewTorus(k, k) }
+
+func (t *Torus) Name() string  { return t.name }
+func (t *Torus) Dims() []int   { return t.dims }
+func (t *Torus) NumNodes() int { return prod(t.dims) }
+
+// Degree is 2n, as for the mesh; every node is interior thanks to the
+// wraparound channels.
+func (t *Torus) Degree() int { return 2 * len(t.dims) }
+
+// Diameter is Σ⌊k_i/2⌋ (paper §3 gives k/2 per even dimension).
+func (t *Torus) Diameter() int {
+	d := 0
+	for _, k := range t.dims {
+		d += k / 2
+	}
+	return d
+}
+
+func (t *Torus) IndexOf(c Coord) NodeID  { return indexOf(t.dims, c) }
+func (t *Torus) CoordOf(id NodeID) Coord { return coordOf(t.dims, id) }
+
+func (t *Torus) Neighbors(id NodeID) []NodeID {
+	c := t.CoordOf(id)
+	out := make([]NodeID, 0, 2*len(t.dims))
+	for dim := 0; dim < len(t.dims); dim++ {
+		k := t.dims[dim]
+		orig := c[dim]
+		down := (orig - 1 + k) % k
+		up := (orig + 1) % k
+		c[dim] = down
+		out = append(out, t.IndexOf(c))
+		if up != down { // k == 2 collapses both directions onto one link
+			c[dim] = up
+			out = append(out, t.IndexOf(c))
+		}
+		c[dim] = orig
+	}
+	return out
+}
+
+func (t *Torus) IsNeighbor(a, b NodeID) bool {
+	ca, cb := t.CoordOf(a), t.CoordOf(b)
+	diffDim := -1
+	for i := range ca {
+		if ca[i] != cb[i] {
+			if diffDim != -1 {
+				return false
+			}
+			diffDim = i
+		}
+	}
+	if diffDim == -1 {
+		return false
+	}
+	k := t.dims[diffDim]
+	d := ((ca[diffDim]-cb[diffDim])%k + k) % k
+	return d == 1 || d == k-1
+}
+
+func (t *Torus) MinDistance(a, b NodeID) int {
+	ca, cb := t.CoordOf(a), t.CoordOf(b)
+	d := 0
+	for i := range ca {
+		k := t.dims[i]
+		fwd := ((cb[i]-ca[i])%k + k) % k
+		if k-fwd < fwd {
+			d += k - fwd
+		} else {
+			d += fwd
+		}
+	}
+	return d
+}
+
+func (t *Torus) Wraparound() bool { return true }
+
+// Step returns the neighbor of id offset by ±1 (mod k) along dim.
+// On a torus every step succeeds.
+func (t *Torus) Step(id NodeID, dim, dir int) NodeID {
+	if dir != 1 && dir != -1 {
+		panic(fmt.Sprintf("topology: Step direction must be ±1, got %d", dir))
+	}
+	c := t.CoordOf(id)
+	k := t.dims[dim]
+	c[dim] = ((c[dim]+dir)%k + k) % k
+	return t.IndexOf(c)
+}

@@ -1,0 +1,108 @@
+package traceback
+
+import (
+	"sort"
+
+	"repro/internal/marking"
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+// AMSReconstructor is the victim side of the Song–Perrig advanced
+// marking scheme: it holds the complete network map (trivially
+// available inside a cluster) and rebuilds the attack path level by
+// level — level-d candidates are the map-neighbors of level-(d−1)
+// candidates whose identity hash matches a distance-d sample. Hash
+// collisions surface as extra candidates per level, not as wrong
+// chains, and adjacency pruning keeps them rare.
+type AMSReconstructor struct {
+	scheme *marking.AMS
+	net    topology.Network
+	victim topology.NodeID
+
+	// MinCount suppresses attacker-seeded fragments.
+	MinCount int
+
+	observed int64
+	frags    map[int]map[uint16]int // dist -> fragment -> count
+}
+
+// NewAMSReconstructor builds the victim-side decoder.
+func NewAMSReconstructor(scheme *marking.AMS, net topology.Network, victim topology.NodeID) *AMSReconstructor {
+	return &AMSReconstructor{
+		scheme:   scheme,
+		net:      net,
+		victim:   victim,
+		MinCount: 1,
+		frags:    make(map[int]map[uint16]int),
+	}
+}
+
+// Observe folds one received packet in.
+func (a *AMSReconstructor) Observe(pk *packet.Packet) {
+	a.observed++
+	s := a.scheme.DecodeMF(pk.Hdr.ID)
+	m := a.frags[s.Dist]
+	if m == nil {
+		m = make(map[uint16]int)
+		a.frags[s.Dist] = m
+	}
+	m[s.Frag]++
+}
+
+// Observed returns the number of packets seen.
+func (a *AMSReconstructor) Observed() int64 { return a.observed }
+
+// Levels reconstructs candidate switches per distance from the victim;
+// reconstruction stops at the first level with no match.
+func (a *AMSReconstructor) Levels() [][]topology.NodeID {
+	var levels [][]topology.NodeID
+	prev := []topology.NodeID{a.victim}
+	maxDist := -1
+	for d := range a.frags {
+		if d > maxDist {
+			maxDist = d
+		}
+	}
+	for d := 0; d <= maxDist; d++ {
+		vals := a.frags[d]
+		if vals == nil {
+			break
+		}
+		trusted := map[uint16]bool{}
+		for f, c := range vals {
+			if c >= a.MinCount {
+				trusted[f] = true
+			}
+		}
+		seen := map[topology.NodeID]bool{}
+		var found []topology.NodeID
+		for _, b := range prev {
+			for _, nb := range a.net.Neighbors(b) {
+				if seen[nb] {
+					continue
+				}
+				if trusted[a.scheme.Hash(nb)] {
+					seen[nb] = true
+					found = append(found, nb)
+				}
+			}
+		}
+		if len(found) == 0 {
+			break
+		}
+		sort.Slice(found, func(i, j int) bool { return found[i] < found[j] })
+		levels = append(levels, found)
+		prev = found
+	}
+	return levels
+}
+
+// Sources returns the deepest reconstructed level.
+func (a *AMSReconstructor) Sources() []topology.NodeID {
+	levels := a.Levels()
+	if len(levels) == 0 {
+		return nil
+	}
+	return levels[len(levels)-1]
+}

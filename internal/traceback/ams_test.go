@@ -1,0 +1,162 @@
+package traceback
+
+import (
+	"testing"
+
+	"repro/internal/marking"
+	"repro/internal/packet"
+	"repro/internal/rng"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func TestAMSReconstructsPath(t *testing.T) {
+	m := topology.NewMesh2D(8)
+	scheme, err := marking.NewAMS(0.1, 11, rng.NewStream(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := packet.NewAddrPlan(packet.DefaultBase, m.NumNodes())
+	r := routing.NewRouter(m, routing.NewXY(m))
+	attacker := m.IndexOf(topology.Coord{0, 0})
+	victim := m.IndexOf(topology.Coord{7, 7})
+	rec := NewAMSReconstructor(scheme, m, victim)
+	rec.MinCount = 2
+	preload := rng.NewStream(62)
+	for i := 0; i < 8000; i++ {
+		rec.Observe(send(t, r, scheme, plan, attacker, victim, uint16(preload.Intn(1<<16))))
+		if i%100 == 0 {
+			if srcs := rec.Sources(); len(srcs) == 1 && srcs[0] == attacker {
+				// Verify the full chain matches the XY path.
+				path, _ := r.Walk(attacker, victim, 0)
+				levels := rec.Levels()
+				if len(levels) != len(path)-1 {
+					t.Fatalf("levels %d, path switches %d", len(levels), len(path)-1)
+				}
+				for d, lvl := range levels {
+					want := path[len(path)-2-d]
+					found := false
+					for _, n := range lvl {
+						if n == want {
+							found = true
+						}
+					}
+					if !found {
+						t.Fatalf("level %d = %v missing path node %d", d, lvl, want)
+					}
+				}
+				return
+			}
+		}
+	}
+	t.Fatalf("AMS never converged: %v", rec.Levels())
+}
+
+func TestAMSConvergesFasterThanFragmentPPM(t *testing.T) {
+	// The paper's §2 claim: with a complete map, AMS needs roughly an
+	// eighth of Savage's packets (one sample per switch vs 8 fragments
+	// per edge). Assert a clear gap rather than the exact constant.
+	m := topology.NewMesh2D(8)
+	plan := packet.NewAddrPlan(packet.DefaultBase, m.NumNodes())
+	attacker := m.IndexOf(topology.Coord{0, 0})
+	victim := m.IndexOf(topology.Coord{7, 7})
+	const p = 0.1
+
+	amsPkts := func(seed uint64) int {
+		scheme, _ := marking.NewAMS(p, 11, rng.NewStream(seed))
+		r := routing.NewRouter(m, routing.NewXY(m))
+		rec := NewAMSReconstructor(scheme, m, victim)
+		for i := 1; i <= 200000; i++ {
+			rec.Observe(send(t, r, scheme, plan, attacker, victim, 0))
+			if i%25 == 0 {
+				if srcs := rec.Sources(); len(srcs) >= 1 && srcs[0] == attacker && len(rec.Levels()) == 14 {
+					return i
+				}
+			}
+		}
+		return -1
+	}
+	fragPkts := func(seed uint64) int {
+		scheme, _ := marking.NewFragmentPPM(p, rng.NewStream(seed))
+		r := routing.NewRouter(m, routing.NewXY(m))
+		rec := NewFragmentReconstructor(scheme, m.NumNodes())
+		for i := 1; i <= 200000; i++ {
+			rec.Observe(send(t, r, scheme, plan, attacker, victim, 0))
+			if i%25 == 0 {
+				if srcs := rec.Sources(); len(srcs) == 1 && srcs[0] == attacker && len(rec.Levels()) == 14 {
+					return i
+				}
+			}
+		}
+		return -1
+	}
+
+	var amsTotal, fragTotal int
+	for s := uint64(0); s < 3; s++ {
+		a := amsPkts(100 + s)
+		f := fragPkts(200 + s)
+		if a < 0 || f < 0 {
+			t.Fatalf("no convergence: ams=%d frag=%d", a, f)
+		}
+		amsTotal += a
+		fragTotal += f
+	}
+	if fragTotal < 3*amsTotal {
+		t.Errorf("fragment PPM (%d pkts) should need several times AMS (%d pkts)", fragTotal, amsTotal)
+	}
+}
+
+func TestAMSCollisionsSurfaceAsExtraCandidates(t *testing.T) {
+	// With a 1-bit hash, half of all neighbors match every fragment:
+	// levels balloon but still contain the true path.
+	m := topology.NewMesh2D(6)
+	scheme, _ := marking.NewAMS(0.3, 1, rng.NewStream(63))
+	plan := packet.NewAddrPlan(packet.DefaultBase, m.NumNodes())
+	r := routing.NewRouter(m, routing.NewXY(m))
+	attacker := m.IndexOf(topology.Coord{0, 0})
+	victim := m.IndexOf(topology.Coord{5, 5})
+	rec := NewAMSReconstructor(scheme, m, victim)
+	for i := 0; i < 3000; i++ {
+		rec.Observe(send(t, r, scheme, plan, attacker, victim, 0))
+	}
+	levels := rec.Levels()
+	if len(levels) == 0 {
+		t.Fatal("nothing reconstructed")
+	}
+	total := 0
+	for _, lvl := range levels {
+		total += len(lvl)
+	}
+	if total <= len(levels) {
+		t.Errorf("1-bit hash produced no ambiguity (%d candidates over %d levels)", total, len(levels))
+	}
+	path, _ := r.Walk(attacker, victim, 0)
+	for d, lvl := range levels {
+		if d >= len(path)-1 {
+			break
+		}
+		want := path[len(path)-2-d]
+		found := false
+		for _, n := range lvl {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("true path node %d missing from level %d", want, d)
+		}
+	}
+}
+
+func TestAMSValidation(t *testing.T) {
+	if _, err := marking.NewAMS(0, 11, nil); err == nil {
+		t.Error("P=0 accepted")
+	}
+	if _, err := marking.NewAMS(0.1, 12, nil); err == nil {
+		t.Error("12-bit hash accepted (5-bit distance would not fit)")
+	}
+	s, err := marking.NewAMS(0.1, 0, rng.NewStream(1))
+	if err != nil || s.HashBits != 11 {
+		t.Errorf("default hash bits = %d, %v", s.HashBits, err)
+	}
+}

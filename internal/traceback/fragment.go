@@ -1,0 +1,175 @@
+package traceback
+
+import (
+	"sort"
+
+	"repro/internal/marking"
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+// FragmentReconstructor rebuilds attack paths from Savage-style hashed
+// fragments (marking.FragmentPPM). Identity blocks are recovered level
+// by level: distance-0 samples carry raw fragments of the victim's
+// upstream switch; at distance d the fragments are XORs frag(A)⊕frag(B)
+// with B already known from level d−1, so the victim XORs B's fragment
+// back out, assembles candidate 64-bit blocks from one fragment per
+// offset, and keeps those whose embedded hash verifies — the
+// combinatorial step whose expected packet cost is k·ln(kd)/p(1−p)^{d−1}
+// (§2).
+type FragmentReconstructor struct {
+	scheme   *marking.FragmentPPM
+	numNodes int
+
+	observed int64
+	// frags[d][offset] = set of fragment values seen.
+	frags map[int]map[int]map[uint8]int
+
+	// MinCount suppresses attacker-seeded fragments.
+	MinCount int
+
+	// MaxCandidatesPerLevel caps the combinatorial assembly; beyond it
+	// the level is abandoned (reported via Truncated).
+	MaxCandidatesPerLevel int
+	truncated             bool
+}
+
+// NewFragmentReconstructor builds the victim-side decoder. numNodes
+// bounds valid node indexes for hash verification.
+func NewFragmentReconstructor(scheme *marking.FragmentPPM, numNodes int) *FragmentReconstructor {
+	return &FragmentReconstructor{
+		scheme:                scheme,
+		numNodes:              numNodes,
+		frags:                 make(map[int]map[int]map[uint8]int),
+		MinCount:              1,
+		MaxCandidatesPerLevel: 4096,
+	}
+}
+
+// Observe folds one received packet's fragment sample in.
+func (f *FragmentReconstructor) Observe(pk *packet.Packet) {
+	f.observed++
+	s := f.scheme.DecodeMF(pk.Hdr.ID)
+	byOff := f.frags[s.Dist]
+	if byOff == nil {
+		byOff = make(map[int]map[uint8]int)
+		f.frags[s.Dist] = byOff
+	}
+	vals := byOff[s.Offset]
+	if vals == nil {
+		vals = make(map[uint8]int)
+		byOff[s.Offset] = vals
+	}
+	vals[s.Frag]++
+}
+
+// Observed returns the number of packets seen.
+func (f *FragmentReconstructor) Observed() int64 { return f.observed }
+
+// Truncated reports whether any level hit the candidate cap.
+func (f *FragmentReconstructor) Truncated() bool { return f.truncated }
+
+// assemble enumerates verified blocks from per-offset candidate
+// fragment sets.
+func (f *FragmentReconstructor) assemble(perOffset [marking.FragmentCount][]uint8) []topology.NodeID {
+	for _, vals := range perOffset {
+		if len(vals) == 0 {
+			return nil // an offset was never sampled: cannot assemble
+		}
+	}
+	blocks := []uint64{0}
+	for o := 0; o < marking.FragmentCount; o++ {
+		var next []uint64
+		for _, b := range blocks {
+			for _, v := range perOffset[o] {
+				next = append(next, b|uint64(v)<<(8*o))
+				if len(next) > f.MaxCandidatesPerLevel {
+					f.truncated = true
+					return nil
+				}
+			}
+		}
+		blocks = next
+	}
+	var out []topology.NodeID
+	for _, b := range blocks {
+		if id, ok := marking.VerifyBlock(b, f.numNodes); ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Levels reconstructs the verified nodes at each distance from the
+// victim: Levels()[0] are the upstream switches adjacent to the victim,
+// Levels()[d] the switches d+1 hops out. Reconstruction stops at the
+// first level with no verified node (the chain is broken there).
+func (f *FragmentReconstructor) Levels() [][]topology.NodeID {
+	var levels [][]topology.NodeID
+	maxDist := 0
+	for d := range f.frags {
+		if d > maxDist {
+			maxDist = d
+		}
+	}
+	prev := []topology.NodeID(nil)
+	for d := 0; d <= maxDist; d++ {
+		byOff := f.frags[d]
+		if byOff == nil {
+			break
+		}
+		var found []topology.NodeID
+		if d == 0 {
+			var perOffset [marking.FragmentCount][]uint8
+			for o := 0; o < marking.FragmentCount; o++ {
+				for v, c := range byOff[o] {
+					if c >= f.MinCount {
+						perOffset[o] = append(perOffset[o], v)
+					}
+				}
+				sort.Slice(perOffset[o], func(i, j int) bool { return perOffset[o][i] < perOffset[o][j] })
+			}
+			found = f.assemble(perOffset)
+		} else {
+			// XOR out each known downstream node B from level d−1.
+			seen := map[topology.NodeID]bool{}
+			for _, b := range prev {
+				block := marking.IdentityBlock(b)
+				var perOffset [marking.FragmentCount][]uint8
+				for o := 0; o < marking.FragmentCount; o++ {
+					bf := marking.Fragment(block, o)
+					for v, c := range byOff[o] {
+						if c >= f.MinCount {
+							perOffset[o] = append(perOffset[o], v^bf)
+						}
+					}
+					sort.Slice(perOffset[o], func(i, j int) bool { return perOffset[o][i] < perOffset[o][j] })
+				}
+				for _, id := range f.assemble(perOffset) {
+					if !seen[id] {
+						seen[id] = true
+						found = append(found, id)
+					}
+				}
+			}
+		}
+		if len(found) == 0 {
+			break
+		}
+		sort.Slice(found, func(i, j int) bool { return found[i] < found[j] })
+		levels = append(levels, found)
+		prev = found
+	}
+	return levels
+}
+
+// Sources returns the deepest verified level — the farthest switches
+// the chain reaches, which on a converged single-path reconstruction is
+// the attacker's switch.
+func (f *FragmentReconstructor) Sources() []topology.NodeID {
+	levels := f.Levels()
+	if len(levels) == 0 {
+		return nil
+	}
+	return levels[len(levels)-1]
+}

@@ -1,0 +1,75 @@
+// Package traceback implements the victim side of every marking scheme:
+// turning the marking fields of received packets back into attack
+// sources. It contains the single-packet DDPM identifier (the paper's
+// contribution), the multi-packet PPM path reconstructor (whose packet
+// appetite is experiment E1), the Savage fragment reconstructor, and
+// the DPM signature table (whose ambiguity is experiment E2).
+//
+// Nothing in this package reads simulator ground truth; identifiers see
+// only what a real victim NIC would: the IP header and, for the
+// idealized wide variants, the side-band mark.
+package traceback
+
+import (
+	"sort"
+
+	"repro/internal/marking"
+	"repro/internal/packet"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// DDPMIdentifier recovers the source of every observed packet directly
+// from its marking field (Figure 4's destination-side branch:
+// V := Extract_MF(); S := X − V). It also tallies identified sources so
+// a victim under attack can rank offenders.
+type DDPMIdentifier struct {
+	scheme *marking.DDPM
+	victim topology.NodeID
+	tally  *stats.Counter[topology.NodeID]
+	undec  int64
+}
+
+// NewDDPMIdentifier builds the identifier for a victim node.
+func NewDDPMIdentifier(scheme *marking.DDPM, victim topology.NodeID) *DDPMIdentifier {
+	return &DDPMIdentifier{scheme: scheme, victim: victim, tally: stats.NewCounter[topology.NodeID]()}
+}
+
+// Observe identifies the packet's source. ok is false when the MF does
+// not decode to a node of the topology (corruption or marking bypass).
+func (d *DDPMIdentifier) Observe(pk *packet.Packet) (topology.NodeID, bool) {
+	src, ok := d.scheme.IdentifySource(d.victim, pk.Hdr.ID)
+	if !ok {
+		d.undec++
+		return topology.None, false
+	}
+	d.tally.Add(src)
+	return src, true
+}
+
+// Observed returns the number of successfully identified packets;
+// Undecodable the number of rejects.
+func (d *DDPMIdentifier) Observed() int64    { return d.tally.Total() }
+func (d *DDPMIdentifier) Undecodable() int64 { return d.undec }
+
+// Count returns the tally for one source node.
+func (d *DDPMIdentifier) Count(src topology.NodeID) int64 { return d.tally.Count(src) }
+
+// TopSources returns the k most frequent identified sources.
+func (d *DDPMIdentifier) TopSources(k int) []topology.NodeID {
+	return d.tally.Top(k, func(a, b topology.NodeID) bool { return a < b })
+}
+
+// SourcesAbove returns every source identified strictly more than
+// threshold times, sorted by node id — the blocklist a victim feeds to
+// the filter layer.
+func (d *DDPMIdentifier) SourcesAbove(threshold int64) []topology.NodeID {
+	var out []topology.NodeID
+	for _, s := range d.tally.Top(1<<30, func(a, b topology.NodeID) bool { return a < b }) {
+		if d.tally.Count(s) > threshold {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
