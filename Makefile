@@ -1,0 +1,18 @@
+GO ?= go
+
+.PHONY: check race bench
+
+## check: vet, build and test everything (the tier-1 gate)
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+
+## race: run the internal packages under the race detector
+race:
+	$(GO) test -race ./internal/...
+
+## bench: run the engine benchmarks and refresh BENCH_netsim.json
+bench:
+	$(GO) run ./cmd/benchjson -o BENCH_netsim.json
+	$(GO) test ./internal/netsim/ -run xxx -bench . -benchmem

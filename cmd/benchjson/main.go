@@ -1,0 +1,241 @@
+// Command benchjson runs the netsim engine benchmarks through
+// testing.Benchmark and emits machine-readable results as JSON, so
+// performance regressions are diffable in review. The checked-in
+// snapshot lives at BENCH_netsim.json (refresh with `make bench`).
+//
+// The workloads mirror internal/netsim/bench_test.go: the headline
+// 16×16-torus adaptive-routing benchmark (events/sec), the per-hop
+// allocation benchmark (allocs/op must be 0), and the three-topology
+// throughput sweep.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/eventq"
+	"repro/internal/marking"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/rng"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// seedBaseline pins the pre-rewrite engine's numbers on the reference
+// machine (Intel Xeon @ 2.10GHz), measured with the identical workload
+// before the typed-event/dense-table engine landed. The speedup fields
+// in the output are computed against these.
+var seedBaseline = map[string]float64{
+	"AdaptiveTorus16.events_per_sec": 1481512,
+	"ForwardHop.allocs_per_op":       192,
+	"ForwardHop.ns_per_op":           8194,
+}
+
+// Result is one benchmark's measurements.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Extra holds benchmark-specific metrics (events_per_sec,
+	// pkts_per_sec, hops_per_op).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Engine    string             `json:"engine"`
+	GoVersion string             `json:"go_version"`
+	GOARCH    string             `json:"goarch"`
+	NumCPU    int                `json:"num_cpu"`
+	Results   []Result           `json:"results"`
+	Baseline  map[string]float64 `json:"seed_baseline"`
+	Speedup   map[string]float64 `json:"speedup_vs_seed"`
+}
+
+func record(name string, br testing.BenchmarkResult, extras ...string) Result {
+	r := Result{
+		Name:        name,
+		NsPerOp:     float64(br.T.Nanoseconds()) / float64(br.N),
+		AllocsPerOp: br.AllocsPerOp(),
+		BytesPerOp:  br.AllocedBytesPerOp(),
+	}
+	for _, key := range extras {
+		if v, ok := br.Extra[key]; ok {
+			if r.Extra == nil {
+				r.Extra = map[string]float64{}
+			}
+			r.Extra[jsonKey(key)] = v
+		}
+	}
+	return r
+}
+
+// jsonKey normalizes testing metric names ("events/sec") to JSON-ish
+// snake case ("events_per_sec").
+func jsonKey(metric string) string {
+	switch metric {
+	case "events/sec":
+		return "events_per_sec"
+	case "pkts/sec":
+		return "pkts_per_sec"
+	case "hops/op":
+		return "hops_per_op"
+	default:
+		return metric
+	}
+}
+
+// benchAdaptiveTorus16 is the headline benchmark: 16×16 torus,
+// minimal-adaptive routing with the congestion selector, DDPM marking,
+// 2000 uniform packets per iteration.
+func benchAdaptiveTorus16(b *testing.B) {
+	tor := topology.NewTorus2D(16)
+	d, err := marking.NewDDPM(tor)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := packet.NewAddrPlan(packet.DefaultBase, tor.NumNodes())
+	var fired uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := routing.NewRouter(tor, routing.NewMinimalAdaptive(tor))
+		r.Sel = routing.CongestionSelector{R: rng.NewStream(7)}
+		n, err := netsim.New(netsim.Config{Net: tor, Router: r, Scheme: d, Plan: plan, QueueCap: 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		stream := rng.NewStream(uint64(i) + 1)
+		for k := 0; k < 2000; k++ {
+			src := topology.NodeID(stream.Intn(tor.NumNodes()))
+			dst := topology.NodeID(stream.Intn(tor.NumNodes()))
+			n.InjectAt(eventq.Time(k/8), n.AcquirePacket(src, dst, packet.ProtoUDP, 32))
+		}
+		n.RunAll(10_000_000)
+		fired += n.Q.Fired()
+	}
+	b.ReportMetric(float64(fired)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// benchForwardHop measures steady-state per-hop cost with the packet
+// pool: one pooled packet crossing an 8×8 mesh corner to corner
+// (14 hops) under XY routing with DDPM. allocs/op must be zero.
+func benchForwardHop(b *testing.B) {
+	m := topology.NewMesh2D(8)
+	d, err := marking.NewDDPM(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := routing.NewRouter(m, routing.NewXY(m))
+	plan := packet.NewAddrPlan(packet.DefaultBase, m.NumNodes())
+	n, err := netsim.New(netsim.Config{Net: m, Router: r, Scheme: d, Plan: plan, QueueCap: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := m.IndexOf(topology.Coord{0, 0})
+	dst := m.IndexOf(topology.Coord{7, 7})
+	n.Inject(n.AcquirePacket(src, dst, packet.ProtoUDP, 32))
+	n.RunAll(1_000_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Inject(n.AcquirePacket(src, dst, packet.ProtoUDP, 32))
+		n.RunAll(1_000_000)
+	}
+	b.ReportMetric(14, "hops/op")
+}
+
+// benchFabric builds the per-topology throughput benchmark: 1000
+// uniform packets per iteration, adaptive routing + DDPM.
+func benchFabric(net topology.Network) func(b *testing.B) {
+	return func(b *testing.B) {
+		d, err := marking.NewDDPM(net)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan := packet.NewAddrPlan(packet.DefaultBase, net.NumNodes())
+		var delivered uint64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r := routing.NewRouter(net, routing.NewMinimalAdaptive(net))
+			r.Sel = routing.CongestionSelector{R: rng.NewStream(7)}
+			n, err := netsim.New(netsim.Config{Net: net, Router: r, Scheme: d, Plan: plan, QueueCap: 64})
+			if err != nil {
+				b.Fatal(err)
+			}
+			stream := rng.NewStream(uint64(i) + 1)
+			for k := 0; k < 1000; k++ {
+				src := topology.NodeID(stream.Intn(net.NumNodes()))
+				dst := topology.NodeID(stream.Intn(net.NumNodes()))
+				n.InjectAt(eventq.Time(k/8), n.AcquirePacket(src, dst, packet.ProtoUDP, 32))
+			}
+			n.RunAll(10_000_000)
+			delivered += n.Stats().Delivered
+		}
+		b.ReportMetric(float64(delivered)/b.Elapsed().Seconds(), "pkts/sec")
+	}
+}
+
+func main() {
+	out := flag.String("o", "BENCH_netsim.json", "output path ('-' for stdout)")
+	flag.Parse()
+
+	rep := Report{
+		Engine:    "typed-event freelist kernel, dense link tables, packet pool",
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Baseline:  seedBaseline,
+		Speedup:   map[string]float64{},
+	}
+
+	fmt.Fprintln(os.Stderr, "benchjson: running AdaptiveTorus16 ...")
+	torus := testing.Benchmark(benchAdaptiveTorus16)
+	rep.Results = append(rep.Results, record("AdaptiveTorus16", torus, "events/sec"))
+
+	fmt.Fprintln(os.Stderr, "benchjson: running ForwardHop ...")
+	hop := testing.Benchmark(benchForwardHop)
+	rep.Results = append(rep.Results, record("ForwardHop", hop, "hops/op"))
+
+	sweeps := []struct {
+		name string
+		net  topology.Network
+	}{
+		{"FabricThroughput/mesh16x16", topology.NewMesh2D(16)},
+		{"FabricThroughput/torus16x16", topology.NewTorus2D(16)},
+		{"FabricThroughput/hypercube8", topology.NewHypercube(8)},
+	}
+	for _, s := range sweeps {
+		fmt.Fprintln(os.Stderr, "benchjson: running", s.name, "...")
+		br := testing.Benchmark(benchFabric(s.net))
+		rep.Results = append(rep.Results, record(s.name, br, "pkts/sec"))
+	}
+
+	if eps := rep.Results[0].Extra["events_per_sec"]; eps > 0 {
+		rep.Speedup["AdaptiveTorus16.events_per_sec"] = eps / seedBaseline["AdaptiveTorus16.events_per_sec"]
+	}
+	rep.Speedup["ForwardHop.ns_per_op"] = seedBaseline["ForwardHop.ns_per_op"] / rep.Results[1].NsPerOp
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "benchjson: wrote", *out)
+}

@@ -83,6 +83,50 @@ func TestRunParallelEdgeCases(t *testing.T) {
 	if err != nil || len(got) != 3 {
 		t.Errorf("default workers: %v %v", got, err)
 	}
+	// workers > n must clamp, not spawn idle goroutines or deadlock.
+	got, err = RunParallel(2, 64, func(i int) (int, error) { return i + 10, nil })
+	if err != nil || len(got) != 2 || got[0] != 10 || got[1] != 11 {
+		t.Errorf("workers > n: %v %v", got, err)
+	}
+}
+
+func TestRunParallelBoundaryErrors(t *testing.T) {
+	// An error in the very first or very last job must surface, and when
+	// both fail the lowest index wins — the boundary cases of the
+	// deterministic-error contract.
+	e0 := errors.New("job 0")
+	eN := errors.New("job n-1")
+	const n = 16
+	_, err := RunParallel(n, 4, func(i int) (int, error) {
+		if i == 0 {
+			return 0, e0
+		}
+		return i, nil
+	})
+	if !errors.Is(err, e0) {
+		t.Errorf("error in job 0: got %v", err)
+	}
+	_, err = RunParallel(n, 4, func(i int) (int, error) {
+		if i == n-1 {
+			return 0, eN
+		}
+		return i, nil
+	})
+	if !errors.Is(err, eN) {
+		t.Errorf("error in job n-1: got %v", err)
+	}
+	_, err = RunParallel(n, 4, func(i int) (int, error) {
+		switch i {
+		case 0:
+			return 0, e0
+		case n - 1:
+			return 0, eN
+		}
+		return i, nil
+	})
+	if !errors.Is(err, e0) {
+		t.Errorf("both boundaries fail: got %v, want lowest index", err)
+	}
 }
 
 func TestRunParallelE3SweepMatchesSequential(t *testing.T) {

@@ -2,10 +2,19 @@
 // monotone virtual clock and a priority queue of timestamped events
 // with deterministic FIFO tie-breaking. All network, attack and
 // detection activity in the simulator is driven by this queue.
+//
+// The queue offers two scheduling surfaces. The typed-event surface
+// (SetHandler + PostAt/PostAfter) is the hot path: events are small
+// payload records (a kind tag, one integer word, one pointer word)
+// dispatched through a single Handler, so steady-state scheduling does
+// not allocate — items live in a freelist-backed slab ordered by an
+// index-based 4-ary heap. The closure surface (At/After) is a thin
+// compatibility layer over the same heap for cold-path callers
+// (injection schedules, tests) that prefer the ergonomic form; each
+// closure costs one allocation, which is fine off the hot path.
 package eventq
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -16,92 +25,172 @@ type Time int64
 // Event is a callback scheduled at a point in simulated time.
 type Event func(now Time)
 
+// Handler consumes typed events. kind is the caller-defined event tag
+// passed to PostAt (always ≥ 0); a and p are the payload words given at
+// post time. A single handler serves the whole queue: the simulator
+// owning the queue dispatches on kind.
+type Handler interface {
+	HandleEvent(now Time, kind int32, a int64, p any)
+}
+
+// kindClosure marks compatibility-layer events carrying an Event
+// closure; user kinds must be non-negative.
+const kindClosure int32 = -1
+
+const noIndex int32 = -1
+
+// item is one scheduled event, stored in the queue's slab and reused
+// through the freelist after it fires or is released.
 type item struct {
 	at   Time
 	seq  uint64 // insertion order; breaks ties deterministically
+	a    int64
+	p    any
 	fn   Event
-	idx  int
+	kind int32
+	gen  uint32 // bumped on release so stale Handles cannot cancel a reused slot
 	dead bool
 }
 
-// Handle refers to a scheduled event and allows cancellation.
-type Handle struct{ it *item }
+// Handle refers to a scheduled event and allows cancellation. The zero
+// Handle is valid and refers to nothing.
+type Handle struct {
+	q   *Queue
+	idx int32
+	gen uint32
+}
 
 // Cancel marks the event so it will not fire. Cancelling an already
-// fired or cancelled event is a no-op. Cancel is O(1); the item is
-// dropped lazily when it reaches the top of the heap.
+// fired or cancelled event is a no-op — the handle's generation tag
+// guards against the slot having been reused by a later event. Cancel
+// is O(1); the item is dropped lazily when it reaches the top of the
+// heap, without counting toward Fired.
 func (h Handle) Cancel() {
-	if h.it != nil {
-		h.it.dead = true
+	if h.q == nil || h.idx == noIndex {
+		return
+	}
+	if it := &h.q.slab[h.idx]; it.gen == h.gen {
+		it.dead = true
 	}
 }
 
-type pq []*item
-
-func (p pq) Len() int { return len(p) }
-func (p pq) Less(i, j int) bool {
-	if p[i].at != p[j].at {
-		return p[i].at < p[j].at
-	}
-	return p[i].seq < p[j].seq
-}
-func (p pq) Swap(i, j int) {
-	p[i], p[j] = p[j], p[i]
-	p[i].idx = i
-	p[j].idx = j
-}
-func (p *pq) Push(x any) {
-	it := x.(*item)
-	it.idx = len(*p)
-	*p = append(*p, it)
-}
-func (p *pq) Pop() any {
-	old := *p
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*p = old[:n-1]
-	return it
+// heapEntry is one node of the 4-ary min-heap. The (at, seq) ordering
+// key is embedded so comparisons never chase into the slab — sift-down
+// on a hot queue is comparison-bound, and the indirection would cost a
+// dependent cache miss per compare.
+type heapEntry struct {
+	at  Time
+	seq uint64
+	idx int32
 }
 
 // Queue is a discrete-event scheduler. It is not safe for concurrent
 // use; the simulation is single-threaded by design (parallel runs are
 // achieved by running independent Queue instances per goroutine).
 type Queue struct {
-	now   Time
-	seq   uint64
-	items pq
-	fired uint64
+	now     Time
+	seq     uint64
+	fired   uint64
+	handler Handler
+
+	slab []item      // all items, live and free
+	heap []heapEntry // 4-ary min-heap on (at, seq)
+	free []int32     // released slab indices, reused LIFO
 }
 
 // New returns an empty queue at time 0.
 func New() *Queue { return &Queue{} }
 
+// SetHandler installs the typed-event consumer. It must be set before
+// the first PostAt/PostAfter event fires.
+func (q *Queue) SetHandler(h Handler) { q.handler = h }
+
 // Now returns the current simulation time.
 func (q *Queue) Now() Time { return q.now }
 
-// Fired returns the number of events executed so far.
+// Fired returns the number of events executed so far. Cancelled events
+// never count.
 func (q *Queue) Fired() uint64 { return q.fired }
 
 // Len returns the number of pending (non-cancelled) events. Cancelled
 // events still buried in the heap are counted until popped, so Len is
 // an upper bound; Empty is exact for scheduling purposes.
-func (q *Queue) Len() int { return len(q.items) }
+func (q *Queue) Len() int { return len(q.heap) }
 
-// At schedules fn to run at absolute time at. Scheduling in the past
-// (before Now) panics: it indicates a simulator bug, and silently
-// clamping would mask causality violations.
-func (q *Queue) At(at Time, fn Event) Handle {
+// alloc takes an item from the freelist (or grows the slab), assigns
+// its (at, seq) key and pushes it onto the heap.
+func (q *Queue) alloc(at Time) int32 {
 	if at < q.now {
 		panic(fmt.Sprintf("eventq: scheduling at %d before now %d", at, q.now))
 	}
+	var idx int32
+	if n := len(q.free); n > 0 {
+		idx = q.free[n-1]
+		q.free = q.free[:n-1]
+	} else {
+		q.slab = append(q.slab, item{})
+		idx = int32(len(q.slab) - 1)
+	}
+	it := &q.slab[idx]
+	it.at = at
+	it.seq = q.seq
+	it.dead = false
+	q.seq++
+	q.push(heapEntry{at: at, seq: it.seq, idx: idx})
+	return idx
+}
+
+// release returns a popped item to the freelist, clearing references so
+// the slab does not pin packets or closures, and bumping the generation
+// so outstanding Handles to the old event become inert.
+func (q *Queue) release(idx int32) {
+	it := &q.slab[idx]
+	it.fn = nil
+	it.p = nil
+	it.gen++
+	q.free = append(q.free, idx)
+}
+
+// PostAt schedules a typed event at absolute time at. kind must be
+// non-negative; a and p travel to the Handler verbatim. Steady-state
+// posting is allocation-free (p holds pointer-shaped payloads without
+// boxing). Scheduling in the past panics: it indicates a simulator bug,
+// and silently clamping would mask causality violations.
+func (q *Queue) PostAt(at Time, kind int32, a int64, p any) Handle {
+	if kind < 0 {
+		panic(fmt.Sprintf("eventq: negative event kind %d is reserved", kind))
+	}
+	idx := q.alloc(at)
+	it := &q.slab[idx]
+	it.kind = kind
+	it.a = a
+	it.p = p
+	it.fn = nil
+	return Handle{q: q, idx: idx, gen: it.gen}
+}
+
+// PostAfter schedules a typed event delay ticks from now.
+func (q *Queue) PostAfter(delay Time, kind int32, a int64, p any) Handle {
+	if delay < 0 {
+		panic(fmt.Sprintf("eventq: negative delay %d", delay))
+	}
+	return q.PostAt(q.now+delay, kind, a, p)
+}
+
+// At schedules fn to run at absolute time at — the closure
+// compatibility layer over the typed queue. Scheduling in the past
+// (before Now) panics.
+func (q *Queue) At(at Time, fn Event) Handle {
 	if fn == nil {
 		panic("eventq: nil event")
 	}
-	it := &item{at: at, seq: q.seq, fn: fn}
-	q.seq++
-	heap.Push(&q.items, it)
-	return Handle{it: it}
+	idx := q.alloc(at)
+	it := &q.slab[idx]
+	it.kind = kindClosure
+	it.a = 0
+	it.p = nil
+	it.fn = fn
+	return Handle{q: q, idx: idx, gen: it.gen}
 }
 
 // After schedules fn to run delay ticks from now.
@@ -113,16 +202,27 @@ func (q *Queue) After(delay Time, fn Event) Handle {
 }
 
 // Step pops and runs the earliest event, advancing the clock to its
-// timestamp. It returns false when no events remain.
+// timestamp. It returns false when no events remain. Cancelled items
+// are discarded without firing.
 func (q *Queue) Step() bool {
-	for len(q.items) > 0 {
-		it := heap.Pop(&q.items).(*item)
+	for len(q.heap) > 0 {
+		idx := q.pop()
+		it := &q.slab[idx]
 		if it.dead {
+			q.release(idx)
 			continue
 		}
 		q.now = it.at
 		q.fired++
-		it.fn(q.now)
+		// Copy the payload and recycle the slot before dispatch, so the
+		// handler can schedule new events that reuse it immediately.
+		kind, a, p, fn := it.kind, it.a, it.p, it.fn
+		q.release(idx)
+		if kind == kindClosure {
+			fn(q.now)
+		} else {
+			q.handler.HandleEvent(q.now, kind, a, p)
+		}
 		return true
 	}
 	return false
@@ -130,15 +230,15 @@ func (q *Queue) Step() bool {
 
 // Run executes events until the queue drains or the clock passes
 // horizon (exclusive). Events at exactly horizon do not run, so
-// successive Run(h1), Run(h2) windows partition time cleanly. It
+// successive Run(h1), Run(h2) windows partition time cleanly. Dead
+// (cancelled) top items are dropped without counting toward Fired. It
 // returns the number of events executed.
 func (q *Queue) Run(horizon Time) uint64 {
 	start := q.fired
-	for len(q.items) > 0 {
-		// Peek: find the earliest live event.
-		top := q.items[0]
-		if top.dead {
-			heap.Pop(&q.items)
+	for len(q.heap) > 0 {
+		top := q.heap[0]
+		if q.slab[top.idx].dead {
+			q.release(q.pop())
 			continue
 		}
 		if top.at >= horizon {
@@ -162,4 +262,71 @@ func (q *Queue) Drain(maxEvents uint64) uint64 {
 		}
 	}
 	return q.fired - start
+}
+
+// --- 4-ary index heap over (at, seq) ---------------------------------
+//
+// A 4-ary layout halves the tree depth of the binary heap and keeps
+// children in one cache line of the index slice; benchmarks on the
+// netsim workloads show it clearly ahead of both container/heap (which
+// also pays interface-method dispatch) and a binary index heap.
+
+func less(a, b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push appends e and sifts it up.
+func (q *Queue) push(e heapEntry) {
+	q.heap = append(q.heap, e)
+	pos := len(q.heap) - 1
+	for pos > 0 {
+		parent := (pos - 1) >> 2
+		if !less(e, q.heap[parent]) {
+			break
+		}
+		q.heap[pos] = q.heap[parent]
+		pos = parent
+	}
+	q.heap[pos] = e
+}
+
+// pop removes and returns the root's slab index.
+func (q *Queue) pop() int32 {
+	root := q.heap[0].idx
+	n := len(q.heap) - 1
+	e := q.heap[n]
+	q.heap = q.heap[:n]
+	if n == 0 {
+		return root
+	}
+	h := q.heap // one bounds-checked view for the whole sift-down
+	// Sift the former last element down from the root.
+	pos := 0
+	for {
+		first := pos<<2 + 1
+		if first >= n {
+			break
+		}
+		best := first
+		bestE := h[first]
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if less(h[c], bestE) {
+				best, bestE = c, h[c]
+			}
+		}
+		if !less(bestE, e) {
+			break
+		}
+		h[pos] = bestE
+		pos = best
+	}
+	h[pos] = e
+	return root
 }

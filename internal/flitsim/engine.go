@@ -94,15 +94,13 @@ func (f *Fabric) allocate(rt *router, vc *vcState, head flit, preferEscape bool)
 		vc.outVC = 0
 		return
 	}
-	type cand struct {
-		port, ovc int
-	}
-	var best *cand
+	bestPort, bestVC := -1, -1
 	bestCredit := 0 // require at least one credit to allocate
 	if !preferEscape {
 		// Adaptive tier: every minimal productive neighbor, adaptive VCs.
-		for _, mv := range topology.MinimalDims(f.cfg.Net, rt.id, pk.DstNode) {
-			next := f.cfg.Net.(topology.Stepper).Step(rt.id, mv.Dim, mv.Dir)
+		f.dimBuf = topology.AppendMinimalDims(f.cfg.Net, rt.id, pk.DstNode, f.dimBuf[:0], f.cc, f.dc)
+		for _, mv := range f.dimBuf {
+			next := f.cfg.Net.Step(rt.id, mv.Dim, mv.Dir)
 			if next == topology.None {
 				continue
 			}
@@ -113,12 +111,12 @@ func (f *Fabric) allocate(rt *router, vc *vcState, head flit, preferEscape bool)
 				}
 				if c := rt.credits[port][ovc]; c > bestCredit {
 					bestCredit = c
-					best = &cand{port: port, ovc: ovc}
+					bestPort, bestVC = port, ovc
 				}
 			}
 		}
 	}
-	if best == nil {
+	if bestPort < 0 {
 		// Escape tier: dimension-order on the escape VC(s).
 		hop, err := f.esc.NextHop(rt.id, pk.DstNode, 0)
 		if err != nil {
@@ -129,13 +127,13 @@ func (f *Fabric) allocate(rt *router, vc *vcState, head flit, preferEscape bool)
 		if rt.outOwner[port][evc] != noOwner || rt.credits[port][evc] == 0 {
 			return // blocked this cycle; retry next cycle
 		}
-		best = &cand{port: port, ovc: evc}
+		bestPort, bestVC = port, evc
 	}
 	vc.routed = true
 	vc.stalled = 0
-	vc.outPort = best.port
-	vc.outVC = best.ovc
-	rt.outOwner[best.port][best.ovc] = head.id
+	vc.outPort = bestPort
+	vc.outVC = bestVC
+	rt.outOwner[bestPort][bestVC] = head.id
 	// Marking happens when the head flit actually traverses the switch
 	// (switchTraversal), not here: a credit-starved allocation may be
 	// released and re-routed, and the mark must reflect the hop the
@@ -152,7 +150,8 @@ func (f *Fabric) escapeVC(cur, dst topology.NodeID) int {
 	if f.escVCs == 1 {
 		return 0
 	}
-	cc, dc := f.cfg.Net.CoordOf(cur), f.cfg.Net.CoordOf(dst)
+	cc := topology.FillCoord(f.cfg.Net, cur, f.cc)
+	dc := topology.FillCoord(f.cfg.Net, dst, f.dc)
 	dims := f.cfg.Net.Dims()
 	for i := range cc {
 		if cc[i] == dc[i] {
@@ -206,8 +205,8 @@ type creditReturn struct {
 // physical output port (and one ejection) per router per cycle — and
 // collects the resulting flit moves and credit returns.
 func (f *Fabric) switchTraversal() ([]move, []creditReturn) {
-	var moves []move
-	var credits []creditReturn
+	moves := f.moveBuf[:0]
+	credits := f.creditBuf[:0]
 	for _, rt := range f.routers {
 		// One winner per physical output port.
 		for port := range rt.neighbors {
@@ -257,6 +256,7 @@ func (f *Fabric) switchTraversal() ([]move, []creditReturn) {
 			}
 		}
 	}
+	f.moveBuf, f.creditBuf = moves, credits
 	return moves, credits
 }
 
@@ -264,7 +264,7 @@ func (f *Fabric) switchTraversal() ([]move, []creditReturn) {
 // among routed VCs targeting the port with flits and downstream credit,
 // rotate by cycle for fairness.
 func (f *Fabric) pickWinner(rt *router, port int) *vcState {
-	var cands []*vcState
+	cands := f.candBuf[:0]
 	for _, vcs := range rt.in {
 		for _, vc := range vcs {
 			if vc.routed && vc.outPort == port && len(vc.buf) > 0 && rt.credits[port][vc.outVC] > 0 {
@@ -275,6 +275,7 @@ func (f *Fabric) pickWinner(rt *router, port int) *vcState {
 			}
 		}
 	}
+	f.candBuf = cands
 	if len(cands) == 0 {
 		return nil
 	}
@@ -283,7 +284,7 @@ func (f *Fabric) pickWinner(rt *router, port int) *vcState {
 
 // pickEjector selects one VC delivering to the local NIC.
 func (f *Fabric) pickEjector(rt *router) *vcState {
-	var cands []*vcState
+	cands := f.candBuf[:0]
 	for _, vcs := range rt.in {
 		for _, vc := range vcs {
 			if vc.routed && vc.outPort == ejectPort && len(vc.buf) > 0 {
@@ -291,6 +292,7 @@ func (f *Fabric) pickEjector(rt *router) *vcState {
 			}
 		}
 	}
+	f.candBuf = cands
 	if len(cands) == 0 {
 		return nil
 	}

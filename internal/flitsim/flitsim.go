@@ -139,6 +139,16 @@ type Fabric struct {
 	flitHops                    uint64
 
 	onDeliver func(cycle int64, pk *packet.Packet)
+
+	// Per-cycle scratch buffers, reused across Step calls so the steady
+	// state allocates nothing: pending flit moves and credit returns,
+	// switch-allocation candidate lists, and routing scratch (minimal
+	// moves + coordinate buffers).
+	moveBuf   []move
+	creditBuf []creditReturn
+	candBuf   []*vcState
+	dimBuf    []topology.DimDir
+	cc, dc    topology.Coord
 }
 
 // New builds the fabric.
@@ -146,12 +156,15 @@ func New(cfg Config) (*Fabric, error) {
 	if err := cfg.defaults(); err != nil {
 		return nil, err
 	}
+	nd := len(cfg.Net.Dims())
 	f := &Fabric{
 		cfg:     cfg,
 		esc:     routing.NewRouter(cfg.Net, routing.NewDimensionOrder(cfg.Net)),
 		escVCs:  1,
 		injectQ: make([][]flit, cfg.Net.NumNodes()),
 		nextPkt: 1,
+		cc:      make(topology.Coord, nd),
+		dc:      make(topology.Coord, nd),
 	}
 	if cfg.Net.Wraparound() {
 		f.escVCs = 2

@@ -29,6 +29,13 @@ type DDPM struct {
 	// true; disabling it models a broken deployment where the source
 	// switch trusts the attacker-supplied Identification field.
 	ZeroOnInject bool
+
+	// cc/nc/delta are per-hop scratch buffers keeping OnForward
+	// allocation-free. They make a DDPM instance single-goroutine —
+	// consistent with the one-simulation-per-goroutine design (parallel
+	// sweeps build one scheme per cell).
+	cc, nc topology.Coord
+	delta  topology.Vector
 }
 
 // NewDDPM builds DDPM for any of the paper's topologies, choosing the
@@ -46,7 +53,16 @@ func NewDDPM(net topology.Network) (*DDPM, error) {
 	if err != nil {
 		return nil, fmt.Errorf("marking: DDPM on %s: %w", net.Name(), err)
 	}
-	return &DDPM{net: net, codec: codec, ZeroOnInject: true}, nil
+	return newDDPM(net, codec), nil
+}
+
+func newDDPM(net topology.Network, codec VectorCodec) *DDPM {
+	n := len(net.Dims())
+	return &DDPM{
+		net: net, codec: codec, ZeroOnInject: true,
+		cc: make(topology.Coord, n), nc: make(topology.Coord, n),
+		delta: make(topology.Vector, n),
+	}
 }
 
 // NewDDPMWithCodec builds DDPM with an explicit codec (e.g. the paper's
@@ -56,7 +72,7 @@ func NewDDPMWithCodec(net topology.Network, codec VectorCodec) (*DDPM, error) {
 		return nil, fmt.Errorf("marking: codec has %d dims, %s has %d",
 			codec.Dims(), net.Name(), len(net.Dims()))
 	}
-	return &DDPM{net: net, codec: codec, ZeroOnInject: true}, nil
+	return newDDPM(net, codec), nil
 }
 
 func (d *DDPM) Name() string { return "ddpm" }
@@ -75,8 +91,8 @@ func (d *DDPM) OnInject(pk *packet.Packet) {
 // V' := V + Δ; Store_MF(V'). The displacement of a torus wraparound hop
 // is the physical ±1 direction of travel (see topology.Displacement).
 func (d *DDPM) OnForward(cur, next topology.NodeID, pk *packet.Packet) {
-	delta := topology.Displacement(d.net, cur, next)
-	pk.Hdr.ID = d.codec.Add(pk.Hdr.ID, delta)
+	topology.DisplacementInto(d.net, cur, next, d.delta, d.cc, d.nc)
+	pk.Hdr.ID = d.codec.Add(pk.Hdr.ID, d.delta)
 }
 
 // IdentifySource performs the victim-side computation of Figure 4:

@@ -10,6 +10,15 @@
 // Adaptive routers see queue depths through the routing.LinkState
 // congestion oracle, so congestion actually spreads traffic — the
 // behavior that breaks path-based marking schemes.
+//
+// The hot path is allocation-free in steady state: events are typed
+// payloads on eventq's freelist-backed heap (no closures), per-link
+// state lives in dense slices indexed by the topology's port table (no
+// map lookups per hop), output queues are fixed-capacity rings carved
+// from one slab, and AcquirePacket recycles delivered/dropped packets
+// through a freelist. Event ordering — the (time, seq) tie-break
+// sequence — is bit-identical to the original closure engine, so seeded
+// experiment outputs are unchanged.
 package netsim
 
 import (
@@ -132,57 +141,72 @@ func (s Stats) DroppedTotal() uint64 {
 	return t
 }
 
-// outLink is one output port's queue + serializer.
+// Typed event kinds dispatched through HandleEvent.
+const (
+	evInject       int32 = iota // p = *packet.Packet entering at its SrcNode
+	evTransmitDone              // a = dense link index whose head finished serializing
+	evArrive                    // p = *packet.Packet, a = switch it arrives at
+)
+
+// outLink is one output port's queue + serializer state. The queue is a
+// fixed-capacity ring carved out of the Network's shared slab.
 type outLink struct {
-	to    topology.NodeID
-	queue []*packet.Packet
+	head  int32 // ring offset of the in-service packet
+	count int32 // packets queued, including the one in service
 	busy  bool
 }
 
 // Network is the running simulator.
 type Network struct {
-	cfg   Config
-	Q     *eventq.Queue
-	links map[topology.Link]*outLink
+	cfg Config
+	Q   *eventq.Queue
+
+	// ports flattens the adjacency; a directed link's dense index is
+	// its position in the flattened neighbor table.
+	ports *topology.PortTable
+
+	// out, linkPkts and qslab are indexed by dense link index; each
+	// link's ring occupies qslab[li*QueueCap : (li+1)*QueueCap].
+	out      []outLink
+	linkPkts []uint64
+	qslab    []*packet.Packet
+
 	stats Stats
 
 	onDeliver DeliverFunc
 	onDrop    DropFunc
 
-	// misroutesUsed tracks per-packet misroute budget consumption,
-	// keyed by packet sequence number.
-	misroutesUsed map[uint64]int
-
 	nextSeq uint64
+
+	// pool is the packet freelist behind AcquirePacket: packets flagged
+	// Recycle return here after their delivery/drop callbacks.
+	pool []*packet.Packet
 
 	// latHist, when set, receives each delivered packet's latency.
 	latHist *stats.Histogram
-
-	// linkPkts counts packets serialized onto each directed link — the
-	// per-link load profile hotspot analyses read.
-	linkPkts map[topology.Link]uint64
 }
 
 // New builds a simulator; the router's congestion oracle is wired to
-// the output-queue depths.
+// the dense output-queue depth array.
 func New(cfg Config) (*Network, error) {
 	if err := cfg.applyDefaults(); err != nil {
 		return nil, err
 	}
+	ports := topology.NewPortTable(cfg.Net)
+	nl := ports.NumLinks()
 	n := &Network{
-		cfg:           cfg,
-		Q:             eventq.New(),
-		links:         make(map[topology.Link]*outLink),
-		misroutesUsed: make(map[uint64]int),
-		linkPkts:      make(map[topology.Link]uint64),
+		cfg:      cfg,
+		Q:        eventq.New(),
+		ports:    ports,
+		out:      make([]outLink, nl),
+		linkPkts: make([]uint64, nl),
+		qslab:    make([]*packet.Packet, nl*cfg.QueueCap),
 	}
+	n.Q.SetHandler(n)
 	n.stats.Dropped = make(map[DropReason]uint64)
-	for _, l := range topology.Links(cfg.Net) {
-		n.links[l] = &outLink{to: l.To}
-	}
 	cfg.Router.State.Congestion = func(l topology.Link) int {
-		if ol, ok := n.links[l]; ok {
-			return len(ol.queue)
+		if li := n.ports.LinkIndex(l.From, l.To); li >= 0 {
+			return int(n.out[li].count)
 		}
 		return 0
 	}
@@ -213,19 +237,31 @@ func (n *Network) SetLatencyHistogram(h *stats.Histogram) { n.latHist = h }
 
 // LinkLoad returns the number of packets serialized onto the directed
 // link so far.
-func (n *Network) LinkLoad(l topology.Link) uint64 { return n.linkPkts[l] }
+func (n *Network) LinkLoad(l topology.Link) uint64 {
+	if li := n.ports.LinkIndex(l.From, l.To); li >= 0 {
+		return n.linkPkts[li]
+	}
+	return 0
+}
 
 // HottestLinks returns the k most-loaded directed links, descending;
-// ties break on (From, To) for determinism.
+// ties break on (From, To) for determinism. k < 0 is treated as 0 and
+// k beyond the number of loaded links is clamped.
 func (n *Network) HottestLinks(k int) []topology.Link {
-	links := make([]topology.Link, 0, len(n.linkPkts))
-	for l, c := range n.linkPkts {
+	if k < 0 {
+		k = 0
+	}
+	links := make([]topology.Link, 0, k)
+	loads := make(map[topology.Link]uint64)
+	for li, c := range n.linkPkts {
 		if c > 0 {
+			l := n.ports.LinkAt(int32(li))
 			links = append(links, l)
+			loads[l] = c
 		}
 	}
 	sort.Slice(links, func(i, j int) bool {
-		ci, cj := n.linkPkts[links[i]], n.linkPkts[links[j]]
+		ci, cj := loads[links[i]], loads[links[j]]
 		if ci != cj {
 			return ci > cj
 		}
@@ -243,6 +279,32 @@ func (n *Network) HottestLinks(k int) []topology.Link {
 // Now returns the current simulation time.
 func (n *Network) Now() eventq.Time { return n.Q.Now() }
 
+// AcquirePacket builds a packet from the fabric's freelist: identical
+// to packet.NewPacket but recycled after delivery or drop, so a steady
+// traffic stream allocates nothing. The returned packet is flagged
+// Recycle; delivery/drop sinks must not retain it past their callback.
+func (n *Network) AcquirePacket(src, dst topology.NodeID, proto packet.Proto, payload int) *packet.Packet {
+	var pk *packet.Packet
+	if last := len(n.pool) - 1; last >= 0 {
+		pk = n.pool[last]
+		n.pool = n.pool[:last]
+	} else {
+		pk = new(packet.Packet)
+	}
+	pk.Init(n.cfg.Plan, src, dst, proto, payload)
+	pk.Recycle = true
+	return pk
+}
+
+// reclaim returns a pool-owned packet to the freelist once the fabric
+// is done with it.
+func (n *Network) reclaim(pk *packet.Packet) {
+	if pk.Recycle {
+		pk.Recycle = false
+		n.pool = append(n.pool, pk)
+	}
+}
+
 // Inject introduces a packet into the fabric at its source node's
 // switch at the current simulation time. The scheme's OnInject hook
 // runs here — the "first enters a switch from a computing node" moment.
@@ -257,12 +319,27 @@ func (n *Network) InjectAt(at eventq.Time, pk *packet.Packet) {
 	}
 	pk.Seq = n.nextSeq
 	n.nextSeq++
+	pk.MisroutesUsed = 0
 	n.stats.Injected++
-	n.Q.At(at, func(now eventq.Time) {
+	n.Q.PostAt(at, evInject, 0, pk)
+}
+
+// HandleEvent dispatches the fabric's typed events; it implements
+// eventq.Handler and is invoked by the queue, not by users.
+func (n *Network) HandleEvent(now eventq.Time, kind int32, a int64, p any) {
+	switch kind {
+	case evInject:
+		pk := p.(*packet.Packet)
 		pk.InjectedAt = int64(now)
 		n.cfg.Scheme.OnInject(pk)
 		n.arriveAtSwitch(now, pk, pk.SrcNode)
-	})
+	case evTransmitDone:
+		n.transmitDone(now, int32(a))
+	case evArrive:
+		n.arriveAtSwitch(now, p.(*packet.Packet), topology.NodeID(a))
+	default:
+		panic(fmt.Sprintf("netsim: unknown event kind %d", kind))
+	}
 }
 
 // arriveAtSwitch processes a packet at switch cur: eject, or route +
@@ -276,54 +353,74 @@ func (n *Network) arriveAtSwitch(now eventq.Time, pk *packet.Packet, cur topolog
 		n.drop(now, pk, DropTTL)
 		return
 	}
-	hop, err := n.cfg.Router.NextHop(cur, pk.DstNode, n.misroutesUsed[pk.Seq])
+	hop, err := n.cfg.Router.NextHop(cur, pk.DstNode, pk.MisroutesUsed)
 	if err != nil {
 		n.drop(now, pk, DropNoRoute)
 		return
 	}
 	if hop.Misroute {
-		n.misroutesUsed[pk.Seq]++
+		pk.MisroutesUsed++
 		n.stats.Misroutes++
 	}
 	// Figure 4 order: the routing decision is committed, now mark.
 	n.cfg.Scheme.OnForward(cur, hop.Next, pk)
 	pk.Hdr.TTL--
-	n.enqueue(now, pk, topology.Link{From: cur, To: hop.Next})
+	li := n.ports.LinkIndex(cur, hop.Next)
+	if li < 0 {
+		panic(fmt.Sprintf("netsim: no link %d->%d", cur, hop.Next))
+	}
+	n.enqueue(now, pk, li)
 }
 
-func (n *Network) enqueue(now eventq.Time, pk *packet.Packet, l topology.Link) {
-	ol := n.links[l]
-	if ol == nil {
-		panic(fmt.Sprintf("netsim: no link %v", l))
-	}
-	if len(ol.queue) >= n.cfg.QueueCap {
+func (n *Network) enqueue(now eventq.Time, pk *packet.Packet, li int32) {
+	ol := &n.out[li]
+	cap32 := int32(n.cfg.QueueCap)
+	if ol.count >= cap32 {
 		n.drop(now, pk, DropQueueFull)
 		return
 	}
-	ol.queue = append(ol.queue, pk)
+	ring := n.qslab[int(li)*n.cfg.QueueCap:]
+	pos := ol.head + ol.count
+	if pos >= cap32 {
+		pos -= cap32
+	}
+	ring[pos] = pk
+	ol.count++
 	if !ol.busy {
-		n.startTransmit(now, l, ol)
+		n.startTransmit(now, li)
 	}
 }
 
 // startTransmit begins serializing the head packet: one tick of
 // service plus SwitchDelay, then LinkLatency of flight.
-func (n *Network) startTransmit(now eventq.Time, l topology.Link, ol *outLink) {
-	ol.busy = true
-	n.Q.At(now+1+n.cfg.SwitchDelay, func(t eventq.Time) {
-		pk := ol.queue[0]
-		ol.queue = ol.queue[1:]
-		pk.Hops++
-		n.linkPkts[l]++
-		n.Q.At(t+n.cfg.LinkLatency, func(t2 eventq.Time) {
-			n.arriveAtSwitch(t2, pk, l.To)
-		})
-		if len(ol.queue) > 0 {
-			n.startTransmit(t, l, ol)
-		} else {
-			ol.busy = false
-		}
-	})
+func (n *Network) startTransmit(now eventq.Time, li int32) {
+	n.out[li].busy = true
+	n.Q.PostAt(now+1+n.cfg.SwitchDelay, evTransmitDone, int64(li), nil)
+}
+
+// transmitDone pops the serialized head packet onto the wire and, if
+// more packets wait, restarts the serializer. The arrival is scheduled
+// before the next transmit-done, preserving the original engine's
+// (time, seq) event order exactly.
+func (n *Network) transmitDone(now eventq.Time, li int32) {
+	ol := &n.out[li]
+	cap32 := int32(n.cfg.QueueCap)
+	ring := n.qslab[int(li)*n.cfg.QueueCap:]
+	pk := ring[ol.head]
+	ring[ol.head] = nil
+	ol.head++
+	if ol.head == cap32 {
+		ol.head = 0
+	}
+	ol.count--
+	pk.Hops++
+	n.linkPkts[li]++
+	n.Q.PostAt(now+n.cfg.LinkLatency, evArrive, int64(n.ports.To(li)), pk)
+	if ol.count > 0 {
+		n.startTransmit(now, li)
+	} else {
+		ol.busy = false
+	}
 }
 
 func (n *Network) deliver(now eventq.Time, pk *packet.Packet) {
@@ -339,18 +436,18 @@ func (n *Network) deliver(now eventq.Time, pk *packet.Packet) {
 	if n.latHist != nil {
 		n.latHist.Add(float64(int64(now) - pk.InjectedAt))
 	}
-	delete(n.misroutesUsed, pk.Seq)
 	if n.onDeliver != nil {
 		n.onDeliver(now, pk)
 	}
+	n.reclaim(pk)
 }
 
 func (n *Network) drop(now eventq.Time, pk *packet.Packet, reason DropReason) {
 	n.stats.Dropped[reason]++
-	delete(n.misroutesUsed, pk.Seq)
 	if n.onDrop != nil {
 		n.onDrop(now, pk, reason)
 	}
+	n.reclaim(pk)
 }
 
 // Run executes events until the horizon (exclusive); RunAll drains the

@@ -74,3 +74,65 @@ func TestLinkLoadAndHottestLinks(t *testing.T) {
 		t.Errorf("loaded links = %d, want 3", len(all))
 	}
 }
+
+func TestHottestLinksNegativeKClampsToEmpty(t *testing.T) {
+	m := topology.NewMesh2D(4)
+	r := routing.NewRouter(m, routing.NewXY(m))
+	plan := packet.NewAddrPlan(packet.DefaultBase, m.NumNodes())
+	n, err := New(Config{Net: m, Router: r, Plan: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.InjectAt(0, packet.NewPacket(plan, 0, 5, packet.ProtoUDP, 0))
+	n.RunAll(1_000_000)
+	for _, k := range []int{-1, -1000} {
+		if got := n.HottestLinks(k); len(got) != 0 {
+			t.Errorf("HottestLinks(%d) = %v, want empty", k, got)
+		}
+	}
+	if got := n.HottestLinks(0); len(got) != 0 {
+		t.Errorf("HottestLinks(0) = %v, want empty", got)
+	}
+}
+
+func TestAcquirePacketRecyclesThroughPool(t *testing.T) {
+	m := topology.NewMesh2D(4)
+	r := routing.NewRouter(m, routing.NewXY(m))
+	plan := packet.NewAddrPlan(packet.DefaultBase, m.NumNodes())
+	n, err := New(Config{Net: m, Router: r, Plan: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First generation: remember the pointers the pool hands out.
+	seen := map[*packet.Packet]bool{}
+	for i := 0; i < 8; i++ {
+		pk := n.AcquirePacket(0, 15, packet.ProtoUDP, 0)
+		if !pk.Recycle {
+			t.Fatal("AcquirePacket did not flag Recycle")
+		}
+		seen[pk] = true
+		n.InjectAt(0, pk)
+	}
+	n.RunAll(1_000_000)
+	// Second generation must reuse the recycled packets, reset clean.
+	reused := 0
+	for i := 0; i < 8; i++ {
+		pk := n.AcquirePacket(3, 12, packet.ProtoTCPSYN, 64)
+		if seen[pk] {
+			reused++
+		}
+		if pk.Hops != 0 || pk.MisroutesUsed != 0 || pk.Hdr.TTL != packet.DefaultTTL ||
+			pk.SrcNode != 3 || pk.DstNode != 12 || pk.Spoofed {
+			t.Fatalf("recycled packet not reset: %+v", pk)
+		}
+		n.InjectAt(n.Now(), pk)
+	}
+	if reused == 0 {
+		t.Error("no packets were reused from the pool")
+	}
+	n.RunAll(1_000_000)
+	s := n.Stats()
+	if s.Injected != 16 || s.Delivered != 16 {
+		t.Errorf("injected %d delivered %d, want 16/16", s.Injected, s.Delivered)
+	}
+}

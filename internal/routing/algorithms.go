@@ -17,6 +17,21 @@ type DimensionOrder struct {
 	net   topology.Network
 	order []int // dimension resolution order
 	name  string
+	dimScratch
+}
+
+// dimScratch holds the reusable coordinate and move buffers behind the
+// algorithms' AppendCandidates fast paths. One instance per algorithm
+// value; makes the algorithm single-goroutine, as the simulator already
+// is.
+type dimScratch struct {
+	cc, dc topology.Coord
+	moves  []topology.DimDir
+}
+
+func newDimScratch(net topology.Network) dimScratch {
+	n := len(net.Dims())
+	return dimScratch{cc: make(topology.Coord, n), dc: make(topology.Coord, n)}
 }
 
 // NewDimensionOrder builds DOR resolving dimensions in ascending index
@@ -26,7 +41,7 @@ func NewDimensionOrder(net topology.Network) *DimensionOrder {
 	for i := range order {
 		order[i] = i
 	}
-	return &DimensionOrder{net: net, order: order, name: "dor"}
+	return &DimensionOrder{net: net, order: order, name: "dor", dimScratch: newDimScratch(net)}
 }
 
 // NewXY builds the paper's XY routing on a 2-D network: packets move
@@ -36,33 +51,34 @@ func NewXY(net topology.Network) *DimensionOrder {
 	if len(net.Dims()) != 2 {
 		panic(fmt.Sprintf("routing: XY requires a 2-D network, got %s", net.Name()))
 	}
-	return &DimensionOrder{net: net, order: []int{1, 0}, name: "xy"}
+	return &DimensionOrder{net: net, order: []int{1, 0}, name: "xy", dimScratch: newDimScratch(net)}
 }
 
 func (d *DimensionOrder) Name() string           { return d.name }
 func (d *DimensionOrder) Adaptivity() Adaptivity { return Deterministic }
 
 func (d *DimensionOrder) Candidates(cur, dst topology.NodeID) (productive, nonproductive []topology.NodeID) {
-	mins := topology.MinimalDims(d.net, cur, dst)
-	if len(mins) == 0 {
-		return nil, nil
-	}
-	byDim := make(map[int]topology.DimDir, len(mins))
-	for _, mv := range mins {
-		byDim[mv.Dim] = mv
-	}
+	return d.AppendCandidates(cur, dst, nil, nil)
+}
+
+// AppendCandidates resolves the first unresolved dimension in d.order;
+// the move list is degree-bounded, so the dimension match is a scan
+// rather than a map.
+func (d *DimensionOrder) AppendCandidates(cur, dst topology.NodeID, prod, nonprod []topology.NodeID) (productive, nonproductive []topology.NodeID) {
+	d.moves = topology.AppendMinimalDims(d.net, cur, dst, d.moves[:0], d.cc, d.dc)
 	for _, dim := range d.order {
-		mv, ok := byDim[dim]
-		if !ok {
-			continue
+		for _, mv := range d.moves {
+			if mv.Dim != dim {
+				continue
+			}
+			next := d.net.Step(cur, mv.Dim, mv.Dir)
+			if next == topology.None {
+				return prod, nonprod
+			}
+			return append(prod, next), nonprod
 		}
-		next := d.net.Step(cur, mv.Dim, mv.Dir)
-		if next == topology.None {
-			return nil, nil
-		}
-		return []topology.NodeID{next}, nil
 	}
-	return nil, nil
+	return prod, nonprod
 }
 
 // MinimalAdaptive is fully adaptive minimal routing: every productive
@@ -71,35 +87,44 @@ func (d *DimensionOrder) Candidates(cur, dst topology.NodeID) (productive, nonpr
 // on every topology.
 type MinimalAdaptive struct {
 	net topology.Network
+	dimScratch
 }
 
 // NewMinimalAdaptive builds the algorithm for any topology.
 func NewMinimalAdaptive(net topology.Network) *MinimalAdaptive {
-	return &MinimalAdaptive{net: net}
+	return &MinimalAdaptive{net: net, dimScratch: newDimScratch(net)}
 }
 
 func (m *MinimalAdaptive) Name() string           { return "minimal-adaptive" }
 func (m *MinimalAdaptive) Adaptivity() Adaptivity { return FullyAdaptive }
 
 func (m *MinimalAdaptive) Candidates(cur, dst topology.NodeID) (productive, nonproductive []topology.NodeID) {
-	for _, mv := range topology.MinimalDims(m.net, cur, dst) {
+	return m.AppendCandidates(cur, dst, nil, nil)
+}
+
+// AppendCandidates reuses the scratch coordinates AppendMinimalDims
+// filled, so the torus half-ring check needs no further lookups.
+func (m *MinimalAdaptive) AppendCandidates(cur, dst topology.NodeID, prod, nonprod []topology.NodeID) (productive, nonproductive []topology.NodeID) {
+	m.moves = topology.AppendMinimalDims(m.net, cur, dst, m.moves[:0], m.cc, m.dc)
+	wrap := m.net.Wraparound()
+	dims := m.net.Dims()
+	for _, mv := range m.moves {
 		if next := m.net.Step(cur, mv.Dim, mv.Dir); next != topology.None {
-			productive = append(productive, next)
+			prod = append(prod, next)
 		}
 		// On a torus, a dimension at exactly half the ring is minimal
 		// both ways; expose the second direction too.
-		if m.net.Wraparound() {
-			k := m.net.Dims()[mv.Dim]
-			cc, dc := m.net.CoordOf(cur), m.net.CoordOf(dst)
-			fwd := ((dc[mv.Dim]-cc[mv.Dim])%k + k) % k
+		if wrap {
+			k := dims[mv.Dim]
+			fwd := ((m.dc[mv.Dim]-m.cc[mv.Dim])%k + k) % k
 			if fwd*2 == k {
 				if next := m.net.Step(cur, mv.Dim, -mv.Dir); next != topology.None {
-					productive = append(productive, next)
+					prod = append(prod, next)
 				}
 			}
 		}
 	}
-	return productive, nil
+	return prod, nonprod
 }
 
 // FullyAdaptiveMisroute extends MinimalAdaptive with legal misrouting:
@@ -108,30 +133,46 @@ func (m *MinimalAdaptive) Candidates(cur, dst topology.NodeID) (productive, nonp
 // misrouting). This is the paper's Figure 2(c) "fully adaptive routing
 // does not have such restrictions" algorithm.
 type FullyAdaptiveMisroute struct {
-	net topology.Network
-	min *MinimalAdaptive
+	net   topology.Network
+	min   *MinimalAdaptive
+	ports *topology.PortTable
 }
 
 // NewFullyAdaptiveMisroute builds the algorithm for any topology.
 func NewFullyAdaptiveMisroute(net topology.Network) *FullyAdaptiveMisroute {
-	return &FullyAdaptiveMisroute{net: net, min: NewMinimalAdaptive(net)}
+	return &FullyAdaptiveMisroute{
+		net:   net,
+		min:   NewMinimalAdaptive(net),
+		ports: topology.NewPortTable(net),
+	}
 }
 
 func (f *FullyAdaptiveMisroute) Name() string           { return "fully-adaptive" }
 func (f *FullyAdaptiveMisroute) Adaptivity() Adaptivity { return FullyAdaptive }
 
 func (f *FullyAdaptiveMisroute) Candidates(cur, dst topology.NodeID) (productive, nonproductive []topology.NodeID) {
-	productive, _ = f.min.Candidates(cur, dst)
-	inProd := make(map[topology.NodeID]bool, len(productive))
-	for _, p := range productive {
-		inProd[p] = true
-	}
-	for _, nb := range f.net.Neighbors(cur) {
-		if !inProd[nb] {
-			nonproductive = append(nonproductive, nb)
+	return f.AppendCandidates(cur, dst, nil, nil)
+}
+
+// AppendCandidates marks every non-productive neighbor as a legal
+// misroute. The productive set is degree-bounded, so membership is a
+// scan over it — no map, no allocation — and the port table supplies
+// the neighbor list without the Neighbors copy.
+func (f *FullyAdaptiveMisroute) AppendCandidates(cur, dst topology.NodeID, prod, nonprod []topology.NodeID) (productive, nonproductive []topology.NodeID) {
+	prod, _ = f.min.AppendCandidates(cur, dst, prod, nil)
+	for _, nb := range f.ports.Ports(cur) {
+		inProd := false
+		for _, p := range prod {
+			if p == nb {
+				inProd = true
+				break
+			}
+		}
+		if !inProd {
+			nonprod = append(nonprod, nb)
 		}
 	}
-	return productive, nonproductive
+	return prod, nonprod
 }
 
 // mesh2D asserts the algorithm's topology requirement and caches the

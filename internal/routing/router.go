@@ -39,7 +39,10 @@ func (s RandomSelector) Select(_ *LinkState, _ topology.NodeID, cands []topology
 
 // CongestionSelector picks the least-loaded output link, breaking ties
 // randomly; this is how an adaptive fabric actually exploits its
-// flexibility under load.
+// flexibility under load. Selection runs twice over the (degree-bounded)
+// candidate list instead of materializing the tie set, so the per-hop
+// path stays allocation-free; the congestion oracle is pure within one
+// selection, so both passes see the same loads.
 type CongestionSelector struct {
 	R *rng.Stream
 }
@@ -47,23 +50,35 @@ type CongestionSelector struct {
 func (CongestionSelector) Name() string { return "least-congested" }
 
 func (s CongestionSelector) Select(state *LinkState, cur topology.NodeID, cands []topology.NodeID) topology.NodeID {
-	best := make([]topology.NodeID, 0, len(cands))
 	bestLoad := int(^uint(0) >> 1)
+	ties := 0
+	first := cands[0]
 	for _, c := range cands {
 		l := state.load(cur, c)
 		switch {
 		case l < bestLoad:
 			bestLoad = l
-			best = best[:0]
-			best = append(best, c)
+			ties = 1
+			first = c
 		case l == bestLoad:
-			best = append(best, c)
+			ties++
 		}
 	}
-	if len(best) == 1 || s.R == nil {
-		return best[0]
+	if ties == 1 || s.R == nil {
+		return first
 	}
-	return best[s.R.Intn(len(best))]
+	// Same RNG draw as indexing into the materialized tie list: Intn
+	// over the tie count, then return the pick-th least-loaded candidate.
+	pick := s.R.Intn(ties)
+	for _, c := range cands {
+		if state.load(cur, c) == bestLoad {
+			if pick == 0 {
+				return c
+			}
+			pick--
+		}
+	}
+	return first // unreachable: pick < ties
 }
 
 // Router resolves next hops for packets: it applies the algorithm,
@@ -79,6 +94,12 @@ type Router struct {
 	// MisrouteBudget bounds the number of non-productive hops one
 	// packet may take (0 disables misrouting entirely).
 	MisrouteBudget int
+
+	// prodBuf/nonBuf are reusable candidate buffers for algorithms that
+	// implement CandidateAppender; after warm-up NextHop never
+	// allocates. They make the Router single-use per goroutine, which
+	// the simulator already requires.
+	prodBuf, nonBuf []topology.NodeID
 }
 
 // NewRouter wires a router with sensible defaults: no failures, first
@@ -99,12 +120,20 @@ type Hop struct {
 }
 
 // NextHop picks the next hop from cur toward dst. misroutesUsed is the
-// number of misroutes the packet has already taken.
+// number of misroutes the packet has already taken. When the algorithm
+// implements CandidateAppender the candidates land in the Router's
+// reusable buffers and the steady-state path performs no allocation.
 func (r *Router) NextHop(cur, dst topology.NodeID, misroutesUsed int) (Hop, error) {
 	if cur == dst {
 		return Hop{}, fmt.Errorf("routing: NextHop called at destination %d", dst)
 	}
-	productive, nonproductive := r.Alg.Candidates(cur, dst)
+	var productive, nonproductive []topology.NodeID
+	if app, ok := r.Alg.(CandidateAppender); ok {
+		productive, nonproductive = app.AppendCandidates(cur, dst, r.prodBuf[:0], r.nonBuf[:0])
+		r.prodBuf, r.nonBuf = productive[:0], nonproductive[:0]
+	} else {
+		productive, nonproductive = r.Alg.Candidates(cur, dst)
+	}
 	usable := filterFailed(r.State, cur, productive)
 	if len(usable) > 0 {
 		return Hop{Next: r.Sel.Select(r.State, cur, usable)}, nil

@@ -58,6 +58,19 @@ type Algorithm interface {
 	Candidates(cur, dst topology.NodeID) (productive, nonproductive []topology.NodeID)
 }
 
+// CandidateAppender is the allocation-free fast path of Algorithm:
+// implementations append candidates into the caller-provided buffers
+// (reused across hops by the Router) instead of allocating fresh
+// slices. Algorithms that keep per-call scratch for this are not safe
+// for concurrent use — consistent with the simulator's one-Router-per-
+// goroutine design.
+type CandidateAppender interface {
+	// AppendCandidates appends the permissible next hops to prod and
+	// nonprod (passed with length 0) and returns the extended slices,
+	// with the same semantics as Candidates.
+	AppendCandidates(cur, dst topology.NodeID, prod, nonprod []topology.NodeID) (productive, nonproductive []topology.NodeID)
+}
+
 // LinkState is the router's dynamic view of the fabric: failed links
 // and a congestion oracle (wired to output-queue depths by the network
 // simulator).

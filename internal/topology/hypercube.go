@@ -53,14 +53,23 @@ func (h *Hypercube) IndexOf(c Coord) NodeID {
 }
 
 func (h *Hypercube) CoordOf(id NodeID) Coord {
+	c := make(Coord, h.n)
+	h.CoordInto(id, c)
+	return c
+}
+
+// CoordInto writes id's bit-vector coordinate into dst without
+// allocating.
+func (h *Hypercube) CoordInto(id NodeID, dst Coord) {
 	if id < 0 || int(id) >= h.NumNodes() {
 		panic(fmt.Sprintf("topology: hypercube node id %d out of range", id))
 	}
-	c := make(Coord, h.n)
-	for i := 0; i < h.n; i++ {
-		c[h.n-1-i] = int(id) >> i & 1
+	if len(dst) != h.n {
+		panic(fmt.Sprintf("topology: coordinate buffer has %d dims, want %d", len(dst), h.n))
 	}
-	return c
+	for i := 0; i < h.n; i++ {
+		dst[h.n-1-i] = int(id) >> i & 1
+	}
 }
 
 // Neighbors flips each address bit in turn, dimension 0 (most

@@ -9,8 +9,10 @@ import (
 // Nodes X and Y are neighbors iff their coordinates agree in every
 // dimension except one, where they differ by exactly 1 (paper §3).
 type Mesh struct {
-	dims []int
-	name string
+	dims    []int
+	strides []int
+	coords  []int32 // coordTable(dims): hot-path coordinate lookups
+	name    string
 }
 
 // NewMesh constructs an n-dimensional mesh. Each radix must be >= 2.
@@ -18,7 +20,7 @@ func NewMesh(dims ...int) *Mesh {
 	validateDims("mesh", dims)
 	d := make([]int, len(dims))
 	copy(d, dims)
-	return &Mesh{dims: d, name: "mesh-" + dimString(d)}
+	return &Mesh{dims: d, strides: strides(d), coords: coordTable(d), name: "mesh-" + dimString(d)}
 }
 
 // NewMesh2D is a convenience constructor for the k×k 2-D meshes used
@@ -44,6 +46,9 @@ func (m *Mesh) Diameter() int {
 
 func (m *Mesh) IndexOf(c Coord) NodeID  { return indexOf(m.dims, c) }
 func (m *Mesh) CoordOf(id NodeID) Coord { return coordOf(m.dims, id) }
+
+// CoordInto writes id's coordinate into dst without allocating.
+func (m *Mesh) CoordInto(id NodeID, dst Coord) { tableCoordInto(m.coords, len(m.dims), id, dst) }
 
 func (m *Mesh) Neighbors(id NodeID) []NodeID {
 	c := m.CoordOf(id)
@@ -75,17 +80,20 @@ func (m *Mesh) MinDistance(a, b NodeID) int {
 func (m *Mesh) Wraparound() bool { return false }
 
 // Step returns the neighbor of id offset by ±1 along dim, or None if
-// that would leave the mesh.
+// that would leave the mesh. It is pure stride arithmetic — no
+// coordinate materialization — because routers call it once per
+// candidate per hop.
 func (m *Mesh) Step(id NodeID, dim, dir int) NodeID {
 	if dir != 1 && dir != -1 {
 		panic(fmt.Sprintf("topology: Step direction must be ±1, got %d", dir))
 	}
-	c := m.CoordOf(id)
-	c[dim] += dir
-	if c[dim] < 0 || c[dim] >= m.dims[dim] {
+	s := m.strides[dim]
+	v := int(m.coords[int(id)*len(m.dims)+dim])
+	v += dir
+	if v < 0 || v >= m.dims[dim] {
 		return None
 	}
-	return m.IndexOf(c)
+	return id + NodeID(dir*s)
 }
 
 func dimString(dims []int) string {

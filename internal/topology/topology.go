@@ -168,6 +168,13 @@ func indexOf(dims []int, c Coord) NodeID {
 
 // coordOf inverts indexOf.
 func coordOf(dims []int, id NodeID) Coord {
+	c := make(Coord, len(dims))
+	coordInto(dims, id, c)
+	return c
+}
+
+// coordInto writes id's coordinate into dst without allocating.
+func coordInto(dims []int, id NodeID, dst Coord) {
 	n := 1
 	for _, k := range dims {
 		n *= k
@@ -175,13 +182,55 @@ func coordOf(dims []int, id NodeID) Coord {
 	if id < 0 || int(id) >= n {
 		panic(fmt.Sprintf("topology: node id %d out of range [0,%d)", id, n))
 	}
-	c := make(Coord, len(dims))
+	if len(dst) != len(dims) {
+		panic(fmt.Sprintf("topology: coordinate buffer has %d dims, want %d", len(dst), len(dims)))
+	}
 	rem := int(id)
 	for i := len(dims) - 1; i >= 0; i-- {
-		c[i] = rem % dims[i]
+		dst[i] = rem % dims[i]
 		rem /= dims[i]
 	}
-	return c
+}
+
+// coordTable precomputes every node's coordinate, flattened row-major
+// (node id's coordinate occupies entries [id*n, id*n+n)). Mesh and
+// torus keep one so the per-hop CoordInto/Step paths are table lookups
+// instead of div/mod chains.
+func coordTable(dims []int) []int32 {
+	n := prod(dims)
+	nd := len(dims)
+	tbl := make([]int32, n*nd)
+	c := make(Coord, nd)
+	for id := 0; id < n; id++ {
+		coordInto(dims, NodeID(id), c)
+		for i, v := range c {
+			tbl[id*nd+i] = int32(v)
+		}
+	}
+	return tbl
+}
+
+// tableCoordInto reads id's coordinate out of a coordTable.
+func tableCoordInto(tbl []int32, nd int, id NodeID, dst Coord) {
+	if len(dst) != nd {
+		panic(fmt.Sprintf("topology: coordinate buffer has %d dims, want %d", len(dst), nd))
+	}
+	row := tbl[int(id)*nd : int(id)*nd+nd]
+	for i, v := range row {
+		dst[i] = int(v)
+	}
+}
+
+// strides returns the row-major stride of each dimension: moving ±1
+// along dimension i changes the NodeID by ±strides[i].
+func strides(dims []int) []int {
+	s := make([]int, len(dims))
+	st := 1
+	for i := len(dims) - 1; i >= 0; i-- {
+		s[i] = st
+		st *= dims[i]
+	}
+	return s
 }
 
 func prod(dims []int) int {

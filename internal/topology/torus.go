@@ -6,8 +6,10 @@ import "fmt"
 // channels, so X and Y are neighbors iff they agree in every dimension
 // except one where x_i = (y_i ± 1) mod k_i (paper §3).
 type Torus struct {
-	dims []int
-	name string
+	dims    []int
+	strides []int
+	coords  []int32 // coordTable(dims): hot-path coordinate lookups
+	name    string
 }
 
 // NewTorus constructs a torus with the given per-dimension radixes.
@@ -17,7 +19,7 @@ func NewTorus(dims ...int) *Torus {
 	validateDims("torus", dims)
 	d := make([]int, len(dims))
 	copy(d, dims)
-	return &Torus{dims: d, name: "torus-" + dimString(d)}
+	return &Torus{dims: d, strides: strides(d), coords: coordTable(d), name: "torus-" + dimString(d)}
 }
 
 // NewTorus2D builds the k-ary 2-cube of the paper's Figure 1(b).
@@ -42,6 +44,9 @@ func (t *Torus) Diameter() int {
 
 func (t *Torus) IndexOf(c Coord) NodeID  { return indexOf(t.dims, c) }
 func (t *Torus) CoordOf(id NodeID) Coord { return coordOf(t.dims, id) }
+
+// CoordInto writes id's coordinate into dst without allocating.
+func (t *Torus) CoordInto(id NodeID, dst Coord) { tableCoordInto(t.coords, len(t.dims), id, dst) }
 
 func (t *Torus) Neighbors(id NodeID) []NodeID {
 	c := t.CoordOf(id)
@@ -99,13 +104,20 @@ func (t *Torus) MinDistance(a, b NodeID) int {
 func (t *Torus) Wraparound() bool { return true }
 
 // Step returns the neighbor of id offset by ±1 (mod k) along dim.
-// On a torus every step succeeds.
+// On a torus every step succeeds. Pure stride arithmetic, no
+// coordinate materialization: routers call it once per candidate per hop.
 func (t *Torus) Step(id NodeID, dim, dir int) NodeID {
 	if dir != 1 && dir != -1 {
 		panic(fmt.Sprintf("topology: Step direction must be ±1, got %d", dir))
 	}
-	c := t.CoordOf(id)
+	s := t.strides[dim]
 	k := t.dims[dim]
-	c[dim] = ((c[dim]+dir)%k + k) % k
-	return t.IndexOf(c)
+	v := int(t.coords[int(id)*len(t.dims)+dim])
+	nv := v + dir // v is in [0,k), dir is ±1: a single wrap check suffices
+	if nv < 0 {
+		nv += k
+	} else if nv >= k {
+		nv -= k
+	}
+	return id + NodeID((nv-v)*s)
 }
