@@ -1,18 +1,33 @@
 GO ?= go
 
-.PHONY: check race bench
+.PHONY: check vet race bench fuzz-smoke run-ddpmd
 
-## check: vet, build and test everything (the tier-1 gate)
-check:
-	$(GO) vet ./...
+## check: vet, build, test and fuzz-smoke everything (the tier-1 gate)
+check: vet
 	$(GO) build ./...
 	$(GO) test ./...
+	$(MAKE) fuzz-smoke
+
+## vet: static analysis only
+vet:
+	$(GO) vet ./...
 
 ## race: run the internal packages under the race detector
 race:
 	$(GO) test -race ./internal/...
 
-## bench: run the engine benchmarks and refresh BENCH_netsim.json
+## bench: run the engine + pipeline benchmarks and refresh BENCH_netsim.json
 bench:
 	$(GO) run ./cmd/benchjson -o BENCH_netsim.json
 	$(GO) test ./internal/netsim/ -run xxx -bench . -benchmem
+
+## fuzz-smoke: short fuzzing passes over the wire codec and DDPM marking
+## (go test allows one -fuzz target per invocation)
+fuzz-smoke:
+	$(GO) test ./internal/wire/ -run xxx -fuzz FuzzRecordRoundTrip -fuzztime 5s
+	$(GO) test ./internal/wire/ -run xxx -fuzz FuzzReader -fuzztime 5s
+	$(GO) test ./internal/marking/ -run xxx -fuzz FuzzDDPMMarkIdentify -fuzztime 5s
+
+## run-ddpmd: start the daemon on an 8x8 torus with the default ports
+run-ddpmd:
+	$(GO) run ./cmd/ddpmd serve -topo torus -dims 8x8 -tcp :7420 -http :7421

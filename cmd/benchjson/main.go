@@ -21,9 +21,11 @@ import (
 	"repro/internal/marking"
 	"repro/internal/netsim"
 	"repro/internal/packet"
+	"repro/internal/pipeline"
 	"repro/internal/rng"
 	"repro/internal/routing"
 	"repro/internal/topology"
+	"repro/internal/wire"
 )
 
 // seedBaseline pins the pre-rewrite engine's numbers on the reference
@@ -86,6 +88,8 @@ func jsonKey(metric string) string {
 		return "pkts_per_sec"
 	case "hops/op":
 		return "hops_per_op"
+	case "records/sec":
+		return "records_per_sec"
 	default:
 		return metric
 	}
@@ -183,6 +187,62 @@ func benchFabric(net topology.Network) func(b *testing.B) {
 	}
 }
 
+// benchPipeline measures ddpmd's streaming pipeline: a pre-generated
+// batch of valid records spread across 16 victims (exercising the
+// shard fan-out) is pushed through Submit and fully drained via Close.
+// The headline metric is records/sec end to end, including per-record
+// DDPM identification and detector updates.
+func benchPipeline(b *testing.B) {
+	net := topology.NewTorus2D(8)
+	scheme, err := marking.NewDDPM(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// 64k records: 16 victims, sources cycling over the fabric, each
+	// MF the true displacement a marked packet would carry.
+	topoID := wire.TopoID(net.Name())
+	const nRecs = 1 << 16
+	recs := make([]wire.Record, nRecs)
+	stream := rng.NewStream(7)
+	for i := range recs {
+		victim := topology.NodeID(i % 16)
+		src := topology.NodeID(stream.Intn(net.NumNodes()))
+		sc, dc := net.CoordOf(src), net.CoordOf(victim)
+		v := make(topology.Vector, len(sc))
+		for j := range v {
+			v[j] = dc[j] - sc[j]
+		}
+		mf, err := scheme.Codec().Encode(v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		recs[i] = wire.Record{
+			T: eventq.Time(i), Topo: topoID, Victim: victim,
+			MF: mf, Src: packet.Addr(i), Proto: packet.ProtoTCPSYN,
+		}
+	}
+	var processed uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := pipeline.New(pipeline.Config{
+			Net: net, Shards: 4, QueueLen: nRecs,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, rec := range recs {
+			p.Submit(rec)
+		}
+		p.Close()
+		if p.C.Dropped.Load() != 0 {
+			b.Fatalf("benchmark queue sized wrong: %d dropped", p.C.Dropped.Load())
+		}
+		processed += p.C.Processed.Load()
+	}
+	b.ReportMetric(float64(processed)/b.Elapsed().Seconds(), "records/sec")
+}
+
 func main() {
 	out := flag.String("o", "BENCH_netsim.json", "output path ('-' for stdout)")
 	flag.Parse()
@@ -217,6 +277,10 @@ func main() {
 		br := testing.Benchmark(benchFabric(s.net))
 		rep.Results = append(rep.Results, record(s.name, br, "pkts/sec"))
 	}
+
+	fmt.Fprintln(os.Stderr, "benchjson: running PipelineThroughput ...")
+	pt := testing.Benchmark(benchPipeline)
+	rep.Results = append(rep.Results, record("PipelineThroughput", pt, "records/sec"))
 
 	if eps := rep.Results[0].Extra["events_per_sec"]; eps > 0 {
 		rep.Speedup["AdaptiveTorus16.events_per_sec"] = eps / seedBaseline["AdaptiveTorus16.events_per_sec"]

@@ -1,0 +1,234 @@
+// Command ddpmd is the online source-identification daemon: it ingests
+// marked-packet header records from victim NICs over the wire protocol
+// (TCP frames, UDP datagrams, or JSONL replay), runs the paper's
+// detect → identify → block loop per victim, and exposes an HTTP admin
+// plane (/healthz, /metrics, /blocklist).
+//
+//	ddpmd serve -topo torus -dims 8x8 -tcp :7420 -http :7421
+//	ddpmd serve -topo torus -dims 8x8 -replay trace.jsonl -http :7421
+//	ddpmd loadgen -topo torus -dims 8x8 -zombies 3 -addr 127.0.0.1:7420
+//	ddpmd loadgen -topo torus -dims 8x8 -jsonl flood.jsonl
+//
+// SIGTERM/SIGINT drain gracefully: listeners close, queued records are
+// processed, /healthz reports "draining" until exit.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eventq"
+	"repro/internal/loadgen"
+	"repro/internal/pipeline"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "serve":
+		serve(os.Args[2:])
+	case "loadgen":
+		runLoadgen(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: ddpmd serve|loadgen [flags] (-h for flags)")
+	os.Exit(2)
+}
+
+func serve(args []string) {
+	fs := flag.NewFlagSet("ddpmd serve", flag.ExitOnError)
+	var (
+		topoKind = fs.String("topo", "torus", "topology: mesh, torus, hypercube")
+		dims     = fs.String("dims", "8x8", "dims, e.g. 8x8, 4x4x4, or cube dimension")
+		tcpAddr  = fs.String("tcp", ":7420", "TCP ingest listen address (empty disables)")
+		udpAddr  = fs.String("udp", "", "UDP ingest listen address (empty disables)")
+		httpAddr = fs.String("http", ":7421", "HTTP admin listen address (empty disables)")
+		shards   = fs.Int("shards", 4, "worker shards")
+		queue    = fs.Int("queue", 4096, "records buffered per shard")
+		cusumWin = fs.Int64("cusum-window", 500, "CUSUM window in ticks")
+		cusumK   = fs.Float64("cusum-slack", 4, "CUSUM slack")
+		cusumH   = fs.Float64("cusum-threshold", 40, "CUSUM alarm threshold")
+		entWin   = fs.Int64("entropy-window", 500, "entropy window in ticks (-1 disables)")
+		entDelta = fs.Float64("entropy-delta", 1.5, "entropy alarm delta in bits")
+		blockN   = fs.Int64("block-threshold", 100, "identifications before auto-block")
+		blockTTL = fs.Duration("block-ttl", time.Minute, "auto-block TTL (0 = permanent)")
+		grace    = fs.Duration("drain-grace", 250*time.Millisecond, "per-connection drain grace")
+		replay   = fs.String("replay", "", "replay a JSONL record/trace file instead of exiting on idle")
+		victim   = fs.Int("replay-victim", -1, "victim filter for trace replay (-1 = all forward hops)")
+	)
+	fs.Parse(args)
+
+	net2, err := buildNet(*topoKind, *dims)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := pipeline.Start(pipeline.ServerConfig{
+		Pipeline: pipeline.Config{
+			Net: net2, Shards: *shards, QueueLen: *queue,
+			CUSUMWindow: eventq.Time(*cusumWin), CUSUMSlack: *cusumK, CUSUMThreshold: *cusumH,
+			EntropyWindow: eventq.Time(*entWin), EntropyDelta: *entDelta,
+			BlockThreshold: *blockN, BlockTTL: *blockTTL,
+		},
+		TCPAddr: *tcpAddr, UDPAddr: *udpAddr, HTTPAddr: *httpAddr,
+		DrainGrace: *grace,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("ddpmd: fabric %s (topo id %#08x)\n", net2.Name(), d.Pipeline().TopoID())
+	for name, addr := range map[string]net.Addr{"tcp": d.TCPAddr(), "udp": d.UDPAddr(), "http": d.HTTPAddr()} {
+		if addr != nil {
+			fmt.Printf("ddpmd: %s %s\n", name, addr)
+		}
+	}
+
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		n, err := wire.ReadJSONL(f, wire.JSONLConfig{
+			Topo:   d.Pipeline().TopoID(),
+			Victim: topology.NodeID(*victim),
+		}, func(rec wire.Record) error {
+			d.Pipeline().Submit(rec)
+			return nil
+		})
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ddpmd: replayed %d records from %s\n", n, *replay)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	s := <-sig
+	fmt.Printf("ddpmd: %v, draining\n", s)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := d.Shutdown(ctx); err != nil {
+		fatal(err)
+	}
+	snap := d.Pipeline().Snapshot()
+	fmt.Printf("ddpmd: drained; processed %d records (%d dropped, %d identified, %d alarms, %d blocks)\n",
+		snap.Processed, snap.Dropped, snap.Identified, snap.Alarms, snap.Blocks)
+}
+
+func runLoadgen(args []string) {
+	fs := flag.NewFlagSet("ddpmd loadgen", flag.ExitOnError)
+	var (
+		topoKind = fs.String("topo", "torus", "topology: mesh, torus, hypercube")
+		dims     = fs.String("dims", "8x8", "dims, e.g. 8x8, 4x4x4, or cube dimension")
+		zombies  = fs.Int("zombies", 3, "number of compromised nodes")
+		seed     = fs.Uint64("seed", 1, "deterministic scenario seed")
+		gap      = fs.Int64("gap", 2, "attack CBR gap in ticks per zombie")
+		bg       = fs.Float64("bg", 0.002, "background injection rate per node per tick")
+		warmup   = fs.Int64("warmup", 3000, "quiet ticks before the flood")
+		atk      = fs.Int64("attack", 6000, "flood duration in ticks")
+		victim   = fs.Int("victim", -1, "victim node (-1 = highest-numbered)")
+		addr     = fs.String("addr", "", "stream records to this ddpmd TCP address")
+		jsonl    = fs.String("jsonl", "", "write records as JSONL to this file (\"-\" = stdout)")
+	)
+	fs.Parse(args)
+	if (*addr == "") == (*jsonl == "") {
+		fatal(fmt.Errorf("loadgen: exactly one of -addr or -jsonl is required"))
+	}
+
+	dimList, err := parseDims(*dims)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := loadgen.Generate(loadgen.Scenario{
+		Topo:   core.TopoSpec{Kind: *topoKind, Dims: dimList},
+		Victim: topology.NodeID(*victim), Zombies: *zombies, Seed: *seed,
+		AttackGap: eventq.Time(*gap), Background: *bg,
+		Warmup: eventq.Time(*warmup), Attack: eventq.Time(*atk),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: %s victim %d, zombies %v, %d records (%d in attack window)\n",
+		res.TopoName, res.Victim, res.Zombies, len(res.Records), res.AttackRecords)
+
+	switch {
+	case *addr != "":
+		conn, err := net.Dial("tcp", *addr)
+		if err != nil {
+			fatal(err)
+		}
+		defer conn.Close()
+		w := wire.NewWriter(conn)
+		if err := w.WriteRecords(res.Records); err != nil {
+			fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: streamed %d records in %d frames to %s\n",
+			w.Records(), w.Frames(), *addr)
+	default:
+		out := os.Stdout
+		if *jsonl != "-" {
+			f, err := os.Create(*jsonl)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		enc := json.NewEncoder(out)
+		for _, r := range res.Records {
+			if err := enc.Encode(map[string]any{
+				"t": int64(r.T), "topo": res.TopoName, "victim": int64(r.Victim),
+				"mf": r.MF, "src": r.Src.String(), "proto": uint8(r.Proto),
+			}); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func buildNet(kind, dims string) (topology.Network, error) {
+	dimList, err := parseDims(dims)
+	if err != nil {
+		return nil, err
+	}
+	return core.BuildTopology(core.TopoSpec{Kind: kind, Dims: dimList})
+}
+
+func parseDims(s string) ([]int, error) {
+	parts := strings.Split(s, "x")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad dims %q: %v", s, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ddpmd:", err)
+	os.Exit(1)
+}

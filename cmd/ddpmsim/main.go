@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -78,9 +79,16 @@ func main() {
 			zset[z] = true
 		}
 	}
+	// Sorted node order: iterating the map directly would leak its
+	// random order into the banner and event tie-breaking.
+	znodes := make([]topology.NodeID, 0, len(zset))
+	for z := range zset {
+		znodes = append(znodes, z)
+	}
+	sort.Slice(znodes, func(i, j int) bool { return znodes[i] < znodes[j] })
 	var zs []attack.Zombie
 	fmt.Printf("victim: node %d %v\nzombies:", victim, cl.Net.CoordOf(victim))
-	for z := range zset {
+	for _, z := range znodes {
 		zs = append(zs, attack.Zombie{
 			Node: z, Victim: victim, Proto: packet.ProtoTCPSYN,
 			Arrival: attack.CBR{Interval: eventq.Time(*gap)},

@@ -1,0 +1,44 @@
+package detect
+
+import (
+	"sync"
+
+	"repro/internal/eventq"
+	"repro/internal/packet"
+)
+
+// Synchronized wraps a detector with a mutex so one goroutine can feed
+// it while another (a metrics scraper, an admin plane) polls its alarm
+// state. Closed-loop simulations don't need it — the event loop is
+// single-threaded — but the ddpmd daemon's shard workers and HTTP
+// handlers do.
+func Synchronized(d Detector) Detector { return &syncDetector{inner: d} }
+
+type syncDetector struct {
+	mu    sync.Mutex
+	inner Detector
+}
+
+func (s *syncDetector) Name() string { return s.inner.Name() }
+
+func (s *syncDetector) Observe(now eventq.Time, pk *packet.Packet) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inner.Observe(now, pk)
+}
+
+func (s *syncDetector) Alarmed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Alarmed()
+}
+
+func (s *syncDetector) AlarmedAt() eventq.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.AlarmedAt()
+}
+
+// Unwrap exposes the inner detector for scheme-specific inspection
+// (e.g. CUSUM.G()); callers touching it concurrently are on their own.
+func (s *syncDetector) Unwrap() Detector { return s.inner }

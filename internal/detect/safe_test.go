@@ -1,0 +1,44 @@
+package detect
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/eventq"
+	"repro/internal/packet"
+)
+
+func TestSynchronizedDetectorConcurrentObserveAndPoll(t *testing.T) {
+	d := Synchronized(NewCUSUM(100, 2, 50))
+	if d.Name() != "cusum" {
+		t.Fatalf("wrapper changed the name to %q", d.Name())
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		pk := &packet.Packet{}
+		// Quiet baseline windows, then a sustained flood.
+		for now := eventq.Time(0); now < 1000; now += 10 {
+			d.Observe(now, pk)
+		}
+		for now := eventq.Time(1000); now < 20000; now++ {
+			d.Observe(now, pk)
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		d.Alarmed()
+		d.AlarmedAt()
+	}
+	wg.Wait()
+	if !d.Alarmed() {
+		t.Fatal("sustained flood never alarmed through the wrapper")
+	}
+	inner, ok := d.(interface{ Unwrap() Detector })
+	if !ok {
+		t.Fatal("wrapper does not expose Unwrap")
+	}
+	if _, ok := inner.Unwrap().(*CUSUM); !ok {
+		t.Fatal("Unwrap lost the concrete type")
+	}
+}

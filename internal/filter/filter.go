@@ -15,6 +15,9 @@
 package filter
 
 import (
+	"sort"
+	"sync"
+
 	"repro/internal/marking"
 	"repro/internal/packet"
 	"repro/internal/topology"
@@ -36,12 +39,33 @@ func (v Verdict) String() string {
 	return "accept"
 }
 
+// Permanent is the expiry value of a block with no TTL.
+const Permanent int64 = 0
+
+// BlockEntry is one blocklist row: a node and the caller-timebase
+// instant its block lapses (Permanent for no expiry).
+type BlockEntry struct {
+	Node  topology.NodeID
+	Until int64
+}
+
 // Blocklist drops packets whose marking-identified source node is
 // blocked. It is keyed by node, not by (spoofable) header address.
+//
+// Blocks may carry an expiry so a response to a burst ages out instead
+// of punishing a once-compromised node forever. Expiry instants are
+// opaque int64s in whatever monotone timebase the caller uses —
+// simulator ticks in closed-loop experiments, unix nanoseconds in the
+// ddpmd daemon — compared only against the `now` the caller passes.
+//
+// All methods are safe for concurrent use: the daemon's admin plane
+// mutates the list while shard workers consult it.
 type Blocklist struct {
-	ddpm    *marking.DDPM
-	victim  topology.NodeID
-	blocked map[topology.NodeID]bool
+	ddpm   *marking.DDPM
+	victim topology.NodeID
+
+	mu      sync.Mutex
+	blocked map[topology.NodeID]int64 // node -> expiry (Permanent = none)
 
 	accepted, dropped uint64
 }
@@ -49,12 +73,19 @@ type Blocklist struct {
 // NewBlocklist builds an empty blocklist for a victim using DDPM
 // identification.
 func NewBlocklist(ddpm *marking.DDPM, victim topology.NodeID) *Blocklist {
-	return &Blocklist{ddpm: ddpm, victim: victim, blocked: make(map[topology.NodeID]bool)}
+	return &Blocklist{ddpm: ddpm, victim: victim, blocked: make(map[topology.NodeID]int64)}
 }
 
-// Block adds a node; BlockAll adds many (e.g. from
+// NewTTLBlocklist builds a blocklist with no identification scheme for
+// pipelines that attribute packets upstream and consult the list by
+// node (BlockedAt); Check on it fails open.
+func NewTTLBlocklist() *Blocklist {
+	return &Blocklist{victim: topology.None, blocked: make(map[topology.NodeID]int64)}
+}
+
+// Block adds a node with no expiry; BlockAll adds many (e.g. from
 // traceback.DDPMIdentifier.SourcesAbove).
-func (b *Blocklist) Block(n topology.NodeID) { b.blocked[n] = true }
+func (b *Blocklist) Block(n topology.NodeID) { b.BlockUntil(n, Permanent) }
 
 func (b *Blocklist) BlockAll(ns []topology.NodeID) {
 	for _, n := range ns {
@@ -62,27 +93,98 @@ func (b *Blocklist) BlockAll(ns []topology.NodeID) {
 	}
 }
 
-// Unblock removes a node.
-func (b *Blocklist) Unblock(n topology.NodeID) { delete(b.blocked, n) }
+// BlockUntil adds a node whose block lapses at the given instant of
+// the caller's timebase. A permanent block always wins over a TTL; a
+// later expiry extends an earlier one.
+func (b *Blocklist) BlockUntil(n topology.NodeID, until int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	old, ok := b.blocked[n]
+	if ok && (old == Permanent || (until != Permanent && old >= until)) {
+		return
+	}
+	b.blocked[n] = until
+}
 
-// Len returns the number of blocked nodes.
-func (b *Blocklist) Len() int { return len(b.blocked) }
+// Unblock removes a node.
+func (b *Blocklist) Unblock(n topology.NodeID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.blocked, n)
+}
+
+// Len returns the number of blocked nodes, including entries whose
+// expiry has passed but which Expire has not yet pruned.
+func (b *Blocklist) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.blocked)
+}
+
+// Expire prunes every entry whose expiry is at or before now,
+// returning how many lapsed.
+func (b *Blocklist) Expire(now int64) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	lapsed := 0
+	for n, until := range b.blocked {
+		if until != Permanent && until <= now {
+			delete(b.blocked, n)
+			lapsed++
+		}
+	}
+	return lapsed
+}
+
+// BlockedAt reports whether n is blocked at instant now. Lapsed
+// entries answer false even before Expire prunes them, so TTL decay
+// needs no background reaper.
+func (b *Blocklist) BlockedAt(n topology.NodeID, now int64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	until, ok := b.blocked[n]
+	return ok && (until == Permanent || until > now)
+}
+
+// Snapshot returns the current entries sorted by node id.
+func (b *Blocklist) Snapshot() []BlockEntry {
+	b.mu.Lock()
+	out := make([]BlockEntry, 0, len(b.blocked))
+	for n, until := range b.blocked {
+		out = append(out, BlockEntry{Node: n, Until: until})
+	}
+	b.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
 
 // Check filters one delivered packet by identifying its source from the
 // MF. Unidentifiable packets are accepted (fail-open, like a real
-// victim that cannot attribute them).
+// victim that cannot attribute them), as are all packets on a list
+// built without a scheme (NewTTLBlocklist). Check has no clock, so
+// entries count as blocked until Expire prunes them.
 func (b *Blocklist) Check(pk *packet.Packet) Verdict {
-	src, ok := b.ddpm.IdentifySource(b.victim, pk.Hdr.ID)
-	if ok && b.blocked[src] {
-		b.dropped++
-		return Drop
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.ddpm != nil {
+		src, ok := b.ddpm.IdentifySource(b.victim, pk.Hdr.ID)
+		if ok {
+			if _, hit := b.blocked[src]; hit {
+				b.dropped++
+				return Drop
+			}
+		}
 	}
 	b.accepted++
 	return Accept
 }
 
 // Counts returns accepted and dropped tallies.
-func (b *Blocklist) Counts() (accepted, dropped uint64) { return b.accepted, b.dropped }
+func (b *Blocklist) Counts() (accepted, dropped uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.accepted, b.dropped
+}
 
 // SignatureFilter drops packets whose MF matches a learned DPM
 // signature. Its false positives against innocent flows sharing a

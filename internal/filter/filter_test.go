@@ -151,3 +151,90 @@ func TestVerdictString(t *testing.T) {
 		t.Error("bad verdict strings")
 	}
 }
+
+func TestBlocklistTTLExpiry(t *testing.T) {
+	b := NewTTLBlocklist()
+	b.BlockUntil(3, 100)
+	b.BlockUntil(4, 200)
+	b.Block(5) // permanent
+
+	if !b.BlockedAt(3, 50) || !b.BlockedAt(4, 50) || !b.BlockedAt(5, 50) {
+		t.Fatal("fresh blocks not in effect")
+	}
+	// Lapsed entries answer false before any Expire call.
+	if b.BlockedAt(3, 100) {
+		t.Error("node 3 still blocked at its expiry instant")
+	}
+	if !b.BlockedAt(4, 150) {
+		t.Error("node 4 lapsed early")
+	}
+	if b.Len() != 3 {
+		t.Fatalf("Len before Expire = %d, want 3", b.Len())
+	}
+	if lapsed := b.Expire(150); lapsed != 1 {
+		t.Fatalf("Expire(150) pruned %d, want 1", lapsed)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("Len after first Expire = %d, want 2", b.Len())
+	}
+	if lapsed := b.Expire(1 << 40); lapsed != 1 {
+		t.Fatalf("Expire(max) pruned %d, want 1 (permanent must survive)", lapsed)
+	}
+	if !b.BlockedAt(5, 1<<40) || b.Len() != 1 {
+		t.Fatal("permanent block did not survive Expire")
+	}
+}
+
+func TestBlocklistTTLUpgradeRules(t *testing.T) {
+	b := NewTTLBlocklist()
+	b.BlockUntil(1, 100)
+	b.BlockUntil(1, 50) // shorter TTL must not shorten the block
+	if !b.BlockedAt(1, 75) {
+		t.Error("re-block with shorter TTL shortened the block")
+	}
+	b.BlockUntil(1, 200) // longer TTL extends
+	if !b.BlockedAt(1, 150) {
+		t.Error("re-block with longer TTL did not extend")
+	}
+	b.Block(1) // permanent wins
+	b.BlockUntil(1, 300)
+	if !b.BlockedAt(1, 1<<40) {
+		t.Error("TTL re-block demoted a permanent block")
+	}
+	b.Unblock(1)
+	if b.BlockedAt(1, 0) || b.Len() != 0 {
+		t.Error("unblock did not remove the entry")
+	}
+}
+
+func TestBlocklistSnapshotSorted(t *testing.T) {
+	b := NewTTLBlocklist()
+	b.BlockUntil(9, 10)
+	b.Block(2)
+	b.BlockUntil(5, 7)
+	snap := b.Snapshot()
+	if len(snap) != 3 || snap[0].Node != 2 || snap[1].Node != 5 || snap[2].Node != 9 {
+		t.Fatalf("bad snapshot %+v", snap)
+	}
+	if snap[0].Until != Permanent || snap[1].Until != 7 {
+		t.Fatalf("snapshot lost expiries: %+v", snap)
+	}
+}
+
+func TestBlocklistConcurrentUse(t *testing.T) {
+	b := NewTTLBlocklist()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2000; i++ {
+			b.BlockUntil(topology.NodeID(i%17), int64(i))
+			b.Expire(int64(i - 8))
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		b.BlockedAt(topology.NodeID(i%17), int64(i))
+		b.Len()
+		b.Snapshot()
+	}
+	<-done
+}

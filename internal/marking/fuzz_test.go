@@ -3,6 +3,7 @@ package marking
 import (
 	"testing"
 
+	"repro/internal/packet"
 	"repro/internal/topology"
 )
 
@@ -33,6 +34,73 @@ func FuzzSignedFieldCodec(f *testing.F) {
 			t.Fatalf("round trip %04x -> %v -> %04x", mf, v, back)
 		}
 	})
+}
+
+// FuzzDDPMMarkIdentify is the full Figure 4 round trip: walk a packet
+// hop by hop from src to dst through OnInject/OnForward on a mesh, a
+// torus and a hypercube, then check the victim recovers exactly src
+// from the accumulated MF — for every (src, dst) pair and an arbitrary
+// attacker-preloaded Identification field (which OnInject must erase).
+func FuzzDDPMMarkIdentify(f *testing.F) {
+	f.Add(uint8(0), uint8(63), uint16(0))
+	f.Add(uint8(63), uint8(0), uint16(0xFFFF))
+	f.Add(uint8(9), uint8(9), uint16(0xA5A5)) // src == dst: zero-hop walk
+	f.Add(uint8(5), uint8(60), uint16(0x8001))
+	nets := []topology.Network{
+		topology.NewMesh2D(8),
+		topology.NewTorus2D(8),
+		topology.NewHypercube(6),
+	}
+	f.Fuzz(func(t *testing.T, srcRaw, dstRaw uint8, preload uint16) {
+		for _, net := range nets {
+			d, err := NewDDPM(net)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := topology.NodeID(int(srcRaw) % net.NumNodes())
+			dst := topology.NodeID(int(dstRaw) % net.NumNodes())
+			var pk packet.Packet
+			pk.Hdr.ID = preload // attacker-chosen MF, zeroed on inject
+			d.OnInject(&pk)
+			for cur := src; cur != dst; {
+				next := stepToward(net, cur, dst)
+				d.OnForward(cur, next, &pk)
+				cur = next
+			}
+			got, ok := d.IdentifySource(dst, pk.Hdr.ID)
+			if !ok || got != src {
+				t.Fatalf("%s: src %d -> dst %d: identified %d (ok=%v) from MF %04x",
+					net.Name(), src, dst, got, ok, pk.Hdr.ID)
+			}
+		}
+	})
+}
+
+// stepToward returns a neighbor of cur one minimal hop closer to dst:
+// fix coordinates dimension by dimension, taking the shorter wrap
+// direction on a torus (hypercube dims have k=2, where ±1 coincide).
+func stepToward(net topology.Network, cur, dst topology.NodeID) topology.NodeID {
+	cc, dc := net.CoordOf(cur), net.CoordOf(dst)
+	dims := net.Dims()
+	next := make(topology.Coord, len(cc))
+	copy(next, cc)
+	for i := range cc {
+		if cc[i] == dc[i] {
+			continue
+		}
+		step := 1
+		if net.Wraparound() {
+			k := dims[i]
+			if ((dc[i]-cc[i])%k+k)%k > k/2 {
+				step = -1
+			}
+		} else if dc[i] < cc[i] {
+			step = -1
+		}
+		next[i] = ((cc[i]+step)%dims[i] + dims[i]) % dims[i]
+		return net.IndexOf(next)
+	}
+	return dst
 }
 
 // FuzzDDPMIdentify checks the victim decode never panics and never

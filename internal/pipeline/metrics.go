@@ -1,0 +1,46 @@
+package pipeline
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// WritePrometheus renders the pipeline state in Prometheus text
+// exposition format (counters, per-shard queue-depth gauges, and an
+// ingest-rate gauge over the daemon's lifetime). uptime is how long
+// the pipeline has been serving.
+func (p *Pipeline) WritePrometheus(w io.Writer, uptime time.Duration) {
+	s := p.Snapshot()
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+
+	counter("ddpmd_ingested_total", "records offered to the pipeline", s.Ingested)
+	counter("ddpmd_dropped_total", "records shed by shard-queue backpressure", s.Dropped)
+	counter("ddpmd_topo_mismatch_total", "records rejected for a foreign topology id", s.TopoMismatch)
+	counter("ddpmd_bad_victim_total", "records rejected for an out-of-range victim node", s.BadVictim)
+	counter("ddpmd_processed_total", "records consumed by shard workers", s.Processed)
+	counter("ddpmd_identified_total", "records whose MF decoded to an in-topology source", s.Identified)
+	counter("ddpmd_undecodable_total", "records whose MF decode was rejected", s.Undecodable)
+	counter("ddpmd_blocked_hits_total", "records dropped because their source was blocked", s.BlockedHits)
+	counter("ddpmd_alarms_total", "victims whose detectors have fired", s.Alarms)
+	counter("ddpmd_blocks_total", "auto-block insertions into the TTL blocklist", s.Blocks)
+
+	gauge("ddpmd_active_blocks", "blocklist entries currently in force", float64(s.ActiveBlocks))
+	secs := uptime.Seconds()
+	gauge("ddpmd_uptime_seconds", "time since the pipeline started", secs)
+	rate := 0.0
+	if secs > 0 {
+		rate = float64(s.Ingested) / secs
+	}
+	gauge("ddpmd_ingest_rate", "lifetime mean ingest rate in records/sec", rate)
+
+	fmt.Fprintf(w, "# HELP ddpmd_shard_queue_depth records waiting per shard\n# TYPE ddpmd_shard_queue_depth gauge\n")
+	for i, d := range s.QueueDepths {
+		fmt.Fprintf(w, "ddpmd_shard_queue_depth{shard=\"%d\"} %d\n", i, d)
+	}
+}

@@ -1,0 +1,377 @@
+// Package pipeline is the online heart of ddpmd: a sharded streaming
+// implementation of the paper's detect → identify → block loop over
+// wire.Records instead of in-simulator packets. Records are sharded by
+// victim node across a bounded worker pool; each victim gets a DDPM
+// identifier (single-packet source identification, the paper's §5),
+// CUSUM + entropy detectors, and auto-blocking into a TTL'd blocklist.
+//
+// Backpressure is explicit: a full shard queue drops the record and
+// counts it, never blocking the ingest path — a traceback service that
+// stalls its NIC under flood would be its own DoS amplifier.
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/detect"
+	"repro/internal/eventq"
+	"repro/internal/filter"
+	"repro/internal/marking"
+	"repro/internal/packet"
+	"repro/internal/topology"
+	"repro/internal/traceback"
+	"repro/internal/wire"
+)
+
+// Config parameterizes a Pipeline. Zero values take the defaults
+// noted per field.
+type Config struct {
+	// Net is the fabric the marking fields were accumulated in
+	// (required): identification is just S = D − V, but the decode
+	// needs the topology's dimensions and wrap rule.
+	Net topology.Network
+
+	Shards   int // worker/queue pairs (default 4)
+	QueueLen int // records buffered per shard (default 1024)
+
+	// Detection: per-victim CUSUM on record arrival ticks plus a
+	// source-entropy detector (random spoofing inflates entropy).
+	CUSUMWindow    eventq.Time // default 500 ticks
+	CUSUMSlack     float64     // default 4
+	CUSUMThreshold float64     // default 40
+	EntropyWindow  eventq.Time // default 500 ticks; < 0 disables
+	EntropyDelta   float64     // default 1.5 bits
+
+	// Response: once a victim's detector has alarmed, sources
+	// identified more than BlockThreshold times are blocked for
+	// BlockTTL (0 = permanent).
+	BlockThreshold int64         // default 100
+	BlockTTL       time.Duration // default 60s
+
+	// Now supplies the blocklist timebase in unix nanoseconds;
+	// defaults to time.Now().UnixNano(). Tests inject a fake clock.
+	Now func() int64
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Net == nil {
+		return fmt.Errorf("pipeline: Config.Net is required")
+	}
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.QueueLen <= 0 {
+		c.QueueLen = 1024
+	}
+	if c.CUSUMWindow <= 0 {
+		c.CUSUMWindow = 500
+	}
+	if c.CUSUMSlack <= 0 {
+		c.CUSUMSlack = 4
+	}
+	if c.CUSUMThreshold <= 0 {
+		c.CUSUMThreshold = 40
+	}
+	if c.EntropyWindow == 0 {
+		c.EntropyWindow = 500
+	}
+	if c.EntropyDelta <= 0 {
+		c.EntropyDelta = 1.5
+	}
+	if c.BlockThreshold <= 0 {
+		c.BlockThreshold = 100
+	}
+	if c.BlockTTL == 0 {
+		c.BlockTTL = time.Minute
+	}
+	if c.Now == nil {
+		c.Now = func() int64 { return time.Now().UnixNano() }
+	}
+	return nil
+}
+
+// Counters is the pipeline's atomic metric block. All fields are
+// monotone totals except none; read them with the Snapshot method.
+type Counters struct {
+	Ingested     atomic.Uint64 // records offered to Submit
+	Dropped      atomic.Uint64 // backpressure: shard queue full
+	TopoMismatch atomic.Uint64 // record's TopoID != the pipeline's
+	BadVictim    atomic.Uint64 // victim outside the topology
+	Processed    atomic.Uint64 // records a shard worker consumed
+	Identified   atomic.Uint64 // MF decoded to an in-topology source
+	Undecodable  atomic.Uint64 // MF decode rejects
+	BlockedHits  atomic.Uint64 // records from an actively blocked source
+	Alarms       atomic.Uint64 // victims whose detector fired (first fire each)
+	Blocks       atomic.Uint64 // auto-block insertions
+}
+
+// Snapshot is a plain-value copy of the counters plus derived state.
+type Snapshot struct {
+	Ingested, Dropped, TopoMismatch, BadVictim uint64
+	Processed, Identified, Undecodable         uint64
+	BlockedHits, Alarms, Blocks                uint64
+	QueueDepths                                []int
+	ActiveBlocks                               int
+}
+
+// victimState is everything the pipeline keeps per victim node. It is
+// created lazily on the victim's first record and lives in exactly one
+// shard, so the detectors are fed single-threaded; the Synchronized/
+// Sync wrappers exist for the admin plane reading alongside.
+type victimState struct {
+	ident   *traceback.SyncDDPMIdentifier
+	cusum   detect.Detector
+	entropy detect.Detector
+	alarmed bool          // worker-local latch: count each victim's alarm once
+	scratch packet.Packet // reused to feed packet-shaped detectors
+}
+
+type shard struct {
+	ch      chan wire.Record
+	mu      sync.Mutex // guards victims map shape (worker writes, admin reads)
+	victims map[topology.NodeID]*victimState
+}
+
+// Pipeline is the running sharded service. Build with New, feed with
+// Submit (any goroutine), stop with Close (drains queues).
+type Pipeline struct {
+	cfg    Config
+	topoID uint32
+	shards []*shard
+	bl     *filter.Blocklist
+
+	C Counters
+
+	mu     sync.RWMutex // serializes Submit against Close
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New builds and starts the pipeline's shard workers.
+func New(cfg Config) (*Pipeline, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	p := &Pipeline{
+		cfg:    cfg,
+		topoID: wire.TopoID(cfg.Net.Name()),
+		bl:     filter.NewTTLBlocklist(),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		s := &shard{
+			ch:      make(chan wire.Record, cfg.QueueLen),
+			victims: make(map[topology.NodeID]*victimState),
+		}
+		p.shards = append(p.shards, s)
+		p.wg.Add(1)
+		go p.run(s)
+	}
+	return p, nil
+}
+
+// TopoID returns the wire topology id this pipeline accepts.
+func (p *Pipeline) TopoID() uint32 { return p.topoID }
+
+// Blocklist exposes the shared TTL blocklist (concurrent-use-safe) for
+// the admin plane.
+func (p *Pipeline) Blocklist() *filter.Blocklist { return p.bl }
+
+// Submit offers one record to the pipeline without blocking. It
+// reports false when the record was not queued — validation failure or
+// backpressure — with the reason visible in the counters.
+func (p *Pipeline) Submit(rec wire.Record) bool {
+	p.C.Ingested.Add(1)
+	if rec.Topo != p.topoID {
+		p.C.TopoMismatch.Add(1)
+		return false
+	}
+	if rec.Victim < 0 || int(rec.Victim) >= p.cfg.Net.NumNodes() {
+		p.C.BadVictim.Add(1)
+		return false
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		p.C.Dropped.Add(1)
+		return false
+	}
+	s := p.shards[int(rec.Victim)%len(p.shards)]
+	select {
+	case s.ch <- rec:
+		return true
+	default:
+		p.C.Dropped.Add(1) // bounded queue full: shed, don't stall ingest
+		return false
+	}
+}
+
+// Close stops accepting records, drains every shard queue and waits
+// for the workers — the SIGTERM path. Safe to call more than once.
+func (p *Pipeline) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		for _, s := range p.shards {
+			close(s.ch)
+		}
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+func (p *Pipeline) run(s *shard) {
+	defer p.wg.Done()
+	for rec := range s.ch {
+		p.process(s, rec)
+	}
+}
+
+func (p *Pipeline) process(s *shard, rec wire.Record) {
+	p.C.Processed.Add(1)
+	st := s.victims[rec.Victim]
+	if st == nil {
+		var err error
+		if st, err = p.newVictimState(rec.Victim); err != nil {
+			// Unbuildable scheme for this fabric: count as undecodable
+			// rather than wedging the worker.
+			p.C.Undecodable.Add(1)
+			return
+		}
+		s.mu.Lock()
+		s.victims[rec.Victim] = st
+		s.mu.Unlock()
+	}
+
+	src, ok := st.ident.ObserveMF(rec.MF)
+	if !ok {
+		p.C.Undecodable.Add(1)
+	} else {
+		p.C.Identified.Add(1)
+	}
+
+	now := p.cfg.Now()
+	if ok && p.bl.BlockedAt(src, now) {
+		// Already-blocked traffic is dropped before the victim's
+		// detectors — exactly what the in-fabric filter would do.
+		p.C.BlockedHits.Add(1)
+		return
+	}
+
+	st.scratch.Hdr.Src = rec.Src
+	st.scratch.Hdr.Proto = rec.Proto
+	st.cusum.Observe(rec.T, &st.scratch)
+	st.entropy.Observe(rec.T, &st.scratch)
+	if !st.alarmed && (st.cusum.Alarmed() || st.entropy.Alarmed()) {
+		st.alarmed = true
+		p.C.Alarms.Add(1)
+	}
+	if st.alarmed && ok && st.ident.Count(src) > p.cfg.BlockThreshold {
+		until := filter.Permanent
+		if p.cfg.BlockTTL > 0 {
+			until = now + p.cfg.BlockTTL.Nanoseconds()
+		}
+		p.bl.BlockUntil(src, until)
+		p.C.Blocks.Add(1)
+	}
+}
+
+func (p *Pipeline) newVictimState(victim topology.NodeID) (*victimState, error) {
+	scheme, err := marking.NewDDPM(p.cfg.Net)
+	if err != nil {
+		return nil, err
+	}
+	st := &victimState{
+		ident: traceback.NewSyncDDPMIdentifier(scheme, victim),
+		cusum: detect.Synchronized(detect.NewCUSUM(p.cfg.CUSUMWindow, p.cfg.CUSUMSlack, p.cfg.CUSUMThreshold)),
+	}
+	if p.cfg.EntropyWindow > 0 {
+		st.entropy = detect.Synchronized(detect.NewEntropyDetector(p.cfg.EntropyWindow, p.cfg.EntropyDelta))
+	} else {
+		st.entropy = nopDetector{}
+	}
+	return st, nil
+}
+
+// state looks a victim's state up across shards (admin plane).
+func (p *Pipeline) state(victim topology.NodeID) *victimState {
+	if len(p.shards) == 0 || victim < 0 {
+		return nil
+	}
+	s := p.shards[int(victim)%len(p.shards)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.victims[victim]
+}
+
+// Alarmed reports whether the victim's detectors have fired.
+func (p *Pipeline) Alarmed(victim topology.NodeID) bool {
+	st := p.state(victim)
+	return st != nil && (st.cusum.Alarmed() || st.entropy.Alarmed())
+}
+
+// TopSources returns the victim's k most frequently identified
+// sources (empty before the victim's first record).
+func (p *Pipeline) TopSources(victim topology.NodeID, k int) []topology.NodeID {
+	st := p.state(victim)
+	if st == nil {
+		return nil
+	}
+	return st.ident.TopSources(k)
+}
+
+// SourcesAbove returns the victim's sources identified more than
+// threshold times.
+func (p *Pipeline) SourcesAbove(victim topology.NodeID, threshold int64) []topology.NodeID {
+	st := p.state(victim)
+	if st == nil {
+		return nil
+	}
+	return st.ident.SourcesAbove(threshold)
+}
+
+// Victims lists every victim node the pipeline has state for.
+func (p *Pipeline) Victims() []topology.NodeID {
+	var out []topology.NodeID
+	for _, s := range p.shards {
+		s.mu.Lock()
+		for v := range s.victims {
+			out = append(out, v)
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// Snapshot copies the counters and derived gauges. It also prunes
+// lapsed blocklist entries so ActiveBlocks reflects live blocks only.
+func (p *Pipeline) Snapshot() Snapshot {
+	p.bl.Expire(p.cfg.Now())
+	snap := Snapshot{
+		Ingested:     p.C.Ingested.Load(),
+		Dropped:      p.C.Dropped.Load(),
+		TopoMismatch: p.C.TopoMismatch.Load(),
+		BadVictim:    p.C.BadVictim.Load(),
+		Processed:    p.C.Processed.Load(),
+		Identified:   p.C.Identified.Load(),
+		Undecodable:  p.C.Undecodable.Load(),
+		BlockedHits:  p.C.BlockedHits.Load(),
+		Alarms:       p.C.Alarms.Load(),
+		Blocks:       p.C.Blocks.Load(),
+		ActiveBlocks: p.bl.Len(),
+	}
+	for _, s := range p.shards {
+		snap.QueueDepths = append(snap.QueueDepths, len(s.ch))
+	}
+	return snap
+}
+
+// nopDetector disables a detector slot.
+type nopDetector struct{}
+
+func (nopDetector) Name() string                        { return "nop" }
+func (nopDetector) Observe(eventq.Time, *packet.Packet) {}
+func (nopDetector) Alarmed() bool                       { return false }
+func (nopDetector) AlarmedAt() (t eventq.Time)          { return t }

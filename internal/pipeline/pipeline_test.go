@@ -1,0 +1,255 @@
+package pipeline
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/eventq"
+	"repro/internal/marking"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// mkMF encodes the MF an intact DDPM walk from src to victim
+// accumulates: the displacement vector D − S, packed with the codec
+// DDPM picks for net.
+func mkMF(t *testing.T, net topology.Network, src, victim topology.NodeID) uint16 {
+	t.Helper()
+	scheme, err := marking.NewDDPM(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, dc := net.CoordOf(src), net.CoordOf(victim)
+	v := make(topology.Vector, len(sc))
+	for i := range v {
+		v[i] = dc[i] - sc[i]
+	}
+	mf, err := scheme.Codec().Encode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mf
+}
+
+func TestSubmitValidation(t *testing.T) {
+	net := topology.NewMesh2D(4)
+	p, err := New(Config{Net: net, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	if p.Submit(wire.Record{Topo: 12345, Victim: 0}) {
+		t.Error("foreign topo id accepted")
+	}
+	if p.Submit(wire.Record{Topo: p.TopoID(), Victim: 99}) {
+		t.Error("out-of-range victim accepted")
+	}
+	if p.Submit(wire.Record{Topo: p.TopoID(), Victim: -2}) {
+		t.Error("negative victim accepted")
+	}
+	if !p.Submit(wire.Record{Topo: p.TopoID(), Victim: 5, MF: 0}) {
+		t.Error("valid record rejected")
+	}
+	if got := p.C.TopoMismatch.Load(); got != 1 {
+		t.Errorf("topo mismatches = %d, want 1", got)
+	}
+	if got := p.C.BadVictim.Load(); got != 2 {
+		t.Errorf("bad victims = %d, want 2", got)
+	}
+	if got := p.C.Ingested.Load(); got != 4 {
+		t.Errorf("ingested = %d, want 4", got)
+	}
+}
+
+func TestBackpressureDropsInsteadOfBlocking(t *testing.T) {
+	net := topology.NewMesh2D(4)
+	gate := make(chan struct{})
+	var released atomic.Bool
+	p, err := New(Config{
+		Net: net, Shards: 1, QueueLen: 4,
+		Now: func() int64 {
+			if !released.Load() {
+				<-gate // stall the worker inside process()
+			}
+			return 0
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := wire.Record{Topo: p.TopoID(), Victim: 3}
+	// One record enters process() and stalls on the clock; QueueLen
+	// more fill the queue. Wait until the worker has picked one up.
+	p.Submit(rec)
+	deadline := time.Now().Add(5 * time.Second)
+	for p.C.Processed.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never picked up the first record")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	accepted := 0
+	for i := 0; i < 4; i++ {
+		if p.Submit(rec) {
+			accepted++
+		}
+	}
+	if accepted != 4 {
+		t.Fatalf("queue accepted %d records, want 4", accepted)
+	}
+	// Queue is now full: further submits must shed, not block.
+	done := make(chan bool)
+	go func() { done <- p.Submit(rec) }()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Error("submit to a full queue reported success")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Submit blocked on a full shard queue")
+	}
+	if got := p.C.Dropped.Load(); got != 1 {
+		t.Errorf("dropped = %d, want 1", got)
+	}
+	released.Store(true)
+	close(gate)
+	p.Close()
+	if got := p.C.Processed.Load(); got != 5 {
+		t.Errorf("processed = %d after drain, want 5", got)
+	}
+	// Submit after Close sheds too.
+	if p.Submit(rec) {
+		t.Error("submit after Close reported success")
+	}
+}
+
+// submitWait submits and fails the test on shed — these tests size
+// queues so nothing legitimate is dropped.
+func submitWait(t *testing.T, p *Pipeline, rec wire.Record) {
+	t.Helper()
+	if !p.Submit(rec) {
+		t.Fatalf("record shed unexpectedly: %+v", rec)
+	}
+}
+
+func TestAutoBlockWithTTLDecay(t *testing.T) {
+	net := topology.NewTorus2D(4)
+	victim := topology.NodeID(15)
+	zombie := topology.NodeID(5)
+	legit := topology.NodeID(9)
+
+	var clock atomic.Int64
+	p, err := New(Config{
+		Net: net, Shards: 2, QueueLen: 8192,
+		CUSUMWindow: 100, CUSUMSlack: 2, CUSUMThreshold: 20,
+		EntropyWindow:  -1, // isolate CUSUM for determinism
+		BlockThreshold: 50, BlockTTL: time.Second,
+		Now: func() int64 { return clock.Load() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	zmf := mkMF(t, net, zombie, victim)
+	lmf := mkMF(t, net, legit, victim)
+
+	// Quiet baseline windows: a trickle from the legitimate peer.
+	now := eventq.Time(0)
+	for ; now < 500; now += 25 {
+		submitWait(t, p, wire.Record{T: now, Topo: p.TopoID(), Victim: victim, MF: lmf})
+	}
+	// Flood: 1 record/tick from the zombie.
+	for ; now < 2500; now++ {
+		submitWait(t, p, wire.Record{T: now, Topo: p.TopoID(), Victim: victim, MF: zmf})
+	}
+	waitProcessed(t, p)
+
+	if !p.Alarmed(victim) {
+		t.Fatal("CUSUM never alarmed on the flood")
+	}
+	if p.C.Alarms.Load() != 1 {
+		t.Errorf("alarms = %d, want 1", p.C.Alarms.Load())
+	}
+	if !p.Blocklist().BlockedAt(zombie, clock.Load()) {
+		t.Fatal("zombie not auto-blocked")
+	}
+	if p.Blocklist().BlockedAt(legit, clock.Load()) {
+		t.Error("legitimate peer blocked (tally below threshold)")
+	}
+	if p.C.BlockedHits.Load() == 0 {
+		t.Error("no records were dropped as blocked — block landed after the stream?")
+	}
+	// Identification kept tallying behind the block: the daemon's
+	// answer matches what an offline identifier sees.
+	if got := p.SourcesAbove(victim, 50); len(got) != 1 || got[0] != zombie {
+		t.Fatalf("SourcesAbove = %v, want [%d]", got, zombie)
+	}
+	if top := p.TopSources(victim, 1); len(top) != 1 || top[0] != zombie {
+		t.Fatalf("TopSources = %v, want [%d]", top, zombie)
+	}
+
+	// TTL decay: advance the clock past the TTL; the block lapses with
+	// no reaper involved, and Snapshot prunes it from ActiveBlocks.
+	if snap := p.Snapshot(); snap.ActiveBlocks != 1 {
+		t.Fatalf("active blocks = %d, want 1", snap.ActiveBlocks)
+	}
+	clock.Add(2 * time.Second.Nanoseconds())
+	if p.Blocklist().BlockedAt(zombie, clock.Load()) {
+		t.Fatal("block survived past its TTL")
+	}
+	if snap := p.Snapshot(); snap.ActiveBlocks != 0 {
+		t.Fatalf("active blocks after TTL = %d, want 0", snap.ActiveBlocks)
+	}
+	// With the detector still alarmed, fresh flood traffic re-blocks.
+	before := p.C.Blocks.Load()
+	for end := now + 10; now < end; now++ {
+		submitWait(t, p, wire.Record{T: now, Topo: p.TopoID(), Victim: victim, MF: zmf})
+	}
+	waitProcessed(t, p)
+	if p.C.Blocks.Load() <= before {
+		t.Error("lapsed block never re-established under continued flood")
+	}
+	if !p.Blocklist().BlockedAt(zombie, clock.Load()) {
+		t.Error("zombie unblocked despite continued flood")
+	}
+}
+
+func TestUndecodableRecordsAreCountedNotFatal(t *testing.T) {
+	// On a mesh, an MF pointing off the fabric decodes to no node.
+	net := topology.NewMesh2D(4)
+	p, err := New(Config{Net: net, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0x7F7F decodes to a displacement far outside a 4x4 mesh.
+	submitWait(t, p, wire.Record{T: 1, Topo: p.TopoID(), Victim: 0, MF: 0x7F7F})
+	submitWait(t, p, wire.Record{T: 2, Topo: p.TopoID(), Victim: 0, MF: mkMF(t, net, 5, 0)})
+	p.Close()
+	if got := p.C.Undecodable.Load(); got != 1 {
+		t.Errorf("undecodable = %d, want 1", got)
+	}
+	if got := p.C.Identified.Load(); got != 1 {
+		t.Errorf("identified = %d, want 1", got)
+	}
+}
+
+// waitProcessed blocks until every ingested-and-queued record has been
+// consumed (queues empty is not enough: the last record may still be
+// in process()).
+func waitProcessed(t *testing.T, p *Pipeline) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		queued := p.C.Ingested.Load() - p.C.Dropped.Load() - p.C.TopoMismatch.Load() - p.C.BadVictim.Load()
+		if p.C.Processed.Load() == queued {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pipeline stuck: processed %d of %d", p.C.Processed.Load(), queued)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,311 @@
+package pipeline
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// ServerConfig wires a Pipeline to the outside world.
+type ServerConfig struct {
+	Pipeline Config
+
+	// TCPAddr accepts length-prefixed wire frames over stream
+	// connections; UDPAddr accepts one frame per datagram; HTTPAddr is
+	// the admin plane (/healthz, /metrics, /blocklist). Empty
+	// disables that listener; ":0" picks an ephemeral port.
+	TCPAddr  string
+	UDPAddr  string
+	HTTPAddr string
+
+	// DrainGrace bounds how long Shutdown lets live TCP streams keep
+	// delivering already-sent frames before cutting them (default
+	// 250ms).
+	DrainGrace time.Duration
+}
+
+// Daemon is the running ddpmd service: ingest listeners feeding a
+// Pipeline plus the HTTP admin plane.
+type Daemon struct {
+	cfg   ServerConfig
+	p     *Pipeline
+	start time.Time
+
+	tcpLn   net.Listener
+	udpConn net.PacketConn
+	httpLn  net.Listener
+	httpSrv *http.Server
+
+	draining    atomic.Bool
+	decodeErrs  atomic.Uint64
+	connsMu     sync.Mutex
+	conns       map[net.Conn]struct{}
+	ingestersWG sync.WaitGroup
+}
+
+// Start builds the pipeline, binds every configured listener and
+// begins serving. On error nothing is left running.
+func Start(cfg ServerConfig) (*Daemon, error) {
+	if cfg.DrainGrace <= 0 {
+		cfg.DrainGrace = 250 * time.Millisecond
+	}
+	p, err := New(cfg.Pipeline)
+	if err != nil {
+		return nil, err
+	}
+	d := &Daemon{cfg: cfg, p: p, start: time.Now(), conns: make(map[net.Conn]struct{})}
+	fail := func(err error) (*Daemon, error) {
+		d.closeListeners()
+		p.Close()
+		return nil, err
+	}
+	if cfg.TCPAddr != "" {
+		if d.tcpLn, err = net.Listen("tcp", cfg.TCPAddr); err != nil {
+			return fail(fmt.Errorf("pipeline: tcp listen: %w", err))
+		}
+		d.ingestersWG.Add(1)
+		go d.acceptLoop()
+	}
+	if cfg.UDPAddr != "" {
+		if d.udpConn, err = net.ListenPacket("udp", cfg.UDPAddr); err != nil {
+			return fail(fmt.Errorf("pipeline: udp listen: %w", err))
+		}
+		d.ingestersWG.Add(1)
+		go d.udpLoop()
+	}
+	if cfg.HTTPAddr != "" {
+		if d.httpLn, err = net.Listen("tcp", cfg.HTTPAddr); err != nil {
+			return fail(fmt.Errorf("pipeline: http listen: %w", err))
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/healthz", d.handleHealthz)
+		mux.HandleFunc("/metrics", d.handleMetrics)
+		mux.HandleFunc("/blocklist", d.handleBlocklist)
+		d.httpSrv = &http.Server{Handler: mux}
+		go d.httpSrv.Serve(d.httpLn)
+	}
+	return d, nil
+}
+
+// Pipeline exposes the underlying pipeline (tests, embedding).
+func (d *Daemon) Pipeline() *Pipeline { return d.p }
+
+// DecodeErrors reports wire-level decode failures across listeners.
+func (d *Daemon) DecodeErrors() uint64 { return d.decodeErrs.Load() }
+
+// Draining reports whether Shutdown has begun.
+func (d *Daemon) Draining() bool { return d.draining.Load() }
+
+// TCPAddr, UDPAddr and HTTPAddr return the bound addresses (nil when
+// that listener is disabled) — needed when configured with ":0".
+func (d *Daemon) TCPAddr() net.Addr {
+	if d.tcpLn == nil {
+		return nil
+	}
+	return d.tcpLn.Addr()
+}
+
+func (d *Daemon) UDPAddr() net.Addr {
+	if d.udpConn == nil {
+		return nil
+	}
+	return d.udpConn.LocalAddr()
+}
+
+func (d *Daemon) HTTPAddr() net.Addr {
+	if d.httpLn == nil {
+		return nil
+	}
+	return d.httpLn.Addr()
+}
+
+// Shutdown drains and stops: flip /healthz to draining, stop
+// accepting, give live TCP streams DrainGrace to deliver already-sent
+// frames, drain every shard queue, then stop the admin plane. Queued
+// records are never discarded.
+func (d *Daemon) Shutdown(ctx context.Context) error {
+	d.draining.Store(true)
+	if d.tcpLn != nil {
+		d.tcpLn.Close()
+	}
+	if d.udpConn != nil {
+		d.udpConn.SetReadDeadline(time.Now()) // unblock the udp loop
+	}
+	deadline := time.Now().Add(d.cfg.DrainGrace)
+	d.connsMu.Lock()
+	for c := range d.conns {
+		c.SetReadDeadline(deadline)
+	}
+	d.connsMu.Unlock()
+	d.ingestersWG.Wait()
+	if d.udpConn != nil {
+		d.udpConn.Close()
+	}
+	d.p.Close() // drain shard queues
+	if d.httpSrv != nil {
+		return d.httpSrv.Shutdown(ctx)
+	}
+	return nil
+}
+
+func (d *Daemon) closeListeners() {
+	if d.tcpLn != nil {
+		d.tcpLn.Close()
+	}
+	if d.udpConn != nil {
+		d.udpConn.Close()
+	}
+	if d.httpLn != nil {
+		d.httpLn.Close()
+	}
+}
+
+func (d *Daemon) acceptLoop() {
+	defer d.ingestersWG.Done()
+	for {
+		conn, err := d.tcpLn.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		d.connsMu.Lock()
+		d.conns[conn] = struct{}{}
+		d.connsMu.Unlock()
+		d.ingestersWG.Add(1)
+		go d.serveConn(conn)
+	}
+}
+
+func (d *Daemon) serveConn(conn net.Conn) {
+	defer d.ingestersWG.Done()
+	defer func() {
+		conn.Close()
+		d.connsMu.Lock()
+		delete(d.conns, conn)
+		d.connsMu.Unlock()
+	}()
+	if d.draining.Load() {
+		// Accepted in the race with Shutdown: honor the drain deadline.
+		conn.SetReadDeadline(time.Now().Add(d.cfg.DrainGrace))
+	}
+	r := wire.NewReader(conn)
+	for {
+		rec, err := r.Next()
+		if err != nil {
+			if errors.Is(err, wire.ErrBadFrame) {
+				// Stream position unknown after a framing error; the
+				// only safe move is dropping the connection.
+				d.decodeErrs.Add(1)
+			}
+			return
+		}
+		d.p.Submit(rec)
+	}
+}
+
+func (d *Daemon) udpLoop() {
+	defer d.ingestersWG.Done()
+	buf := make([]byte, 1<<16)
+	for {
+		n, _, err := d.udpConn.ReadFrom(buf)
+		if err != nil {
+			return // closed or drain deadline
+		}
+		recs, _, err := wire.ParseFrame(buf[:n])
+		if err != nil {
+			d.decodeErrs.Add(1)
+			continue
+		}
+		for _, rec := range recs {
+			d.p.Submit(rec)
+		}
+	}
+}
+
+func (d *Daemon) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if d.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (d *Daemon) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	d.p.WritePrometheus(w, time.Since(d.start))
+	fmt.Fprintf(w, "# HELP ddpmd_decode_errors_total wire frames rejected at the listeners\n"+
+		"# TYPE ddpmd_decode_errors_total counter\nddpmd_decode_errors_total %d\n", d.decodeErrs.Load())
+	draining := 0
+	if d.draining.Load() {
+		draining = 1
+	}
+	fmt.Fprintf(w, "# HELP ddpmd_draining whether shutdown drain has begun\n"+
+		"# TYPE ddpmd_draining gauge\nddpmd_draining %d\n", draining)
+}
+
+// blocklistEntry is the admin-plane JSON shape of one block.
+type blocklistEntry struct {
+	Node          int64 `json:"node"`
+	UntilUnixNano int64 `json:"until_unix_nano"` // 0 = permanent
+	TTLMillis     int64 `json:"ttl_ms,omitempty"`
+}
+
+// blocklistOp is the POST body: block (default) or unblock a node,
+// with an optional TTL.
+type blocklistOp struct {
+	Node    int64 `json:"node"`
+	TTLMs   int64 `json:"ttl_ms"`
+	Unblock bool  `json:"unblock"`
+}
+
+func (d *Daemon) handleBlocklist(w http.ResponseWriter, r *http.Request) {
+	bl := d.p.Blocklist()
+	switch r.Method {
+	case http.MethodGet:
+		now := d.p.cfg.Now()
+		bl.Expire(now)
+		entries := bl.Snapshot()
+		out := make([]blocklistEntry, 0, len(entries))
+		for _, e := range entries {
+			be := blocklistEntry{Node: int64(e.Node), UntilUnixNano: e.Until}
+			if e.Until != filter.Permanent {
+				be.TTLMillis = (e.Until - now) / int64(time.Millisecond)
+			}
+			out = append(out, be)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(out)
+	case http.MethodPost:
+		var op blocklistOp
+		if err := json.NewDecoder(r.Body).Decode(&op); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if op.Node < 0 || int(op.Node) >= d.p.cfg.Net.NumNodes() {
+			http.Error(w, fmt.Sprintf("node %d outside %s", op.Node, d.p.cfg.Net.Name()), http.StatusBadRequest)
+			return
+		}
+		n := topology.NodeID(op.Node)
+		switch {
+		case op.Unblock:
+			bl.Unblock(n)
+		case op.TTLMs > 0:
+			bl.BlockUntil(n, d.p.cfg.Now()+op.TTLMs*int64(time.Millisecond))
+		default:
+			bl.Block(n)
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}

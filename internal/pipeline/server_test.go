@@ -1,0 +1,213 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+func httpGet(t *testing.T, d *Daemon, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("http://%s%s", d.HTTPAddr(), path))
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestGracefulShutdownDrainsWithoutLossAndHealthzFlips(t *testing.T) {
+	topo := topology.NewMesh2D(4)
+	gate := make(chan struct{})
+	var released atomic.Bool
+	d, err := Start(ServerConfig{
+		Pipeline: Config{
+			Net: topo, Shards: 1, QueueLen: 4096,
+			Now: func() int64 {
+				if !released.Load() {
+					<-gate // hold the worker so records stay queued
+				}
+				return 0
+			},
+		},
+		TCPAddr:    "127.0.0.1:0",
+		HTTPAddr:   "127.0.0.1:0",
+		DrainGrace: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if code, body := httpGet(t, d, "/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz before shutdown: %d %q", code, body)
+	}
+
+	// Stream records and close the conn so the handler finishes.
+	conn, err := net.Dial("tcp", d.TCPAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const N = 500
+	recs := make([]wire.Record, N)
+	topoID := d.Pipeline().TopoID()
+	for i := range recs {
+		recs[i] = wire.Record{T: 1, Topo: topoID, Victim: topology.NodeID(i % 16), MF: 0}
+	}
+	w := wire.NewWriter(conn)
+	if err := w.WriteRecords(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	// Wait until every record is ingested (queued, worker stalled).
+	deadline := time.Now().Add(10 * time.Second)
+	for d.Pipeline().C.Ingested.Load() < N {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d records ingested", d.Pipeline().C.Ingested.Load(), N)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// SIGTERM path: Shutdown must flip /healthz to draining while the
+	// queue empties, and lose nothing.
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- d.Shutdown(context.Background()) }()
+
+	for {
+		code, body := httpGet(t, d, "/healthz")
+		if code == http.StatusServiceUnavailable && strings.Contains(body, "draining") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("healthz never flipped to draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !d.Draining() {
+		t.Error("Draining() false during drain")
+	}
+
+	released.Store(true)
+	close(gate)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	c := &d.Pipeline().C
+	if c.Dropped.Load() != 0 {
+		t.Errorf("%d records dropped during drain", c.Dropped.Load())
+	}
+	if got := c.Processed.Load(); got != N {
+		t.Errorf("processed %d of %d queued records — drain lost data", got, N)
+	}
+}
+
+func TestDaemonUDPIngestAndDecodeErrors(t *testing.T) {
+	topo := topology.NewMesh2D(4)
+	d, err := Start(ServerConfig{
+		Pipeline: Config{Net: topo, Shards: 2},
+		UDPAddr:  "127.0.0.1:0",
+		HTTPAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Shutdown(context.Background())
+
+	conn, err := net.Dial("udp", d.UDPAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	recs := []wire.Record{
+		{T: 1, Topo: d.Pipeline().TopoID(), Victim: 3, MF: 0},
+		{T: 2, Topo: d.Pipeline().TopoID(), Victim: 7, MF: 0},
+	}
+	if _, err := conn.Write(wire.AppendFrame(nil, recs)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("definitely not a frame")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for d.Pipeline().C.Ingested.Load() < 2 || d.DecodeErrors() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("udp ingest stuck: ingested=%d decodeErrs=%d",
+				d.Pipeline().C.Ingested.Load(), d.DecodeErrors())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, body := httpGet(t, d, "/metrics"); !strings.Contains(body, "ddpmd_decode_errors_total 1") {
+		t.Errorf("metrics missing decode error counter:\n%s", body)
+	}
+}
+
+func TestBlocklistAdminEndpoint(t *testing.T) {
+	topo := topology.NewMesh2D(4)
+	var clock atomic.Int64
+	d, err := Start(ServerConfig{
+		Pipeline: Config{Net: topo, Now: func() int64 { return clock.Load() }},
+		HTTPAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Shutdown(context.Background())
+
+	post := func(body string) int {
+		resp, err := http.Post(fmt.Sprintf("http://%s/blocklist", d.HTTPAddr()), "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post(`{"node":5,"ttl_ms":1000}`); code != http.StatusNoContent {
+		t.Fatalf("block POST: %d", code)
+	}
+	if code := post(`{"node":3}`); code != http.StatusNoContent {
+		t.Fatalf("permanent block POST: %d", code)
+	}
+	if code := post(`{"node":99}`); code != http.StatusBadRequest {
+		t.Fatalf("out-of-range node POST: %d, want 400", code)
+	}
+	_, body := httpGet(t, d, "/blocklist")
+	if !strings.Contains(body, `"node":3`) || !strings.Contains(body, `"node":5`) {
+		t.Fatalf("blocklist GET missing entries: %s", body)
+	}
+	if !d.Pipeline().Blocklist().BlockedAt(5, clock.Load()) {
+		t.Error("TTL block not in force")
+	}
+	// TTL lapse via the fake clock: entry disappears from GET.
+	clock.Add((2 * time.Second).Nanoseconds())
+	_, body = httpGet(t, d, "/blocklist")
+	if strings.Contains(body, `"node":5`) {
+		t.Errorf("lapsed TTL entry still listed: %s", body)
+	}
+	if !strings.Contains(body, `"node":3`) {
+		t.Errorf("permanent entry vanished: %s", body)
+	}
+	// Unblock.
+	if code := post(`{"node":3,"unblock":true}`); code != http.StatusNoContent {
+		t.Fatalf("unblock POST: %d", code)
+	}
+	if d.Pipeline().Blocklist().Len() != 0 {
+		t.Error("unblock left entries behind")
+	}
+}

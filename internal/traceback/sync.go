@@ -1,0 +1,64 @@
+package traceback
+
+import (
+	"sync"
+
+	"repro/internal/marking"
+	"repro/internal/topology"
+)
+
+// SyncDDPMIdentifier is the concurrent-use-safe variant of
+// DDPMIdentifier for long-running services: shard workers feed it
+// while admin/metrics goroutines read the tally. It owns its DDPM
+// instance outright (the scheme's scratch buffers make IdentifySource
+// non-reentrant), so every entry point is serialized by one mutex.
+type SyncDDPMIdentifier struct {
+	mu    sync.Mutex
+	inner *DDPMIdentifier
+}
+
+// NewSyncDDPMIdentifier builds the identifier for a victim node.
+// scheme must not be used outside this identifier afterwards.
+func NewSyncDDPMIdentifier(scheme *marking.DDPM, victim topology.NodeID) *SyncDDPMIdentifier {
+	return &SyncDDPMIdentifier{inner: NewDDPMIdentifier(scheme, victim)}
+}
+
+// ObserveMF identifies and tallies the source encoded in one marking
+// field.
+func (s *SyncDDPMIdentifier) ObserveMF(mf uint16) (topology.NodeID, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.ObserveMF(mf)
+}
+
+// Observed, Undecodable, Count, TopSources and SourcesAbove mirror
+// DDPMIdentifier under the lock.
+func (s *SyncDDPMIdentifier) Observed() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Observed()
+}
+
+func (s *SyncDDPMIdentifier) Undecodable() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Undecodable()
+}
+
+func (s *SyncDDPMIdentifier) Count(src topology.NodeID) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Count(src)
+}
+
+func (s *SyncDDPMIdentifier) TopSources(k int) []topology.NodeID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.TopSources(k)
+}
+
+func (s *SyncDDPMIdentifier) SourcesAbove(threshold int64) []topology.NodeID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.SourcesAbove(threshold)
+}

@@ -1,0 +1,85 @@
+package traceback
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/marking"
+	"repro/internal/topology"
+)
+
+func TestSyncDDPMIdentifierMatchesSerialAnswer(t *testing.T) {
+	m := topology.NewTorus2D(8)
+	victim := m.IndexOf(topology.Coord{0, 0})
+
+	// Build the MFs of packets from three sources by encoding the true
+	// displacement vector D − S (what an intact DDPM walk accumulates).
+	mkMF := func(scheme *marking.DDPM, src topology.NodeID) uint16 {
+		sc, dc := m.CoordOf(src), m.CoordOf(victim)
+		v := make(topology.Vector, len(sc))
+		for i := range v {
+			v[i] = dc[i] - sc[i]
+		}
+		mf, err := scheme.Codec().Encode(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mf
+	}
+
+	build := func() *marking.DDPM {
+		d, err := marking.NewDDPM(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	sources := []topology.NodeID{5, 17, 42}
+	ref := NewDDPMIdentifier(build(), victim)
+	mfs := make([]uint16, 0, 300)
+	for i := 0; i < 300; i++ {
+		mf := mkMF(ref.scheme, sources[i%len(sources)])
+		mfs = append(mfs, mf)
+		ref.ObserveMF(mf)
+	}
+
+	// Feed the same MFs from 4 goroutines while another hammers reads.
+	s := NewSyncDDPMIdentifier(build(), victim)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(mfs); i += 4 {
+				if _, ok := s.ObserveMF(mfs[i]); !ok {
+					t.Errorf("mf %04x undecodable", mfs[i])
+				}
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.TopSources(3)
+				s.Observed()
+				s.SourcesAbove(10)
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+
+	if s.Observed() != ref.Observed() || s.Undecodable() != ref.Undecodable() {
+		t.Fatalf("concurrent tally %d/%d differs from serial %d/%d",
+			s.Observed(), s.Undecodable(), ref.Observed(), ref.Undecodable())
+	}
+	for _, src := range sources {
+		if s.Count(src) != ref.Count(src) {
+			t.Errorf("source %d: concurrent count %d, serial %d", src, s.Count(src), ref.Count(src))
+		}
+	}
+}

@@ -38,7 +38,14 @@ func NewDDPMIdentifier(scheme *marking.DDPM, victim topology.NodeID) *DDPMIdenti
 // Observe identifies the packet's source. ok is false when the MF does
 // not decode to a node of the topology (corruption or marking bypass).
 func (d *DDPMIdentifier) Observe(pk *packet.Packet) (topology.NodeID, bool) {
-	src, ok := d.scheme.IdentifySource(d.victim, pk.Hdr.ID)
+	return d.ObserveMF(pk.Hdr.ID)
+}
+
+// ObserveMF identifies and tallies from a bare marking field — the
+// entry point for wire-format records, which carry the MF without a
+// full packet.
+func (d *DDPMIdentifier) ObserveMF(mf uint16) (topology.NodeID, bool) {
+	src, ok := d.scheme.IdentifySource(d.victim, mf)
 	if !ok {
 		d.undec++
 		return topology.None, false

@@ -1,0 +1,136 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/eventq"
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+// JSONLConfig parameterizes ReadJSONL.
+type JSONLConfig struct {
+	// Topo is the TopoID stamped on records whose line does not carry
+	// one (every trace line, and native lines without a "topo" key).
+	Topo uint32
+
+	// Victim filters trace "forward" lines: only hops INTO this node
+	// are emitted, since a victim NIC only sees packets that reach it.
+	// topology.None accepts every forward hop (useful for fan-in
+	// experiments where every node runs an identifier).
+	Victim topology.NodeID
+}
+
+// jsonlLine is the union of the two accepted shapes: the native record
+// form {"t","topo","victim","mf","src","proto"} and internal/trace's
+// forward events {"kind":"forward","seq","cur","next","mf_out","src"}.
+type jsonlLine struct {
+	// native record fields
+	T      *int64  `json:"t"`
+	Topo   *string `json:"topo"`
+	Victim *int64  `json:"victim"`
+	MF     *uint16 `json:"mf"`
+	Proto  *uint8  `json:"proto"`
+
+	// trace event fields
+	Kind  string  `json:"kind"`
+	Seq   uint64  `json:"seq"`
+	Next  *int64  `json:"next"`
+	MFOut *uint16 `json:"mf_out"`
+
+	// shared
+	Src string `json:"src"`
+}
+
+// ReadJSONL parses newline-delimited JSON records and calls fn for
+// each. It accepts the native record shape and, for replaying existing
+// simulator traces, internal/trace "forward" lines (the final hop into
+// the victim is exactly the victim NIC's observation; "inject" lines
+// and hops to other nodes are skipped). It returns the number of
+// records emitted; a malformed line or an fn error aborts with the
+// 1-based line number.
+func ReadJSONL(r io.Reader, cfg JSONLConfig, fn func(Record) error) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	emitted, lineno := 0, 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var l jsonlLine
+		if err := json.Unmarshal([]byte(line), &l); err != nil {
+			return emitted, fmt.Errorf("wire: jsonl line %d: %w", lineno, err)
+		}
+		rec, ok, err := l.toRecord(cfg)
+		if err != nil {
+			return emitted, fmt.Errorf("wire: jsonl line %d: %w", lineno, err)
+		}
+		if !ok {
+			continue
+		}
+		if err := fn(rec); err != nil {
+			return emitted, fmt.Errorf("wire: jsonl line %d: %w", lineno, err)
+		}
+		emitted++
+	}
+	if err := sc.Err(); err != nil {
+		return emitted, fmt.Errorf("wire: jsonl line %d: %w", lineno, err)
+	}
+	return emitted, nil
+}
+
+func (l *jsonlLine) toRecord(cfg JSONLConfig) (Record, bool, error) {
+	switch l.Kind {
+	case "inject":
+		return Record{}, false, nil // pre-fabric, not a NIC observation
+	case "forward":
+		if l.Next == nil || l.MFOut == nil {
+			return Record{}, false, fmt.Errorf("forward line missing next/mf_out")
+		}
+		next := topology.NodeID(*l.Next)
+		if cfg.Victim != topology.None && next != cfg.Victim {
+			return Record{}, false, nil
+		}
+		src, err := packet.ParseAddr(l.Src)
+		if err != nil {
+			return Record{}, false, err
+		}
+		// Trace events carry no clock; the per-simulation sequence
+		// number is monotone and serves as the replay timebase.
+		return Record{
+			T: eventq.Time(l.Seq), Topo: cfg.Topo, Victim: next,
+			MF: *l.MFOut, Src: src, Proto: packet.ProtoRaw,
+		}, true, nil
+	case "":
+		// native record shape
+		if l.Victim == nil || l.MF == nil {
+			return Record{}, false, fmt.Errorf("record line missing victim/mf")
+		}
+		rec := Record{Topo: cfg.Topo, Victim: topology.NodeID(*l.Victim), MF: *l.MF, Proto: packet.ProtoRaw}
+		if l.T != nil {
+			rec.T = eventq.Time(*l.T)
+		}
+		if l.Topo != nil {
+			rec.Topo = TopoID(*l.Topo)
+		}
+		if l.Proto != nil {
+			rec.Proto = packet.Proto(*l.Proto)
+		}
+		if l.Src != "" {
+			src, err := packet.ParseAddr(l.Src)
+			if err != nil {
+				return Record{}, false, err
+			}
+			rec.Src = src
+		}
+		return rec, true, nil
+	default:
+		return Record{}, false, nil // unknown trace kinds are skipped
+	}
+}

@@ -1,0 +1,265 @@
+// Package wire defines the compact binary format `ddpmd` ingests: one
+// Record per marked packet observed at a victim NIC (topology id,
+// victim node, marking field, claimed header source), batched into
+// versioned frames. The format is the daemon's contract with exporters:
+// length-prefixed frames over TCP streams, one frame per datagram over
+// UDP, and a JSONL replay reader so offline `trace` output (or
+// hand-written records) can be fed through the same pipeline.
+//
+// A Record is deliberately tiny (24 bytes): the paper's whole premise
+// is that single-packet identification needs only the 16-bit MF plus
+// the victim's own coordinate, so the export path stays cheap enough
+// to run per packet on a loaded NIC.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"repro/internal/eventq"
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+// Wire constants. Magic guards against a stray client speaking the
+// wrong protocol; Version is bumped on incompatible layout changes.
+const (
+	Magic       uint16 = 0xD05E
+	Version     uint8  = 1
+	TypeRecords uint8  = 1
+
+	// HeaderSize is the frame header: magic(2) version(1) type(1)
+	// payload-length(2), big-endian throughout.
+	HeaderSize = 6
+
+	// RecordSize is the fixed encoded size of one Record.
+	RecordSize = 24
+
+	// MaxFramePayload is the largest payload a frame can carry (the
+	// length field is 16-bit); MaxRecordsPerFrame follows.
+	MaxFramePayload    = 1<<16 - 1
+	MaxRecordsPerFrame = MaxFramePayload / RecordSize
+)
+
+// ErrBadFrame tags every framing-level decode failure (bad magic,
+// unknown version or type, misaligned payload). Callers distinguish it
+// from io errors with errors.Is.
+var ErrBadFrame = errors.New("wire: bad frame")
+
+// Record is one observed marked packet at a victim.
+//
+// Encoded layout (big-endian, 24 bytes):
+//
+//	[0:8)   T       int64   observation time in simulator ticks
+//	[8:12)  Topo    uint32  TopoID of the fabric the MF was marked in
+//	[12:16) Victim  uint32  victim NodeID (the observing NIC's node)
+//	[16:18) MF      uint16  marking field (IP Identification)
+//	[18:22) Src     uint32  claimed (spoofable) header source address
+//	[22]    Proto   uint8   transport protocol
+//	[23]    —       uint8   reserved, must encode as zero
+type Record struct {
+	T      eventq.Time
+	Topo   uint32
+	Victim topology.NodeID
+	MF     uint16
+	Src    packet.Addr
+	Proto  packet.Proto
+}
+
+// TopoID derives the 32-bit topology identifier carried on the wire
+// from a topology's Name() (e.g. "torus-8x8"), so daemon and exporter
+// can cheaply agree they are talking about the same fabric without
+// shipping the dimension list per record.
+func TopoID(name string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return h.Sum32()
+}
+
+// AppendRecord appends r's 24-byte encoding to b.
+func AppendRecord(b []byte, r Record) []byte {
+	var buf [RecordSize]byte
+	binary.BigEndian.PutUint64(buf[0:8], uint64(r.T))
+	binary.BigEndian.PutUint32(buf[8:12], r.Topo)
+	binary.BigEndian.PutUint32(buf[12:16], uint32(r.Victim))
+	binary.BigEndian.PutUint16(buf[16:18], r.MF)
+	binary.BigEndian.PutUint32(buf[18:22], uint32(r.Src))
+	buf[22] = uint8(r.Proto)
+	buf[23] = 0
+	return append(b, buf[:]...)
+}
+
+// DecodeRecord decodes one record from the first RecordSize bytes of b.
+func DecodeRecord(b []byte) (Record, error) {
+	if len(b) < RecordSize {
+		return Record{}, fmt.Errorf("%w: short record: %d bytes", ErrBadFrame, len(b))
+	}
+	return Record{
+		T:      eventq.Time(binary.BigEndian.Uint64(b[0:8])),
+		Topo:   binary.BigEndian.Uint32(b[8:12]),
+		Victim: topology.NodeID(binary.BigEndian.Uint32(b[12:16])),
+		MF:     binary.BigEndian.Uint16(b[16:18]),
+		Src:    packet.Addr(binary.BigEndian.Uint32(b[18:22])),
+		Proto:  packet.Proto(b[22]),
+	}, nil
+}
+
+// AppendFrame appends one frame holding recs to b. It panics if recs
+// exceeds MaxRecordsPerFrame — splitting across frames is the Writer's
+// job.
+func AppendFrame(b []byte, recs []Record) []byte {
+	if len(recs) > MaxRecordsPerFrame {
+		panic(fmt.Sprintf("wire: %d records exceed the %d-record frame limit", len(recs), MaxRecordsPerFrame))
+	}
+	var hdr [HeaderSize]byte
+	binary.BigEndian.PutUint16(hdr[0:2], Magic)
+	hdr[2] = Version
+	hdr[3] = TypeRecords
+	binary.BigEndian.PutUint16(hdr[4:6], uint16(len(recs)*RecordSize))
+	b = append(b, hdr[:]...)
+	for _, r := range recs {
+		b = AppendRecord(b, r)
+	}
+	return b
+}
+
+// ParseFrame decodes a complete frame held in b — the UDP entry point,
+// where one datagram carries exactly one frame. It returns the decoded
+// records and the number of bytes consumed.
+func ParseFrame(b []byte) ([]Record, int, error) {
+	n, err := checkHeader(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(b) < HeaderSize+n {
+		return nil, 0, fmt.Errorf("%w: truncated payload: have %d of %d bytes",
+			ErrBadFrame, len(b)-HeaderSize, n)
+	}
+	recs := make([]Record, 0, n/RecordSize)
+	for off := HeaderSize; off < HeaderSize+n; off += RecordSize {
+		r, err := DecodeRecord(b[off:])
+		if err != nil {
+			return nil, 0, err
+		}
+		recs = append(recs, r)
+	}
+	return recs, HeaderSize + n, nil
+}
+
+// checkHeader validates the 6-byte header and returns the payload
+// length.
+func checkHeader(b []byte) (int, error) {
+	if len(b) < HeaderSize {
+		return 0, fmt.Errorf("%w: short header: %d bytes", ErrBadFrame, len(b))
+	}
+	if m := binary.BigEndian.Uint16(b[0:2]); m != Magic {
+		return 0, fmt.Errorf("%w: magic %#04x", ErrBadFrame, m)
+	}
+	if b[2] != Version {
+		return 0, fmt.Errorf("%w: version %d", ErrBadFrame, b[2])
+	}
+	if b[3] != TypeRecords {
+		return 0, fmt.Errorf("%w: unknown frame type %d", ErrBadFrame, b[3])
+	}
+	n := int(binary.BigEndian.Uint16(b[4:6]))
+	if n%RecordSize != 0 {
+		return 0, fmt.Errorf("%w: payload length %d not a multiple of %d", ErrBadFrame, n, RecordSize)
+	}
+	return n, nil
+}
+
+// Writer encodes records onto a TCP stream, splitting into maximal
+// frames. It buffers internally; call Flush (or Close the conn after
+// Flush) when done.
+type Writer struct {
+	bw      *bufio.Writer
+	scratch []byte
+	frames  uint64
+	records uint64
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriter(w)}
+}
+
+// WriteRecords frames and writes recs.
+func (w *Writer) WriteRecords(recs []Record) error {
+	for len(recs) > 0 {
+		n := len(recs)
+		if n > MaxRecordsPerFrame {
+			n = MaxRecordsPerFrame
+		}
+		w.scratch = AppendFrame(w.scratch[:0], recs[:n])
+		if _, err := w.bw.Write(w.scratch); err != nil {
+			return err
+		}
+		w.frames++
+		w.records += uint64(n)
+		recs = recs[n:]
+	}
+	return nil
+}
+
+// Flush drains the internal buffer to the underlying writer.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Frames and Records report how much has been written.
+func (w *Writer) Frames() uint64  { return w.frames }
+func (w *Writer) Records() uint64 { return w.records }
+
+// Reader decodes a stream of frames (the TCP entry point). Next
+// returns records one at a time; io.EOF cleanly ends a stream only on
+// a frame boundary — EOF mid-frame is reported as
+// io.ErrUnexpectedEOF.
+type Reader struct {
+	br      *bufio.Reader
+	pending []Record
+	frames  uint64
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReader(r)}
+}
+
+// Next returns the next record. Framing errors are permanent: the
+// stream position is unknown after one, so callers should drop the
+// connection.
+func (r *Reader) Next() (Record, error) {
+	for len(r.pending) == 0 {
+		var hdr [HeaderSize]byte
+		if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
+			if err == io.ErrUnexpectedEOF {
+				return Record{}, fmt.Errorf("%w: truncated header", ErrBadFrame)
+			}
+			return Record{}, err // clean io.EOF between frames
+		}
+		n, err := checkHeader(hdr[:])
+		if err != nil {
+			return Record{}, err
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r.br, payload); err != nil {
+			return Record{}, fmt.Errorf("%w: truncated payload: %v", ErrBadFrame, err)
+		}
+		r.frames++
+		for off := 0; off < n; off += RecordSize {
+			rec, err := DecodeRecord(payload[off:])
+			if err != nil {
+				return Record{}, err
+			}
+			r.pending = append(r.pending, rec)
+		}
+	}
+	rec := r.pending[0]
+	r.pending = r.pending[1:]
+	return rec, nil
+}
+
+// Frames reports how many complete frames have been decoded.
+func (r *Reader) Frames() uint64 { return r.frames }
