@@ -1,6 +1,7 @@
 GO ?= go
+BIN := bin
 
-.PHONY: check vet race bench fuzz-smoke run-ddpmd
+.PHONY: check vet build race bench fuzz-smoke run-ddpmd clean
 
 ## check: vet, build, test and fuzz-smoke everything (the tier-1 gate)
 check: vet
@@ -11,6 +12,10 @@ check: vet
 ## vet: static analysis only
 vet:
 	$(GO) vet ./...
+
+## build: compile the command binaries into bin/ (never the repo root)
+build:
+	$(GO) build -o $(BIN)/ ./cmd/...
 
 ## race: run the internal packages under the race detector
 race:
@@ -26,8 +31,13 @@ bench:
 fuzz-smoke:
 	$(GO) test ./internal/wire/ -run xxx -fuzz FuzzRecordRoundTrip -fuzztime 5s
 	$(GO) test ./internal/wire/ -run xxx -fuzz FuzzReader -fuzztime 5s
+	$(GO) test ./internal/wire/ -run xxx -fuzz FuzzResyncReader -fuzztime 5s
 	$(GO) test ./internal/marking/ -run xxx -fuzz FuzzDDPMMarkIdentify -fuzztime 5s
 
 ## run-ddpmd: start the daemon on an 8x8 torus with the default ports
 run-ddpmd:
 	$(GO) run ./cmd/ddpmd serve -topo torus -dims 8x8 -tcp :7420 -http :7421
+
+## clean: remove built binaries
+clean:
+	rm -rf $(BIN)

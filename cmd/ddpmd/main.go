@@ -7,6 +7,7 @@
 //	ddpmd serve -topo torus -dims 8x8 -tcp :7420 -http :7421
 //	ddpmd serve -topo torus -dims 8x8 -replay trace.jsonl -http :7421
 //	ddpmd loadgen -topo torus -dims 8x8 -zombies 3 -addr 127.0.0.1:7420
+//	ddpmd loadgen -topo torus -dims 8x8 -addr 127.0.0.1:7420 -retry 8
 //	ddpmd loadgen -topo torus -dims 8x8 -jsonl flood.jsonl
 //
 // SIGTERM/SIGINT drain gracefully: listeners close, queued records are
@@ -71,6 +72,7 @@ func serve(args []string) {
 		blockN   = fs.Int64("block-threshold", 100, "identifications before auto-block")
 		blockTTL = fs.Duration("block-ttl", time.Minute, "auto-block TTL (0 = permanent)")
 		grace    = fs.Duration("drain-grace", 250*time.Millisecond, "per-connection drain grace")
+		idle     = fs.Duration("idle-timeout", 2*time.Minute, "shed TCP peers idle this long (negative disables)")
 		replay   = fs.String("replay", "", "replay a JSONL record/trace file instead of exiting on idle")
 		victim   = fs.Int("replay-victim", -1, "victim filter for trace replay (-1 = all forward hops)")
 	)
@@ -88,7 +90,7 @@ func serve(args []string) {
 			BlockThreshold: *blockN, BlockTTL: *blockTTL,
 		},
 		TCPAddr: *tcpAddr, UDPAddr: *udpAddr, HTTPAddr: *httpAddr,
-		DrainGrace: *grace,
+		DrainGrace: *grace, IdleTimeout: *idle,
 	})
 	if err != nil {
 		fatal(err)
@@ -121,8 +123,16 @@ func serve(args []string) {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
-	s := <-sig
-	fmt.Printf("ddpmd: %v, draining\n", s)
+	failed := false
+	select {
+	case s := <-sig:
+		fmt.Printf("ddpmd: %v, draining\n", s)
+	case err := <-d.Errors():
+		// A fatal background failure (e.g. the admin plane dying) must
+		// stop the daemon, not leave it serving blind.
+		fmt.Fprintln(os.Stderr, "ddpmd: fatal:", err)
+		failed = true
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := d.Shutdown(ctx); err != nil {
@@ -131,6 +141,9 @@ func serve(args []string) {
 	snap := d.Pipeline().Snapshot()
 	fmt.Printf("ddpmd: drained; processed %d records (%d dropped, %d identified, %d alarms, %d blocks)\n",
 		snap.Processed, snap.Dropped, snap.Identified, snap.Alarms, snap.Blocks)
+	if failed {
+		os.Exit(1)
+	}
 }
 
 func runLoadgen(args []string) {
@@ -147,6 +160,8 @@ func runLoadgen(args []string) {
 		victim   = fs.Int("victim", -1, "victim node (-1 = highest-numbered)")
 		addr     = fs.String("addr", "", "stream records to this ddpmd TCP address")
 		jsonl    = fs.String("jsonl", "", "write records as JSONL to this file (\"-\" = stdout)")
+		retry    = fs.Int("retry", 0, "reconnect attempts per delivery (0 = legacy fire-and-forget stream)")
+		buffer   = fs.Int("buffer", 1<<16, "unacked records the resilient client buffers across reconnects")
 	)
 	fs.Parse(args)
 	if (*addr == "") == (*jsonl == "") {
@@ -170,6 +185,24 @@ func runLoadgen(args []string) {
 		res.TopoName, res.Victim, res.Zombies, len(res.Records), res.AttackRecords)
 
 	switch {
+	case *addr != "" && *retry > 0:
+		// Resilient delivery: acked session with reconnect/backoff, so a
+		// daemon restart mid-stream costs retransmits, not records.
+		c := wire.NewClient(wire.ClientConfig{
+			Addr: *addr, Seed: *seed,
+			BufferRecords: *buffer, MaxAttempts: *retry,
+		})
+		if err := res.Stream(c.Send, 1024); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		}
+		if err := c.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: delivered %d of %d records to %s (%d lost, %d resent, %d reconnects)\n",
+			c.Delivered(), c.Sent(), *addr, c.Lost(), c.Resent(), c.Reconnects())
+		if c.Lost() > 0 {
+			os.Exit(1)
+		}
 	case *addr != "":
 		conn, err := net.Dial("tcp", *addr)
 		if err != nil {

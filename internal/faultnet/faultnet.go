@@ -1,0 +1,216 @@
+// Package faultnet wraps net.Conn, net.Listener and dial functions
+// with deterministic, seeded fault injection: write truncation, bit
+// flips, tiny write splits, stalls, mid-stream connection resets and
+// dial failures. It exists to prove the ingest path's recovery story —
+// the chaos tests stream a known flood through every fault at once and
+// assert nothing is lost or double-counted beyond what the exporter
+// itself reports.
+//
+// Faults are scheduled per connection from Config.Seed plus the
+// connection's ordinal, so a failing schedule replays exactly under
+// the same seed regardless of wall-clock timing.
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjected tags every fault this package injects, so tests (and
+// retry loops) can tell deliberate damage from real infrastructure
+// failure with errors.Is.
+var ErrInjected = errors.New("faultnet: injected fault")
+
+// Config selects which faults to inject and how often. The zero value
+// injects nothing — each fault arms only when its field is set.
+type Config struct {
+	// Seed drives every random decision. Connection i draws from an
+	// independent stream derived from Seed and i.
+	Seed uint64
+
+	// FlipPerByte is the probability that any single transferred byte
+	// gets one random bit flipped (applied to writes, and to reads
+	// when ReadFaults is set).
+	FlipPerByte float64
+
+	// CutAfter injects a mid-stream reset: each connection is closed
+	// after roughly this many written bytes (uniform in [CutAfter/2,
+	// 3·CutAfter/2)). The write that crosses the cut returns
+	// ErrInjected.
+	CutAfter int
+
+	// Truncate drops a random tail of the final write before a cut —
+	// the peer sees a frame sliced mid-record.
+	Truncate bool
+
+	// MaxWriteChunk splits writes into chunks of at most this many
+	// bytes, exercising partial-read paths on the peer.
+	MaxWriteChunk int
+
+	// StallEvery sleeps Stall after roughly every StallEvery written
+	// bytes — a slow, lossless peer.
+	StallEvery int
+	Stall      time.Duration
+
+	// FailDial is the probability that a dial attempt fails outright
+	// before any connection exists.
+	FailDial float64
+
+	// ReadFaults extends FlipPerByte and StallEvery to the read path
+	// (for a wrapped client conn: the server→client ack direction).
+	ReadFaults bool
+}
+
+// WrapDial returns a dial function that injects dial failures and
+// wraps every established connection with this Config's faults.
+// Connections are numbered in dial order.
+func (cfg Config) WrapDial(dial func() (net.Conn, error)) func() (net.Conn, error) {
+	var mu sync.Mutex
+	dialRng := rand.New(rand.NewSource(int64(cfg.Seed) ^ 0x5EED))
+	n := uint64(0)
+	return func() (net.Conn, error) {
+		mu.Lock()
+		fail := cfg.FailDial > 0 && dialRng.Float64() < cfg.FailDial
+		seq := n
+		n++
+		mu.Unlock()
+		if fail {
+			return nil, fmt.Errorf("%w: dial refused (conn %d)", ErrInjected, seq)
+		}
+		conn, err := dial()
+		if err != nil {
+			return nil, err
+		}
+		return cfg.Wrap(conn, seq), nil
+	}
+}
+
+// Listener wraps ln so every accepted connection carries this Config's
+// faults — the server-side mirror of WrapDial.
+func (cfg Config) Listener(ln net.Listener) net.Listener {
+	return &listener{Listener: ln, cfg: cfg}
+}
+
+type listener struct {
+	net.Listener
+	cfg Config
+	mu  sync.Mutex
+	n   uint64
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	seq := l.n
+	l.n++
+	l.mu.Unlock()
+	return l.cfg.Wrap(conn, seq), nil
+}
+
+// Wrap returns conn with faults injected, drawing from the stream for
+// connection ordinal seq.
+func (cfg Config) Wrap(conn net.Conn, seq uint64) net.Conn {
+	c := &Conn{
+		Conn: conn,
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(int64(cfg.Seed*0x9E3779B97F4A7C15 + seq + 1))),
+	}
+	c.cutAt = -1
+	if cfg.CutAfter > 0 {
+		c.cutAt = cfg.CutAfter/2 + c.rng.Intn(cfg.CutAfter)
+	}
+	return c
+}
+
+// Conn is a fault-injecting net.Conn. Safe for one reader plus one
+// writer goroutine, like net.TCPConn.
+type Conn struct {
+	net.Conn
+	cfg Config
+
+	mu      sync.Mutex // guards rng and byte counters
+	rng     *rand.Rand
+	written int
+	read    int
+	cutAt   int  // written-bytes threshold for the injected reset; -1 = never
+	cut     bool // the reset has fired; all further writes fail
+}
+
+// corrupt flips bits in buf in place per FlipPerByte.
+func (c *Conn) corrupt(buf []byte) {
+	if c.cfg.FlipPerByte <= 0 {
+		return
+	}
+	for i := range buf {
+		if c.rng.Float64() < c.cfg.FlipPerByte {
+			buf[i] ^= 1 << c.rng.Intn(8)
+		}
+	}
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		c.mu.Lock()
+		if c.cut {
+			c.mu.Unlock()
+			return total, fmt.Errorf("%w: write on cut connection", ErrInjected)
+		}
+		chunk := len(p)
+		if c.cfg.MaxWriteChunk > 0 && chunk > c.cfg.MaxWriteChunk {
+			chunk = 1 + c.rng.Intn(c.cfg.MaxWriteChunk)
+		}
+		cut := c.cutAt >= 0 && c.written+chunk >= c.cutAt
+		if cut {
+			c.cut = true
+			chunk = c.cutAt - c.written
+			if c.cfg.Truncate && chunk > 0 {
+				chunk = c.rng.Intn(chunk + 1)
+			}
+		}
+		buf := append([]byte(nil), p[:chunk]...) // never corrupt the caller's bytes
+		c.corrupt(buf)
+		stall := c.cfg.StallEvery > 0 && (c.written+chunk)/c.cfg.StallEvery > c.written/c.cfg.StallEvery
+		c.written += chunk
+		c.mu.Unlock()
+
+		if stall && c.cfg.Stall > 0 {
+			time.Sleep(c.cfg.Stall)
+		}
+		if len(buf) > 0 {
+			n, err := c.Conn.Write(buf)
+			total += n
+			if err != nil {
+				return total, err
+			}
+		}
+		if cut {
+			c.Conn.Close() // mid-stream reset: the peer sees a dead conn
+			return total, fmt.Errorf("%w: connection cut after %d bytes", ErrInjected, c.written)
+		}
+		p = p[chunk:]
+	}
+	return total, nil
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 && c.cfg.ReadFaults {
+		c.mu.Lock()
+		c.corrupt(p[:n])
+		stall := c.cfg.StallEvery > 0 && (c.read+n)/c.cfg.StallEvery > c.read/c.cfg.StallEvery
+		c.read += n
+		c.mu.Unlock()
+		if stall && c.cfg.Stall > 0 {
+			time.Sleep(c.cfg.Stall)
+		}
+	}
+	return n, err
+}

@@ -1,0 +1,262 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns a wrapped client end and the raw server end of an
+// in-process TCP connection (net.Pipe has no Close-unblocks-Read
+// semantics mismatch issues, but real TCP matches production).
+func pipePair(t *testing.T, cfg Config) (net.Conn, net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() { client.Close(); r.c.Close() })
+	return cfg.Wrap(client, 0), r.c
+}
+
+func TestCleanConfigIsTransparent(t *testing.T) {
+	c, server := pipePair(t, Config{Seed: 1})
+	msg := []byte("hello, unfaulted world")
+	done := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, len(msg))
+		io.ReadFull(server, buf)
+		done <- buf
+	}()
+	n, err := c.Write(msg)
+	if err != nil || n != len(msg) {
+		t.Fatalf("write: n=%d err=%v", n, err)
+	}
+	if got := <-done; !bytes.Equal(got, msg) {
+		t.Fatalf("got %q want %q", got, msg)
+	}
+}
+
+func TestCutClosesConnAndReturnsErrInjected(t *testing.T) {
+	cfg := Config{Seed: 42, CutAfter: 64}
+	c, server := pipePair(t, cfg)
+	var wrote int
+	var err error
+	buf := make([]byte, 16)
+	for i := 0; i < 100; i++ {
+		var n int
+		n, err = c.Write(buf)
+		wrote += n
+		if err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v (wrote %d)", err, wrote)
+	}
+	// CutAfter=64 cuts in [32, 96); nothing past the cut leaves.
+	if wrote >= 96 {
+		t.Errorf("wrote %d bytes, cut should land before 96", wrote)
+	}
+	// The peer sees EOF: the underlying conn really closed.
+	server.SetReadDeadline(time.Now().Add(2 * time.Second))
+	drained, rerr := io.ReadAll(server)
+	if rerr != nil {
+		t.Fatalf("peer read: %v", rerr)
+	}
+	if len(drained) != wrote {
+		t.Errorf("peer received %d bytes, wrapper reported %d", len(drained), wrote)
+	}
+	// Writes after the cut fail immediately instead of panicking.
+	if _, err := c.Write(buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-cut write: %v, want ErrInjected", err)
+	}
+}
+
+func TestTruncateMayShortenFinalWrite(t *testing.T) {
+	cfg := Config{Seed: 9, CutAfter: 64, Truncate: true}
+	c, server := pipePair(t, cfg)
+	var reported int
+	buf := make([]byte, 300)
+	n, err := c.Write(buf)
+	reported += n
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	server.SetReadDeadline(time.Now().Add(2 * time.Second))
+	drained, rerr := io.ReadAll(server)
+	if rerr != nil {
+		t.Fatalf("peer read: %v", rerr)
+	}
+	if len(drained) != reported {
+		t.Errorf("peer received %d, wrapper reported %d", len(drained), reported)
+	}
+	if reported >= 96 {
+		t.Errorf("truncated cut delivered %d bytes, want < 96", reported)
+	}
+}
+
+func TestBitFlipsCorruptCopyNotCaller(t *testing.T) {
+	cfg := Config{Seed: 5, FlipPerByte: 0.5}
+	c, server := pipePair(t, cfg)
+	orig := bytes.Repeat([]byte{0xAA}, 1024)
+	mine := append([]byte(nil), orig...)
+	done := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, len(orig))
+		io.ReadFull(server, buf)
+		done <- buf
+	}()
+	if _, err := c.Write(mine); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mine, orig) {
+		t.Fatal("Write corrupted the caller's buffer")
+	}
+	got := <-done
+	if bytes.Equal(got, orig) {
+		t.Fatal("0.5 flip probability over 1 KiB left every byte intact")
+	}
+}
+
+func TestWriteChunkSplitting(t *testing.T) {
+	// countingConn records the size of every underlying write.
+	cfg := Config{Seed: 3, MaxWriteChunk: 7}
+	var sizes []int
+	cc := &countingConn{sizes: &sizes}
+	c := cfg.Wrap(cc, 0)
+	if _, err := c.Write(make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range sizes {
+		if s < 1 || s > 7 {
+			t.Fatalf("chunk size %d outside [1,7]", s)
+		}
+		total += s
+	}
+	if total != 100 {
+		t.Fatalf("chunks total %d, want 100", total)
+	}
+	if len(sizes) < 100/7 {
+		t.Fatalf("only %d chunks for a 100-byte write", len(sizes))
+	}
+}
+
+type countingConn struct {
+	net.Conn // nil: only Write is used
+	sizes    *[]int
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	*c.sizes = append(*c.sizes, len(p))
+	return len(p), nil
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	// The same seed and ordinal produce the identical fault schedule:
+	// same corrupted bytes, same cut offset.
+	run := func() ([]byte, int, error) {
+		cfg := Config{Seed: 77, FlipPerByte: 0.05, CutAfter: 200, MaxWriteChunk: 13}
+		var sink bytes.Buffer
+		c := cfg.Wrap(&sinkConn{w: &sink}, 4)
+		n, err := c.Write(make([]byte, 500))
+		return sink.Bytes(), n, err
+	}
+	b1, n1, e1 := run()
+	b2, n2, e2 := run()
+	if n1 != n2 || !bytes.Equal(b1, b2) || (e1 == nil) != (e2 == nil) {
+		t.Fatalf("schedule not deterministic: n=%d/%d bytes-equal=%v", n1, n2, bytes.Equal(b1, b2))
+	}
+	if !errors.Is(e1, ErrInjected) {
+		t.Fatalf("500-byte write past CutAfter=200 survived: %v", e1)
+	}
+}
+
+type sinkConn struct {
+	net.Conn
+	w *bytes.Buffer
+}
+
+func (c *sinkConn) Write(p []byte) (int, error) { return c.w.Write(p) }
+func (c *sinkConn) Close() error                { return nil }
+
+func TestFailDial(t *testing.T) {
+	cfg := Config{Seed: 1, FailDial: 1.0}
+	dial := cfg.WrapDial(func() (net.Conn, error) {
+		t.Fatal("underlying dial reached despite FailDial=1")
+		return nil, nil
+	})
+	for i := 0; i < 3; i++ {
+		if _, err := dial(); !errors.Is(err, ErrInjected) {
+			t.Fatalf("dial %d: %v, want ErrInjected", i, err)
+		}
+	}
+}
+
+func TestReadFaultsFlipInbound(t *testing.T) {
+	cfg := Config{Seed: 8, FlipPerByte: 0.5, ReadFaults: true}
+	c, server := pipePair(t, cfg)
+	orig := bytes.Repeat([]byte{0x55}, 1024)
+	go func() {
+		server.Write(orig)
+	}()
+	buf := make([]byte, len(orig))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(buf, orig) {
+		t.Fatal("ReadFaults left the inbound stream intact")
+	}
+}
+
+func TestListenerWrapsAccepted(t *testing.T) {
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Seed: 2, CutAfter: 32}
+	ln := cfg.Listener(raw)
+	defer ln.Close()
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		_, werr := conn.Write(make([]byte, 256))
+		done <- werr
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	io.Copy(io.Discard, client)
+	if werr := <-done; !errors.Is(werr, ErrInjected) {
+		t.Fatalf("accepted conn write: %v, want ErrInjected cut", werr)
+	}
+}

@@ -7,6 +7,7 @@
 package loadgen
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/attack"
@@ -141,4 +142,23 @@ func sortNodes(ns []topology.NodeID) {
 			ns[j], ns[j-1] = ns[j-1], ns[j]
 		}
 	}
+}
+
+// Stream hands the result's records to send in delivery order, in
+// batches of at most batchSize (default 1024). Send errors from a
+// resilient exporter are advisory shed notices, so Stream keeps
+// delivering the remaining batches either way — every record is
+// offered exactly once — and returns the collected errors.
+func (r *Result) Stream(send func([]wire.Record) error, batchSize int) error {
+	if batchSize <= 0 {
+		batchSize = 1024
+	}
+	var errs []error
+	for i := 0; i < len(r.Records); i += batchSize {
+		end := min(i+batchSize, len(r.Records))
+		if err := send(r.Records[i:end]); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
 }

@@ -1,0 +1,163 @@
+package pipeline_test
+
+// The chaos acceptance test for fault-tolerant ingest: a seeded flood
+// is streamed into a live daemon through a network that flips bits,
+// splits writes, stalls, refuses dials and cuts connections mid-frame —
+// and the daemon must still end up with exactly the records the
+// exporter client reports as delivered: no silent loss, no double
+// counting. Identification over what arrived must match the offline
+// identifier over the same (ground truth minus acknowledged-lost)
+// record multiset.
+
+import (
+	"context"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultnet"
+	"repro/internal/loadgen"
+	"repro/internal/marking"
+	"repro/internal/pipeline"
+	"repro/internal/topology"
+	"repro/internal/traceback"
+	"repro/internal/wire"
+)
+
+func TestChaosIngestLosesNothingSilently(t *testing.T) {
+	const blockThreshold = 100
+
+	// 1. Seeded ground truth: the same flood scenario the clean e2e
+	// test uses.
+	res, err := loadgen.Generate(loadgen.Scenario{
+		Topo: core.Torus2D(8), Zombies: 3, Seed: 42,
+		AttackGap: 2, Background: 0.002, Warmup: 3000, Attack: 6000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AttackRecords < 1000 {
+		t.Fatalf("weak scenario: %d attack records", res.AttackRecords)
+	}
+
+	// 2. A live daemon with queues big enough that backpressure cannot
+	// shed — any discrepancy is then the ingest path's fault alone.
+	d, err := pipeline.Start(pipeline.ServerConfig{
+		Pipeline: pipeline.Config{
+			Net: topology.NewTorus2D(8), Shards: 4, QueueLen: 1 << 15,
+			BlockThreshold: blockThreshold, BlockTTL: time.Hour,
+		},
+		TCPAddr:  "127.0.0.1:0",
+		HTTPAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Shutdown(context.Background())
+
+	// 3. Every fault at once, deterministically scheduled: bit flips
+	// (caught by the sealed CRC), writes shredded into tiny chunks,
+	// stalls, dial refusals, and a mid-stream cut roughly every 16 KiB.
+	faults := faultnet.Config{
+		Seed:          7,
+		FlipPerByte:   0.0005,
+		CutAfter:      16 << 10,
+		Truncate:      true,
+		MaxWriteChunk: 500,
+		StallEvery:    8 << 10,
+		Stall:         time.Millisecond,
+		FailDial:      0.2,
+		ReadFaults:    true, // acks get corrupted too
+	}
+	addr := d.TCPAddr().String()
+	var lost []wire.Record
+	c := wire.NewClient(wire.ClientConfig{
+		Dial:        faults.WrapDial(func() (net.Conn, error) { return net.Dial("tcp", addr) }),
+		Seed:        13,
+		MaxBatch:    256,
+		MaxAttempts: 8,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  20 * time.Millisecond,
+		AckTimeout:  5 * time.Second,
+		OnLost:      func(r wire.Record) { lost = append(lost, r) },
+	})
+
+	// 4. Stream the whole scenario. Send errors are advisory (counted
+	// shed), never fatal.
+	res.Stream(c.Send, 200)
+	c.Close()
+
+	// 5. The exactly-once invariant. After Close the client's buffer is
+	// empty, so sent = delivered + lost with every loss announced via
+	// OnLost; the daemon must process precisely the delivered records.
+	if c.Sent() != uint64(len(res.Records)) {
+		t.Fatalf("client sent %d of %d records", c.Sent(), len(res.Records))
+	}
+	if c.Delivered()+c.Lost() != c.Sent() {
+		t.Fatalf("counters leak: delivered %d + lost %d != sent %d", c.Delivered(), c.Lost(), c.Sent())
+	}
+	if uint64(len(lost)) != c.Lost() {
+		t.Fatalf("OnLost saw %d records, counter says %d", len(lost), c.Lost())
+	}
+	p := d.Pipeline()
+	deadline := time.Now().Add(30 * time.Second)
+	for p.C.Processed.Load() < c.Delivered() {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon processed %d, client delivered %d", p.C.Processed.Load(), c.Delivered())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Give any stray duplicate a moment to land, then require equality.
+	time.Sleep(50 * time.Millisecond)
+	if got := p.C.Processed.Load(); got != c.Delivered() {
+		t.Fatalf("daemon processed %d records, client delivered %d — double counting", got, c.Delivered())
+	}
+	if p.C.Dropped.Load() != 0 || p.C.RejectedClosed.Load() != 0 {
+		t.Fatalf("pipeline shed records (dropped=%d rejectedClosed=%d); invariant void",
+			p.C.Dropped.Load(), p.C.RejectedClosed.Load())
+	}
+
+	// 6. The chaos actually engaged: connections were cut and re-dialed,
+	// frames were resent.
+	if c.Reconnects() == 0 {
+		t.Error("no reconnects — the fault schedule never cut a connection")
+	}
+	if c.Resent() == 0 {
+		t.Error("no resent records — cuts never landed mid-stream")
+	}
+
+	// 7. Identification over what arrived equals the offline answer over
+	// ground truth minus exactly the acknowledged-lost multiset.
+	remaining := make(map[wire.Record]int, len(lost))
+	for _, r := range lost {
+		remaining[r]++
+	}
+	scheme, err := marking.NewDDPM(topology.NewTorus2D(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline := traceback.NewDDPMIdentifier(scheme, res.Victim)
+	delivered := 0
+	for _, rec := range res.Records {
+		if remaining[rec] > 0 {
+			remaining[rec]--
+			continue
+		}
+		offline.ObserveMF(rec.MF)
+		delivered++
+	}
+	if uint64(delivered) != c.Delivered() {
+		t.Fatalf("lost-record bookkeeping broken: %d delivered by subtraction, client says %d",
+			delivered, c.Delivered())
+	}
+	want := offline.SourcesAbove(blockThreshold)
+	got := p.SourcesAbove(res.Victim, blockThreshold)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("online identification %v != offline-over-delivered %v", got, want)
+	}
+	if !reflect.DeepEqual(want, res.Zombies) {
+		t.Logf("note: loss changed the identified set vs ground truth %v -> %v", res.Zombies, want)
+	}
+}

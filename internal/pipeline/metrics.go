@@ -21,6 +21,7 @@ func (p *Pipeline) WritePrometheus(w io.Writer, uptime time.Duration) {
 
 	counter("ddpmd_ingested_total", "records offered to the pipeline", s.Ingested)
 	counter("ddpmd_dropped_total", "records shed by shard-queue backpressure", s.Dropped)
+	counter("ddpmd_rejected_closed_total", "records submitted after pipeline close", s.RejectedClosed)
 	counter("ddpmd_topo_mismatch_total", "records rejected for a foreign topology id", s.TopoMismatch)
 	counter("ddpmd_bad_victim_total", "records rejected for an out-of-range victim node", s.BadVictim)
 	counter("ddpmd_processed_total", "records consumed by shard workers", s.Processed)

@@ -93,28 +93,30 @@ func (c *Config) applyDefaults() error {
 	return nil
 }
 
-// Counters is the pipeline's atomic metric block. All fields are
-// monotone totals except none; read them with the Snapshot method.
+// Counters is the pipeline's atomic metric block. Every field is a
+// monotone total; read them consistently with the Snapshot method
+// (which adds the non-monotone gauges: queue depths, active blocks).
 type Counters struct {
-	Ingested     atomic.Uint64 // records offered to Submit
-	Dropped      atomic.Uint64 // backpressure: shard queue full
-	TopoMismatch atomic.Uint64 // record's TopoID != the pipeline's
-	BadVictim    atomic.Uint64 // victim outside the topology
-	Processed    atomic.Uint64 // records a shard worker consumed
-	Identified   atomic.Uint64 // MF decoded to an in-topology source
-	Undecodable  atomic.Uint64 // MF decode rejects
-	BlockedHits  atomic.Uint64 // records from an actively blocked source
-	Alarms       atomic.Uint64 // victims whose detector fired (first fire each)
-	Blocks       atomic.Uint64 // auto-block insertions
+	Ingested       atomic.Uint64 // records offered to Submit
+	Dropped        atomic.Uint64 // backpressure: shard queue full
+	RejectedClosed atomic.Uint64 // Submit after Close — a lifecycle bug upstream, not load shed
+	TopoMismatch   atomic.Uint64 // record's TopoID != the pipeline's
+	BadVictim      atomic.Uint64 // victim outside the topology
+	Processed      atomic.Uint64 // records a shard worker consumed
+	Identified     atomic.Uint64 // MF decoded to an in-topology source
+	Undecodable    atomic.Uint64 // MF decode rejects
+	BlockedHits    atomic.Uint64 // records from an actively blocked source
+	Alarms         atomic.Uint64 // victims whose detector fired (first fire each)
+	Blocks         atomic.Uint64 // auto-block insertions
 }
 
 // Snapshot is a plain-value copy of the counters plus derived state.
 type Snapshot struct {
-	Ingested, Dropped, TopoMismatch, BadVictim uint64
-	Processed, Identified, Undecodable         uint64
-	BlockedHits, Alarms, Blocks                uint64
-	QueueDepths                                []int
-	ActiveBlocks                               int
+	Ingested, Dropped, RejectedClosed, TopoMismatch, BadVictim uint64
+	Processed, Identified, Undecodable                         uint64
+	BlockedHits, Alarms, Blocks                                uint64
+	QueueDepths                                                []int
+	ActiveBlocks                                               int
 }
 
 // victimState is everything the pipeline keeps per victim node. It is
@@ -195,7 +197,9 @@ func (p *Pipeline) Submit(rec wire.Record) bool {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	if p.closed {
-		p.C.Dropped.Add(1)
+		// Not backpressure: the caller outlived the pipeline. Count it
+		// apart from Dropped so load shed stays a clean signal.
+		p.C.RejectedClosed.Add(1)
 		return false
 	}
 	s := p.shards[int(rec.Victim)%len(p.shards)]
@@ -350,17 +354,18 @@ func (p *Pipeline) Victims() []topology.NodeID {
 func (p *Pipeline) Snapshot() Snapshot {
 	p.bl.Expire(p.cfg.Now())
 	snap := Snapshot{
-		Ingested:     p.C.Ingested.Load(),
-		Dropped:      p.C.Dropped.Load(),
-		TopoMismatch: p.C.TopoMismatch.Load(),
-		BadVictim:    p.C.BadVictim.Load(),
-		Processed:    p.C.Processed.Load(),
-		Identified:   p.C.Identified.Load(),
-		Undecodable:  p.C.Undecodable.Load(),
-		BlockedHits:  p.C.BlockedHits.Load(),
-		Alarms:       p.C.Alarms.Load(),
-		Blocks:       p.C.Blocks.Load(),
-		ActiveBlocks: p.bl.Len(),
+		Ingested:       p.C.Ingested.Load(),
+		Dropped:        p.C.Dropped.Load(),
+		RejectedClosed: p.C.RejectedClosed.Load(),
+		TopoMismatch:   p.C.TopoMismatch.Load(),
+		BadVictim:      p.C.BadVictim.Load(),
+		Processed:      p.C.Processed.Load(),
+		Identified:     p.C.Identified.Load(),
+		Undecodable:    p.C.Undecodable.Load(),
+		BlockedHits:    p.C.BlockedHits.Load(),
+		Alarms:         p.C.Alarms.Load(),
+		Blocks:         p.C.Blocks.Load(),
+		ActiveBlocks:   p.bl.Len(),
 	}
 	for _, s := range p.shards {
 		snap.QueueDepths = append(snap.QueueDepths, len(s.ch))

@@ -119,9 +119,16 @@ func TestBackpressureDropsInsteadOfBlocking(t *testing.T) {
 	if got := p.C.Processed.Load(); got != 5 {
 		t.Errorf("processed = %d after drain, want 5", got)
 	}
-	// Submit after Close sheds too.
+	// Submit after Close is rejected and counted apart from load shed:
+	// Dropped stays a pure backpressure signal.
 	if p.Submit(rec) {
 		t.Error("submit after Close reported success")
+	}
+	if got := p.C.RejectedClosed.Load(); got != 1 {
+		t.Errorf("rejected-closed = %d, want 1", got)
+	}
+	if got := p.C.Dropped.Load(); got != 1 {
+		t.Errorf("dropped = %d after post-Close submit, want still 1", got)
 	}
 }
 
@@ -243,7 +250,8 @@ func waitProcessed(t *testing.T, p *Pipeline) {
 	t.Helper()
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		queued := p.C.Ingested.Load() - p.C.Dropped.Load() - p.C.TopoMismatch.Load() - p.C.BadVictim.Load()
+		queued := p.C.Ingested.Load() - p.C.Dropped.Load() - p.C.RejectedClosed.Load() -
+			p.C.TopoMismatch.Load() - p.C.BadVictim.Load()
 		if p.C.Processed.Load() == queued {
 			return
 		}

@@ -21,9 +21,9 @@ type ServerConfig struct {
 	Pipeline Config
 
 	// TCPAddr accepts length-prefixed wire frames over stream
-	// connections; UDPAddr accepts one frame per datagram; HTTPAddr is
-	// the admin plane (/healthz, /metrics, /blocklist). Empty
-	// disables that listener; ":0" picks an ephemeral port.
+	// connections; UDPAddr accepts frames packed into datagrams;
+	// HTTPAddr is the admin plane (/healthz, /metrics, /blocklist).
+	// Empty disables that listener; ":0" picks an ephemeral port.
 	TCPAddr  string
 	UDPAddr  string
 	HTTPAddr string
@@ -32,6 +32,21 @@ type ServerConfig struct {
 	// delivering already-sent frames before cutting them (default
 	// 250ms).
 	DrainGrace time.Duration
+
+	// IdleTimeout sheds TCP peers that go this long without completing
+	// a frame (slowloris protection) and bounds ack writes. Default 2
+	// minutes; negative disables.
+	IdleTimeout time.Duration
+}
+
+// session is the server half of a wire exporter session: the cumulative
+// count of records accepted for one stream id. The mutex serializes
+// ingest across connections claiming the same stream (a reconnecting
+// client may briefly race its own dying conn), which is what makes
+// dedup-by-seq exact.
+type session struct {
+	mu    sync.Mutex
+	count uint64
 }
 
 // Daemon is the running ddpmd service: ingest listeners feeding a
@@ -46,11 +61,25 @@ type Daemon struct {
 	httpLn  net.Listener
 	httpSrv *http.Server
 
-	draining    atomic.Bool
-	decodeErrs  atomic.Uint64
+	draining atomic.Bool
+	drainAt  atomic.Int64 // drain deadline, unix nanos; 0 = not draining
+
+	decodeErrs    atomic.Uint64
+	resyncSkipped atomic.Uint64
+	connsAccepted atomic.Uint64
+	idleTimeouts  atomic.Uint64
+	sessionCount  atomic.Uint64
+	sessionRecs   atomic.Uint64
+
 	connsMu     sync.Mutex
 	conns       map[net.Conn]struct{}
+	sessMu      sync.Mutex
+	sessions    map[uint64]*session
 	ingestersWG sync.WaitGroup
+
+	errCh  chan error
+	failMu sync.Mutex
+	failed error
 }
 
 // Start builds the pipeline, binds every configured listener and
@@ -59,11 +88,19 @@ func Start(cfg ServerConfig) (*Daemon, error) {
 	if cfg.DrainGrace <= 0 {
 		cfg.DrainGrace = 250 * time.Millisecond
 	}
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = 2 * time.Minute
+	}
 	p, err := New(cfg.Pipeline)
 	if err != nil {
 		return nil, err
 	}
-	d := &Daemon{cfg: cfg, p: p, start: time.Now(), conns: make(map[net.Conn]struct{})}
+	d := &Daemon{
+		cfg: cfg, p: p, start: time.Now(),
+		conns:    make(map[net.Conn]struct{}),
+		sessions: make(map[uint64]*session),
+		errCh:    make(chan error, 1),
+	}
 	fail := func(err error) (*Daemon, error) {
 		d.closeListeners()
 		p.Close()
@@ -92,15 +129,48 @@ func Start(cfg ServerConfig) (*Daemon, error) {
 		mux.HandleFunc("/metrics", d.handleMetrics)
 		mux.HandleFunc("/blocklist", d.handleBlocklist)
 		d.httpSrv = &http.Server{Handler: mux}
-		go d.httpSrv.Serve(d.httpLn)
+		go func() {
+			if err := d.httpSrv.Serve(d.httpLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				d.fail(fmt.Errorf("pipeline: admin serve: %w", err))
+			}
+		}()
 	}
 	return d, nil
 }
 
+// fail records the daemon's first fatal background error and signals
+// Errors(). Later errors are dropped: the first one is the cause.
+func (d *Daemon) fail(err error) {
+	d.failMu.Lock()
+	if d.failed == nil {
+		d.failed = err
+	}
+	d.failMu.Unlock()
+	select {
+	case d.errCh <- err:
+	default:
+	}
+}
+
+// Err reports the daemon's first fatal background error (nil while
+// healthy). A failed daemon also reports unready on /healthz.
+func (d *Daemon) Err() error {
+	d.failMu.Lock()
+	defer d.failMu.Unlock()
+	return d.failed
+}
+
+// Errors delivers fatal background errors — e.g. the admin plane dying
+// under the daemon — so a supervisor can exit instead of serving
+// blindly with no metrics endpoint.
+func (d *Daemon) Errors() <-chan error { return d.errCh }
+
 // Pipeline exposes the underlying pipeline (tests, embedding).
 func (d *Daemon) Pipeline() *Pipeline { return d.p }
 
-// DecodeErrors reports wire-level decode failures across listeners.
+// DecodeErrors reports wire-level decode failures across listeners:
+// rejected datagrams, per-frame failures that killed a strict stream,
+// and each resync skip on a lenient stream.
 func (d *Daemon) DecodeErrors() uint64 { return d.decodeErrs.Load() }
 
 // Draining reports whether Shutdown has begun.
@@ -135,13 +205,14 @@ func (d *Daemon) HTTPAddr() net.Addr {
 // records are never discarded.
 func (d *Daemon) Shutdown(ctx context.Context) error {
 	d.draining.Store(true)
+	deadline := time.Now().Add(d.cfg.DrainGrace)
+	d.drainAt.Store(deadline.UnixNano())
 	if d.tcpLn != nil {
 		d.tcpLn.Close()
 	}
 	if d.udpConn != nil {
 		d.udpConn.SetReadDeadline(time.Now()) // unblock the udp loop
 	}
-	deadline := time.Now().Add(d.cfg.DrainGrace)
 	d.connsMu.Lock()
 	for c := range d.conns {
 		c.SetReadDeadline(deadline)
@@ -177,6 +248,7 @@ func (d *Daemon) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		d.connsAccepted.Add(1)
 		d.connsMu.Lock()
 		d.conns[conn] = struct{}{}
 		d.connsMu.Unlock()
@@ -185,6 +257,34 @@ func (d *Daemon) acceptLoop() {
 	}
 }
 
+// armDeadline sets the idle read deadline, always ending at or before
+// the drain deadline once Shutdown has begun. Re-checking drainAt after
+// the idle arm closes the race where Shutdown stamps every conn and
+// this conn then extends itself past the grace window.
+func (d *Daemon) armDeadline(conn net.Conn) {
+	if t := d.cfg.IdleTimeout; t > 0 {
+		conn.SetReadDeadline(time.Now().Add(t))
+	}
+	if at := d.drainAt.Load(); at != 0 {
+		conn.SetReadDeadline(time.Unix(0, at))
+	}
+}
+
+// noteReadErr classifies a stream read failure into the counters.
+func (d *Daemon) noteReadErr(err error) {
+	if errors.Is(err, wire.ErrBadFrame) {
+		d.decodeErrs.Add(1)
+		return
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() && !d.draining.Load() {
+		d.idleTimeouts.Add(1)
+	}
+}
+
+// serveConn dispatches a TCP stream on its first frame: a hello starts
+// a strict acked session (the exporter client); anything else is a
+// legacy plain stream served leniently with resync.
 func (d *Daemon) serveConn(conn net.Conn) {
 	defer d.ingestersWG.Done()
 	defer func() {
@@ -195,17 +295,178 @@ func (d *Daemon) serveConn(conn net.Conn) {
 	}()
 	if d.draining.Load() {
 		// Accepted in the race with Shutdown: honor the drain deadline.
-		conn.SetReadDeadline(time.Now().Add(d.cfg.DrainGrace))
+		conn.SetReadDeadline(time.Unix(0, d.drainAt.Load()))
 	}
 	r := wire.NewReader(conn)
+	d.armDeadline(conn)
+	ftype, payload, err := r.ReadFrame()
+	if err != nil {
+		d.noteReadErr(err)
+		return
+	}
+	if ftype == wire.TypeHello {
+		d.serveSession(conn, r, payload)
+		return
+	}
+	d.servePlain(conn, r, ftype, payload)
+}
+
+// servePlain consumes a legacy stream with resync enabled: a framing
+// error skips forward to the next magic (counted per skip in
+// DecodeErrors, per byte in the skipped-bytes counter) instead of
+// killing the connection. There are no acks, so leniency beats
+// strictness — dropping the conn would lose everything in flight.
+func (d *Daemon) servePlain(conn net.Conn, r *wire.Reader, ftype uint8, payload []byte) {
+	r.EnableResync()
+	var recs []wire.Record
+	var lastResyncs, lastSkipped uint64
 	for {
-		rec, err := r.Next()
-		if err != nil {
-			if errors.Is(err, wire.ErrBadFrame) {
-				// Stream position unknown after a framing error; the
-				// only safe move is dropping the connection.
+		switch ftype {
+		case wire.TypeRecords:
+			d.submitRecordsPayload(payload)
+		case wire.TypeSealed:
+			// Sealed frames outside a session still carry records; the
+			// CRC makes them safe to tally without acks.
+			_, batch, err := wire.ParseSealed(payload, recs[:0])
+			if err != nil {
 				d.decodeErrs.Add(1)
+			} else {
+				for _, rec := range batch {
+					d.p.Submit(rec)
+				}
+				recs = batch[:0]
 			}
+		default:
+			// Hello handled by the dispatcher; stray acks are noise.
+		}
+		d.armDeadline(conn)
+		var err error
+		ftype, payload, err = r.ReadFrame()
+		if rs := r.Resyncs(); rs != lastResyncs {
+			d.decodeErrs.Add(rs - lastResyncs)
+			lastResyncs = rs
+		}
+		if sk := r.SkippedBytes(); sk != lastSkipped {
+			d.resyncSkipped.Add(sk - lastSkipped)
+			lastSkipped = sk
+		}
+		if err != nil {
+			d.noteReadErr(err)
+			return
+		}
+	}
+}
+
+// serveSession speaks the exporter session protocol: ack the hello at
+// the stream's cumulative count, then for each sealed frame skip the
+// already-accepted prefix, submit the rest, advance the count and ack.
+// The reader stays strict — any framing damage drops the connection and
+// the client resends from the last acked count, which is exactly what
+// keeps accepted records counted once.
+func (d *Daemon) serveSession(conn net.Conn, r *wire.Reader, helloPayload []byte) {
+	streamID, base, err := wire.ParseHello(helloPayload)
+	if err != nil {
+		d.decodeErrs.Add(1)
+		return
+	}
+	sess := d.session(streamID)
+	var scratch []byte
+	var recs []wire.Record
+	if !d.ackHello(conn, sess, base, &scratch) {
+		return
+	}
+	for {
+		d.armDeadline(conn)
+		ftype, payload, err := r.ReadFrame()
+		if err != nil {
+			d.noteReadErr(err)
+			return
+		}
+		switch ftype {
+		case wire.TypeSealed:
+			seq, batch, err := wire.ParseSealed(payload, recs[:0])
+			if err != nil {
+				d.decodeErrs.Add(1)
+				return // strict: the client resends from the acked count
+			}
+			recs = batch[:0]
+			sess.mu.Lock()
+			if seq > sess.count {
+				sess.mu.Unlock()
+				d.decodeErrs.Add(1)
+				return // gap before the accepted count: protocol violation
+			}
+			if skip := int(sess.count - seq); skip < len(batch) {
+				for _, rec := range batch[skip:] {
+					d.p.Submit(rec)
+				}
+				d.sessionRecs.Add(uint64(len(batch) - skip))
+				sess.count = seq + uint64(len(batch))
+			}
+			c := sess.count
+			sess.mu.Unlock()
+			if !d.writeAck(conn, &scratch, c) {
+				return
+			}
+		case wire.TypeHello:
+			// A re-hello on a live conn re-synchronizes the client.
+			_, b, err := wire.ParseHello(payload)
+			if err != nil {
+				d.decodeErrs.Add(1)
+				return
+			}
+			if !d.ackHello(conn, sess, b, &scratch) {
+				return
+			}
+		default:
+			d.decodeErrs.Add(1)
+			return // plain frames on a session conn: protocol violation
+		}
+	}
+}
+
+// ackHello fast-forwards the session to the client's base (a restarted
+// daemon trusts the exporter's delivered count rather than re-ingesting
+// history it never saw) and acks the result.
+func (d *Daemon) ackHello(conn net.Conn, sess *session, base uint64, scratch *[]byte) bool {
+	sess.mu.Lock()
+	if base > sess.count {
+		sess.count = base
+	}
+	c := sess.count
+	sess.mu.Unlock()
+	return d.writeAck(conn, scratch, c)
+}
+
+func (d *Daemon) writeAck(conn net.Conn, scratch *[]byte, count uint64) bool {
+	if t := d.cfg.IdleTimeout; t > 0 {
+		conn.SetWriteDeadline(time.Now().Add(t))
+	}
+	*scratch = wire.AppendAck((*scratch)[:0], count)
+	_, err := conn.Write(*scratch)
+	return err == nil
+}
+
+// session finds or creates the state for a stream id.
+func (d *Daemon) session(id uint64) *session {
+	d.sessMu.Lock()
+	defer d.sessMu.Unlock()
+	s := d.sessions[id]
+	if s == nil {
+		s = &session{}
+		d.sessions[id] = s
+		d.sessionCount.Add(1)
+	}
+	return s
+}
+
+// submitRecordsPayload feeds a validated TypeRecords payload to the
+// pipeline. Length alignment was checked at the frame header.
+func (d *Daemon) submitRecordsPayload(payload []byte) {
+	for off := 0; off+wire.RecordSize <= len(payload); off += wire.RecordSize {
+		rec, err := wire.DecodeRecord(payload[off:])
+		if err != nil {
+			d.decodeErrs.Add(1)
 			return
 		}
 		d.p.Submit(rec)
@@ -220,18 +481,30 @@ func (d *Daemon) udpLoop() {
 		if err != nil {
 			return // closed or drain deadline
 		}
-		recs, _, err := wire.ParseFrame(buf[:n])
-		if err != nil {
-			d.decodeErrs.Add(1)
-			continue
-		}
-		for _, rec := range recs {
-			d.p.Submit(rec)
+		// A datagram may pack several frames back to back; consume them
+		// all rather than silently discarding everything after the first.
+		rest := buf[:n]
+		for len(rest) > 0 {
+			recs, consumed, err := wire.ParseFrame(rest)
+			if err != nil {
+				// Position unknown inside the datagram: reject the rest.
+				d.decodeErrs.Add(1)
+				break
+			}
+			for _, rec := range recs {
+				d.p.Submit(rec)
+			}
+			rest = rest[consumed:]
 		}
 	}
 }
 
 func (d *Daemon) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if err := d.Err(); err != nil {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "failed: %v\n", err)
+		return
+	}
 	if d.draining.Load() {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "draining")
@@ -243,8 +516,20 @@ func (d *Daemon) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (d *Daemon) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	d.p.WritePrometheus(w, time.Since(d.start))
-	fmt.Fprintf(w, "# HELP ddpmd_decode_errors_total wire frames rejected at the listeners\n"+
-		"# TYPE ddpmd_decode_errors_total counter\nddpmd_decode_errors_total %d\n", d.decodeErrs.Load())
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("ddpmd_decode_errors_total", "wire frames rejected or skipped at the listeners", d.decodeErrs.Load())
+	counter("ddpmd_resync_skipped_bytes_total", "bytes discarded scanning for the next frame magic", d.resyncSkipped.Load())
+	counter("ddpmd_conns_accepted_total", "TCP ingest connections accepted", d.connsAccepted.Load())
+	counter("ddpmd_conn_idle_timeouts_total", "TCP ingest connections shed for idling", d.idleTimeouts.Load())
+	counter("ddpmd_sessions_total", "distinct exporter stream ids seen", d.sessionCount.Load())
+	counter("ddpmd_session_records_total", "records accepted through acked sessions (deduplicated)", d.sessionRecs.Load())
+	d.connsMu.Lock()
+	active := len(d.conns)
+	d.connsMu.Unlock()
+	fmt.Fprintf(w, "# HELP ddpmd_conns_active TCP ingest connections currently open\n"+
+		"# TYPE ddpmd_conns_active gauge\nddpmd_conns_active %d\n", active)
 	draining := 0
 	if d.draining.Load() {
 		draining = 1

@@ -1,0 +1,382 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+)
+
+// Client is the exporter side of a resumable session: it buffers
+// records, ships them as CRC-sealed frames, and survives dropped
+// connections and daemon restarts by reconnecting with jittered
+// exponential backoff and retransmitting everything past the server's
+// acknowledged count. Delivery is exactly-once per daemon incarnation:
+// sequence numbers let the server skip retransmitted prefixes, so
+//
+//	Sent() − Lost() == records the daemon accepted
+//
+// holds exactly. Loss is never silent — records are abandoned only
+// when the bounded buffer overflows while the daemon is unreachable or
+// when Close gives up, and each abandoned record is counted (and
+// handed to OnLost when set).
+//
+// A Client is not safe for concurrent use; it is a single exporter
+// goroutine's tool, like the Writer it replaces.
+type Client struct {
+	cfg      ClientConfig
+	streamID uint64
+	jitter   *rand.Rand
+
+	conn net.Conn
+	bw   *bufio.Writer
+	rd   *Reader
+
+	buf     []Record // unacked records; buf[0] has stream index `base`
+	base    uint64   // cumulative records acked by the server
+	next    int      // index into buf of the first unsent record
+	backoff int      // consecutive failed connection attempts
+
+	scratch []byte
+
+	sent       uint64
+	lost       uint64
+	resent     uint64
+	reconnects uint64
+	closed     bool
+}
+
+// ClientConfig parameterizes a Client. Zero values take the defaults
+// noted per field.
+type ClientConfig struct {
+	// Addr is the daemon's TCP ingest address, used by the default
+	// dialer. Dial overrides it entirely (tests, fault injection).
+	Addr string
+	Dial func() (net.Conn, error)
+
+	// StreamID names this exporter's record stream across reconnects.
+	// 0 derives one from Seed — fine as long as two exporters of the
+	// same daemon don't share a seed.
+	StreamID uint64
+
+	// Seed drives backoff jitter (and StreamID when unset). 0 means 1:
+	// the client is deterministic by default, like the simulator.
+	Seed uint64
+
+	// BufferRecords bounds the in-memory unacked-record buffer
+	// (default 65536). Records offered while the buffer is full and
+	// the daemon unreachable are shed and counted, never queued
+	// unboundedly — an exporter that eats the victim NIC's memory
+	// under flood would be its own amplifier.
+	BufferRecords int
+
+	// MaxAttempts is how many consecutive connection attempts an
+	// operation makes before giving up (default 8). Any acked progress
+	// resets the count.
+	MaxAttempts int
+
+	// BackoffBase and BackoffMax bound the jittered exponential
+	// reconnect delay (defaults 10ms and 2s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+
+	// AckTimeout bounds each wait for a server ack (default 5s).
+	AckTimeout time.Duration
+
+	// MaxBatch caps records per sealed frame (default 1024).
+	MaxBatch int
+
+	// OnLost observes every record the client abandons.
+	OnLost func(Record)
+
+	// Sleep replaces time.Sleep in tests.
+	Sleep func(time.Duration)
+}
+
+func (c *ClientConfig) applyDefaults() {
+	if c.Dial == nil {
+		addr := c.Addr
+		c.Dial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.StreamID == 0 {
+		c.StreamID = c.Seed*0x9E3779B97F4A7C15 + 0x1234_5678 // splitmix-style spread
+	}
+	if c.BufferRecords <= 0 {
+		c.BufferRecords = 1 << 16
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 8
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 10 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 2 * time.Second
+	}
+	if c.AckTimeout <= 0 {
+		c.AckTimeout = 5 * time.Second
+	}
+	if c.MaxBatch <= 0 || c.MaxBatch > MaxRecordsPerSealed {
+		c.MaxBatch = 1024
+	}
+	if c.Sleep == nil {
+		c.Sleep = time.Sleep
+	}
+}
+
+// ErrClientClosed is returned by Send after Close.
+var ErrClientClosed = errors.New("wire: client closed")
+
+// NewClient builds a client. No connection is made until the first
+// Send — a daemon that is down at exporter start is just the first
+// fault to recover from.
+func NewClient(cfg ClientConfig) *Client {
+	cfg.applyDefaults()
+	return &Client{
+		cfg:      cfg,
+		streamID: cfg.StreamID,
+		jitter:   rand.New(rand.NewSource(int64(cfg.Seed))),
+	}
+}
+
+// Counters. Sent counts records offered to Send; Delivered counts
+// records the server has acknowledged; Lost counts records abandoned
+// (buffer overflow while unreachable, or given up at Close); Resent
+// counts retransmitted records; Reconnects counts established
+// connections after the first.
+func (c *Client) Sent() uint64      { return c.sent }
+func (c *Client) Delivered() uint64 { return c.base }
+func (c *Client) Lost() uint64      { return c.lost }
+func (c *Client) Resent() uint64    { return c.resent }
+func (c *Client) Reconnects() uint64 {
+	if c.reconnects == 0 {
+		return 0
+	}
+	return c.reconnects - 1
+}
+
+// Buffered reports records held but not yet acknowledged.
+func (c *Client) Buffered() int { return len(c.buf) }
+
+// Send offers records for delivery. It blocks only for bounded work —
+// at most MaxAttempts connection attempts — and sheds (counts + calls
+// OnLost) whatever cannot be buffered when the daemon stays
+// unreachable. The returned error is advisory (the delivery state is
+// fully described by the counters): it reports shedding or a dead
+// daemon, and Send may be called again after it.
+func (c *Client) Send(recs []Record) error {
+	if c.closed {
+		return ErrClientClosed
+	}
+	for len(recs) > 0 {
+		free := c.cfg.BufferRecords - len(c.buf)
+		if free == 0 {
+			err := c.pump()
+			if len(c.buf) < c.cfg.BufferRecords {
+				continue // acked progress freed space, even if pump errored
+			}
+			// Unreachable with a full buffer: shed the rest of the
+			// incoming batch, never the buffered (possibly partially
+			// sent) records.
+			c.sent += uint64(len(recs))
+			for _, r := range recs {
+				c.drop(r)
+			}
+			return fmt.Errorf("wire: client shed %d records: %w", len(recs), err)
+		}
+		n := min(free, len(recs))
+		c.sent += uint64(n)
+		c.buf = append(c.buf, recs[:n]...)
+		recs = recs[n:]
+		if len(c.buf) >= c.cfg.MaxBatch {
+			// Opportunistic flush; on failure records just stay
+			// buffered for the next Send, Flush or Close to retry.
+			c.pump()
+		}
+	}
+	return nil
+}
+
+// Flush pushes every buffered record and waits for the server to
+// acknowledge all of it.
+func (c *Client) Flush() error { return c.pump() }
+
+// Close flushes with full retries, abandons (and counts) whatever the
+// daemon never acknowledged, and releases the connection. The error
+// reports abandoned records, if any.
+func (c *Client) Close() error {
+	if c.closed {
+		return nil
+	}
+	err := c.pump()
+	c.closed = true
+	abandoned := len(c.buf)
+	for _, r := range c.buf {
+		c.drop(r)
+	}
+	c.buf = nil
+	c.disconnect()
+	if abandoned > 0 {
+		return fmt.Errorf("wire: client abandoned %d unacknowledged records: %w", abandoned, err)
+	}
+	return nil
+}
+
+// drop abandons one record: counted, reported, never silent.
+func (c *Client) drop(r Record) {
+	c.lost++
+	if c.cfg.OnLost != nil {
+		c.cfg.OnLost(r)
+	}
+}
+
+// pump drives the session until every buffered record is acked or
+// MaxAttempts consecutive connection attempts have failed.
+func (c *Client) pump() error {
+	var lastErr error
+	for len(c.buf) > 0 {
+		if c.conn == nil {
+			if c.backoff >= c.cfg.MaxAttempts {
+				c.backoff = 0 // next pump starts a fresh attempt budget
+				if lastErr == nil {
+					lastErr = errors.New("wire: daemon unreachable")
+				}
+				return lastErr
+			}
+			if err := c.connect(); err != nil {
+				lastErr = err
+				c.backoff++
+				c.cfg.Sleep(c.backoffDelay())
+				continue
+			}
+		}
+		if err := c.shipAndAwait(); err != nil {
+			lastErr = err
+			c.disconnect()
+			c.backoff++
+			c.cfg.Sleep(c.backoffDelay())
+			continue
+		}
+	}
+	return nil
+}
+
+// backoffDelay is the jittered exponential reconnect delay for the
+// current consecutive-failure count: base·2^(n−1), capped at max, with
+// ±50% jitter so a fleet of exporters doesn't stampede a restarted
+// daemon in lockstep.
+func (c *Client) backoffDelay() time.Duration {
+	d := c.cfg.BackoffBase << (c.backoff - 1)
+	if d <= 0 || d > c.cfg.BackoffMax {
+		d = c.cfg.BackoffMax
+	}
+	return d/2 + time.Duration(c.jitter.Int63n(int64(d)))
+}
+
+// connect dials, sends the hello, and realigns the buffer to the
+// server's acknowledged count.
+func (c *Client) connect() error {
+	conn, err := c.cfg.Dial()
+	if err != nil {
+		return fmt.Errorf("wire: dial: %w", err)
+	}
+	c.conn = conn
+	c.bw = bufio.NewWriter(conn)
+	c.rd = NewReader(conn)
+	c.reconnects++
+	conn.SetWriteDeadline(time.Now().Add(c.cfg.AckTimeout))
+	c.scratch = AppendHello(c.scratch[:0], c.streamID, c.base)
+	if _, err := c.bw.Write(c.scratch); err != nil {
+		c.disconnect()
+		return fmt.Errorf("wire: hello: %w", err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.disconnect()
+		return fmt.Errorf("wire: hello: %w", err)
+	}
+	acked, err := c.readAck()
+	if err != nil {
+		c.disconnect()
+		return fmt.Errorf("wire: hello ack: %w", err)
+	}
+	if err := c.advance(acked); err != nil {
+		c.disconnect()
+		return err
+	}
+	// Everything still buffered must be (re)transmitted on this conn.
+	if c.next > 0 {
+		c.resent += uint64(min(c.next, len(c.buf)))
+	}
+	c.next = 0
+	return nil
+}
+
+// shipAndAwait writes every unsent buffered record as sealed frames,
+// flushes, and consumes acks until the server has confirmed the lot.
+func (c *Client) shipAndAwait() error {
+	c.conn.SetWriteDeadline(time.Now().Add(c.cfg.AckTimeout))
+	for c.next < len(c.buf) {
+		n := min(c.cfg.MaxBatch, len(c.buf)-c.next)
+		seq := c.base + uint64(c.next)
+		c.scratch = AppendSealed(c.scratch[:0], seq, c.buf[c.next:c.next+n])
+		if _, err := c.bw.Write(c.scratch); err != nil {
+			return err
+		}
+		c.next += n
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	target := c.base + uint64(len(c.buf))
+	for c.base < target {
+		acked, err := c.readAck()
+		if err != nil {
+			return err
+		}
+		if err := c.advance(acked); err != nil {
+			return err
+		}
+		c.backoff = 0 // acked progress: reset the attempt budget
+	}
+	return nil
+}
+
+// readAck reads frames until a TypeAck arrives, bounded by AckTimeout.
+func (c *Client) readAck() (uint64, error) {
+	c.conn.SetReadDeadline(time.Now().Add(c.cfg.AckTimeout))
+	for {
+		ftype, payload, err := c.rd.ReadFrame()
+		if err != nil {
+			return 0, err
+		}
+		if ftype != TypeAck {
+			continue // a session server only sends acks; tolerate noise
+		}
+		return ParseAck(payload)
+	}
+}
+
+// advance reconciles the server's cumulative count with the buffer.
+func (c *Client) advance(acked uint64) error {
+	if acked < c.base || acked > c.base+uint64(len(c.buf)) {
+		return fmt.Errorf("%w: ack %d outside window [%d, %d]",
+			ErrBadFrame, acked, c.base, c.base+uint64(len(c.buf)))
+	}
+	d := int(acked - c.base)
+	c.buf = c.buf[:copy(c.buf, c.buf[d:])]
+	c.base = acked
+	c.next = max(0, c.next-d)
+	return nil
+}
+
+func (c *Client) disconnect() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn, c.bw, c.rd = nil, nil, nil
+	}
+}

@@ -48,6 +48,9 @@ func FuzzReader(f *testing.F) {
 	two := AppendFrame(nil, []Record{{MF: 1}, {MF: 2}})
 	f.Add(append(two, AppendFrame(nil, []Record{{Victim: 9}})...))
 	f.Add([]byte{0xD0, 0x5E, 1, 1, 0xFF, 0xFF})
+	// Mid-stream garbage before a valid magic, and session frames.
+	f.Add(append([]byte{0xDE, 0xAD, 0xD0, 0x00}, AppendFrame(nil, []Record{{MF: 3}})...))
+	f.Add(append(AppendHello(nil, 7, 0), AppendSealed(nil, 0, []Record{{MF: 4}})...))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := NewReader(bytes.NewReader(data))
 		var decoded []Record
@@ -81,6 +84,40 @@ func FuzzReader(f *testing.F) {
 			if got != want {
 				t.Fatalf("re-decode record %d: got %+v want %+v", i, got, want)
 			}
+		}
+	})
+}
+
+// FuzzResyncReader throws arbitrary bytes at the resync-enabled
+// reader: it must never panic, must terminate (every resync consumes
+// at least one byte), must never skip-count more bytes than exist, and
+// whatever it decodes from frames embedded in garbage must round-trip.
+func FuzzResyncReader(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0xD0, 0xD0, 0x5E, 1, 1, 0x00})
+	one := AppendFrame(nil, []Record{{T: 1, Topo: 2, Victim: 3, MF: 4, Src: 5, Proto: 6}})
+	f.Add(append([]byte("mid-stream garbage"), one...))
+	f.Add(append(append(append([]byte{}, one...), 0xFF, 0xD0, 0x5E, 0x00), one...))
+	f.Add(append(AppendSealed(nil, 9, []Record{{MF: 8}}), 0xD0, 0x5E))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		r.EnableResync()
+		decoded := 0
+		for decoded < 1<<16 {
+			_, err := r.Next()
+			if err != nil {
+				if err != io.EOF && !errors.Is(err, ErrBadFrame) {
+					t.Fatalf("unexpected error class: %v", err)
+				}
+				break
+			}
+			decoded++
+		}
+		if r.SkippedBytes() > uint64(len(data)) {
+			t.Fatalf("skipped %d bytes of a %d-byte stream", r.SkippedBytes(), len(data))
+		}
+		if r.Resyncs() > uint64(len(data)) {
+			t.Fatalf("%d resyncs on a %d-byte stream", r.Resyncs(), len(data))
 		}
 	})
 }

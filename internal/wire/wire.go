@@ -17,6 +17,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"hash/fnv"
 	"io"
 
@@ -28,9 +29,29 @@ import (
 // Wire constants. Magic guards against a stray client speaking the
 // wrong protocol; Version is bumped on incompatible layout changes.
 const (
-	Magic       uint16 = 0xD05E
-	Version     uint8  = 1
-	TypeRecords uint8  = 1
+	Magic   uint16 = 0xD05E
+	Version uint8  = 1
+
+	// TypeRecords is a bare record batch — the original exporter
+	// format, still what UDP datagrams and one-shot TCP streams carry.
+	TypeRecords uint8 = 1
+
+	// TypeHello opens a resumable exporter session: the client names a
+	// stream id and the cumulative record count it has buffered from,
+	// and the server replies with a TypeAck carrying how many records
+	// of that stream it has already accepted. CRC-tailed.
+	TypeHello uint8 = 2
+
+	// TypeAck is the server's cumulative accepted-record count for the
+	// connection's session stream. CRC-tailed.
+	TypeAck uint8 = 3
+
+	// TypeSealed is a session record batch: a cumulative sequence
+	// number plus records, CRC-tailed so corruption is detected rather
+	// than silently tallied. Sequence numbers make retransmits after a
+	// reconnect exactly-once: the server skips the already-accepted
+	// prefix.
+	TypeSealed uint8 = 4
 
 	// HeaderSize is the frame header: magic(2) version(1) type(1)
 	// payload-length(2), big-endian throughout.
@@ -39,16 +60,37 @@ const (
 	// RecordSize is the fixed encoded size of one Record.
 	RecordSize = 24
 
+	// HelloPayloadSize is streamID(8) + base(8) + crc32(4).
+	HelloPayloadSize = 20
+
+	// AckPayloadSize is count(8) + crc32(4).
+	AckPayloadSize = 12
+
+	// SealedOverhead is the non-record part of a TypeSealed payload:
+	// seq(8) leading + crc32(4) trailing.
+	SealedOverhead = 12
+
 	// MaxFramePayload is the largest payload a frame can carry (the
-	// length field is 16-bit); MaxRecordsPerFrame follows.
-	MaxFramePayload    = 1<<16 - 1
-	MaxRecordsPerFrame = MaxFramePayload / RecordSize
+	// length field is 16-bit); the per-type record capacities follow.
+	MaxFramePayload     = 1<<16 - 1
+	MaxRecordsPerFrame  = MaxFramePayload / RecordSize
+	MaxRecordsPerSealed = (MaxFramePayload - SealedOverhead) / RecordSize
+
+	// MaxEmptyFrames caps how many consecutive zero-record frames a
+	// Reader tolerates before declaring the peer abusive: each empty
+	// frame is 6 valid bytes of zero progress, so an unbounded run
+	// would spin the read loop forever with no accounting.
+	MaxEmptyFrames = 16
 )
 
 // ErrBadFrame tags every framing-level decode failure (bad magic,
-// unknown version or type, misaligned payload). Callers distinguish it
-// from io errors with errors.Is.
+// unknown version or type, misaligned payload, CRC mismatch). Callers
+// distinguish it from io errors with errors.Is.
 var ErrBadFrame = errors.New("wire: bad frame")
+
+// ErrEmptyFlood is returned (wrapping ErrBadFrame) when a peer streams
+// more than MaxEmptyFrames consecutive empty frames.
+var ErrEmptyFlood = fmt.Errorf("%w: empty-frame flood", ErrBadFrame)
 
 // Record is one observed marked packet at a victim.
 //
@@ -115,25 +157,24 @@ func AppendFrame(b []byte, recs []Record) []byte {
 	if len(recs) > MaxRecordsPerFrame {
 		panic(fmt.Sprintf("wire: %d records exceed the %d-record frame limit", len(recs), MaxRecordsPerFrame))
 	}
-	var hdr [HeaderSize]byte
-	binary.BigEndian.PutUint16(hdr[0:2], Magic)
-	hdr[2] = Version
-	hdr[3] = TypeRecords
-	binary.BigEndian.PutUint16(hdr[4:6], uint16(len(recs)*RecordSize))
-	b = append(b, hdr[:]...)
+	b = appendHeader(b, TypeRecords, len(recs)*RecordSize)
 	for _, r := range recs {
 		b = AppendRecord(b, r)
 	}
 	return b
 }
 
-// ParseFrame decodes a complete frame held in b — the UDP entry point,
-// where one datagram carries exactly one frame. It returns the decoded
-// records and the number of bytes consumed.
+// ParseFrame decodes a complete TypeRecords frame held in b — the UDP
+// entry point. A datagram may carry several frames back to back, so it
+// returns the decoded records and the number of bytes consumed;
+// callers loop until the datagram is exhausted.
 func ParseFrame(b []byte) ([]Record, int, error) {
-	n, err := checkHeader(b)
+	ftype, n, err := checkHeader(b)
 	if err != nil {
 		return nil, 0, err
+	}
+	if ftype != TypeRecords {
+		return nil, 0, fmt.Errorf("%w: frame type %d in a datagram", ErrBadFrame, ftype)
 	}
 	if len(b) < HeaderSize+n {
 		return nil, 0, fmt.Errorf("%w: truncated payload: have %d of %d bytes",
@@ -150,26 +191,135 @@ func ParseFrame(b []byte) ([]Record, int, error) {
 	return recs, HeaderSize + n, nil
 }
 
-// checkHeader validates the 6-byte header and returns the payload
-// length.
-func checkHeader(b []byte) (int, error) {
+// appendHeader appends a 6-byte frame header for ftype with an n-byte
+// payload.
+func appendHeader(b []byte, ftype uint8, n int) []byte {
+	var hdr [HeaderSize]byte
+	binary.BigEndian.PutUint16(hdr[0:2], Magic)
+	hdr[2] = Version
+	hdr[3] = ftype
+	binary.BigEndian.PutUint16(hdr[4:6], uint16(n))
+	return append(b, hdr[:]...)
+}
+
+// AppendHello appends a session-open frame: the exporter's stream id
+// and the cumulative record count its buffer starts at (records below
+// base are gone from the exporter and can never be retransmitted; a
+// server that has not seen this stream fast-forwards to base).
+func AppendHello(b []byte, streamID, base uint64) []byte {
+	b = appendHeader(b, TypeHello, HelloPayloadSize)
+	var p [HelloPayloadSize]byte
+	binary.BigEndian.PutUint64(p[0:8], streamID)
+	binary.BigEndian.PutUint64(p[8:16], base)
+	binary.BigEndian.PutUint32(p[16:20], crc32.ChecksumIEEE(p[:16]))
+	return append(b, p[:]...)
+}
+
+// ParseHello decodes a TypeHello payload.
+func ParseHello(payload []byte) (streamID, base uint64, err error) {
+	if len(payload) != HelloPayloadSize {
+		return 0, 0, fmt.Errorf("%w: hello payload %d bytes", ErrBadFrame, len(payload))
+	}
+	if got := binary.BigEndian.Uint32(payload[16:20]); got != crc32.ChecksumIEEE(payload[:16]) {
+		return 0, 0, fmt.Errorf("%w: hello crc mismatch", ErrBadFrame)
+	}
+	return binary.BigEndian.Uint64(payload[0:8]), binary.BigEndian.Uint64(payload[8:16]), nil
+}
+
+// AppendAck appends the server→client cumulative-accepted frame.
+func AppendAck(b []byte, count uint64) []byte {
+	b = appendHeader(b, TypeAck, AckPayloadSize)
+	var p [AckPayloadSize]byte
+	binary.BigEndian.PutUint64(p[0:8], count)
+	binary.BigEndian.PutUint32(p[8:12], crc32.ChecksumIEEE(p[:8]))
+	return append(b, p[:]...)
+}
+
+// ParseAck decodes a TypeAck payload.
+func ParseAck(payload []byte) (count uint64, err error) {
+	if len(payload) != AckPayloadSize {
+		return 0, fmt.Errorf("%w: ack payload %d bytes", ErrBadFrame, len(payload))
+	}
+	if got := binary.BigEndian.Uint32(payload[8:12]); got != crc32.ChecksumIEEE(payload[:8]) {
+		return 0, fmt.Errorf("%w: ack crc mismatch", ErrBadFrame)
+	}
+	return binary.BigEndian.Uint64(payload[0:8]), nil
+}
+
+// AppendSealed appends one session record frame: seq is the cumulative
+// index of recs[0] in the stream, and the CRC seals seq plus every
+// record byte so in-flight corruption is detected instead of tallied.
+// It panics if recs exceeds MaxRecordsPerSealed — splitting is the
+// Client's job.
+func AppendSealed(b []byte, seq uint64, recs []Record) []byte {
+	if len(recs) > MaxRecordsPerSealed {
+		panic(fmt.Sprintf("wire: %d records exceed the %d-record sealed-frame limit", len(recs), MaxRecordsPerSealed))
+	}
+	b = appendHeader(b, TypeSealed, SealedOverhead+len(recs)*RecordSize)
+	start := len(b)
+	b = binary.BigEndian.AppendUint64(b, seq)
+	for _, r := range recs {
+		b = AppendRecord(b, r)
+	}
+	return binary.BigEndian.AppendUint32(b, crc32.ChecksumIEEE(b[start:]))
+}
+
+// ParseSealed decodes a TypeSealed payload, appending the records to
+// recs (pass a reused slice's [:0] to avoid per-frame allocation).
+func ParseSealed(payload []byte, recs []Record) (seq uint64, out []Record, err error) {
+	if len(payload) < SealedOverhead || (len(payload)-SealedOverhead)%RecordSize != 0 {
+		return 0, nil, fmt.Errorf("%w: sealed payload %d bytes", ErrBadFrame, len(payload))
+	}
+	body, tail := payload[:len(payload)-4], payload[len(payload)-4:]
+	if got := binary.BigEndian.Uint32(tail); got != crc32.ChecksumIEEE(body) {
+		return 0, nil, fmt.Errorf("%w: sealed crc mismatch", ErrBadFrame)
+	}
+	seq = binary.BigEndian.Uint64(body[0:8])
+	for off := 8; off < len(body); off += RecordSize {
+		r, err := DecodeRecord(body[off:])
+		if err != nil {
+			return 0, nil, err
+		}
+		recs = append(recs, r)
+	}
+	return seq, recs, nil
+}
+
+// checkHeader validates the 6-byte header and returns the frame type
+// and payload length. Length sanity is per type: record batches must
+// be record-aligned, control frames have fixed shapes.
+func checkHeader(b []byte) (ftype uint8, n int, err error) {
 	if len(b) < HeaderSize {
-		return 0, fmt.Errorf("%w: short header: %d bytes", ErrBadFrame, len(b))
+		return 0, 0, fmt.Errorf("%w: short header: %d bytes", ErrBadFrame, len(b))
 	}
 	if m := binary.BigEndian.Uint16(b[0:2]); m != Magic {
-		return 0, fmt.Errorf("%w: magic %#04x", ErrBadFrame, m)
+		return 0, 0, fmt.Errorf("%w: magic %#04x", ErrBadFrame, m)
 	}
 	if b[2] != Version {
-		return 0, fmt.Errorf("%w: version %d", ErrBadFrame, b[2])
+		return 0, 0, fmt.Errorf("%w: version %d", ErrBadFrame, b[2])
 	}
-	if b[3] != TypeRecords {
-		return 0, fmt.Errorf("%w: unknown frame type %d", ErrBadFrame, b[3])
+	n = int(binary.BigEndian.Uint16(b[4:6]))
+	switch b[3] {
+	case TypeRecords:
+		if n%RecordSize != 0 {
+			return 0, 0, fmt.Errorf("%w: payload length %d not a multiple of %d", ErrBadFrame, n, RecordSize)
+		}
+	case TypeHello:
+		if n != HelloPayloadSize {
+			return 0, 0, fmt.Errorf("%w: hello length %d", ErrBadFrame, n)
+		}
+	case TypeAck:
+		if n != AckPayloadSize {
+			return 0, 0, fmt.Errorf("%w: ack length %d", ErrBadFrame, n)
+		}
+	case TypeSealed:
+		if n < SealedOverhead || (n-SealedOverhead)%RecordSize != 0 {
+			return 0, 0, fmt.Errorf("%w: sealed length %d", ErrBadFrame, n)
+		}
+	default:
+		return 0, 0, fmt.Errorf("%w: unknown frame type %d", ErrBadFrame, b[3])
 	}
-	n := int(binary.BigEndian.Uint16(b[4:6]))
-	if n%RecordSize != 0 {
-		return 0, fmt.Errorf("%w: payload length %d not a multiple of %d", ErrBadFrame, n, RecordSize)
-	}
-	return n, nil
+	return b[3], n, nil
 }
 
 // Writer encodes records onto a TCP stream, splitting into maximal
@@ -212,14 +362,29 @@ func (w *Writer) Flush() error { return w.bw.Flush() }
 func (w *Writer) Frames() uint64  { return w.frames }
 func (w *Writer) Records() uint64 { return w.records }
 
-// Reader decodes a stream of frames (the TCP entry point). Next
-// returns records one at a time; io.EOF cleanly ends a stream only on
-// a frame boundary — EOF mid-frame is reported as
-// io.ErrUnexpectedEOF.
+// Reader decodes a stream of frames (the TCP entry point). ReadFrame
+// returns whole frames; Next returns records one at a time. io.EOF
+// cleanly ends a stream only on a frame boundary — EOF mid-frame is
+// reported as ErrBadFrame.
+//
+// By default framing errors are permanent: the stream position is
+// unknown after one, so callers should drop the connection. With
+// EnableResync the Reader instead scans forward to the next 0xD05E
+// magic and keeps going, counting what it skipped — the mode for
+// long-lived exporter streams where one corrupt frame must not kill
+// hours of good data behind it.
 type Reader struct {
 	br      *bufio.Reader
+	carry   []byte // bytes over-read during a resync scan, consumed first
+	payload []byte // reused per-frame payload buffer
 	pending []Record
-	frames  uint64
+	pendIdx int
+
+	resync   bool
+	frames   uint64
+	resyncs  uint64
+	skipped  uint64
+	emptyRun int
 }
 
 // NewReader wraps r.
@@ -227,39 +392,146 @@ func NewReader(r io.Reader) *Reader {
 	return &Reader{br: bufio.NewReader(r)}
 }
 
-// Next returns the next record. Framing errors are permanent: the
-// stream position is unknown after one, so callers should drop the
-// connection.
-func (r *Reader) Next() (Record, error) {
-	for len(r.pending) == 0 {
-		var hdr [HeaderSize]byte
-		if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
-			if err == io.ErrUnexpectedEOF {
-				return Record{}, fmt.Errorf("%w: truncated header", ErrBadFrame)
-			}
-			return Record{}, err // clean io.EOF between frames
-		}
-		n, err := checkHeader(hdr[:])
-		if err != nil {
-			return Record{}, err
-		}
-		payload := make([]byte, n)
-		if _, err := io.ReadFull(r.br, payload); err != nil {
-			return Record{}, fmt.Errorf("%w: truncated payload: %v", ErrBadFrame, err)
-		}
-		r.frames++
-		for off := 0; off < n; off += RecordSize {
-			rec, err := DecodeRecord(payload[off:])
-			if err != nil {
-				return Record{}, err
-			}
-			r.pending = append(r.pending, rec)
-		}
-	}
-	rec := r.pending[0]
-	r.pending = r.pending[1:]
-	return rec, nil
-}
+// EnableResync makes framing errors recoverable: instead of returning
+// ErrBadFrame, ReadFrame discards bytes until the next magic and
+// retries. Resyncs and SkippedBytes report the damage. ErrEmptyFlood
+// is still terminal — it is valid framing used abusively.
+func (r *Reader) EnableResync() { r.resync = true }
+
+// Resyncs counts framing errors recovered by scanning to a magic.
+func (r *Reader) Resyncs() uint64 { return r.resyncs }
+
+// SkippedBytes counts bytes discarded by resync scans.
+func (r *Reader) SkippedBytes() uint64 { return r.skipped }
 
 // Frames reports how many complete frames have been decoded.
 func (r *Reader) Frames() uint64 { return r.frames }
+
+// readFull fills p from the carry buffer, then the stream.
+func (r *Reader) readFull(p []byte) error {
+	n := 0
+	for n < len(p) && len(r.carry) > 0 {
+		c := copy(p[n:], r.carry)
+		r.carry = r.carry[c:]
+		n += c
+	}
+	if n == len(p) {
+		return nil
+	}
+	if _, err := io.ReadFull(r.br, p[n:]); err != nil {
+		if err == io.EOF && n > 0 {
+			return io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	return nil
+}
+
+// scanToMagic discards stale (whose first byte is known bad) and then
+// stream bytes until the next Magic, leaving the magic itself queued
+// in the carry buffer. Returns io.EOF if the stream ends first.
+func (r *Reader) scanToMagic(stale []byte) error {
+	r.resyncs++
+	r.skipped++ // stale[0] is known bad
+	r.carry = append(append(make([]byte, 0, len(stale)-1+len(r.carry)), stale[1:]...), r.carry...)
+	for {
+		for i := 0; i+1 < len(r.carry); i++ {
+			if r.carry[i] == byte(Magic>>8) && r.carry[i+1] == byte(Magic&0xFF) {
+				r.skipped += uint64(i)
+				r.carry = r.carry[i:]
+				return nil
+			}
+		}
+		// No magic in the window: everything but a trailing possible
+		// first-magic-byte is garbage. Refill and rescan.
+		if n := len(r.carry); n > 0 && r.carry[n-1] == byte(Magic>>8) {
+			r.skipped += uint64(n - 1)
+			r.carry = r.carry[n-1:]
+		} else {
+			r.skipped += uint64(n)
+			r.carry = r.carry[:0]
+		}
+		var chunk [512]byte
+		n, err := r.br.Read(chunk[:])
+		r.carry = append(r.carry, chunk[:n]...)
+		if n == 0 && err != nil {
+			r.skipped += uint64(len(r.carry))
+			r.carry = r.carry[:0]
+			return io.EOF
+		}
+	}
+}
+
+// ReadFrame returns the next frame's type and payload. The payload
+// slice is only valid until the next call — it is a reused buffer.
+func (r *Reader) ReadFrame() (ftype uint8, payload []byte, err error) {
+	var hdr [HeaderSize]byte
+	for {
+		if err := r.readFull(hdr[:]); err != nil {
+			if err == io.ErrUnexpectedEOF {
+				return 0, nil, fmt.Errorf("%w: truncated header", ErrBadFrame)
+			}
+			return 0, nil, err // clean io.EOF between frames
+		}
+		ftype, n, err := checkHeader(hdr[:])
+		if err != nil {
+			if r.resync {
+				if err := r.scanToMagic(hdr[:]); err != nil {
+					return 0, nil, err
+				}
+				continue
+			}
+			return 0, nil, err
+		}
+		if cap(r.payload) < n {
+			r.payload = make([]byte, n)
+		}
+		payload := r.payload[:n]
+		if err := r.readFull(payload); err != nil {
+			return 0, nil, fmt.Errorf("%w: truncated payload: %v", ErrBadFrame, err)
+		}
+		if ftype == TypeRecords && n == 0 {
+			r.emptyRun++
+			if r.emptyRun > MaxEmptyFrames {
+				r.emptyRun = 0
+				return 0, nil, ErrEmptyFlood
+			}
+		} else {
+			r.emptyRun = 0
+		}
+		r.frames++
+		return ftype, payload, nil
+	}
+}
+
+// Next returns the next record, skipping session control frames.
+// Sealed record batches are verified and unwrapped.
+func (r *Reader) Next() (Record, error) {
+	for r.pendIdx >= len(r.pending) {
+		ftype, payload, err := r.ReadFrame()
+		if err != nil {
+			return Record{}, err
+		}
+		r.pending = r.pending[:0]
+		r.pendIdx = 0
+		switch ftype {
+		case TypeRecords:
+			for off := 0; off < len(payload); off += RecordSize {
+				rec, err := DecodeRecord(payload[off:])
+				if err != nil {
+					return Record{}, err
+				}
+				r.pending = append(r.pending, rec)
+			}
+		case TypeSealed:
+			if _, r.pending, err = ParseSealed(payload, r.pending); err != nil {
+				return Record{}, err
+			}
+		case TypeHello, TypeAck:
+			// control frames carry no records
+		}
+	}
+	rec := r.pending[r.pendIdx]
+	r.pendIdx++
+	return rec, nil
+}
