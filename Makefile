@@ -1,10 +1,10 @@
 GO ?= go
 BIN := bin
 
-.PHONY: check vet build race bench fuzz-smoke run-ddpmd clean
+.PHONY: check vet lint build race bench bench-gate fuzz-smoke run-ddpmd clean
 
-## check: vet, build, test and fuzz-smoke everything (the tier-1 gate)
-check: vet
+## check: lint, build, test and fuzz-smoke everything (the tier-1 gate)
+check: lint
 	$(GO) build ./...
 	$(GO) test ./...
 	$(MAKE) fuzz-smoke
@@ -12,6 +12,17 @@ check: vet
 ## vet: static analysis only
 vet:
 	$(GO) vet ./...
+
+## lint: vet + gofmt drift + staticcheck when it's on PATH (CI installs
+## it; offline dev machines degrade to vet/gofmt with a note)
+lint: vet
+	@fmtout="$$(gofmt -l .)"; if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 ## build: compile the command binaries into bin/ (never the repo root)
 build:
@@ -25,6 +36,11 @@ race:
 bench:
 	$(GO) run ./cmd/benchjson -o BENCH_netsim.json
 	$(GO) test ./internal/netsim/ -run xxx -bench . -benchmem
+
+## bench-gate: fail if PipelineThroughput regressed >10% vs the
+## committed baseline (re-measures on this machine)
+bench-gate:
+	$(GO) run ./cmd/benchjson -check BENCH_netsim.json -tolerance 0.10
 
 ## fuzz-smoke: short fuzzing passes over the wire codec and DDPM marking
 ## (go test allows one -fuzz target per invocation)

@@ -243,9 +243,54 @@ func benchPipeline(b *testing.B) {
 	b.ReportMetric(float64(processed)/b.Elapsed().Seconds(), "records/sec")
 }
 
+// checkPipeline is the CI regression gate: rerun PipelineThroughput
+// and compare records/sec against the committed baseline file, failing
+// when the measured rate falls more than tolerance below it. Only the
+// pipeline bench gates — the fabric benches are too machine-sensitive
+// to compare across CI runners without a stored reference host.
+func checkPipeline(baselinePath string, tolerance float64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	want := 0.0
+	for _, r := range base.Results {
+		if r.Name == "PipelineThroughput" {
+			want = r.Extra["records_per_sec"]
+		}
+	}
+	if want <= 0 {
+		return fmt.Errorf("%s has no PipelineThroughput records_per_sec", baselinePath)
+	}
+	fmt.Fprintln(os.Stderr, "benchjson: running PipelineThroughput ...")
+	got := testing.Benchmark(benchPipeline).Extra["records/sec"]
+	ratio := got / want
+	fmt.Fprintf(os.Stderr, "benchjson: PipelineThroughput %.0f records/sec vs baseline %.0f (%.1f%%)\n",
+		got, want, 100*ratio)
+	if ratio < 1-tolerance {
+		return fmt.Errorf("PipelineThroughput regressed %.1f%% (tolerance %.0f%%): %.0f < %.0f records/sec",
+			100*(1-ratio), 100*tolerance, got, want)
+	}
+	return nil
+}
+
 func main() {
 	out := flag.String("o", "BENCH_netsim.json", "output path ('-' for stdout)")
+	check := flag.String("check", "", "regression-gate mode: compare PipelineThroughput against this baseline JSON and exit 1 on regression")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional PipelineThroughput regression in -check mode")
 	flag.Parse()
+
+	if *check != "" {
+		if err := checkPipeline(*check, *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	rep := Report{
 		Engine:    "typed-event freelist kernel, dense link tables, packet pool",

@@ -6,9 +6,11 @@
 //
 //	ddpmd serve -topo torus -dims 8x8 -tcp :7420 -http :7421
 //	ddpmd serve -topo torus -dims 8x8 -replay trace.jsonl -http :7421
+//	ddpmd serve -topo torus -dims 8x8 -journal audit.jsonl -pprof
 //	ddpmd loadgen -topo torus -dims 8x8 -zombies 3 -addr 127.0.0.1:7420
 //	ddpmd loadgen -topo torus -dims 8x8 -addr 127.0.0.1:7420 -retry 8
 //	ddpmd loadgen -topo torus -dims 8x8 -jsonl flood.jsonl
+//	ddpmd status -http 127.0.0.1:7421
 //
 // SIGTERM/SIGINT drain gracefully: listeners close, queued records are
 // processed, /healthz reports "draining" until exit.
@@ -44,13 +46,15 @@ func main() {
 		serve(os.Args[2:])
 	case "loadgen":
 		runLoadgen(os.Args[2:])
+	case "status":
+		runStatus(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ddpmd serve|loadgen [flags] (-h for flags)")
+	fmt.Fprintln(os.Stderr, "usage: ddpmd serve|loadgen|status [flags] (-h for flags)")
 	os.Exit(2)
 }
 
@@ -75,6 +79,9 @@ func serve(args []string) {
 		idle     = fs.Duration("idle-timeout", 2*time.Minute, "shed TCP peers idle this long (negative disables)")
 		replay   = fs.String("replay", "", "replay a JSONL record/trace file instead of exiting on idle")
 		victim   = fs.Int("replay-victim", -1, "victim filter for trace replay (-1 = all forward hops)")
+		journal  = fs.String("journal", "", "append attack-audit events as JSONL to this file")
+		jdepth   = fs.Int("journal-depth", 1024, "audit events buffered before shedding")
+		enablePP = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the admin plane")
 	)
 	fs.Parse(args)
 
@@ -82,18 +89,32 @@ func serve(args []string) {
 	if err != nil {
 		fatal(err)
 	}
+	var j *pipeline.Journal
+	if *journal != "" {
+		if j, err = pipeline.OpenJournal(*journal, *jdepth); err != nil {
+			fatal(err)
+		}
+	}
 	d, err := pipeline.Start(pipeline.ServerConfig{
 		Pipeline: pipeline.Config{
 			Net: net2, Shards: *shards, QueueLen: *queue,
 			CUSUMWindow: eventq.Time(*cusumWin), CUSUMSlack: *cusumK, CUSUMThreshold: *cusumH,
 			EntropyWindow: eventq.Time(*entWin), EntropyDelta: *entDelta,
 			BlockThreshold: *blockN, BlockTTL: *blockTTL,
+			Journal: j,
 		},
 		TCPAddr: *tcpAddr, UDPAddr: *udpAddr, HTTPAddr: *httpAddr,
 		DrainGrace: *grace, IdleTimeout: *idle,
+		EnablePprof: *enablePP,
 	})
 	if err != nil {
+		if j != nil {
+			j.Close()
+		}
 		fatal(err)
+	}
+	if *journal != "" {
+		fmt.Printf("ddpmd: attack audit journal %s\n", *journal)
 	}
 	fmt.Printf("ddpmd: fabric %s (topo id %#08x)\n", net2.Name(), d.Pipeline().TopoID())
 	for name, addr := range map[string]net.Addr{"tcp": d.TCPAddr(), "udp": d.UDPAddr(), "http": d.HTTPAddr()} {

@@ -124,15 +124,24 @@ func (b *Blocklist) Len() int {
 // Expire prunes every entry whose expiry is at or before now,
 // returning how many lapsed.
 func (b *Blocklist) Expire(now int64) int {
+	return len(b.ExpireEntries(now))
+}
+
+// ExpireEntries prunes like Expire but returns the lapsed entries
+// sorted by node id, so callers can audit exactly which blocks aged
+// out (ddpmd journals each as a block-expired event). Returns nil when
+// nothing lapsed.
+func (b *Blocklist) ExpireEntries(now int64) []BlockEntry {
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	lapsed := 0
+	var lapsed []BlockEntry
 	for n, until := range b.blocked {
 		if until != Permanent && until <= now {
 			delete(b.blocked, n)
-			lapsed++
+			lapsed = append(lapsed, BlockEntry{Node: n, Until: until})
 		}
 	}
+	b.mu.Unlock()
+	sort.Slice(lapsed, func(i, j int) bool { return lapsed[i].Node < lapsed[j].Node })
 	return lapsed
 }
 

@@ -238,3 +238,31 @@ func TestBlocklistConcurrentUse(t *testing.T) {
 	}
 	<-done
 }
+
+func TestBlocklistExpireEntriesSortedAudit(t *testing.T) {
+	b := NewTTLBlocklist()
+	b.BlockUntil(9, 100)
+	b.BlockUntil(2, 80)
+	b.BlockUntil(5, 300)
+	b.Block(7) // permanent never lapses
+
+	lapsed := b.ExpireEntries(100)
+	if len(lapsed) != 2 || lapsed[0].Node != 2 || lapsed[1].Node != 9 {
+		t.Fatalf("ExpireEntries(100) = %+v, want nodes [2 9]", lapsed)
+	}
+	if lapsed[0].Until != 80 || lapsed[1].Until != 100 {
+		t.Fatalf("lapsed entries lost expiries: %+v", lapsed)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("Len after expiry = %d, want 2", b.Len())
+	}
+	if got := b.ExpireEntries(100); got != nil {
+		t.Fatalf("second ExpireEntries(100) = %+v, want nil", got)
+	}
+	if got := b.ExpireEntries(1 << 40); len(got) != 1 || got[0].Node != 5 {
+		t.Fatalf("ExpireEntries(max) = %+v, want node 5 only", got)
+	}
+	if !b.BlockedAt(7, 1<<40) {
+		t.Fatal("permanent block lapsed")
+	}
+}

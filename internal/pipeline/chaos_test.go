@@ -10,9 +10,15 @@ package pipeline_test
 // record multiset.
 
 import (
+	"bufio"
+	"bytes"
 	"context"
+	"encoding/json"
 	"net"
+	"os"
+	"path/filepath"
 	"reflect"
+	"sort"
 	"testing"
 	"time"
 
@@ -43,11 +49,20 @@ func TestChaosIngestLosesNothingSilently(t *testing.T) {
 	}
 
 	// 2. A live daemon with queues big enough that backpressure cannot
-	// shed — any discrepancy is then the ingest path's fault alone.
+	// shed — any discrepancy is then the ingest path's fault alone. The
+	// attack audit journal rides along: at the end it must tell exactly
+	// the same story as the pipeline's own state.
+	journalPath := filepath.Join(t.TempDir(), "audit.jsonl")
+	t.Logf("attack audit journal: %s", journalPath)
+	j, err := pipeline.OpenJournal(journalPath, 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
 	d, err := pipeline.Start(pipeline.ServerConfig{
 		Pipeline: pipeline.Config{
 			Net: topology.NewTorus2D(8), Shards: 4, QueueLen: 1 << 15,
 			BlockThreshold: blockThreshold, BlockTTL: time.Hour,
+			Journal: j,
 		},
 		TCPAddr:  "127.0.0.1:0",
 		HTTPAddr: "127.0.0.1:0",
@@ -160,4 +175,73 @@ func TestChaosIngestLosesNothingSilently(t *testing.T) {
 	if !reflect.DeepEqual(want, res.Zombies) {
 		t.Logf("note: loss changed the identified set vs ground truth %v -> %v", res.Zombies, want)
 	}
+
+	// 8. The audit journal agrees with the pipeline's final state.
+	// Capture that state, then shut the daemon down — Shutdown drains
+	// and flushes the journal to disk.
+	blockedNodes := map[int64]bool{}
+	for _, e := range p.Blocklist().Snapshot() {
+		blockedNodes[int64(e.Node)] = true
+	}
+	alarmedVictims := map[int64]bool{}
+	for _, v := range p.Victims() {
+		if p.AlarmLatched(v) {
+			alarmedVictims[int64(v)] = true
+		}
+	}
+	if err := d.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if dropped := j.Dropped(); dropped != 0 {
+		t.Fatalf("journal shed %d events; the audit trail is incomplete", dropped)
+	}
+	data, err := os.ReadFile(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journalBlocks := map[int64]bool{}
+	journalAlarms := map[int64]bool{}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		var ev pipeline.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad journal line %q: %v", sc.Text(), err)
+		}
+		switch ev.Type {
+		case pipeline.EventBlock:
+			if journalBlocks[ev.Source] {
+				t.Errorf("source %d block-journaled twice", ev.Source)
+			}
+			journalBlocks[ev.Source] = true
+			if len(ev.Top) == 0 || ev.Count <= blockThreshold {
+				t.Errorf("block event missing evidence: %+v", ev)
+			}
+		case pipeline.EventAlarm:
+			if journalAlarms[ev.Victim] {
+				t.Errorf("victim %d alarm-journaled twice", ev.Victim)
+			}
+			journalAlarms[ev.Victim] = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(journalBlocks, blockedNodes) {
+		t.Errorf("journal block events %v != blocklist %v", keysOf(journalBlocks), keysOf(blockedNodes))
+	}
+	if !reflect.DeepEqual(journalAlarms, alarmedVictims) {
+		t.Errorf("journal alarm events %v != latched victims %v", keysOf(journalAlarms), keysOf(alarmedVictims))
+	}
+	if len(journalBlocks) == 0 || len(journalAlarms) == 0 {
+		t.Error("chaos run raised no audited alarms/blocks — scenario too weak to exercise the journal")
+	}
+}
+
+func keysOf(m map[int64]bool) []int64 {
+	out := make([]int64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }

@@ -3,15 +3,41 @@ package pipeline
 import (
 	"fmt"
 	"io"
+	"math"
+	"strings"
 	"time"
+
+	"repro/internal/stats"
 )
 
+// promEscape escapes a string for use as a Prometheus label value:
+// backslash, double quote and newline per the text exposition format.
+func promEscape(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
 // WritePrometheus renders the pipeline state in Prometheus text
-// exposition format (counters, per-shard queue-depth gauges, and an
-// ingest-rate gauge over the daemon's lifetime). uptime is how long
-// the pipeline has been serving.
+// exposition format: counters, per-shard labeled counters and queue
+// gauges, the sliding-window ingest rate, per-stage latency histograms
+// with p50/p95/p99 summaries, and journal health when a journal is
+// configured. uptime is how long the pipeline has been serving. Series
+// are emitted in a fixed order so the exposition is golden-testable.
 func (p *Pipeline) WritePrometheus(w io.Writer, uptime time.Duration) {
 	s := p.Snapshot()
+	now := p.cfg.Now()
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -20,6 +46,7 @@ func (p *Pipeline) WritePrometheus(w io.Writer, uptime time.Duration) {
 	}
 
 	counter("ddpmd_ingested_total", "records offered to the pipeline", s.Ingested)
+	counter("ddpmd_accepted_total", "records that passed validation and were enqueued", s.Accepted)
 	counter("ddpmd_dropped_total", "records shed by shard-queue backpressure", s.Dropped)
 	counter("ddpmd_rejected_closed_total", "records submitted after pipeline close", s.RejectedClosed)
 	counter("ddpmd_topo_mismatch_total", "records rejected for a foreign topology id", s.TopoMismatch)
@@ -34,14 +61,91 @@ func (p *Pipeline) WritePrometheus(w io.Writer, uptime time.Duration) {
 	gauge("ddpmd_active_blocks", "blocklist entries currently in force", float64(s.ActiveBlocks))
 	secs := uptime.Seconds()
 	gauge("ddpmd_uptime_seconds", "time since the pipeline started", secs)
-	rate := 0.0
-	if secs > 0 {
-		rate = float64(s.Ingested) / secs
-	}
-	gauge("ddpmd_ingest_rate", "lifetime mean ingest rate in records/sec", rate)
 
-	fmt.Fprintf(w, "# HELP ddpmd_shard_queue_depth records waiting per shard\n# TYPE ddpmd_shard_queue_depth gauge\n")
-	for i, d := range s.QueueDepths {
-		fmt.Fprintf(w, "ddpmd_shard_queue_depth{shard=\"%d\"} %d\n", i, d)
+	// The rate gauge keeps its historic name but is no longer a
+	// lifetime mean: each scrape samples the accepted counter and the
+	// gauge reports the slope over the sliding window, falling back to
+	// the lifetime mean only until the window has two samples.
+	p.rateWin.Observe(now, s.Accepted)
+	rate, ok := p.rateWin.Rate()
+	if !ok && secs > 0 {
+		rate = float64(s.Accepted) / secs
+	}
+	gauge("ddpmd_ingest_rate",
+		fmt.Sprintf("accepted (post-validation) records/sec over a sliding %gs window", p.cfg.RateWindow.Seconds()),
+		rate)
+
+	fmt.Fprintf(w, "# HELP ddpmd_topology_info fabric this pipeline identifies sources in\n"+
+		"# TYPE ddpmd_topology_info gauge\nddpmd_topology_info{topology=\"%s\",topo_id=\"%#08x\"} 1\n",
+		promEscape(p.cfg.Net.Name()), p.topoID)
+
+	shardSeries := func(name, typ, help string, vals func(i int) string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for i := range p.shards {
+			fmt.Fprintf(w, "%s{shard=\"%d\"} %s\n", name, i, vals(i))
+		}
+	}
+	shardSeries("ddpmd_shard_queue_depth", "gauge", "records waiting per shard",
+		func(i int) string { return fmt.Sprintf("%d", s.QueueDepths[i]) })
+	shardSeries("ddpmd_shard_processed_total", "counter", "records consumed per shard worker",
+		func(i int) string { return fmt.Sprintf("%d", s.ShardProcessed[i]) })
+	shardSeries("ddpmd_shard_identified_total", "counter", "records identified per shard worker",
+		func(i int) string { return fmt.Sprintf("%d", s.ShardIdentified[i]) })
+	shardSeries("ddpmd_shard_dropped_total", "counter", "records shed per shard by backpressure",
+		func(i int) string { return fmt.Sprintf("%d", s.ShardDropped[i]) })
+
+	p.writeLatency(w)
+
+	if j := p.cfg.Journal; j != nil {
+		counter("ddpmd_journal_events_written_total", "attack-audit events flushed to the journal", j.Written())
+		counter("ddpmd_journal_events_dropped_total", "attack-audit events shed by the bounded journal queue", j.Dropped())
+	}
+}
+
+// writeLatency emits the per-stage latency histograms. Buckets live in
+// the log2-ns domain internally; the exposition exponentiates the bin
+// edges back to seconds, folds underflow into the first bucket, and
+// adds a summary series with interpolated p50/p95/p99.
+func (p *Pipeline) writeLatency(w io.Writer) {
+	if !p.sampleOn {
+		return
+	}
+	var snaps [numStages]*stats.Histogram
+	for stage := range snaps {
+		snaps[stage] = p.lat[stage].hist.Snapshot()
+	}
+	const histName = "ddpmd_stage_latency_seconds"
+	fmt.Fprintf(w, "# HELP %s sampled per-stage processing latency (1 in %d records)\n# TYPE %s histogram\n",
+		histName, p.sampleMask+1, histName)
+	for stage := 0; stage < numStages; stage++ {
+		h := snaps[stage]
+		label := StageNames[stage]
+		bins := h.Bins()
+		under, _ := h.OutOfRange()
+		cum := under // sub-range observations belong in every finite bucket
+		for i, c := range bins {
+			cum += c
+			le := math.Exp2(p.lat[stage].hist.BinUpperBound(i)) / 1e9
+			fmt.Fprintf(w, "%s_bucket{stage=\"%s\",le=\"%.9g\"} %d\n", histName, label, le, cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{stage=\"%s\",le=\"+Inf\"} %d\n", histName, label, h.N())
+		fmt.Fprintf(w, "%s_sum{stage=\"%s\"} %.9g\n", histName, label, float64(p.lat[stage].sumNS.Load())/1e9)
+		fmt.Fprintf(w, "%s_count{stage=\"%s\"} %d\n", histName, label, h.N())
+	}
+
+	const sumName = "ddpmd_stage_latency_summary_seconds"
+	fmt.Fprintf(w, "# HELP %s interpolated latency quantiles per stage\n# TYPE %s summary\n", sumName, sumName)
+	for stage := 0; stage < numStages; stage++ {
+		h := snaps[stage]
+		label := StageNames[stage]
+		for _, q := range [...]float64{0.5, 0.95, 0.99} {
+			v := 0.0
+			if h.N() > 0 {
+				v = math.Exp2(h.Percentile(q*100)) / 1e9
+			}
+			fmt.Fprintf(w, "%s{stage=\"%s\",quantile=\"%g\"} %.9g\n", sumName, label, q, v)
+		}
+		fmt.Fprintf(w, "%s_sum{stage=\"%s\"} %.9g\n", sumName, label, float64(p.lat[stage].sumNS.Load())/1e9)
+		fmt.Fprintf(w, "%s_count{stage=\"%s\"} %d\n", sumName, label, h.N())
 	}
 }

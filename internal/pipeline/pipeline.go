@@ -12,6 +12,7 @@ package pipeline
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/filter"
 	"repro/internal/marking"
 	"repro/internal/packet"
+	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/traceback"
 	"repro/internal/wire"
@@ -54,6 +56,28 @@ type Config struct {
 	// Now supplies the blocklist timebase in unix nanoseconds;
 	// defaults to time.Now().UnixNano(). Tests inject a fake clock.
 	Now func() int64
+
+	// LatencySampleEvery records per-stage latencies for one in every
+	// N records per shard, rounded up to a power of two (default 64;
+	// 1 times every record; negative disables the histograms). The
+	// sampled stages are ingest→enqueue, decode/identify, detect and
+	// block, exposed on /metrics as histogram + p50/p95/p99 series.
+	LatencySampleEvery int
+
+	// RateWindow is the span of the sliding-window ingest-rate gauge
+	// (default 60s). Each /metrics scrape contributes one sample.
+	RateWindow time.Duration
+
+	// Journal, when non-nil, receives attack-audit events: alarms,
+	// auto-blocks (with top-k evidence), block expiries and stream
+	// incidents. The pipeline never closes it; the owner flushes it
+	// with Journal.Close after Close (the daemon does this on the
+	// SIGTERM drain path).
+	Journal *Journal
+
+	// JournalTopK is how many top identified sources a source-blocked
+	// event carries as evidence (default 5).
+	JournalTopK int
 }
 
 func (c *Config) applyDefaults() error {
@@ -90,7 +114,52 @@ func (c *Config) applyDefaults() error {
 	if c.Now == nil {
 		c.Now = func() int64 { return time.Now().UnixNano() }
 	}
+	if c.LatencySampleEvery == 0 {
+		c.LatencySampleEvery = 64
+	}
+	if c.RateWindow <= 0 {
+		c.RateWindow = time.Minute
+	}
+	if c.JournalTopK <= 0 {
+		c.JournalTopK = 5
+	}
 	return nil
+}
+
+// Pipeline stages instrumented with latency histograms.
+const (
+	stageIngest   = iota // Submit entry → shard-queue enqueue
+	stageIdentify        // victim-state lookup + MF decode/identify
+	stageDetect          // CUSUM/entropy update + alarm latch
+	stageBlock           // blocklist consult + auto-block insertion
+	numStages
+)
+
+// StageNames are the exposition labels, in stage order.
+var StageNames = [numStages]string{"ingest", "identify", "detect", "block"}
+
+// Latency histograms live in the log2-nanosecond domain: recording
+// log2(ns) into stats.AtomicHistogram's fixed-width bins yields
+// exponential buckets (×√2 per bin) while reusing the existing bin and
+// percentile math; the exposition exponentiates the edges back to
+// seconds. The range spans 1ns..2^30ns (~1.07s).
+const (
+	latLo   = 0
+	latHi   = 30
+	latBins = 60
+)
+
+// stageLat is one stage's telemetry: the sharded histogram plus an
+// exact nanosecond sum for the Prometheus _sum series (the histogram's
+// own mean would be a bin-midpoint approximation).
+type stageLat struct {
+	hist  *stats.AtomicHistogram
+	sumNS atomic.Int64
+}
+
+func (l *stageLat) observe(hint uint64, d time.Duration) {
+	l.sumNS.Add(d.Nanoseconds())
+	l.hist.Observe(hint, stats.Log2NS(d.Nanoseconds()))
 }
 
 // Counters is the pipeline's atomic metric block. Every field is a
@@ -111,12 +180,21 @@ type Counters struct {
 }
 
 // Snapshot is a plain-value copy of the counters plus derived state.
+// Accepted (records that passed validation and were enqueued) is
+// derived: ingested minus every rejection counter, so the hot path
+// pays no extra atomic for it.
 type Snapshot struct {
-	Ingested, Dropped, RejectedClosed, TopoMismatch, BadVictim uint64
-	Processed, Identified, Undecodable                         uint64
-	BlockedHits, Alarms, Blocks                                uint64
-	QueueDepths                                                []int
-	ActiveBlocks                                               int
+	Ingested, Accepted, Dropped, RejectedClosed uint64
+	TopoMismatch, BadVictim                     uint64
+	Processed, Identified, Undecodable          uint64
+	BlockedHits, Alarms, Blocks                 uint64
+	QueueDepths                                 []int
+	ActiveBlocks                                int
+
+	// Per-shard views of the worker counters, indexed by shard.
+	ShardProcessed  []uint64
+	ShardIdentified []uint64
+	ShardDropped    []uint64
 }
 
 // victimState is everything the pipeline keeps per victim node. It is
@@ -127,7 +205,7 @@ type victimState struct {
 	ident   *traceback.SyncDDPMIdentifier
 	cusum   detect.Detector
 	entropy detect.Detector
-	alarmed bool          // worker-local latch: count each victim's alarm once
+	alarmed atomic.Bool   // latch: worker sets once, admin plane reads
 	scratch packet.Packet // reused to feed packet-shaped detectors
 }
 
@@ -135,6 +213,36 @@ type shard struct {
 	ch      chan wire.Record
 	mu      sync.Mutex // guards victims map shape (worker writes, admin reads)
 	victims map[topology.NodeID]*victimState
+
+	// Per-shard worker counters behind the shard="N" metric labels.
+	// seen, pendProcessed and pendIdentified are worker-local: seen is
+	// the latency-sampling clock, the pend fields batch counts between
+	// flushes so the hot path pays two atomic adds per flushEvery
+	// records (or per queue drain) instead of per record. The atomics
+	// are what the admin plane reads.
+	seen           uint64
+	pendProcessed  uint64
+	pendIdentified uint64
+	processed      atomic.Uint64
+	identified     atomic.Uint64
+	dropped        atomic.Uint64
+}
+
+// flushEvery bounds how stale a shard's published counters may be
+// while its queue stays non-empty; an idle queue flushes immediately.
+const flushEvery = 64
+
+// flush publishes the worker-local pending counts. Called only from
+// the shard's worker goroutine.
+func (s *shard) flush() {
+	if s.pendProcessed > 0 {
+		s.processed.Add(s.pendProcessed)
+		s.pendProcessed = 0
+	}
+	if s.pendIdentified > 0 {
+		s.identified.Add(s.pendIdentified)
+		s.pendIdentified = 0
+	}
 }
 
 // Pipeline is the running sharded service. Build with New, feed with
@@ -147,6 +255,11 @@ type Pipeline struct {
 
 	C Counters
 
+	lat        [numStages]stageLat
+	sampleOn   bool
+	sampleMask uint64 // pow2-1: sample when count&mask == 0
+	rateWin    *stats.RateWindow
+
 	mu     sync.RWMutex // serializes Submit against Close
 	closed bool
 	wg     sync.WaitGroup
@@ -158,9 +271,21 @@ func New(cfg Config) (*Pipeline, error) {
 		return nil, err
 	}
 	p := &Pipeline{
-		cfg:    cfg,
-		topoID: wire.TopoID(cfg.Net.Name()),
-		bl:     filter.NewTTLBlocklist(),
+		cfg:     cfg,
+		topoID:  wire.TopoID(cfg.Net.Name()),
+		bl:      filter.NewTTLBlocklist(),
+		rateWin: stats.NewRateWindow(cfg.RateWindow),
+	}
+	if cfg.LatencySampleEvery > 0 {
+		p.sampleOn = true
+		every := uint64(1)
+		for every < uint64(cfg.LatencySampleEvery) {
+			every <<= 1
+		}
+		p.sampleMask = every - 1
+		for i := range p.lat {
+			p.lat[i].hist = stats.NewAtomicHistogram(latLo, latHi, latBins, cfg.Shards)
+		}
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		s := &shard{
@@ -169,7 +294,7 @@ func New(cfg Config) (*Pipeline, error) {
 		}
 		p.shards = append(p.shards, s)
 		p.wg.Add(1)
-		go p.run(s)
+		go p.run(s, i)
 	}
 	return p, nil
 }
@@ -181,11 +306,20 @@ func (p *Pipeline) TopoID() uint32 { return p.topoID }
 // the admin plane.
 func (p *Pipeline) Blocklist() *filter.Blocklist { return p.bl }
 
+// Journal returns the configured attack-audit journal (nil when
+// disabled). The pipeline emits to it but never closes it.
+func (p *Pipeline) Journal() *Journal { return p.cfg.Journal }
+
 // Submit offers one record to the pipeline without blocking. It
 // reports false when the record was not queued — validation failure or
 // backpressure — with the reason visible in the counters.
 func (p *Pipeline) Submit(rec wire.Record) bool {
-	p.C.Ingested.Add(1)
+	n := p.C.Ingested.Add(1)
+	sampled := p.sampleOn && n&p.sampleMask == 0
+	var t0 time.Time
+	if sampled {
+		t0 = time.Now()
+	}
 	if rec.Topo != p.topoID {
 		p.C.TopoMismatch.Add(1)
 		return false
@@ -202,12 +336,17 @@ func (p *Pipeline) Submit(rec wire.Record) bool {
 		p.C.RejectedClosed.Add(1)
 		return false
 	}
-	s := p.shards[int(rec.Victim)%len(p.shards)]
+	si := int(rec.Victim) % len(p.shards)
+	s := p.shards[si]
 	select {
 	case s.ch <- rec:
+		if sampled {
+			p.lat[stageIngest].observe(uint64(si), time.Since(t0))
+		}
 		return true
 	default:
 		p.C.Dropped.Add(1) // bounded queue full: shed, don't stall ingest
+		s.dropped.Add(1)
 		return false
 	}
 }
@@ -226,15 +365,26 @@ func (p *Pipeline) Close() {
 	p.wg.Wait()
 }
 
-func (p *Pipeline) run(s *shard) {
+func (p *Pipeline) run(s *shard, si int) {
 	defer p.wg.Done()
 	for rec := range s.ch {
-		p.process(s, rec)
+		p.process(s, si, rec)
+		if s.pendProcessed >= flushEvery || len(s.ch) == 0 {
+			s.flush()
+		}
 	}
+	s.flush()
 }
 
-func (p *Pipeline) process(s *shard, rec wire.Record) {
+func (p *Pipeline) process(s *shard, si int, rec wire.Record) {
 	p.C.Processed.Add(1)
+	s.pendProcessed++
+	sampled := p.sampleOn && s.seen&p.sampleMask == 0
+	s.seen++
+	var t0, t1, t2 time.Time
+	if sampled {
+		t0 = time.Now()
+	}
 	st := s.victims[rec.Victim]
 	if st == nil {
 		var err error
@@ -254,6 +404,11 @@ func (p *Pipeline) process(s *shard, rec wire.Record) {
 		p.C.Undecodable.Add(1)
 	} else {
 		p.C.Identified.Add(1)
+		s.pendIdentified++
+	}
+	if sampled {
+		t1 = time.Now()
+		p.lat[stageIdentify].observe(uint64(si), t1.Sub(t0))
 	}
 
 	now := p.cfg.Now()
@@ -261,6 +416,9 @@ func (p *Pipeline) process(s *shard, rec wire.Record) {
 		// Already-blocked traffic is dropped before the victim's
 		// detectors — exactly what the in-fabric filter would do.
 		p.C.BlockedHits.Add(1)
+		if sampled {
+			p.lat[stageBlock].observe(uint64(si), time.Since(t1))
+		}
 		return
 	}
 
@@ -268,17 +426,79 @@ func (p *Pipeline) process(s *shard, rec wire.Record) {
 	st.scratch.Hdr.Proto = rec.Proto
 	st.cusum.Observe(rec.T, &st.scratch)
 	st.entropy.Observe(rec.T, &st.scratch)
-	if !st.alarmed && (st.cusum.Alarmed() || st.entropy.Alarmed()) {
-		st.alarmed = true
+	if !st.alarmed.Load() && (st.cusum.Alarmed() || st.entropy.Alarmed()) {
+		st.alarmed.Store(true)
 		p.C.Alarms.Add(1)
+		p.journalAlarm(now, rec.Victim, st)
 	}
-	if st.alarmed && ok && st.ident.Count(src) > p.cfg.BlockThreshold {
-		until := filter.Permanent
-		if p.cfg.BlockTTL > 0 {
-			until = now + p.cfg.BlockTTL.Nanoseconds()
+	if sampled {
+		t2 = time.Now()
+		p.lat[stageDetect].observe(uint64(si), t2.Sub(t1))
+	}
+	if st.alarmed.Load() && ok {
+		if cnt := st.ident.Count(src); cnt > p.cfg.BlockThreshold {
+			until := filter.Permanent
+			if p.cfg.BlockTTL > 0 {
+				until = now + p.cfg.BlockTTL.Nanoseconds()
+			}
+			p.bl.BlockUntil(src, until)
+			p.C.Blocks.Add(1)
+			p.journalBlock(now, rec.Victim, src, cnt, until, st)
 		}
-		p.bl.BlockUntil(src, until)
-		p.C.Blocks.Add(1)
+	}
+	if sampled {
+		p.lat[stageBlock].observe(uint64(si), time.Since(t2))
+	}
+}
+
+// journalAlarm records a victim's first detector firing.
+func (p *Pipeline) journalAlarm(now int64, victim topology.NodeID, st *victimState) {
+	if p.cfg.Journal == nil {
+		return
+	}
+	detail := "cusum"
+	switch {
+	case st.cusum.Alarmed() && st.entropy.Alarmed():
+		detail = "cusum+entropy"
+	case st.entropy.Alarmed():
+		detail = "entropy"
+	}
+	p.cfg.Journal.Emit(Event{
+		T: now, Type: EventAlarm,
+		Victim: int64(victim), Source: -1,
+		Detail: detail,
+	})
+}
+
+// journalBlock records an auto-block with the victim's top-k
+// identified sources at block time as evidence.
+func (p *Pipeline) journalBlock(now int64, victim, src topology.NodeID, cnt, until int64, st *victimState) {
+	if p.cfg.Journal == nil {
+		return
+	}
+	top := make([]SourceCount, 0, p.cfg.JournalTopK)
+	for _, n := range st.ident.TopSources(p.cfg.JournalTopK) {
+		top = append(top, SourceCount{Node: int64(n), Count: st.ident.Count(n)})
+	}
+	p.cfg.Journal.Emit(Event{
+		T: now, Type: EventBlock,
+		Victim: int64(victim), Source: int64(src),
+		Count: cnt, Until: until, Top: top,
+	})
+}
+
+// expireBlocks prunes lapsed blocklist entries, journaling each as a
+// block-expired event.
+func (p *Pipeline) expireBlocks(now int64) {
+	if p.cfg.Journal == nil {
+		p.bl.Expire(now)
+		return
+	}
+	for _, e := range p.bl.ExpireEntries(now) {
+		p.cfg.Journal.Emit(Event{
+			T: now, Type: EventBlockExpired,
+			Victim: -1, Source: int64(e.Node), Until: e.Until,
+		})
 	}
 }
 
@@ -316,9 +536,23 @@ func (p *Pipeline) Alarmed(victim topology.NodeID) bool {
 	return st != nil && (st.cusum.Alarmed() || st.entropy.Alarmed())
 }
 
+// AlarmLatched reports whether the victim's alarm latch has ever set —
+// the stable "this victim came under attack" bit that journal alarm
+// events and /victims report, immune to a detector de-alarming as its
+// window slides on.
+func (p *Pipeline) AlarmLatched(victim topology.NodeID) bool {
+	st := p.state(victim)
+	return st != nil && st.alarmed.Load()
+}
+
 // TopSources returns the victim's k most frequently identified
-// sources (empty before the victim's first record).
+// sources (empty before the victim's first record). Non-positive k is
+// an admin-plane input; it clamps to an empty result rather than
+// panicking downstream.
 func (p *Pipeline) TopSources(victim topology.NodeID, k int) []topology.NodeID {
+	if k <= 0 {
+		return nil
+	}
 	st := p.state(victim)
 	if st == nil {
 		return nil
@@ -327,8 +561,12 @@ func (p *Pipeline) TopSources(victim topology.NodeID, k int) []topology.NodeID {
 }
 
 // SourcesAbove returns the victim's sources identified more than
-// threshold times.
+// threshold times. A negative threshold is an admin-plane input that
+// would otherwise select every source ever seen; it clamps to empty.
 func (p *Pipeline) SourcesAbove(victim topology.NodeID, threshold int64) []topology.NodeID {
+	if threshold < 0 {
+		return nil
+	}
 	st := p.state(victim)
 	if st == nil {
 		return nil
@@ -336,7 +574,8 @@ func (p *Pipeline) SourcesAbove(victim topology.NodeID, threshold int64) []topol
 	return st.ident.SourcesAbove(threshold)
 }
 
-// Victims lists every victim node the pipeline has state for.
+// Victims lists every victim node the pipeline has state for, sorted
+// by node id so admin output is deterministic.
 func (p *Pipeline) Victims() []topology.NodeID {
 	var out []topology.NodeID
 	for _, s := range p.shards {
@@ -346,15 +585,54 @@ func (p *Pipeline) Victims() []topology.NodeID {
 		}
 		s.mu.Unlock()
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// VictimReport is the admin-plane view of one victim's state (the
+// /victims endpoint and `ddpmd status`).
+type VictimReport struct {
+	Node        int64         `json:"node"`
+	Alarmed     bool          `json:"alarmed"` // the latch, not the live detector
+	Identified  int64         `json:"identified"`
+	Undecodable int64         `json:"undecodable"`
+	TopSources  []SourceCount `json:"top_sources"`
+}
+
+// VictimReports builds per-victim reports with up to k top sources
+// each, sorted by node id. k <= 0 yields reports with no top-source
+// evidence.
+func (p *Pipeline) VictimReports(k int) []VictimReport {
+	victims := p.Victims()
+	out := make([]VictimReport, 0, len(victims))
+	for _, v := range victims {
+		st := p.state(v)
+		if st == nil { // raced a concurrent reset; skip
+			continue
+		}
+		r := VictimReport{
+			Node:        int64(v),
+			Alarmed:     st.alarmed.Load(),
+			Identified:  st.ident.Observed(),
+			Undecodable: st.ident.Undecodable(),
+		}
+		if k > 0 {
+			r.TopSources = make([]SourceCount, 0, k)
+			for _, n := range st.ident.TopSources(k) {
+				r.TopSources = append(r.TopSources, SourceCount{Node: int64(n), Count: st.ident.Count(n)})
+			}
+		}
+		out = append(out, r)
+	}
 	return out
 }
 
 // Snapshot copies the counters and derived gauges. It also prunes
-// lapsed blocklist entries so ActiveBlocks reflects live blocks only.
+// lapsed blocklist entries (journaling each expiry) so ActiveBlocks
+// reflects live blocks only.
 func (p *Pipeline) Snapshot() Snapshot {
-	p.bl.Expire(p.cfg.Now())
+	p.expireBlocks(p.cfg.Now())
 	snap := Snapshot{
-		Ingested:       p.C.Ingested.Load(),
 		Dropped:        p.C.Dropped.Load(),
 		RejectedClosed: p.C.RejectedClosed.Load(),
 		TopoMismatch:   p.C.TopoMismatch.Load(),
@@ -367,10 +645,31 @@ func (p *Pipeline) Snapshot() Snapshot {
 		Blocks:         p.C.Blocks.Load(),
 		ActiveBlocks:   p.bl.Len(),
 	}
+	// Accepted is derived rather than counted: every rejection path
+	// already has a counter, so accepted = ingested − rejections.
+	// Loading Ingested after the rejection counters keeps the subtrahend
+	// a prefix of it under concurrent submits (no uint64 wraparound); a
+	// racing scrape may transiently overcount Accepted by in-flight
+	// submissions, which monotone-counter consumers tolerate.
+	snap.Ingested = p.C.Ingested.Load()
+	snap.Accepted = snap.Ingested - snap.TopoMismatch - snap.BadVictim - snap.RejectedClosed - snap.Dropped
 	for _, s := range p.shards {
 		snap.QueueDepths = append(snap.QueueDepths, len(s.ch))
+		snap.ShardProcessed = append(snap.ShardProcessed, s.processed.Load())
+		snap.ShardIdentified = append(snap.ShardIdentified, s.identified.Load())
+		snap.ShardDropped = append(snap.ShardDropped, s.dropped.Load())
 	}
 	return snap
+}
+
+// StageLatency returns a merged snapshot of one stage's histogram in
+// the log2-nanosecond domain plus the exact nanosecond sum, or nil
+// when latency recording is disabled. Stage indexes follow StageNames.
+func (p *Pipeline) StageLatency(stage int) (h *stats.Histogram, sumNS int64) {
+	if !p.sampleOn || stage < 0 || stage >= numStages {
+		return nil, 0
+	}
+	return p.lat[stage].hist.Snapshot(), p.lat[stage].sumNS.Load()
 }
 
 // nopDetector disables a detector slot.

@@ -261,3 +261,109 @@ func waitProcessed(t *testing.T, p *Pipeline) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+func TestVictimsSortedAcrossShards(t *testing.T) {
+	net := topology.NewMesh2D(4)
+	p, err := New(Config{Net: net, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Victims land in different shards (id % 3) in scrambled order; the
+	// listing must come back sorted by node id regardless.
+	for _, v := range []topology.NodeID{14, 3, 9, 0, 7} {
+		submitWait(t, p, wire.Record{T: 1, Topo: p.TopoID(), Victim: v, MF: 0})
+	}
+	p.Close()
+	got := p.Victims()
+	want := []topology.NodeID{0, 3, 7, 9, 14}
+	if len(got) != len(want) {
+		t.Fatalf("Victims() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Victims() = %v, want %v (unsorted at %d)", got, want, i)
+		}
+	}
+}
+
+func TestAdminQueryClamps(t *testing.T) {
+	net := topology.NewMesh2D(4)
+	p, err := New(Config{Net: net, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := topology.NodeID(0)
+	submitWait(t, p, wire.Record{T: 1, Topo: p.TopoID(), Victim: victim, MF: mkMF(t, net, 5, victim)})
+	p.Close()
+
+	top := func(k int) int { return len(p.TopSources(victim, k)) }
+	above := func(th int64) int { return len(p.SourcesAbove(victim, th)) }
+	cases := []struct {
+		name string
+		got  int
+		want int
+	}{
+		// Non-positive k and negative thresholds are admin-plane inputs
+		// (?k=, CLI flags); they must clamp to empty, never panic or
+		// select the whole universe.
+		{"TopSources k=0", top(0), 0},
+		{"TopSources k=-3", top(-3), 0},
+		{"TopSources k=1", top(1), 1},
+		{"SourcesAbove threshold=-1", above(-1), 0},
+		{"SourcesAbove threshold=0", above(0), 1},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s: %d sources, want %d", c.name, c.got, c.want)
+		}
+	}
+	// Unknown victims stay empty under every input.
+	if p.TopSources(99, 5) != nil || p.SourcesAbove(99, 0) != nil {
+		t.Error("unknown victim returned sources")
+	}
+	if p.AlarmLatched(99) {
+		t.Error("unknown victim reports a latched alarm")
+	}
+}
+
+func TestSnapshotDerivedAcceptedAndShardCounters(t *testing.T) {
+	net := topology.NewMesh2D(4)
+	p, err := New(Config{Net: net, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitWait(t, p, wire.Record{T: 1, Topo: p.TopoID(), Victim: 1, MF: 0})
+	submitWait(t, p, wire.Record{T: 2, Topo: p.TopoID(), Victim: 2, MF: 0})
+	submitWait(t, p, wire.Record{T: 3, Topo: p.TopoID(), Victim: 2, MF: 0x7F7F}) // undecodable
+	p.Submit(wire.Record{T: 4, Topo: 12345, Victim: 1})                          // topo mismatch
+	p.Submit(wire.Record{T: 5, Topo: p.TopoID(), Victim: 99})                    // bad victim
+	p.Close()
+	p.Submit(wire.Record{T: 6, Topo: p.TopoID(), Victim: 1}) // rejected: closed
+
+	s := p.Snapshot()
+	if s.Ingested != 6 || s.Accepted != 3 {
+		t.Errorf("ingested=%d accepted=%d, want 6 and 3", s.Ingested, s.Accepted)
+	}
+	if s.TopoMismatch != 1 || s.BadVictim != 1 || s.RejectedClosed != 1 {
+		t.Errorf("rejections = %+v, want one of each kind", s)
+	}
+	if len(s.ShardProcessed) != 2 || len(s.ShardIdentified) != 2 || len(s.ShardDropped) != 2 {
+		t.Fatalf("per-shard slices sized %d/%d/%d, want 2 each",
+			len(s.ShardProcessed), len(s.ShardIdentified), len(s.ShardDropped))
+	}
+	// Victim 1 -> shard 1, victim 2 (twice) -> shard 0; workers flushed
+	// at exit so the published counters are exact.
+	if s.ShardProcessed[0] != 2 || s.ShardProcessed[1] != 1 {
+		t.Errorf("ShardProcessed = %v, want [2 1]", s.ShardProcessed)
+	}
+	if s.ShardIdentified[0] != 1 || s.ShardIdentified[1] != 1 {
+		t.Errorf("ShardIdentified = %v, want [1 1]", s.ShardIdentified)
+	}
+	var sum uint64
+	for _, v := range s.ShardProcessed {
+		sum += v
+	}
+	if sum != s.Processed {
+		t.Errorf("shard processed sum %d != global %d", sum, s.Processed)
+	}
+}

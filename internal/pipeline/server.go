@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,6 +39,11 @@ type ServerConfig struct {
 	// a frame (slowloris protection) and bounds ack writes. Default 2
 	// minutes; negative disables.
 	IdleTimeout time.Duration
+
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
+	// admin plane. Opt-in: profiling endpoints expose heap contents,
+	// so they stay off unless the operator asks.
+	EnablePprof bool
 }
 
 // session is the server half of a wire exporter session: the cumulative
@@ -128,6 +135,14 @@ func Start(cfg ServerConfig) (*Daemon, error) {
 		mux.HandleFunc("/healthz", d.handleHealthz)
 		mux.HandleFunc("/metrics", d.handleMetrics)
 		mux.HandleFunc("/blocklist", d.handleBlocklist)
+		mux.HandleFunc("/victims", d.handleVictims)
+		if cfg.EnablePprof {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
 		d.httpSrv = &http.Server{Handler: mux}
 		go func() {
 			if err := d.httpSrv.Serve(d.httpLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -223,10 +238,18 @@ func (d *Daemon) Shutdown(ctx context.Context) error {
 		d.udpConn.Close()
 	}
 	d.p.Close() // drain shard queues
-	if d.httpSrv != nil {
-		return d.httpSrv.Shutdown(ctx)
+	var jerr error
+	if j := d.p.Journal(); j != nil {
+		// Flush after the drain so every event from queued records is
+		// on disk before the process exits.
+		jerr = j.Close()
 	}
-	return nil
+	if d.httpSrv != nil {
+		if err := d.httpSrv.Shutdown(ctx); err != nil {
+			return err
+		}
+	}
+	return jerr
 }
 
 func (d *Daemon) closeListeners() {
@@ -267,6 +290,14 @@ func (d *Daemon) armDeadline(conn net.Conn) {
 	}
 	if at := d.drainAt.Load(); at != 0 {
 		conn.SetReadDeadline(time.Unix(0, at))
+	}
+}
+
+// journalStream emits a stream-level audit event (resync, session
+// loss) when a journal is configured.
+func (d *Daemon) journalStream(evType string, stream uint64, detail string) {
+	if j := d.p.Journal(); j != nil {
+		j.Emit(Event{T: d.p.cfg.Now(), Type: evType, Victim: -1, Source: -1, Stream: stream, Detail: detail})
 	}
 }
 
@@ -347,6 +378,8 @@ func (d *Daemon) servePlain(conn net.Conn, r *wire.Reader, ftype uint8, payload 
 			lastResyncs = rs
 		}
 		if sk := r.SkippedBytes(); sk != lastSkipped {
+			d.journalStream(EventResync,
+				0, fmt.Sprintf("%s: skipped %d bytes to next magic", conn.RemoteAddr(), sk-lastSkipped))
 			d.resyncSkipped.Add(sk - lastSkipped)
 			lastSkipped = sk
 		}
@@ -387,14 +420,18 @@ func (d *Daemon) serveSession(conn net.Conn, r *wire.Reader, helloPayload []byte
 			seq, batch, err := wire.ParseSealed(payload, recs[:0])
 			if err != nil {
 				d.decodeErrs.Add(1)
-				return // strict: the client resends from the acked count
+				// Strict: the client resends from the acked count.
+				d.journalStream(EventSessionLoss, streamID, "sealed frame rejected")
+				return
 			}
 			recs = batch[:0]
 			sess.mu.Lock()
 			if seq > sess.count {
 				sess.mu.Unlock()
 				d.decodeErrs.Add(1)
-				return // gap before the accepted count: protocol violation
+				// Gap before the accepted count: protocol violation.
+				d.journalStream(EventSessionLoss, streamID, "sequence gap")
+				return
 			}
 			if skip := int(sess.count - seq); skip < len(batch) {
 				for _, rec := range batch[skip:] {
@@ -413,6 +450,7 @@ func (d *Daemon) serveSession(conn net.Conn, r *wire.Reader, helloPayload []byte
 			_, b, err := wire.ParseHello(payload)
 			if err != nil {
 				d.decodeErrs.Add(1)
+				d.journalStream(EventSessionLoss, streamID, "re-hello rejected")
 				return
 			}
 			if !d.ackHello(conn, sess, b, &scratch) {
@@ -420,7 +458,9 @@ func (d *Daemon) serveSession(conn net.Conn, r *wire.Reader, helloPayload []byte
 			}
 		default:
 			d.decodeErrs.Add(1)
-			return // plain frames on a session conn: protocol violation
+			// Plain frames on a session conn: protocol violation.
+			d.journalStream(EventSessionLoss, streamID, "non-session frame")
+			return
 		}
 	}
 }
@@ -536,6 +576,28 @@ func (d *Daemon) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	fmt.Fprintf(w, "# HELP ddpmd_draining whether shutdown drain has begun\n"+
 		"# TYPE ddpmd_draining gauge\nddpmd_draining %d\n", draining)
+}
+
+// handleVictims reports per-victim pipeline state as JSON, sorted by
+// node id: alarm latch, identified/undecodable record counts, and the
+// top identified sources with tallies (?k=N, default 5, clamped to
+// empty evidence for non-positive N).
+func (d *Daemon) handleVictims(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	k := 5
+	if q := r.URL.Query().Get("k"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad k %q", q), http.StatusBadRequest)
+			return
+		}
+		k = v
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(d.p.VictimReports(k))
 }
 
 // blocklistEntry is the admin-plane JSON shape of one block.

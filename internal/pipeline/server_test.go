@@ -2,10 +2,13 @@ package pipeline
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -209,5 +212,106 @@ func TestBlocklistAdminEndpoint(t *testing.T) {
 	}
 	if d.Pipeline().Blocklist().Len() != 0 {
 		t.Error("unblock left entries behind")
+	}
+}
+
+func TestVictimsEndpointAndPprofGate(t *testing.T) {
+	topo := topology.NewMesh2D(4)
+	d, err := Start(ServerConfig{
+		Pipeline:    Config{Net: topo, Shards: 2},
+		HTTPAddr:    "127.0.0.1:0",
+		EnablePprof: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Shutdown(context.Background())
+	p := d.Pipeline()
+	for _, v := range []topology.NodeID{9, 2} {
+		if !p.Submit(wire.Record{T: 1, Topo: p.TopoID(), Victim: v, MF: 0}) {
+			t.Fatal("submit shed")
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for p.C.Processed.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("records never processed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	code, body := httpGet(t, d, "/victims?k=2")
+	if code != http.StatusOK {
+		t.Fatalf("GET /victims: %d %s", code, body)
+	}
+	var reports []VictimReport
+	if err := json.Unmarshal([]byte(body), &reports); err != nil {
+		t.Fatalf("bad /victims JSON %q: %v", body, err)
+	}
+	if len(reports) != 2 || reports[0].Node != 2 || reports[1].Node != 9 {
+		t.Fatalf("reports = %+v, want nodes [2 9] sorted", reports)
+	}
+	// MF 0 identifies src == victim: one tallied top source each.
+	if len(reports[0].TopSources) != 1 || reports[0].TopSources[0].Node != 2 {
+		t.Errorf("victim 2 top sources = %+v", reports[0].TopSources)
+	}
+	if reports[0].Alarmed || reports[0].Identified != 1 {
+		t.Errorf("victim 2 report = %+v", reports[0])
+	}
+
+	if code, body := httpGet(t, d, "/victims?k=junk"); code != http.StatusBadRequest {
+		t.Errorf("bad k: %d %s, want 400", code, body)
+	}
+	resp, err := http.Post(fmt.Sprintf("http://%s/victims", d.HTTPAddr()), "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /victims: %d, want 405", resp.StatusCode)
+	}
+	if code, _ := httpGet(t, d, "/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("pprof enabled but /debug/pprof/cmdline = %d", code)
+	}
+
+	// pprof stays off unless asked: a second daemon without the opt-in.
+	d2, err := Start(ServerConfig{Pipeline: Config{Net: topo}, HTTPAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Shutdown(context.Background())
+	if code, _ := httpGet(t, d2, "/debug/pprof/cmdline"); code != http.StatusNotFound {
+		t.Errorf("pprof reachable without opt-in: %d", code)
+	}
+}
+
+func TestShutdownFlushesJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "audit.jsonl")
+	j, err := OpenJournal(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := topology.NewMesh2D(4)
+	d, err := Start(ServerConfig{
+		Pipeline: Config{Net: topo, Journal: j},
+		HTTPAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Emit(Event{T: 1, Type: EventResync, Victim: -1, Source: -1, Detail: "test"})
+	if err := d.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// Shutdown closed the journal: the event is on disk and late emits shed.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"stream_resync"`) {
+		t.Errorf("journal file missing flushed event: %q", data)
+	}
+	if j.Emit(Event{Type: EventResync}) {
+		t.Error("emit after daemon shutdown reported success")
 	}
 }

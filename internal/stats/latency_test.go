@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The atomic histogram must agree exactly with the plain Histogram fed
+// the same observations — it reuses the bin/percentile math, so any
+// divergence is a sharding bug.
+func TestAtomicHistogramMatchesHistogram(t *testing.T) {
+	ah := NewAtomicHistogram(0, 100, 50, 4)
+	h := NewHistogram(0, 100, 50)
+	xs := []float64{-3, 0, 0.5, 12, 49.999, 50, 99.9, 100, 250}
+	for i, x := range xs {
+		ah.Observe(uint64(i), x)
+		h.Add(x)
+	}
+	snap := ah.Snapshot()
+	if snap.N() != h.N() {
+		t.Fatalf("N = %d, want %d", snap.N(), h.N())
+	}
+	au, ao := snap.OutOfRange()
+	hu, ho := h.OutOfRange()
+	if au != hu || ao != ho {
+		t.Fatalf("out of range = (%d,%d), want (%d,%d)", au, ao, hu, ho)
+	}
+	ab, hb := snap.Bins(), h.Bins()
+	for i := range ab {
+		if ab[i] != hb[i] {
+			t.Fatalf("bin %d = %d, want %d", i, ab[i], hb[i])
+		}
+	}
+	for _, p := range []float64{1, 25, 50, 95, 99} {
+		if got, want := snap.Percentile(p), h.Percentile(p); got != want {
+			t.Errorf("P%v = %v, want %v", p, got, want)
+		}
+	}
+	if ah.N() != h.N() {
+		t.Errorf("AtomicHistogram.N = %d, want %d", ah.N(), h.N())
+	}
+}
+
+func TestAtomicHistogramShardRounding(t *testing.T) {
+	for _, shards := range []int{0, 1, 3, 4, 7} {
+		ah := NewAtomicHistogram(0, 10, 5, shards)
+		for hint := uint64(0); hint < 32; hint++ {
+			ah.Observe(hint, 5)
+		}
+		if got := ah.Snapshot().N(); got != 32 {
+			t.Errorf("shards=%d: N = %d, want 32", shards, got)
+		}
+	}
+}
+
+func TestLog2NS(t *testing.T) {
+	if got := Log2NS(0); got != 0 {
+		t.Errorf("Log2NS(0) = %v", got)
+	}
+	if got := Log2NS(-5); got != 0 {
+		t.Errorf("Log2NS(-5) = %v", got)
+	}
+	if got := Log2NS(1 << 20); got != 20 {
+		t.Errorf("Log2NS(2^20) = %v, want 20", got)
+	}
+	if math.Abs(Log2NS(1000)-9.9657) > 1e-3 {
+		t.Errorf("Log2NS(1000) = %v", Log2NS(1000))
+	}
+}
+
+// The -race stress test: hammer Observe from many goroutines while a
+// reader snapshots concurrently, then verify no observation was lost
+// once the writers are done.
+func TestAtomicHistogramConcurrentSnapshot(t *testing.T) {
+	const (
+		writers = 8
+		perG    = 5000
+	)
+	ah := NewAtomicHistogram(0, 30, 60, writers)
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := ah.Snapshot()
+			// Mid-flight snapshots must be internally consistent: N is
+			// derived from the merged buckets, never negative or ahead
+			// of the final total.
+			if n := snap.N(); n < 0 || n > writers*perG {
+				t.Errorf("snapshot N = %d out of [0,%d]", n, writers*perG)
+				return
+			}
+			snap.Percentile(95)
+		}
+	}()
+	var writersWG sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		writersWG.Add(1)
+		go func(g int) {
+			defer writersWG.Done()
+			for i := 0; i < perG; i++ {
+				ah.Observe(uint64(g), float64((g*perG+i)%35)-2)
+			}
+		}(g)
+	}
+	writersWG.Wait()
+	close(stop)
+	readers.Wait()
+	if got := ah.Snapshot().N(); got != writers*perG {
+		t.Fatalf("lost observations: N = %d, want %d", got, writers*perG)
+	}
+}
+
+func TestRateWindowSlope(t *testing.T) {
+	w := NewRateWindow(10 * time.Second)
+	sec := int64(time.Second)
+	if _, ok := w.Rate(); ok {
+		t.Fatal("rate available before any sample")
+	}
+	w.Observe(0, 0)
+	if _, ok := w.Rate(); ok {
+		t.Fatal("rate available from a single sample")
+	}
+	w.Observe(2*sec, 200) // 100/sec over 2s
+	if r, ok := w.Rate(); !ok || r != 100 {
+		t.Fatalf("rate = %v,%v, want 100,true", r, ok)
+	}
+	// Slide past the window: only the recent slope counts.
+	w.Observe(20*sec, 200)  // idle gap
+	w.Observe(25*sec, 1200) // 200/sec over the last 5s
+	r, ok := w.Rate()
+	if !ok {
+		t.Fatal("rate unavailable after four samples")
+	}
+	// Pre-gap samples are pruned: the slope is (1200-200)/5s, not a
+	// gap-flattened mean over 25s.
+	if r != 200 {
+		t.Fatalf("windowed rate = %v, want 200", r)
+	}
+}
+
+func TestRateWindowDuplicateTimestamp(t *testing.T) {
+	w := NewRateWindow(time.Minute)
+	w.Observe(5, 10)
+	w.Observe(5, 30) // same instant: replace, not divide-by-zero
+	if _, ok := w.Rate(); ok {
+		t.Fatal("rate from zero-width span")
+	}
+	w.Observe(int64(time.Second)+5, 40)
+	if r, ok := w.Rate(); !ok || r != 10 {
+		t.Fatalf("rate = %v,%v, want 10,true", r, ok)
+	}
+}
+
+func TestCounterTopClampsNonPositiveK(t *testing.T) {
+	c := NewCounter[int]()
+	c.Add(1)
+	c.Add(1)
+	c.Add(2)
+	for _, k := range []int{0, -1, -1 << 30} {
+		if got := c.Top(k, nil); len(got) != 0 {
+			t.Errorf("Top(%d) = %v, want empty", k, got)
+		}
+	}
+	if got := c.Top(1, nil); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Top(1) = %v, want [1]", got)
+	}
+}

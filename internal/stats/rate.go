@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"sync"
+	"time"
+)
+
+// RateWindow derives an events-per-second rate from samples of a
+// monotone counter over a sliding time window. A lifetime mean
+// (total/uptime) reads misleadingly flat after hours of uptime — a
+// flood doubles the instantaneous rate but barely moves the mean — so
+// the daemon's ingest-rate gauge samples the accepted counter on every
+// scrape and reports the slope across the window instead.
+//
+// The rate spans the in-window samples; with fewer than two of those
+// it falls back to the newest pre-window sample as an anchor, so slow
+// scrapers still get a slope rather than nothing.
+type RateWindow struct {
+	mu      sync.Mutex
+	window  int64 // nanoseconds
+	samples []rateSample
+}
+
+type rateSample struct {
+	t     int64 // unix nanoseconds
+	total uint64
+}
+
+// NewRateWindow builds a tracker over the given span (default 60s for
+// window <= 0).
+func NewRateWindow(window time.Duration) *RateWindow {
+	if window <= 0 {
+		window = time.Minute
+	}
+	return &RateWindow{window: window.Nanoseconds()}
+}
+
+// Observe folds in the counter's current total at instant now (unix
+// nanoseconds). Samples must be offered with non-decreasing now; a
+// duplicate timestamp replaces the previous sample.
+func (w *RateWindow) Observe(now int64, total uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if n := len(w.samples); n > 0 && w.samples[n-1].t >= now {
+		w.samples[n-1] = rateSample{t: now, total: total}
+	} else {
+		w.samples = append(w.samples, rateSample{t: now, total: total})
+	}
+	// Prune strictly to the window so an idle gap cannot stretch the
+	// span (the flat-lifetime-mean failure mode in miniature); fall
+	// back to one pre-window anchor only when fewer than two in-window
+	// samples remain, e.g. scrapes arriving slower than the window.
+	cut := now - w.window
+	first := 0
+	for first < len(w.samples)-1 && w.samples[first].t < cut {
+		first++
+	}
+	if first == len(w.samples)-1 && first > 0 {
+		first--
+	}
+	if first > 0 {
+		w.samples = append(w.samples[:0], w.samples[first:]...)
+	}
+}
+
+// Rate returns the windowed rate in events/sec. ok is false until two
+// distinct-instant samples exist (callers typically fall back to the
+// lifetime mean for the first scrape).
+func (w *RateWindow) Rate() (rate float64, ok bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := len(w.samples)
+	if n < 2 {
+		return 0, false
+	}
+	first, last := w.samples[0], w.samples[n-1]
+	if last.t <= first.t || last.total < first.total {
+		return 0, false
+	}
+	return float64(last.total-first.total) / (float64(last.t-first.t) / 1e9), true
+}

@@ -242,7 +242,11 @@ func (c *Counter[K]) Entropy() float64 {
 // function over keys when frequencies are equal (callers that don't
 // care can pass nil for arbitrary-but-deterministic fallback ordering
 // on count only — with nil, equal-count ordering is unspecified).
+// k <= 0 yields an empty result rather than a slice-bounds panic.
 func (c *Counter[K]) Top(k int, less func(a, b K) bool) []K {
+	if k <= 0 {
+		return nil
+	}
 	keys := make([]K, 0, len(c.counts))
 	for key := range c.counts {
 		keys = append(keys, key)
