@@ -1,13 +1,15 @@
 GO ?= go
 BIN := bin
 
-.PHONY: check vet lint build race bench bench-gate fuzz-smoke run-ddpmd clean
+.PHONY: check vet lint build race bench bench-gate fuzz-smoke trace-smoke run-ddpmd clean
 
-## check: lint, build, test and fuzz-smoke everything (the tier-1 gate)
+## check: lint, build, test, fuzz-smoke and trace-smoke everything (the
+## tier-1 gate)
 check: lint
 	$(GO) build ./...
 	$(GO) test ./...
 	$(MAKE) fuzz-smoke
+	$(MAKE) trace-smoke
 
 ## vet: static analysis only
 vet:
@@ -48,7 +50,29 @@ fuzz-smoke:
 	$(GO) test ./internal/wire/ -run xxx -fuzz FuzzRecordRoundTrip -fuzztime 5s
 	$(GO) test ./internal/wire/ -run xxx -fuzz FuzzReader -fuzztime 5s
 	$(GO) test ./internal/wire/ -run xxx -fuzz FuzzResyncReader -fuzztime 5s
+	$(GO) test ./internal/wire/ -run xxx -fuzz FuzzTraceContext -fuzztime 5s
 	$(GO) test ./internal/marking/ -run xxx -fuzz FuzzDDPMMarkIdentify -fuzztime 5s
+
+## trace-smoke: end-to-end tracing proof on a live daemon — a traced
+## loadgen flood must leave at least one tail-sampled block-outcome
+## trace retrievable through /debug/traces, saved to trace-dump.json
+## for the CI artifact. Boring-trace sampling is cranked to 1-in-2^20
+## so whatever the assertion finds got there by tail sampling alone.
+trace-smoke: build
+	@set -e; \
+	$(BIN)/ddpmd serve -topo torus -dims 8x8 -tcp 127.0.0.1:17420 \
+		-http 127.0.0.1:17421 -trace-sample 1048576 -trace-buffer 16384 >/dev/null & \
+	pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT INT TERM; \
+	ok=0; for i in $$(seq 1 50); do \
+		if $(BIN)/ddpmd status -http 127.0.0.1:17421 >/dev/null 2>&1; then ok=1; break; fi; \
+		sleep 0.1; \
+	done; \
+	[ $$ok -eq 1 ] || { echo "trace-smoke: daemon never became ready"; exit 1; }; \
+	$(BIN)/ddpmd loadgen -topo torus -dims 8x8 -zombies 3 -addr 127.0.0.1:17420 -trace; \
+	$(BIN)/ddpmd trace -http 127.0.0.1:17421 -outcome block -min 1; \
+	$(BIN)/ddpmd trace -http 127.0.0.1:17421 -limit 0 -json -min 1 > trace-dump.json; \
+	echo "trace-smoke: saved /debug/traces dump to trace-dump.json"
 
 ## run-ddpmd: start the daemon on an 8x8 torus with the default ports
 run-ddpmd:

@@ -1,0 +1,8 @@
+package main
+
+import "testing"
+
+// BenchmarkPipelineThroughput exposes the gate benchmark to `go test
+// -bench` so it can be profiled with the stock -cpuprofile/-memprofile
+// flags; `benchjson -check` runs the same function via testing.Benchmark.
+func BenchmarkPipelineThroughput(b *testing.B) { benchPipeline(b) }

@@ -48,13 +48,15 @@ func main() {
 		runLoadgen(os.Args[2:])
 	case "status":
 		runStatus(os.Args[2:])
+	case "trace":
+		runTrace(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ddpmd serve|loadgen|status [flags] (-h for flags)")
+	fmt.Fprintln(os.Stderr, "usage: ddpmd serve|loadgen|status|trace [flags] (-h for flags)")
 	os.Exit(2)
 }
 
@@ -82,6 +84,9 @@ func serve(args []string) {
 		journal  = fs.String("journal", "", "append attack-audit events as JSONL to this file")
 		jdepth   = fs.Int("journal-depth", 1024, "audit events buffered before shedding")
 		enablePP = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the admin plane")
+		trBuf    = fs.Int("trace-buffer", 4096, "flight-recorder capacity in traces (negative disables tracing)")
+		trSample = fs.Int("trace-sample", 64, "retain 1 in N boring traces (interesting outcomes always retained)")
+		trSlow   = fs.Duration("trace-slow", time.Millisecond, "always retain traces with any span above this")
 	)
 	fs.Parse(args)
 
@@ -101,7 +106,8 @@ func serve(args []string) {
 			CUSUMWindow: eventq.Time(*cusumWin), CUSUMSlack: *cusumK, CUSUMThreshold: *cusumH,
 			EntropyWindow: eventq.Time(*entWin), EntropyDelta: *entDelta,
 			BlockThreshold: *blockN, BlockTTL: *blockTTL,
-			Journal: j,
+			Journal:     j,
+			TraceBuffer: *trBuf, TraceSampleN: *trSample, TraceSlowThreshold: *trSlow,
 		},
 		TCPAddr: *tcpAddr, UDPAddr: *udpAddr, HTTPAddr: *httpAddr,
 		DrainGrace: *grace, IdleTimeout: *idle,
@@ -141,6 +147,11 @@ func serve(args []string) {
 		}
 		fmt.Printf("ddpmd: replayed %d records from %s\n", n, *replay)
 	}
+
+	// SIGQUIT dumps the flight recorder to stderr and keeps serving —
+	// the "what just happened" signal, distinct from the drain signals.
+	stopDump := d.WatchDumpSignal(os.Stderr, syscall.SIGQUIT)
+	defer stopDump()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
@@ -183,10 +194,16 @@ func runLoadgen(args []string) {
 		jsonl    = fs.String("jsonl", "", "write records as JSONL to this file (\"-\" = stdout)")
 		retry    = fs.Int("retry", 0, "reconnect attempts per delivery (0 = legacy fire-and-forget stream)")
 		buffer   = fs.Int("buffer", 1<<16, "unacked records the resilient client buffers across reconnects")
+		trace    = fs.Bool("trace", false, "stamp a trace context on every record (negotiated over the acked session; implies -retry 1)")
 	)
 	fs.Parse(args)
 	if (*addr == "") == (*jsonl == "") {
 		fatal(fmt.Errorf("loadgen: exactly one of -addr or -jsonl is required"))
+	}
+	if *trace && *addr != "" && *retry <= 0 {
+		// Trace contexts ride the negotiated session protocol; the
+		// legacy fire-and-forget stream has no hello to negotiate on.
+		*retry = 1
 	}
 
 	dimList, err := parseDims(*dims)
@@ -212,6 +229,7 @@ func runLoadgen(args []string) {
 		c := wire.NewClient(wire.ClientConfig{
 			Addr: *addr, Seed: *seed,
 			BufferRecords: *buffer, MaxAttempts: *retry,
+			Trace: *trace,
 		})
 		if err := res.Stream(c.Send, 1024); err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)

@@ -81,8 +81,11 @@ func runStatus(args []string) {
 	if v, ok := m.value("ddpmd_ingest_rate", nil); ok {
 		fmt.Fprintf(tw, "  ingest rate\t%.1f rec/s\n", v)
 	}
-	row("journal events written", "ddpmd_journal_events_written_total")
-	row("journal events dropped", "ddpmd_journal_events_dropped_total")
+	row("journal events written", "ddpmd_journal_written_total")
+	row("journal events dropped", "ddpmd_journal_dropped_total")
+	row("traces retained", "ddpmd_trace_retained_total")
+	row("traces sampled (boring)", "ddpmd_trace_sampled_total")
+	row("traces evicted", "ddpmd_trace_evicted_total")
 	tw.Flush()
 
 	if stages := m.stageQuantiles(); len(stages) > 0 {
@@ -90,8 +93,18 @@ func runStatus(args []string) {
 		tw = tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
 		fmt.Fprintln(tw, "  stage\tp50\tp95\tp99\tsamples")
 		for _, st := range stages {
-			fmt.Fprintf(tw, "  %s\t%s\t%s\t%s\t%.0f\n", st.name,
-				fmtLatency(st.q[0]), fmtLatency(st.q[1]), fmtLatency(st.q[2]), st.count)
+			fmt.Fprint(tw, renderStageRow(st))
+		}
+		tw.Flush()
+	}
+
+	if shardRows := m.shardRows(); len(shardRows) > 0 {
+		fmt.Println("\nshards:")
+		tw = tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "  shard\tprocessed\tidentified\tdropped\tqueue")
+		for _, r := range shardRows {
+			fmt.Fprintf(tw, "  %d\t%.0f\t%.0f\t%.0f\t%.0f\n",
+				r.shard, r.processed, r.identified, r.dropped, r.queue)
 		}
 		tw.Flush()
 	}
@@ -125,6 +138,17 @@ func runStatus(args []string) {
 			r.Node, r.Alarmed, r.Identified, r.Undecodable, strings.Join(tops, " "))
 	}
 	tw.Flush()
+}
+
+// renderStageRow formats one stage's latency line. A histogram with no
+// samples renders every quantile as "-" rather than a misleading "0s":
+// nothing was measured, so nothing should look measured.
+func renderStageRow(st stageQuantiles) string {
+	if st.count == 0 {
+		return fmt.Sprintf("  %s\t-\t-\t-\t0\n", st.name)
+	}
+	return fmt.Sprintf("  %s\t%s\t%s\t%s\t%.0f\n", st.name,
+		fmtLatency(st.q[0]), fmtLatency(st.q[1]), fmtLatency(st.q[2]), st.count)
 }
 
 // fmtLatency prints a latency in seconds at a readable scale.
@@ -165,6 +189,12 @@ func parseMetrics(body []byte) *metricsDump {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
+		}
+		// Strip OpenMetrics exemplar suffixes (` # {trace_id="..."} v`)
+		// so the value parse below sees the sample value, not the
+		// exemplar's.
+		if i := strings.Index(line, " # "); i >= 0 {
+			line = line[:i]
 		}
 		sp := strings.LastIndexByte(line, ' ')
 		if sp < 0 {
@@ -237,6 +267,58 @@ func (m *metricsDump) value(name string, want map[string]string) (float64, bool)
 		}
 	}
 	return 0, false
+}
+
+// shardRow is one shard's counters joined across the per-shard series.
+type shardRow struct {
+	shard                          int
+	processed, identified, dropped float64
+	queue                          float64
+}
+
+// shardRows joins the shard-labeled series into one row per shard,
+// sorted numerically by shard index — lexical label order would file
+// shard 10 between 1 and 2 once a daemon runs more than ten shards.
+func (m *metricsDump) shardRows() []shardRow {
+	byShard := make(map[int]*shardRow)
+	get := func(labels map[string]string) *shardRow {
+		n, err := strconv.Atoi(labels["shard"])
+		if err != nil {
+			return nil
+		}
+		r := byShard[n]
+		if r == nil {
+			r = &shardRow{shard: n}
+			byShard[n] = r
+		}
+		return r
+	}
+	for _, s := range m.series["ddpmd_shard_processed_total"] {
+		if r := get(s.labels); r != nil {
+			r.processed = s.value
+		}
+	}
+	for _, s := range m.series["ddpmd_shard_identified_total"] {
+		if r := get(s.labels); r != nil {
+			r.identified = s.value
+		}
+	}
+	for _, s := range m.series["ddpmd_shard_dropped_total"] {
+		if r := get(s.labels); r != nil {
+			r.dropped = s.value
+		}
+	}
+	for _, s := range m.series["ddpmd_shard_queue_depth"] {
+		if r := get(s.labels); r != nil {
+			r.queue = s.value
+		}
+	}
+	out := make([]shardRow, 0, len(byShard))
+	for _, r := range byShard {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].shard < out[j].shard })
+	return out
 }
 
 type stageQuantiles struct {

@@ -14,11 +14,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"reflect"
 	"sort"
+	"strconv"
 	"testing"
 	"time"
 
@@ -63,6 +66,14 @@ func TestChaosIngestLosesNothingSilently(t *testing.T) {
 			Net: topology.NewTorus2D(8), Shards: 4, QueueLen: 1 << 15,
 			BlockThreshold: blockThreshold, BlockTTL: time.Hour,
 			Journal: j,
+			// Tracing tuned so tail sampling is the only retention path:
+			// boring traces effectively never sampled, nothing "slow", a
+			// ring too big to evict. Whatever the recorder holds at the
+			// end got there because its outcome was interesting.
+			LatencySampleEvery: 4,
+			TraceBuffer:        1 << 15,
+			TraceSampleN:       1 << 30,
+			TraceSlowThreshold: time.Hour,
 		},
 		TCPAddr:  "127.0.0.1:0",
 		HTTPAddr: "127.0.0.1:0",
@@ -89,20 +100,27 @@ func TestChaosIngestLosesNothingSilently(t *testing.T) {
 	addr := d.TCPAddr().String()
 	var lost []wire.Record
 	c := wire.NewClient(wire.ClientConfig{
-		Dial:        faults.WrapDial(func() (net.Conn, error) { return net.Dial("tcp", addr) }),
-		Seed:        13,
-		MaxBatch:    256,
+		Dial: faults.WrapDial(func() (net.Conn, error) { return net.Dial("tcp", addr) }),
+		Seed: 13,
+		// 150 traced records (40 B each) is the same wire footprint as
+		// the pre-trace 256-record frames (24 B each), so per-frame
+		// corruption odds — exponential in frame bytes under FlipPerByte
+		// — stay at the level this fault schedule was tuned for.
+		MaxBatch:    150,
 		MaxAttempts: 8,
 		BackoffBase: time.Millisecond,
 		BackoffMax:  20 * time.Millisecond,
 		AckTimeout:  5 * time.Second,
 		OnLost:      func(r wire.Record) { lost = append(lost, r) },
+		Trace:       true, // stamp every record with a trace context
 	})
 
 	// 4. Stream the whole scenario. Send errors are advisory (counted
 	// shed), never fatal.
 	res.Stream(c.Send, 200)
 	c.Close()
+	t.Logf("sent %d delivered %d lost %d reconnects %d resent %d",
+		c.Sent(), c.Delivered(), c.Lost(), c.Reconnects(), c.Resent())
 
 	// 5. The exactly-once invariant. After Close the client's buffer is
 	// empty, so sent = delivered + lost with every loss announced via
@@ -176,7 +194,76 @@ func TestChaosIngestLosesNothingSilently(t *testing.T) {
 		t.Logf("note: loss changed the identified set vs ground truth %v -> %v", res.Zombies, want)
 	}
 
-	// 8. The audit journal agrees with the pipeline's final state.
+	// 8. Per-record tracing: the blocked attack must be explicable after
+	// the fact. Block-outcome traces are retrievable over the admin
+	// plane with the full exporter-send → ingest → identify → detect →
+	// block timeline, and the stage-latency histogram exemplars resolve
+	// back to retained traces — /metrics is a working index into
+	// /debug/traces.
+	fr := p.Recorder()
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/traces?outcome=block", d.HTTPAddr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blockJSON []pipeline.TraceJSON
+	err = json.NewDecoder(resp.Body).Decode(&blockJSON)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/debug/traces: %v", err)
+	}
+	if len(blockJSON) == 0 {
+		t.Fatal("no block-outcome traces on /debug/traces after a blocking chaos run")
+	}
+	blocked := map[int64]bool{}
+	for _, e := range p.Blocklist().Snapshot() {
+		blocked[int64(e.Node)] = true
+	}
+	for _, bt := range blockJSON {
+		id, err := strconv.ParseUint(bt.ID, 16, 64)
+		if err != nil || id == 0 {
+			t.Fatalf("trace id %q is not hex", bt.ID)
+		}
+		if bt.SentNS <= 0 {
+			t.Fatalf("block trace lost its exporter send stamp: %+v", bt)
+		}
+		if bt.WireNS < 0 || bt.IngestNS < 0 || bt.IdentifyNS < 0 || bt.DetectNS < 0 || bt.BlockNS < 0 {
+			t.Fatalf("block trace has unreached spans: %+v", bt)
+		}
+		if bt.Victim != int64(res.Victim) {
+			t.Errorf("block trace victim %d, want %d", bt.Victim, res.Victim)
+		}
+		if !blocked[bt.Source] {
+			t.Errorf("block trace source %d is not in the blocklist", bt.Source)
+		}
+		if _, ok := fr.Find(id); !ok {
+			t.Errorf("trace %s served over HTTP but not findable in the recorder", bt.ID)
+		}
+	}
+	// Detect-stage bins can only be stamped by full-journey traces, and
+	// with boring sampling off those are exactly the alarm/block traces.
+	// Every exemplar on /metrics must still resolve, and at least one
+	// must lead to a block trace: the debugging loop the feature exists
+	// for — histogram bin → trace id → timeline of the record that
+	// triggered the block.
+	exemplarOutcomes := map[pipeline.Outcome]int{}
+	for stage, name := range pipeline.StageNames {
+		for _, id := range p.StageExemplars(stage) {
+			et, ok := fr.Find(id)
+			if !ok {
+				t.Errorf("stage %s exemplar %016x does not resolve to a retained trace", name, id)
+				continue
+			}
+			exemplarOutcomes[et.Outcome]++
+			if name == "detect" && et.Outcome != pipeline.OutcomeAlarm && et.Outcome != pipeline.OutcomeBlock {
+				t.Errorf("detect exemplar %016x has outcome %v; only alarm/block traces reach detect with retention on", id, et.Outcome)
+			}
+		}
+	}
+	if exemplarOutcomes[pipeline.OutcomeBlock] == 0 {
+		t.Errorf("no histogram exemplar resolves to a block trace (exemplar outcomes: %v)", exemplarOutcomes)
+	}
+
+	// 9. The audit journal agrees with the pipeline's final state.
 	// Capture that state, then shut the daemon down — Shutdown drains
 	// and flushes the journal to disk.
 	blockedNodes := map[int64]bool{}

@@ -64,13 +64,11 @@ func (p *Pipeline) WritePrometheus(w io.Writer, uptime time.Duration) {
 
 	// The rate gauge keeps its historic name but is no longer a
 	// lifetime mean: each scrape samples the accepted counter and the
-	// gauge reports the slope over the sliding window, falling back to
-	// the lifetime mean only until the window has two samples.
+	// gauge reports the slope over the sliding window. Before the window
+	// has two samples the slope is undefined and the gauge reports 0 —
+	// never a lifetime-mean spike or NaN on a cold daemon's first scrape.
 	p.rateWin.Observe(now, s.Accepted)
-	rate, ok := p.rateWin.Rate()
-	if !ok && secs > 0 {
-		rate = float64(s.Accepted) / secs
-	}
+	rate, _ := p.rateWin.Rate()
 	gauge("ddpmd_ingest_rate",
 		fmt.Sprintf("accepted (post-validation) records/sec over a sliding %gs window", p.cfg.RateWindow.Seconds()),
 		rate)
@@ -96,9 +94,16 @@ func (p *Pipeline) WritePrometheus(w io.Writer, uptime time.Duration) {
 
 	p.writeLatency(w)
 
+	if fr := p.fr; fr != nil {
+		counter("ddpmd_trace_observed_total", "completed traces offered to the flight recorder", fr.Observed())
+		counter("ddpmd_trace_retained_total", "traces tail sampling kept in the flight recorder", fr.Retained())
+		counter("ddpmd_trace_sampled_total", "boring traces retained by the 1-in-N sampler", fr.Sampled())
+		counter("ddpmd_trace_evicted_total", "retained traces overwritten by the bounded ring", fr.Evicted())
+	}
+
 	if j := p.cfg.Journal; j != nil {
-		counter("ddpmd_journal_events_written_total", "attack-audit events flushed to the journal", j.Written())
-		counter("ddpmd_journal_events_dropped_total", "attack-audit events shed by the bounded journal queue", j.Dropped())
+		counter("ddpmd_journal_written_total", "attack-audit events flushed to the journal", j.Written())
+		counter("ddpmd_journal_dropped_total", "attack-audit events shed by the bounded journal queue", j.Dropped())
 	}
 }
 
@@ -126,7 +131,14 @@ func (p *Pipeline) writeLatency(w io.Writer) {
 		for i, c := range bins {
 			cum += c
 			le := math.Exp2(p.lat[stage].hist.BinUpperBound(i)) / 1e9
-			fmt.Fprintf(w, "%s_bucket{stage=\"%s\",le=\"%.9g\"} %d\n", histName, label, le, cum)
+			fmt.Fprintf(w, "%s_bucket{stage=\"%s\",le=\"%.9g\"} %d", histName, label, le, cum)
+			// OpenMetrics-style exemplar: the last retained trace whose
+			// span landed in this bucket, so a slow bucket links straight
+			// to one concrete /debug/traces entry.
+			if id, x := p.lat[stage].hist.Exemplar(i); id != 0 {
+				fmt.Fprintf(w, " # {trace_id=\"%016x\"} %.9g", id, math.Exp2(x)/1e9)
+			}
+			fmt.Fprintln(w)
 		}
 		fmt.Fprintf(w, "%s_bucket{stage=\"%s\",le=\"+Inf\"} %d\n", histName, label, h.N())
 		fmt.Fprintf(w, "%s_sum{stage=\"%s\"} %.9g\n", histName, label, float64(p.lat[stage].sumNS.Load())/1e9)

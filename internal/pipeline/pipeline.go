@@ -78,6 +78,23 @@ type Config struct {
 	// JournalTopK is how many top identified sources a source-blocked
 	// event carries as evidence (default 5).
 	JournalTopK int
+
+	// TraceBuffer is the flight-recorder capacity in traces (default
+	// 4096; negative disables per-record tracing — SubmitTraced then
+	// degrades to Submit). Records without a trace context cost one
+	// branch regardless, so the recorder can stay on in production.
+	TraceBuffer int
+
+	// TraceSampleN is the tail-sampling rate for boring traces: 1 in N
+	// traces that end in plain identified/undecodable are retained
+	// (default 64; 1 retains all). Interesting outcomes — alarm, block,
+	// blocked-source hit, drop, rejection, resync — are always retained.
+	TraceSampleN int
+
+	// TraceSlowThreshold forces retention of any trace with a single
+	// span above it, whatever its outcome (default 1ms; negative
+	// disables the slow gate).
+	TraceSlowThreshold time.Duration
 }
 
 func (c *Config) applyDefaults() error {
@@ -122,6 +139,15 @@ func (c *Config) applyDefaults() error {
 	}
 	if c.JournalTopK <= 0 {
 		c.JournalTopK = 5
+	}
+	if c.TraceBuffer == 0 {
+		c.TraceBuffer = 4096
+	}
+	if c.TraceSampleN <= 0 {
+		c.TraceSampleN = 64
+	}
+	if c.TraceSlowThreshold == 0 {
+		c.TraceSlowThreshold = time.Millisecond
 	}
 	return nil
 }
@@ -209,8 +235,22 @@ type victimState struct {
 	scratch packet.Packet // reused to feed packet-shaped detectors
 }
 
+// job is one shard-queue element: the record plus its optional trace
+// context and the Submit-entry wall clock (unix nanos, 0 when neither
+// traced nor latency-sampled). Untraced records carry a zero context —
+// the per-record tracing cost on that path is the wider (pointer-free)
+// channel element and an id==0 branch. Boxing the trace fields behind a
+// pointer was tried and measured slower: a pointer in the element drags
+// write barriers and GC scanning into every send, which costs more than
+// copying 24 extra flat bytes.
+type job struct {
+	rec wire.Record
+	tc  wire.TraceContext
+	t0  int64
+}
+
 type shard struct {
-	ch      chan wire.Record
+	ch      chan job
 	mu      sync.Mutex // guards victims map shape (worker writes, admin reads)
 	victims map[topology.NodeID]*victimState
 
@@ -226,6 +266,11 @@ type shard struct {
 	processed      atomic.Uint64
 	identified     atomic.Uint64
 	dropped        atomic.Uint64
+
+	// tr is the worker-local trace under construction, reused across
+	// records so the untraced hot path never zeroes a Trace (Commit
+	// copies it into the ring, keeping reuse safe).
+	tr Trace
 }
 
 // flushEvery bounds how stale a shard's published counters may be
@@ -259,6 +304,7 @@ type Pipeline struct {
 	sampleOn   bool
 	sampleMask uint64 // pow2-1: sample when count&mask == 0
 	rateWin    *stats.RateWindow
+	fr         *FlightRecorder // nil when tracing disabled
 
 	mu     sync.RWMutex // serializes Submit against Close
 	closed bool
@@ -287,9 +333,12 @@ func New(cfg Config) (*Pipeline, error) {
 			p.lat[i].hist = stats.NewAtomicHistogram(latLo, latHi, latBins, cfg.Shards)
 		}
 	}
+	if cfg.TraceBuffer > 0 {
+		p.fr = NewFlightRecorder(cfg.TraceBuffer, cfg.TraceSampleN, cfg.TraceSlowThreshold)
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		s := &shard{
-			ch:      make(chan wire.Record, cfg.QueueLen),
+			ch:      make(chan job, cfg.QueueLen),
 			victims: make(map[topology.NodeID]*victimState),
 		}
 		p.shards = append(p.shards, s)
@@ -310,22 +359,38 @@ func (p *Pipeline) Blocklist() *filter.Blocklist { return p.bl }
 // disabled). The pipeline emits to it but never closes it.
 func (p *Pipeline) Journal() *Journal { return p.cfg.Journal }
 
+// Recorder returns the flight recorder (nil when tracing is disabled).
+func (p *Pipeline) Recorder() *FlightRecorder { return p.fr }
+
 // Submit offers one record to the pipeline without blocking. It
 // reports false when the record was not queued — validation failure or
 // backpressure — with the reason visible in the counters.
 func (p *Pipeline) Submit(rec wire.Record) bool {
+	return p.SubmitTraced(wire.TracedRecord{Record: rec})
+}
+
+// SubmitTraced is Submit for records carrying a wire trace context. A
+// zero context (ID 0) behaves exactly like Submit; a nonzero one has
+// its journey recorded into the flight recorder, including the
+// rejection paths below (every trace gets an ending, even "the queue
+// was full").
+func (p *Pipeline) SubmitTraced(tr wire.TracedRecord) bool {
 	n := p.C.Ingested.Add(1)
+	traced := tr.Ctx.ID != 0 && p.fr != nil
 	sampled := p.sampleOn && n&p.sampleMask == 0
 	var t0 time.Time
-	if sampled {
+	if sampled || traced {
 		t0 = time.Now()
 	}
+	rec := tr.Record
 	if rec.Topo != p.topoID {
 		p.C.TopoMismatch.Add(1)
+		p.traceIngestFail(traced, &tr, t0, OutcomeRejected)
 		return false
 	}
 	if rec.Victim < 0 || int(rec.Victim) >= p.cfg.Net.NumNodes() {
 		p.C.BadVictim.Add(1)
+		p.traceIngestFail(traced, &tr, t0, OutcomeRejected)
 		return false
 	}
 	p.mu.RLock()
@@ -334,12 +399,17 @@ func (p *Pipeline) Submit(rec wire.Record) bool {
 		// Not backpressure: the caller outlived the pipeline. Count it
 		// apart from Dropped so load shed stays a clean signal.
 		p.C.RejectedClosed.Add(1)
+		p.traceIngestFail(traced, &tr, t0, OutcomeRejected)
 		return false
 	}
 	si := int(rec.Victim) % len(p.shards)
 	s := p.shards[si]
+	j := job{rec: rec, tc: tr.Ctx}
+	if sampled || traced {
+		j.t0 = t0.UnixNano()
+	}
 	select {
-	case s.ch <- rec:
+	case s.ch <- j:
 		if sampled {
 			p.lat[stageIngest].observe(uint64(si), time.Since(t0))
 		}
@@ -347,7 +417,43 @@ func (p *Pipeline) Submit(rec wire.Record) bool {
 	default:
 		p.C.Dropped.Add(1) // bounded queue full: shed, don't stall ingest
 		s.dropped.Add(1)
+		p.traceIngestFail(traced, &tr, t0, OutcomeDrop)
 		return false
+	}
+}
+
+// traceIngestFail commits a trace for a record that never reached a
+// shard worker: validation rejection or queue-full shed. Only the Wire
+// span is known; everything downstream is SpanMissing.
+func (p *Pipeline) traceIngestFail(traced bool, tr *wire.TracedRecord, t0 time.Time, out Outcome) {
+	if !traced {
+		return
+	}
+	t := Trace{
+		ID: tr.Ctx.ID, Sent: tr.Ctx.Sent, Start: t0.UnixNano(),
+		Victim: int64(tr.Victim), Source: -1, Shard: -1, Outcome: out,
+		Wire: SpanMissing, Ingest: SpanMissing, Identify: SpanMissing,
+		Detect: SpanMissing, Block: SpanMissing,
+	}
+	if tr.Ctx.Sent > 0 {
+		t.Wire = t.Start - tr.Ctx.Sent
+	}
+	p.commitTrace(&t)
+}
+
+// commitTrace offers a completed trace to the flight recorder and, if
+// tail sampling retained it, stamps its id as the exemplar of every
+// stage-histogram bin its spans fall in. Stamping only retained traces
+// keeps exemplars resolvable: an id read off /metrics can always be
+// looked up in /debug/traces (until the ring evicts it).
+func (p *Pipeline) commitTrace(t *Trace) {
+	if !p.fr.Commit(t) || !p.sampleOn {
+		return
+	}
+	for stage, ns := range [numStages]int64{t.Ingest, t.Identify, t.Detect, t.Block} {
+		if ns >= 0 {
+			p.lat[stage].hist.SetExemplar(stats.Log2NS(ns), t.ID)
+		}
 	}
 }
 
@@ -367,8 +473,8 @@ func (p *Pipeline) Close() {
 
 func (p *Pipeline) run(s *shard, si int) {
 	defer p.wg.Done()
-	for rec := range s.ch {
-		p.process(s, si, rec)
+	for j := range s.ch {
+		p.process(s, si, j)
 		if s.pendProcessed >= flushEvery || len(s.ch) == 0 {
 			s.flush()
 		}
@@ -376,14 +482,33 @@ func (p *Pipeline) run(s *shard, si int) {
 	s.flush()
 }
 
-func (p *Pipeline) process(s *shard, si int, rec wire.Record) {
+func (p *Pipeline) process(s *shard, si int, j job) {
+	rec := j.rec
 	p.C.Processed.Add(1)
 	s.pendProcessed++
 	sampled := p.sampleOn && s.seen&p.sampleMask == 0
 	s.seen++
+	traced := j.tc.ID != 0 && p.fr != nil
+	timed := sampled || traced
 	var t0, t1, t2 time.Time
-	if sampled {
+	if timed {
 		t0 = time.Now()
+	}
+	tr := &s.tr
+	if traced {
+		*tr = Trace{
+			ID: j.tc.ID, Sent: j.tc.Sent, Start: j.t0,
+			Victim: int64(rec.Victim), Source: -1, Shard: int32(si),
+			Wire: SpanMissing, Ingest: SpanMissing, Identify: SpanMissing,
+			Detect: SpanMissing, Block: SpanMissing,
+		}
+		if j.tc.Sent > 0 && j.t0 > 0 {
+			tr.Wire = j.t0 - j.tc.Sent
+		}
+		if j.t0 > 0 {
+			// Submit entry → worker dequeue: validation plus queue wait.
+			tr.Ingest = t0.UnixNano() - j.t0
+		}
 	}
 	st := s.victims[rec.Victim]
 	if st == nil {
@@ -392,6 +517,10 @@ func (p *Pipeline) process(s *shard, si int, rec wire.Record) {
 			// Unbuildable scheme for this fabric: count as undecodable
 			// rather than wedging the worker.
 			p.C.Undecodable.Add(1)
+			if traced {
+				tr.Outcome = OutcomeUndecodable
+				p.commitTrace(tr)
+			}
 			return
 		}
 		s.mu.Lock()
@@ -405,10 +534,18 @@ func (p *Pipeline) process(s *shard, si int, rec wire.Record) {
 	} else {
 		p.C.Identified.Add(1)
 		s.pendIdentified++
+		if traced {
+			tr.Source = int64(src)
+		}
 	}
-	if sampled {
+	if timed {
 		t1 = time.Now()
-		p.lat[stageIdentify].observe(uint64(si), t1.Sub(t0))
+		if sampled {
+			p.lat[stageIdentify].observe(uint64(si), t1.Sub(t0))
+		}
+		if traced {
+			tr.Identify = t1.Sub(t0).Nanoseconds()
+		}
 	}
 
 	now := p.cfg.Now()
@@ -416,8 +553,16 @@ func (p *Pipeline) process(s *shard, si int, rec wire.Record) {
 		// Already-blocked traffic is dropped before the victim's
 		// detectors — exactly what the in-fabric filter would do.
 		p.C.BlockedHits.Add(1)
-		if sampled {
-			p.lat[stageBlock].observe(uint64(si), time.Since(t1))
+		if timed {
+			d := time.Since(t1)
+			if sampled {
+				p.lat[stageBlock].observe(uint64(si), d)
+			}
+			if traced {
+				tr.Block = d.Nanoseconds()
+				tr.Outcome = OutcomeBlockedHit
+				p.commitTrace(tr)
+			}
 		}
 		return
 	}
@@ -426,15 +571,23 @@ func (p *Pipeline) process(s *shard, si int, rec wire.Record) {
 	st.scratch.Hdr.Proto = rec.Proto
 	st.cusum.Observe(rec.T, &st.scratch)
 	st.entropy.Observe(rec.T, &st.scratch)
+	alarmedNow := false
 	if !st.alarmed.Load() && (st.cusum.Alarmed() || st.entropy.Alarmed()) {
 		st.alarmed.Store(true)
 		p.C.Alarms.Add(1)
+		alarmedNow = true
 		p.journalAlarm(now, rec.Victim, st)
 	}
-	if sampled {
+	if timed {
 		t2 = time.Now()
-		p.lat[stageDetect].observe(uint64(si), t2.Sub(t1))
+		if sampled {
+			p.lat[stageDetect].observe(uint64(si), t2.Sub(t1))
+		}
+		if traced {
+			tr.Detect = t2.Sub(t1).Nanoseconds()
+		}
 	}
+	blockedNow := false
 	if st.alarmed.Load() && ok {
 		if cnt := st.ident.Count(src); cnt > p.cfg.BlockThreshold {
 			until := filter.Permanent
@@ -443,11 +596,29 @@ func (p *Pipeline) process(s *shard, si int, rec wire.Record) {
 			}
 			p.bl.BlockUntil(src, until)
 			p.C.Blocks.Add(1)
+			blockedNow = true
 			p.journalBlock(now, rec.Victim, src, cnt, until, st)
 		}
 	}
-	if sampled {
-		p.lat[stageBlock].observe(uint64(si), time.Since(t2))
+	if timed {
+		d := time.Since(t2)
+		if sampled {
+			p.lat[stageBlock].observe(uint64(si), d)
+		}
+		if traced {
+			tr.Block = d.Nanoseconds()
+			switch {
+			case blockedNow:
+				tr.Outcome = OutcomeBlock
+			case alarmedNow:
+				tr.Outcome = OutcomeAlarm
+			case !ok:
+				tr.Outcome = OutcomeUndecodable
+			default:
+				tr.Outcome = OutcomeIdentified
+			}
+			p.commitTrace(tr)
+		}
 	}
 }
 
@@ -670,6 +841,17 @@ func (p *Pipeline) StageLatency(stage int) (h *stats.Histogram, sumNS int64) {
 		return nil, 0
 	}
 	return p.lat[stage].hist.Snapshot(), p.lat[stage].sumNS.Load()
+}
+
+// StageExemplars returns the nonzero exemplar trace ids currently
+// stamped on one stage's histogram bins, or nil when latency recording
+// is disabled. Every id resolves in the flight recorder until the ring
+// evicts its trace. Stage indexes follow StageNames.
+func (p *Pipeline) StageExemplars(stage int) []uint64 {
+	if !p.sampleOn || stage < 0 || stage >= numStages {
+		return nil
+	}
+	return p.lat[stage].hist.ExemplarIDs()
 }
 
 // nopDetector disables a detector slot.

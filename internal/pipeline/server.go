@@ -136,6 +136,7 @@ func Start(cfg ServerConfig) (*Daemon, error) {
 		mux.HandleFunc("/metrics", d.handleMetrics)
 		mux.HandleFunc("/blocklist", d.handleBlocklist)
 		mux.HandleFunc("/victims", d.handleVictims)
+		mux.HandleFunc("/debug/traces", d.handleTraces)
 		if cfg.EnablePprof {
 			mux.HandleFunc("/debug/pprof/", pprof.Index)
 			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -350,11 +351,22 @@ func (d *Daemon) serveConn(conn net.Conn) {
 func (d *Daemon) servePlain(conn net.Conn, r *wire.Reader, ftype uint8, payload []byte) {
 	r.EnableResync()
 	var recs []wire.Record
+	var trecs []wire.TracedRecord
 	var lastResyncs, lastSkipped uint64
 	for {
 		switch ftype {
 		case wire.TypeRecords:
 			d.submitRecordsPayload(payload)
+		case wire.TypeTracedRecords:
+			batch, err := wire.ParseTracedRecords(payload, trecs[:0])
+			if err != nil {
+				d.decodeErrs.Add(1)
+			} else {
+				for _, tr := range batch {
+					d.p.SubmitTraced(tr)
+				}
+				trecs = batch[:0]
+			}
 		case wire.TypeSealed:
 			// Sealed frames outside a session still carry records; the
 			// CRC makes them safe to tally without acks.
@@ -366,6 +378,16 @@ func (d *Daemon) servePlain(conn net.Conn, r *wire.Reader, ftype uint8, payload 
 					d.p.Submit(rec)
 				}
 				recs = batch[:0]
+			}
+		case wire.TypeTracedSealed:
+			_, batch, err := wire.ParseTracedSealed(payload, trecs[:0])
+			if err != nil {
+				d.decodeErrs.Add(1)
+			} else {
+				for _, tr := range batch {
+					d.p.SubmitTraced(tr)
+				}
+				trecs = batch[:0]
 			}
 		default:
 			// Hello handled by the dispatcher; stray acks are noise.
@@ -381,12 +403,21 @@ func (d *Daemon) servePlain(conn net.Conn, r *wire.Reader, ftype uint8, payload 
 			d.journalStream(EventResync,
 				0, fmt.Sprintf("%s: skipped %d bytes to next magic", conn.RemoteAddr(), sk-lastSkipped))
 			d.resyncSkipped.Add(sk - lastSkipped)
+			d.traceResync(0)
 			lastSkipped = sk
 		}
 		if err != nil {
 			d.noteReadErr(err)
 			return
 		}
+	}
+}
+
+// traceResync retains a synthetic stream-level trace for a resync skip,
+// so the flight recorder shows framing damage alongside record traces.
+func (d *Daemon) traceResync(stream uint64) {
+	if fr := d.p.Recorder(); fr != nil {
+		fr.CommitEvent(OutcomeResync, d.p.cfg.Now(), stream)
 	}
 }
 
@@ -397,16 +428,44 @@ func (d *Daemon) servePlain(conn net.Conn, r *wire.Reader, ftype uint8, payload 
 // the client resends from the last acked count, which is exactly what
 // keeps accepted records counted once.
 func (d *Daemon) serveSession(conn net.Conn, r *wire.Reader, helloPayload []byte) {
-	streamID, base, err := wire.ParseHello(helloPayload)
+	streamID, base, flags, err := wire.ParseHelloFlags(helloPayload)
 	if err != nil {
 		d.decodeErrs.Add(1)
 		return
 	}
+	// Echo back the extensions this server honors: just the trace flag
+	// today. A client whose flag is not echoed falls back to plain
+	// sealed frames.
+	ackFlags := flags & wire.HelloFlagTrace
 	sess := d.session(streamID)
 	var scratch []byte
 	var recs []wire.Record
-	if !d.ackHello(conn, sess, base, &scratch) {
+	var trecs []wire.TracedRecord
+	if !d.ackHello(conn, sess, base, &scratch, ackFlags) {
 		return
+	}
+	// submitBatch dedups one sealed batch against the session count and
+	// feeds the unseen suffix to the pipeline; shared by the plain and
+	// traced sealed paths.
+	submitBatch := func(seq uint64, batch []wire.TracedRecord) (uint64, bool) {
+		sess.mu.Lock()
+		if seq > sess.count {
+			sess.mu.Unlock()
+			d.decodeErrs.Add(1)
+			// Gap before the accepted count: protocol violation.
+			d.journalStream(EventSessionLoss, streamID, "sequence gap")
+			return 0, false
+		}
+		if skip := int(sess.count - seq); skip < len(batch) {
+			for _, tr := range batch[skip:] {
+				d.p.SubmitTraced(tr)
+			}
+			d.sessionRecs.Add(uint64(len(batch) - skip))
+			sess.count = seq + uint64(len(batch))
+		}
+		c := sess.count
+		sess.mu.Unlock()
+		return c, true
 	}
 	for {
 		d.armDeadline(conn)
@@ -425,35 +484,36 @@ func (d *Daemon) serveSession(conn net.Conn, r *wire.Reader, helloPayload []byte
 				return
 			}
 			recs = batch[:0]
-			sess.mu.Lock()
-			if seq > sess.count {
-				sess.mu.Unlock()
-				d.decodeErrs.Add(1)
-				// Gap before the accepted count: protocol violation.
-				d.journalStream(EventSessionLoss, streamID, "sequence gap")
+			trecs = trecs[:0]
+			for _, rec := range batch {
+				trecs = append(trecs, wire.TracedRecord{Record: rec})
+			}
+			c, ok := submitBatch(seq, trecs)
+			if !ok || !d.writeAck(conn, &scratch, c, ackFlags) {
 				return
 			}
-			if skip := int(sess.count - seq); skip < len(batch) {
-				for _, rec := range batch[skip:] {
-					d.p.Submit(rec)
-				}
-				d.sessionRecs.Add(uint64(len(batch) - skip))
-				sess.count = seq + uint64(len(batch))
+		case wire.TypeTracedSealed:
+			seq, batch, err := wire.ParseTracedSealed(payload, trecs[:0])
+			if err != nil {
+				d.decodeErrs.Add(1)
+				d.journalStream(EventSessionLoss, streamID, "traced sealed frame rejected")
+				return
 			}
-			c := sess.count
-			sess.mu.Unlock()
-			if !d.writeAck(conn, &scratch, c) {
+			trecs = batch[:0]
+			c, ok := submitBatch(seq, batch)
+			if !ok || !d.writeAck(conn, &scratch, c, ackFlags) {
 				return
 			}
 		case wire.TypeHello:
 			// A re-hello on a live conn re-synchronizes the client.
-			_, b, err := wire.ParseHello(payload)
+			_, b, f, err := wire.ParseHelloFlags(payload)
 			if err != nil {
 				d.decodeErrs.Add(1)
 				d.journalStream(EventSessionLoss, streamID, "re-hello rejected")
 				return
 			}
-			if !d.ackHello(conn, sess, b, &scratch) {
+			ackFlags = f & wire.HelloFlagTrace
+			if !d.ackHello(conn, sess, b, &scratch, ackFlags) {
 				return
 			}
 		default:
@@ -468,21 +528,21 @@ func (d *Daemon) serveSession(conn net.Conn, r *wire.Reader, helloPayload []byte
 // ackHello fast-forwards the session to the client's base (a restarted
 // daemon trusts the exporter's delivered count rather than re-ingesting
 // history it never saw) and acks the result.
-func (d *Daemon) ackHello(conn net.Conn, sess *session, base uint64, scratch *[]byte) bool {
+func (d *Daemon) ackHello(conn net.Conn, sess *session, base uint64, scratch *[]byte, flags uint32) bool {
 	sess.mu.Lock()
 	if base > sess.count {
 		sess.count = base
 	}
 	c := sess.count
 	sess.mu.Unlock()
-	return d.writeAck(conn, scratch, c)
+	return d.writeAck(conn, scratch, c, flags)
 }
 
-func (d *Daemon) writeAck(conn net.Conn, scratch *[]byte, count uint64) bool {
+func (d *Daemon) writeAck(conn net.Conn, scratch *[]byte, count uint64, flags uint32) bool {
 	if t := d.cfg.IdleTimeout; t > 0 {
 		conn.SetWriteDeadline(time.Now().Add(t))
 	}
-	*scratch = wire.AppendAck((*scratch)[:0], count)
+	*scratch = wire.AppendAckFlags((*scratch)[:0], count, flags)
 	_, err := conn.Write(*scratch)
 	return err == nil
 }
@@ -516,6 +576,7 @@ func (d *Daemon) submitRecordsPayload(payload []byte) {
 func (d *Daemon) udpLoop() {
 	defer d.ingestersWG.Done()
 	buf := make([]byte, 1<<16)
+	var trecs []wire.TracedRecord
 	for {
 		n, _, err := d.udpConn.ReadFrom(buf)
 		if err != nil {
@@ -525,15 +586,16 @@ func (d *Daemon) udpLoop() {
 		// all rather than silently discarding everything after the first.
 		rest := buf[:n]
 		for len(rest) > 0 {
-			recs, consumed, err := wire.ParseFrame(rest)
+			batch, consumed, err := wire.ParseAnyFrame(rest, trecs[:0])
 			if err != nil {
 				// Position unknown inside the datagram: reject the rest.
 				d.decodeErrs.Add(1)
 				break
 			}
-			for _, rec := range recs {
-				d.p.Submit(rec)
+			for _, tr := range batch {
+				d.p.SubmitTraced(tr)
 			}
+			trecs = batch[:0]
 			rest = rest[consumed:]
 		}
 	}

@@ -23,6 +23,16 @@ type AtomicHistogram struct {
 	nbins  int
 	mask   uint64 // shard index mask (len(shards)-1, power of two)
 	shards []atomicBins
+
+	// Exemplars: each bin remembers the id and value of the last tagged
+	// observation recorded into it (flight-recorder trace ids in ddpmd),
+	// so a histogram percentile links to one concrete retrievable
+	// record. Last-write-wins across shards — exemplars are pointers,
+	// not counters, so the race is benign; id and value are stored as
+	// two independent atomics and may transiently mismatch under
+	// concurrent stamps, which exemplar consumers tolerate.
+	exID  []atomic.Uint64
+	exVal []atomic.Uint64 // math.Float64bits of the tagged observation
 }
 
 // atomicBins is one shard's counters. The trailing pad keeps adjacent
@@ -56,7 +66,59 @@ func NewAtomicHistogram(lo, hi float64, nbins, shards int) *AtomicHistogram {
 	for i := range h.shards {
 		h.shards[i].bins = make([]atomic.Int64, nbins)
 	}
+	h.exID = make([]atomic.Uint64, nbins)
+	h.exVal = make([]atomic.Uint64, nbins)
 	return h
+}
+
+// binOf maps an observation to its bin index, clamping out-of-range
+// values to the nearest bin (exemplars want a home even for outliers).
+func (h *AtomicHistogram) binOf(x float64) int {
+	switch {
+	case x < h.lo:
+		return 0
+	case x >= h.hi:
+		return h.nbins - 1
+	default:
+		i := int((x - h.lo) / h.width)
+		if i >= h.nbins {
+			i = h.nbins - 1
+		}
+		return i
+	}
+}
+
+// SetExemplar stamps id as the exemplar of the bin x falls in. It does
+// not count an observation — callers pair it with Observe when the
+// tagged observation should also be tallied. id 0 is ignored (the
+// "untraced" sentinel).
+func (h *AtomicHistogram) SetExemplar(x float64, id uint64) {
+	if id == 0 {
+		return
+	}
+	i := h.binOf(x)
+	h.exID[i].Store(id)
+	h.exVal[i].Store(math.Float64bits(x))
+}
+
+// Exemplar returns bin i's exemplar id and observation value; id 0
+// means the bin has none.
+func (h *AtomicHistogram) Exemplar(i int) (id uint64, x float64) {
+	if i < 0 || i >= h.nbins {
+		return 0, 0
+	}
+	return h.exID[i].Load(), math.Float64frombits(h.exVal[i].Load())
+}
+
+// ExemplarIDs returns the nonzero exemplar ids across every bin.
+func (h *AtomicHistogram) ExemplarIDs() []uint64 {
+	var out []uint64
+	for i := range h.exID {
+		if id := h.exID[i].Load(); id != 0 {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // NumBins returns the bin count; Bounds the [lo, hi) range.

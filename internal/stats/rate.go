@@ -63,9 +63,10 @@ func (w *RateWindow) Observe(now int64, total uint64) {
 	}
 }
 
-// Rate returns the windowed rate in events/sec. ok is false until two
-// distinct-instant samples exist (callers typically fall back to the
-// lifetime mean for the first scrape).
+// Rate returns the windowed rate in events/sec. ok is false — and rate
+// a clean 0, never a spike or NaN — until two distinct-instant samples
+// exist, so a cold gauge's first scrapes read as "no rate yet" rather
+// than inventing one.
 func (w *RateWindow) Rate() (rate float64, ok bool) {
 	w.mu.Lock()
 	defer w.mu.Unlock()

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestRateWindowColdStart pins the cold-start contract: before the
+// window holds two distinct-instant samples, Rate reports exactly
+// (0, false) — never a spike, never NaN — and recovers a sane slope
+// once real samples arrive, including across idle gaps longer than the
+// window.
+func TestRateWindowColdStart(t *testing.T) {
+	sec := int64(time.Second)
+	type sample struct {
+		t     int64
+		total uint64
+	}
+	cases := []struct {
+		name     string
+		window   time.Duration
+		samples  []sample
+		wantRate float64
+		wantOK   bool
+	}{
+		{
+			name:   "empty",
+			window: time.Minute,
+		},
+		{
+			name:    "single sample",
+			window:  time.Minute,
+			samples: []sample{{10 * sec, 1000}},
+		},
+		{
+			name:    "two samples same instant",
+			window:  time.Minute,
+			samples: []sample{{10 * sec, 1000}, {10 * sec, 2000}},
+			// The duplicate replaces, leaving one sample: still cold.
+		},
+		{
+			name:     "two distinct samples",
+			window:   time.Minute,
+			samples:  []sample{{10 * sec, 1000}, {20 * sec, 2000}},
+			wantRate: 100,
+			wantOK:   true,
+		},
+		{
+			name:   "idle gap longer than the window",
+			window: time.Minute,
+			// Two old samples, silence for 10 windows, then one new
+			// sample: the pruner keeps the newest pre-window sample as
+			// anchor, so the slope spans the gap instead of vanishing.
+			samples:  []sample{{0, 0}, {10 * sec, 1000}, {610 * sec, 1600}},
+			wantRate: 1, // (1600-1000)/(610-10)
+			wantOK:   true,
+		},
+		{
+			name:   "counter reset reads cold",
+			window: time.Minute,
+			// A restarted counter (total going backwards) must not
+			// produce a negative or huge unsigned-wrap rate.
+			samples: []sample{{10 * sec, 5000}, {20 * sec, 40}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := NewRateWindow(tc.window)
+			for _, s := range tc.samples {
+				w.Observe(s.t, s.total)
+			}
+			rate, ok := w.Rate()
+			if ok != tc.wantOK {
+				t.Fatalf("Rate() ok = %v, want %v", ok, tc.wantOK)
+			}
+			if math.IsNaN(rate) || math.IsInf(rate, 0) {
+				t.Fatalf("Rate() = %v, want a finite value", rate)
+			}
+			if math.Abs(rate-tc.wantRate) > 1e-9 {
+				t.Fatalf("Rate() = %v, want %v", rate, tc.wantRate)
+			}
+		})
+	}
+}

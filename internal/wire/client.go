@@ -34,12 +34,16 @@ type Client struct {
 	bw   *bufio.Writer
 	rd   *Reader
 
-	buf     []Record // unacked records; buf[0] has stream index `base`
-	base    uint64   // cumulative records acked by the server
-	next    int      // index into buf of the first unsent record
-	backoff int      // consecutive failed connection attempts
+	buf     []TracedRecord // unacked records; buf[0] has stream index `base`
+	base    uint64         // cumulative records acked by the server
+	next    int            // index into buf of the first unsent record
+	backoff int            // consecutive failed connection attempts
 
 	scratch []byte
+	plain   []Record // reused downgrade scratch for untraced sealed frames
+
+	traceSeq uint64 // trace-id counter (stamping enabled by cfg.Trace)
+	traceOK  bool   // server echoed HelloFlagTrace on this connection
 
 	sent       uint64
 	lost       uint64
@@ -93,6 +97,18 @@ type ClientConfig struct {
 
 	// Sleep replaces time.Sleep in tests.
 	Sleep func(time.Duration)
+
+	// Trace stamps every record offered through Send with a fresh
+	// trace context (a SplitMix64-spread id derived from the stream id
+	// plus the send timestamp) and negotiates traced sealed frames in
+	// the session hello. When the server does not echo the trace flag
+	// the client downgrades to plain sealed frames for that connection
+	// — records are never held hostage to the extension.
+	Trace bool
+
+	// NowNano supplies trace send timestamps; defaults to
+	// time.Now().UnixNano(). Tests inject a fake clock.
+	NowNano func() int64
 }
 
 func (c *ClientConfig) applyDefaults() {
@@ -124,8 +140,14 @@ func (c *ClientConfig) applyDefaults() {
 	if c.MaxBatch <= 0 || c.MaxBatch > MaxRecordsPerSealed {
 		c.MaxBatch = 1024
 	}
+	if c.Trace && c.MaxBatch > MaxTracedPerSealed {
+		c.MaxBatch = MaxTracedPerSealed // traced records are wider on the wire
+	}
 	if c.Sleep == nil {
 		c.Sleep = time.Sleep
+	}
+	if c.NowNano == nil {
+		c.NowNano = func() int64 { return time.Now().UnixNano() }
 	}
 }
 
@@ -191,7 +213,9 @@ func (c *Client) Send(recs []Record) error {
 		}
 		n := min(free, len(recs))
 		c.sent += uint64(n)
-		c.buf = append(c.buf, recs[:n]...)
+		for _, r := range recs[:n] {
+			c.buf = append(c.buf, TracedRecord{Record: r, Ctx: c.stamp()})
+		}
 		recs = recs[n:]
 		if len(c.buf) >= c.cfg.MaxBatch {
 			// Opportunistic flush; on failure records just stay
@@ -200,6 +224,29 @@ func (c *Client) Send(recs []Record) error {
 		}
 	}
 	return nil
+}
+
+// stamp mints the next trace context, or a zero one when tracing is
+// off.
+func (c *Client) stamp() TraceContext {
+	if !c.cfg.Trace {
+		return TraceContext{}
+	}
+	c.traceSeq++
+	return TraceContext{
+		ID:   SplitMix64(c.streamID ^ c.traceSeq),
+		Sent: c.cfg.NowNano(),
+	}
+}
+
+// TraceIDAt reports the trace id Send stamped on the n-th record
+// offered (0-based) when tracing is on — exporters that log ground
+// truth use it to correlate their own records with daemon traces.
+func (c *Client) TraceIDAt(n uint64) uint64 {
+	if !c.cfg.Trace {
+		return 0
+	}
+	return SplitMix64(c.streamID ^ (n + 1))
 }
 
 // Flush pushes every buffered record and waits for the server to
@@ -217,7 +264,7 @@ func (c *Client) Close() error {
 	c.closed = true
 	abandoned := len(c.buf)
 	for _, r := range c.buf {
-		c.drop(r)
+		c.drop(r.Record)
 	}
 	c.buf = nil
 	c.disconnect()
@@ -290,7 +337,11 @@ func (c *Client) connect() error {
 	c.rd = NewReader(conn)
 	c.reconnects++
 	conn.SetWriteDeadline(time.Now().Add(c.cfg.AckTimeout))
-	c.scratch = AppendHello(c.scratch[:0], c.streamID, c.base)
+	var flags uint32
+	if c.cfg.Trace {
+		flags = HelloFlagTrace
+	}
+	c.scratch = AppendHelloFlags(c.scratch[:0], c.streamID, c.base, flags)
 	if _, err := c.bw.Write(c.scratch); err != nil {
 		c.disconnect()
 		return fmt.Errorf("wire: hello: %w", err)
@@ -299,11 +350,15 @@ func (c *Client) connect() error {
 		c.disconnect()
 		return fmt.Errorf("wire: hello: %w", err)
 	}
-	acked, err := c.readAck()
+	acked, ackFlags, err := c.readAck()
 	if err != nil {
 		c.disconnect()
 		return fmt.Errorf("wire: hello ack: %w", err)
 	}
+	// Traced frames only flow when the server echoed the flag; an old
+	// server's legacy ack (flags 0) downgrades this connection to plain
+	// sealed frames, shedding contexts but never records.
+	c.traceOK = c.cfg.Trace && ackFlags&HelloFlagTrace != 0
 	if err := c.advance(acked); err != nil {
 		c.disconnect()
 		return err
@@ -323,7 +378,16 @@ func (c *Client) shipAndAwait() error {
 	for c.next < len(c.buf) {
 		n := min(c.cfg.MaxBatch, len(c.buf)-c.next)
 		seq := c.base + uint64(c.next)
-		c.scratch = AppendSealed(c.scratch[:0], seq, c.buf[c.next:c.next+n])
+		batch := c.buf[c.next : c.next+n]
+		if c.traceOK {
+			c.scratch = AppendTracedSealed(c.scratch[:0], seq, batch)
+		} else {
+			c.plain = c.plain[:0]
+			for _, tr := range batch {
+				c.plain = append(c.plain, tr.Record)
+			}
+			c.scratch = AppendSealed(c.scratch[:0], seq, c.plain)
+		}
 		if _, err := c.bw.Write(c.scratch); err != nil {
 			return err
 		}
@@ -334,7 +398,7 @@ func (c *Client) shipAndAwait() error {
 	}
 	target := c.base + uint64(len(c.buf))
 	for c.base < target {
-		acked, err := c.readAck()
+		acked, _, err := c.readAck()
 		if err != nil {
 			return err
 		}
@@ -347,17 +411,17 @@ func (c *Client) shipAndAwait() error {
 }
 
 // readAck reads frames until a TypeAck arrives, bounded by AckTimeout.
-func (c *Client) readAck() (uint64, error) {
+func (c *Client) readAck() (uint64, uint32, error) {
 	c.conn.SetReadDeadline(time.Now().Add(c.cfg.AckTimeout))
 	for {
 		ftype, payload, err := c.rd.ReadFrame()
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		if ftype != TypeAck {
 			continue // a session server only sends acks; tolerate noise
 		}
-		return ParseAck(payload)
+		return ParseAckFlags(payload)
 	}
 }
 

@@ -88,6 +88,61 @@ func FuzzReader(f *testing.F) {
 	})
 }
 
+// FuzzTraceContext throws arbitrary bytes at the trace-aware reader:
+// NextTraced must never panic, must classify failures like Next, and
+// every traced record it decodes must re-encode to a byte-identical
+// parse. Legacy frames (TypeRecords/TypeSealed, the pre-trace corpus
+// shapes) must keep round-tripping with exactly zero trace contexts —
+// the backward-compat contract of the extension.
+func FuzzTraceContext(f *testing.F) {
+	f.Add([]byte{})
+	legacy := AppendFrame(nil, []Record{{T: 1, Topo: 2, Victim: 3, MF: 4, Src: 5, Proto: 6}})
+	f.Add(legacy)
+	f.Add(AppendSealed(nil, 0, []Record{{MF: 7}, {MF: 8}}))
+	traced := []TracedRecord{
+		{Record: Record{T: 1, MF: 2}, Ctx: TraceContext{ID: 3, Sent: 4}},
+		{Record: Record{T: 5, MF: 6}},
+	}
+	f.Add(AppendTracedFrame(nil, traced))
+	f.Add(AppendTracedSealed(nil, 9, traced))
+	f.Add(append(AppendHelloFlags(nil, 1, 0, HelloFlagTrace), AppendTracedSealed(nil, 0, traced)...))
+	f.Add(append(legacy, AppendTracedFrame(nil, traced)...))
+	// Truncations and bit flips around the traced layouts.
+	f.Add(AppendTracedFrame(nil, traced)[:HeaderSize+TracedRecordSize-1])
+	damaged := AppendTracedSealed(nil, 9, traced)
+	damaged[HeaderSize+10] ^= 0x80
+	f.Add(damaged)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		var decoded []TracedRecord
+		for len(decoded) < 1<<16 {
+			tr, err := r.NextTraced()
+			if err != nil {
+				if err != io.EOF && !errors.Is(err, ErrBadFrame) {
+					t.Fatalf("unexpected error class: %v", err)
+				}
+				break
+			}
+			decoded = append(decoded, tr)
+		}
+		if len(decoded) == 0 {
+			return
+		}
+		// Re-encode everything as traced frames; the re-parse must be
+		// exact, including the records that decoded with zero contexts.
+		reenc := AppendTracedFrame(nil, decoded[:min(len(decoded), MaxTracedPerFrame)])
+		got, _, err := ParseAnyFrame(reenc, nil)
+		if err != nil {
+			t.Fatalf("re-parse: %v", err)
+		}
+		for i, want := range decoded[:min(len(decoded), MaxTracedPerFrame)] {
+			if got[i] != want {
+				t.Fatalf("re-parse record %d: got %+v want %+v", i, got[i], want)
+			}
+		}
+	})
+}
+
 // FuzzResyncReader throws arbitrary bytes at the resync-enabled
 // reader: it must never panic, must terminate (every resync consumes
 // at least one byte), must never skip-count more bytes than exist, and

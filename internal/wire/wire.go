@@ -304,17 +304,25 @@ func checkHeader(b []byte) (ftype uint8, n int, err error) {
 		if n%RecordSize != 0 {
 			return 0, 0, fmt.Errorf("%w: payload length %d not a multiple of %d", ErrBadFrame, n, RecordSize)
 		}
+	case TypeTracedRecords:
+		if n%TracedRecordSize != 0 {
+			return 0, 0, fmt.Errorf("%w: traced payload length %d not a multiple of %d", ErrBadFrame, n, TracedRecordSize)
+		}
 	case TypeHello:
-		if n != HelloPayloadSize {
+		if n != HelloPayloadSize && n != HelloTracePayloadSize {
 			return 0, 0, fmt.Errorf("%w: hello length %d", ErrBadFrame, n)
 		}
 	case TypeAck:
-		if n != AckPayloadSize {
+		if n != AckPayloadSize && n != AckTracePayloadSize {
 			return 0, 0, fmt.Errorf("%w: ack length %d", ErrBadFrame, n)
 		}
 	case TypeSealed:
 		if n < SealedOverhead || (n-SealedOverhead)%RecordSize != 0 {
 			return 0, 0, fmt.Errorf("%w: sealed length %d", ErrBadFrame, n)
+		}
+	case TypeTracedSealed:
+		if n < SealedOverhead || (n-SealedOverhead)%TracedRecordSize != 0 {
+			return 0, 0, fmt.Errorf("%w: traced sealed length %d", ErrBadFrame, n)
 		}
 	default:
 		return 0, 0, fmt.Errorf("%w: unknown frame type %d", ErrBadFrame, b[3])
@@ -377,7 +385,8 @@ type Reader struct {
 	br      *bufio.Reader
 	carry   []byte // bytes over-read during a resync scan, consumed first
 	payload []byte // reused per-frame payload buffer
-	pending []Record
+	pending []TracedRecord
+	recs    []Record // reused scratch for unwrapping untraced sealed batches
 	pendIdx int
 
 	resync   bool
@@ -490,7 +499,7 @@ func (r *Reader) ReadFrame() (ftype uint8, payload []byte, err error) {
 		if err := r.readFull(payload); err != nil {
 			return 0, nil, fmt.Errorf("%w: truncated payload: %v", ErrBadFrame, err)
 		}
-		if ftype == TypeRecords && n == 0 {
+		if (ftype == TypeRecords || ftype == TypeTracedRecords) && n == 0 {
 			r.emptyRun++
 			if r.emptyRun > MaxEmptyFrames {
 				r.emptyRun = 0
@@ -505,12 +514,20 @@ func (r *Reader) ReadFrame() (ftype uint8, payload []byte, err error) {
 }
 
 // Next returns the next record, skipping session control frames.
-// Sealed record batches are verified and unwrapped.
+// Sealed record batches are verified and unwrapped; trace contexts on
+// traced frames are dropped — use NextTraced to keep them.
 func (r *Reader) Next() (Record, error) {
+	tr, err := r.NextTraced()
+	return tr.Record, err
+}
+
+// NextTraced returns the next record together with its trace context
+// (zero for legacy untraced frames), skipping session control frames.
+func (r *Reader) NextTraced() (TracedRecord, error) {
 	for r.pendIdx >= len(r.pending) {
 		ftype, payload, err := r.ReadFrame()
 		if err != nil {
-			return Record{}, err
+			return TracedRecord{}, err
 		}
 		r.pending = r.pending[:0]
 		r.pendIdx = 0
@@ -519,19 +536,30 @@ func (r *Reader) Next() (Record, error) {
 			for off := 0; off < len(payload); off += RecordSize {
 				rec, err := DecodeRecord(payload[off:])
 				if err != nil {
-					return Record{}, err
+					return TracedRecord{}, err
 				}
-				r.pending = append(r.pending, rec)
+				r.pending = append(r.pending, TracedRecord{Record: rec})
+			}
+		case TypeTracedRecords:
+			if r.pending, err = parseTracedPayload(payload, r.pending); err != nil {
+				return TracedRecord{}, err
 			}
 		case TypeSealed:
-			if _, r.pending, err = ParseSealed(payload, r.pending); err != nil {
-				return Record{}, err
+			if _, r.recs, err = ParseSealed(payload, r.recs[:0]); err != nil {
+				return TracedRecord{}, err
+			}
+			for _, rec := range r.recs {
+				r.pending = append(r.pending, TracedRecord{Record: rec})
+			}
+		case TypeTracedSealed:
+			if _, r.pending, err = ParseTracedSealed(payload, r.pending); err != nil {
+				return TracedRecord{}, err
 			}
 		case TypeHello, TypeAck:
 			// control frames carry no records
 		}
 	}
-	rec := r.pending[r.pendIdx]
+	tr := r.pending[r.pendIdx]
 	r.pendIdx++
-	return rec, nil
+	return tr, nil
 }
