@@ -1,7 +1,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: check vet lint build race bench bench-gate fuzz-smoke trace-smoke run-ddpmd clean
+.PHONY: check vet lint build race bench bench-gate bench-profile fuzz-smoke trace-smoke run-ddpmd clean
 
 ## check: lint, build, test, fuzz-smoke and trace-smoke everything (the
 ## tier-1 gate)
@@ -43,6 +43,14 @@ bench:
 ## committed baseline (re-measures on this machine)
 bench-gate:
 	$(GO) run ./cmd/benchjson -check BENCH_netsim.json -tolerance 0.10
+
+## bench-profile: run the gated pipeline benchmark under the CPU and
+## heap profilers; cpu.prof/mem.prof land in the repo root for
+## `go tool pprof` (CI uploads them as artifacts)
+bench-profile:
+	$(GO) test ./cmd/benchjson -run xxx -bench 'BenchmarkPipelineThroughput$$' \
+		-benchtime 50x -benchmem -cpuprofile cpu.prof -memprofile mem.prof \
+		-o benchjson.test
 
 ## fuzz-smoke: short fuzzing passes over the wire codec and DDPM marking
 ## (go test allows one -fuzz target per invocation)

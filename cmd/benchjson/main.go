@@ -187,19 +187,15 @@ func benchFabric(net topology.Network) func(b *testing.B) {
 	}
 }
 
-// benchPipeline measures ddpmd's streaming pipeline: a pre-generated
-// batch of valid records spread across 16 victims (exercising the
-// shard fan-out) is pushed through Submit and fully drained via Close.
-// The headline metric is records/sec end to end, including per-record
-// DDPM identification and detector updates.
-func benchPipeline(b *testing.B) {
-	net := topology.NewTorus2D(8)
+// pipelineBenchRecords pre-generates the pipeline workload: 64k valid
+// records spread across 16 victims (exercising the shard fan-out),
+// sources cycling over the fabric, each MF the true displacement a
+// marked packet would carry.
+func pipelineBenchRecords(b *testing.B, net topology.Network) []wire.Record {
 	scheme, err := marking.NewDDPM(net)
 	if err != nil {
 		b.Fatal(err)
 	}
-	// 64k records: 16 victims, sources cycling over the fabric, each
-	// MF the true displacement a marked packet would carry.
 	topoID := wire.TopoID(net.Name())
 	const nRecs = 1 << 16
 	recs := make([]wire.Record, nRecs)
@@ -221,27 +217,73 @@ func benchPipeline(b *testing.B) {
 			MF: mf, Src: packet.Addr(i), Proto: packet.ProtoTCPSYN,
 		}
 	}
-	var processed uint64
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	return recs
+}
+
+// benchPipelineBatch measures ddpmd's streaming pipeline at one ingest
+// batch size: records are appended to pooled slabs batchSize at a time
+// and pushed through SubmitSlab. The metric is sustained steady-state
+// records/sec end to end — DDPM identification plus detector updates —
+// against one long-lived pipeline, the way the daemon actually runs.
+// Each iteration replays the workload one window-epoch later so the
+// detectors keep rolling forward instead of replaying time. Submission
+// is paced by SlabsOutstanding so the slab pool recycles (a real
+// exporter gets the same pacing from the socket); batchSize 1 is the
+// single-record Submit discipline, 1024 the exporter client default.
+func benchPipelineBatch(batchSize int) func(b *testing.B) {
+	return benchPipelineOpts(batchSize, 0)
+}
+
+// benchPipelineOpts additionally exposes the stage-latency sampling
+// knob so the observability overhead is measurable: sampleEvery 0 is
+// the production default (1 in 64), -1 disables stage histograms and
+// exemplars entirely. Compare BenchmarkPipelineThroughput against
+// BenchmarkPipelineObservabilityOff to quantify the cost.
+func benchPipelineOpts(batchSize, sampleEvery int) func(b *testing.B) {
+	return func(b *testing.B) {
+		net := topology.NewTorus2D(8)
+		recs := pipelineBenchRecords(b, net)
 		p, err := pipeline.New(pipeline.Config{
-			Net: net, Shards: 4, QueueLen: nRecs,
+			Net: net, Shards: 4, QueueLen: 64,
+			LatencySampleEvery: sampleEvery,
 		})
 		if err != nil {
 			b.Fatal(err)
 		}
-		for _, rec := range recs {
-			p.Submit(rec)
+		const maxOutstanding = 20 // under the pool size, so slabs recycle
+		var epoch eventq.Time
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for off := 0; off < len(recs); off += batchSize {
+				end := off + batchSize
+				if end > len(recs) {
+					end = len(recs)
+				}
+				for p.SlabsOutstanding() >= maxOutstanding {
+					runtime.Gosched()
+				}
+				s := p.GetSlab()
+				for _, rec := range recs[off:end] {
+					rec.T += epoch
+					s.Append(rec)
+				}
+				p.SubmitSlab(s)
+			}
+			epoch += 1 << 16
 		}
+		b.StopTimer()
 		p.Close()
 		if p.C.Dropped.Load() != 0 {
-			b.Fatalf("benchmark queue sized wrong: %d dropped", p.C.Dropped.Load())
+			b.Fatalf("benchmark pacing broken: %d dropped", p.C.Dropped.Load())
 		}
-		processed += p.C.Processed.Load()
+		b.ReportMetric(float64(p.C.Processed.Load())/b.Elapsed().Seconds(), "records/sec")
 	}
-	b.ReportMetric(float64(processed)/b.Elapsed().Seconds(), "records/sec")
 }
+
+// benchPipeline is the headline (and CI-gated) pipeline benchmark:
+// batch ingest at the exporter client's default frame size.
+var benchPipeline = benchPipelineBatch(1024)
 
 // checkPipeline is the CI regression gate: rerun PipelineThroughput
 // and compare records/sec against the committed baseline file, failing
@@ -326,6 +368,16 @@ func main() {
 	fmt.Fprintln(os.Stderr, "benchjson: running PipelineThroughput ...")
 	pt := testing.Benchmark(benchPipeline)
 	rep.Results = append(rep.Results, record("PipelineThroughput", pt, "records/sec"))
+
+	// Ingest batch-size sweep: 1 (per-record Submit discipline), 16
+	// (small UDP datagrams), 150 (traced sealed frames), 1024 (exporter
+	// client default).
+	for _, n := range []int{1, 16, 150, 1024} {
+		name := fmt.Sprintf("PipelineThroughputBatch/%d", n)
+		fmt.Fprintln(os.Stderr, "benchjson: running", name, "...")
+		br := testing.Benchmark(benchPipelineBatch(n))
+		rep.Results = append(rep.Results, record(name, br, "records/sec"))
+	}
 
 	if eps := rep.Results[0].Extra["events_per_sec"]; eps > 0 {
 		rep.Speedup["AdaptiveTorus16.events_per_sec"] = eps / seedBaseline["AdaptiveTorus16.events_per_sec"]

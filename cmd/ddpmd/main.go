@@ -69,7 +69,7 @@ func serve(args []string) {
 		udpAddr  = fs.String("udp", "", "UDP ingest listen address (empty disables)")
 		httpAddr = fs.String("http", ":7421", "HTTP admin listen address (empty disables)")
 		shards   = fs.Int("shards", 4, "worker shards")
-		queue    = fs.Int("queue", 4096, "records buffered per shard")
+		queue    = fs.Int("queue", 4096, "record sub-batches buffered per shard")
 		cusumWin = fs.Int64("cusum-window", 500, "CUSUM window in ticks")
 		cusumK   = fs.Float64("cusum-slack", 4, "CUSUM slack")
 		cusumH   = fs.Float64("cusum-threshold", 40, "CUSUM alarm threshold")
@@ -134,13 +134,22 @@ func serve(args []string) {
 		if err != nil {
 			fatal(err)
 		}
+		// Batch the replay through pooled slabs: records accumulate until
+		// the slab fills, then ship as one partitioned batch — the same
+		// hot path the wire listeners feed.
+		slab := d.Pipeline().GetSlab()
 		n, err := wire.ReadJSONL(f, wire.JSONLConfig{
 			Topo:   d.Pipeline().TopoID(),
 			Victim: topology.NodeID(*victim),
 		}, func(rec wire.Record) error {
-			d.Pipeline().Submit(rec)
+			slab.Append(rec)
+			if slab.Free() == 0 {
+				d.Pipeline().SubmitSlab(slab)
+				slab = d.Pipeline().GetSlab()
+			}
 			return nil
 		})
+		d.Pipeline().SubmitSlab(slab)
 		f.Close()
 		if err != nil {
 			fatal(err)
@@ -194,6 +203,7 @@ func runLoadgen(args []string) {
 		jsonl    = fs.String("jsonl", "", "write records as JSONL to this file (\"-\" = stdout)")
 		retry    = fs.Int("retry", 0, "reconnect attempts per delivery (0 = legacy fire-and-forget stream)")
 		buffer   = fs.Int("buffer", 1<<16, "unacked records the resilient client buffers across reconnects")
+		batch    = fs.Int("batch", 1024, "records per sealed frame (capped by the wire format; oversize is an error)")
 		trace    = fs.Bool("trace", false, "stamp a trace context on every record (negotiated over the acked session; implies -retry 1)")
 	)
 	fs.Parse(args)
@@ -226,12 +236,15 @@ func runLoadgen(args []string) {
 	case *addr != "" && *retry > 0:
 		// Resilient delivery: acked session with reconnect/backoff, so a
 		// daemon restart mid-stream costs retransmits, not records.
-		c := wire.NewClient(wire.ClientConfig{
+		c, err := wire.NewClient(wire.ClientConfig{
 			Addr: *addr, Seed: *seed,
 			BufferRecords: *buffer, MaxAttempts: *retry,
-			Trace: *trace,
+			MaxBatch: *batch, Trace: *trace,
 		})
-		if err := res.Stream(c.Send, 1024); err != nil {
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.Stream(c.Send, *batch); err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 		}
 		if err := c.Close(); err != nil {

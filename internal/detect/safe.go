@@ -42,3 +42,21 @@ func (s *syncDetector) AlarmedAt() eventq.Time {
 // Unwrap exposes the inner detector for scheme-specific inspection
 // (e.g. CUSUM.G()); callers touching it concurrently are on their own.
 func (s *syncDetector) Unwrap() Detector { return s.inner }
+
+// InnerLocker is implemented by synchronized detectors that can hand a
+// batch consumer their inner detector under a held lock, so feeding N
+// records costs one lock acquisition instead of N.
+type InnerLocker interface {
+	// LockInner acquires the detector's lock and returns the inner
+	// unsynchronized detector. The caller must call UnlockInner when
+	// done and must not retain the inner pointer past it.
+	LockInner() Detector
+	UnlockInner()
+}
+
+func (s *syncDetector) LockInner() Detector {
+	s.mu.Lock()
+	return s.inner
+}
+
+func (s *syncDetector) UnlockInner() { s.mu.Unlock() }

@@ -17,6 +17,7 @@ package filter
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/marking"
 	"repro/internal/packet"
@@ -66,6 +67,7 @@ type Blocklist struct {
 
 	mu      sync.Mutex
 	blocked map[topology.NodeID]int64 // node -> expiry (Permanent = none)
+	size    atomic.Int64              // len(blocked), readable without the mutex
 
 	accepted, dropped uint64
 }
@@ -104,13 +106,25 @@ func (b *Blocklist) BlockUntil(n topology.NodeID, until int64) {
 		return
 	}
 	b.blocked[n] = until
+	if !ok {
+		b.size.Add(1)
+	}
 }
+
+// Empty reports, without taking the mutex, whether the list has no
+// entries at all (lapsed-but-unpruned entries count as present). The
+// pipeline's batch hot path uses it to skip per-record BlockedAt
+// lookups entirely while no block is in force — the steady state.
+func (b *Blocklist) Empty() bool { return b.size.Load() == 0 }
 
 // Unblock removes a node.
 func (b *Blocklist) Unblock(n topology.NodeID) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	delete(b.blocked, n)
+	if _, ok := b.blocked[n]; ok {
+		delete(b.blocked, n)
+		b.size.Add(-1)
+	}
 }
 
 // Len returns the number of blocked nodes, including entries whose
@@ -137,6 +151,7 @@ func (b *Blocklist) ExpireEntries(now int64) []BlockEntry {
 	for n, until := range b.blocked {
 		if until != Permanent && until <= now {
 			delete(b.blocked, n)
+			b.size.Add(-1)
 			lapsed = append(lapsed, BlockEntry{Node: n, Until: until})
 		}
 	}

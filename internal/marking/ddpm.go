@@ -77,6 +77,10 @@ func NewDDPMWithCodec(net topology.Network, codec VectorCodec) (*DDPM, error) {
 
 func (d *DDPM) Name() string { return "ddpm" }
 
+// Net exposes the fabric this scheme marks for — victim-side consumers
+// (identifier tallies, validation) size their tables from it.
+func (d *DDPM) Net() topology.Network { return d.net }
+
 // Codec exposes the MF layout for victim-side decoding.
 func (d *DDPM) Codec() VectorCodec { return d.codec }
 

@@ -1,0 +1,163 @@
+package pipeline
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// TestBatchBackpressureShedsWholeSubBatch pins the batch-granularity
+// shed contract: when a shard queue is full, SubmitSlab drops that
+// shard's entire sub-batch and counts every record of it, and the
+// counters still balance (ingested = accepted + dropped + rejected).
+func TestBatchBackpressureShedsWholeSubBatch(t *testing.T) {
+	net := topology.NewMesh2D(4)
+	gate := make(chan struct{})
+	var released atomic.Bool
+	p, err := New(Config{
+		Net: net, Shards: 1, QueueLen: 1,
+		Now: func() int64 {
+			if !released.Load() {
+				<-gate // stall the worker inside its victim group
+			}
+			return 0
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := wire.Record{Topo: p.TopoID(), Victim: 3}
+
+	// One batch enters the worker and stalls on the clock; a second
+	// fills the depth-1 queue.
+	if got := p.Submit(rec); !got {
+		t.Fatal("first submit rejected")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for p.C.Processed.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never picked up the first batch")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s := p.GetSlab()
+	for i := 0; i < 3; i++ {
+		s.Append(rec)
+	}
+	if got := p.SubmitSlab(s); got != 3 {
+		t.Fatalf("queue-filling batch accepted %d records, want 3", got)
+	}
+
+	// Queue full: the whole 5-record sub-batch must shed, per-record
+	// counted, without blocking.
+	s = p.GetSlab()
+	for i := 0; i < 5; i++ {
+		s.Append(rec)
+	}
+	done := make(chan int)
+	go func() { done <- p.SubmitSlab(s) }()
+	select {
+	case got := <-done:
+		if got != 0 {
+			t.Errorf("submit to a full queue accepted %d records", got)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("SubmitSlab blocked on a full shard queue")
+	}
+	if got := p.C.Dropped.Load(); got != 5 {
+		t.Errorf("dropped = %d, want 5 (whole sub-batch)", got)
+	}
+
+	released.Store(true)
+	close(gate)
+	p.Close()
+	// Snapshot only after the gate opens: it consults the test clock too.
+	snap := p.Snapshot()
+	if snap.ShardDropped[0] != 5 {
+		t.Errorf("shard dropped = %d, want 5", snap.ShardDropped[0])
+	}
+	if snap.Ingested != snap.Accepted+snap.Dropped {
+		t.Errorf("counters unbalanced: ingested %d != accepted %d + dropped %d",
+			snap.Ingested, snap.Accepted, snap.Dropped)
+	}
+	if got := p.C.Processed.Load(); got != 4 {
+		t.Errorf("processed = %d after drain, want 4", got)
+	}
+	if got := p.SlabsOutstanding(); got != 0 {
+		t.Errorf("slabs outstanding after drain = %d, want 0", got)
+	}
+}
+
+// TestSubmitSlabValidationTail checks that Partition's invalid tail is
+// counted per record under the right rejection counters and that only
+// valid records are accepted.
+func TestSubmitSlabValidationTail(t *testing.T) {
+	net := topology.NewMesh2D(4)
+	p, err := New(Config{Net: net, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.GetSlab()
+	s.Append(wire.Record{Topo: p.TopoID(), Victim: 1, MF: 7})
+	s.Append(wire.Record{Topo: p.TopoID() + 1, Victim: 1}) // wrong fabric
+	s.Append(wire.Record{Topo: p.TopoID(), Victim: 99})    // victim out of range
+	s.Append(wire.Record{Topo: p.TopoID(), Victim: 2, MF: 9})
+	if got := p.SubmitSlab(s); got != 2 {
+		t.Fatalf("accepted %d records, want 2", got)
+	}
+	p.Close()
+	if got := p.C.TopoMismatch.Load(); got != 1 {
+		t.Errorf("topo mismatch = %d, want 1", got)
+	}
+	if got := p.C.BadVictim.Load(); got != 1 {
+		t.Errorf("bad victim = %d, want 1", got)
+	}
+	if got := p.C.Processed.Load(); got != 2 {
+		t.Errorf("processed = %d, want 2", got)
+	}
+	if got := p.SlabsOutstanding(); got != 0 {
+		t.Errorf("slabs outstanding = %d, want 0", got)
+	}
+}
+
+// TestSlabLifecycleAcrossPipeline drives many multi-victim slabs —
+// some accepted, some shed, some after Close — and asserts every slab
+// returned to the pool: the drain-time leak check the pool's
+// Outstanding counter exists for.
+func TestSlabLifecycleAcrossPipeline(t *testing.T) {
+	net := topology.NewMesh2D(8)
+	p, err := New(Config{Net: net, Shards: 4, QueueLen: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for iter := 0; iter < 200; iter++ {
+		s := p.GetSlab()
+		for i := 0; i < 100; i++ {
+			s.Append(wire.Record{
+				Topo: p.TopoID(), Victim: topology.NodeID((iter + i) % net.NumNodes()),
+				MF: uint16(i),
+			})
+		}
+		p.SubmitSlab(s) // sheds freely against the tiny queues
+	}
+	p.Close()
+	// Post-close submits must release their slabs too.
+	s := p.GetSlab()
+	s.Append(wire.Record{Topo: p.TopoID(), Victim: 1})
+	if got := p.SubmitSlab(s); got != 0 {
+		t.Errorf("post-close submit accepted %d records", got)
+	}
+	if got := p.C.RejectedClosed.Load(); got != 1 {
+		t.Errorf("rejected-closed = %d, want 1", got)
+	}
+	if got := p.SlabsOutstanding(); got != 0 {
+		t.Fatalf("slabs outstanding after drain = %d, want 0 (leak)", got)
+	}
+	snap := p.Snapshot()
+	if snap.Processed != snap.Accepted {
+		t.Errorf("processed %d != accepted %d after drain", snap.Processed, snap.Accepted)
+	}
+}

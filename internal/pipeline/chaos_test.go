@@ -99,7 +99,7 @@ func TestChaosIngestLosesNothingSilently(t *testing.T) {
 	}
 	addr := d.TCPAddr().String()
 	var lost []wire.Record
-	c := wire.NewClient(wire.ClientConfig{
+	c, err := wire.NewClient(wire.ClientConfig{
 		Dial: faults.WrapDial(func() (net.Conn, error) { return net.Dial("tcp", addr) }),
 		Seed: 13,
 		// 150 traced records (40 B each) is the same wire footprint as
@@ -114,6 +114,9 @@ func TestChaosIngestLosesNothingSilently(t *testing.T) {
 		OnLost:      func(r wire.Record) { lost = append(lost, r) },
 		Trace:       true, // stamp every record with a trace context
 	})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
 
 	// 4. Stream the whole scenario. Send errors are advisory (counted
 	// shed), never fatal.

@@ -83,7 +83,7 @@ func (p *Pipeline) WritePrometheus(w io.Writer, uptime time.Duration) {
 			fmt.Fprintf(w, "%s{shard=\"%d\"} %s\n", name, i, vals(i))
 		}
 	}
-	shardSeries("ddpmd_shard_queue_depth", "gauge", "records waiting per shard",
+	shardSeries("ddpmd_shard_queue_depth", "gauge", "record sub-batches waiting per shard",
 		func(i int) string { return fmt.Sprintf("%d", s.QueueDepths[i]) })
 	shardSeries("ddpmd_shard_processed_total", "counter", "records consumed per shard worker",
 		func(i int) string { return fmt.Sprintf("%d", s.ShardProcessed[i]) })

@@ -1,13 +1,20 @@
 // Package pipeline is the online heart of ddpmd: a sharded streaming
 // implementation of the paper's detect → identify → block loop over
-// wire.Records instead of in-simulator packets. Records are sharded by
-// victim node across a bounded worker pool; each victim gets a DDPM
-// identifier (single-packet source identification, the paper's §5),
-// CUSUM + entropy detectors, and auto-blocking into a TTL'd blocklist.
+// wire.Records instead of in-simulator packets. Records move in
+// batches end to end: frames decode into pooled wire.Slabs, one
+// counting sort partitions each slab by victim shard (grouped by
+// victim within a shard), and every shard receives its sub-batch as a
+// single channel element. Workers then run identification and
+// detection per victim group — one identifier lock and one detector
+// lock per (victim, batch) instead of per record. Each victim gets a
+// DDPM identifier (single-packet source identification, the paper's
+// §5), CUSUM + entropy detectors, and auto-blocking into a TTL'd
+// blocklist.
 //
-// Backpressure is explicit: a full shard queue drops the record and
-// counts it, never blocking the ingest path — a traceback service that
-// stalls its NIC under flood would be its own DoS amplifier.
+// Backpressure is explicit and batch-granular: a full shard queue
+// sheds that shard's whole sub-batch and counts every record in it,
+// never blocking the ingest path — a traceback service that stalls
+// its NIC under flood would be its own DoS amplifier.
 package pipeline
 
 import (
@@ -37,7 +44,7 @@ type Config struct {
 	Net topology.Network
 
 	Shards   int // worker/queue pairs (default 4)
-	QueueLen int // records buffered per shard (default 1024)
+	QueueLen int // sub-batches buffered per shard (default 1024); one element is one slab view, up to wire.SlabCap records
 
 	// Detection: per-victim CUSUM on record arrival ticks plus a
 	// source-entropy detector (random spoofing inflates entropy).
@@ -58,10 +65,15 @@ type Config struct {
 	Now func() int64
 
 	// LatencySampleEvery records per-stage latencies for one in every
-	// N records per shard, rounded up to a power of two (default 64;
-	// 1 times every record; negative disables the histograms). The
-	// sampled stages are ingest→enqueue, decode/identify, detect and
-	// block, exposed on /metrics as histogram + p50/p95/p99 series.
+	// N ingest units, rounded up to a power of two (default 64; 1
+	// times every unit; negative disables the histograms). A unit is
+	// one submitted slab on the ingest stage and one sub-batch on the
+	// shard stages — with single-record Submit that degenerates to one
+	// in every N records. Sampled batches report the per-record
+	// amortized stage cost, so the histograms stay comparable across
+	// batch sizes. The sampled stages are ingest→enqueue,
+	// decode/identify, detect and block, exposed on /metrics as
+	// histogram + p50/p95/p99 series.
 	LatencySampleEvery int
 
 	// RateWindow is the span of the sliding-window ingest-rate gauge
@@ -233,34 +245,52 @@ type victimState struct {
 	entropy detect.Detector
 	alarmed atomic.Bool   // latch: worker sets once, admin plane reads
 	scratch packet.Packet // reused to feed packet-shaped detectors
+
+	// Batch views of the detectors: LockInner hands the worker the
+	// unsynchronized detector under a held lock, so a victim group of N
+	// records costs one acquisition, not N.
+	cusumL   detect.InnerLocker
+	entropyL detect.InnerLocker
 }
 
-// job is one shard-queue element: the record plus its optional trace
-// context and the Submit-entry wall clock (unix nanos, 0 when neither
-// traced nor latency-sampled). Untraced records carry a zero context —
-// the per-record tracing cost on that path is the wider (pointer-free)
-// channel element and an id==0 branch. Boxing the trace fields behind a
-// pointer was tried and measured slower: a pointer in the element drags
-// write barriers and GC scanning into every send, which costs more than
-// copying 24 extra flat bytes.
+// job is the traced slow path's per-record unit: the record plus its
+// trace context and the Submit-entry wall clock (unix nanos, 0 when
+// neither traced nor latency-sampled). Untraced records never become
+// jobs — they stay in the slab and take the grouped fast path.
 type job struct {
 	rec wire.Record
 	tc  wire.TraceContext
 	t0  int64
 }
 
+// batch is one shard-queue element: a [start, end) view into a
+// partitioned slab (records contiguous and victim-grouped) plus the
+// Submit-entry wall clock. The receiving worker owns one slab
+// reference and releases it when done.
+type batch struct {
+	slab       *wire.Slab
+	start, end int32
+	t0         int64
+}
+
 type shard struct {
-	ch      chan job
+	ch      chan batch
 	mu      sync.Mutex // guards victims map shape (worker writes, admin reads)
 	victims map[topology.NodeID]*victimState
 
+	// srcs is the fast path's per-group identification scratch: the
+	// identified source per record, or a negative sentinel.
+	srcs []int32
+
 	// Per-shard worker counters behind the shard="N" metric labels.
-	// seen, pendProcessed and pendIdentified are worker-local: seen is
-	// the latency-sampling clock, the pend fields batch counts between
-	// flushes so the hot path pays two atomic adds per flushEvery
-	// records (or per queue drain) instead of per record. The atomics
-	// are what the admin plane reads.
+	// seen and batches are worker-local latency-sampling clocks (seen
+	// ticks per record on the traced slow path, batches per sub-batch
+	// on the fast path); the pend fields batch counts between flushes
+	// so the hot path pays two atomic adds per flushEvery records (or
+	// per queue drain) instead of per record. The atomics are what the
+	// admin plane reads.
 	seen           uint64
+	batches        uint64
 	pendProcessed  uint64
 	pendIdentified uint64
 	processed      atomic.Uint64
@@ -297,12 +327,14 @@ type Pipeline struct {
 	topoID uint32
 	shards []*shard
 	bl     *filter.Blocklist
+	pool   *wire.SlabPool
 
 	C Counters
 
 	lat        [numStages]stageLat
 	sampleOn   bool
-	sampleMask uint64 // pow2-1: sample when count&mask == 0
+	sampleMask uint64        // pow2-1: sample when count&mask == 0
+	submitSeq  atomic.Uint64 // ingest-stage sampling clock, one tick per submitted slab
 	rateWin    *stats.RateWindow
 	fr         *FlightRecorder // nil when tracing disabled
 
@@ -320,6 +352,7 @@ func New(cfg Config) (*Pipeline, error) {
 		cfg:     cfg,
 		topoID:  wire.TopoID(cfg.Net.Name()),
 		bl:      filter.NewTTLBlocklist(),
+		pool:    wire.NewSlabPool(cfg.Shards*4 + 8),
 		rateWin: stats.NewRateWindow(cfg.RateWindow),
 	}
 	if cfg.LatencySampleEvery > 0 {
@@ -338,7 +371,7 @@ func New(cfg Config) (*Pipeline, error) {
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		s := &shard{
-			ch:      make(chan job, cfg.QueueLen),
+			ch:      make(chan batch, cfg.QueueLen),
 			victims: make(map[topology.NodeID]*victimState),
 		}
 		p.shards = append(p.shards, s)
@@ -362,64 +395,128 @@ func (p *Pipeline) Journal() *Journal { return p.cfg.Journal }
 // Recorder returns the flight recorder (nil when tracing is disabled).
 func (p *Pipeline) Recorder() *FlightRecorder { return p.fr }
 
+// GetSlab returns an empty pooled slab for decoding frames into. Hand
+// it to SubmitSlab when filled — SubmitSlab consumes the caller's
+// reference, so Get → fill → SubmitSlab is a complete lifecycle.
+func (p *Pipeline) GetSlab() *wire.Slab { return p.pool.Get() }
+
+// SlabsOutstanding reports pooled slabs handed out and not yet fully
+// released — zero once every submitter has returned and the shard
+// queues have drained (the leak check).
+func (p *Pipeline) SlabsOutstanding() int64 { return p.pool.Outstanding() }
+
 // Submit offers one record to the pipeline without blocking. It
 // reports false when the record was not queued — validation failure or
 // backpressure — with the reason visible in the counters.
 func (p *Pipeline) Submit(rec wire.Record) bool {
-	return p.SubmitTraced(wire.TracedRecord{Record: rec})
+	s := p.pool.Get()
+	s.Append(rec)
+	return p.SubmitSlab(s) == 1
 }
 
 // SubmitTraced is Submit for records carrying a wire trace context. A
 // zero context (ID 0) behaves exactly like Submit; a nonzero one has
 // its journey recorded into the flight recorder, including the
-// rejection paths below (every trace gets an ending, even "the queue
-// was full").
+// rejection paths (every trace gets an ending, even "the queue was
+// full").
 func (p *Pipeline) SubmitTraced(tr wire.TracedRecord) bool {
-	n := p.C.Ingested.Add(1)
-	traced := tr.Ctx.ID != 0 && p.fr != nil
-	sampled := p.sampleOn && n&p.sampleMask == 0
+	s := p.pool.Get()
+	if tr.Ctx.ID != 0 {
+		s.AppendTraced(tr)
+	} else {
+		s.Append(tr.Record) // keep the untraced single-record path on the slab fast path
+	}
+	return p.SubmitSlab(s) == 1
+}
+
+// SubmitSlab offers a filled slab to the pipeline without blocking and
+// returns how many of its records were enqueued. The slab is
+// partitioned in place by victim shard; each shard's contiguous
+// sub-batch is submitted as one queue element. A full shard queue
+// sheds that whole sub-batch (each record counted in Dropped and the
+// shard's counter) — batch-granularity backpressure. Validation
+// failures (topology mismatch, victim out of range) are counted per
+// record as before.
+//
+// SubmitSlab consumes the caller's slab reference: after the call the
+// caller must not touch the slab.
+func (p *Pipeline) SubmitSlab(s *wire.Slab) (accepted int) {
+	n := len(s.Recs)
+	if n == 0 {
+		s.Release()
+		return 0
+	}
+	end := p.C.Ingested.Add(uint64(n))
+	first := end - uint64(n)
+	traced := s.Ctxs != nil && p.fr != nil
+	// Sample one submit in every period: the unit is the slab, not the
+	// record, so batch ingest keeps the same sampling overhead as
+	// single-record Submit instead of multiplying it by the batch size.
+	sampled := p.sampleOn && (p.submitSeq.Add(1)-1)&p.sampleMask == 0
 	var t0 time.Time
 	if sampled || traced {
 		t0 = time.Now()
 	}
-	rec := tr.Record
-	if rec.Topo != p.topoID {
-		p.C.TopoMismatch.Add(1)
-		p.traceIngestFail(traced, &tr, t0, OutcomeRejected)
-		return false
-	}
-	if rec.Victim < 0 || int(rec.Victim) >= p.cfg.Net.NumNodes() {
-		p.C.BadVictim.Add(1)
-		p.traceIngestFail(traced, &tr, t0, OutcomeRejected)
-		return false
+	groups, valid := s.Partition(p.topoID, p.cfg.Net.NumNodes(), len(p.shards))
+	for i := valid; i < n; i++ {
+		rec := s.Recs[i]
+		if rec.Topo != p.topoID {
+			p.C.TopoMismatch.Add(1)
+		} else {
+			p.C.BadVictim.Add(1)
+		}
+		if traced && s.Ctxs[i].ID != 0 {
+			p.traceIngestFail(true, &wire.TracedRecord{Record: rec, Ctx: s.Ctxs[i]}, t0, OutcomeRejected)
+		}
 	}
 	p.mu.RLock()
-	defer p.mu.RUnlock()
 	if p.closed {
 		// Not backpressure: the caller outlived the pipeline. Count it
 		// apart from Dropped so load shed stays a clean signal.
-		p.C.RejectedClosed.Add(1)
-		p.traceIngestFail(traced, &tr, t0, OutcomeRejected)
-		return false
-	}
-	si := int(rec.Victim) % len(p.shards)
-	s := p.shards[si]
-	j := job{rec: rec, tc: tr.Ctx}
-	if sampled || traced {
-		j.t0 = t0.UnixNano()
-	}
-	select {
-	case s.ch <- j:
-		if sampled {
-			p.lat[stageIngest].observe(uint64(si), time.Since(t0))
+		p.mu.RUnlock()
+		p.C.RejectedClosed.Add(uint64(valid))
+		if traced {
+			for i := 0; i < valid; i++ {
+				if s.Ctxs[i].ID != 0 {
+					p.traceIngestFail(true, &wire.TracedRecord{Record: s.Recs[i], Ctx: s.Ctxs[i]}, t0, OutcomeRejected)
+				}
+			}
 		}
-		return true
-	default:
-		p.C.Dropped.Add(1) // bounded queue full: shed, don't stall ingest
-		s.dropped.Add(1)
-		p.traceIngestFail(traced, &tr, t0, OutcomeDrop)
-		return false
+		s.Release()
+		return 0
 	}
+	var t0ns int64
+	if sampled || traced {
+		t0ns = t0.UnixNano()
+	}
+	for _, g := range groups {
+		sh := p.shards[g.Shard]
+		s.Retain() // the worker's reference; dropped again on shed
+		select {
+		case sh.ch <- batch{slab: s, start: int32(g.Start), end: int32(g.End), t0: t0ns}:
+			accepted += g.End - g.Start
+		default:
+			s.Release()
+			cnt := uint64(g.End - g.Start)
+			p.C.Dropped.Add(cnt) // bounded queue full: shed the sub-batch, don't stall ingest
+			sh.dropped.Add(cnt)
+			if traced {
+				for i := g.Start; i < g.End; i++ {
+					if s.Ctxs[i].ID != 0 {
+						p.traceIngestFail(true, &wire.TracedRecord{Record: s.Recs[i], Ctx: s.Ctxs[i]}, t0, OutcomeDrop)
+					}
+				}
+			}
+		}
+	}
+	p.mu.RUnlock()
+	if sampled {
+		// One amortized observation per sampled batch: the whole submit
+		// (partition + every enqueue) divided across its records.
+		p.lat[stageIngest].observe(first, time.Since(t0)/time.Duration(n))
+	}
+	s.Release()
+	return accepted
 }
 
 // traceIngestFail commits a trace for a record that never reached a
@@ -473,8 +570,9 @@ func (p *Pipeline) Close() {
 
 func (p *Pipeline) run(s *shard, si int) {
 	defer p.wg.Done()
-	for j := range s.ch {
-		p.process(s, si, j)
+	for b := range s.ch {
+		p.processBatch(s, si, b)
+		b.slab.Release()
 		if s.pendProcessed >= flushEvery || len(s.ch) == 0 {
 			s.flush()
 		}
@@ -482,6 +580,194 @@ func (p *Pipeline) run(s *shard, si int) {
 	s.flush()
 }
 
+// processBatch consumes one sub-batch view. Traced slabs take the
+// per-record slow path (exact span semantics per trace); untraced
+// slabs — the hot path — run grouped per victim.
+func (p *Pipeline) processBatch(s *shard, si int, b batch) {
+	slab := b.slab
+	if slab.Ctxs != nil {
+		for i := b.start; i < b.end; i++ {
+			p.process(s, si, job{rec: slab.Recs[i], tc: slab.Ctxs[i], t0: b.t0})
+		}
+		return
+	}
+	p.processFast(s, si, slab.Recs[b.start:b.end])
+}
+
+// srcBlocked marks a record whose identified source was already
+// blocked at observation time (dropped before the detectors, like the
+// in-fabric filter would).
+const srcBlocked = int32(-2)
+
+// processFast is the untraced batch path: records are already grouped
+// by victim, so each group runs three passes — identify under one
+// identifier lock, detect under one detector lock, block under the
+// identifier lock again — and counters/latency histograms are written
+// once per batch instead of once per record.
+//
+// Batch granularity shifts two per-record behaviors by design: a block
+// inserted while processing a group takes effect from the next group
+// (records already identified in this group were prefiltered against
+// the blocklist as of the group's start), and the block pass may block
+// a source based on any record of the group once the victim's alarm
+// latch is set, not only records after the alarming one. Both keep the
+// end state — who is blocked, who alarmed — identical for steady
+// streams; see DESIGN.md §11.
+func (p *Pipeline) processFast(s *shard, si int, recs []wire.Record) {
+	n := len(recs)
+	p.C.Processed.Add(uint64(n))
+	s.pendProcessed += uint64(n)
+	sampled := p.sampleOn && s.batches&p.sampleMask == 0
+	s.batches++
+	s.seen += uint64(n)
+	var identified, undecodable, blockedHits, alarms, blocks uint64
+	var durIdent, durDetect, durBlock time.Duration
+	var tMark time.Time
+	if sampled {
+		tMark = time.Now()
+	}
+	if cap(s.srcs) < n {
+		s.srcs = make([]int32, 0, wire.SlabCap)
+	}
+	for gi := 0; gi < n; {
+		v := recs[gi].Victim
+		ge := gi + 1
+		for ge < n && recs[ge].Victim == v {
+			ge++
+		}
+		group := recs[gi:ge]
+		gi = ge
+		st := s.victims[v]
+		if st == nil {
+			var err error
+			if st, err = p.newVictimState(v); err != nil {
+				// Unbuildable scheme for this fabric: count as undecodable
+				// rather than wedging the worker.
+				undecodable += uint64(len(group))
+				continue
+			}
+			s.mu.Lock()
+			s.victims[v] = st
+			s.mu.Unlock()
+		}
+		now := p.cfg.Now()
+
+		// Pass A: identify the whole group under one identifier lock,
+		// then prefilter already-blocked sources (skipped entirely while
+		// the blocklist is empty — the steady state).
+		srcs := s.srcs[:len(group)]
+		id := st.ident.Lock()
+		for k := range group {
+			if src, ok := id.ObserveMF(group[k].MF); ok {
+				srcs[k] = int32(src)
+				identified++
+			} else {
+				srcs[k] = -1
+				undecodable++
+			}
+		}
+		st.ident.Unlock()
+		if !p.bl.Empty() {
+			for k := range srcs {
+				if srcs[k] >= 0 && p.bl.BlockedAt(topology.NodeID(srcs[k]), now) {
+					srcs[k] = srcBlocked
+					blockedHits++
+				}
+			}
+		}
+		if sampled {
+			t := time.Now()
+			durIdent += t.Sub(tMark)
+			tMark = t
+		}
+
+		// Pass B: feed both detectors under one lock each. Blocked
+		// records skip the detectors (dropped upstream of the victim);
+		// undecodable ones still count toward its arrival process.
+		cu := st.cusumL.LockInner()
+		en := st.entropyL.LockInner()
+		pk := &st.scratch
+		newAlarm := st.alarmed.Load()
+		var cuA, enA bool
+		for k := range group {
+			if srcs[k] == srcBlocked {
+				continue
+			}
+			pk.Hdr.Src = group[k].Src
+			pk.Hdr.Proto = group[k].Proto
+			cu.Observe(group[k].T, pk)
+			en.Observe(group[k].T, pk)
+			if !newAlarm && (cu.Alarmed() || en.Alarmed()) {
+				newAlarm = true
+				cuA, enA = cu.Alarmed(), en.Alarmed()
+			}
+		}
+		st.entropyL.UnlockInner()
+		st.cusumL.UnlockInner()
+		if newAlarm && !st.alarmed.Load() {
+			st.alarmed.Store(true)
+			alarms++
+			p.journalAlarmDetail(now, v, cuA, enA)
+		}
+		if sampled {
+			t := time.Now()
+			durDetect += t.Sub(tMark)
+			tMark = t
+		}
+
+		// Pass C: once the victim's alarm latch is set, block every
+		// group source over threshold that isn't blocked already.
+		if st.alarmed.Load() {
+			id := st.ident.Lock()
+			for k := range srcs {
+				if srcs[k] < 0 {
+					continue
+				}
+				src := topology.NodeID(srcs[k])
+				if cnt := id.Count(src); cnt > p.cfg.BlockThreshold && !p.bl.BlockedAt(src, now) {
+					until := filter.Permanent
+					if p.cfg.BlockTTL > 0 {
+						until = now + p.cfg.BlockTTL.Nanoseconds()
+					}
+					p.bl.BlockUntil(src, until)
+					blocks++
+					p.journalBlockInner(now, v, src, cnt, until, id)
+				}
+			}
+			st.ident.Unlock()
+		}
+		if sampled {
+			t := time.Now()
+			durBlock += t.Sub(tMark)
+			tMark = t
+		}
+	}
+	if identified > 0 {
+		p.C.Identified.Add(identified)
+		s.pendIdentified += identified
+	}
+	if undecodable > 0 {
+		p.C.Undecodable.Add(undecodable)
+	}
+	if blockedHits > 0 {
+		p.C.BlockedHits.Add(blockedHits)
+	}
+	if alarms > 0 {
+		p.C.Alarms.Add(alarms)
+	}
+	if blocks > 0 {
+		p.C.Blocks.Add(blocks)
+	}
+	if sampled {
+		// One amortized observation per stage per sampled batch.
+		nn := time.Duration(n)
+		p.lat[stageIdentify].observe(uint64(si), durIdent/nn)
+		p.lat[stageDetect].observe(uint64(si), durDetect/nn)
+		p.lat[stageBlock].observe(uint64(si), durBlock/nn)
+	}
+}
+
+// process is the traced slow path: one record, full span accounting.
 func (p *Pipeline) process(s *shard, si int, j job) {
 	rec := j.rec
 	p.C.Processed.Add(1)
@@ -622,16 +908,23 @@ func (p *Pipeline) process(s *shard, si int, j job) {
 	}
 }
 
-// journalAlarm records a victim's first detector firing.
+// journalAlarm records a victim's first detector firing (traced path).
 func (p *Pipeline) journalAlarm(now int64, victim topology.NodeID, st *victimState) {
+	p.journalAlarmDetail(now, victim, st.cusum.Alarmed(), st.entropy.Alarmed())
+}
+
+// journalAlarmDetail is journalAlarm from captured alarm states — the
+// batch path reads the detectors while it holds their locks and emits
+// after release.
+func (p *Pipeline) journalAlarmDetail(now int64, victim topology.NodeID, cuAlarmed, enAlarmed bool) {
 	if p.cfg.Journal == nil {
 		return
 	}
 	detail := "cusum"
 	switch {
-	case st.cusum.Alarmed() && st.entropy.Alarmed():
+	case cuAlarmed && enAlarmed:
 		detail = "cusum+entropy"
-	case st.entropy.Alarmed():
+	case enAlarmed:
 		detail = "entropy"
 	}
 	p.cfg.Journal.Emit(Event{
@@ -642,14 +935,26 @@ func (p *Pipeline) journalAlarm(now int64, victim topology.NodeID, st *victimSta
 }
 
 // journalBlock records an auto-block with the victim's top-k
-// identified sources at block time as evidence.
+// identified sources at block time as evidence (traced path — takes
+// the identifier lock itself).
 func (p *Pipeline) journalBlock(now int64, victim, src topology.NodeID, cnt, until int64, st *victimState) {
 	if p.cfg.Journal == nil {
 		return
 	}
+	p.journalBlockInner(now, victim, src, cnt, until, st.ident.Lock())
+	st.ident.Unlock()
+}
+
+// journalBlockInner is journalBlock against an already-locked inner
+// identifier — the batch path calls it from inside its block pass,
+// where re-locking the sync wrapper would deadlock.
+func (p *Pipeline) journalBlockInner(now int64, victim, src topology.NodeID, cnt, until int64, id *traceback.DDPMIdentifier) {
+	if p.cfg.Journal == nil {
+		return
+	}
 	top := make([]SourceCount, 0, p.cfg.JournalTopK)
-	for _, n := range st.ident.TopSources(p.cfg.JournalTopK) {
-		top = append(top, SourceCount{Node: int64(n), Count: st.ident.Count(n)})
+	for _, n := range id.TopSources(p.cfg.JournalTopK) {
+		top = append(top, SourceCount{Node: int64(n), Count: id.Count(n)})
 	}
 	p.cfg.Journal.Emit(Event{
 		T: now, Type: EventBlock,
@@ -687,6 +992,8 @@ func (p *Pipeline) newVictimState(victim topology.NodeID) (*victimState, error) 
 	} else {
 		st.entropy = nopDetector{}
 	}
+	st.cusumL = st.cusum.(detect.InnerLocker)
+	st.entropyL = st.entropy.(detect.InnerLocker)
 	return st, nil
 }
 
@@ -861,3 +1168,6 @@ func (nopDetector) Name() string                        { return "nop" }
 func (nopDetector) Observe(eventq.Time, *packet.Packet) {}
 func (nopDetector) Alarmed() bool                       { return false }
 func (nopDetector) AlarmedAt() (t eventq.Time)          { return t }
+
+func (n nopDetector) LockInner() detect.Detector { return n }
+func (nopDetector) UnlockInner()                 {}

@@ -348,49 +348,40 @@ func (d *Daemon) serveConn(conn net.Conn) {
 // DecodeErrors, per byte in the skipped-bytes counter) instead of
 // killing the connection. There are no acks, so leniency beats
 // strictness — dropping the conn would lose everything in flight.
+//
+// Each frame decodes into one pooled slab submitted whole, so the
+// pipeline sees the frame as a single batch.
 func (d *Daemon) servePlain(conn net.Conn, r *wire.Reader, ftype uint8, payload []byte) {
 	r.EnableResync()
-	var recs []wire.Record
-	var trecs []wire.TracedRecord
 	var lastResyncs, lastSkipped uint64
 	for {
+		var s *wire.Slab
+		var derr error
 		switch ftype {
 		case wire.TypeRecords:
-			d.submitRecordsPayload(payload)
+			s = d.p.GetSlab()
+			derr = s.AppendRecordsPayload(payload)
 		case wire.TypeTracedRecords:
-			batch, err := wire.ParseTracedRecords(payload, trecs[:0])
-			if err != nil {
-				d.decodeErrs.Add(1)
-			} else {
-				for _, tr := range batch {
-					d.p.SubmitTraced(tr)
-				}
-				trecs = batch[:0]
-			}
+			s = d.p.GetSlab()
+			derr = s.AppendTracedPayload(payload)
 		case wire.TypeSealed:
 			// Sealed frames outside a session still carry records; the
 			// CRC makes them safe to tally without acks.
-			_, batch, err := wire.ParseSealed(payload, recs[:0])
-			if err != nil {
-				d.decodeErrs.Add(1)
-			} else {
-				for _, rec := range batch {
-					d.p.Submit(rec)
-				}
-				recs = batch[:0]
-			}
+			s = d.p.GetSlab()
+			_, derr = s.AppendSealedPayload(payload)
 		case wire.TypeTracedSealed:
-			_, batch, err := wire.ParseTracedSealed(payload, trecs[:0])
-			if err != nil {
-				d.decodeErrs.Add(1)
-			} else {
-				for _, tr := range batch {
-					d.p.SubmitTraced(tr)
-				}
-				trecs = batch[:0]
-			}
+			s = d.p.GetSlab()
+			_, derr = s.AppendTracedSealedPayload(payload)
 		default:
 			// Hello handled by the dispatcher; stray acks are noise.
+		}
+		if s != nil {
+			if derr != nil {
+				d.decodeErrs.Add(1)
+				s.Release()
+			} else {
+				d.p.SubmitSlab(s)
+			}
 		}
 		d.armDeadline(conn)
 		var err error
@@ -439,29 +430,32 @@ func (d *Daemon) serveSession(conn net.Conn, r *wire.Reader, helloPayload []byte
 	ackFlags := flags & wire.HelloFlagTrace
 	sess := d.session(streamID)
 	var scratch []byte
-	var recs []wire.Record
-	var trecs []wire.TracedRecord
 	if !d.ackHello(conn, sess, base, &scratch, ackFlags) {
 		return
 	}
-	// submitBatch dedups one sealed batch against the session count and
-	// feeds the unseen suffix to the pipeline; shared by the plain and
-	// traced sealed paths.
-	submitBatch := func(seq uint64, batch []wire.TracedRecord) (uint64, bool) {
+	// submitSlab dedups one sealed batch against the session count and
+	// feeds the unseen suffix to the pipeline as a single slab; shared
+	// by the plain and traced sealed paths. Consumes the slab reference.
+	// The session count advances by the full batch regardless of what
+	// the pipeline sheds downstream — delivery is what the ack attests.
+	submitSlab := func(seq uint64, s *wire.Slab) (uint64, bool) {
 		sess.mu.Lock()
 		if seq > sess.count {
 			sess.mu.Unlock()
+			s.Release()
 			d.decodeErrs.Add(1)
 			// Gap before the accepted count: protocol violation.
 			d.journalStream(EventSessionLoss, streamID, "sequence gap")
 			return 0, false
 		}
-		if skip := int(sess.count - seq); skip < len(batch) {
-			for _, tr := range batch[skip:] {
-				d.p.SubmitTraced(tr)
-			}
-			d.sessionRecs.Add(uint64(len(batch) - skip))
-			sess.count = seq + uint64(len(batch))
+		n := uint64(s.Len())
+		if skip := sess.count - seq; skip < n {
+			s.DropFront(int(skip))
+			d.sessionRecs.Add(n - skip)
+			sess.count = seq + n
+			d.p.SubmitSlab(s)
+		} else {
+			s.Release() // entire batch already accepted: pure retransmit
 		}
 		c := sess.count
 		sess.mu.Unlock()
@@ -476,31 +470,29 @@ func (d *Daemon) serveSession(conn net.Conn, r *wire.Reader, helloPayload []byte
 		}
 		switch ftype {
 		case wire.TypeSealed:
-			seq, batch, err := wire.ParseSealed(payload, recs[:0])
+			s := d.p.GetSlab()
+			seq, err := s.AppendSealedPayload(payload)
 			if err != nil {
+				s.Release()
 				d.decodeErrs.Add(1)
 				// Strict: the client resends from the acked count.
 				d.journalStream(EventSessionLoss, streamID, "sealed frame rejected")
 				return
 			}
-			recs = batch[:0]
-			trecs = trecs[:0]
-			for _, rec := range batch {
-				trecs = append(trecs, wire.TracedRecord{Record: rec})
-			}
-			c, ok := submitBatch(seq, trecs)
+			c, ok := submitSlab(seq, s)
 			if !ok || !d.writeAck(conn, &scratch, c, ackFlags) {
 				return
 			}
 		case wire.TypeTracedSealed:
-			seq, batch, err := wire.ParseTracedSealed(payload, trecs[:0])
+			s := d.p.GetSlab()
+			seq, err := s.AppendTracedSealedPayload(payload)
 			if err != nil {
+				s.Release()
 				d.decodeErrs.Add(1)
 				d.journalStream(EventSessionLoss, streamID, "traced sealed frame rejected")
 				return
 			}
-			trecs = batch[:0]
-			c, ok := submitBatch(seq, batch)
+			c, ok := submitSlab(seq, s)
 			if !ok || !d.writeAck(conn, &scratch, c, ackFlags) {
 				return
 			}
@@ -560,23 +552,9 @@ func (d *Daemon) session(id uint64) *session {
 	return s
 }
 
-// submitRecordsPayload feeds a validated TypeRecords payload to the
-// pipeline. Length alignment was checked at the frame header.
-func (d *Daemon) submitRecordsPayload(payload []byte) {
-	for off := 0; off+wire.RecordSize <= len(payload); off += wire.RecordSize {
-		rec, err := wire.DecodeRecord(payload[off:])
-		if err != nil {
-			d.decodeErrs.Add(1)
-			return
-		}
-		d.p.Submit(rec)
-	}
-}
-
 func (d *Daemon) udpLoop() {
 	defer d.ingestersWG.Done()
 	buf := make([]byte, 1<<16)
-	var trecs []wire.TracedRecord
 	for {
 		n, _, err := d.udpConn.ReadFrom(buf)
 		if err != nil {
@@ -584,18 +562,18 @@ func (d *Daemon) udpLoop() {
 		}
 		// A datagram may pack several frames back to back; consume them
 		// all rather than silently discarding everything after the first.
+		// Each frame becomes one slab batch.
 		rest := buf[:n]
 		for len(rest) > 0 {
-			batch, consumed, err := wire.ParseAnyFrame(rest, trecs[:0])
+			s := d.p.GetSlab()
+			consumed, err := s.AppendDatagramFrame(rest)
 			if err != nil {
+				s.Release()
 				// Position unknown inside the datagram: reject the rest.
 				d.decodeErrs.Add(1)
 				break
 			}
-			for _, tr := range batch {
-				d.p.SubmitTraced(tr)
-			}
-			trecs = batch[:0]
+			d.p.SubmitSlab(s)
 			rest = rest[consumed:]
 		}
 	}

@@ -267,9 +267,11 @@ func (c *Counter[K]) Top(k int, less func(a, b K) bool) []K {
 	return keys[:k]
 }
 
-// Reset clears all tallies.
+// Reset clears all tallies. The map's capacity is retained so that
+// windowed users (the entropy detector closes and reopens a window per
+// interval) stop allocating once they have seen a full key population.
 func (c *Counter[K]) Reset() {
-	c.counts = make(map[K]int64)
+	clear(c.counts)
 	c.total = 0
 }
 

@@ -31,6 +31,18 @@ func (s *SyncDDPMIdentifier) ObserveMF(mf uint16) (topology.NodeID, bool) {
 	return s.inner.ObserveMF(mf)
 }
 
+// Lock acquires the identifier's mutex and returns the inner unlocked
+// identifier, so a batch consumer pays one lock acquisition per group
+// of records instead of one per record. The caller must call Unlock
+// when done and must not retain the inner pointer past it.
+func (s *SyncDDPMIdentifier) Lock() *DDPMIdentifier {
+	s.mu.Lock()
+	return s.inner
+}
+
+// Unlock releases the mutex taken by Lock.
+func (s *SyncDDPMIdentifier) Unlock() { s.mu.Unlock() }
+
 // Observed, Undecodable, Count, TopSources and SourcesAbove mirror
 // DDPMIdentifier under the lock.
 func (s *SyncDDPMIdentifier) Observed() int64 {

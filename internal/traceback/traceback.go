@@ -15,8 +15,18 @@ import (
 
 	"repro/internal/marking"
 	"repro/internal/packet"
-	"repro/internal/stats"
 	"repro/internal/topology"
+)
+
+// memo encoding for one MF value: 0 = not yet computed, memoUndec =
+// the MF does not decode to a node, else src+memoBias. IdentifySource
+// is a pure function of (victim, mf), so each of the 65536 possible MF
+// values is decoded at most once per identifier; after that ObserveMF
+// is a table load plus a dense-tally increment, which is what lets the
+// daemon's batch hot path stay allocation-free.
+const (
+	memoUndec = 1
+	memoBias  = 2
 )
 
 // DDPMIdentifier recovers the source of every observed packet directly
@@ -24,15 +34,21 @@ import (
 // V := Extract_MF(); S := X − V). It also tallies identified sources so
 // a victim under attack can rank offenders.
 type DDPMIdentifier struct {
-	scheme *marking.DDPM
-	victim topology.NodeID
-	tally  *stats.Counter[topology.NodeID]
-	undec  int64
+	scheme   *marking.DDPM
+	victim   topology.NodeID
+	memo     []int32 // lazy per-MF decode cache, 1<<16 entries
+	tally    []int64 // identifications per source node, dense by NodeID
+	observed int64
+	undec    int64
 }
 
 // NewDDPMIdentifier builds the identifier for a victim node.
 func NewDDPMIdentifier(scheme *marking.DDPM, victim topology.NodeID) *DDPMIdentifier {
-	return &DDPMIdentifier{scheme: scheme, victim: victim, tally: stats.NewCounter[topology.NodeID]()}
+	return &DDPMIdentifier{
+		scheme: scheme,
+		victim: victim,
+		tally:  make([]int64, scheme.Net().NumNodes()),
+	}
 }
 
 // Observe identifies the packet's source. ok is false when the MF does
@@ -45,26 +61,64 @@ func (d *DDPMIdentifier) Observe(pk *packet.Packet) (topology.NodeID, bool) {
 // entry point for wire-format records, which carry the MF without a
 // full packet.
 func (d *DDPMIdentifier) ObserveMF(mf uint16) (topology.NodeID, bool) {
-	src, ok := d.scheme.IdentifySource(d.victim, mf)
-	if !ok {
+	if d.memo == nil {
+		d.memo = make([]int32, 1<<16)
+	}
+	m := d.memo[mf]
+	if m == 0 {
+		if src, ok := d.scheme.IdentifySource(d.victim, mf); ok {
+			m = int32(src) + memoBias
+		} else {
+			m = memoUndec
+		}
+		d.memo[mf] = m
+	}
+	if m == memoUndec {
 		d.undec++
 		return topology.None, false
 	}
-	d.tally.Add(src)
+	src := topology.NodeID(m - memoBias)
+	d.tally[src]++
+	d.observed++
 	return src, true
 }
 
 // Observed returns the number of successfully identified packets;
 // Undecodable the number of rejects.
-func (d *DDPMIdentifier) Observed() int64    { return d.tally.Total() }
+func (d *DDPMIdentifier) Observed() int64    { return d.observed }
 func (d *DDPMIdentifier) Undecodable() int64 { return d.undec }
 
 // Count returns the tally for one source node.
-func (d *DDPMIdentifier) Count(src topology.NodeID) int64 { return d.tally.Count(src) }
+func (d *DDPMIdentifier) Count(src topology.NodeID) int64 {
+	if src < 0 || int(src) >= len(d.tally) {
+		return 0
+	}
+	return d.tally[src]
+}
 
-// TopSources returns the k most frequent identified sources.
+// TopSources returns the k most frequent identified sources, most
+// frequent first, ties broken by ascending node id.
 func (d *DDPMIdentifier) TopSources(k int) []topology.NodeID {
-	return d.tally.Top(k, func(a, b topology.NodeID) bool { return a < b })
+	if k <= 0 {
+		return nil
+	}
+	var seen []topology.NodeID
+	for n, c := range d.tally {
+		if c > 0 {
+			seen = append(seen, topology.NodeID(n))
+		}
+	}
+	sort.Slice(seen, func(i, j int) bool {
+		ci, cj := d.tally[seen[i]], d.tally[seen[j]]
+		if ci != cj {
+			return ci > cj
+		}
+		return seen[i] < seen[j]
+	})
+	if k > len(seen) {
+		k = len(seen)
+	}
+	return seen[:k]
 }
 
 // SourcesAbove returns every source identified strictly more than
@@ -72,11 +126,10 @@ func (d *DDPMIdentifier) TopSources(k int) []topology.NodeID {
 // the filter layer.
 func (d *DDPMIdentifier) SourcesAbove(threshold int64) []topology.NodeID {
 	var out []topology.NodeID
-	for _, s := range d.tally.Top(1<<30, func(a, b topology.NodeID) bool { return a < b }) {
-		if d.tally.Count(s) > threshold {
-			out = append(out, s)
+	for n, c := range d.tally {
+		if c > threshold {
+			out = append(out, topology.NodeID(n))
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }

@@ -137,11 +137,8 @@ func (c *ClientConfig) applyDefaults() {
 	if c.AckTimeout <= 0 {
 		c.AckTimeout = 5 * time.Second
 	}
-	if c.MaxBatch <= 0 || c.MaxBatch > MaxRecordsPerSealed {
+	if c.MaxBatch <= 0 {
 		c.MaxBatch = 1024
-	}
-	if c.Trace && c.MaxBatch > MaxTracedPerSealed {
-		c.MaxBatch = MaxTracedPerSealed // traced records are wider on the wire
 	}
 	if c.Sleep == nil {
 		c.Sleep = time.Sleep
@@ -157,13 +154,26 @@ var ErrClientClosed = errors.New("wire: client closed")
 // NewClient builds a client. No connection is made until the first
 // Send — a daemon that is down at exporter start is just the first
 // fault to recover from.
-func NewClient(cfg ClientConfig) *Client {
+//
+// A MaxBatch beyond what one sealed frame can carry is rejected
+// outright rather than silently clamped: the caller sized its batches
+// for a throughput target, and shipping smaller frames than asked for
+// should be a loud configuration error, not a quiet downgrade.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.MaxBatch > MaxRecordsPerSealed {
+		return nil, fmt.Errorf("wire: MaxBatch %d exceeds the %d records one sealed frame can carry",
+			cfg.MaxBatch, MaxRecordsPerSealed)
+	}
+	if cfg.Trace && cfg.MaxBatch > MaxTracedPerSealed {
+		return nil, fmt.Errorf("wire: traced MaxBatch %d exceeds the %d traced records one sealed frame can carry",
+			cfg.MaxBatch, MaxTracedPerSealed)
+	}
 	cfg.applyDefaults()
 	return &Client{
 		cfg:      cfg,
 		streamID: cfg.StreamID,
 		jitter:   rand.New(rand.NewSource(int64(cfg.Seed))),
-	}
+	}, nil
 }
 
 // Counters. Sent counts records offered to Send; Delivered counts

@@ -141,7 +141,10 @@ func TestClientDeliversExactlyOnceThroughDisconnects(t *testing.T) {
 		BackoffBase: 1, BackoffMax: 1,
 		Sleep: func(time.Duration) {},
 	}
-	c := NewClient(cfg)
+	c, err := NewClient(cfg)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
 	for i := 0; i < len(recs); i += 100 {
 		if err := c.Send(recs[i : i+100]); err != nil {
 			t.Fatalf("send: %v", err)
@@ -184,7 +187,7 @@ func TestClientDeliversExactlyOnceThroughDisconnects(t *testing.T) {
 func TestClientShedsCountedWhenUnreachable(t *testing.T) {
 	var lost []Record
 	dialErr := errors.New("no route")
-	c := NewClient(ClientConfig{
+	c, nerr := NewClient(ClientConfig{
 		Dial:          func() (net.Conn, error) { return nil, dialErr },
 		Seed:          3,
 		BufferRecords: 100,
@@ -194,6 +197,9 @@ func TestClientShedsCountedWhenUnreachable(t *testing.T) {
 		Sleep:  func(time.Duration) {},
 		OnLost: func(r Record) { lost = append(lost, r) },
 	})
+	if nerr != nil {
+		t.Fatalf("NewClient: %v", nerr)
+	}
 	recs := plainRecords(250)
 	err := c.Send(recs)
 	if err == nil {
@@ -242,12 +248,15 @@ func TestClientResumesAcrossServerRestart(t *testing.T) {
 		mu.Unlock()
 		return net.Dial("tcp", a)
 	}
-	c := NewClient(ClientConfig{
+	c, err := NewClient(ClientConfig{
 		Dial: dial, Seed: 11,
 		MaxBatch: 32, MaxAttempts: 20,
 		BackoffBase: 1, BackoffMax: 1,
 		Sleep: func(time.Duration) {},
 	})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
 	recs := plainRecords(200)
 	if err := c.Send(recs[:100]); err != nil {
 		t.Fatal(err)

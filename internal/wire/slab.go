@@ -1,0 +1,417 @@
+package wire
+
+// Record slabs: the batch currency of the ingest hot path. A frame is
+// decoded once into a pooled Slab ([]Record plus an optional parallel
+// trace-context slice) instead of driving a per-record callback; the
+// pipeline then partitions the slab by victim shard in place and hands
+// each shard a sub-batch *view* of the slab as one channel element.
+// Reference counting (one count per in-flight view plus the
+// submitter's) returns the slab to its pool when the last worker is
+// done, so the untraced path recycles every buffer it touches.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"slices"
+	"sync/atomic"
+
+	"repro/internal/topology"
+)
+
+// SlabCap is a slab's record capacity. It equals the largest record
+// count a single wire frame can carry, so any one frame always decodes
+// into an empty slab without splitting.
+const SlabCap = MaxRecordsPerFrame
+
+// ErrSlabFull is returned by the append-decoders when a frame's records
+// would not fit in the slab's remaining capacity; the caller submits
+// the slab and retries the frame on a fresh one.
+var ErrSlabFull = fmt.Errorf("wire: slab full")
+
+// ShardGroup is one shard's contiguous record range in a partitioned
+// slab (see Slab.Partition): records [Start, End) all shard to Shard,
+// grouped by victim within the range.
+type ShardGroup struct {
+	Shard      int
+	Start, End int
+}
+
+// Slab is a reusable batch of decoded records. Recs (and, for traced
+// frames, the parallel Ctxs) are the payload; everything else is
+// recycled scratch. Get one from a SlabPool, fill it with the Append*
+// decoders, hand it to the pipeline, and let reference counts return
+// it: the pool's Get sets one reference for the caller, Retain adds
+// one per handed-out view, Release drops one and recycles the slab
+// when the count reaches zero.
+//
+// A slab is single-goroutine while being filled and partitioned; after
+// the views are handed off, concurrent readers only ever read Recs and
+// Ctxs, which no one mutates until the last Release.
+type Slab struct {
+	Recs []Record
+	Ctxs []TraceContext // non-nil ⇒ parallel to Recs; zero ID = untraced record
+
+	recsBuf, recsAlt []Record       // double buffer: decode target / scatter target
+	ctxsBuf, ctxsAlt []TraceContext // allocated on first traced use
+	vc               []int32        // per-victim counting-sort scratch, kept zeroed
+	touched          []topology.NodeID
+	groups           []ShardGroup
+
+	refs atomic.Int32
+	pool *SlabPool
+}
+
+func newSlab(p *SlabPool) *Slab {
+	return &Slab{
+		recsBuf: make([]Record, 0, SlabCap),
+		pool:    p,
+		// Partition scratch, sized so typical fan-outs never grow it:
+		// 64 distinct victims and 32 shard runs cover every deployment
+		// in the repo; pathological slabs still grow transparently.
+		touched: make([]topology.NodeID, 0, 64),
+		groups:  make([]ShardGroup, 0, 32),
+	}
+}
+
+// Len and Free report the record count and the remaining capacity.
+func (s *Slab) Len() int  { return len(s.Recs) }
+func (s *Slab) Free() int { return SlabCap - len(s.Recs) }
+
+// Reset empties the slab for refilling. The pool does this on recycle;
+// callers only need it when reusing a slab they never submitted.
+func (s *Slab) Reset() {
+	s.Recs = s.recsBuf[:0]
+	s.Ctxs = nil
+}
+
+// Retain adds one reference (one per sub-batch view handed off).
+func (s *Slab) Retain() { s.refs.Add(1) }
+
+// Release drops one reference; the last release recycles the slab into
+// its pool. After calling Release the caller must not touch the slab.
+func (s *Slab) Release() {
+	if n := s.refs.Add(-1); n == 0 {
+		if s.pool != nil {
+			s.pool.put(s)
+		}
+	} else if n < 0 {
+		panic("wire: slab over-released")
+	}
+}
+
+// ensureCtxs materializes the trace-context slice, zero-filled in
+// parallel with the records already present — the mixed-frame case
+// where an untraced frame landed in the slab before a traced one.
+func (s *Slab) ensureCtxs() {
+	if s.Ctxs != nil {
+		return
+	}
+	if s.ctxsBuf == nil {
+		s.ctxsBuf = make([]TraceContext, 0, SlabCap)
+	}
+	s.Ctxs = s.ctxsBuf[:len(s.Recs)]
+	for i := range s.Ctxs {
+		s.Ctxs[i] = TraceContext{}
+	}
+}
+
+// Append adds one record (the single-record submit shim and the JSONL
+// replay batcher). It panics past SlabCap — bounds are the caller's
+// contract, as with AppendFrame.
+func (s *Slab) Append(rec Record) {
+	if s.Recs == nil {
+		s.Recs = s.recsBuf[:0]
+	}
+	s.Recs = append(s.Recs, rec)
+	if s.Ctxs != nil {
+		s.Ctxs = append(s.Ctxs, TraceContext{})
+	}
+}
+
+// AppendTraced adds one record with its trace context.
+func (s *Slab) AppendTraced(tr TracedRecord) {
+	if s.Recs == nil {
+		s.Recs = s.recsBuf[:0]
+	}
+	s.ensureCtxs()
+	s.Recs = append(s.Recs, tr.Record)
+	s.Ctxs = append(s.Ctxs, tr.Ctx)
+}
+
+// AppendRecordsPayload decodes a TypeRecords payload (alignment checked
+// at the frame header) into the slab.
+func (s *Slab) AppendRecordsPayload(payload []byte) error {
+	n := len(payload) / RecordSize
+	if n > s.Free() {
+		return ErrSlabFull
+	}
+	return s.appendPlain(payload)
+}
+
+func (s *Slab) appendPlain(body []byte) error {
+	if s.Recs == nil {
+		s.Recs = s.recsBuf[:0]
+	}
+	for off := 0; off+RecordSize <= len(body); off += RecordSize {
+		rec, err := DecodeRecord(body[off:])
+		if err != nil {
+			return err
+		}
+		s.Recs = append(s.Recs, rec)
+		if s.Ctxs != nil {
+			s.Ctxs = append(s.Ctxs, TraceContext{})
+		}
+	}
+	return nil
+}
+
+// AppendTracedPayload decodes a TypeTracedRecords payload into the
+// slab, keeping the trace contexts.
+func (s *Slab) AppendTracedPayload(payload []byte) error {
+	n := len(payload) / TracedRecordSize
+	if n > s.Free() {
+		return ErrSlabFull
+	}
+	return s.appendTraced(payload)
+}
+
+func (s *Slab) appendTraced(body []byte) error {
+	if s.Recs == nil {
+		s.Recs = s.recsBuf[:0]
+	}
+	s.ensureCtxs()
+	for off := 0; off+TracedRecordSize <= len(body); off += TracedRecordSize {
+		tr, err := decodeTracedRecord(body[off:])
+		if err != nil {
+			return err
+		}
+		s.Recs = append(s.Recs, tr.Record)
+		s.Ctxs = append(s.Ctxs, tr.Ctx)
+	}
+	return nil
+}
+
+// AppendSealedPayload verifies and decodes a TypeSealed payload into
+// the slab, returning the batch's cumulative sequence number.
+func (s *Slab) AppendSealedPayload(payload []byte) (seq uint64, err error) {
+	if len(payload) < SealedOverhead || (len(payload)-SealedOverhead)%RecordSize != 0 {
+		return 0, fmt.Errorf("%w: sealed payload %d bytes", ErrBadFrame, len(payload))
+	}
+	if (len(payload)-SealedOverhead)/RecordSize > s.Free() {
+		return 0, ErrSlabFull
+	}
+	body, tail := payload[:len(payload)-4], payload[len(payload)-4:]
+	if got := binary.BigEndian.Uint32(tail); got != crc32.ChecksumIEEE(body) {
+		return 0, fmt.Errorf("%w: sealed crc mismatch", ErrBadFrame)
+	}
+	return binary.BigEndian.Uint64(body[0:8]), s.appendPlain(body[8:])
+}
+
+// AppendTracedSealedPayload verifies and decodes a TypeTracedSealed
+// payload into the slab, keeping contexts and returning the sequence.
+func (s *Slab) AppendTracedSealedPayload(payload []byte) (seq uint64, err error) {
+	if len(payload) < SealedOverhead || (len(payload)-SealedOverhead)%TracedRecordSize != 0 {
+		return 0, fmt.Errorf("%w: traced sealed payload %d bytes", ErrBadFrame, len(payload))
+	}
+	if (len(payload)-SealedOverhead)/TracedRecordSize > s.Free() {
+		return 0, ErrSlabFull
+	}
+	body, tail := payload[:len(payload)-4], payload[len(payload)-4:]
+	if got := binary.BigEndian.Uint32(tail); got != crc32.ChecksumIEEE(body) {
+		return 0, fmt.Errorf("%w: traced sealed crc mismatch", ErrBadFrame)
+	}
+	return binary.BigEndian.Uint64(body[0:8]), s.appendTraced(body[8:])
+}
+
+// AppendDatagramFrame decodes one complete record-bearing frame from b
+// (the UDP entry point: TypeRecords or TypeTracedRecords) into the
+// slab and returns the bytes consumed, so callers loop over packed
+// datagrams. ErrSlabFull leaves b unconsumed.
+func (s *Slab) AppendDatagramFrame(b []byte) (consumed int, err error) {
+	ftype, n, err := checkHeader(b)
+	if err != nil {
+		return 0, err
+	}
+	if len(b) < HeaderSize+n {
+		return 0, fmt.Errorf("%w: truncated payload: have %d of %d bytes",
+			ErrBadFrame, len(b)-HeaderSize, n)
+	}
+	payload := b[HeaderSize : HeaderSize+n]
+	switch ftype {
+	case TypeRecords:
+		err = s.AppendRecordsPayload(payload)
+	case TypeTracedRecords:
+		err = s.AppendTracedPayload(payload)
+	default:
+		return 0, fmt.Errorf("%w: frame type %d in a datagram", ErrBadFrame, ftype)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return HeaderSize + n, nil
+}
+
+// DropFront discards the first k records (and contexts) — the session
+// server's dedup of an already-accepted retransmitted prefix.
+func (s *Slab) DropFront(k int) {
+	if k <= 0 {
+		return
+	}
+	if k >= len(s.Recs) {
+		s.Recs = s.Recs[:0]
+		if s.Ctxs != nil {
+			s.Ctxs = s.Ctxs[:0]
+		}
+		return
+	}
+	s.Recs = s.Recs[:copy(s.Recs, s.Recs[k:])]
+	if s.Ctxs != nil {
+		s.Ctxs = s.Ctxs[:copy(s.Ctxs, s.Ctxs[k:])]
+	}
+}
+
+// Partition reorders the slab in place so that records are contiguous
+// per victim shard (shard = victim mod nshards) and, within a shard's
+// range, grouped by victim — one stable counting sort buys both the
+// per-shard sub-batch views and the per-victim grouping the workers
+// want, with no worker-side sort. Records that fail validation (topo
+// id mismatch or victim outside [0, numNodes)) are moved to the tail
+// [valid:], originals' relative order preserved everywhere.
+//
+// The returned group slice is slab-owned scratch, valid until the next
+// Partition; the record views it describes stay valid until the last
+// Release.
+func (s *Slab) Partition(topoID uint32, numNodes, nshards int) (groups []ShardGroup, valid int) {
+	recs := s.Recs
+	traced := s.Ctxs != nil
+	if cap(s.vc) < numNodes {
+		s.vc = make([]int32, numNodes)
+	}
+	vc := s.vc[:numNodes]
+
+	// Count per victim; remember each victim's first touch so the
+	// count array can be re-zeroed in O(distinct victims).
+	s.touched = s.touched[:0]
+	for i := range recs {
+		if recs[i].Topo != topoID || recs[i].Victim < 0 || int(recs[i].Victim) >= numNodes {
+			continue
+		}
+		v := recs[i].Victim
+		if vc[v] == 0 {
+			s.touched = append(s.touched, v)
+		}
+		vc[v]++
+		valid++
+	}
+
+	// Bucket order is shard-major, victim-minor: walking it yields each
+	// shard's contiguous range already grouped by victim.
+	slices.SortFunc(s.touched, func(a, b topology.NodeID) int {
+		if sa, sb := int(a)%nshards, int(b)%nshards; sa != sb {
+			return sa - sb
+		}
+		return int(a) - int(b)
+	})
+	s.groups = s.groups[:0]
+	off := int32(0)
+	for _, v := range s.touched {
+		cnt := vc[v]
+		vc[v] = off // count → running scatter offset
+		sh := int(v) % nshards
+		if n := len(s.groups); n > 0 && s.groups[n-1].Shard == sh {
+			s.groups[n-1].End += int(cnt)
+		} else {
+			s.groups = append(s.groups, ShardGroup{Shard: sh, Start: int(off), End: int(off + cnt)})
+		}
+		off += cnt
+	}
+
+	// Scatter into the alternate buffer, invalid records to the tail.
+	if s.recsAlt == nil {
+		s.recsAlt = make([]Record, SlabCap)
+	}
+	dst := s.recsAlt[:len(recs)]
+	var dstCtx []TraceContext
+	if traced {
+		if s.ctxsAlt == nil {
+			s.ctxsAlt = make([]TraceContext, SlabCap)
+		}
+		dstCtx = s.ctxsAlt[:len(recs)]
+	}
+	bad := int32(valid)
+	for i := range recs {
+		var idx int32
+		if recs[i].Topo != topoID || recs[i].Victim < 0 || int(recs[i].Victim) >= numNodes {
+			idx = bad
+			bad++
+		} else {
+			idx = vc[recs[i].Victim]
+			vc[recs[i].Victim]++
+		}
+		dst[idx] = recs[i]
+		if traced {
+			dstCtx[idx] = s.Ctxs[i]
+		}
+	}
+	for _, v := range s.touched {
+		vc[v] = 0
+	}
+
+	// Swap the double buffers: the views live in what was the alternate.
+	s.recsBuf, s.recsAlt = s.recsAlt[:0], s.recsBuf[:SlabCap]
+	s.Recs = s.recsBuf[:len(recs)]
+	if traced {
+		s.ctxsBuf, s.ctxsAlt = s.ctxsAlt[:0], s.ctxsBuf[:cap(s.ctxsBuf)]
+		if cap(s.ctxsAlt) < SlabCap {
+			s.ctxsAlt = make([]TraceContext, SlabCap)
+		}
+		s.Ctxs = s.ctxsBuf[:len(recs)]
+	}
+	return s.groups, valid
+}
+
+// SlabPool recycles slabs through a fixed-capacity freelist. Gets past
+// the freelist allocate; puts past it let the slab go to the garbage
+// collector — the pool never blocks either direction. Outstanding
+// counts slabs handed out and not yet fully released, so a drained
+// service can assert it leaked nothing.
+type SlabPool struct {
+	free        chan *Slab
+	outstanding atomic.Int64
+}
+
+// NewSlabPool builds a pool whose freelist retains up to n idle slabs.
+func NewSlabPool(n int) *SlabPool {
+	if n <= 0 {
+		n = 16
+	}
+	return &SlabPool{free: make(chan *Slab, n)}
+}
+
+// Get returns an empty slab holding one reference for the caller.
+func (p *SlabPool) Get() *Slab {
+	p.outstanding.Add(1)
+	var s *Slab
+	select {
+	case s = <-p.free:
+	default:
+		s = newSlab(p)
+	}
+	s.refs.Store(1)
+	return s
+}
+
+func (p *SlabPool) put(s *Slab) {
+	s.Reset()
+	p.outstanding.Add(-1)
+	select {
+	case p.free <- s:
+	default: // freelist full: let the GC have it
+	}
+}
+
+// Outstanding reports slabs currently held by callers (gets minus full
+// release cycles). Zero after every submitter and worker is done — the
+// drain-time leak check.
+func (p *SlabPool) Outstanding() int64 { return p.outstanding.Load() }

@@ -1,0 +1,360 @@
+package wire
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/eventq"
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+const testTopoID uint32 = 0xDEADBEEF
+
+func slabRecords(n int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{
+			T: eventq.Time(i), Topo: testTopoID,
+			Victim: topology.NodeID(i % 7),
+			MF:     uint16(i), Src: packet.Addr(100 + i%13), Proto: 6,
+		}
+	}
+	return recs
+}
+
+func TestSlabDecodeRoundTrip(t *testing.T) {
+	pool := NewSlabPool(2)
+	recs := slabRecords(300)
+
+	t.Run("records payload", func(t *testing.T) {
+		frame := AppendFrame(nil, recs)
+		s := pool.Get()
+		defer s.Release()
+		if err := s.AppendRecordsPayload(frame[HeaderSize:]); err != nil {
+			t.Fatal(err)
+		}
+		if s.Ctxs != nil {
+			t.Error("untraced decode materialized a ctx slice")
+		}
+		checkRecords(t, s.Recs, recs)
+	})
+
+	t.Run("sealed payload", func(t *testing.T) {
+		frame := AppendSealed(nil, 42, recs)
+		s := pool.Get()
+		defer s.Release()
+		seq, err := s.AppendSealedPayload(frame[HeaderSize:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != 42 {
+			t.Errorf("seq = %d, want 42", seq)
+		}
+		checkRecords(t, s.Recs, recs)
+	})
+
+	t.Run("sealed crc reject", func(t *testing.T) {
+		frame := AppendSealed(nil, 42, recs)
+		frame[HeaderSize+10] ^= 0xFF
+		s := pool.Get()
+		defer s.Release()
+		if _, err := s.AppendSealedPayload(frame[HeaderSize:]); err == nil {
+			t.Fatal("corrupted sealed payload decoded")
+		}
+	})
+
+	t.Run("traced payloads", func(t *testing.T) {
+		trs := make([]TracedRecord, len(recs))
+		for i, r := range recs {
+			trs[i] = TracedRecord{Record: r, Ctx: TraceContext{ID: uint64(i + 1), Sent: int64(i)}}
+		}
+		frame := AppendTracedFrame(nil, trs)
+		s := pool.Get()
+		defer s.Release()
+		if err := s.AppendTracedPayload(frame[HeaderSize:]); err != nil {
+			t.Fatal(err)
+		}
+		checkRecords(t, s.Recs, recs)
+		for i, c := range s.Ctxs {
+			if c != trs[i].Ctx {
+				t.Fatalf("ctx[%d] = %+v, want %+v", i, c, trs[i].Ctx)
+			}
+		}
+
+		sealed := AppendTracedSealed(nil, 7, trs)
+		s2 := pool.Get()
+		defer s2.Release()
+		seq, err := s2.AppendTracedSealedPayload(sealed[HeaderSize:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != 7 {
+			t.Errorf("seq = %d, want 7", seq)
+		}
+		checkRecords(t, s2.Recs, recs)
+	})
+
+	t.Run("mixed frames backfill zero ctxs", func(t *testing.T) {
+		s := pool.Get()
+		defer s.Release()
+		plain := AppendFrame(nil, recs[:5])
+		if err := s.AppendRecordsPayload(plain[HeaderSize:]); err != nil {
+			t.Fatal(err)
+		}
+		traced := AppendTracedFrame(nil, []TracedRecord{{Record: recs[5], Ctx: TraceContext{ID: 99}}})
+		if err := s.AppendTracedPayload(traced[HeaderSize:]); err != nil {
+			t.Fatal(err)
+		}
+		if len(s.Ctxs) != 6 {
+			t.Fatalf("ctxs len = %d, want 6", len(s.Ctxs))
+		}
+		for i := 0; i < 5; i++ {
+			if s.Ctxs[i].ID != 0 {
+				t.Errorf("backfilled ctx %d nonzero: %+v", i, s.Ctxs[i])
+			}
+		}
+		if s.Ctxs[5].ID != 99 {
+			t.Errorf("traced ctx lost: %+v", s.Ctxs[5])
+		}
+	})
+
+	t.Run("datagram frame", func(t *testing.T) {
+		one := AppendFrame(nil, recs[:4])
+		two := AppendTracedFrame(one, []TracedRecord{{Record: recs[4], Ctx: TraceContext{ID: 3}}})
+		s := pool.Get()
+		defer s.Release()
+		rest := two
+		for len(rest) > 0 {
+			consumed, err := s.AppendDatagramFrame(rest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rest = rest[consumed:]
+		}
+		checkRecords(t, s.Recs, recs[:5])
+	})
+
+	t.Run("full", func(t *testing.T) {
+		s := pool.Get()
+		defer s.Release()
+		for i := 0; i < SlabCap; i++ {
+			s.Append(recs[0])
+		}
+		frame := AppendFrame(nil, recs[:1])
+		if err := s.AppendRecordsPayload(frame[HeaderSize:]); err != ErrSlabFull {
+			t.Fatalf("append past capacity: %v, want ErrSlabFull", err)
+		}
+	})
+}
+
+func checkRecords(t *testing.T, got, want []Record) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSlabDropFront(t *testing.T) {
+	pool := NewSlabPool(1)
+	s := pool.Get()
+	defer s.Release()
+	recs := slabRecords(10)
+	for i, r := range recs {
+		s.AppendTraced(TracedRecord{Record: r, Ctx: TraceContext{ID: uint64(i + 1)}})
+	}
+	s.DropFront(3)
+	if s.Len() != 7 {
+		t.Fatalf("len after DropFront(3) = %d, want 7", s.Len())
+	}
+	if s.Recs[0] != recs[3] || s.Ctxs[0].ID != 4 {
+		t.Errorf("head after DropFront = %+v ctx %d, want %+v ctx 4", s.Recs[0], s.Ctxs[0].ID, recs[3])
+	}
+	s.DropFront(100)
+	if s.Len() != 0 {
+		t.Errorf("len after oversized DropFront = %d, want 0", s.Len())
+	}
+}
+
+// TestSlabPartition checks the counting sort: per-shard contiguous
+// groups, victim grouping within each group, invalid records moved to
+// the tail, and the record multiset preserved.
+func TestSlabPartition(t *testing.T) {
+	const numNodes, nshards = 16, 4
+	pool := NewSlabPool(1)
+	s := pool.Get()
+	defer s.Release()
+
+	victims := []topology.NodeID{5, 1, 9, 5, 13, 1, 2, 5, 9, 6, 1}
+	for i, v := range victims {
+		s.AppendTraced(TracedRecord{
+			Record: Record{T: eventq.Time(i), Topo: testTopoID, Victim: v, MF: uint16(i)},
+			Ctx:    TraceContext{ID: uint64(i + 1)},
+		})
+	}
+	// Invalid: wrong topo, victim out of range, negative victim.
+	s.AppendTraced(TracedRecord{Record: Record{T: 100, Topo: testTopoID + 1, Victim: 3}, Ctx: TraceContext{ID: 100}})
+	s.AppendTraced(TracedRecord{Record: Record{T: 101, Topo: testTopoID, Victim: numNodes}, Ctx: TraceContext{ID: 101}})
+	s.AppendTraced(TracedRecord{Record: Record{T: 102, Topo: testTopoID, Victim: -1}, Ctx: TraceContext{ID: 102}})
+	total := s.Len()
+
+	groups, valid := s.Partition(testTopoID, numNodes, nshards)
+	if valid != len(victims) {
+		t.Fatalf("valid = %d, want %d", valid, len(victims))
+	}
+
+	// Groups tile [0, valid) and stay shard-pure, victim-grouped.
+	covered := 0
+	seenVictim := make(map[topology.NodeID]bool)
+	for _, g := range groups {
+		if g.Start != covered {
+			t.Fatalf("group %+v does not start where the last ended (%d)", g, covered)
+		}
+		covered = g.End
+		var prev topology.NodeID = -1
+		for i := g.Start; i < g.End; i++ {
+			v := s.Recs[i].Victim
+			if int(v)%nshards != g.Shard {
+				t.Fatalf("record %d (victim %d) in shard-%d group", i, v, g.Shard)
+			}
+			if v != prev {
+				if seenVictim[v] {
+					t.Fatalf("victim %d split across non-adjacent runs", v)
+				}
+				seenVictim[v] = true
+				prev = v
+			}
+		}
+	}
+	if covered != valid {
+		t.Fatalf("groups cover [0,%d), want [0,%d)", covered, valid)
+	}
+
+	// Tail holds exactly the invalid records.
+	for i := valid; i < total; i++ {
+		if s.Ctxs[i].ID < 100 {
+			t.Errorf("tail slot %d holds valid record (ctx %d)", i, s.Ctxs[i].ID)
+		}
+	}
+
+	// Ctxs moved with their records, and the multiset is intact.
+	seen := make(map[uint64]eventq.Time)
+	for i, r := range s.Recs {
+		if s.Ctxs[i].ID == 0 {
+			t.Fatalf("record %d lost its ctx", i)
+		}
+		seen[s.Ctxs[i].ID] = r.T
+	}
+	if len(seen) != total {
+		t.Fatalf("scatter kept %d distinct ctxs, want %d", len(seen), total)
+	}
+	for id, tt := range seen {
+		if eventq.Time(id-1) != tt && id < 100 {
+			t.Errorf("ctx %d landed on record T=%d", id, tt)
+		}
+	}
+
+	// A second partition on the same slab must work (double buffers).
+	groups2, valid2 := s.Partition(testTopoID, numNodes, nshards)
+	if valid2 != valid || len(groups2) != len(groups) {
+		t.Fatalf("re-partition: valid %d groups %d, want %d/%d", valid2, len(groups2), valid, len(groups))
+	}
+}
+
+func TestSlabPoolReuseAndOutstanding(t *testing.T) {
+	pool := NewSlabPool(4)
+	s := pool.Get()
+	if got := pool.Outstanding(); got != 1 {
+		t.Fatalf("outstanding after Get = %d, want 1", got)
+	}
+	s.Append(Record{Topo: testTopoID})
+	s.Release()
+	if got := pool.Outstanding(); got != 0 {
+		t.Fatalf("outstanding after Release = %d, want 0", got)
+	}
+	s2 := pool.Get()
+	if s2 != s {
+		t.Error("pool did not recycle the released slab")
+	}
+	if s2.Len() != 0 {
+		t.Errorf("recycled slab not reset: len %d", s2.Len())
+	}
+
+	// Refcount: retain per handed-out view, last release recycles.
+	s2.Retain()
+	s2.Retain()
+	s2.Release()
+	s2.Release()
+	if got := pool.Outstanding(); got != 1 {
+		t.Fatalf("outstanding with one ref left = %d, want 1", got)
+	}
+	s2.Release()
+	if got := pool.Outstanding(); got != 0 {
+		t.Fatalf("outstanding after final release = %d, want 0", got)
+	}
+}
+
+// TestSlabConcurrentStress exercises the pool and refcounts across
+// goroutines; run under -race it checks the handoff discipline: fill
+// and partition single-goroutine, then hand read-only views around.
+func TestSlabConcurrentStress(t *testing.T) {
+	pool := NewSlabPool(8)
+	recs := slabRecords(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for iter := 0; iter < 200; iter++ {
+				s := pool.Get()
+				for _, r := range recs {
+					s.Append(r)
+				}
+				groups, valid := s.Partition(testTopoID, 7, 3)
+				if valid != len(recs) {
+					t.Errorf("valid = %d, want %d", valid, len(recs))
+				}
+				var inner sync.WaitGroup
+				for _, g := range groups {
+					s.Retain()
+					view := s.Recs[g.Start:g.End]
+					inner.Add(1)
+					go func() {
+						defer inner.Done()
+						var sum eventq.Time
+						for _, r := range view {
+							sum += r.T
+						}
+						_ = sum
+						s.Release()
+					}()
+				}
+				inner.Wait()
+				s.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := pool.Outstanding(); got != 0 {
+		t.Fatalf("outstanding after stress = %d, want 0 (slab leak)", got)
+	}
+}
+
+func TestClientRejectsOversizeMaxBatch(t *testing.T) {
+	if _, err := NewClient(ClientConfig{Addr: "127.0.0.1:1", MaxBatch: MaxRecordsPerSealed + 1}); err == nil {
+		t.Error("MaxBatch over the sealed-frame cap accepted")
+	}
+	if _, err := NewClient(ClientConfig{Addr: "127.0.0.1:1", MaxBatch: MaxTracedPerSealed + 1, Trace: true}); err == nil {
+		t.Error("traced MaxBatch over the traced sealed-frame cap accepted")
+	}
+	if c, err := NewClient(ClientConfig{Addr: "127.0.0.1:1", MaxBatch: MaxRecordsPerSealed}); err != nil {
+		t.Errorf("MaxBatch at the cap rejected: %v", err)
+	} else {
+		c.Close()
+	}
+}

@@ -326,11 +326,14 @@ func TestClientTraceNegotiation(t *testing.T) {
 	for _, echo := range []bool{true, false} {
 		s := startTraceServer(t, echo)
 		now := int64(12345)
-		c := NewClient(ClientConfig{
+		c, err := NewClient(ClientConfig{
 			Addr: s.ln.Addr().String(), Seed: 7,
 			MaxAttempts: 3, Trace: true,
 			NowNano: func() int64 { return now },
 		})
+		if err != nil {
+			t.Fatalf("NewClient: %v", err)
+		}
 		if err := c.Send(recs); err != nil {
 			t.Fatal(err)
 		}
