@@ -1,13 +1,16 @@
 GO ?= go
 BIN := bin
 
-.PHONY: check vet lint build race bench bench-gate bench-profile fuzz-smoke trace-smoke run-ddpmd clean
+.PHONY: check vet lint build race bench bench-gate bench-profile fuzz-smoke trace-smoke cluster-smoke run-ddpmd clean
 
 ## check: lint, build, test, fuzz-smoke and trace-smoke everything (the
-## tier-1 gate)
+## tier-1 gate). The clustered chaos e2e — kill the victim's owner
+## mid-campaign, survivors must take over exactly — runs under the race
+## detector here because its value is precisely its concurrency.
 check: lint
 	$(GO) build ./...
 	$(GO) test ./...
+	$(GO) test -race -count=1 -run TestClusterChaosKillOwnerMidCampaign ./internal/cluster/
 	$(MAKE) fuzz-smoke
 	$(MAKE) trace-smoke
 
@@ -33,6 +36,43 @@ build:
 ## race: run the internal packages under the race detector
 race:
 	$(GO) test -race ./internal/...
+
+## cluster-smoke: boot a three-instance fleet wired as one cluster,
+## spray a seeded flood across all of them with loadgen -targets (its
+## exit code asserts zero loss), and require every instance to report
+## the full fleet alive with records forwarded between owners.
+cluster-smoke: build
+	@set -e; \
+	$(BIN)/ddpmd serve -topo torus -dims 8x8 -tcp 127.0.0.1:27420 -http 127.0.0.1:27421 \
+		-cluster 127.0.0.1:27420 -peers 127.0.0.1:27430,127.0.0.1:27440 >/dev/null & \
+	p1=$$!; \
+	$(BIN)/ddpmd serve -topo torus -dims 8x8 -tcp 127.0.0.1:27430 -http 127.0.0.1:27431 \
+		-cluster 127.0.0.1:27430 -peers 127.0.0.1:27420,127.0.0.1:27440 >/dev/null & \
+	p2=$$!; \
+	$(BIN)/ddpmd serve -topo torus -dims 8x8 -tcp 127.0.0.1:27440 -http 127.0.0.1:27441 \
+		-cluster 127.0.0.1:27440 -peers 127.0.0.1:27420,127.0.0.1:27430 >/dev/null & \
+	p3=$$!; \
+	trap 'kill $$p1 $$p2 $$p3 2>/dev/null || true' EXIT INT TERM; \
+	for port in 27421 27431 27441; do \
+		ok=0; for i in $$(seq 1 50); do \
+			if $(BIN)/ddpmd status -http 127.0.0.1:$$port >/dev/null 2>&1; then ok=1; break; fi; \
+			sleep 0.1; \
+		done; \
+		[ $$ok -eq 1 ] || { echo "cluster-smoke: instance on $$port never became ready"; exit 1; }; \
+	done; \
+	$(BIN)/ddpmd loadgen -topo torus -dims 8x8 -zombies 3 \
+		-targets 127.0.0.1:27420,127.0.0.1:27430,127.0.0.1:27440; \
+	fwd=0; \
+	for port in 27421 27431 27441; do \
+		out="$$($(BIN)/ddpmd cluster status -http 127.0.0.1:$$port)"; \
+		echo "$$out" | grep -q '3/3 alive' || { \
+			echo "cluster-smoke: instance on $$port does not see the full fleet:"; \
+			echo "$$out"; exit 1; }; \
+		n=$$(echo "$$out" | awk '/forwarded out/{print $$3}'); \
+		fwd=$$((fwd + n)); \
+	done; \
+	[ $$fwd -gt 0 ] || { echo "cluster-smoke: no records were forwarded between owners"; exit 1; }; \
+	echo "cluster-smoke: fleet healthy, $$fwd records forwarded to their owners"
 
 ## bench: run the engine + pipeline benchmarks and refresh BENCH_netsim.json
 bench:

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// runCluster dispatches the cluster subcommands (just `status` today).
+func runCluster(args []string) {
+	if len(args) < 1 || args[0] != "status" {
+		fmt.Fprintln(os.Stderr, "usage: ddpmd cluster status [-http addr]")
+		os.Exit(2)
+	}
+	runClusterStatus(args[1:])
+}
+
+// runClusterStatus renders one instance's /cluster document: ring
+// generation, fleet liveness as this instance sees it, and the
+// forwarding/gossip counters.
+func runClusterStatus(args []string) {
+	fs := flag.NewFlagSet("ddpmd cluster status", flag.ExitOnError)
+	var (
+		httpAddr = fs.String("http", "127.0.0.1:7421", "admin plane address of the daemon")
+		timeout  = fs.Duration("timeout", 5*time.Second, "HTTP timeout")
+	)
+	fs.Parse(args)
+
+	client := &http.Client{Timeout: *timeout}
+	resp, err := client.Get(fmt.Sprintf("http://%s/cluster", *httpAddr))
+	if err != nil {
+		fatal(fmt.Errorf("cluster status: %w", err))
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatal(fmt.Errorf("cluster status: %w", err))
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		fmt.Printf("ddpmd at %s: cluster mode off\n", *httpAddr)
+		return
+	}
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("cluster status: GET /cluster: %d %s", resp.StatusCode, strings.TrimSpace(string(body))))
+	}
+	var st struct {
+		Self        string `json:"self"`
+		MemberID    uint64 `json:"member_id"`
+		Incarnation uint64 `json:"incarnation"`
+		RingVersion uint64 `json:"ring_version"`
+		Alive       int    `json:"alive"`
+		Members     []struct {
+			Addr        string `json:"addr"`
+			ID          uint64 `json:"id"`
+			Self        bool   `json:"self"`
+			Alive       bool   `json:"alive"`
+			LastHeardMs int64  `json:"last_heard_ms"`
+			RingVersion uint64 `json:"ring_version"`
+			Delivered   uint64 `json:"forward_delivered"`
+		} `json:"members"`
+		ForwardedOut   uint64 `json:"forwarded_out"`
+		ForwardedIn    uint64 `json:"forwarded_in"`
+		ForwardDropped uint64 `json:"forward_dropped"`
+		ForwardLost    uint64 `json:"forward_lost"`
+		ForwardQueue   int    `json:"forward_queue_len"`
+		GossipRounds   uint64 `json:"gossip_rounds"`
+		GossipFails    uint64 `json:"gossip_fails"`
+		BlocklistSeq   uint64 `json:"blocklist_seq"`
+		SeedsApplied   uint64 `json:"seeds_applied"`
+		Takeovers      uint64 `json:"takeovers"`
+		StoredReplicas int    `json:"stored_replicas"`
+		OwnedVictims   int    `json:"owned_victims"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		fatal(fmt.Errorf("cluster status: bad /cluster response: %w", err))
+	}
+
+	fmt.Printf("ddpmd cluster at %s — self %s (member %x), ring v%d, %d/%d alive\n",
+		*httpAddr, st.Self, st.MemberID, st.RingVersion, st.Alive, len(st.Members))
+	tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  member\taddr\talive\tlast heard\tring\tfwd delivered")
+	for _, m := range st.Members {
+		who := fmt.Sprintf("%x", m.ID)
+		if m.Self {
+			who += " (self)"
+		}
+		heard := "-"
+		if !m.Self {
+			heard = fmt.Sprintf("%dms ago", m.LastHeardMs)
+		}
+		fmt.Fprintf(tw, "  %s\t%s\t%v\t%s\tv%d\t%d\n", who, m.Addr, m.Alive, heard, m.RingVersion, m.Delivered)
+	}
+	tw.Flush()
+	fmt.Println()
+	tw = tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "  forwarded out\t%d\n", st.ForwardedOut)
+	fmt.Fprintf(tw, "  forwarded in\t%d\n", st.ForwardedIn)
+	fmt.Fprintf(tw, "  forward dropped\t%d\n", st.ForwardDropped)
+	fmt.Fprintf(tw, "  forward lost\t%d\n", st.ForwardLost)
+	fmt.Fprintf(tw, "  forward queue\t%d\n", st.ForwardQueue)
+	fmt.Fprintf(tw, "  gossip rounds\t%d (%d failed exchanges)\n", st.GossipRounds, st.GossipFails)
+	fmt.Fprintf(tw, "  blocklist seq\t%d\n", st.BlocklistSeq)
+	fmt.Fprintf(tw, "  owned victims\t%d (replicas stored %d, seeds applied %d, takeovers %d)\n",
+		st.OwnedVictims, st.StoredReplicas, st.SeedsApplied, st.Takeovers)
+	tw.Flush()
+}

@@ -12,6 +12,16 @@
 //	ddpmd loadgen -topo torus -dims 8x8 -jsonl flood.jsonl
 //	ddpmd status -http 127.0.0.1:7421
 //
+// Clustered operation: each instance names itself and its peers, and
+// the fleet partitions victims by consistent hashing — records landing
+// on the wrong instance are forwarded to their owner, and blocklist
+// mutations gossip fleet-wide:
+//
+//	ddpmd serve -topo torus -dims 8x8 -tcp :7420 -http :7421 \
+//	    -cluster 127.0.0.1:7420 -peers 127.0.0.1:7430,127.0.0.1:7440
+//	ddpmd loadgen -topo torus -dims 8x8 -targets 127.0.0.1:7420,127.0.0.1:7430,127.0.0.1:7440
+//	ddpmd cluster status -http 127.0.0.1:7421
+//
 // SIGTERM/SIGINT drain gracefully: listeners close, queued records are
 // processed, /healthz reports "draining" until exit.
 package main
@@ -29,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/eventq"
 	"repro/internal/loadgen"
@@ -48,6 +59,8 @@ func main() {
 		runLoadgen(os.Args[2:])
 	case "status":
 		runStatus(os.Args[2:])
+	case "cluster":
+		runCluster(os.Args[2:])
 	case "trace":
 		runTrace(os.Args[2:])
 	default:
@@ -56,7 +69,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ddpmd serve|loadgen|status|trace [flags] (-h for flags)")
+	fmt.Fprintln(os.Stderr, "usage: ddpmd serve|loadgen|status|cluster|trace [flags] (-h for flags)")
 	os.Exit(2)
 }
 
@@ -87,6 +100,12 @@ func serve(args []string) {
 		trBuf    = fs.Int("trace-buffer", 4096, "flight-recorder capacity in traces (negative disables tracing)")
 		trSample = fs.Int("trace-sample", 64, "retain 1 in N boring traces (interesting outcomes always retained)")
 		trSlow   = fs.Duration("trace-slow", time.Millisecond, "always retain traces with any span above this")
+
+		clSelf   = fs.String("cluster", "", "this instance's advertised TCP ingest address: enables cluster mode")
+		clPeers  = fs.String("peers", "", "comma-separated peer ingest addresses (cluster mode)")
+		clGossip = fs.Duration("gossip-interval", 500*time.Millisecond, "anti-entropy gossip cadence (cluster mode)")
+		clFail   = fs.Duration("fail-after", 0, "declare a silent peer dead after this long (0 = 4×gossip-interval)")
+		clVNodes = fs.Int("vnodes", 64, "virtual nodes per member on the ownership ring (cluster mode)")
 	)
 	fs.Parse(args)
 
@@ -100,6 +119,31 @@ func serve(args []string) {
 			fatal(err)
 		}
 	}
+	var newCluster func(*pipeline.Pipeline) (pipeline.ClusterNode, error)
+	if *clSelf != "" {
+		var peers []string
+		for _, a := range strings.Split(*clPeers, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				peers = append(peers, a)
+			}
+		}
+		self, interval, failAfter, vnodes := *clSelf, *clGossip, *clFail, *clVNodes
+		newCluster = func(p *pipeline.Pipeline) (pipeline.ClusterNode, error) {
+			n, err := cluster.New(p, cluster.Config{
+				Self: self, Peers: peers,
+				GossipInterval: interval, FailAfter: failAfter, VNodes: vnodes,
+				Logf: func(format string, args ...any) {
+					fmt.Fprintf(os.Stderr, format+"\n", args...)
+				},
+			})
+			if err != nil {
+				return nil, err
+			}
+			return n, nil
+		}
+	} else if *clPeers != "" {
+		fatal(fmt.Errorf("serve: -peers requires -cluster <self-addr>"))
+	}
 	d, err := pipeline.Start(pipeline.ServerConfig{
 		Pipeline: pipeline.Config{
 			Net: net2, Shards: *shards, QueueLen: *queue,
@@ -112,6 +156,7 @@ func serve(args []string) {
 		TCPAddr: *tcpAddr, UDPAddr: *udpAddr, HTTPAddr: *httpAddr,
 		DrainGrace: *grace, IdleTimeout: *idle,
 		EnablePprof: *enablePP,
+		NewCluster:  newCluster,
 	})
 	if err != nil {
 		if j != nil {
@@ -200,6 +245,7 @@ func runLoadgen(args []string) {
 		atk      = fs.Int64("attack", 6000, "flood duration in ticks")
 		victim   = fs.Int("victim", -1, "victim node (-1 = highest-numbered)")
 		addr     = fs.String("addr", "", "stream records to this ddpmd TCP address")
+		targets  = fs.String("targets", "", "comma-separated ddpmd TCP addresses: spray batches round-robin across a cluster fleet (acked sessions)")
 		jsonl    = fs.String("jsonl", "", "write records as JSONL to this file (\"-\" = stdout)")
 		retry    = fs.Int("retry", 0, "reconnect attempts per delivery (0 = legacy fire-and-forget stream)")
 		buffer   = fs.Int("buffer", 1<<16, "unacked records the resilient client buffers across reconnects")
@@ -207,8 +253,14 @@ func runLoadgen(args []string) {
 		trace    = fs.Bool("trace", false, "stamp a trace context on every record (negotiated over the acked session; implies -retry 1)")
 	)
 	fs.Parse(args)
-	if (*addr == "") == (*jsonl == "") {
-		fatal(fmt.Errorf("loadgen: exactly one of -addr or -jsonl is required"))
+	sinks := 0
+	for _, s := range []string{*addr, *targets, *jsonl} {
+		if s != "" {
+			sinks++
+		}
+	}
+	if sinks != 1 {
+		fatal(fmt.Errorf("loadgen: exactly one of -addr, -targets or -jsonl is required"))
 	}
 	if *trace && *addr != "" && *retry <= 0 {
 		// Trace contexts ride the negotiated session protocol; the
@@ -233,6 +285,59 @@ func runLoadgen(args []string) {
 		res.TopoName, res.Victim, res.Zombies, len(res.Records), res.AttackRecords)
 
 	switch {
+	case *targets != "":
+		// Cluster spray: one acked session per instance, batches dealt
+		// round-robin — every instance ingests a slice of the campaign
+		// and the fleet's forwarding tier reassembles per-victim order
+		// of magnitude (identification is order-insensitive tallying, so
+		// interleaving across instances is harmless).
+		var addrs []string
+		for _, a := range strings.Split(*targets, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		if len(addrs) == 0 {
+			fatal(fmt.Errorf("loadgen: -targets is empty"))
+		}
+		attempts := *retry
+		if attempts <= 0 {
+			attempts = 1
+		}
+		clients := make([]*wire.Client, len(addrs))
+		for i, a := range addrs {
+			c, err := wire.NewClient(wire.ClientConfig{
+				Addr: a, Seed: *seed + uint64(i),
+				BufferRecords: *buffer, MaxAttempts: attempts,
+				MaxBatch: *batch,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			clients[i] = c
+		}
+		next := 0
+		if err := res.Stream(func(recs []wire.Record) error {
+			c := clients[next%len(clients)]
+			next++
+			return c.Send(recs)
+		}, *batch); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		}
+		var delivered, sent, lost uint64
+		for i, c := range clients {
+			if err := c.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: %s: %v\n", addrs[i], err)
+			}
+			delivered += c.Delivered()
+			sent += c.Sent()
+			lost += c.Lost()
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: delivered %d of %d records across %d targets (%d lost)\n",
+			delivered, sent, len(addrs), lost)
+		if lost > 0 {
+			os.Exit(1)
+		}
 	case *addr != "" && *retry > 0:
 		// Resilient delivery: acked session with reconnect/backoff, so a
 		// daemon restart mid-stream costs retransmits, not records.

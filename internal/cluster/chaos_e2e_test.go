@@ -1,0 +1,341 @@
+package cluster
+
+// The clustered chaos acceptance test: a three-instance fleet ingests
+// a seeded flood sprayed round-robin across all instances, the
+// instance that owns the attack victim is killed mid-campaign, and the
+// survivors must take over without losing a single identification —
+// the new owner's per-source tallies equal the offline identifier run
+// over every delivered record, and the blocklists of both survivors
+// converge to the same fleet-wide set.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/loadgen"
+	"repro/internal/marking"
+	"repro/internal/pipeline"
+	"repro/internal/topology"
+	"repro/internal/traceback"
+	"repro/internal/wire"
+)
+
+const chaosBlockThreshold = 100
+
+// grabAddrs reserves n distinct loopback TCP addresses by binding and
+// immediately releasing them, so the fleet's members can be told each
+// other's addresses before any daemon starts.
+func grabAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs
+}
+
+func TestClusterChaosKillOwnerMidCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second fleet test")
+	}
+
+	// Ground truth: the same seeded flood the single-instance chaos
+	// test uses.
+	res, err := loadgen.Generate(loadgen.Scenario{
+		Topo: core.Torus2D(8), Zombies: 3, Seed: 42,
+		AttackGap: 2, Background: 0.002, Warmup: 3000, Attack: 6000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Three daemons, each a cluster member knowing the other two.
+	const fleet = 3
+	addrs := grabAddrs(t, fleet)
+	nodes := make([]*Node, fleet)
+	daemons := make([]*pipeline.Daemon, fleet)
+	for i := 0; i < fleet; i++ {
+		i := i
+		var peers []string
+		for j, a := range addrs {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		d, err := pipeline.Start(pipeline.ServerConfig{
+			Pipeline: pipeline.Config{
+				Net: topology.NewTorus2D(8), Shards: 4, QueueLen: 1 << 15,
+				BlockThreshold: chaosBlockThreshold, BlockTTL: time.Hour,
+			},
+			TCPAddr:  addrs[i],
+			HTTPAddr: "127.0.0.1:0",
+			NewCluster: func(p *pipeline.Pipeline) (pipeline.ClusterNode, error) {
+				n, err := New(p, Config{
+					Self: addrs[i], Peers: peers,
+					GossipInterval:    25 * time.Millisecond,
+					FailAfter:         1500 * time.Millisecond,
+					MaxReplicasPerMsg: 64,
+					Incarnation:       uint64(0x1000 + i),
+					Logf:              t.Logf,
+				})
+				if err == nil {
+					nodes[i] = n
+				}
+				return n, err
+			},
+		})
+		if err != nil {
+			t.Fatalf("daemon %d: %v", i, err)
+		}
+		daemons[i] = d
+		defer d.Shutdown(context.Background())
+	}
+	pipes := make([]*pipeline.Pipeline, fleet)
+	for i, d := range daemons {
+		pipes[i] = d.Pipeline()
+	}
+
+	newClient := func(i int, seed uint64) *wire.Client {
+		c, err := wire.NewClient(wire.ClientConfig{
+			Dial:        func() (net.Conn, error) { return net.Dial("tcp", addrs[i]) },
+			Seed:        seed,
+			MaxBatch:    200,
+			MaxAttempts: 8,
+			BackoffBase: time.Millisecond,
+			BackoffMax:  20 * time.Millisecond,
+			AckTimeout:  5 * time.Second,
+		})
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+		return c
+	}
+	send := func(clients []*wire.Client, recs []wire.Record) (delivered uint64) {
+		t.Helper()
+		for i := 0; i < len(recs); i += 200 {
+			end := i + 200
+			if end > len(recs) {
+				end = len(recs)
+			}
+			if err := clients[(i/200)%len(clients)].Send(recs[i:end]); err != nil {
+				t.Fatalf("send: %v", err)
+			}
+		}
+		for _, c := range clients {
+			c.Close()
+			if c.Lost() != 0 {
+				t.Fatalf("client lost %d records on a healthy network", c.Lost())
+			}
+			if c.Delivered() != c.Sent() {
+				t.Fatalf("client delivered %d of %d sent", c.Delivered(), c.Sent())
+			}
+			delivered += c.Delivered()
+		}
+		return delivered
+	}
+	sumProcessed := func(idx ...int) uint64 {
+		var s uint64
+		for _, i := range idx {
+			s += pipes[i].C.Processed.Load()
+		}
+		return s
+	}
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Phase 1: ~60% of the campaign, sprayed round-robin across all
+	// three instances. Records land anywhere; each is processed exactly
+	// once, at its ring owner.
+	cut := len(res.Records) * 6 / 10
+	phase1 := send([]*wire.Client{newClient(0, 13), newClient(1, 14), newClient(2, 15)}, res.Records[:cut])
+	waitFor("phase-1 records to reach their owners", func() bool {
+		return sumProcessed(0, 1, 2) == phase1
+	})
+	for i, n := range nodes {
+		if n.forwardDropped.Load() != 0 || n.forwardLost.Load() != 0 {
+			t.Fatalf("node %d shed forwards (dropped=%d lost=%d)", i, n.forwardDropped.Load(), n.forwardLost.Load())
+		}
+		if pipes[i].C.Dropped.Load() != 0 {
+			t.Fatalf("pipeline %d dropped records", i)
+		}
+	}
+
+	// The kill target is the instance that owns the attack victim —
+	// the hardest member to lose.
+	ring := nodes[0].Ring()
+	owner := ring.Owner(res.Victim)
+	kill, succIdx := -1, -1
+	succ := ring.Successor(res.Victim)
+	for i, n := range nodes {
+		if n.self == owner {
+			kill = i
+		}
+		if n.self == succ {
+			succIdx = i
+		}
+	}
+	if kill < 0 || succIdx < 0 || kill == succIdx {
+		t.Fatalf("degenerate ring: owner %x successor %x", owner, succ)
+	}
+	ownerSnap, ok := pipes[kill].ExportVictim(res.Victim)
+	if !ok {
+		t.Fatal("owner has no state for the attack victim")
+	}
+	ownerTotal := ownerSnap.Identified() + ownerSnap.Undecodable
+
+	// Before the kill: anti-entropy must have shipped the owner's
+	// victim state to the ring successor, and every instance's
+	// blocklist must agree (phase 1 crosses the block threshold).
+	waitFor("successor to hold the owner's replica of the attack victim", func() bool {
+		nodes[succIdx].mu.Lock()
+		rep, ok := nodes[succIdx].replicas[res.Victim]
+		nodes[succIdx].mu.Unlock()
+		return ok && rep.Identified()+rep.Undecodable == ownerTotal
+	})
+	waitFor("fleet-wide blocklist convergence after phase 1", func() bool {
+		a := pipes[0].Blocklist().Snapshot()
+		return len(a) > 0 &&
+			reflect.DeepEqual(a, pipes[1].Blocklist().Snapshot()) &&
+			reflect.DeepEqual(a, pipes[2].Blocklist().Snapshot())
+	})
+
+	// Kill the owner mid-campaign.
+	procAtKill := sumProcessed(0, 1, 2)
+	if err := daemons[kill].Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown daemon %d: %v", kill, err)
+	}
+	var survivors []int
+	for i := range daemons {
+		if i != kill {
+			survivors = append(survivors, i)
+		}
+	}
+
+	// Survivors must notice the death and rebuild the ring before more
+	// traffic flows, so nothing is routed at a corpse.
+	waitFor("survivors to rebuild the ring without the dead member", func() bool {
+		for _, i := range survivors {
+			if nodes[i].Ring().Size() != 2 {
+				return false
+			}
+		}
+		return true
+	})
+	newOwner := nodes[survivors[0]].Ring().Owner(res.Victim)
+	if newOwner != succ {
+		t.Fatalf("post-death owner %x is not the old successor %x", newOwner, succ)
+	}
+
+	// Phase 2: the rest of the campaign, to the survivors only.
+	phase2 := send([]*wire.Client{newClient(survivors[0], 23), newClient(survivors[1], 24)}, res.Records[cut:])
+	waitFor("phase-2 records to reach their owners", func() bool {
+		return sumProcessed(survivors...) == procAtKill-pipes[kill].C.Processed.Load()+phase2
+	})
+	for _, i := range survivors {
+		if nodes[i].forwardDropped.Load() != 0 || nodes[i].forwardLost.Load() != 0 {
+			t.Fatalf("survivor %d shed forwards after the kill (dropped=%d lost=%d)",
+				i, nodes[i].forwardDropped.Load(), nodes[i].forwardLost.Load())
+		}
+	}
+
+	// The takeover invariant: the new owner's tallies — seeded replica
+	// plus phase-2 traffic — equal the offline identifier over every
+	// record the fleet accepted, and identification is unchanged.
+	scheme, err := marking.NewDDPM(topology.NewTorus2D(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline := traceback.NewDDPMIdentifier(scheme, res.Victim)
+	for _, rec := range res.Records {
+		offline.ObserveMF(rec.MF)
+	}
+	want := offline.SourcesAbove(chaosBlockThreshold)
+	got := pipes[succIdx].SourcesAbove(res.Victim, chaosBlockThreshold)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-takeover identification %v != offline-over-delivered %v", got, want)
+	}
+	if !reflect.DeepEqual(got, res.Zombies) {
+		t.Fatalf("identified %v, ground truth %v", got, res.Zombies)
+	}
+	if nodes[succIdx].takeovers.Load() == 0 || nodes[succIdx].seedsApplied.Load() == 0 {
+		t.Fatalf("takeover happened without seeding (takeovers=%d seeds=%d)",
+			nodes[succIdx].takeovers.Load(), nodes[succIdx].seedsApplied.Load())
+	}
+
+	// Both survivors serve the same fleet-wide blocklist, containing
+	// every zombie, even though the blocks were minted on the dead
+	// instance.
+	getBlocklist := func(i int) []struct {
+		Node int64 `json:"node"`
+	} {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s/blocklist", daemons[i].HTTPAddr()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out []struct {
+			Node int64 `json:"node"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	waitFor("survivor blocklists to converge", func() bool {
+		return reflect.DeepEqual(getBlocklist(survivors[0]), getBlocklist(survivors[1]))
+	})
+	blocked := map[int64]bool{}
+	for _, e := range getBlocklist(survivors[0]) {
+		blocked[e.Node] = true
+	}
+	for _, z := range res.Zombies {
+		if !blocked[int64(z)] {
+			t.Fatalf("zombie %d missing from survivor blocklist %v", z, blocked)
+		}
+	}
+
+	// Admin satellite: a block POSTed to one survivor — for a node the
+	// attack never touched — propagates to the other via gossip.
+	manual := topology.NodeID(-1)
+	for v := topology.NodeID(0); v < 64; v++ {
+		if v != res.Victim && !blocked[int64(v)] {
+			manual = v
+			break
+		}
+	}
+	body, _ := json.Marshal(map[string]any{"node": int64(manual)})
+	resp, err := http.Post(fmt.Sprintf("http://%s/blocklist", daemons[survivors[0]].HTTPAddr()),
+		"application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("POST /blocklist: %d", resp.StatusCode)
+	}
+	waitFor("manual block to gossip to the other survivor", func() bool {
+		return pipes[survivors[1]].Blocklist().BlockedAt(manual, time.Now().UnixNano())
+	})
+}

@@ -1,0 +1,218 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/filter"
+	"repro/internal/pipeline"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// Gossip message: the body carried inside a wire TypeGossip frame.
+// Requests and responses share the layout — anti-entropy is symmetric,
+// each side tells the other what it has (digest), pushes the mutations
+// it believes the other lacks (ops), and ships victim-state replicas
+// for victims the receiver backs up.
+//
+// Layout (big-endian):
+//
+//	[0]    version  uint8   = gossipVersion
+//	[1:9)  sender   uint64  member id of the sending instance
+//	[9:17) ringVer  uint64  sender's local ring version (observability)
+//	nDigest uint16, then per entry: origin(8) maxSeq(8)
+//	nOps    uint16, then per op:    origin(8) seq(8) stamp(8) node(8) until(8) flags(1)
+//	nReps   uint16, then per replica:
+//	        victim(8) alarmed(1) undecodable(8) nSources(4),
+//	        then per source: node(8) count(8)
+type gossipMsg struct {
+	Sender   uint64
+	RingVer  uint64
+	Digest   []digestEntry
+	Ops      []originOp
+	Replicas []pipeline.VictimSnapshot
+}
+
+// digestEntry advertises the highest contiguous mutation sequence the
+// sender holds for one origin instance.
+type digestEntry struct {
+	Origin uint64
+	MaxSeq uint64
+}
+
+// originOp is one blocklist mutation tagged with the instance that
+// minted it.
+type originOp struct {
+	Origin uint64
+	Op     filter.Mutation
+}
+
+const (
+	gossipVersion   = 1
+	gossipFixedSize = 1 + 8 + 8
+	digestEntrySize = 16
+	opSize          = 41
+	replicaFixed    = 8 + 1 + 8 + 4
+	sourceSize      = 16
+)
+
+var errGossipTrunc = errors.New("cluster: truncated gossip message")
+
+// appendGossipMsg encodes m. The caller budgets ops and replicas so
+// the body fits one wire frame (see gossipBudget).
+func appendGossipMsg(b []byte, m *gossipMsg) []byte {
+	b = append(b, gossipVersion)
+	b = binary.BigEndian.AppendUint64(b, m.Sender)
+	b = binary.BigEndian.AppendUint64(b, m.RingVer)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(m.Digest)))
+	for _, d := range m.Digest {
+		b = binary.BigEndian.AppendUint64(b, d.Origin)
+		b = binary.BigEndian.AppendUint64(b, d.MaxSeq)
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(len(m.Ops)))
+	for _, o := range m.Ops {
+		b = binary.BigEndian.AppendUint64(b, o.Origin)
+		b = binary.BigEndian.AppendUint64(b, o.Op.Seq)
+		b = binary.BigEndian.AppendUint64(b, o.Op.Stamp)
+		b = binary.BigEndian.AppendUint64(b, uint64(int64(o.Op.Node)))
+		b = binary.BigEndian.AppendUint64(b, uint64(o.Op.Until))
+		var flags byte
+		if o.Op.Unblock {
+			flags = 1
+		}
+		b = append(b, flags)
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(len(m.Replicas)))
+	for i := range m.Replicas {
+		r := &m.Replicas[i]
+		b = binary.BigEndian.AppendUint64(b, uint64(int64(r.Victim)))
+		var fl byte
+		if r.Alarmed {
+			fl = 1
+		}
+		b = append(b, fl)
+		b = binary.BigEndian.AppendUint64(b, uint64(r.Undecodable))
+		b = binary.BigEndian.AppendUint32(b, uint32(len(r.Sources)))
+		for _, sc := range r.Sources {
+			b = binary.BigEndian.AppendUint64(b, uint64(sc.Node))
+			b = binary.BigEndian.AppendUint64(b, uint64(sc.Count))
+		}
+	}
+	return b
+}
+
+// parseGossipMsg decodes a message body. Nothing aliases b.
+func parseGossipMsg(b []byte) (*gossipMsg, error) {
+	if len(b) < gossipFixedSize+6 {
+		return nil, errGossipTrunc
+	}
+	if b[0] != gossipVersion {
+		return nil, fmt.Errorf("cluster: gossip version %d (want %d)", b[0], gossipVersion)
+	}
+	m := &gossipMsg{
+		Sender:  binary.BigEndian.Uint64(b[1:9]),
+		RingVer: binary.BigEndian.Uint64(b[9:17]),
+	}
+	p := b[17:]
+	take := func(n int) ([]byte, error) {
+		if len(p) < n {
+			return nil, errGossipTrunc
+		}
+		out := p[:n]
+		p = p[n:]
+		return out, nil
+	}
+	hdr, err := take(2)
+	if err != nil {
+		return nil, err
+	}
+	nd := int(binary.BigEndian.Uint16(hdr))
+	for i := 0; i < nd; i++ {
+		e, err := take(digestEntrySize)
+		if err != nil {
+			return nil, err
+		}
+		m.Digest = append(m.Digest, digestEntry{
+			Origin: binary.BigEndian.Uint64(e[0:8]),
+			MaxSeq: binary.BigEndian.Uint64(e[8:16]),
+		})
+	}
+	if hdr, err = take(2); err != nil {
+		return nil, err
+	}
+	no := int(binary.BigEndian.Uint16(hdr))
+	for i := 0; i < no; i++ {
+		e, err := take(opSize)
+		if err != nil {
+			return nil, err
+		}
+		m.Ops = append(m.Ops, originOp{
+			Origin: binary.BigEndian.Uint64(e[0:8]),
+			Op: filter.Mutation{
+				Seq:     binary.BigEndian.Uint64(e[8:16]),
+				Stamp:   binary.BigEndian.Uint64(e[16:24]),
+				Node:    topology.NodeID(int64(binary.BigEndian.Uint64(e[24:32]))),
+				Until:   int64(binary.BigEndian.Uint64(e[32:40])),
+				Unblock: e[40]&1 != 0,
+			},
+		})
+	}
+	if hdr, err = take(2); err != nil {
+		return nil, err
+	}
+	nr := int(binary.BigEndian.Uint16(hdr))
+	for i := 0; i < nr; i++ {
+		e, err := take(replicaFixed)
+		if err != nil {
+			return nil, err
+		}
+		snap := pipeline.VictimSnapshot{
+			Victim:      topology.NodeID(int64(binary.BigEndian.Uint64(e[0:8]))),
+			Alarmed:     e[8]&1 != 0,
+			Undecodable: int64(binary.BigEndian.Uint64(e[9:17])),
+		}
+		ns := int(binary.BigEndian.Uint32(e[17:21]))
+		for j := 0; j < ns; j++ {
+			se, err := take(sourceSize)
+			if err != nil {
+				return nil, err
+			}
+			snap.Sources = append(snap.Sources, pipeline.SourceCount{
+				Node:  int64(binary.BigEndian.Uint64(se[0:8])),
+				Count: int64(binary.BigEndian.Uint64(se[8:16])),
+			})
+		}
+		m.Replicas = append(m.Replicas, snap)
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("cluster: %d trailing gossip bytes", len(p))
+	}
+	return m, nil
+}
+
+// gossipBudget tracks how many encoded bytes a message may still grow
+// by before it would no longer fit a wire frame.
+type gossipBudget struct{ left int }
+
+func newGossipBudget(digestEntries int) gossipBudget {
+	return gossipBudget{left: wire.MaxGossipBody - gossipFixedSize - 6 - digestEntries*digestEntrySize}
+}
+
+func (g *gossipBudget) fitsOp() bool {
+	if g.left < opSize {
+		return false
+	}
+	g.left -= opSize
+	return true
+}
+
+func (g *gossipBudget) fitsReplica(snap *pipeline.VictimSnapshot) bool {
+	n := replicaFixed + len(snap.Sources)*sourceSize
+	if g.left < n {
+		return false
+	}
+	g.left -= n
+	return true
+}

@@ -1,0 +1,817 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/pipeline"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// Config parameterizes a cluster Node.
+type Config struct {
+	// Self is this instance's advertised TCP ingest address; Peers are
+	// the other instances'. Address strings must be byte-identical
+	// fleet-wide (they derive the member ids).
+	Self  string
+	Peers []string
+
+	// VNodes is the virtual nodes per member on the ring (default 64).
+	VNodes int
+
+	// GossipInterval paces anti-entropy rounds (default 500ms).
+	// FailAfter is how long a peer may stay silent — no gossip
+	// exchange, no forwarded frames — before it is declared dead and
+	// the ring rebuilt without it (default 4×GossipInterval).
+	GossipInterval time.Duration
+	FailAfter      time.Duration
+
+	// ForwardQueue bounds each peer's outbound batch queue (default
+	// 256 batches); a full queue sheds, counted, never blocks ingest.
+	// ForwardBatch caps records per forwarded frame (default 512).
+	ForwardQueue int
+	ForwardBatch int
+
+	// MaxReplicasPerMsg caps victim-state replicas per gossip message
+	// (default 8); a round-robin cursor covers the rest over rounds.
+	MaxReplicasPerMsg int
+
+	// Incarnation overrides the derived per-process blocklist origin id
+	// (tests). 0 derives one from the member id and the start time so a
+	// restarted instance never collides with its previous life's
+	// mutation sequences.
+	Incarnation uint64
+
+	// Dial overrides net.Dial for forwarding and gossip connections
+	// (tests, fault injection). Now supplies unix nanos (defaults to
+	// time.Now; tests inject). Logf, when set, receives membership and
+	// rebalance events.
+	Dial func(addr string) (net.Conn, error)
+	Now  func() int64
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Self == "" {
+		return errors.New("cluster: Self address required")
+	}
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.GossipInterval <= 0 {
+		c.GossipInterval = 500 * time.Millisecond
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 4 * c.GossipInterval
+	}
+	if c.ForwardQueue <= 0 {
+		c.ForwardQueue = 256
+	}
+	if c.ForwardBatch <= 0 {
+		c.ForwardBatch = 512
+	}
+	if c.ForwardBatch > wire.MaxRecordsPerForwarded {
+		return fmt.Errorf("cluster: ForwardBatch %d exceeds the %d records one forwarded frame can carry",
+			c.ForwardBatch, wire.MaxRecordsPerForwarded)
+	}
+	if c.MaxReplicasPerMsg <= 0 {
+		c.MaxReplicasPerMsg = 8
+	}
+	if c.Dial == nil {
+		c.Dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	if c.Now == nil {
+		c.Now = func() int64 { return time.Now().UnixNano() }
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// peer is one remote instance: forwarding queue, gossip connection and
+// liveness state. The peer set is fixed at New; everything mutable is
+// either atomic or guarded by Node.mu (digest, cursor) or owned by a
+// single goroutine (conn/rd: the gossip loop; client: the forwarder).
+type peer struct {
+	addr string
+	id   uint64
+
+	queue     chan []wire.Record
+	lastHeard atomic.Int64  // unix nanos of last proof of life
+	ringVer   atomic.Uint64 // peer's last self-reported ring version
+	delivered atomic.Uint64 // records the peer acked on the forward session
+
+	digest        map[uint64]uint64 // mutations the peer is known to hold
+	replicaCursor int               // round-robin start into owned victims
+
+	conn net.Conn // gossip conn, gossip-loop goroutine only
+	rd   *wire.Reader
+}
+
+// Node implements pipeline.ClusterNode: the cluster tier of one ddpmd
+// instance.
+type Node struct {
+	cfg         Config
+	p           *pipeline.Pipeline
+	bl          *filter.Blocklist
+	self        uint64
+	incarnation uint64
+	start       int64
+
+	ring atomic.Pointer[Ring]
+
+	mu          sync.Mutex
+	ringVersion uint64
+	peers       map[uint64]*peer // immutable map; values see peer doc
+	peerList    []*peer          // stable, sorted by id
+	remoteLogs  map[uint64][]filter.Mutation
+	replicas    map[topology.NodeID]pipeline.VictimSnapshot
+	seeded      map[topology.NodeID]bool // seeded this ownership epoch
+
+	forwardedOut   atomic.Uint64
+	forwardedIn    atomic.Uint64
+	forwardDropped atomic.Uint64
+	forwardLost    atomic.Uint64
+	gossipRounds   atomic.Uint64
+	gossipFails    atomic.Uint64
+	seedsApplied   atomic.Uint64
+	takeovers      atomic.Uint64
+
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// New builds and starts the cluster tier: one forwarder goroutine per
+// peer plus the gossip loop. All configured peers start presumed alive
+// (the ring covers the whole fleet immediately); a peer that never
+// answers is declared dead FailAfter from now.
+func New(p *pipeline.Pipeline, cfg Config) (*Node, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:        cfg,
+		p:          p,
+		bl:         p.Blocklist(),
+		self:       MemberID(cfg.Self),
+		start:      cfg.Now(),
+		peers:      make(map[uint64]*peer, len(cfg.Peers)),
+		remoteLogs: make(map[uint64][]filter.Mutation),
+		replicas:   make(map[topology.NodeID]pipeline.VictimSnapshot),
+		seeded:     make(map[topology.NodeID]bool),
+		stop:       make(chan struct{}),
+	}
+	n.incarnation = cfg.Incarnation
+	if n.incarnation == 0 {
+		n.incarnation = splitmix64(n.self ^ uint64(n.start))
+	}
+	if n.incarnation == 0 {
+		n.incarnation = 1
+	}
+	members := []uint64{n.self}
+	now := cfg.Now()
+	for _, addr := range cfg.Peers {
+		id := MemberID(addr)
+		if id == n.self {
+			return nil, fmt.Errorf("cluster: peer %q collides with self %q", addr, cfg.Self)
+		}
+		if _, dup := n.peers[id]; dup {
+			return nil, fmt.Errorf("cluster: duplicate peer %q", addr)
+		}
+		pr := &peer{
+			addr:   addr,
+			id:     id,
+			queue:  make(chan []wire.Record, cfg.ForwardQueue),
+			digest: make(map[uint64]uint64),
+		}
+		pr.lastHeard.Store(now)
+		n.peers[id] = pr
+		members = append(members, id)
+		n.peerList = append(n.peerList, pr)
+	}
+	sort.Slice(n.peerList, func(i, j int) bool { return n.peerList[i].id < n.peerList[j].id })
+	n.ringVersion = 1
+	n.ring.Store(NewRing(1, members, cfg.VNodes))
+	n.bl.SetOrigin(n.incarnation)
+	for _, pr := range n.peerList {
+		n.wg.Add(1)
+		go n.forward(pr)
+	}
+	n.wg.Add(1)
+	go n.gossipLoop()
+	cfg.Logf("cluster: up self=%s id=%x incarnation=%x members=%d", cfg.Self, n.self, n.incarnation, len(members))
+	return n, nil
+}
+
+// Close stops gossip, drains and flushes the forwarding queues, and
+// closes the peer connections. Safe to call once ingest has stopped.
+func (n *Node) Close() {
+	if !n.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(n.stop)
+	n.wg.Wait()
+}
+
+// Route partitions one ingest slab by victim ownership: records this
+// instance owns stay in the slab (compacted in place) and go to the
+// pipeline; foreign records are copied into per-owner batches and
+// queued for forwarding. Consumes the slab reference. Returns records
+// accepted locally plus records queued for peers.
+func (n *Node) Route(s *wire.Slab) int {
+	ring := n.ring.Load()
+	if ring.Size() <= 1 {
+		return n.p.SubmitSlab(s)
+	}
+	var batches map[uint64][]wire.Record
+	recs := s.Recs
+	k := 0
+	for i := range recs {
+		owner := ring.Owner(recs[i].Victim)
+		if owner == n.self {
+			if k != i {
+				recs[k] = recs[i]
+				if s.Ctxs != nil {
+					s.Ctxs[k] = s.Ctxs[i]
+				}
+			}
+			k++
+			continue
+		}
+		if batches == nil {
+			batches = make(map[uint64][]wire.Record, 2)
+		}
+		batches[owner] = append(batches[owner], recs[i])
+	}
+	s.Recs = recs[:k]
+	if s.Ctxs != nil {
+		s.Ctxs = s.Ctxs[:k]
+	}
+	accepted := 0
+	if k > 0 {
+		accepted = n.p.SubmitSlab(s)
+	} else {
+		s.Release()
+	}
+	for owner, fw := range batches {
+		accepted += n.enqueue(n.peers[owner], fw)
+	}
+	return accepted
+}
+
+// enqueue offers one batch to a peer's forwarding queue, shedding
+// (counted) when the queue is full — ingest never blocks on a slow or
+// dead peer.
+func (n *Node) enqueue(pr *peer, fw []wire.Record) int {
+	if pr == nil {
+		n.forwardDropped.Add(uint64(len(fw)))
+		return 0
+	}
+	select {
+	case pr.queue <- fw:
+		n.forwardedOut.Add(uint64(len(fw)))
+		return len(fw)
+	default:
+		n.forwardDropped.Add(uint64(len(fw)))
+		return 0
+	}
+}
+
+// NoteForwardedIn accounts records accepted off a forwarding session;
+// a forwarded frame is also proof its origin is alive.
+func (n *Node) NoteForwardedIn(origin uint64, accepted int) {
+	n.forwardedIn.Add(uint64(accepted))
+	if pr := n.peers[origin]; pr != nil {
+		pr.lastHeard.Store(n.cfg.Now())
+	}
+}
+
+// forward is the per-peer forwarder goroutine: drains the batch queue
+// into an acked wire client shipping TypeForwarded frames. Records the
+// client sheds (peer unreachable, buffer overflow, close) are rerouted
+// through the current ring — after a death that is exactly what moves
+// in-flight records to the new owner.
+func (n *Node) forward(pr *peer) {
+	defer n.wg.Done()
+	client, err := wire.NewClient(wire.ClientConfig{
+		Dial:          func() (net.Conn, error) { return n.cfg.Dial(pr.addr) },
+		StreamID:      n.incarnation ^ pr.id,
+		Seed:          splitmix64(n.incarnation ^ pr.id),
+		MaxBatch:      n.cfg.ForwardBatch,
+		MaxAttempts:   3,
+		BackoffBase:   5 * time.Millisecond,
+		BackoffMax:    250 * time.Millisecond,
+		ForwardOrigin: n.self,
+		OnLost:        func(rec wire.Record) { n.reroute(pr, rec) },
+	})
+	if err != nil {
+		n.cfg.Logf("cluster: forwarder %s: %v", pr.addr, err)
+		return
+	}
+	flushDelivered := func() {
+		client.Flush()
+		pr.delivered.Store(client.Delivered())
+	}
+	for {
+		select {
+		case fw := <-pr.queue:
+			client.Send(fw)
+			// Opportunistically drain whatever queued while sending,
+			// then flush so forwarding latency stays one queue-pass.
+		drain:
+			for {
+				select {
+				case fw := <-pr.queue:
+					client.Send(fw)
+				default:
+					break drain
+				}
+			}
+			flushDelivered()
+		case <-n.stop:
+			for {
+				select {
+				case fw := <-pr.queue:
+					client.Send(fw)
+					continue
+				default:
+				}
+				break
+			}
+			flushDelivered()
+			client.Close()
+			pr.delivered.Store(client.Delivered())
+			return
+		}
+	}
+}
+
+// reroute re-dispatches one record the forwarder for `from` abandoned.
+// If the ring has moved the victim here, process it locally; if it
+// names a different peer, requeue there; if it still names the dead
+// peer (ring not yet rebuilt) or the node is closing, the record is
+// lost — counted, like any unreachable-exporter loss.
+func (n *Node) reroute(from *peer, rec wire.Record) {
+	if n.closed.Load() {
+		n.forwardLost.Add(1)
+		return
+	}
+	owner := n.ring.Load().Owner(rec.Victim)
+	switch {
+	case owner == n.self:
+		if !n.p.Submit(rec) {
+			n.forwardLost.Add(1)
+		}
+	case owner == from.id:
+		n.forwardLost.Add(1)
+	default:
+		if n.enqueue(n.peers[owner], []wire.Record{rec}) == 0 {
+			n.forwardLost.Add(1)
+		}
+	}
+}
+
+// gossipLoop drives anti-entropy: every interval, exchange one
+// request/response with each peer over a persistent connection, then
+// re-derive the alive set from lastHeard and rebuild the ring if it
+// changed.
+func (n *Node) gossipLoop() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.cfg.GossipInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stop:
+			for _, pr := range n.peerList {
+				if pr.conn != nil {
+					pr.conn.Close()
+					pr.conn = nil
+				}
+			}
+			return
+		case <-ticker.C:
+			for _, pr := range n.peerList {
+				if err := n.gossipWith(pr); err != nil {
+					n.gossipFails.Add(1)
+				}
+			}
+			n.gossipRounds.Add(1)
+			n.recomputeMembership()
+		}
+	}
+}
+
+// gossipWith performs one exchange with a peer: send our digest plus
+// the ops and replicas we believe it lacks, read back its. Any error
+// tears the connection down; liveness is only credited on a complete
+// exchange.
+func (n *Node) gossipWith(pr *peer) error {
+	if pr.conn == nil {
+		conn, err := n.cfg.Dial(pr.addr)
+		if err != nil {
+			return err
+		}
+		pr.conn = conn
+		pr.rd = wire.NewReader(conn)
+	}
+	fail := func(err error) error {
+		pr.conn.Close()
+		pr.conn, pr.rd = nil, nil
+		return err
+	}
+	req := n.buildMsg(pr, nil)
+	frame := wire.AppendGossip(nil, appendGossipMsg(nil, req))
+	pr.conn.SetDeadline(time.Now().Add(n.cfg.FailAfter))
+	if _, err := pr.conn.Write(frame); err != nil {
+		return fail(err)
+	}
+	ftype, payload, err := pr.rd.ReadFrame()
+	if err != nil {
+		return fail(err)
+	}
+	if ftype != wire.TypeGossip {
+		return fail(fmt.Errorf("cluster: gossip got frame type %d", ftype))
+	}
+	body, err := wire.ParseGossip(payload)
+	if err != nil {
+		return fail(err)
+	}
+	resp, err := parseGossipMsg(body)
+	if err != nil {
+		return fail(err)
+	}
+	n.absorb(resp)
+	return nil
+}
+
+// HandleGossip answers one inbound anti-entropy request (the server
+// side, called from the daemon's connection goroutines): absorb what
+// the sender pushed, then respond with our digest plus the ops and
+// replicas the sender's digest shows it lacks.
+func (n *Node) HandleGossip(reqBody []byte) ([]byte, error) {
+	req, err := parseGossipMsg(reqBody)
+	if err != nil {
+		return nil, err
+	}
+	n.absorb(req)
+	var resp *gossipMsg
+	if pr := n.peers[req.Sender]; pr != nil {
+		resp = n.buildMsg(pr, req.Digest)
+	} else {
+		// Unknown sender (not in our configured peer set): still answer
+		// with ops off its digest so blocklists converge, but nothing
+		// liveness- or replica-related attaches to it.
+		resp = n.buildMsg(nil, req.Digest)
+	}
+	return appendGossipMsg(nil, resp), nil
+}
+
+// buildMsg assembles one outbound gossip message for a peer. The
+// receiver's digest comes either from reqDigest (server side: the
+// request just told us) or from the digest stored on the peer (client
+// side: learned from its last response). A nil peer builds a
+// digest+ops-only message.
+func (n *Node) buildMsg(pr *peer, reqDigest []digestEntry) *gossipMsg {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	m := &gossipMsg{Sender: n.self, RingVer: n.ring.Load().Version()}
+	// Our digest: own mutations plus every relayed origin.
+	m.Digest = append(m.Digest, digestEntry{Origin: n.incarnation, MaxSeq: n.bl.Seq()})
+	for origin, log := range n.remoteLogs {
+		m.Digest = append(m.Digest, digestEntry{Origin: origin, MaxSeq: uint64(len(log))})
+	}
+	sort.Slice(m.Digest, func(i, j int) bool { return m.Digest[i].Origin < m.Digest[j].Origin })
+
+	theirs := make(map[uint64]uint64, 8)
+	if reqDigest != nil {
+		for _, d := range reqDigest {
+			theirs[d.Origin] = d.MaxSeq
+		}
+	} else if pr != nil {
+		for o, s := range pr.digest {
+			theirs[o] = s
+		}
+	}
+	budget := newGossipBudget(len(m.Digest))
+	appendOps := func(origin uint64, log []filter.Mutation) {
+		from := theirs[origin]
+		for i := int(from); i < len(log) && budget.fitsOp(); i++ {
+			m.Ops = append(m.Ops, originOp{Origin: origin, Op: log[i]})
+		}
+	}
+	if have := n.bl.Seq(); have > theirs[n.incarnation] {
+		appendOps(n.incarnation, n.bl.MutationsAfter(0, nil))
+	}
+	for origin, log := range n.remoteLogs {
+		if uint64(len(log)) > theirs[origin] {
+			appendOps(origin, log)
+		}
+	}
+	if pr != nil {
+		n.appendReplicasLocked(pr, m, &budget)
+	}
+	return m
+}
+
+// appendReplicasLocked ships victim-state replicas to pr: snapshots of
+// victims this instance owns whose ring successor is pr — the instance
+// that will take them over if we die. A round-robin cursor walks the
+// owned set so every victim is re-replicated within a few rounds.
+// Caller holds n.mu.
+func (n *Node) appendReplicasLocked(pr *peer, m *gossipMsg, budget *gossipBudget) {
+	ring := n.ring.Load()
+	if ring.Size() <= 1 {
+		return
+	}
+	victims := n.p.Victims()
+	if len(victims) == 0 {
+		return
+	}
+	start := pr.replicaCursor % len(victims)
+	shipped := 0
+	for i := 0; i < len(victims) && shipped < n.cfg.MaxReplicasPerMsg; i++ {
+		v := victims[(start+i)%len(victims)]
+		pr.replicaCursor = (start + i + 1) % len(victims)
+		if ring.Owner(v) != n.self || ring.Successor(v) != pr.id {
+			continue
+		}
+		snap, ok := n.p.ExportVictim(v)
+		if !ok {
+			continue
+		}
+		if !budget.fitsReplica(&snap) {
+			break
+		}
+		m.Replicas = append(m.Replicas, snap)
+		shipped++
+	}
+}
+
+// absorb merges one inbound gossip message: liveness, the sender's
+// digest, its pushed mutations (per-origin contiguous logs feeding the
+// blocklist's LWW register) and any victim replicas addressed to us.
+func (n *Node) absorb(m *gossipMsg) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if pr := n.peers[m.Sender]; pr != nil {
+		pr.lastHeard.Store(n.cfg.Now())
+		pr.ringVer.Store(m.RingVer)
+		for k := range pr.digest {
+			delete(pr.digest, k)
+		}
+		for _, d := range m.Digest {
+			pr.digest[d.Origin] = d.MaxSeq
+		}
+	}
+	for _, op := range m.Ops {
+		n.applyOpLocked(op)
+	}
+	ring := n.ring.Load()
+	for i := range m.Replicas {
+		n.storeReplicaLocked(ring, m.Replicas[i])
+	}
+}
+
+// applyOpLocked accepts one relayed mutation if it extends that
+// origin's contiguous log; gaps wait for a later round (the digest
+// still advertises the old max, so the sender re-pushes). Caller holds
+// n.mu; the blocklist's own lock nests inside (never the reverse).
+func (n *Node) applyOpLocked(op originOp) {
+	if op.Origin == n.incarnation {
+		return // our own mutation echoed back
+	}
+	log := n.remoteLogs[op.Origin]
+	switch {
+	case op.Op.Seq <= uint64(len(log)):
+		// Duplicate relay: already held.
+	case op.Op.Seq == uint64(len(log))+1:
+		n.remoteLogs[op.Origin] = append(log, op.Op)
+		n.bl.ApplyRemote(op.Op, op.Origin)
+	default:
+		// Gap: drop; the digest makes the sender retry from our max.
+	}
+}
+
+// storeReplicaLocked files one inbound victim replica. If the ring
+// already says we own the victim (the shipper had a stale ring, or the
+// owner died between shipping and arrival) the replica is seeded into
+// the pipeline immediately — at most once per ownership epoch, since a
+// replica is a cumulative snapshot and seeding is additive. Otherwise
+// it is stored, newest-by-volume wins, until a membership change makes
+// us the owner. Caller holds n.mu.
+func (n *Node) storeReplicaLocked(ring *Ring, snap pipeline.VictimSnapshot) {
+	v := snap.Victim
+	if ring.Owner(v) == n.self {
+		if !n.seeded[v] && n.p.SeedVictim(snap) {
+			n.seeded[v] = true
+			n.seedsApplied.Add(1)
+		}
+		delete(n.replicas, v)
+		return
+	}
+	total := snap.Identified() + snap.Undecodable
+	if old, ok := n.replicas[v]; ok && old.Identified()+old.Undecodable > total {
+		return // keep the fuller snapshot
+	}
+	n.replicas[v] = snap
+}
+
+// recomputeMembership re-derives the alive set from lastHeard and, on
+// any change, installs a new ring and runs the ownership transitions:
+// stored replicas for victims now owned here are seeded (takeover),
+// and the seeded-set entries for victims no longer owned are cleared
+// so a future re-takeover can seed again.
+func (n *Node) recomputeMembership() {
+	now := n.cfg.Now()
+	alive := []uint64{n.self}
+	for _, pr := range n.peerList {
+		if now-pr.lastHeard.Load() <= int64(n.cfg.FailAfter) {
+			alive = append(alive, pr.id)
+		}
+	}
+	cur := n.ring.Load().Members()
+	same := len(alive) == len(cur)
+	if same {
+		sort.Slice(alive, func(i, j int) bool { return alive[i] < alive[j] })
+		for i := range alive {
+			if alive[i] != cur[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.ringVersion++
+	ring := NewRing(n.ringVersion, alive, n.cfg.VNodes)
+	n.ring.Store(ring)
+	n.cfg.Logf("cluster: ring v%d alive=%d/%d", ring.Version(), ring.Size(), len(n.peerList)+1)
+	seeds := 0
+	for v, snap := range n.replicas {
+		if ring.Owner(v) != n.self {
+			continue
+		}
+		if !n.seeded[v] && n.p.SeedVictim(snap) {
+			n.seeded[v] = true
+			n.seedsApplied.Add(1)
+			seeds++
+		}
+		delete(n.replicas, v)
+	}
+	if seeds > 0 {
+		n.takeovers.Add(1)
+		n.cfg.Logf("cluster: took over %d victims from stored replicas", seeds)
+	}
+	for v := range n.seeded {
+		if ring.Owner(v) != n.self {
+			delete(n.seeded, v)
+		}
+	}
+}
+
+// Status is the /cluster admin document.
+type Status struct {
+	Self           string         `json:"self"`
+	MemberID       uint64         `json:"member_id"`
+	Incarnation    uint64         `json:"incarnation"`
+	RingVersion    uint64         `json:"ring_version"`
+	Alive          int            `json:"alive"`
+	Members        []MemberStatus `json:"members"`
+	ForwardedOut   uint64         `json:"forwarded_out"`
+	ForwardedIn    uint64         `json:"forwarded_in"`
+	ForwardDropped uint64         `json:"forward_dropped"`
+	ForwardLost    uint64         `json:"forward_lost"`
+	ForwardQueue   int            `json:"forward_queue_len"`
+	GossipRounds   uint64         `json:"gossip_rounds"`
+	GossipFails    uint64         `json:"gossip_fails"`
+	BlocklistSeq   uint64         `json:"blocklist_seq"`
+	SeedsApplied   uint64         `json:"seeds_applied"`
+	Takeovers      uint64         `json:"takeovers"`
+	StoredReplicas int            `json:"stored_replicas"`
+	OwnedVictims   int            `json:"owned_victims"`
+}
+
+// MemberStatus is one fleet member's liveness as this instance sees it.
+type MemberStatus struct {
+	Addr        string `json:"addr"`
+	ID          uint64 `json:"id"`
+	Self        bool   `json:"self,omitempty"`
+	Alive       bool   `json:"alive"`
+	LastHeardMs int64  `json:"last_heard_ms,omitempty"`
+	RingVersion uint64 `json:"ring_version,omitempty"`
+	Delivered   uint64 `json:"forward_delivered,omitempty"`
+}
+
+// StatusJSON implements pipeline.ClusterNode.
+func (n *Node) StatusJSON() any {
+	now := n.cfg.Now()
+	ring := n.ring.Load()
+	aliveSet := make(map[uint64]bool, ring.Size())
+	for _, m := range ring.Members() {
+		aliveSet[m] = true
+	}
+	st := Status{
+		Self:        n.cfg.Self,
+		MemberID:    n.self,
+		Incarnation: n.incarnation,
+		RingVersion: ring.Version(),
+		Alive:       ring.Size(),
+		Members: []MemberStatus{{
+			Addr: n.cfg.Self, ID: n.self, Self: true, Alive: true, RingVersion: ring.Version(),
+		}},
+		ForwardedOut:   n.forwardedOut.Load(),
+		ForwardedIn:    n.forwardedIn.Load(),
+		ForwardDropped: n.forwardDropped.Load(),
+		ForwardLost:    n.forwardLost.Load(),
+		GossipRounds:   n.gossipRounds.Load(),
+		GossipFails:    n.gossipFails.Load(),
+		BlocklistSeq:   n.bl.Seq(),
+		SeedsApplied:   n.seedsApplied.Load(),
+		Takeovers:      n.takeovers.Load(),
+	}
+	for _, pr := range n.peerList {
+		st.ForwardQueue += len(pr.queue)
+		st.Members = append(st.Members, MemberStatus{
+			Addr:        pr.addr,
+			ID:          pr.id,
+			Alive:       aliveSet[pr.id],
+			LastHeardMs: (now - pr.lastHeard.Load()) / int64(time.Millisecond),
+			RingVersion: pr.ringVer.Load(),
+			Delivered:   pr.delivered.Load(),
+		})
+	}
+	n.mu.Lock()
+	st.StoredReplicas = len(n.replicas)
+	n.mu.Unlock()
+	for _, v := range n.p.Victims() {
+		if ring.Owner(v) == n.self {
+			st.OwnedVictims++
+		}
+	}
+	return st
+}
+
+// WriteMetrics implements pipeline.ClusterNode: the cluster tier's
+// Prometheus series, appended to the daemon's /metrics.
+func (n *Node) WriteMetrics(w io.Writer) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("ddpmd_forwarded_total", "records queued for forwarding to owning peers", n.forwardedOut.Load())
+	counter("ddpmd_forwarded_in_total", "records accepted off inbound forwarding sessions", n.forwardedIn.Load())
+	counter("ddpmd_forward_dropped_total", "records shed at full forwarding queues", n.forwardDropped.Load())
+	counter("ddpmd_forward_lost_total", "forwarded records abandoned after reroute failed", n.forwardLost.Load())
+	counter("ddpmd_gossip_rounds_total", "anti-entropy rounds completed", n.gossipRounds.Load())
+	counter("ddpmd_gossip_fails_total", "per-peer gossip exchanges that errored", n.gossipFails.Load())
+	counter("ddpmd_cluster_seeds_applied_total", "victim replicas seeded into the local pipeline", n.seedsApplied.Load())
+	qlen := 0
+	for _, pr := range n.peerList {
+		qlen += len(pr.queue)
+	}
+	gauge("ddpmd_forward_queue_len", "records batches queued for forwarding across peers", int64(qlen))
+	ring := n.ring.Load()
+	gauge("ddpmd_ring_version", "local consistent-hash ring generation", int64(ring.Version()))
+	gauge("ddpmd_cluster_members", "configured fleet size", int64(len(n.peerList)+1))
+	gauge("ddpmd_cluster_alive", "members currently on the ring", int64(ring.Size()))
+	// Gossip lag: seconds since the least recently heard alive peer —
+	// how stale fleet-wide state (blocklist, replicas) can be here.
+	now := n.cfg.Now()
+	var lagNS int64
+	aliveSet := make(map[uint64]bool, ring.Size())
+	for _, m := range ring.Members() {
+		aliveSet[m] = true
+	}
+	for _, pr := range n.peerList {
+		if !aliveSet[pr.id] {
+			continue
+		}
+		if lag := now - pr.lastHeard.Load(); lag > lagNS {
+			lagNS = lag
+		}
+	}
+	fmt.Fprintf(w, "# HELP ddpmd_gossip_lag_seconds seconds since the least recently heard alive peer\n"+
+		"# TYPE ddpmd_gossip_lag_seconds gauge\nddpmd_gossip_lag_seconds %.3f\n",
+		float64(lagNS)/float64(time.Second))
+}
+
+// Ring exposes the current ring (tests, status rendering).
+func (n *Node) Ring() *Ring { return n.ring.Load() }
+
+// Incarnation exposes the per-process blocklist origin id.
+func (n *Node) Incarnation() uint64 { return n.incarnation }

@@ -1,0 +1,313 @@
+package cluster
+
+import (
+	"errors"
+	"net"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/pipeline"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// newTestNode builds a node over a fresh pipeline with networking
+// stubbed out: gossip never fires on its own (1h interval) and every
+// dial fails, so tests drive the anti-entropy path by hand through
+// buildMsg/HandleGossip/absorb.
+func newTestNode(t *testing.T, self string, peers []string, incarnation uint64, now *atomic.Int64) (*Node, *pipeline.Pipeline) {
+	t.Helper()
+	p, err := pipeline.New(pipeline.Config{
+		Net: topology.NewTorus2D(8), Shards: 2, QueueLen: 1 << 12,
+		BlockThreshold: 1 << 30, BlockTTL: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(p, Config{
+		Self: self, Peers: peers,
+		GossipInterval: time.Hour, FailAfter: time.Second,
+		Incarnation:       incarnation,
+		MaxReplicasPerMsg: 64,
+		Dial:              func(string) (net.Conn, error) { return nil, errors.New("test: no network") },
+		Now:               now.Load,
+	})
+	if err != nil {
+		p.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		n.Close()
+		p.Close()
+	})
+	return n, p
+}
+
+// exchange performs one full anti-entropy round-trip: client sends its
+// request to server (which absorbs it) and absorbs the response — the
+// exact dance gossipWith/HandleGossip do over TCP.
+func exchange(t *testing.T, server, client *Node) {
+	t.Helper()
+	pr := client.peers[server.self]
+	if pr == nil {
+		t.Fatalf("client %s does not know server %s", client.cfg.Self, server.cfg.Self)
+	}
+	req := client.buildMsg(pr, nil)
+	respBody, err := server.HandleGossip(appendGossipMsg(nil, req))
+	if err != nil {
+		t.Fatalf("HandleGossip: %v", err)
+	}
+	resp, err := parseGossipMsg(respBody)
+	if err != nil {
+		t.Fatalf("parse response: %v", err)
+	}
+	client.absorb(resp)
+}
+
+func TestGossipCodecRoundTrip(t *testing.T) {
+	m := &gossipMsg{
+		Sender:  0xABCD,
+		RingVer: 7,
+		Digest:  []digestEntry{{Origin: 1, MaxSeq: 9}, {Origin: 2, MaxSeq: 3}},
+		Ops: []originOp{
+			{Origin: 1, Op: filter.Mutation{Seq: 8, Stamp: 11, Node: 3, Until: filter.Permanent}},
+			{Origin: 2, Op: filter.Mutation{Seq: 3, Stamp: 12, Node: 4, Until: 99, Unblock: true}},
+		},
+		Replicas: []pipeline.VictimSnapshot{{
+			Victim: 63, Alarmed: true, Undecodable: 5,
+			Sources: []pipeline.SourceCount{{Node: 1, Count: 100}, {Node: 9, Count: 7}},
+		}},
+	}
+	got, err := parseGossipMsg(appendGossipMsg(nil, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("round trip mangled:\n got %+v\nwant %+v", got, m)
+	}
+	for cut := 1; cut < 20; cut++ {
+		b := appendGossipMsg(nil, m)
+		if _, err := parseGossipMsg(b[:len(b)-cut]); err == nil {
+			t.Fatalf("truncation by %d bytes parsed", cut)
+		}
+	}
+	if _, err := parseGossipMsg(append(appendGossipMsg(nil, m), 0)); err == nil {
+		t.Fatal("trailing byte parsed")
+	}
+}
+
+// TestGossipBlocklistConvergence: mutations minted anywhere — including
+// on an instance that owns none of the affected traffic, the admin
+// /blocklist POST case — reach every instance, relayed through
+// intermediate peers.
+func TestGossipBlocklistConvergence(t *testing.T) {
+	var now atomic.Int64
+	addrs := []string{"10.0.0.1:1", "10.0.0.2:1", "10.0.0.3:1"}
+	a, pa := newTestNode(t, addrs[0], []string{addrs[1], addrs[2]}, 101, &now)
+	b, pb := newTestNode(t, addrs[1], []string{addrs[0], addrs[2]}, 102, &now)
+	c, pc := newTestNode(t, addrs[2], []string{addrs[0], addrs[1]}, 103, &now)
+
+	pa.Blocklist().Block(3)
+	pa.Blocklist().BlockUntil(5, 1000)
+	pb.Blocklist().Block(7) // minted on a different instance
+
+	// A↔B exchange: B pushes its op, A's response carries A's ops.
+	exchange(t, a, b)
+	// B↔C: C learns both A's and B's mutations purely by relay — it
+	// never talks to A.
+	exchange(t, b, c)
+
+	sa, sb, sc := pa.Blocklist().Snapshot(), pb.Blocklist().Snapshot(), pc.Blocklist().Snapshot()
+	if !reflect.DeepEqual(sa, sb) || !reflect.DeepEqual(sb, sc) {
+		t.Fatalf("blocklists diverge:\nA %+v\nB %+v\nC %+v", sa, sb, sc)
+	}
+	if !pc.Blocklist().BlockedAt(3, 0) || !pc.Blocklist().BlockedAt(7, 0) || !pc.Blocklist().BlockedAt(5, 500) {
+		t.Fatalf("relayed mutations missing on C: %+v", sc)
+	}
+
+	// A second exchange is a no-op: digests are equal, nothing re-sent.
+	pr := b.peers[a.self]
+	req := b.buildMsg(pr, nil)
+	if len(req.Ops) != 0 {
+		t.Fatalf("converged peer still pushes %d ops", len(req.Ops))
+	}
+
+	// An unblock minted later on C (the POST-to-any-instance fix) wins
+	// fleet-wide over the original block.
+	pc.Blocklist().Unblock(3)
+	exchange(t, c, b)
+	exchange(t, b, a)
+	if pa.Blocklist().BlockedAt(3, 0) {
+		t.Fatal("unblock minted on C did not reach A")
+	}
+	if !reflect.DeepEqual(pa.Blocklist().Snapshot(), pc.Blocklist().Snapshot()) {
+		t.Fatal("post-unblock divergence")
+	}
+}
+
+// TestRouteSplitsByOwnership: Route keeps owned records (processing
+// them locally) and queues the rest for their owners, consuming the
+// slab either way.
+func TestRouteSplitsByOwnership(t *testing.T) {
+	var now atomic.Int64
+	addrs := []string{"10.1.0.1:1", "10.1.0.2:1", "10.1.0.3:1"}
+	n, p := newTestNode(t, addrs[0], []string{addrs[1], addrs[2]}, 201, &now)
+
+	ring := n.Ring()
+	if ring.Size() != 3 {
+		t.Fatalf("ring size %d", ring.Size())
+	}
+	s := p.GetSlab()
+	wantLocal := 0
+	const total = 256
+	for i := 0; i < total; i++ {
+		v := topology.NodeID(i % 64)
+		s.Append(wire.Record{Victim: v, MF: uint16(i), Topo: p.TopoID()})
+		if ring.Owner(v) == n.self {
+			wantLocal++
+		}
+	}
+	if wantLocal == 0 || wantLocal == total {
+		t.Fatalf("degenerate split: %d/%d local", wantLocal, total)
+	}
+	accepted := n.Route(s)
+	if accepted != total {
+		t.Fatalf("Route accepted %d of %d (dropped %d)", accepted, total, n.forwardDropped.Load())
+	}
+	if got := n.forwardedOut.Load(); got != uint64(total-wantLocal) {
+		t.Fatalf("forwarded %d records, want %d", got, total-wantLocal)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for p.C.Processed.Load() < uint64(wantLocal) {
+		if time.Now().After(deadline) {
+			t.Fatalf("processed %d locally, want %d", p.C.Processed.Load(), wantLocal)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := p.C.Processed.Load(); got != uint64(wantLocal) {
+		t.Fatalf("processed %d locally, want exactly %d", got, wantLocal)
+	}
+}
+
+// TestReplicaSeedOnTakeover: a stored replica for a victim owned by a
+// peer is seeded into the local pipeline the moment the peer's death
+// rebuilds the ring with this instance as the owner.
+func TestReplicaSeedOnTakeover(t *testing.T) {
+	var now atomic.Int64
+	addrs := []string{"10.2.0.1:1", "10.2.0.2:1"}
+	n, p := newTestNode(t, addrs[0], []string{addrs[1]}, 301, &now)
+
+	peerID := MemberID(addrs[1])
+	ring := n.Ring()
+	victim := topology.NodeID(-1)
+	for v := topology.NodeID(0); v < 64; v++ {
+		if ring.Owner(v) == peerID {
+			victim = v
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("peer owns nothing")
+	}
+	snap := pipeline.VictimSnapshot{
+		Victim: victim, Alarmed: true, Undecodable: 2,
+		Sources: []pipeline.SourceCount{{Node: 4, Count: 50}, {Node: 11, Count: 9}},
+	}
+	n.mu.Lock()
+	n.storeReplicaLocked(ring, snap)
+	stored := len(n.replicas)
+	n.mu.Unlock()
+	if stored != 1 {
+		t.Fatalf("replica not stored (stored=%d)", stored)
+	}
+	if _, ok := p.ExportVictim(victim); ok {
+		t.Fatal("replica seeded while the peer still owns the victim")
+	}
+
+	// Silence past FailAfter: the peer dies, the ring rebuilds, and the
+	// stored replica seeds.
+	now.Store(int64(2 * time.Second))
+	n.recomputeMembership()
+	if got := n.Ring().Size(); got != 1 {
+		t.Fatalf("ring still has %d members after death", got)
+	}
+	if got := n.Ring().Version(); got != 2 {
+		t.Fatalf("ring version %d, want 2", got)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got, ok := p.ExportVictim(victim)
+		if ok && got.Identified() == 59 {
+			if got.Undecodable != 2 || !got.Alarmed {
+				t.Fatalf("seeded state mangled: %+v", got)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("seed never applied: %+v ok=%v", got, ok)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	n.mu.Lock()
+	left := len(n.replicas)
+	n.mu.Unlock()
+	if left != 0 {
+		t.Fatalf("%d replicas still stored after takeover", left)
+	}
+	if n.seedsApplied.Load() != 1 || n.takeovers.Load() != 1 {
+		t.Fatalf("seed counters: seeds=%d takeovers=%d", n.seedsApplied.Load(), n.takeovers.Load())
+	}
+}
+
+// TestReplicaShippedToSuccessor: buildMsg includes replicas only for
+// victims this instance owns whose ring successor is the receiving
+// peer — after feeding the pipeline some records for an owned victim.
+func TestReplicaShippedToSuccessor(t *testing.T) {
+	var now atomic.Int64
+	addrs := []string{"10.3.0.1:1", "10.3.0.2:1", "10.3.0.3:1"}
+	n, p := newTestNode(t, addrs[0], []string{addrs[1], addrs[2]}, 401, &now)
+
+	ring := n.Ring()
+	victim := topology.NodeID(-1)
+	for v := topology.NodeID(0); v < 64; v++ {
+		if ring.Owner(v) == n.self {
+			victim = v
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("self owns nothing")
+	}
+	s := p.GetSlab()
+	for i := 0; i < 10; i++ {
+		s.Append(wire.Record{Victim: victim, MF: uint16(i), Topo: p.TopoID()})
+	}
+	p.SubmitSlab(s)
+	deadline := time.Now().Add(5 * time.Second)
+	for p.C.Processed.Load() < 10 {
+		if time.Now().After(deadline) {
+			t.Fatal("records never processed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	succ := ring.Successor(victim)
+	for _, pr := range n.peerList {
+		m := n.buildMsg(pr, nil)
+		var found bool
+		for _, rep := range m.Replicas {
+			if rep.Victim == victim {
+				found = true
+			}
+		}
+		if pr.id == succ && !found {
+			t.Fatalf("successor %x got no replica of victim %d", pr.id, victim)
+		}
+		if pr.id != succ && found {
+			t.Fatalf("non-successor %x got a replica of victim %d", pr.id, victim)
+		}
+	}
+}

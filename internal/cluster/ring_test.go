@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func members(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = splitmix64(uint64(i + 1))
+	}
+	return out
+}
+
+// TestRingDeterministicAcrossOrderings: ownership is a pure function
+// of the member *set* — every permutation of the membership list must
+// produce identical routing, or instances would disagree about owners
+// and forward records in circles.
+func TestRingDeterministicAcrossOrderings(t *testing.T) {
+	ms := members(5)
+	a := NewRing(1, ms, 64)
+	perm := []uint64{ms[3], ms[0], ms[4], ms[2], ms[1]}
+	b := NewRing(9, perm, 64)
+	for v := topology.NodeID(0); v < 4096; v++ {
+		if a.Owner(v) != b.Owner(v) {
+			t.Fatalf("victim %d: owner %x vs %x across member orderings", v, a.Owner(v), b.Owner(v))
+		}
+		if a.Successor(v) != b.Successor(v) {
+			t.Fatalf("victim %d: successor differs across member orderings", v)
+		}
+	}
+	if a.Size() != 5 {
+		t.Fatalf("Size = %d, want 5", a.Size())
+	}
+}
+
+// TestRingRebalanceMovesAboutKOverN: removing one of N members must
+// move only the victims that member owned (~1/N of them) and not a
+// single victim owned by anyone else — the whole point of consistent
+// hashing over modulo assignment.
+func TestRingRebalanceMovesAboutKOverN(t *testing.T) {
+	const n, victims = 5, 10000
+	ms := members(n)
+	before := NewRing(1, ms, 64)
+	after := NewRing(2, ms[:n-1], 64)
+	moved := 0
+	for v := topology.NodeID(0); v < victims; v++ {
+		was, is := before.Owner(v), after.Owner(v)
+		if was == ms[n-1] {
+			moved++
+			continue
+		}
+		if was != is {
+			t.Fatalf("victim %d moved %x -> %x though its owner stayed alive", v, was, is)
+		}
+	}
+	frac := float64(moved) / victims
+	if frac < 0.10 || frac > 0.32 {
+		t.Fatalf("removing 1 of %d members moved %.1f%% of victims, want ~%.0f%%",
+			n, frac*100, 100.0/n)
+	}
+}
+
+// TestRingSuccessorTakeover is the handoff contract: for every victim,
+// the owner after a member's death is exactly the Successor the old
+// ring reported — so the instance that received the victim's replicas
+// is the instance that takes over.
+func TestRingSuccessorTakeover(t *testing.T) {
+	ms := members(4)
+	full := NewRing(1, ms, 64)
+	for _, dead := range ms {
+		var rest []uint64
+		for _, m := range ms {
+			if m != dead {
+				rest = append(rest, m)
+			}
+		}
+		shrunk := NewRing(2, rest, 64)
+		for v := topology.NodeID(0); v < 2048; v++ {
+			if full.Owner(v) != dead {
+				continue
+			}
+			if want, got := full.Successor(v), shrunk.Owner(v); got != want {
+				t.Fatalf("victim %d: old-ring successor %x but post-death owner %x", v, want, got)
+			}
+		}
+	}
+}
+
+// TestRingSpread: with virtual nodes, no member owns a wildly
+// disproportionate share.
+func TestRingSpread(t *testing.T) {
+	ms := members(3)
+	r := NewRing(1, ms, 64)
+	counts := map[uint64]int{}
+	const victims = 6000
+	for v := topology.NodeID(0); v < victims; v++ {
+		counts[r.Owner(v)]++
+	}
+	for m, c := range counts {
+		frac := float64(c) / victims
+		if frac < 0.15 || frac > 0.55 {
+			t.Errorf("member %x owns %.1f%% of victims (want roughly a third)", m, frac*100)
+		}
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d members own victims", len(counts))
+	}
+}
+
+func TestMemberID(t *testing.T) {
+	a, b := MemberID("127.0.0.1:7420"), MemberID("127.0.0.1:7430")
+	if a == 0 || b == 0 || a == b {
+		t.Fatalf("member ids degenerate: %x %x", a, b)
+	}
+	if a != MemberID("127.0.0.1:7420") {
+		t.Fatal("MemberID not stable")
+	}
+}
+
+// TestRingSingleMember: a lone instance owns everything and is its own
+// successor — cluster mode with no peers degenerates to single-instance.
+func TestRingSingleMember(t *testing.T) {
+	r := NewRing(1, []uint64{42}, 8)
+	for v := topology.NodeID(0); v < 64; v++ {
+		if r.Owner(v) != 42 || r.Successor(v) != 42 {
+			t.Fatal("single-member ring must own everything")
+		}
+	}
+}

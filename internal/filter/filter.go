@@ -69,6 +69,15 @@ type Blocklist struct {
 	blocked map[topology.NodeID]int64 // node -> expiry (Permanent = none)
 	size    atomic.Int64              // len(blocked), readable without the mutex
 
+	// Replication state (see sequence.go): every state-changing local
+	// mutation is sequenced, stamped and logged; remote mutations are
+	// resolved last-writer-wins by (stamp, origin).
+	origin uint64
+	seq    uint64
+	stamp  uint64
+	log    []Mutation
+	tags   map[topology.NodeID]lwwTag
+
 	accepted, dropped uint64
 }
 
@@ -109,6 +118,7 @@ func (b *Blocklist) BlockUntil(n topology.NodeID, until int64) {
 	if !ok {
 		b.size.Add(1)
 	}
+	b.record(n, until, false)
 }
 
 // Empty reports, without taking the mutex, whether the list has no
@@ -124,6 +134,7 @@ func (b *Blocklist) Unblock(n topology.NodeID) {
 	if _, ok := b.blocked[n]; ok {
 		delete(b.blocked, n)
 		b.size.Add(-1)
+		b.record(n, Permanent, true)
 	}
 }
 

@@ -1,0 +1,116 @@
+package filter
+
+// Sequenced blocklist mutations: the replication substrate for
+// clustered ddpmd. Every state-changing local mutation (auto-block,
+// operator POST, unblock) is assigned a per-list monotonic sequence
+// number and a Lamport stamp and appended to an in-memory log; the
+// cluster layer ships log suffixes to peers with anti-entropy gossip
+// and applies remote mutations through ApplyRemote, which resolves
+// conflicts last-writer-wins on the (stamp, origin) pair. Because each
+// remote mutation is applied at most once per list (the cluster layer
+// dedups on per-origin sequence numbers) and LWW application is
+// order-independent across origins, every instance's blocklist
+// converges to the same snapshot once gossip quiesces.
+//
+// TTL expiry is deliberately NOT sequenced: expiry instants are
+// absolute in the shared timebase, so every instance prunes the same
+// entries at the same clock reading without exchanging a byte.
+
+import "repro/internal/topology"
+
+// Mutation is one logged blocklist change. Seq is the list-local
+// monotonic sequence number (1-based, dense); Stamp is a Lamport stamp
+// merged across the fleet by ApplyRemote, so (Stamp, origin) totally
+// orders conflicting writes to the same node.
+type Mutation struct {
+	Seq     uint64
+	Stamp   uint64
+	Node    topology.NodeID
+	Until   int64
+	Unblock bool
+}
+
+// lwwTag records which write currently owns a node's blocklist entry.
+type lwwTag struct {
+	stamp  uint64
+	origin uint64
+}
+
+func (t lwwTag) before(stamp, origin uint64) bool {
+	return t.stamp < stamp || (t.stamp == stamp && t.origin < origin)
+}
+
+// SetOrigin names this list's instance for LWW tie-breaking; the
+// cluster layer sets it once at startup, before any traffic. Zero (the
+// default) is fine for single-instance daemons, which never receive
+// remote mutations.
+func (b *Blocklist) SetOrigin(origin uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.origin = origin
+}
+
+// Seq returns the sequence number of the latest local mutation — the
+// digest value gossip advertises for this instance's own log.
+func (b *Blocklist) Seq() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.seq
+}
+
+// MutationsAfter appends to dst every logged local mutation with
+// Seq > after, in sequence order — the anti-entropy delta for a peer
+// whose digest says it has this list's log through `after`.
+func (b *Blocklist) MutationsAfter(after uint64, dst []Mutation) []Mutation {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if after >= b.seq {
+		return dst
+	}
+	return append(dst, b.log[after:]...)
+}
+
+// record logs one state-changing local mutation. Caller holds b.mu.
+func (b *Blocklist) record(n topology.NodeID, until int64, unblock bool) {
+	b.seq++
+	b.stamp++
+	b.log = append(b.log, Mutation{Seq: b.seq, Stamp: b.stamp, Node: n, Until: until, Unblock: unblock})
+	if b.tags == nil {
+		b.tags = make(map[topology.NodeID]lwwTag)
+	}
+	b.tags[n] = lwwTag{stamp: b.stamp, origin: b.origin}
+}
+
+// ApplyRemote applies one gossiped mutation minted by another
+// instance. Unlike the local mutators it is unconditional modulo LWW:
+// whatever (stamp, origin) pair most recently wrote the node wins,
+// regardless of arrival order, and no local log entry is appended (the
+// cluster layer relays remote logs itself, so re-logging would loop).
+// It reports whether the mutation took effect.
+func (b *Blocklist) ApplyRemote(m Mutation, origin uint64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if m.Stamp > b.stamp {
+		b.stamp = m.Stamp // Lamport merge: local mutations stay ahead
+	}
+	if tag, ok := b.tags[m.Node]; ok && !tag.before(m.Stamp, origin) {
+		return false
+	}
+	if b.tags == nil {
+		b.tags = make(map[topology.NodeID]lwwTag)
+	}
+	b.tags[m.Node] = lwwTag{stamp: m.Stamp, origin: origin}
+	_, present := b.blocked[m.Node]
+	if m.Unblock {
+		if present {
+			delete(b.blocked, m.Node)
+			b.size.Add(-1)
+		}
+		return true
+	}
+	b.blocked[m.Node] = m.Until
+	if !present {
+		b.size.Add(1)
+	}
+	return true
+}

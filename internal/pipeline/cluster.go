@@ -1,0 +1,137 @@
+package pipeline
+
+// Cluster hook: the seam between the single-instance daemon and the
+// internal/cluster scale-out tier, kept as an interface so the
+// pipeline package never imports cluster (which imports pipeline).
+// When ServerConfig.NewCluster is set, Start builds the node right
+// after the pipeline and routes every ingest slab through it; the node
+// decides per record whether this instance owns the victim (submit
+// locally) or a peer does (re-export over a forwarding session).
+//
+// Victim-state handoff rides the same shard queues as records:
+// SeedVictim enqueues a replica snapshot to the owning shard, so the
+// merge happens on the worker goroutine that owns the victim map —
+// single-writer discipline is preserved and a seed enqueued before a
+// record batch is applied before it.
+
+import (
+	"io"
+
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// ClusterNode is what the daemon needs from a cluster tier.
+type ClusterNode interface {
+	// Route takes ownership of a filled slab (the SubmitSlab contract):
+	// records owned locally are submitted to the pipeline, foreign ones
+	// are queued for forwarding. Returns how many records were accepted
+	// locally or queued for a peer.
+	Route(s *wire.Slab) int
+
+	// NoteForwardedIn accounts records that arrived on a forwarding
+	// session from the named origin instance (post-dedup).
+	NoteForwardedIn(origin uint64, accepted int)
+
+	// HandleGossip processes one anti-entropy request body and returns
+	// the response body (both inner gossip payloads, already unframed).
+	HandleGossip(req []byte) ([]byte, error)
+
+	// StatusJSON is the /cluster admin document.
+	StatusJSON() any
+
+	// WriteMetrics appends the node's Prometheus series to /metrics.
+	WriteMetrics(w io.Writer)
+
+	// Close stops gossip and flushes the forwarding queues.
+	Close()
+}
+
+// VictimSnapshot is one victim's replicable identification state: the
+// per-source tallies plus the alarm latch, everything a successor
+// needs so blocking thresholds continue rather than restart. Detector
+// windows are deliberately not carried — they are sliding-window state
+// over recent arrivals, and the alarm latch is what gates blocking.
+type VictimSnapshot struct {
+	Victim      topology.NodeID
+	Alarmed     bool
+	Undecodable int64
+	Sources     []SourceCount
+}
+
+// Identified sums the snapshot's per-source tallies.
+func (vs *VictimSnapshot) Identified() int64 {
+	var n int64
+	for _, sc := range vs.Sources {
+		n += sc.Count
+	}
+	return n
+}
+
+// NumNodes reports the configured fabric's node count (victim and
+// source ids are dense below it) — the cluster tier's validity bound.
+func (p *Pipeline) NumNodes() int { return p.cfg.Net.NumNodes() }
+
+// ExportVictim snapshots one victim's replicable state; ok is false
+// when the pipeline holds no state for it.
+func (p *Pipeline) ExportVictim(v topology.NodeID) (snap VictimSnapshot, ok bool) {
+	st := p.state(v)
+	if st == nil {
+		return VictimSnapshot{}, false
+	}
+	snap.Victim = v
+	snap.Alarmed = st.alarmed.Load()
+	id := st.ident.Lock()
+	snap.Undecodable = id.Undecodable()
+	id.EachSource(func(src topology.NodeID, count int64) {
+		snap.Sources = append(snap.Sources, SourceCount{Node: int64(src), Count: count})
+	})
+	st.ident.Unlock()
+	return snap, true
+}
+
+// SeedVictim merges a replica snapshot into the owning shard's victim
+// state, creating it if absent. The merge is additive, which is exact
+// when ownership transfers are exclusive: the replica covers records
+// the dead owner processed, the live state covers records processed
+// here after takeover, and the two sets are disjoint. The seed travels
+// through the shard queue, so it orders before any record batch
+// submitted after it. Returns false when the pipeline is closed or the
+// victim is out of range.
+func (p *Pipeline) SeedVictim(snap VictimSnapshot) bool {
+	if snap.Victim < 0 || int(snap.Victim) >= p.cfg.Net.NumNodes() {
+		return false
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return false
+	}
+	p.shards[int(snap.Victim)%len(p.shards)].ch <- batch{seed: &snap}
+	return true
+}
+
+// applySeed runs on the shard worker goroutine (see run).
+func (p *Pipeline) applySeed(s *shard, snap *VictimSnapshot) {
+	st := s.victims[snap.Victim]
+	if st == nil {
+		var err error
+		if st, err = p.newVictimState(snap.Victim); err != nil {
+			return // unbuildable scheme; nothing to seed into
+		}
+		s.mu.Lock()
+		s.victims[snap.Victim] = st
+		s.mu.Unlock()
+	}
+	id := st.ident.Lock()
+	for _, sc := range snap.Sources {
+		id.AddTally(topology.NodeID(sc.Node), sc.Count)
+	}
+	id.AddUndecodable(snap.Undecodable)
+	st.ident.Unlock()
+	if snap.Alarmed {
+		// Inherit the latch without counting a fresh alarm: the dead
+		// owner already counted (and journaled) this attack.
+		st.alarmed.Store(true)
+	}
+}

@@ -266,11 +266,14 @@ type job struct {
 // batch is one shard-queue element: a [start, end) view into a
 // partitioned slab (records contiguous and victim-grouped) plus the
 // Submit-entry wall clock. The receiving worker owns one slab
-// reference and releases it when done.
+// reference and releases it when done. A batch with seed set instead
+// carries a cluster victim-state replica to merge (see SeedVictim);
+// its slab is nil.
 type batch struct {
 	slab       *wire.Slab
 	start, end int32
 	t0         int64
+	seed       *VictimSnapshot
 }
 
 type shard struct {
@@ -571,6 +574,10 @@ func (p *Pipeline) Close() {
 func (p *Pipeline) run(s *shard, si int) {
 	defer p.wg.Done()
 	for b := range s.ch {
+		if b.seed != nil {
+			p.applySeed(s, b.seed)
+			continue
+		}
 		p.processBatch(s, si, b)
 		b.slab.Release()
 		if s.pendProcessed >= flushEvery || len(s.ch) == 0 {

@@ -44,6 +44,15 @@ type ServerConfig struct {
 	// admin plane. Opt-in: profiling endpoints expose heap contents,
 	// so they stay off unless the operator asks.
 	EnablePprof bool
+
+	// NewCluster, when set, builds the cluster tier right after the
+	// pipeline; every ingest slab is then routed through it (owned
+	// records processed here, foreign ones forwarded to their owner),
+	// forwarding sessions are accepted, gossip is answered, and
+	// /cluster plus the cluster metrics appear on the admin plane. Nil
+	// keeps the single-instance hot path: ingest submits straight to
+	// the pipeline with no ownership check.
+	NewCluster func(*Pipeline) (ClusterNode, error)
 }
 
 // session is the server half of a wire exporter session: the cumulative
@@ -59,9 +68,10 @@ type session struct {
 // Daemon is the running ddpmd service: ingest listeners feeding a
 // Pipeline plus the HTTP admin plane.
 type Daemon struct {
-	cfg   ServerConfig
-	p     *Pipeline
-	start time.Time
+	cfg     ServerConfig
+	p       *Pipeline
+	cluster ClusterNode // nil when cluster mode is off
+	start   time.Time
 
 	tcpLn   net.Listener
 	udpConn net.PacketConn
@@ -110,8 +120,16 @@ func Start(cfg ServerConfig) (*Daemon, error) {
 	}
 	fail := func(err error) (*Daemon, error) {
 		d.closeListeners()
+		if d.cluster != nil {
+			d.cluster.Close()
+		}
 		p.Close()
 		return nil, err
+	}
+	if cfg.NewCluster != nil {
+		if d.cluster, err = cfg.NewCluster(p); err != nil {
+			return fail(fmt.Errorf("pipeline: cluster: %w", err))
+		}
 	}
 	if cfg.TCPAddr != "" {
 		if d.tcpLn, err = net.Listen("tcp", cfg.TCPAddr); err != nil {
@@ -136,6 +154,7 @@ func Start(cfg ServerConfig) (*Daemon, error) {
 		mux.HandleFunc("/metrics", d.handleMetrics)
 		mux.HandleFunc("/blocklist", d.handleBlocklist)
 		mux.HandleFunc("/victims", d.handleVictims)
+		mux.HandleFunc("/cluster", d.handleCluster)
 		mux.HandleFunc("/debug/traces", d.handleTraces)
 		if cfg.EnablePprof {
 			mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -183,6 +202,20 @@ func (d *Daemon) Errors() <-chan error { return d.errCh }
 
 // Pipeline exposes the underlying pipeline (tests, embedding).
 func (d *Daemon) Pipeline() *Pipeline { return d.p }
+
+// Cluster exposes the cluster tier (nil when cluster mode is off).
+func (d *Daemon) Cluster() ClusterNode { return d.cluster }
+
+// submit is the ingest sink: cluster mode routes by victim ownership,
+// single-instance mode submits straight to the pipeline. Consumes the
+// slab reference either way.
+func (d *Daemon) submit(s *wire.Slab) {
+	if d.cluster != nil {
+		d.cluster.Route(s)
+		return
+	}
+	d.p.SubmitSlab(s)
+}
 
 // DecodeErrors reports wire-level decode failures across listeners:
 // rejected datagrams, per-frame failures that killed a strict stream,
@@ -237,6 +270,12 @@ func (d *Daemon) Shutdown(ctx context.Context) error {
 	d.ingestersWG.Wait()
 	if d.udpConn != nil {
 		d.udpConn.Close()
+	}
+	if d.cluster != nil {
+		// After ingest stops and before the pipeline closes: the node
+		// flushes its forward queues (which submit nothing locally) and
+		// stops gossiping.
+		d.cluster.Close()
 	}
 	d.p.Close() // drain shard queues
 	var jerr error
@@ -340,7 +379,51 @@ func (d *Daemon) serveConn(conn net.Conn) {
 		d.serveSession(conn, r, payload)
 		return
 	}
+	if ftype == wire.TypeGossip {
+		d.serveGossip(conn, r, payload)
+		return
+	}
 	d.servePlain(conn, r, ftype, payload)
+}
+
+// serveGossip answers cluster anti-entropy rounds: one TypeGossip
+// request in, one TypeGossip response out, repeated until the peer
+// hangs up. Without a cluster tier the frame is a protocol violation.
+func (d *Daemon) serveGossip(conn net.Conn, r *wire.Reader, payload []byte) {
+	if d.cluster == nil {
+		d.decodeErrs.Add(1)
+		return
+	}
+	var scratch []byte
+	for {
+		body, err := wire.ParseGossip(payload)
+		if err != nil {
+			d.decodeErrs.Add(1)
+			return
+		}
+		resp, err := d.cluster.HandleGossip(body)
+		if err != nil {
+			d.decodeErrs.Add(1)
+			return
+		}
+		if t := d.cfg.IdleTimeout; t > 0 {
+			conn.SetWriteDeadline(time.Now().Add(t))
+		}
+		scratch = wire.AppendGossip(scratch[:0], resp)
+		if _, err := conn.Write(scratch); err != nil {
+			return
+		}
+		d.armDeadline(conn)
+		var ftype uint8
+		if ftype, payload, err = r.ReadFrame(); err != nil {
+			d.noteReadErr(err)
+			return
+		}
+		if ftype != wire.TypeGossip {
+			d.decodeErrs.Add(1)
+			return
+		}
+	}
 }
 
 // servePlain consumes a legacy stream with resync enabled: a framing
@@ -380,7 +463,7 @@ func (d *Daemon) servePlain(conn net.Conn, r *wire.Reader, ftype uint8, payload 
 				d.decodeErrs.Add(1)
 				s.Release()
 			} else {
-				d.p.SubmitSlab(s)
+				d.submit(s)
 			}
 		}
 		d.armDeadline(conn)
@@ -424,10 +507,17 @@ func (d *Daemon) serveSession(conn net.Conn, r *wire.Reader, helloPayload []byte
 		d.decodeErrs.Add(1)
 		return
 	}
-	// Echo back the extensions this server honors: just the trace flag
-	// today. A client whose flag is not echoed falls back to plain
-	// sealed frames.
-	ackFlags := flags & wire.HelloFlagTrace
+	// Echo back the extensions this server honors: the trace flag, plus
+	// the forward flag when a cluster tier is running. A client whose
+	// trace flag is not echoed falls back to plain sealed frames; a
+	// forwarding client with an unechoed flag fails the connection
+	// (forwarded records must never be silently flattened into plain
+	// ingest on a non-cluster daemon — they would be re-routed and loop).
+	flagMask := uint32(wire.HelloFlagTrace)
+	if d.cluster != nil {
+		flagMask |= wire.HelloFlagForward
+	}
+	ackFlags := flags & flagMask
 	sess := d.session(streamID)
 	var scratch []byte
 	if !d.ackHello(conn, sess, base, &scratch, ackFlags) {
@@ -435,10 +525,13 @@ func (d *Daemon) serveSession(conn net.Conn, r *wire.Reader, helloPayload []byte
 	}
 	// submitSlab dedups one sealed batch against the session count and
 	// feeds the unseen suffix to the pipeline as a single slab; shared
-	// by the plain and traced sealed paths. Consumes the slab reference.
-	// The session count advances by the full batch regardless of what
-	// the pipeline sheds downstream — delivery is what the ack attests.
-	submitSlab := func(seq uint64, s *wire.Slab) (uint64, bool) {
+	// by the plain, traced and forwarded sealed paths. Consumes the slab
+	// reference. The session count advances by the full batch regardless
+	// of what the pipeline sheds downstream — delivery is what the ack
+	// attests. direct bypasses cluster routing: forwarded-in records are
+	// always processed locally (the sender already resolved ownership),
+	// which is what makes forwarding loop-free.
+	submitSlab := func(seq uint64, s *wire.Slab, direct bool) (count, fresh uint64, ok bool) {
 		sess.mu.Lock()
 		if seq > sess.count {
 			sess.mu.Unlock()
@@ -446,20 +539,25 @@ func (d *Daemon) serveSession(conn net.Conn, r *wire.Reader, helloPayload []byte
 			d.decodeErrs.Add(1)
 			// Gap before the accepted count: protocol violation.
 			d.journalStream(EventSessionLoss, streamID, "sequence gap")
-			return 0, false
+			return 0, 0, false
 		}
 		n := uint64(s.Len())
 		if skip := sess.count - seq; skip < n {
 			s.DropFront(int(skip))
-			d.sessionRecs.Add(n - skip)
+			fresh = n - skip
+			d.sessionRecs.Add(fresh)
 			sess.count = seq + n
-			d.p.SubmitSlab(s)
+			if direct {
+				d.p.SubmitSlab(s)
+			} else {
+				d.submit(s)
+			}
 		} else {
 			s.Release() // entire batch already accepted: pure retransmit
 		}
 		c := sess.count
 		sess.mu.Unlock()
-		return c, true
+		return c, fresh, true
 	}
 	for {
 		d.armDeadline(conn)
@@ -479,7 +577,7 @@ func (d *Daemon) serveSession(conn net.Conn, r *wire.Reader, helloPayload []byte
 				d.journalStream(EventSessionLoss, streamID, "sealed frame rejected")
 				return
 			}
-			c, ok := submitSlab(seq, s)
+			c, _, ok := submitSlab(seq, s, false)
 			if !ok || !d.writeAck(conn, &scratch, c, ackFlags) {
 				return
 			}
@@ -492,8 +590,30 @@ func (d *Daemon) serveSession(conn net.Conn, r *wire.Reader, helloPayload []byte
 				d.journalStream(EventSessionLoss, streamID, "traced sealed frame rejected")
 				return
 			}
-			c, ok := submitSlab(seq, s)
+			c, _, ok := submitSlab(seq, s, false)
 			if !ok || !d.writeAck(conn, &scratch, c, ackFlags) {
+				return
+			}
+		case wire.TypeForwarded:
+			if d.cluster == nil {
+				d.decodeErrs.Add(1)
+				d.journalStream(EventSessionLoss, streamID, "forwarded frame without cluster tier")
+				return
+			}
+			s := d.p.GetSlab()
+			origin, seq, err := s.AppendForwardedPayload(payload)
+			if err != nil {
+				s.Release()
+				d.decodeErrs.Add(1)
+				d.journalStream(EventSessionLoss, streamID, "forwarded frame rejected")
+				return
+			}
+			c, fresh, ok := submitSlab(seq, s, true)
+			if !ok {
+				return
+			}
+			d.cluster.NoteForwardedIn(origin, int(fresh))
+			if !d.writeAck(conn, &scratch, c, ackFlags) {
 				return
 			}
 		case wire.TypeHello:
@@ -504,7 +624,7 @@ func (d *Daemon) serveSession(conn net.Conn, r *wire.Reader, helloPayload []byte
 				d.journalStream(EventSessionLoss, streamID, "re-hello rejected")
 				return
 			}
-			ackFlags = f & wire.HelloFlagTrace
+			ackFlags = f & flagMask
 			if !d.ackHello(conn, sess, b, &scratch, ackFlags) {
 				return
 			}
@@ -573,7 +693,7 @@ func (d *Daemon) udpLoop() {
 				d.decodeErrs.Add(1)
 				break
 			}
-			d.p.SubmitSlab(s)
+			d.submit(s)
 			rest = rest[consumed:]
 		}
 	}
@@ -616,6 +736,25 @@ func (d *Daemon) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	fmt.Fprintf(w, "# HELP ddpmd_draining whether shutdown drain has begun\n"+
 		"# TYPE ddpmd_draining gauge\nddpmd_draining %d\n", draining)
+	if d.cluster != nil {
+		d.cluster.WriteMetrics(w)
+	}
+}
+
+// handleCluster reports the cluster tier's status document (ring
+// version, members, forwarding/gossip counters). 404 when the daemon
+// runs single-instance.
+func (d *Daemon) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if d.cluster == nil {
+		http.Error(w, "cluster mode off", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(d.cluster.StatusJSON())
 }
 
 // handleVictims reports per-victim pipeline state as JSON, sorted by

@@ -88,6 +88,37 @@ func (d *DDPMIdentifier) ObserveMF(mf uint16) (topology.NodeID, bool) {
 func (d *DDPMIdentifier) Observed() int64    { return d.observed }
 func (d *DDPMIdentifier) Undecodable() int64 { return d.undec }
 
+// AddTally merges n prior identifications of src into the tally — the
+// victim-state handoff path when a clustered daemon inherits a victim
+// from a dead peer: the replica's counts seed the successor's
+// identifier so blocking thresholds pick up where the owner left off.
+// Out-of-range sources and non-positive counts are ignored.
+func (d *DDPMIdentifier) AddTally(src topology.NodeID, n int64) {
+	if n <= 0 || src < 0 || int(src) >= len(d.tally) {
+		return
+	}
+	d.tally[src] += n
+	d.observed += n
+}
+
+// AddUndecodable merges n prior decode rejects (handoff sibling of
+// AddTally).
+func (d *DDPMIdentifier) AddUndecodable(n int64) {
+	if n > 0 {
+		d.undec += n
+	}
+}
+
+// EachSource calls fn for every source with a nonzero tally, ascending
+// by node id — the export side of victim-state replication.
+func (d *DDPMIdentifier) EachSource(fn func(src topology.NodeID, count int64)) {
+	for n, c := range d.tally {
+		if c != 0 {
+			fn(topology.NodeID(n), c)
+		}
+	}
+}
+
 // Count returns the tally for one source node.
 func (d *DDPMIdentifier) Count(src topology.NodeID) int64 {
 	if src < 0 || int(src) >= len(d.tally) {

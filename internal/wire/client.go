@@ -109,6 +109,15 @@ type ClientConfig struct {
 	// NowNano supplies trace send timestamps; defaults to
 	// time.Now().UnixNano(). Tests inject a fake clock.
 	NowNano func() int64
+
+	// ForwardOrigin, when non-zero, makes this a cluster forwarding
+	// client: records ship as TypeForwarded frames stamped with this
+	// origin-instance id, and the session hello carries
+	// HelloFlagForward. A server that does not echo the flag (cluster
+	// mode off) fails the connection — forwarded records must never be
+	// silently tallied as first-hand ingest. Mutually exclusive with
+	// Trace: forwarded frames carry no trace contexts.
+	ForwardOrigin uint64
 }
 
 func (c *ClientConfig) applyDefaults() {
@@ -167,6 +176,15 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.Trace && cfg.MaxBatch > MaxTracedPerSealed {
 		return nil, fmt.Errorf("wire: traced MaxBatch %d exceeds the %d traced records one sealed frame can carry",
 			cfg.MaxBatch, MaxTracedPerSealed)
+	}
+	if cfg.ForwardOrigin != 0 {
+		if cfg.Trace {
+			return nil, errors.New("wire: ForwardOrigin and Trace are mutually exclusive")
+		}
+		if cfg.MaxBatch > MaxRecordsPerForwarded {
+			return nil, fmt.Errorf("wire: forwarding MaxBatch %d exceeds the %d records one forwarded frame can carry",
+				cfg.MaxBatch, MaxRecordsPerForwarded)
+		}
 	}
 	cfg.applyDefaults()
 	return &Client{
@@ -351,6 +369,9 @@ func (c *Client) connect() error {
 	if c.cfg.Trace {
 		flags = HelloFlagTrace
 	}
+	if c.cfg.ForwardOrigin != 0 {
+		flags |= HelloFlagForward
+	}
 	c.scratch = AppendHelloFlags(c.scratch[:0], c.streamID, c.base, flags)
 	if _, err := c.bw.Write(c.scratch); err != nil {
 		c.disconnect()
@@ -369,6 +390,13 @@ func (c *Client) connect() error {
 	// server's legacy ack (flags 0) downgrades this connection to plain
 	// sealed frames, shedding contexts but never records.
 	c.traceOK = c.cfg.Trace && ackFlags&HelloFlagTrace != 0
+	// Forwarding has no downgrade: a server that won't take forwarded
+	// frames (cluster mode off) must not receive these records at all,
+	// so refusal is a connection failure the backoff loop retries.
+	if c.cfg.ForwardOrigin != 0 && ackFlags&HelloFlagForward == 0 {
+		c.disconnect()
+		return errors.New("wire: server refused forwarding (no HelloFlagForward in ack)")
+	}
 	if err := c.advance(acked); err != nil {
 		c.disconnect()
 		return err
@@ -389,9 +417,16 @@ func (c *Client) shipAndAwait() error {
 		n := min(c.cfg.MaxBatch, len(c.buf)-c.next)
 		seq := c.base + uint64(c.next)
 		batch := c.buf[c.next : c.next+n]
-		if c.traceOK {
+		switch {
+		case c.traceOK:
 			c.scratch = AppendTracedSealed(c.scratch[:0], seq, batch)
-		} else {
+		case c.cfg.ForwardOrigin != 0:
+			c.plain = c.plain[:0]
+			for _, tr := range batch {
+				c.plain = append(c.plain, tr.Record)
+			}
+			c.scratch = AppendForwarded(c.scratch[:0], c.cfg.ForwardOrigin, seq, c.plain)
+		default:
 			c.plain = c.plain[:0]
 			for _, tr := range batch {
 				c.plain = append(c.plain, tr.Record)

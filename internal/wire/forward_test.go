@@ -1,0 +1,248 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/eventq"
+	"repro/internal/packet"
+)
+
+func fwdTestRecords(n int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{
+			T:      eventq.Time(123 + i),
+			Topo:   0xAB12CD34,
+			Victim: 7,
+			MF:     uint16(i * 37),
+			Src:    packet.Addr(0x0A000001 + i),
+			Proto:  6,
+		}
+	}
+	return recs
+}
+
+func TestForwardedRoundTrip(t *testing.T) {
+	recs := fwdTestRecords(5)
+	b := AppendForwarded(nil, 0xFEEDFACE, 42, recs)
+
+	ftype, n, err := checkHeader(b)
+	if err != nil {
+		t.Fatalf("checkHeader: %v", err)
+	}
+	if ftype != TypeForwarded {
+		t.Fatalf("frame type = %d, want %d", ftype, TypeForwarded)
+	}
+	origin, seq, out, err := ParseForwarded(b[HeaderSize:HeaderSize+n], nil)
+	if err != nil {
+		t.Fatalf("ParseForwarded: %v", err)
+	}
+	if origin != 0xFEEDFACE || seq != 42 {
+		t.Fatalf("origin/seq = %#x/%d, want 0xfeedface/42", origin, seq)
+	}
+	if len(out) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(out), len(recs))
+	}
+	for i := range recs {
+		if out[i] != recs[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, out[i], recs[i])
+		}
+	}
+}
+
+func TestForwardedCorruptionDetected(t *testing.T) {
+	b := AppendForwarded(nil, 1, 0, fwdTestRecords(3))
+	b[HeaderSize+20] ^= 0xFF
+	if _, _, _, err := ParseForwarded(b[HeaderSize:], nil); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("corrupted forwarded frame parsed: err = %v", err)
+	}
+}
+
+func TestForwardedSlabDecode(t *testing.T) {
+	recs := fwdTestRecords(9)
+	b := AppendForwarded(nil, 77, 13, recs)
+
+	pool := NewSlabPool(1)
+	s := pool.Get()
+	defer s.Release()
+	origin, seq, err := s.AppendForwardedPayload(b[HeaderSize:])
+	if err != nil {
+		t.Fatalf("AppendForwardedPayload: %v", err)
+	}
+	if origin != 77 || seq != 13 {
+		t.Fatalf("origin/seq = %d/%d, want 77/13", origin, seq)
+	}
+	if len(s.Recs) != len(recs) {
+		t.Fatalf("slab holds %d records, want %d", len(s.Recs), len(recs))
+	}
+}
+
+func TestForwardedReaderUnwraps(t *testing.T) {
+	recs := fwdTestRecords(4)
+	b := AppendForwarded(nil, 5, 0, recs)
+	r := NewReader(bytes.NewReader(b))
+	for i := range recs {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("Next %d: %v", i, err)
+		}
+		if got != recs[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got, recs[i])
+		}
+	}
+}
+
+func TestGossipRoundTrip(t *testing.T) {
+	body := []byte("anti-entropy delta payload")
+	b := AppendGossip(nil, body)
+
+	ftype, n, err := checkHeader(b)
+	if err != nil {
+		t.Fatalf("checkHeader: %v", err)
+	}
+	if ftype != TypeGossip {
+		t.Fatalf("frame type = %d, want %d", ftype, TypeGossip)
+	}
+	got, err := ParseGossip(b[HeaderSize : HeaderSize+n])
+	if err != nil {
+		t.Fatalf("ParseGossip: %v", err)
+	}
+	if !bytes.Equal(got, body) {
+		t.Fatalf("body = %q, want %q", got, body)
+	}
+
+	// Empty bodies are legal (pure heartbeat).
+	if got, err := ParseGossip(AppendGossip(nil, nil)[HeaderSize:]); err != nil || len(got) != 0 {
+		t.Fatalf("empty gossip: body %q, err %v", got, err)
+	}
+}
+
+func TestGossipCorruptionDetected(t *testing.T) {
+	b := AppendGossip(nil, []byte{1, 2, 3, 4})
+	b[HeaderSize+1] ^= 0x80
+	if _, err := ParseGossip(b[HeaderSize:]); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("corrupted gossip frame parsed: err = %v", err)
+	}
+}
+
+// TestForwardClientNegotiation covers both server answers to a
+// forwarding hello: an echoing server takes TypeForwarded frames, a
+// refusing one fails the connection instead of silently accepting the
+// records as first-hand ingest.
+func TestForwardClientNegotiation(t *testing.T) {
+	type result struct {
+		origins []uint64
+		recs    []Record
+	}
+	serve := func(t *testing.T, echo bool) (addr string, done <-chan result) {
+		t.Helper()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		ch := make(chan result, 1)
+		go func() {
+			defer ln.Close()
+			var res result
+			conn, err := ln.Accept()
+			if err != nil {
+				ch <- res
+				return
+			}
+			defer conn.Close()
+			rd := NewReader(conn)
+			var accepted uint64
+			for {
+				ftype, payload, err := rd.ReadFrame()
+				if err != nil {
+					ch <- res
+					return
+				}
+				switch ftype {
+				case TypeHello:
+					_, _, flags, err := ParseHelloFlags(payload)
+					if err != nil {
+						ch <- res
+						return
+					}
+					var ack uint32
+					if echo {
+						ack = flags & HelloFlagForward
+					}
+					conn.Write(AppendAckFlags(nil, accepted, ack))
+				case TypeForwarded:
+					origin, _, recs, err := ParseForwarded(payload, nil)
+					if err != nil {
+						ch <- res
+						return
+					}
+					res.origins = append(res.origins, origin)
+					res.recs = append(res.recs, recs...)
+					accepted += uint64(len(recs))
+					conn.Write(AppendAck(nil, accepted))
+				}
+			}
+		}()
+		return ln.Addr().String(), ch
+	}
+
+	t.Run("echoed", func(t *testing.T) {
+		addr, done := serve(t, true)
+		c, err := NewClient(ClientConfig{Addr: addr, ForwardOrigin: 0xABCD, MaxAttempts: 3})
+		if err != nil {
+			t.Fatalf("NewClient: %v", err)
+		}
+		recs := fwdTestRecords(6)
+		if err := c.Send(recs); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+		if err := c.Flush(); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+		c.Close()
+		res := <-done
+		if len(res.recs) != len(recs) {
+			t.Fatalf("server saw %d records, want %d", len(res.recs), len(recs))
+		}
+		for _, o := range res.origins {
+			if o != 0xABCD {
+				t.Fatalf("origin %#x, want 0xabcd", o)
+			}
+		}
+	})
+
+	t.Run("refused", func(t *testing.T) {
+		addr, done := serve(t, false)
+		c, err := NewClient(ClientConfig{
+			Addr: addr, ForwardOrigin: 0xABCD,
+			MaxAttempts: 2, Sleep: func(time.Duration) {},
+		})
+		if err != nil {
+			t.Fatalf("NewClient: %v", err)
+		}
+		if err := c.Send(fwdTestRecords(2)); err != nil {
+			t.Fatalf("Send should buffer without error, got %v", err)
+		}
+		if err := c.Flush(); err == nil {
+			t.Fatal("Flush succeeded against a refusing server")
+		}
+		if got := c.Delivered(); got != 0 {
+			t.Fatalf("Delivered = %d, want 0", got)
+		}
+		c.Close()
+		res := <-done
+		if len(res.recs) != 0 {
+			t.Fatalf("refusing server still got %d records", len(res.recs))
+		}
+	})
+}
+
+func TestForwardOriginTraceExclusive(t *testing.T) {
+	if _, err := NewClient(ClientConfig{ForwardOrigin: 1, Trace: true}); err == nil {
+		t.Fatal("NewClient accepted ForwardOrigin+Trace")
+	}
+}

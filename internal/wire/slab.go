@@ -208,6 +208,23 @@ func (s *Slab) AppendSealedPayload(payload []byte) (seq uint64, err error) {
 	return binary.BigEndian.Uint64(body[0:8]), s.appendPlain(body[8:])
 }
 
+// AppendForwardedPayload verifies and decodes a TypeForwarded payload
+// into the slab, returning the relaying instance's origin id and the
+// batch's cumulative sequence number in the forward stream.
+func (s *Slab) AppendForwardedPayload(payload []byte) (origin, seq uint64, err error) {
+	if len(payload) < ForwardedOverhead || (len(payload)-ForwardedOverhead)%RecordSize != 0 {
+		return 0, 0, fmt.Errorf("%w: forwarded payload %d bytes", ErrBadFrame, len(payload))
+	}
+	if (len(payload)-ForwardedOverhead)/RecordSize > s.Free() {
+		return 0, 0, ErrSlabFull
+	}
+	body, tail := payload[:len(payload)-4], payload[len(payload)-4:]
+	if got := binary.BigEndian.Uint32(tail); got != crc32.ChecksumIEEE(body) {
+		return 0, 0, fmt.Errorf("%w: forwarded crc mismatch", ErrBadFrame)
+	}
+	return binary.BigEndian.Uint64(body[0:8]), binary.BigEndian.Uint64(body[8:16]), s.appendPlain(body[16:])
+}
+
 // AppendTracedSealedPayload verifies and decodes a TypeTracedSealed
 // payload into the slab, keeping contexts and returning the sequence.
 func (s *Slab) AppendTracedSealedPayload(payload []byte) (seq uint64, err error) {

@@ -324,6 +324,14 @@ func checkHeader(b []byte) (ftype uint8, n int, err error) {
 		if n < SealedOverhead || (n-SealedOverhead)%TracedRecordSize != 0 {
 			return 0, 0, fmt.Errorf("%w: traced sealed length %d", ErrBadFrame, n)
 		}
+	case TypeForwarded:
+		if n < ForwardedOverhead || (n-ForwardedOverhead)%RecordSize != 0 {
+			return 0, 0, fmt.Errorf("%w: forwarded length %d", ErrBadFrame, n)
+		}
+	case TypeGossip:
+		if n < GossipOverhead {
+			return 0, 0, fmt.Errorf("%w: gossip length %d", ErrBadFrame, n)
+		}
 	default:
 		return 0, 0, fmt.Errorf("%w: unknown frame type %d", ErrBadFrame, b[3])
 	}
@@ -555,8 +563,15 @@ func (r *Reader) NextTraced() (TracedRecord, error) {
 			if _, r.pending, err = ParseTracedSealed(payload, r.pending); err != nil {
 				return TracedRecord{}, err
 			}
-		case TypeHello, TypeAck:
-			// control frames carry no records
+		case TypeForwarded:
+			if _, _, r.recs, err = ParseForwarded(payload, r.recs[:0]); err != nil {
+				return TracedRecord{}, err
+			}
+			for _, rec := range r.recs {
+				r.pending = append(r.pending, TracedRecord{Record: rec})
+			}
+		case TypeHello, TypeAck, TypeGossip:
+			// control and gossip frames carry no records
 		}
 	}
 	tr := r.pending[r.pendIdx]
