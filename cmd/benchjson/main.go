@@ -317,6 +317,16 @@ func checkPipeline(baselinePath string, tolerance float64) error {
 		return fmt.Errorf("PipelineThroughput regressed %.1f%% (tolerance %.0f%%): %.0f < %.0f records/sec",
 			100*(1-ratio), 100*tolerance, got, want)
 	}
+	// The sparse-victim run gates on its invariants (bounded state,
+	// exactness, flat memory), not on rate — those break functionally,
+	// not by degrees.
+	fmt.Fprintln(os.Stderr, "benchjson: running PipelineSparseVictims invariants ...")
+	run, err := runSparseOnce()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: PipelineSparseVictims %.0f records/sec, heap delta %d KB\n",
+		float64(run.ingested)/run.elapsed.Seconds(), run.heapDelta>>10)
 	return nil
 }
 
@@ -368,6 +378,15 @@ func main() {
 	fmt.Fprintln(os.Stderr, "benchjson: running PipelineThroughput ...")
 	pt := testing.Benchmark(benchPipeline)
 	rep.Results = append(rep.Results, record("PipelineThroughput", pt, "records/sec"))
+
+	fmt.Fprintln(os.Stderr, "benchjson: running PipelineSparseVictims ...")
+	var sparseErr error
+	sv := testing.Benchmark(benchSparseVictims(&sparseErr))
+	if sparseErr != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", sparseErr)
+		os.Exit(1)
+	}
+	rep.Results = append(rep.Results, record("PipelineSparseVictims", sv, "records/sec"))
 
 	// Ingest batch-size sweep: 1 (per-record Submit discipline), 16
 	// (small UDP datagrams), 150 (traced sealed frames), 1024 (exporter

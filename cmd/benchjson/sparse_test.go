@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+// TestSparseInvariants runs the full sparse-victim workload once and
+// lets runSparseOnce's own assertions gate: bounded victim state under
+// a 2^20-id destination scan, suppression accounting, identification
+// exactness against the offline identifier, zero drops, flat memory.
+func TestSparseInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-record workload")
+	}
+	run, err := runSparseOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sparse: %d ingested, %d processed in %v (heap delta %d KB)",
+		run.ingested, run.processed, run.elapsed, run.heapDelta>>10)
+}

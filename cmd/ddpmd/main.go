@@ -89,7 +89,9 @@ func serve(args []string) {
 		entWin   = fs.Int64("entropy-window", 500, "entropy window in ticks (-1 disables)")
 		entDelta = fs.Float64("entropy-delta", 1.5, "entropy alarm delta in bits")
 		blockN   = fs.Int64("block-threshold", 100, "identifications before auto-block")
-		blockTTL = fs.Duration("block-ttl", time.Minute, "auto-block TTL (0 = permanent)")
+		blockTTL = fs.Duration("block-ttl", time.Minute, "auto-block TTL (0 or negative = permanent)")
+		admitN   = fs.Int("sketch-admit", 64, "records from a destination before exact victim state materializes (1 = first record, negative disables the gate)")
+		vicTTL   = fs.Duration("victim-ttl", 10*time.Minute, "sweep idle victim state back to sketch-only after this (0 disables)")
 		grace    = fs.Duration("drain-grace", 250*time.Millisecond, "per-connection drain grace")
 		idle     = fs.Duration("idle-timeout", 2*time.Minute, "shed TCP peers idle this long (negative disables)")
 		replay   = fs.String("replay", "", "replay a JSONL record/trace file instead of exiting on idle")
@@ -149,7 +151,8 @@ func serve(args []string) {
 			Net: net2, Shards: *shards, QueueLen: *queue,
 			CUSUMWindow: eventq.Time(*cusumWin), CUSUMSlack: *cusumK, CUSUMThreshold: *cusumH,
 			EntropyWindow: eventq.Time(*entWin), EntropyDelta: *entDelta,
-			BlockThreshold: *blockN, BlockTTL: *blockTTL,
+			BlockThreshold: *blockN, BlockTTL: effectiveBlockTTL(*blockTTL),
+			SketchAdmit: *admitN, VictimTTL: *vicTTL,
 			Journal:     j,
 			TraceBuffer: *trBuf, TraceSampleN: *trSample, TraceSlowThreshold: *trSlow,
 		},
@@ -395,6 +398,18 @@ func runLoadgen(args []string) {
 			}
 		}
 	}
+}
+
+// effectiveBlockTTL maps the user-facing -block-ttl convention (0 or
+// negative = permanent) onto pipeline.Config.BlockTTL, where zero means
+// "use the default" and only a negative value means permanent. Without
+// this translation a `-block-ttl 0` would silently become the 60s
+// default — the opposite of what the flag promised.
+func effectiveBlockTTL(d time.Duration) time.Duration {
+	if d <= 0 {
+		return -1
+	}
+	return d
 }
 
 func buildNet(kind, dims string) (topology.Network, error) {

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestEffectiveBlockTTL: the serve flag promises "0 or negative =
+// permanent", but pipeline.Config treats 0 as "use the 60s default" —
+// the CLI must translate, or -block-ttl 0 silently means one minute.
+// (pipeline's TestBlockTTLPermanentNegative covers the other side: a
+// negative BlockTTL survives applyDefaults and blocks permanently.)
+func TestEffectiveBlockTTL(t *testing.T) {
+	cases := []struct {
+		in, want time.Duration
+	}{
+		{0, -1},
+		{-time.Second, -1},
+		{time.Minute, time.Minute},
+		{5 * time.Second, 5 * time.Second},
+	}
+	for _, c := range cases {
+		if got := effectiveBlockTTL(c.in); got != c.want {
+			t.Errorf("effectiveBlockTTL(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

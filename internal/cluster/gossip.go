@@ -23,10 +23,15 @@ import (
 //	[1:9)  sender   uint64  member id of the sending instance
 //	[9:17) ringVer  uint64  sender's local ring version (observability)
 //	nDigest uint16, then per entry: origin(8) maxSeq(8)
-//	nOps    uint16, then per op:    origin(8) seq(8) stamp(8) node(8) until(8) flags(1)
+//	nOps    uint16, then per op:    origin(8) seq(8) stamp(8) node(8) until(8) victim(8) flags(1)
 //	nReps   uint16, then per replica:
-//	        victim(8) alarmed(1) undecodable(8) nSources(4),
+//	        victim(8) flags(1: bit0 alarmed, bit1 expired) undecodable(8) nSources(4),
 //	        then per source: node(8) count(8)
+//
+// Replicas with the expired flag are tombstones: the final snapshot of
+// a victim whose owner's TTL sweep retired it, shipped so the backup
+// drops its stored replica instead of re-seeding a detector the owner
+// deliberately let go.
 type gossipMsg struct {
 	Sender   uint64
 	RingVer  uint64
@@ -53,7 +58,7 @@ const (
 	gossipVersion   = 1
 	gossipFixedSize = 1 + 8 + 8
 	digestEntrySize = 16
-	opSize          = 41
+	opSize          = 49
 	replicaFixed    = 8 + 1 + 8 + 4
 	sourceSize      = 16
 )
@@ -78,6 +83,7 @@ func appendGossipMsg(b []byte, m *gossipMsg) []byte {
 		b = binary.BigEndian.AppendUint64(b, o.Op.Stamp)
 		b = binary.BigEndian.AppendUint64(b, uint64(int64(o.Op.Node)))
 		b = binary.BigEndian.AppendUint64(b, uint64(o.Op.Until))
+		b = binary.BigEndian.AppendUint64(b, uint64(int64(o.Op.Victim)))
 		var flags byte
 		if o.Op.Unblock {
 			flags = 1
@@ -91,6 +97,9 @@ func appendGossipMsg(b []byte, m *gossipMsg) []byte {
 		var fl byte
 		if r.Alarmed {
 			fl = 1
+		}
+		if r.Expired {
+			fl |= 2
 		}
 		b = append(b, fl)
 		b = binary.BigEndian.AppendUint64(b, uint64(r.Undecodable))
@@ -155,7 +164,8 @@ func parseGossipMsg(b []byte) (*gossipMsg, error) {
 				Stamp:   binary.BigEndian.Uint64(e[16:24]),
 				Node:    topology.NodeID(int64(binary.BigEndian.Uint64(e[24:32]))),
 				Until:   int64(binary.BigEndian.Uint64(e[32:40])),
-				Unblock: e[40]&1 != 0,
+				Victim:  topology.NodeID(int64(binary.BigEndian.Uint64(e[40:48]))),
+				Unblock: e[48]&1 != 0,
 			},
 		})
 	}
@@ -171,6 +181,7 @@ func parseGossipMsg(b []byte) (*gossipMsg, error) {
 		snap := pipeline.VictimSnapshot{
 			Victim:      topology.NodeID(int64(binary.BigEndian.Uint64(e[0:8]))),
 			Alarmed:     e[8]&1 != 0,
+			Expired:     e[8]&2 != 0,
 			Undecodable: int64(binary.BigEndian.Uint64(e[9:17])),
 		}
 		ns := int(binary.BigEndian.Uint32(e[17:21]))

@@ -112,6 +112,7 @@ type peer struct {
 
 	digest        map[uint64]uint64 // mutations the peer is known to hold
 	replicaCursor int               // round-robin start into owned victims
+	pendingTombs  []topology.NodeID // tombstones attached to the in-flight client request
 
 	conn net.Conn // gossip conn, gossip-loop goroutine only
 	rd   *wire.Reader
@@ -135,7 +136,8 @@ type Node struct {
 	peerList    []*peer          // stable, sorted by id
 	remoteLogs  map[uint64][]filter.Mutation
 	replicas    map[topology.NodeID]pipeline.VictimSnapshot
-	seeded      map[topology.NodeID]bool // seeded this ownership epoch
+	seeded      map[topology.NodeID]bool                    // seeded this ownership epoch
+	retired     map[topology.NodeID]pipeline.VictimSnapshot // TTL-swept victims' tombstones awaiting gossip
 
 	forwardedOut   atomic.Uint64
 	forwardedIn    atomic.Uint64
@@ -169,6 +171,7 @@ func New(p *pipeline.Pipeline, cfg Config) (*Node, error) {
 		remoteLogs: make(map[uint64][]filter.Mutation),
 		replicas:   make(map[topology.NodeID]pipeline.VictimSnapshot),
 		seeded:     make(map[topology.NodeID]bool),
+		retired:    make(map[topology.NodeID]pipeline.VictimSnapshot),
 		stop:       make(chan struct{}),
 	}
 	n.incarnation = cfg.Incarnation
@@ -203,6 +206,7 @@ func New(p *pipeline.Pipeline, cfg Config) (*Node, error) {
 	n.ringVersion = 1
 	n.ring.Store(NewRing(1, members, cfg.VNodes))
 	n.bl.SetOrigin(n.incarnation)
+	p.SetVictimExpiredHook(n.noteRetired)
 	for _, pr := range n.peerList {
 		n.wg.Add(1)
 		go n.forward(pr)
@@ -451,7 +455,32 @@ func (n *Node) gossipWith(pr *peer) error {
 		return fail(err)
 	}
 	n.absorb(resp)
+	// A complete exchange confirms the peer absorbed our request,
+	// including any tombstones it carried; stop re-shipping those.
+	n.mu.Lock()
+	for _, v := range pr.pendingTombs {
+		delete(n.retired, v)
+	}
+	pr.pendingTombs = pr.pendingTombs[:0]
+	n.mu.Unlock()
 	return nil
+}
+
+// noteRetired files a TTL-swept victim's final snapshot as a tombstone
+// to gossip to its ring successor, so the backup drops its stored
+// replica instead of resurrecting the retired detector on a later
+// takeover. Runs on a pipeline shard worker with no pipeline locks
+// held (the pipeline's victim-expired hook).
+func (n *Node) noteRetired(snap pipeline.VictimSnapshot) {
+	if !snap.Expired || len(n.peerList) == 0 {
+		return
+	}
+	n.mu.Lock()
+	n.retired[snap.Victim] = snap
+	// Expiry ends this victim's ownership epoch: a future takeover (or
+	// a fresh replica while we still own it) may seed it again.
+	delete(n.seeded, snap.Victim)
+	n.mu.Unlock()
 }
 
 // HandleGossip answers one inbound anti-entropy request (the server
@@ -519,8 +548,38 @@ func (n *Node) buildMsg(pr *peer, reqDigest []digestEntry) *gossipMsg {
 	}
 	if pr != nil {
 		n.appendReplicasLocked(pr, m, &budget)
+		if reqDigest == nil {
+			// Client side only: the response read-back confirms delivery,
+			// which is what lets a shipped tombstone be forgotten.
+			n.appendTombstonesLocked(pr, m, &budget)
+		}
 	}
 	return m
+}
+
+// appendTombstonesLocked attaches retired-victim tombstones bound for
+// pr — the victims' ring successor, the instance holding their backup
+// replicas — and records which shipped so the completed exchange can
+// clear them (see gossipWith). Caller holds n.mu.
+func (n *Node) appendTombstonesLocked(pr *peer, m *gossipMsg, budget *gossipBudget) {
+	pr.pendingTombs = pr.pendingTombs[:0]
+	if len(n.retired) == 0 {
+		return
+	}
+	ring := n.ring.Load()
+	if ring.Size() <= 1 {
+		return
+	}
+	for v, snap := range n.retired {
+		if ring.Successor(v) != pr.id {
+			continue
+		}
+		if !budget.fitsReplica(&snap) {
+			break
+		}
+		m.Replicas = append(m.Replicas, snap)
+		pr.pendingTombs = append(pr.pendingTombs, v)
+	}
 }
 
 // appendReplicasLocked ships victim-state replicas to pr: snapshots of
@@ -608,10 +667,22 @@ func (n *Node) applyOpLocked(op originOp) {
 // the pipeline immediately — at most once per ownership epoch, since a
 // replica is a cumulative snapshot and seeding is additive. Otherwise
 // it is stored, newest-by-volume wins, until a membership change makes
-// us the owner. Caller holds n.mu.
+// us the owner.
+//
+// An Expired replica is a tombstone: the owner's TTL sweep retired the
+// victim. It replaces whatever replica is stored (so a takeover never
+// resurrects the retired detector), and is never seeded; a later fresh
+// replica replaces the tombstone, since only a live owner ships those.
+// Caller holds n.mu.
 func (n *Node) storeReplicaLocked(ring *Ring, snap pipeline.VictimSnapshot) {
 	v := snap.Victim
 	if ring.Owner(v) == n.self {
+		if snap.Expired {
+			// The previous owner retired this victim before handing it
+			// over; drop the stored replica rather than seeding it.
+			delete(n.replicas, v)
+			return
+		}
 		if !n.seeded[v] && n.p.SeedVictim(snap) {
 			n.seeded[v] = true
 			n.seedsApplied.Add(1)
@@ -619,8 +690,12 @@ func (n *Node) storeReplicaLocked(ring *Ring, snap pipeline.VictimSnapshot) {
 		delete(n.replicas, v)
 		return
 	}
+	if snap.Expired {
+		n.replicas[v] = snap
+		return
+	}
 	total := snap.Identified() + snap.Undecodable
-	if old, ok := n.replicas[v]; ok && old.Identified()+old.Undecodable > total {
+	if old, ok := n.replicas[v]; ok && !old.Expired && old.Identified()+old.Undecodable > total {
 		return // keep the fuller snapshot
 	}
 	n.replicas[v] = snap
@@ -664,7 +739,9 @@ func (n *Node) recomputeMembership() {
 		if ring.Owner(v) != n.self {
 			continue
 		}
-		if !n.seeded[v] && n.p.SeedVictim(snap) {
+		// Tombstones are dropped, never seeded: the dead owner had
+		// already retired this victim's detectors.
+		if !snap.Expired && !n.seeded[v] && n.p.SeedVictim(snap) {
 			n.seeded[v] = true
 			n.seedsApplied.Add(1)
 			seeds++
@@ -701,6 +778,7 @@ type Status struct {
 	SeedsApplied   uint64         `json:"seeds_applied"`
 	Takeovers      uint64         `json:"takeovers"`
 	StoredReplicas int            `json:"stored_replicas"`
+	RetiredTombs   int            `json:"retired_tombstones"`
 	OwnedVictims   int            `json:"owned_victims"`
 }
 
@@ -755,6 +833,7 @@ func (n *Node) StatusJSON() any {
 	}
 	n.mu.Lock()
 	st.StoredReplicas = len(n.replicas)
+	st.RetiredTombs = len(n.retired)
 	n.mu.Unlock()
 	for _, v := range n.p.Victims() {
 		if ring.Owner(v) == n.self {

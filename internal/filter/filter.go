@@ -43,11 +43,22 @@ func (v Verdict) String() string {
 // Permanent is the expiry value of a block with no TTL.
 const Permanent int64 = 0
 
-// BlockEntry is one blocklist row: a node and the caller-timebase
-// instant its block lapses (Permanent for no expiry).
+// BlockEntry is one blocklist row: a node, the caller-timebase
+// instant its block lapses (Permanent for no expiry), and the victim
+// whose identification evidence caused the block (topology.None when
+// unknown — operator-inserted or pre-victim-tracking entries), so
+// audit consumers can correlate a block's expiry with the original
+// source_blocked event.
 type BlockEntry struct {
-	Node  topology.NodeID
-	Until int64
+	Node   topology.NodeID
+	Until  int64
+	Victim topology.NodeID
+}
+
+// blockVal is the map payload behind one blocked node.
+type blockVal struct {
+	until  int64
+	victim topology.NodeID
 }
 
 // Blocklist drops packets whose marking-identified source node is
@@ -66,8 +77,8 @@ type Blocklist struct {
 	victim topology.NodeID
 
 	mu      sync.Mutex
-	blocked map[topology.NodeID]int64 // node -> expiry (Permanent = none)
-	size    atomic.Int64              // len(blocked), readable without the mutex
+	blocked map[topology.NodeID]blockVal // node -> expiry + blocking victim
+	size    atomic.Int64                 // len(blocked), readable without the mutex
 
 	// Replication state (see sequence.go): every state-changing local
 	// mutation is sequenced, stamped and logged; remote mutations are
@@ -84,14 +95,14 @@ type Blocklist struct {
 // NewBlocklist builds an empty blocklist for a victim using DDPM
 // identification.
 func NewBlocklist(ddpm *marking.DDPM, victim topology.NodeID) *Blocklist {
-	return &Blocklist{ddpm: ddpm, victim: victim, blocked: make(map[topology.NodeID]int64)}
+	return &Blocklist{ddpm: ddpm, victim: victim, blocked: make(map[topology.NodeID]blockVal)}
 }
 
 // NewTTLBlocklist builds a blocklist with no identification scheme for
 // pipelines that attribute packets upstream and consult the list by
 // node (BlockedAt); Check on it fails open.
 func NewTTLBlocklist() *Blocklist {
-	return &Blocklist{victim: topology.None, blocked: make(map[topology.NodeID]int64)}
+	return &Blocklist{victim: topology.None, blocked: make(map[topology.NodeID]blockVal)}
 }
 
 // Block adds a node with no expiry; BlockAll adds many (e.g. from
@@ -108,17 +119,24 @@ func (b *Blocklist) BlockAll(ns []topology.NodeID) {
 // the caller's timebase. A permanent block always wins over a TTL; a
 // later expiry extends an earlier one.
 func (b *Blocklist) BlockUntil(n topology.NodeID, until int64) {
+	b.BlockUntilFor(n, until, topology.None)
+}
+
+// BlockUntilFor is BlockUntil with attribution: victim names the node
+// whose identification evidence caused the block, carried on the entry
+// (and through replication) so expiry audit events can reference it.
+func (b *Blocklist) BlockUntilFor(n topology.NodeID, until int64, victim topology.NodeID) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	old, ok := b.blocked[n]
-	if ok && (old == Permanent || (until != Permanent && old >= until)) {
+	if ok && (old.until == Permanent || (until != Permanent && old.until >= until)) {
 		return
 	}
-	b.blocked[n] = until
+	b.blocked[n] = blockVal{until: until, victim: victim}
 	if !ok {
 		b.size.Add(1)
 	}
-	b.record(n, until, false)
+	b.record(n, until, victim, false)
 }
 
 // Empty reports, without taking the mutex, whether the list has no
@@ -134,7 +152,7 @@ func (b *Blocklist) Unblock(n topology.NodeID) {
 	if _, ok := b.blocked[n]; ok {
 		delete(b.blocked, n)
 		b.size.Add(-1)
-		b.record(n, Permanent, true)
+		b.record(n, Permanent, topology.None, true)
 	}
 }
 
@@ -159,11 +177,11 @@ func (b *Blocklist) Expire(now int64) int {
 func (b *Blocklist) ExpireEntries(now int64) []BlockEntry {
 	b.mu.Lock()
 	var lapsed []BlockEntry
-	for n, until := range b.blocked {
-		if until != Permanent && until <= now {
+	for n, v := range b.blocked {
+		if v.until != Permanent && v.until <= now {
 			delete(b.blocked, n)
 			b.size.Add(-1)
-			lapsed = append(lapsed, BlockEntry{Node: n, Until: until})
+			lapsed = append(lapsed, BlockEntry{Node: n, Until: v.until, Victim: v.victim})
 		}
 	}
 	b.mu.Unlock()
@@ -177,16 +195,16 @@ func (b *Blocklist) ExpireEntries(now int64) []BlockEntry {
 func (b *Blocklist) BlockedAt(n topology.NodeID, now int64) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	until, ok := b.blocked[n]
-	return ok && (until == Permanent || until > now)
+	v, ok := b.blocked[n]
+	return ok && (v.until == Permanent || v.until > now)
 }
 
 // Snapshot returns the current entries sorted by node id.
 func (b *Blocklist) Snapshot() []BlockEntry {
 	b.mu.Lock()
 	out := make([]BlockEntry, 0, len(b.blocked))
-	for n, until := range b.blocked {
-		out = append(out, BlockEntry{Node: n, Until: until})
+	for n, v := range b.blocked {
+		out = append(out, BlockEntry{Node: n, Until: v.until, Victim: v.victim})
 	}
 	b.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })

@@ -27,6 +27,7 @@ type Mutation struct {
 	Stamp   uint64
 	Node    topology.NodeID
 	Until   int64
+	Victim  topology.NodeID // blocking victim (topology.None when unknown)
 	Unblock bool
 }
 
@@ -71,10 +72,10 @@ func (b *Blocklist) MutationsAfter(after uint64, dst []Mutation) []Mutation {
 }
 
 // record logs one state-changing local mutation. Caller holds b.mu.
-func (b *Blocklist) record(n topology.NodeID, until int64, unblock bool) {
+func (b *Blocklist) record(n topology.NodeID, until int64, victim topology.NodeID, unblock bool) {
 	b.seq++
 	b.stamp++
-	b.log = append(b.log, Mutation{Seq: b.seq, Stamp: b.stamp, Node: n, Until: until, Unblock: unblock})
+	b.log = append(b.log, Mutation{Seq: b.seq, Stamp: b.stamp, Node: n, Until: until, Victim: victim, Unblock: unblock})
 	if b.tags == nil {
 		b.tags = make(map[topology.NodeID]lwwTag)
 	}
@@ -108,7 +109,7 @@ func (b *Blocklist) ApplyRemote(m Mutation, origin uint64) bool {
 		}
 		return true
 	}
-	b.blocked[m.Node] = m.Until
+	b.blocked[m.Node] = blockVal{until: m.Until, victim: m.Victim}
 	if !present {
 		b.size.Add(1)
 	}

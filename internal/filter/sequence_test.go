@@ -22,9 +22,9 @@ func TestBlocklistMutationLog(t *testing.T) {
 	}
 	log := b.MutationsAfter(0, nil)
 	want := []Mutation{
-		{Seq: 1, Stamp: 1, Node: 3, Until: Permanent},
-		{Seq: 2, Stamp: 2, Node: 4, Until: 100},
-		{Seq: 3, Stamp: 3, Node: 3, Until: Permanent, Unblock: true},
+		{Seq: 1, Stamp: 1, Node: 3, Until: Permanent, Victim: topology.None},
+		{Seq: 2, Stamp: 2, Node: 4, Until: 100, Victim: topology.None},
+		{Seq: 3, Stamp: 3, Node: 3, Until: Permanent, Victim: topology.None, Unblock: true},
 	}
 	if !reflect.DeepEqual(log, want) {
 		t.Fatalf("log = %+v, want %+v", log, want)

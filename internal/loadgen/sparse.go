@@ -1,0 +1,166 @@
+package loadgen
+
+import (
+	"fmt"
+
+	"repro/internal/eventq"
+	"repro/internal/marking"
+	"repro/internal/packet"
+	"repro/internal/rng"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// SparseScenario parameterizes a destination-scan workload: a handful
+// of genuinely attacked victims receiving real marked traffic, buried
+// in a scan that touches a huge number of distinct destination ids
+// exactly once. It is the adversarial shape for per-victim state — a
+// daemon that materializes detectors per destination seen would build
+// one for every scanned id — and the proving ground for the sketch
+// admission gate, which must keep exact state bounded by the attacked
+// set without losing identification on it.
+type SparseScenario struct {
+	Net     topology.Network  // required
+	Victims []topology.NodeID // attacked victims (default: 8 spread over the fabric)
+
+	// PerVictim is how many marked records each attacked victim
+	// receives (default 64) from Sources distinct zombies (default 4).
+	PerVictim int
+	Sources   int
+
+	// ScanIDs is the number of distinct destination ids scanned, 0
+	// inclusive (default 1<<20). Ids beyond the fabric are validation
+	// rejects; in-fabric ids exercise the admission gate.
+	ScanIDs int
+
+	Seed uint64
+}
+
+// SparseResult is the generated workload plus ground truth.
+type SparseResult struct {
+	// Prelude carries the attacked victims' marked records, interleaved
+	// round-robin across victims — every MF is the true displacement a
+	// marked packet from its zombie would accumulate.
+	Prelude []wire.Record
+	// Scan holds one record per scanned destination id, skipping the
+	// attacked victims (their traffic is the prelude).
+	Scan []wire.Record
+
+	Victims []topology.NodeID
+	// Truth maps each attacked victim to its per-source record counts.
+	Truth map[topology.NodeID]map[topology.NodeID]int64
+
+	TopoID uint32
+	// InFabricScan counts scan records whose destination is a real node
+	// (the rest fail victim validation at submit).
+	InFabricScan int
+}
+
+// GenerateSparse synthesizes the scenario. Records are built directly
+// from the marking scheme's codec — no simulator run — so million-id
+// scans are cheap and the prelude MFs are exactly what an intact DDPM
+// walk would deliver.
+func GenerateSparse(s SparseScenario) (*SparseResult, error) {
+	if s.Net == nil {
+		return nil, fmt.Errorf("loadgen: sparse scenario needs a network")
+	}
+	scheme, err := marking.NewDDPM(s.Net)
+	if err != nil {
+		return nil, err
+	}
+	nodes := s.Net.NumNodes()
+	if len(s.Victims) == 0 {
+		for i := 0; i < 8; i++ {
+			s.Victims = append(s.Victims, topology.NodeID(i*nodes/8))
+		}
+	}
+	if s.PerVictim <= 0 {
+		s.PerVictim = 64
+	}
+	if s.Sources <= 0 {
+		s.Sources = 4
+	}
+	if s.ScanIDs <= 0 {
+		s.ScanIDs = 1 << 20
+	}
+
+	attacked := make(map[topology.NodeID]bool, len(s.Victims))
+	for _, v := range s.Victims {
+		if int(v) >= nodes || v < 0 {
+			return nil, fmt.Errorf("loadgen: victim %d outside %s", v, s.Net.Name())
+		}
+		attacked[v] = true
+	}
+
+	res := &SparseResult{
+		Victims: s.Victims,
+		Truth:   make(map[topology.NodeID]map[topology.NodeID]int64, len(s.Victims)),
+		TopoID:  wire.TopoID(s.Net.Name()),
+	}
+	stream := rng.NewStream(s.Seed + 1)
+
+	// Per-victim zombie sets and their encoded MFs.
+	dims := s.Net.Dims()
+	mfs := make([][]uint16, len(s.Victims))
+	for i, v := range s.Victims {
+		res.Truth[v] = make(map[topology.NodeID]int64, s.Sources)
+		seen := map[topology.NodeID]bool{v: true}
+		for len(mfs[i]) < s.Sources {
+			src := topology.NodeID(stream.Intn(nodes))
+			if seen[src] {
+				continue
+			}
+			seen[src] = true
+			sc, dc := s.Net.CoordOf(src), s.Net.CoordOf(v)
+			vec := make(topology.Vector, len(sc))
+			for j := range vec {
+				vec[j] = dc[j] - sc[j]
+				if dims[j] == 2 {
+					// Binary dimension (hypercube): the walk accumulates
+					// mod 2 — the codec wants the XOR displacement.
+					vec[j] = ((vec[j] % 2) + 2) % 2
+				}
+			}
+			mf, err := scheme.Codec().Encode(vec)
+			if err != nil {
+				return nil, err
+			}
+			mfs[i] = append(mfs[i], mf)
+			res.Truth[v][src] = int64(s.PerVictim / s.Sources)
+			if rem := s.PerVictim % s.Sources; len(mfs[i]) <= rem {
+				res.Truth[v][src]++
+			}
+		}
+	}
+	// Interleave victims round-robin so admission thresholds are crossed
+	// under realistic mixing, not one victim at a time.
+	res.Prelude = make([]wire.Record, 0, len(s.Victims)*s.PerVictim)
+	for k := 0; k < s.PerVictim; k++ {
+		for i, v := range s.Victims {
+			res.Prelude = append(res.Prelude, wire.Record{
+				T: eventq.Time(len(res.Prelude)), Topo: res.TopoID, Victim: v,
+				MF: mfs[i][k%len(mfs[i])], Src: packet.Addr(uint32(k)), Proto: packet.ProtoTCPSYN,
+			})
+		}
+	}
+
+	// The scan: every destination id once. The MF is junk — these
+	// records must die before decode, in validation or the sketch.
+	res.Scan = make([]wire.Record, 0, s.ScanIDs-len(s.Victims))
+	t := eventq.Time(len(res.Prelude))
+	for id := 0; id < s.ScanIDs; id++ {
+		v := topology.NodeID(id)
+		if attacked[v] {
+			continue
+		}
+		if id < nodes {
+			res.InFabricScan++
+		}
+		res.Scan = append(res.Scan, wire.Record{
+			T: t, Topo: res.TopoID, Victim: v,
+			MF: uint16(id), Src: packet.Addr(uint32(id)), Proto: packet.ProtoUDP,
+		})
+		t++
+	}
+	return res, nil
+}

@@ -1,0 +1,76 @@
+package loadgen
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/marking"
+	"repro/internal/topology"
+	"repro/internal/traceback"
+)
+
+// TestGenerateSparseDeterministicAndDecodable: same seed, same stream;
+// the prelude MFs decode offline to exactly the ground-truth tallies;
+// the scan covers every non-attacked id once with the in-fabric count
+// right.
+func TestGenerateSparseDeterministicAndDecodable(t *testing.T) {
+	net := topology.NewHypercube(10) // 1024 nodes, keeps the test fast
+	sc := SparseScenario{Net: net, PerVictim: 10, Sources: 3, ScanIDs: 2048, Seed: 42}
+	a, err := GenerateSparse(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateSparse(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different workloads")
+	}
+
+	if len(a.Victims) != 8 || len(a.Prelude) != 8*10 {
+		t.Fatalf("prelude shape: %d victims, %d records", len(a.Victims), len(a.Prelude))
+	}
+	if want := 1024 - 8; a.InFabricScan != want {
+		t.Fatalf("in-fabric scan = %d, want %d", a.InFabricScan, want)
+	}
+	if want := 2048 - 8; len(a.Scan) != want {
+		t.Fatalf("scan records = %d, want %d", len(a.Scan), want)
+	}
+	seen := map[topology.NodeID]bool{}
+	for _, rec := range a.Scan {
+		if seen[rec.Victim] {
+			t.Fatalf("scan id %d repeated", rec.Victim)
+		}
+		seen[rec.Victim] = true
+		if a.Truth[rec.Victim] != nil {
+			t.Fatalf("scan touched attacked victim %d", rec.Victim)
+		}
+	}
+
+	scheme, err := marking.NewDDPM(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range a.Victims {
+		ident := traceback.NewDDPMIdentifier(scheme, v)
+		n := 0
+		for _, rec := range a.Prelude {
+			if rec.Victim == v {
+				ident.ObserveMF(rec.MF)
+				n++
+			}
+		}
+		if n != 10 {
+			t.Fatalf("victim %d got %d prelude records, want 10", v, n)
+		}
+		if ident.Undecodable() != 0 {
+			t.Fatalf("victim %d: %d prelude MFs undecodable", v, ident.Undecodable())
+		}
+		got := map[topology.NodeID]int64{}
+		ident.EachSource(func(src topology.NodeID, count int64) { got[src] = count })
+		if !reflect.DeepEqual(got, a.Truth[v]) {
+			t.Fatalf("victim %d tallies %v, truth %v", v, got, a.Truth[v])
+		}
+	}
+}

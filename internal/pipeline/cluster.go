@@ -52,9 +52,14 @@ type ClusterNode interface {
 // needs so blocking thresholds continue rather than restart. Detector
 // windows are deliberately not carried — they are sliding-window state
 // over recent arrivals, and the alarm latch is what gates blocking.
+//
+// Expired marks the final snapshot of a victim the TTL sweep retired:
+// gossiped as a tombstone so replicas on other instances drop their
+// copy instead of re-seeding a detector the owner deliberately let go.
 type VictimSnapshot struct {
 	Victim      topology.NodeID
 	Alarmed     bool
+	Expired     bool
 	Undecodable int64
 	Sources     []SourceCount
 }
@@ -79,15 +84,20 @@ func (p *Pipeline) ExportVictim(v topology.NodeID) (snap VictimSnapshot, ok bool
 	if st == nil {
 		return VictimSnapshot{}, false
 	}
-	snap.Victim = v
-	snap.Alarmed = st.alarmed.Load()
+	return snapshotState(v, st), true
+}
+
+// snapshotState copies one victim's replicable state. The caller must
+// not hold the identifier lock.
+func snapshotState(v topology.NodeID, st *victimState) VictimSnapshot {
+	snap := VictimSnapshot{Victim: v, Alarmed: st.alarmed.Load()}
 	id := st.ident.Lock()
 	snap.Undecodable = id.Undecodable()
 	id.EachSource(func(src topology.NodeID, count int64) {
 		snap.Sources = append(snap.Sources, SourceCount{Node: int64(src), Count: count})
 	})
 	st.ident.Unlock()
-	return snap, true
+	return snap
 }
 
 // SeedVictim merges a replica snapshot into the owning shard's victim
@@ -115,13 +125,12 @@ func (p *Pipeline) SeedVictim(snap VictimSnapshot) bool {
 func (p *Pipeline) applySeed(s *shard, snap *VictimSnapshot) {
 	st := s.victims[snap.Victim]
 	if st == nil {
-		var err error
-		if st, err = p.newVictimState(snap.Victim); err != nil {
+		if p.schemeErr != nil {
 			return // unbuildable scheme; nothing to seed into
 		}
-		s.mu.Lock()
-		s.victims[snap.Victim] = st
-		s.mu.Unlock()
+		// Seeds bypass the admission gate: a replica handed over on
+		// takeover is evidence the victim was already hot on its owner.
+		st = p.materialize(s, snap.Victim)
 	}
 	id := st.ident.Lock()
 	for _, sc := range snap.Sources {

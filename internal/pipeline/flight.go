@@ -32,13 +32,14 @@ const (
 	OutcomeDrop                       // shed at Submit: shard queue full
 	OutcomeRejected                   // failed validation (topo mismatch, bad victim, closed)
 	OutcomeResync                     // synthetic stream-level event: reader skipped to next magic
+	OutcomeSuppressed                 // tallied sketch-only, below the admission threshold
 	numOutcomes
 )
 
 // outcomeNames are the JSON/admin-plane labels, in Outcome order.
 var outcomeNames = [numOutcomes]string{
 	"identified", "undecodable", "blocked_hit", "alarm", "block",
-	"drop", "rejected", "resync",
+	"drop", "rejected", "resync", "suppressed",
 }
 
 func (o Outcome) String() string {
@@ -99,9 +100,10 @@ func (t *Trace) Total() int64 {
 
 // Interesting reports whether tail sampling must retain the trace
 // regardless of the boring 1-in-N counter: any outcome beyond the
-// ordinary identified/undecodable pair, or any span over slowNS.
+// ordinary identified/undecodable/suppressed triple, or any span over
+// slowNS.
 func (t *Trace) Interesting(slowNS int64) bool {
-	if t.Outcome != OutcomeIdentified && t.Outcome != OutcomeUndecodable {
+	if t.Outcome != OutcomeIdentified && t.Outcome != OutcomeUndecodable && t.Outcome != OutcomeSuppressed {
 		return true
 	}
 	if slowNS <= 0 {

@@ -13,11 +13,12 @@ import (
 // Journal event types. One JSONL line per event; the schema is the
 // Event struct below (DESIGN.md §9.2).
 const (
-	EventAlarm        = "alarm_raised"   // a victim's detector fired
-	EventBlock        = "source_blocked" // auto-block insertion, with top-k evidence
-	EventBlockExpired = "block_expired"  // a TTL block aged out
-	EventResync       = "stream_resync"  // lenient stream skipped to the next magic
-	EventSessionLoss  = "session_loss"   // a strict exporter session conn was dropped
+	EventAlarm         = "alarm_raised"   // a victim's detector fired
+	EventBlock         = "source_blocked" // auto-block insertion, with top-k evidence
+	EventBlockExpired  = "block_expired"  // a TTL block aged out
+	EventVictimExpired = "victim_expired" // an idle victim's exact state was swept back to sketch-only
+	EventResync        = "stream_resync"  // lenient stream skipped to the next magic
+	EventSessionLoss   = "session_loss"   // a strict exporter session conn was dropped
 )
 
 // SourceCount pairs an identified source with its tally — the per-

@@ -57,8 +57,15 @@ func (p *Pipeline) WritePrometheus(w io.Writer, uptime time.Duration) {
 	counter("ddpmd_blocked_hits_total", "records dropped because their source was blocked", s.BlockedHits)
 	counter("ddpmd_alarms_total", "victims whose detectors have fired", s.Alarms)
 	counter("ddpmd_blocks_total", "auto-block insertions into the TTL blocklist", s.Blocks)
+	counter("ddpmd_sketch_suppressed_total", "records tallied sketch-only below the admission threshold", s.SketchSuppressed)
+	counter("ddpmd_sketch_replayed_total", "buffered records replayed through the exact path on admission", s.SketchReplayed)
+	counter("ddpmd_sketch_deferred_total", "admissions deferred at the per-shard victim-state cap", s.SketchDeferred)
+	counter("ddpmd_victims_admitted_total", "victim states materialized through the admission gate", s.VictimsAdmitted)
+	counter("ddpmd_victims_expired_total", "idle victim states swept back to sketch-only", s.VictimsExpired)
+	counter("ddpmd_scheme_unbuildable_total", "records dropped because the marking scheme cannot cover the fabric", s.SchemeUnbuildable)
 
 	gauge("ddpmd_active_blocks", "blocklist entries currently in force", float64(s.ActiveBlocks))
+	gauge("ddpmd_victim_states", "victims with exact per-victim state materialized", float64(s.VictimStates))
 	secs := uptime.Seconds()
 	gauge("ddpmd_uptime_seconds", "time since the pipeline started", secs)
 

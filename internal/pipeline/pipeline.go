@@ -29,6 +29,7 @@ import (
 	"repro/internal/filter"
 	"repro/internal/marking"
 	"repro/internal/packet"
+	"repro/internal/sketch"
 	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/traceback"
@@ -56,9 +57,33 @@ type Config struct {
 
 	// Response: once a victim's detector has alarmed, sources
 	// identified more than BlockThreshold times are blocked for
-	// BlockTTL (0 = permanent).
+	// BlockTTL. Zero takes the default; a negative TTL makes
+	// auto-blocks permanent (filter.Permanent), matching the filter
+	// package's convention.
 	BlockThreshold int64         // default 100
-	BlockTTL       time.Duration // default 60s
+	BlockTTL       time.Duration // default 60s; negative = permanent
+
+	// Sketch admission gate: before a destination earns exact per-victim
+	// state (DDPM identifier + detectors), it must look hot in a
+	// per-shard count-min sketch + space-saving heavy-hitter table.
+	// Destinations below the threshold are tallied sketch-only (a few
+	// bytes each) and counted in SketchSuppressed; crossing it
+	// materializes the victimState lazily and replays the slot's
+	// buffered records through the exact path, so admission loses no
+	// identification evidence from the moment the destination started
+	// being tracked.
+	SketchAdmit        int // records to materialize a victim (default 1 = admit on first record, the legacy behavior; negative disables the gate)
+	SketchWidth        int // count-min row width per shard, rounded up to pow2 (default 32768)
+	SketchDepth        int // count-min rows (default 4)
+	SketchHeavyHitters int // space-saving slots and victim-state cap per shard (default 512)
+	SketchDecayEvery   int // halve the sketches every N gated records per shard (default 1<<20)
+
+	// VictimTTL sweeps victims idle this long back to sketch-only
+	// state: their exact state is dropped (a final VictimSnapshot goes
+	// to the victim-expired hook and the journal), while blocklist
+	// entries and past journal events survive. Renewed traffic
+	// re-materializes through the admission gate. 0 disables sweeping.
+	VictimTTL time.Duration
 
 	// Now supplies the blocklist timebase in unix nanoseconds;
 	// defaults to time.Now().UnixNano(). Tests inject a fake clock.
@@ -140,6 +165,21 @@ func (c *Config) applyDefaults() error {
 	if c.BlockTTL == 0 {
 		c.BlockTTL = time.Minute
 	}
+	if c.SketchAdmit == 0 {
+		c.SketchAdmit = 1
+	}
+	if c.SketchWidth <= 0 {
+		c.SketchWidth = 1 << 15
+	}
+	if c.SketchDepth <= 0 {
+		c.SketchDepth = 4
+	}
+	if c.SketchHeavyHitters <= 0 {
+		c.SketchHeavyHitters = 512
+	}
+	if c.SketchDecayEvery <= 0 {
+		c.SketchDecayEvery = 1 << 20
+	}
 	if c.Now == nil {
 		c.Now = func() int64 { return time.Now().UnixNano() }
 	}
@@ -215,6 +255,13 @@ type Counters struct {
 	BlockedHits    atomic.Uint64 // records from an actively blocked source
 	Alarms         atomic.Uint64 // victims whose detector fired (first fire each)
 	Blocks         atomic.Uint64 // auto-block insertions
+
+	SketchSuppressed  atomic.Uint64 // records tallied sketch-only, below the admission threshold
+	SketchReplayed    atomic.Uint64 // buffered records replayed through the exact path on admission
+	SketchDeferred    atomic.Uint64 // admissions deferred at the per-shard victim-state cap
+	VictimsAdmitted   atomic.Uint64 // victim states materialized through the gate
+	VictimsExpired    atomic.Uint64 // victim states swept back to sketch-only by VictimTTL
+	SchemeUnbuildable atomic.Uint64 // records for a fabric the marking scheme cannot cover
 }
 
 // Snapshot is a plain-value copy of the counters plus derived state.
@@ -226,8 +273,12 @@ type Snapshot struct {
 	TopoMismatch, BadVictim                     uint64
 	Processed, Identified, Undecodable          uint64
 	BlockedHits, Alarms, Blocks                 uint64
+	SketchSuppressed, SketchReplayed            uint64
+	SketchDeferred, VictimsAdmitted             uint64
+	VictimsExpired, SchemeUnbuildable           uint64
 	QueueDepths                                 []int
 	ActiveBlocks                                int
+	VictimStates                                int
 
 	// Per-shard views of the worker counters, indexed by shard.
 	ShardProcessed  []uint64
@@ -245,6 +296,11 @@ type victimState struct {
 	entropy detect.Detector
 	alarmed atomic.Bool   // latch: worker sets once, admin plane reads
 	scratch packet.Packet // reused to feed packet-shaped detectors
+
+	// lastSeen is the cfg.Now() instant of the victim's latest record
+	// (or its creation), read by the TTL sweep. Atomic because the
+	// admin plane reports it while the worker updates it.
+	lastSeen atomic.Int64
 
 	// Batch views of the detectors: LockInner hands the worker the
 	// unsynchronized detector under a held lock, so a victim group of N
@@ -268,12 +324,16 @@ type job struct {
 // Submit-entry wall clock. The receiving worker owns one slab
 // reference and releases it when done. A batch with seed set instead
 // carries a cluster victim-state replica to merge (see SeedVictim);
-// its slab is nil.
+// one with sweep set asks the worker to run a VictimTTL sweep over its
+// shard (done, when non-nil, receives one ack per sweep — the
+// deterministic handle SweepVictims uses); both carry a nil slab.
 type batch struct {
 	slab       *wire.Slab
 	start, end int32
 	t0         int64
 	seed       *VictimSnapshot
+	sweep      bool
+	done       chan<- struct{}
 }
 
 type shard struct {
@@ -284,6 +344,16 @@ type shard struct {
 	// srcs is the fast path's per-group identification scratch: the
 	// identified source per record, or a negative sentinel.
 	srcs []int32
+
+	// Admission gate (nil when SketchAdmit < 0): destinations must look
+	// hot in the count-min sketch + space-saving table before they earn
+	// a victimState. Owned by the worker goroutine — no locks. gateN is
+	// the windowed-decay clock (gated records since the last Halve);
+	// lastSweep is the in-band TTL-sweep clock in cfg.Now() nanos.
+	cm        *sketch.CountMin
+	hh        *sketch.SpaceSaving[wire.Record]
+	gateN     uint64
+	lastSweep int64
 
 	// Per-shard worker counters behind the shard="N" metric labels.
 	// seen and batches are worker-local latency-sampling clocks (seen
@@ -332,6 +402,20 @@ type Pipeline struct {
 	bl     *filter.Blocklist
 	pool   *wire.SlabPool
 
+	// scheme is the DDPM marking scheme, built once at New. When the
+	// fabric is unbuildable (more nodes than the 16-bit MF can cover)
+	// schemeErr caches the failure so the hot path never retries
+	// construction — records for such fabrics count SchemeUnbuildable.
+	scheme    *marking.DDPM
+	schemeErr error
+
+	// victimExpired, when set, receives the final snapshot of every
+	// victim the TTL sweep retires (called on the shard worker with no
+	// pipeline locks held) — the cluster tier's expiry feed.
+	victimExpired atomic.Pointer[func(VictimSnapshot)]
+	sweepIval     int64         // in-band sweep cadence in cfg.Now() nanos (0 = off)
+	sweepQuit     chan struct{} // stops the real-time sweep ticker
+
 	C Counters
 
 	lat        [numStages]stageLat
@@ -358,6 +442,7 @@ func New(cfg Config) (*Pipeline, error) {
 		pool:    wire.NewSlabPool(cfg.Shards*4 + 8),
 		rateWin: stats.NewRateWindow(cfg.RateWindow),
 	}
+	p.scheme, p.schemeErr = marking.NewDDPM(cfg.Net)
 	if cfg.LatencySampleEvery > 0 {
 		p.sampleOn = true
 		every := uint64(1)
@@ -377,9 +462,19 @@ func New(cfg Config) (*Pipeline, error) {
 			ch:      make(chan batch, cfg.QueueLen),
 			victims: make(map[topology.NodeID]*victimState),
 		}
+		if cfg.SketchAdmit > 0 && p.schemeErr == nil {
+			s.cm = sketch.NewCountMin(cfg.SketchWidth, cfg.SketchDepth)
+			s.hh = sketch.NewSpaceSaving[wire.Record](cfg.SketchHeavyHitters, cfg.SketchAdmit)
+		}
 		p.shards = append(p.shards, s)
 		p.wg.Add(1)
 		go p.run(s, i)
+	}
+	if cfg.VictimTTL > 0 {
+		p.sweepIval = cfg.VictimTTL.Nanoseconds()
+		p.sweepQuit = make(chan struct{})
+		p.wg.Add(1)
+		go p.sweepLoop()
 	}
 	return p, nil
 }
@@ -563,6 +658,9 @@ func (p *Pipeline) Close() {
 	p.mu.Lock()
 	if !p.closed {
 		p.closed = true
+		if p.sweepQuit != nil {
+			close(p.sweepQuit)
+		}
 		for _, s := range p.shards {
 			close(s.ch)
 		}
@@ -574,6 +672,13 @@ func (p *Pipeline) Close() {
 func (p *Pipeline) run(s *shard, si int) {
 	defer p.wg.Done()
 	for b := range s.ch {
+		if b.sweep {
+			p.sweepShard(s)
+			if b.done != nil {
+				b.done <- struct{}{}
+			}
+			continue
+		}
 		if b.seed != nil {
 			p.applySeed(s, b.seed)
 			continue
@@ -582,6 +687,15 @@ func (p *Pipeline) run(s *shard, si int) {
 		b.slab.Release()
 		if s.pendProcessed >= flushEvery || len(s.ch) == 0 {
 			s.flush()
+		}
+		if p.sweepIval > 0 {
+			// In-band sweep: keeps TTL expiry moving on the configured
+			// timebase even when the real-time ticker and the fake clock
+			// disagree (tests) or the queue is never idle.
+			if now := p.cfg.Now(); now-s.lastSweep >= p.sweepIval {
+				s.lastSweep = now
+				p.sweepShard(s)
+			}
 		}
 	}
 	s.flush()
@@ -606,11 +720,65 @@ func (p *Pipeline) processBatch(s *shard, si int, b batch) {
 // in-fabric filter would).
 const srcBlocked = int32(-2)
 
+// fastCtx accumulates one batch's worth of tallies and sampled stage
+// timings across its victim groups — including groups replayed through
+// the admission gate — flushed to the atomic counters once per batch.
+type fastCtx struct {
+	sampled bool
+	tMark   time.Time
+
+	durIdent, durDetect, durBlock time.Duration
+
+	identified, undecodable, blockedHits uint64
+	alarms, blocks                       uint64
+	suppressed, deferred, replayed       uint64
+	admitted, unbuildable                uint64
+}
+
+// flush publishes the accumulated tallies. The worker-local pending
+// counters piggyback on the shard's existing flush cadence.
+func (fc *fastCtx) flush(p *Pipeline, s *shard) {
+	if fc.identified > 0 {
+		p.C.Identified.Add(fc.identified)
+		s.pendIdentified += fc.identified
+	}
+	if fc.undecodable > 0 {
+		p.C.Undecodable.Add(fc.undecodable)
+	}
+	if fc.blockedHits > 0 {
+		p.C.BlockedHits.Add(fc.blockedHits)
+	}
+	if fc.alarms > 0 {
+		p.C.Alarms.Add(fc.alarms)
+	}
+	if fc.blocks > 0 {
+		p.C.Blocks.Add(fc.blocks)
+	}
+	if fc.suppressed > 0 {
+		p.C.SketchSuppressed.Add(fc.suppressed)
+	}
+	if fc.deferred > 0 {
+		p.C.SketchDeferred.Add(fc.deferred)
+	}
+	if fc.replayed > 0 {
+		p.C.SketchReplayed.Add(fc.replayed)
+	}
+	if fc.admitted > 0 {
+		p.C.VictimsAdmitted.Add(fc.admitted)
+	}
+	if fc.unbuildable > 0 {
+		p.C.SchemeUnbuildable.Add(fc.unbuildable)
+	}
+}
+
 // processFast is the untraced batch path: records are already grouped
 // by victim, so each group runs three passes — identify under one
 // identifier lock, detect under one detector lock, block under the
 // identifier lock again — and counters/latency histograms are written
-// once per batch instead of once per record.
+// once per batch instead of once per record. Groups for destinations
+// without exact state first clear the sketch admission gate (see
+// gateRecord); the rest of the group from the crossing record on takes
+// the exact path.
 //
 // Batch granularity shifts two per-record behaviors by design: a block
 // inserted while processing a group takes effect from the next group
@@ -624,17 +792,11 @@ func (p *Pipeline) processFast(s *shard, si int, recs []wire.Record) {
 	n := len(recs)
 	p.C.Processed.Add(uint64(n))
 	s.pendProcessed += uint64(n)
-	sampled := p.sampleOn && s.batches&p.sampleMask == 0
+	fc := fastCtx{sampled: p.sampleOn && s.batches&p.sampleMask == 0}
 	s.batches++
 	s.seen += uint64(n)
-	var identified, undecodable, blockedHits, alarms, blocks uint64
-	var durIdent, durDetect, durBlock time.Duration
-	var tMark time.Time
-	if sampled {
-		tMark = time.Now()
-	}
-	if cap(s.srcs) < n {
-		s.srcs = make([]int32, 0, wire.SlabCap)
+	if fc.sampled {
+		fc.tMark = time.Now()
 	}
 	for gi := 0; gi < n; {
 		v := recs[gi].Victim
@@ -646,131 +808,203 @@ func (p *Pipeline) processFast(s *shard, si int, recs []wire.Record) {
 		gi = ge
 		st := s.victims[v]
 		if st == nil {
-			var err error
-			if st, err = p.newVictimState(v); err != nil {
-				// Unbuildable scheme for this fabric: count as undecodable
-				// rather than wedging the worker.
-				undecodable += uint64(len(group))
+			if p.schemeErr != nil {
+				// Unbuildable scheme for this fabric, cached at New: count
+				// and move on instead of retrying construction per batch.
+				fc.unbuildable += uint64(len(group))
 				continue
 			}
-			s.mu.Lock()
-			s.victims[v] = st
-			s.mu.Unlock()
-		}
-		now := p.cfg.Now()
-
-		// Pass A: identify the whole group under one identifier lock,
-		// then prefilter already-blocked sources (skipped entirely while
-		// the blocklist is empty — the steady state).
-		srcs := s.srcs[:len(group)]
-		id := st.ident.Lock()
-		for k := range group {
-			if src, ok := id.ObserveMF(group[k].MF); ok {
-				srcs[k] = int32(src)
-				identified++
+			if s.cm != nil {
+				// Admission gate: feed records through the sketch one at a
+				// time until one materializes the victim; the crossing
+				// record onward takes the exact path below.
+				k := 0
+				for k < len(group) {
+					if st = p.gateRecord(s, v, group[k], &fc); st != nil {
+						break
+					}
+					k++
+				}
+				if st == nil {
+					continue // the whole group stayed sketch-only
+				}
+				group = group[k:]
 			} else {
-				srcs[k] = -1
-				undecodable++
+				st = p.materialize(s, v)
+			}
+		}
+		p.processGroup(s, st, v, group, &fc)
+	}
+	fc.flush(p, s)
+	if fc.sampled {
+		// One amortized observation per stage per sampled batch.
+		nn := time.Duration(n)
+		p.lat[stageIdentify].observe(uint64(si), fc.durIdent/nn)
+		p.lat[stageDetect].observe(uint64(si), fc.durDetect/nn)
+		p.lat[stageBlock].observe(uint64(si), fc.durBlock/nn)
+	}
+}
+
+// gateRecord runs one record of a destination without exact state
+// through the admission gate. It returns nil when the record stays
+// sketch-only (tallied, maybe buffered, suppressed), or the freshly
+// materialized victimState when this record crossed the admission
+// threshold — after replaying the slot's earlier buffered records
+// through the exact path, so admission loses no identification
+// evidence from the moment the destination started being tracked. The
+// crossing record itself is not replayed; the caller processes it (and
+// the rest of its group) normally.
+func (p *Pipeline) gateRecord(s *shard, v topology.NodeID, rec wire.Record, fc *fastCtx) *victimState {
+	key := uint64(v)
+	est := s.cm.Add(key)
+	if s.gateN++; s.gateN >= uint64(p.cfg.SketchDecayEvery) {
+		// Windowed decay: halving both structures ages historical mass
+		// out, so admission tracks current rates, not lifetime totals.
+		s.gateN = 0
+		s.cm.Halve()
+		s.hh.Halve()
+	}
+	slot := s.hh.Touch(key, est, rec)
+	if slot == nil || int(slot.Guaranteed()) < p.cfg.SketchAdmit {
+		fc.suppressed++
+		return nil
+	}
+	if len(s.victims) >= p.cfg.SketchHeavyHitters {
+		// At the per-shard victim-state cap: keep tallying sketch-side
+		// until the TTL sweep frees a slot.
+		fc.deferred++
+		return nil
+	}
+	st := p.materialize(s, v)
+	fc.admitted++
+	// Replay what was buffered while the victim was sketch-only. The
+	// buffer's last element is this crossing record unless the buffer
+	// filled during a deferral — the caller processes the crossing
+	// record either way, so only replay the elements before it.
+	buf := slot.Buf
+	if n := len(buf); n > 0 && buf[n-1] == rec {
+		buf = buf[:n-1]
+	}
+	if len(buf) > 0 {
+		fc.replayed += uint64(len(buf))
+		p.processGroup(s, st, v, buf, fc)
+	}
+	s.hh.Remove(key)
+	return st
+}
+
+// materialize creates and registers a victim's exact state. The caller
+// must have checked p.schemeErr.
+func (p *Pipeline) materialize(s *shard, v topology.NodeID) *victimState {
+	st := p.newVictimState(v)
+	s.mu.Lock()
+	s.victims[v] = st
+	s.mu.Unlock()
+	return st
+}
+
+// processGroup runs one victim group through the three exact passes —
+// identify, detect, block — accumulating tallies and sampled stage
+// timings into fc. Called from processFast per partitioned group and
+// from gateRecord for admission replays.
+func (p *Pipeline) processGroup(s *shard, st *victimState, v topology.NodeID, group []wire.Record, fc *fastCtx) {
+	now := p.cfg.Now()
+	st.lastSeen.Store(now)
+	if need := len(group); cap(s.srcs) < need {
+		if need < wire.SlabCap {
+			need = wire.SlabCap
+		}
+		s.srcs = make([]int32, 0, need)
+	}
+
+	// Pass A: identify the whole group under one identifier lock,
+	// then prefilter already-blocked sources (skipped entirely while
+	// the blocklist is empty — the steady state).
+	srcs := s.srcs[:len(group)]
+	id := st.ident.Lock()
+	for k := range group {
+		if src, ok := id.ObserveMF(group[k].MF); ok {
+			srcs[k] = int32(src)
+			fc.identified++
+		} else {
+			srcs[k] = -1
+			fc.undecodable++
+		}
+	}
+	st.ident.Unlock()
+	if !p.bl.Empty() {
+		for k := range srcs {
+			if srcs[k] >= 0 && p.bl.BlockedAt(topology.NodeID(srcs[k]), now) {
+				srcs[k] = srcBlocked
+				fc.blockedHits++
+			}
+		}
+	}
+	if fc.sampled {
+		t := time.Now()
+		fc.durIdent += t.Sub(fc.tMark)
+		fc.tMark = t
+	}
+
+	// Pass B: feed both detectors under one lock each. Blocked
+	// records skip the detectors (dropped upstream of the victim);
+	// undecodable ones still count toward its arrival process.
+	cu := st.cusumL.LockInner()
+	en := st.entropyL.LockInner()
+	pk := &st.scratch
+	newAlarm := st.alarmed.Load()
+	var cuA, enA bool
+	for k := range group {
+		if srcs[k] == srcBlocked {
+			continue
+		}
+		pk.Hdr.Src = group[k].Src
+		pk.Hdr.Proto = group[k].Proto
+		cu.Observe(group[k].T, pk)
+		en.Observe(group[k].T, pk)
+		if !newAlarm && (cu.Alarmed() || en.Alarmed()) {
+			newAlarm = true
+			cuA, enA = cu.Alarmed(), en.Alarmed()
+		}
+	}
+	st.entropyL.UnlockInner()
+	st.cusumL.UnlockInner()
+	if newAlarm && !st.alarmed.Load() {
+		st.alarmed.Store(true)
+		fc.alarms++
+		p.journalAlarmDetail(now, v, cuA, enA)
+	}
+	if fc.sampled {
+		t := time.Now()
+		fc.durDetect += t.Sub(fc.tMark)
+		fc.tMark = t
+	}
+
+	// Pass C: once the victim's alarm latch is set, block every
+	// group source over threshold that isn't blocked already.
+	if st.alarmed.Load() {
+		id := st.ident.Lock()
+		for k := range srcs {
+			if srcs[k] < 0 {
+				continue
+			}
+			src := topology.NodeID(srcs[k])
+			if cnt := id.Count(src); cnt > p.cfg.BlockThreshold && !p.bl.BlockedAt(src, now) {
+				until := filter.Permanent
+				if p.cfg.BlockTTL > 0 {
+					until = now + p.cfg.BlockTTL.Nanoseconds()
+				}
+				p.bl.BlockUntilFor(src, until, v)
+				fc.blocks++
+				p.journalBlockInner(now, v, src, cnt, until, id)
 			}
 		}
 		st.ident.Unlock()
-		if !p.bl.Empty() {
-			for k := range srcs {
-				if srcs[k] >= 0 && p.bl.BlockedAt(topology.NodeID(srcs[k]), now) {
-					srcs[k] = srcBlocked
-					blockedHits++
-				}
-			}
-		}
-		if sampled {
-			t := time.Now()
-			durIdent += t.Sub(tMark)
-			tMark = t
-		}
-
-		// Pass B: feed both detectors under one lock each. Blocked
-		// records skip the detectors (dropped upstream of the victim);
-		// undecodable ones still count toward its arrival process.
-		cu := st.cusumL.LockInner()
-		en := st.entropyL.LockInner()
-		pk := &st.scratch
-		newAlarm := st.alarmed.Load()
-		var cuA, enA bool
-		for k := range group {
-			if srcs[k] == srcBlocked {
-				continue
-			}
-			pk.Hdr.Src = group[k].Src
-			pk.Hdr.Proto = group[k].Proto
-			cu.Observe(group[k].T, pk)
-			en.Observe(group[k].T, pk)
-			if !newAlarm && (cu.Alarmed() || en.Alarmed()) {
-				newAlarm = true
-				cuA, enA = cu.Alarmed(), en.Alarmed()
-			}
-		}
-		st.entropyL.UnlockInner()
-		st.cusumL.UnlockInner()
-		if newAlarm && !st.alarmed.Load() {
-			st.alarmed.Store(true)
-			alarms++
-			p.journalAlarmDetail(now, v, cuA, enA)
-		}
-		if sampled {
-			t := time.Now()
-			durDetect += t.Sub(tMark)
-			tMark = t
-		}
-
-		// Pass C: once the victim's alarm latch is set, block every
-		// group source over threshold that isn't blocked already.
-		if st.alarmed.Load() {
-			id := st.ident.Lock()
-			for k := range srcs {
-				if srcs[k] < 0 {
-					continue
-				}
-				src := topology.NodeID(srcs[k])
-				if cnt := id.Count(src); cnt > p.cfg.BlockThreshold && !p.bl.BlockedAt(src, now) {
-					until := filter.Permanent
-					if p.cfg.BlockTTL > 0 {
-						until = now + p.cfg.BlockTTL.Nanoseconds()
-					}
-					p.bl.BlockUntil(src, until)
-					blocks++
-					p.journalBlockInner(now, v, src, cnt, until, id)
-				}
-			}
-			st.ident.Unlock()
-		}
-		if sampled {
-			t := time.Now()
-			durBlock += t.Sub(tMark)
-			tMark = t
-		}
 	}
-	if identified > 0 {
-		p.C.Identified.Add(identified)
-		s.pendIdentified += identified
-	}
-	if undecodable > 0 {
-		p.C.Undecodable.Add(undecodable)
-	}
-	if blockedHits > 0 {
-		p.C.BlockedHits.Add(blockedHits)
-	}
-	if alarms > 0 {
-		p.C.Alarms.Add(alarms)
-	}
-	if blocks > 0 {
-		p.C.Blocks.Add(blocks)
-	}
-	if sampled {
-		// One amortized observation per stage per sampled batch.
-		nn := time.Duration(n)
-		p.lat[stageIdentify].observe(uint64(si), durIdent/nn)
-		p.lat[stageDetect].observe(uint64(si), durDetect/nn)
-		p.lat[stageBlock].observe(uint64(si), durBlock/nn)
+	if fc.sampled {
+		t := time.Now()
+		fc.durBlock += t.Sub(fc.tMark)
+		fc.tMark = t
 	}
 }
 
@@ -805,20 +1039,41 @@ func (p *Pipeline) process(s *shard, si int, j job) {
 	}
 	st := s.victims[rec.Victim]
 	if st == nil {
-		var err error
-		if st, err = p.newVictimState(rec.Victim); err != nil {
-			// Unbuildable scheme for this fabric: count as undecodable
-			// rather than wedging the worker.
-			p.C.Undecodable.Add(1)
+		if p.schemeErr != nil {
+			// Unbuildable scheme for this fabric, cached at New: count and
+			// return rather than wedging the worker.
+			p.C.SchemeUnbuildable.Add(1)
 			if traced {
 				tr.Outcome = OutcomeUndecodable
 				p.commitTrace(tr)
 			}
 			return
 		}
-		s.mu.Lock()
-		s.victims[rec.Victim] = st
-		s.mu.Unlock()
+		if s.cm != nil {
+			// Traced records clear the same admission gate as the fast
+			// path (any replay it triggers runs grouped, untraced).
+			var fc fastCtx
+			st = p.gateRecord(s, rec.Victim, rec, &fc)
+			fc.flush(p, s)
+			if st == nil {
+				if timed {
+					d := time.Since(t0)
+					if sampled {
+						p.lat[stageIdentify].observe(uint64(si), d)
+					}
+					if traced {
+						tr.Identify = d.Nanoseconds()
+						tr.Outcome = OutcomeSuppressed
+						p.commitTrace(tr)
+					}
+				}
+				return
+			}
+			// This record crossed the threshold; it continues on the
+			// exact path like any other.
+		} else {
+			st = p.materialize(s, rec.Victim)
+		}
 	}
 
 	src, ok := st.ident.ObserveMF(rec.MF)
@@ -842,6 +1097,7 @@ func (p *Pipeline) process(s *shard, si int, j job) {
 	}
 
 	now := p.cfg.Now()
+	st.lastSeen.Store(now)
 	if ok && p.bl.BlockedAt(src, now) {
 		// Already-blocked traffic is dropped before the victim's
 		// detectors — exactly what the in-fabric filter would do.
@@ -887,7 +1143,7 @@ func (p *Pipeline) process(s *shard, si int, j job) {
 			if p.cfg.BlockTTL > 0 {
 				until = now + p.cfg.BlockTTL.Nanoseconds()
 			}
-			p.bl.BlockUntil(src, until)
+			p.bl.BlockUntilFor(src, until, rec.Victim)
 			p.C.Blocks.Add(1)
 			blockedNow = true
 			p.journalBlock(now, rec.Victim, src, cnt, until, st)
@@ -980,18 +1236,16 @@ func (p *Pipeline) expireBlocks(now int64) {
 	for _, e := range p.bl.ExpireEntries(now) {
 		p.cfg.Journal.Emit(Event{
 			T: now, Type: EventBlockExpired,
-			Victim: -1, Source: int64(e.Node), Until: e.Until,
+			Victim: int64(e.Victim), Source: int64(e.Node), Until: e.Until,
 		})
 	}
 }
 
-func (p *Pipeline) newVictimState(victim topology.NodeID) (*victimState, error) {
-	scheme, err := marking.NewDDPM(p.cfg.Net)
-	if err != nil {
-		return nil, err
-	}
+// newVictimState builds a victim's exact state from the scheme cached
+// at New. The caller must have checked p.schemeErr.
+func (p *Pipeline) newVictimState(victim topology.NodeID) *victimState {
 	st := &victimState{
-		ident: traceback.NewSyncDDPMIdentifier(scheme, victim),
+		ident: traceback.NewSyncDDPMIdentifier(p.scheme, victim),
 		cusum: detect.Synchronized(detect.NewCUSUM(p.cfg.CUSUMWindow, p.cfg.CUSUMSlack, p.cfg.CUSUMThreshold)),
 	}
 	if p.cfg.EntropyWindow > 0 {
@@ -1001,7 +1255,120 @@ func (p *Pipeline) newVictimState(victim topology.NodeID) (*victimState, error) 
 	}
 	st.cusumL = st.cusum.(detect.InnerLocker)
 	st.entropyL = st.entropy.(detect.InnerLocker)
-	return st, nil
+	st.lastSeen.Store(p.cfg.Now())
+	return st
+}
+
+// sweepShard retires every victim on the shard idle past VictimTTL:
+// its exact state is dropped after a final snapshot goes to the
+// journal and the victim-expired hook, while blocklist entries and
+// past journal events survive. Renewed traffic re-materializes the
+// victim through the admission gate. Runs on the shard worker — the
+// single writer of the victim map — with no pipeline locks held when
+// the hook fires.
+func (p *Pipeline) sweepShard(s *shard) {
+	ttl := p.cfg.VictimTTL.Nanoseconds()
+	if ttl <= 0 {
+		return
+	}
+	now := p.cfg.Now()
+	var snaps []VictimSnapshot
+	for v, st := range s.victims {
+		if now-st.lastSeen.Load() < ttl {
+			continue
+		}
+		snap := snapshotState(v, st)
+		snap.Expired = true
+		snaps = append(snaps, snap)
+	}
+	if len(snaps) == 0 {
+		return
+	}
+	s.mu.Lock()
+	for i := range snaps {
+		delete(s.victims, snaps[i].Victim)
+	}
+	s.mu.Unlock()
+	p.C.VictimsExpired.Add(uint64(len(snaps)))
+	hook := p.victimExpired.Load()
+	for i := range snaps {
+		snap := &snaps[i]
+		if p.cfg.Journal != nil {
+			p.cfg.Journal.Emit(Event{
+				T: now, Type: EventVictimExpired,
+				Victim: int64(snap.Victim), Source: -1,
+				Count: snap.Identified(),
+			})
+		}
+		if hook != nil {
+			(*hook)(*snap)
+		}
+	}
+}
+
+// sweepLoop ticks TTL sweeps on real time. Enqueues are non-blocking:
+// a shard whose queue is full is processing batches, and the in-band
+// check in run will sweep it anyway.
+func (p *Pipeline) sweepLoop() {
+	defer p.wg.Done()
+	iv := p.cfg.VictimTTL / 2
+	if iv < time.Second {
+		iv = time.Second
+	}
+	t := time.NewTicker(iv)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.sweepQuit:
+			return
+		case <-t.C:
+			p.mu.RLock()
+			if !p.closed {
+				for _, s := range p.shards {
+					select {
+					case s.ch <- batch{sweep: true}:
+					default:
+					}
+				}
+			}
+			p.mu.RUnlock()
+		}
+	}
+}
+
+// SweepVictims synchronously runs one TTL sweep on every shard,
+// returning once each worker has processed it — the deterministic
+// entry point for fake-clock tests and admin tooling. No-op when
+// VictimTTL is disabled or the pipeline is closed.
+func (p *Pipeline) SweepVictims() {
+	if p.cfg.VictimTTL <= 0 {
+		return
+	}
+	done := make(chan struct{}, len(p.shards))
+	sent := 0
+	p.mu.RLock()
+	if !p.closed {
+		for _, s := range p.shards {
+			s.ch <- batch{sweep: true, done: done}
+			sent++
+		}
+	}
+	p.mu.RUnlock()
+	for i := 0; i < sent; i++ {
+		<-done
+	}
+}
+
+// SetVictimExpiredHook registers fn to receive the final snapshot
+// (Expired set) of every victim the TTL sweep retires. It is called
+// from the shard worker goroutine with no pipeline locks held; keep it
+// non-blocking. Set it once before traffic; nil clears it.
+func (p *Pipeline) SetVictimExpiredHook(fn func(VictimSnapshot)) {
+	if fn == nil {
+		p.victimExpired.Store(nil)
+		return
+	}
+	p.victimExpired.Store(&fn)
 }
 
 // state looks a victim's state up across shards (admin plane).
@@ -1081,6 +1448,7 @@ type VictimReport struct {
 	Alarmed     bool          `json:"alarmed"` // the latch, not the live detector
 	Identified  int64         `json:"identified"`
 	Undecodable int64         `json:"undecodable"`
+	LastSeen    int64         `json:"last_seen_unix_nano"` // cfg.Now() of the latest record
 	TopSources  []SourceCount `json:"top_sources"`
 }
 
@@ -1100,6 +1468,7 @@ func (p *Pipeline) VictimReports(k int) []VictimReport {
 			Alarmed:     st.alarmed.Load(),
 			Identified:  st.ident.Observed(),
 			Undecodable: st.ident.Undecodable(),
+			LastSeen:    st.lastSeen.Load(),
 		}
 		if k > 0 {
 			r.TopSources = make([]SourceCount, 0, k)
@@ -1118,17 +1487,23 @@ func (p *Pipeline) VictimReports(k int) []VictimReport {
 func (p *Pipeline) Snapshot() Snapshot {
 	p.expireBlocks(p.cfg.Now())
 	snap := Snapshot{
-		Dropped:        p.C.Dropped.Load(),
-		RejectedClosed: p.C.RejectedClosed.Load(),
-		TopoMismatch:   p.C.TopoMismatch.Load(),
-		BadVictim:      p.C.BadVictim.Load(),
-		Processed:      p.C.Processed.Load(),
-		Identified:     p.C.Identified.Load(),
-		Undecodable:    p.C.Undecodable.Load(),
-		BlockedHits:    p.C.BlockedHits.Load(),
-		Alarms:         p.C.Alarms.Load(),
-		Blocks:         p.C.Blocks.Load(),
-		ActiveBlocks:   p.bl.Len(),
+		Dropped:           p.C.Dropped.Load(),
+		RejectedClosed:    p.C.RejectedClosed.Load(),
+		TopoMismatch:      p.C.TopoMismatch.Load(),
+		BadVictim:         p.C.BadVictim.Load(),
+		Processed:         p.C.Processed.Load(),
+		Identified:        p.C.Identified.Load(),
+		Undecodable:       p.C.Undecodable.Load(),
+		BlockedHits:       p.C.BlockedHits.Load(),
+		Alarms:            p.C.Alarms.Load(),
+		Blocks:            p.C.Blocks.Load(),
+		SketchSuppressed:  p.C.SketchSuppressed.Load(),
+		SketchReplayed:    p.C.SketchReplayed.Load(),
+		SketchDeferred:    p.C.SketchDeferred.Load(),
+		VictimsAdmitted:   p.C.VictimsAdmitted.Load(),
+		VictimsExpired:    p.C.VictimsExpired.Load(),
+		SchemeUnbuildable: p.C.SchemeUnbuildable.Load(),
+		ActiveBlocks:      p.bl.Len(),
 	}
 	// Accepted is derived rather than counted: every rejection path
 	// already has a counter, so accepted = ingested − rejections.
@@ -1143,6 +1518,9 @@ func (p *Pipeline) Snapshot() Snapshot {
 		snap.ShardProcessed = append(snap.ShardProcessed, s.processed.Load())
 		snap.ShardIdentified = append(snap.ShardIdentified, s.identified.Load())
 		snap.ShardDropped = append(snap.ShardDropped, s.dropped.Load())
+		s.mu.Lock()
+		snap.VictimStates += len(s.victims)
+		s.mu.Unlock()
 	}
 	return snap
 }

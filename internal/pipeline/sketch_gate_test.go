@@ -1,0 +1,274 @@
+package pipeline
+
+import (
+	"bytes"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/eventq"
+	"repro/internal/filter"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// TestSketchGateAdmissionExactness: below-threshold destinations stay
+// sketch-only; the destination that crosses the admission threshold
+// materializes exact state and replays its buffered evidence, so its
+// identification tallies equal a run with no gate at all.
+func TestSketchGateAdmissionExactness(t *testing.T) {
+	net := topology.NewTorus2D(4)
+	p, err := New(Config{Net: net, Shards: 1, SketchAdmit: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	hot := topology.NodeID(15)
+	s1, s2 := topology.NodeID(5), topology.NodeID(9)
+	mf1 := mkMF(t, net, s1, hot)
+	mf2 := mkMF(t, net, s2, hot)
+
+	// Four records for the hot victim: 1-3 buffer sketch-side, the 4th
+	// crosses the threshold and replays them.
+	for i, mf := range []uint16{mf1, mf2, mf1, mf2} {
+		submitWait(t, p, wire.Record{T: eventq.Time(i), Topo: p.TopoID(), Victim: hot, MF: mf})
+	}
+	// Background noise: two cold victims, two records each — never
+	// enough to admit.
+	for _, cold := range []topology.NodeID{3, 7} {
+		cmf := mkMF(t, net, s1, cold)
+		submitWait(t, p, wire.Record{T: 10, Topo: p.TopoID(), Victim: cold, MF: cmf})
+		submitWait(t, p, wire.Record{T: 11, Topo: p.TopoID(), Victim: cold, MF: cmf})
+	}
+	// The hot victim keeps receiving on the exact path post-admission.
+	for i := 0; i < 6; i++ {
+		mf := mf1
+		if i%2 == 1 {
+			mf = mf2
+		}
+		submitWait(t, p, wire.Record{T: eventq.Time(20 + i), Topo: p.TopoID(), Victim: hot, MF: mf})
+	}
+	waitProcessed(t, p)
+
+	if got := p.C.SketchSuppressed.Load(); got != 7 {
+		t.Errorf("suppressed = %d, want 7 (3 hot pre-admission + 2x2 cold)", got)
+	}
+	if got := p.C.SketchReplayed.Load(); got != 3 {
+		t.Errorf("replayed = %d, want 3", got)
+	}
+	if got := p.C.VictimsAdmitted.Load(); got != 1 {
+		t.Errorf("victims admitted = %d, want 1", got)
+	}
+	// Identification lost nothing to the gate: every hot record —
+	// replayed or direct — is tallied, exactly as an ungated run would.
+	if got := p.C.Identified.Load(); got != 10 {
+		t.Errorf("identified = %d, want 10", got)
+	}
+	if vs := p.Victims(); len(vs) != 1 || vs[0] != hot {
+		t.Fatalf("Victims() = %v, want [%d] (cold victims must stay sketch-only)", vs, hot)
+	}
+	snap, ok := p.ExportVictim(hot)
+	if !ok {
+		t.Fatal("hot victim has no exact state")
+	}
+	want := map[int64]int64{int64(s1): 5, int64(s2): 5}
+	if len(snap.Sources) != 2 {
+		t.Fatalf("sources = %+v, want tallies %v", snap.Sources, want)
+	}
+	for _, sc := range snap.Sources {
+		if want[sc.Node] != sc.Count {
+			t.Errorf("source %d tally = %d, want %d", sc.Node, sc.Count, want[sc.Node])
+		}
+	}
+	if got := p.Snapshot().VictimStates; got != 1 {
+		t.Errorf("VictimStates = %d, want 1", got)
+	}
+}
+
+// TestSketchGateDisabled: a negative SketchAdmit turns the gate off —
+// every destination materializes on first sight, nothing is suppressed.
+func TestSketchGateDisabled(t *testing.T) {
+	net := topology.NewMesh2D(4)
+	p, err := New(Config{Net: net, Shards: 1, SketchAdmit: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitWait(t, p, wire.Record{T: 1, Topo: p.TopoID(), Victim: 3, MF: 0})
+	p.Close()
+	if got := p.C.SketchSuppressed.Load(); got != 0 {
+		t.Errorf("suppressed = %d with the gate disabled", got)
+	}
+	if vs := p.Victims(); len(vs) != 1 {
+		t.Errorf("Victims() = %v, want one entry", vs)
+	}
+}
+
+// TestVictimTTLExpiryAndRematerialization: an idle victim's exact state
+// is swept back to sketch-only — final snapshot to the journal and the
+// expiry hook, blocklist entries intact — and renewed traffic rebuilds
+// it through the admission gate without losing blocking.
+func TestVictimTTLExpiryAndRematerialization(t *testing.T) {
+	net := topology.NewTorus2D(4)
+	victim := topology.NodeID(15)
+	zombie := topology.NodeID(5)
+
+	var buf bytes.Buffer
+	j := NewJournal(&buf, 0)
+	var clock atomic.Int64
+	p, err := New(Config{
+		Net: net, Shards: 2, QueueLen: 8192,
+		CUSUMWindow: 100, CUSUMSlack: 2, CUSUMThreshold: 20,
+		EntropyWindow:  -1,
+		BlockThreshold: 50, BlockTTL: -1, // negative: blocks never lapse
+		VictimTTL: time.Minute,
+		Journal:   j,
+		Now:       func() int64 { return clock.Load() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	var expired []VictimSnapshot
+	p.SetVictimExpiredHook(func(snap VictimSnapshot) { expired = append(expired, snap) })
+
+	zmf := mkMF(t, net, zombie, victim)
+	lmf := mkMF(t, net, topology.NodeID(9), victim)
+	// Quiet baseline windows, then a flood (same shape as the CUSUM
+	// auto-block test).
+	now := eventq.Time(0)
+	for ; now < 500; now += 25 {
+		submitWait(t, p, wire.Record{T: now, Topo: p.TopoID(), Victim: victim, MF: lmf})
+	}
+	for ; now < 2500; now++ {
+		submitWait(t, p, wire.Record{T: now, Topo: p.TopoID(), Victim: victim, MF: zmf})
+	}
+	waitProcessed(t, p)
+	if !p.Alarmed(victim) || !p.Blocklist().BlockedAt(zombie, clock.Load()) {
+		t.Fatal("flood did not alarm and block")
+	}
+	if got := p.Snapshot().VictimStates; got != 1 {
+		t.Fatalf("VictimStates = %d, want 1", got)
+	}
+	// The block carries the victim it protects (journal/gossip evidence).
+	if ents := p.Blocklist().Snapshot(); len(ents) != 1 || ents[0].Victim != victim {
+		t.Fatalf("blocklist = %+v, want one entry for victim %d", ents, victim)
+	}
+
+	// Idle past the TTL: one synchronous sweep retires the victim.
+	clock.Add(2 * time.Minute.Nanoseconds())
+	p.SweepVictims()
+	if got := p.C.VictimsExpired.Load(); got != 1 {
+		t.Fatalf("victims expired = %d, want 1", got)
+	}
+	if len(expired) != 1 {
+		t.Fatalf("expiry hook fired %d times, want 1", len(expired))
+	}
+	if snap := expired[0]; !snap.Expired || snap.Victim != victim ||
+		snap.Identified() != 2020 || !snap.Alarmed {
+		t.Fatalf("expiry snapshot mangled: %+v", snap)
+	}
+	if _, ok := p.ExportVictim(victim); ok {
+		t.Fatal("exact state survived the sweep")
+	}
+	if got := p.Snapshot().VictimStates; got != 0 {
+		t.Fatalf("VictimStates after sweep = %d, want 0", got)
+	}
+	// Expiry drops the detectors, never the verdict: the zombie stays
+	// blocked (BlockTTL < 0 means permanent — the satellite-1 semantics).
+	if !p.Blocklist().BlockedAt(zombie, clock.Load()+365*24*time.Hour.Nanoseconds()) {
+		t.Fatal("permanent block lapsed after victim expiry")
+	}
+
+	// Renewed traffic re-materializes through the gate (default admit-
+	// on-first); identification restarts while blocking holds.
+	hitsBefore := p.C.BlockedHits.Load()
+	for end := now + 10; now < end; now++ {
+		submitWait(t, p, wire.Record{T: now, Topo: p.TopoID(), Victim: victim, MF: zmf})
+	}
+	waitProcessed(t, p)
+	snap, ok := p.ExportVictim(victim)
+	if !ok {
+		t.Fatal("victim never re-materialized")
+	}
+	if snap.Identified() != 10 {
+		t.Fatalf("re-materialized tally = %d, want a fresh 10", snap.Identified())
+	}
+	if got := p.C.VictimsAdmitted.Load(); got != 2 {
+		t.Errorf("victims admitted = %d, want 2 (initial + re-admission)", got)
+	}
+	if p.C.BlockedHits.Load() <= hitsBefore {
+		t.Error("renewed zombie traffic not dropped as blocked hits")
+	}
+
+	// The journal audit trail has the full arc: alarm, block, expiry.
+	p.Close()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var sawExpired bool
+	for _, ev := range decodeEvents(t, buf.Bytes()) {
+		if ev.Type != EventVictimExpired {
+			continue
+		}
+		sawExpired = true
+		if ev.Victim != int64(victim) || ev.Count != 2020 {
+			t.Fatalf("victim_expired event mangled: %+v", ev)
+		}
+	}
+	if !sawExpired {
+		t.Fatal("no victim_expired event journaled")
+	}
+}
+
+// TestSchemeUnbuildableCachedAtNew: a fabric past DDPM's 16-bit MF
+// reach (a 256x256 torus needs 18) still builds a pipeline — records
+// are counted, not fatal, and the construction failure is cached at New
+// rather than retried per batch.
+func TestSchemeUnbuildableCachedAtNew(t *testing.T) {
+	net := topology.NewTorus2D(256)
+	p, err := New(Config{Net: net, Shards: 1})
+	if err != nil {
+		t.Fatalf("New must succeed on an unbuildable-scheme fabric: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		submitWait(t, p, wire.Record{T: eventq.Time(i), Topo: p.TopoID(), Victim: 100, MF: uint16(i)})
+	}
+	p.Close()
+	if got := p.C.SchemeUnbuildable.Load(); got != 5 {
+		t.Errorf("scheme unbuildable = %d, want 5", got)
+	}
+	if got := p.C.Identified.Load() + p.C.Undecodable.Load(); got != 0 {
+		t.Errorf("identified+undecodable = %d, want 0", got)
+	}
+	if got := p.C.Processed.Load(); got != 5 {
+		t.Errorf("processed = %d, want 5", got)
+	}
+	if vs := p.Victims(); len(vs) != 0 {
+		t.Errorf("Victims() = %v, want none", vs)
+	}
+}
+
+// TestBlockTTLPermanentNegative: Config.BlockTTL adopts the blocklist
+// convention — negative means permanent, zero means the 60s default.
+func TestBlockTTLPermanentNegative(t *testing.T) {
+	cfg := Config{Net: topology.NewMesh2D(4), BlockTTL: -1}
+	if err := cfg.applyDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.BlockTTL >= 0 {
+		t.Fatalf("negative BlockTTL rewritten to %v", cfg.BlockTTL)
+	}
+	cfg = Config{Net: topology.NewMesh2D(4)}
+	if err := cfg.applyDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.BlockTTL != time.Minute {
+		t.Fatalf("zero BlockTTL default = %v, want 1m", cfg.BlockTTL)
+	}
+	// filter-level convention the pipeline maps onto.
+	if filter.Permanent != 0 {
+		t.Fatalf("filter.Permanent = %d", filter.Permanent)
+	}
+}

@@ -1,0 +1,260 @@
+// Package sketch provides the probabilistic pre-identification stage
+// of the pipeline: a conservative-update count-min sketch plus a
+// space-saving heavy-hitter table over destination ids. Together they
+// answer "is this destination hot enough to deserve exact per-victim
+// state?" in O(1) per record with a few MB total, in the spirit of
+// in-network volumetric victim identification — the cheap discovery
+// pass that gates the paper's expensive exact identification (§5).
+//
+// Both structures are single-writer: the pipeline gives each shard
+// worker its own instances, so no operation here takes a lock.
+package sketch
+
+// mix64 is the SplitMix64 finalizer — the per-row hash for CountMin.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// CountMin is a conservative-update count-min sketch over uint64 keys.
+// Width rounds up to a power of two so row indexing is a mask, and
+// conservative update (only raise cells below the new estimate) keeps
+// the overestimate bias minimal for skewed streams.
+type CountMin struct {
+	mask  uint64
+	depth int
+	rows  []uint32 // depth rows of width cells, flattened
+}
+
+// NewCountMin builds a sketch with the given row width (rounded up to
+// a power of two, minimum 16) and depth (minimum 1).
+func NewCountMin(width, depth int) *CountMin {
+	w := uint64(16)
+	for int(w) < width {
+		w <<= 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	return &CountMin{mask: w - 1, depth: depth, rows: make([]uint32, w*uint64(depth))}
+}
+
+// Add counts one occurrence of key with conservative update and
+// returns the new estimate (the minimum cell across rows). Saturates
+// at MaxUint32 instead of wrapping.
+func (c *CountMin) Add(key uint64) uint32 {
+	h := mix64(key)
+	w := c.mask + 1
+	est := ^uint32(0)
+	for r := 0; r < c.depth; r++ {
+		i := uint64(r)*w + (h & c.mask)
+		if v := c.rows[i]; v < est {
+			est = v
+		}
+		h = mix64(h + uint64(r) + 1)
+	}
+	if est != ^uint32(0) {
+		est++
+	}
+	h = mix64(key)
+	for r := 0; r < c.depth; r++ {
+		i := uint64(r)*w + (h & c.mask)
+		if c.rows[i] < est {
+			c.rows[i] = est
+		}
+		h = mix64(h + uint64(r) + 1)
+	}
+	return est
+}
+
+// Estimate returns the count estimate for key without mutating.
+func (c *CountMin) Estimate(key uint64) uint32 {
+	h := mix64(key)
+	w := c.mask + 1
+	est := ^uint32(0)
+	for r := 0; r < c.depth; r++ {
+		i := uint64(r)*w + (h & c.mask)
+		if v := c.rows[i]; v < est {
+			est = v
+		}
+		h = mix64(h + uint64(r) + 1)
+	}
+	return est
+}
+
+// Halve ages every cell by half — the windowed decay the pipeline runs
+// every SketchDecayEvery records, so stale scans stop looking hot.
+func (c *CountMin) Halve() {
+	for i := range c.rows {
+		c.rows[i] >>= 1
+	}
+}
+
+// Bytes reports the sketch's memory footprint.
+func (c *CountMin) Bytes() int { return len(c.rows) * 4 }
+
+// Slot is one tracked heavy-hitter candidate. Count follows the
+// space-saving rule (inherits the evicted minimum plus its own hits);
+// Errs is the inherited part, so Count-Errs is exact since insertion.
+// Buf holds the replay payloads appended while the key was tracked,
+// capped at the table's bufCap — the pipeline replays them through the
+// exact path on admission so no pre-admission record is lost.
+type Slot[P any] struct {
+	Key   uint64
+	Count uint32
+	Errs  uint32
+	Buf   []P
+}
+
+// Guaranteed is the lower bound on the key's true count since the slot
+// was (re)inserted — the admission test the pipeline applies.
+func (s *Slot[P]) Guaranteed() uint32 { return s.Count - s.Errs }
+
+// SpaceSaving tracks the top-K candidate keys of a stream with the
+// space-saving algorithm, each slot carrying a bounded replay buffer.
+// Eviction is additionally gated on the caller-provided count-min
+// estimate: a key only displaces the minimum slot when the sketch says
+// it is genuinely hotter, which stops one-shot scan keys from churning
+// the table (classic space-saving would rotate every slot under a
+// 1M-distinct-destination sweep).
+type SpaceSaving[P any] struct {
+	slots  []Slot[P]
+	idx    map[uint64]int
+	bufCap int
+
+	// minHint is a monotone-safe lower bound on the minimum slot count
+	// once the table is full: the true minimum never drops below it
+	// (counts only grow between rescans), so estimates at or below it
+	// reject in O(1) without scanning.
+	minHint uint32
+}
+
+// NewSpaceSaving builds a table with the given slot capacity (minimum
+// 1) and per-slot replay-buffer capacity (0 disables buffering).
+func NewSpaceSaving[P any](capacity, bufCap int) *SpaceSaving[P] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if bufCap < 0 {
+		bufCap = 0
+	}
+	return &SpaceSaving[P]{
+		slots:  make([]Slot[P], 0, capacity),
+		idx:    make(map[uint64]int, capacity),
+		bufCap: bufCap,
+	}
+}
+
+// Len returns the number of tracked keys.
+func (t *SpaceSaving[P]) Len() int { return len(t.slots) }
+
+// Touch counts one occurrence of key, appending item to its replay
+// buffer while tracked (and under the buffer cap). est is the caller's
+// count-min estimate for the key, consulted only when a full table
+// would need an eviction. Returns the key's slot, or nil when the key
+// is not tracked (table full and the estimate no hotter than the
+// current minimum).
+func (t *SpaceSaving[P]) Touch(key uint64, est uint32, item P) *Slot[P] {
+	if i, ok := t.idx[key]; ok {
+		s := &t.slots[i]
+		s.Count++
+		if len(s.Buf) < t.bufCap {
+			s.Buf = append(s.Buf, item)
+		}
+		return s
+	}
+	if len(t.slots) < cap(t.slots) {
+		t.slots = append(t.slots, Slot[P]{Key: key, Count: 1})
+		i := len(t.slots) - 1
+		t.idx[key] = i
+		s := &t.slots[i]
+		if t.bufCap > 0 {
+			if s.Buf == nil {
+				s.Buf = make([]P, 0, t.bufCap)
+			}
+			s.Buf = append(s.Buf, item)
+		}
+		return s
+	}
+	if est <= t.minHint {
+		return nil // certainly no hotter than the coldest slot
+	}
+	mi := 0
+	for i := 1; i < len(t.slots); i++ {
+		if t.slots[i].Count < t.slots[mi].Count {
+			mi = i
+		}
+	}
+	min := t.slots[mi].Count
+	t.minHint = min
+	if est <= min {
+		return nil
+	}
+	// Space-saving eviction: the newcomer inherits the minimum count as
+	// its error bound and starts a fresh replay buffer.
+	s := &t.slots[mi]
+	delete(t.idx, s.Key)
+	t.idx[key] = mi
+	s.Key = key
+	s.Errs = min
+	s.Count = min + 1
+	s.Buf = s.Buf[:0]
+	if t.bufCap > 0 {
+		s.Buf = append(s.Buf, item)
+	}
+	return s
+}
+
+// Get returns the slot tracking key, or nil.
+func (t *SpaceSaving[P]) Get(key uint64) *Slot[P] {
+	if i, ok := t.idx[key]; ok {
+		return &t.slots[i]
+	}
+	return nil
+}
+
+// Remove frees key's slot (the pipeline calls it on admission, when
+// the key graduates to exact state). The freed slot's replay buffer is
+// kept for reuse. Reports whether the key was tracked.
+func (t *SpaceSaving[P]) Remove(key uint64) bool {
+	i, ok := t.idx[key]
+	if !ok {
+		return false
+	}
+	delete(t.idx, key)
+	last := len(t.slots) - 1
+	freed := t.slots[i].Buf[:0]
+	if i != last {
+		t.slots[i] = t.slots[last]
+		t.idx[t.slots[i].Key] = i
+		t.slots[last].Buf = freed
+	} else {
+		t.slots[i].Buf = freed
+	}
+	t.slots[last].Key = 0
+	t.slots[last].Count = 0
+	t.slots[last].Errs = 0
+	t.slots = t.slots[:last]
+	t.minHint = 0 // the table is no longer full; hint re-derives on next scan
+	return true
+}
+
+// Halve ages every slot by half, dropping slots that reach zero —
+// run alongside CountMin.Halve so the two stay comparable.
+func (t *SpaceSaving[P]) Halve() {
+	for i := 0; i < len(t.slots); {
+		s := &t.slots[i]
+		s.Count >>= 1
+		s.Errs >>= 1
+		if s.Count == 0 {
+			t.Remove(s.Key)
+			continue // Remove swapped a new slot into i
+		}
+		i++
+	}
+	t.minHint >>= 1
+}
