@@ -5,12 +5,14 @@ BIN := bin
 
 ## check: lint, build, test, fuzz-smoke and trace-smoke everything (the
 ## tier-1 gate). The clustered chaos e2e — kill the victim's owner
-## mid-campaign, survivors must take over exactly — runs under the race
-## detector here because its value is precisely its concurrency.
+## mid-campaign, survivors take over, the owner rejoins and gets its
+## state handed back — and the forwarding-gate scan-suppression e2e run
+## under the race detector here because their value is precisely their
+## concurrency.
 check: lint
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race -count=1 -run TestClusterChaosKillOwnerMidCampaign ./internal/cluster/
+	$(GO) test -race -count=1 -run 'TestClusterChaosKillOwnerMidCampaign|TestClusterScanSuppression' ./internal/cluster/
 	$(MAKE) fuzz-smoke
 	$(MAKE) trace-smoke
 
@@ -40,7 +42,9 @@ race:
 ## cluster-smoke: boot a three-instance fleet wired as one cluster,
 ## spray a seeded flood across all of them with loadgen -targets (its
 ## exit code asserts zero loss), and require every instance to report
-## the full fleet alive with records forwarded between owners.
+## the full fleet alive with records forwarded between owners. A fourth
+## instance then joins the running fleet with -join — knowing only one
+## member — and every instance must converge on 4/4 alive.
 cluster-smoke: build
 	@set -e; \
 	$(BIN)/ddpmd serve -topo torus -dims 8x8 -tcp 127.0.0.1:27420 -http 127.0.0.1:27421 \
@@ -72,7 +76,26 @@ cluster-smoke: build
 		fwd=$$((fwd + n)); \
 	done; \
 	[ $$fwd -gt 0 ] || { echo "cluster-smoke: no records were forwarded between owners"; exit 1; }; \
-	echo "cluster-smoke: fleet healthy, $$fwd records forwarded to their owners"
+	echo "cluster-smoke: fleet healthy, $$fwd records forwarded to their owners"; \
+	$(BIN)/ddpmd serve -topo torus -dims 8x8 -tcp 127.0.0.1:27450 -http 127.0.0.1:27451 \
+		-cluster 127.0.0.1:27450 -join 127.0.0.1:27420 >/dev/null & \
+	p4=$$!; \
+	trap 'kill $$p1 $$p2 $$p3 $$p4 2>/dev/null || true' EXIT INT TERM; \
+	ok=0; for i in $$(seq 1 50); do \
+		if $(BIN)/ddpmd status -http 127.0.0.1:27451 >/dev/null 2>&1; then ok=1; break; fi; \
+		sleep 0.1; \
+	done; \
+	[ $$ok -eq 1 ] || { echo "cluster-smoke: joining instance never became ready"; exit 1; }; \
+	for port in 27421 27431 27441 27451; do \
+		ok=0; for i in $$(seq 1 50); do \
+			if $(BIN)/ddpmd cluster status -http 127.0.0.1:$$port | grep -q '4/4 alive'; then ok=1; break; fi; \
+			sleep 0.1; \
+		done; \
+		[ $$ok -eq 1 ] || { \
+			echo "cluster-smoke: instance on $$port never converged on the joined fleet:"; \
+			$(BIN)/ddpmd cluster status -http 127.0.0.1:$$port; exit 1; }; \
+	done; \
+	echo "cluster-smoke: runtime join converged, 4/4 alive on every instance"
 
 ## bench: run the engine + pipeline benchmarks and refresh BENCH_netsim.json
 bench:
@@ -126,6 +149,8 @@ trace-smoke: build
 run-ddpmd:
 	$(GO) run ./cmd/ddpmd serve -topo torus -dims 8x8 -tcp :7420 -http :7421
 
-## clean: remove built binaries
+## clean: remove built binaries and local bench/trace artifacts (all
+## gitignored; CI uploads them before they would be cleaned)
 clean:
 	rm -rf $(BIN)
+	rm -f benchjson.test cpu.prof mem.prof trace-dump.json

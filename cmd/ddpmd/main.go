@@ -22,6 +22,13 @@
 //	ddpmd loadgen -topo torus -dims 8x8 -targets 127.0.0.1:7420,127.0.0.1:7430,127.0.0.1:7440
 //	ddpmd cluster status -http 127.0.0.1:7421
 //
+// A late instance joins a running fleet with -join: it dials any live
+// member, learns the roster via gossip, and enters the ring; departing
+// victims are handed back to it with their identification state:
+//
+//	ddpmd serve -topo torus -dims 8x8 -tcp :7450 -http :7451 \
+//	    -cluster 127.0.0.1:7450 -join 127.0.0.1:7420
+//
 // SIGTERM/SIGINT drain gracefully: listeners close, queued records are
 // processed, /healthz reports "draining" until exit.
 package main
@@ -105,6 +112,7 @@ func serve(args []string) {
 
 		clSelf   = fs.String("cluster", "", "this instance's advertised TCP ingest address: enables cluster mode")
 		clPeers  = fs.String("peers", "", "comma-separated peer ingest addresses (cluster mode)")
+		clJoin   = fs.String("join", "", "address of any live fleet member to join at runtime (cluster mode; the roster is learned via gossip)")
 		clGossip = fs.Duration("gossip-interval", 500*time.Millisecond, "anti-entropy gossip cadence (cluster mode)")
 		clFail   = fs.Duration("fail-after", 0, "declare a silent peer dead after this long (0 = 4×gossip-interval)")
 		clVNodes = fs.Int("vnodes", 64, "virtual nodes per member on the ownership ring (cluster mode)")
@@ -129,10 +137,11 @@ func serve(args []string) {
 				peers = append(peers, a)
 			}
 		}
-		self, interval, failAfter, vnodes := *clSelf, *clGossip, *clFail, *clVNodes
+		self, join, interval, failAfter, vnodes, admit := *clSelf, *clJoin, *clGossip, *clFail, *clVNodes, *admitN
 		newCluster = func(p *pipeline.Pipeline) (pipeline.ClusterNode, error) {
 			n, err := cluster.New(p, cluster.Config{
-				Self: self, Peers: peers,
+				Self: self, Peers: peers, Join: join,
+				SketchAdmit:    admit,
 				GossipInterval: interval, FailAfter: failAfter, VNodes: vnodes,
 				Logf: func(format string, args ...any) {
 					fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -145,6 +154,8 @@ func serve(args []string) {
 		}
 	} else if *clPeers != "" {
 		fatal(fmt.Errorf("serve: -peers requires -cluster <self-addr>"))
+	} else if *clJoin != "" {
+		fatal(fmt.Errorf("serve: -join requires -cluster <self-addr>"))
 	}
 	d, err := pipeline.Start(pipeline.ServerConfig{
 		Pipeline: pipeline.Config{

@@ -247,8 +247,10 @@ func TestClusterChaosKillOwnerMidCampaign(t *testing.T) {
 		t.Fatalf("post-death owner %x is not the old successor %x", newOwner, succ)
 	}
 
-	// Phase 2: the rest of the campaign, to the survivors only.
-	phase2 := send([]*wire.Client{newClient(survivors[0], 23), newClient(survivors[1], 24)}, res.Records[cut:])
+	// Phase 2: the campaign continues on the survivors only. The final
+	// tenth is held back for phase 3, after the dead owner rejoins.
+	cut2 := len(res.Records) * 9 / 10
+	phase2 := send([]*wire.Client{newClient(survivors[0], 23), newClient(survivors[1], 24)}, res.Records[cut:cut2])
 	waitFor("phase-2 records to reach their owners", func() bool {
 		return sumProcessed(survivors...) == procAtKill-pipes[kill].C.Processed.Load()+phase2
 	})
@@ -261,13 +263,13 @@ func TestClusterChaosKillOwnerMidCampaign(t *testing.T) {
 
 	// The takeover invariant: the new owner's tallies — seeded replica
 	// plus phase-2 traffic — equal the offline identifier over every
-	// record the fleet accepted, and identification is unchanged.
+	// record the fleet accepted so far, and identification is unchanged.
 	scheme, err := marking.NewDDPM(topology.NewTorus2D(8))
 	if err != nil {
 		t.Fatal(err)
 	}
 	offline := traceback.NewDDPMIdentifier(scheme, res.Victim)
-	for _, rec := range res.Records {
+	for _, rec := range res.Records[:cut2] {
 		offline.ObserveMF(rec.MF)
 	}
 	want := offline.SourcesAbove(chaosBlockThreshold)
@@ -337,5 +339,112 @@ func TestClusterChaosKillOwnerMidCampaign(t *testing.T) {
 	}
 	waitFor("manual block to gossip to the other survivor", func() bool {
 		return pipes[survivors[1]].Blocklist().BlockedAt(manual, time.Now().UnixNano())
+	})
+
+	// Phase 3: the killed owner returns at its old address via -join —
+	// it knows nothing but one survivor and learns the roster over
+	// gossip. Rejoining re-routes the attack victim back to it (same
+	// member id, same pure function of the alive set), so the interim
+	// owner must hand back its cumulative state before releasing it.
+	interim, ok := pipes[succIdx].ExportVictim(res.Victim)
+	if !ok {
+		t.Fatal("interim owner has no state for the attack victim before the rejoin")
+	}
+	interimTotal := interim.Identified() + interim.Undecodable
+	var rnode *Node
+	rd, err := pipeline.Start(pipeline.ServerConfig{
+		Pipeline: pipeline.Config{
+			Net: topology.NewTorus2D(8), Shards: 4, QueueLen: 1 << 15,
+			BlockThreshold: chaosBlockThreshold, BlockTTL: time.Hour,
+		},
+		TCPAddr:  addrs[kill],
+		HTTPAddr: "127.0.0.1:0",
+		NewCluster: func(p *pipeline.Pipeline) (pipeline.ClusterNode, error) {
+			n, err := New(p, Config{
+				Self: addrs[kill], Join: addrs[survivors[0]],
+				GossipInterval:    25 * time.Millisecond,
+				FailAfter:         1500 * time.Millisecond,
+				MaxReplicasPerMsg: 64,
+				Incarnation:       uint64(0x2000 + kill),
+				Logf:              t.Logf,
+			})
+			if err == nil {
+				rnode = n
+			}
+			return n, err
+		},
+	})
+	if err != nil {
+		t.Fatalf("rejoin daemon: %v", err)
+	}
+	defer rd.Shutdown(context.Background())
+	rp := rd.Pipeline()
+
+	// Everyone converges on the three-member ring again, with the
+	// rejoined instance owning the attack victim as before the kill.
+	waitFor("fleet to converge on the rejoined three-member ring", func() bool {
+		if rnode.Ring().Size() != 3 {
+			return false
+		}
+		for _, i := range survivors {
+			if nodes[i].Ring().Size() != 3 {
+				return false
+			}
+		}
+		return true
+	})
+	if got := rnode.Ring().Owner(res.Victim); got != owner {
+		t.Fatalf("rejoined ring owner %x, want the original owner %x", got, owner)
+	}
+
+	// Handback: the interim owner detaches and ships its cumulative
+	// state; the rejoined owner seeds it, tallies intact to the record.
+	waitFor("handback of the attack victim to the rejoined owner", func() bool {
+		snap, ok := rp.ExportVictim(res.Victim)
+		return ok && snap.Identified()+snap.Undecodable == interimTotal
+	})
+	if _, ok := pipes[succIdx].ExportVictim(res.Victim); ok {
+		t.Fatal("interim owner kept exact state after the handback")
+	}
+	if nodes[succIdx].handbacksOut.Load() == 0 {
+		t.Fatal("interim owner recorded no handback shipments")
+	}
+	if rnode.handbacksIn.Load() == 0 {
+		t.Fatal("rejoined owner recorded no inbound handbacks")
+	}
+
+	// The rest of the campaign, sprayed across all three instances.
+	prev3 := sumProcessed(survivors...) + rp.C.Processed.Load()
+	phase3 := send([]*wire.Client{
+		newClient(kill, 33), newClient(survivors[0], 34), newClient(survivors[1], 35),
+	}, res.Records[cut2:])
+	waitFor("phase-3 records to reach their owners", func() bool {
+		return sumProcessed(survivors...)+rp.C.Processed.Load() == prev3+phase3
+	})
+	if rnode.forwardDropped.Load() != 0 || rnode.forwardLost.Load() != 0 {
+		t.Fatalf("rejoined node shed forwards (dropped=%d lost=%d)",
+			rnode.forwardDropped.Load(), rnode.forwardLost.Load())
+	}
+
+	// The rejoin invariant, the point of the whole exercise: after a
+	// kill AND a rejoin, the owner's tallies equal the offline
+	// identifier over every record the fleet accepted across all three
+	// phases — no identification was lost at either ownership handover.
+	for _, rec := range res.Records[cut2:] {
+		offline.ObserveMF(rec.MF)
+	}
+	wantAll := offline.SourcesAbove(chaosBlockThreshold)
+	gotAll := rp.SourcesAbove(res.Victim, chaosBlockThreshold)
+	if !reflect.DeepEqual(gotAll, wantAll) {
+		t.Fatalf("post-rejoin identification %v != offline-over-delivered %v", gotAll, wantAll)
+	}
+	if !reflect.DeepEqual(gotAll, res.Zombies) {
+		t.Fatalf("post-rejoin identified %v, ground truth %v", gotAll, res.Zombies)
+	}
+
+	// And the rejoined instance serves the fleet's blocklist — blocks
+	// minted before and during its absence included.
+	waitFor("blocklist convergence at the rejoined instance", func() bool {
+		return reflect.DeepEqual(rp.Blocklist().Snapshot(), pipes[survivors[0]].Blocklist().Snapshot())
 	})
 }

@@ -27,17 +27,28 @@ import (
 //	nReps   uint16, then per replica:
 //	        victim(8) flags(1: bit0 alarmed, bit1 expired) undecodable(8) nSources(4),
 //	        then per source: node(8) count(8)
+//	senderAddr: len uint16 + bytes (the sender's advertised ingest address)
+//	nRoster uint16, then per entry: len uint16 + bytes
 //
 // Replicas with the expired flag are tombstones: the final snapshot of
 // a victim whose owner's TTL sweep retired it, shipped so the backup
 // drops its stored replica instead of re-seeding a detector the owner
 // deliberately let go.
+//
+// SenderAddr and Roster are what make runtime join work: a joiner that
+// knows one live member learns every other alive member's address from
+// the roster, and the member learns the joiner from SenderAddr. Member
+// ids are the FNV hash of the address, so a receiver authenticates a
+// previously unknown sender by checking MemberID(SenderAddr) == Sender
+// before admitting it to the roster.
 type gossipMsg struct {
-	Sender   uint64
-	RingVer  uint64
-	Digest   []digestEntry
-	Ops      []originOp
-	Replicas []pipeline.VictimSnapshot
+	Sender     uint64
+	RingVer    uint64
+	SenderAddr string
+	Digest     []digestEntry
+	Ops        []originOp
+	Replicas   []pipeline.VictimSnapshot
+	Roster     []string
 }
 
 // digestEntry advertises the highest contiguous mutation sequence the
@@ -55,7 +66,7 @@ type originOp struct {
 }
 
 const (
-	gossipVersion   = 1
+	gossipVersion   = 2
 	gossipFixedSize = 1 + 8 + 8
 	digestEntrySize = 16
 	opSize          = 49
@@ -92,24 +103,64 @@ func appendGossipMsg(b []byte, m *gossipMsg) []byte {
 	}
 	b = binary.BigEndian.AppendUint16(b, uint16(len(m.Replicas)))
 	for i := range m.Replicas {
-		r := &m.Replicas[i]
-		b = binary.BigEndian.AppendUint64(b, uint64(int64(r.Victim)))
-		var fl byte
-		if r.Alarmed {
-			fl = 1
-		}
-		if r.Expired {
-			fl |= 2
-		}
-		b = append(b, fl)
-		b = binary.BigEndian.AppendUint64(b, uint64(r.Undecodable))
-		b = binary.BigEndian.AppendUint32(b, uint32(len(r.Sources)))
-		for _, sc := range r.Sources {
-			b = binary.BigEndian.AppendUint64(b, uint64(sc.Node))
-			b = binary.BigEndian.AppendUint64(b, uint64(sc.Count))
-		}
+		b = appendSnapshot(b, &m.Replicas[i])
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(len(m.SenderAddr)))
+	b = append(b, m.SenderAddr...)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(m.Roster)))
+	for _, addr := range m.Roster {
+		b = binary.BigEndian.AppendUint16(b, uint16(len(addr)))
+		b = append(b, addr...)
 	}
 	return b
+}
+
+// appendSnapshot encodes one victim snapshot (the replica layout shared
+// by gossip messages and handback frames).
+func appendSnapshot(b []byte, r *pipeline.VictimSnapshot) []byte {
+	b = binary.BigEndian.AppendUint64(b, uint64(int64(r.Victim)))
+	var fl byte
+	if r.Alarmed {
+		fl = 1
+	}
+	if r.Expired {
+		fl |= 2
+	}
+	b = append(b, fl)
+	b = binary.BigEndian.AppendUint64(b, uint64(r.Undecodable))
+	b = binary.BigEndian.AppendUint32(b, uint32(len(r.Sources)))
+	for _, sc := range r.Sources {
+		b = binary.BigEndian.AppendUint64(b, uint64(sc.Node))
+		b = binary.BigEndian.AppendUint64(b, uint64(sc.Count))
+	}
+	return b
+}
+
+// parseSnapshot decodes one victim snapshot off the front of p and
+// returns the remainder. Nothing aliases p.
+func parseSnapshot(p []byte) (pipeline.VictimSnapshot, []byte, error) {
+	if len(p) < replicaFixed {
+		return pipeline.VictimSnapshot{}, nil, errGossipTrunc
+	}
+	snap := pipeline.VictimSnapshot{
+		Victim:      topology.NodeID(int64(binary.BigEndian.Uint64(p[0:8]))),
+		Alarmed:     p[8]&1 != 0,
+		Expired:     p[8]&2 != 0,
+		Undecodable: int64(binary.BigEndian.Uint64(p[9:17])),
+	}
+	ns := int(binary.BigEndian.Uint32(p[17:21]))
+	p = p[replicaFixed:]
+	for j := 0; j < ns; j++ {
+		if len(p) < sourceSize {
+			return pipeline.VictimSnapshot{}, nil, errGossipTrunc
+		}
+		snap.Sources = append(snap.Sources, pipeline.SourceCount{
+			Node:  int64(binary.BigEndian.Uint64(p[0:8])),
+			Count: int64(binary.BigEndian.Uint64(p[8:16])),
+		})
+		p = p[sourceSize:]
+	}
+	return snap, p, nil
 }
 
 // parseGossipMsg decodes a message body. Nothing aliases b.
@@ -174,28 +225,37 @@ func parseGossipMsg(b []byte) (*gossipMsg, error) {
 	}
 	nr := int(binary.BigEndian.Uint16(hdr))
 	for i := 0; i < nr; i++ {
-		e, err := take(replicaFixed)
+		snap, rest, err := parseSnapshot(p)
 		if err != nil {
 			return nil, err
 		}
-		snap := pipeline.VictimSnapshot{
-			Victim:      topology.NodeID(int64(binary.BigEndian.Uint64(e[0:8]))),
-			Alarmed:     e[8]&1 != 0,
-			Expired:     e[8]&2 != 0,
-			Undecodable: int64(binary.BigEndian.Uint64(e[9:17])),
-		}
-		ns := int(binary.BigEndian.Uint32(e[17:21]))
-		for j := 0; j < ns; j++ {
-			se, err := take(sourceSize)
-			if err != nil {
-				return nil, err
-			}
-			snap.Sources = append(snap.Sources, pipeline.SourceCount{
-				Node:  int64(binary.BigEndian.Uint64(se[0:8])),
-				Count: int64(binary.BigEndian.Uint64(se[8:16])),
-			})
-		}
+		p = rest
 		m.Replicas = append(m.Replicas, snap)
+	}
+	takeStr := func() (string, error) {
+		h, err := take(2)
+		if err != nil {
+			return "", err
+		}
+		s, err := take(int(binary.BigEndian.Uint16(h)))
+		if err != nil {
+			return "", err
+		}
+		return string(s), nil
+	}
+	if m.SenderAddr, err = takeStr(); err != nil {
+		return nil, err
+	}
+	if hdr, err = take(2); err != nil {
+		return nil, err
+	}
+	nm := int(binary.BigEndian.Uint16(hdr))
+	for i := 0; i < nm; i++ {
+		addr, err := takeStr()
+		if err != nil {
+			return nil, err
+		}
+		m.Roster = append(m.Roster, addr)
 	}
 	if len(p) != 0 {
 		return nil, fmt.Errorf("cluster: %d trailing gossip bytes", len(p))
@@ -204,11 +264,23 @@ func parseGossipMsg(b []byte) (*gossipMsg, error) {
 }
 
 // gossipBudget tracks how many encoded bytes a message may still grow
-// by before it would no longer fit a wire frame.
+// by before it would no longer fit a wire frame. addrBytes is the
+// pre-computed size of the sender-addr and roster sections, which are
+// mandatory and therefore reserved up front.
 type gossipBudget struct{ left int }
 
-func newGossipBudget(digestEntries int) gossipBudget {
-	return gossipBudget{left: wire.MaxGossipBody - gossipFixedSize - 6 - digestEntries*digestEntrySize}
+func newGossipBudget(digestEntries, addrBytes int) gossipBudget {
+	return gossipBudget{left: wire.MaxGossipBody - gossipFixedSize - 6 - digestEntries*digestEntrySize - addrBytes}
+}
+
+// rosterBytes is the encoded size of the sender-addr plus roster
+// sections of a message.
+func rosterBytes(senderAddr string, roster []string) int {
+	n := 2 + len(senderAddr) + 2
+	for _, a := range roster {
+		n += 2 + len(a)
+	}
+	return n
 }
 
 func (g *gossipBudget) fitsOp() bool {

@@ -1,0 +1,497 @@
+package cluster
+
+import (
+	"errors"
+	"net"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/pipeline"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+func TestHandbackMsgCodecRoundTrip(t *testing.T) {
+	m := &handbackMsg{
+		Sender: 0xFEED,
+		Seq:    42,
+		Snap: pipeline.VictimSnapshot{
+			Victim: 17, Alarmed: true, Undecodable: 3,
+			Sources: []pipeline.SourceCount{{Node: 2, Count: 900}, {Node: 5, Count: 1}},
+		},
+	}
+	got, err := parseHandbackMsg(appendHandbackMsg(nil, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("round trip mangled:\n got %+v\nwant %+v", got, m)
+	}
+	b := appendHandbackMsg(nil, m)
+	for cut := 1; cut < len(b); cut++ {
+		if _, err := parseHandbackMsg(b[:len(b)-cut]); err == nil {
+			t.Fatalf("truncation by %d bytes parsed", cut)
+		}
+	}
+	if _, err := parseHandbackMsg(append(appendHandbackMsg(nil, m), 0)); err == nil {
+		t.Fatal("trailing byte parsed")
+	}
+	bad := appendHandbackMsg(nil, m)
+	bad[0] = handbackVersion + 1
+	if _, err := parseHandbackMsg(bad); err == nil {
+		t.Fatal("future version parsed")
+	}
+}
+
+// TestRecomputeMembershipEqualSizeSwap is the regression test for the
+// sweep comparing alive sets only by example when sizes matched: one
+// member dying in the same window another joins keeps the count
+// constant while changing the membership, and the ring must rebuild.
+func TestRecomputeMembershipEqualSizeSwap(t *testing.T) {
+	var now atomic.Int64
+	addrs := []string{"10.6.0.1:1", "10.6.0.2:1", "10.6.0.3:1"}
+	n, _ := newTestNode(t, addrs[0], []string{addrs[1]}, 601, &now)
+
+	if got := n.Ring().Size(); got != 2 {
+		t.Fatalf("initial ring size %d, want 2", got)
+	}
+	// A third member joins at t=0.9s (lastHeard stamped then), while the
+	// configured peer stays silent past FailAfter (1s): at the next
+	// sweep the alive count is still 2 but the set has swapped.
+	now.Store(int64(900 * time.Millisecond))
+	if pr := n.addPeer(addrs[2]); pr == nil {
+		t.Fatal("addPeer rejected the joiner")
+	}
+	now.Store(int64(1500 * time.Millisecond))
+	n.recomputeMembership()
+
+	ring := n.Ring()
+	if ring.Version() != 2 {
+		t.Fatalf("ring version %d, want 2 (equal-size membership swap must rebuild)", ring.Version())
+	}
+	want := []uint64{n.self, MemberID(addrs[2])}
+	if want[0] > want[1] {
+		want[0], want[1] = want[1], want[0]
+	}
+	if got := ring.Members(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("ring members %v, want %v", got, want)
+	}
+	if got := n.joins.Load(); got != 1 {
+		t.Fatalf("joins counter %d, want 1", got)
+	}
+}
+
+// TestRuntimeJoinLearnsRoster: a joiner configured with nothing but a
+// -join address learns the rest of the fleet from its first gossip
+// exchange, and the fleet learns the joiner from its authenticated
+// sender address — every node converges on the same three-member ring.
+func TestRuntimeJoinLearnsRoster(t *testing.T) {
+	var now atomic.Int64
+	now.Store(1) // nonzero so lastHeard stamps are meaningful
+	addrs := []string{"10.7.0.1:1", "10.7.0.2:1", "10.7.0.3:1"}
+	a, _ := newTestNode(t, addrs[0], []string{addrs[1]}, 701, &now)
+
+	pj, err := pipeline.New(pipeline.Config{
+		Net: topology.NewTorus2D(8), Shards: 2, QueueLen: 1 << 12,
+		BlockThreshold: 1 << 30, BlockTTL: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := New(pj, Config{
+		Self: addrs[2], Join: addrs[0],
+		GossipInterval: time.Hour, FailAfter: time.Second,
+		Incarnation: 703,
+		Dial:        func(string) (net.Conn, error) { return nil, errors.New("test: no network") },
+		Now:         now.Load,
+	})
+	if err != nil {
+		pj.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		j.Close()
+		pj.Close()
+	})
+	if got := len(j.members.Load().list); got != 1 {
+		t.Fatalf("joiner starts knowing %d members, want 1 (the join target)", got)
+	}
+
+	// One exchange with the join target: the response roster names the
+	// rest of the fleet, and the request's sender address registers the
+	// joiner at the target.
+	exchange(t, a, j)
+
+	if pr := j.members.Load().byID[MemberID(addrs[1])]; pr == nil {
+		t.Fatal("joiner did not learn the third member from the roster")
+	}
+	if pr := a.members.Load().byID[j.self]; pr == nil {
+		t.Fatal("join target did not learn the joiner from its sender address")
+	}
+	if got := j.joins.Load(); got == 0 {
+		t.Fatal("joiner's members_learned counter still zero")
+	}
+
+	// Both converge on the same three-member ring at their next sweep.
+	a.recomputeMembership()
+	j.recomputeMembership()
+	if got, want := a.Ring().Members(), j.Ring().Members(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("rings diverge after join: a=%v j=%v", got, want)
+	}
+	if got := j.Ring().Size(); got != 3 {
+		t.Fatalf("joined ring size %d, want 3", got)
+	}
+
+	// Determinism: the joined ring partitions victims identically on
+	// both instances (same pure function of the alive set).
+	for v := topology.NodeID(0); v < 64; v++ {
+		if a.Ring().Owner(v) != j.Ring().Owner(v) {
+			t.Fatalf("victim %d owner differs: a=%x j=%x", v, a.Ring().Owner(v), j.Ring().Owner(v))
+		}
+	}
+}
+
+// TestGossipRejectsForgedSender: a gossip message claiming a member id
+// its advertised address does not hash to must not register the
+// address — the id check is the membership authentication.
+func TestGossipRejectsForgedSender(t *testing.T) {
+	var now atomic.Int64
+	addrs := []string{"10.8.0.1:1", "10.8.0.2:1"}
+	n, _ := newTestNode(t, addrs[0], []string{addrs[1]}, 801, &now)
+
+	forged := &gossipMsg{
+		Sender:     MemberID(addrs[1]), // a legitimate member's id...
+		SenderAddr: "10.66.6.6:1",      // ...claimed from the wrong address
+		RingVer:    1,
+	}
+	if _, err := n.HandleGossip(appendGossipMsg(nil, forged)); err != nil {
+		t.Fatalf("HandleGossip: %v", err)
+	}
+	if pr := n.members.Load().byID[MemberID("10.66.6.6:1")]; pr != nil {
+		t.Fatal("forged sender address registered as a member")
+	}
+	if got := len(n.members.Load().list); got != 1 {
+		t.Fatalf("known fleet grew to %d on a forged sender", got)
+	}
+}
+
+// TestHandbackOnOwnershipLoss: when a ring change moves a victim away,
+// its exact state is detached through the shard queue; with the new
+// owner unreachable the shipment falls back to the replica store —
+// delayed, never lost.
+func TestHandbackOnOwnershipLoss(t *testing.T) {
+	var now atomic.Int64
+	now.Store(1)
+	addrs := []string{"10.9.1.1:1", "10.9.1.2:1", "10.9.1.3:1"}
+	n, p := newTestNode(t, addrs[0], []string{addrs[1]}, 901, &now)
+
+	// Find a victim owned here on the two-member ring that the
+	// three-member ring assigns to the joiner.
+	ring := n.Ring()
+	joined := NewRing(2, sortedIDs(n.self, MemberID(addrs[1]), MemberID(addrs[2])), n.cfg.VNodes)
+	victim := topology.NodeID(-1)
+	for v := topology.NodeID(0); v < 64; v++ {
+		if ring.Owner(v) == n.self && joined.Owner(v) == MemberID(addrs[2]) {
+			victim = v
+			break
+		}
+	}
+	if victim < 0 {
+		t.Skip("no victim moves from self to the joiner under these ids")
+	}
+
+	s := p.GetSlab()
+	for i := 0; i < 10; i++ {
+		s.Append(wire.Record{Victim: victim, MF: uint16(i), Topo: p.TopoID()})
+	}
+	p.SubmitSlab(s)
+	deadline := time.Now().Add(5 * time.Second)
+	for p.C.Processed.Load() < 10 {
+		if time.Now().After(deadline) {
+			t.Fatal("records never processed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	want, ok := p.ExportVictim(victim)
+	if !ok {
+		t.Fatal("no exact state before the ring change")
+	}
+
+	// The joiner appears; the sweep rebuilds the ring and must detach
+	// the departing victim. Every dial fails in this harness, so the
+	// handback loop exhausts its attempts and files the fallback.
+	if n.addPeer(addrs[2]) == nil {
+		t.Fatal("addPeer rejected the joiner")
+	}
+	n.recomputeMembership()
+	if got := n.Ring().Version(); got != 2 {
+		t.Fatalf("ring version %d, want 2", got)
+	}
+
+	deadline = time.Now().Add(5 * time.Second)
+	for n.handbackFailures.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("handback never failed over to the replica store")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, ok := p.ExportVictim(victim); ok {
+		t.Fatal("detached victim still has exact state")
+	}
+	if got := p.C.VictimsDetached.Load(); got != 1 {
+		t.Fatalf("VictimsDetached = %d, want 1", got)
+	}
+	n.mu.Lock()
+	stored, ok := n.replicas[victim]
+	seeded := n.seeded[victim]
+	n.mu.Unlock()
+	if !ok {
+		t.Fatal("failed handback did not store a replica")
+	}
+	if seeded {
+		t.Fatal("detached victim still latched as seeded")
+	}
+	if !reflect.DeepEqual(stored.Sources, want.Sources) || stored.Undecodable != want.Undecodable {
+		t.Fatalf("fallback replica mangled:\n got %+v\nwant %+v", stored, want)
+	}
+	if got := n.handbacksOut.Load(); got != 0 {
+		t.Fatalf("handbacksOut = %d, want 0 (owner unreachable)", got)
+	}
+}
+
+// TestHandbackDelivery: the full wire exchange — the interim owner
+// ships a detached snapshot over a TypeHandback frame, the rejoined
+// owner absorbs it through HandleHandback and, owning the victim,
+// seeds it under the epoch latch.
+func TestHandbackDelivery(t *testing.T) {
+	var now atomic.Int64
+	// The injected clock must sit at wall time here: shipOnce derives
+	// its real-socket I/O deadline from it, and a clock near zero puts
+	// the deadline decades in the past.
+	now.Store(time.Now().UnixNano())
+	addrs := []string{"10.9.2.1:1", "10.9.2.2:1"}
+
+	// The receiver: a node that owns `victim` on the shared two-member
+	// ring. Its HandleHandback is driven directly through an in-memory
+	// pipe server below.
+	recv, precv := newTestNode(t, addrs[1], []string{addrs[0]}, 952, &now)
+
+	ring := recv.Ring()
+	victim := topology.NodeID(-1)
+	for v := topology.NodeID(0); v < 64; v++ {
+		if ring.Owner(v) == recv.self {
+			victim = v
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("receiver owns nothing")
+	}
+
+	// A minimal TypeHandback server over a real socket, answering like
+	// the daemon's serveHandback: parse, absorb, ack.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		rd := wire.NewReader(conn)
+		for {
+			ftype, payload, err := rd.ReadFrame()
+			if err != nil || ftype != wire.TypeHandback {
+				return
+			}
+			body, err := wire.ParseHandback(payload)
+			if err != nil {
+				return
+			}
+			ack, err := recv.HandleHandback(body)
+			if err != nil {
+				return
+			}
+			conn.Write(wire.AppendAck(nil, ack))
+		}
+	}()
+
+	pship, err := pipeline.New(pipeline.Config{
+		Net: topology.NewTorus2D(8), Shards: 2, QueueLen: 1 << 12,
+		BlockThreshold: 1 << 30, BlockTTL: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shipper, err := New(pship, Config{
+		Self: addrs[0], Peers: []string{addrs[1]},
+		GossipInterval: time.Hour, FailAfter: time.Second,
+		Incarnation: 951,
+		Dial:        func(string) (net.Conn, error) { return net.Dial("tcp", ln.Addr().String()) },
+		Now:         now.Load,
+	})
+	if err != nil {
+		pship.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		shipper.Close()
+		pship.Close()
+	})
+
+	snap := pipeline.VictimSnapshot{
+		Victim: victim, Alarmed: true, Undecodable: 4,
+		Sources: []pipeline.SourceCount{{Node: 3, Count: 120}},
+	}
+	shipper.queueHandback(snap, true)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for shipper.handbacksOut.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("handback never acked (failures=%d)", shipper.handbackFailures.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := recv.handbacksIn.Load(); got != 1 {
+		t.Fatalf("receiver handbacksIn = %d, want 1", got)
+	}
+	for {
+		got, ok := precv.ExportVictim(victim)
+		if ok && got.Identified() == 120 && got.Undecodable == 4 && got.Alarmed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("handback never seeded at the owner: %+v ok=%v", got, ok)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := recv.seedsApplied.Load(); got != 1 {
+		t.Fatalf("receiver seedsApplied = %d, want 1", got)
+	}
+}
+
+// sortedIDs is a tiny helper for building expectation rings.
+func sortedIDs(ids ...uint64) []uint64 {
+	out := append([]uint64(nil), ids...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// TestRouteSketchGate: with the forwarding gate armed, unowned
+// destinations are suppressed until they reach the guaranteed count,
+// the buffered prefix replays on admission (the owner loses nothing),
+// and a wide one-record-per-destination scan forwards nothing at all.
+func TestRouteSketchGate(t *testing.T) {
+	const admit = 8
+	var now atomic.Int64
+	now.Store(1)
+	addrs := []string{"10.9.3.1:1", "10.9.3.2:1"}
+	p, err := pipeline.New(pipeline.Config{
+		Net: topology.NewTorus2D(8), Shards: 2, QueueLen: 1 << 12,
+		BlockThreshold: 1 << 30, BlockTTL: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(p, Config{
+		Self: addrs[0], Peers: []string{addrs[1]},
+		SketchAdmit:    admit,
+		GossipInterval: time.Hour, FailAfter: time.Second,
+		Incarnation: 961,
+		Dial:        func(string) (net.Conn, error) { return nil, errors.New("test: no network") },
+		Now:         now.Load,
+	})
+	if err != nil {
+		p.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		n.Close()
+		p.Close()
+	})
+
+	ring := n.Ring()
+	peerID := MemberID(addrs[1])
+	hot := topology.NodeID(-1)
+	for v := topology.NodeID(0); v < 64; v++ {
+		if ring.Owner(v) == peerID {
+			hot = v
+			break
+		}
+	}
+	if hot < 0 {
+		t.Fatal("peer owns nothing")
+	}
+
+	send := func(v topology.NodeID, mf uint16) {
+		s := p.GetSlab()
+		s.Append(wire.Record{Victim: v, MF: mf, Topo: p.TopoID()})
+		n.Route(s)
+	}
+
+	// Below threshold: every record absorbed, nothing forwarded.
+	for i := 0; i < admit-1; i++ {
+		send(hot, uint16(i))
+	}
+	if out, sup := n.forwardedOut.Load(), n.forwardSuppress.Load(); out != 0 || sup != admit-1 {
+		t.Fatalf("below threshold: forwarded=%d suppressed=%d, want 0/%d", out, sup, admit-1)
+	}
+
+	// The crossing record admits the victim and replays the buffered
+	// prefix: the owner-bound queue sees all admit records, exactly.
+	send(hot, admit-1)
+	if out := n.forwardedOut.Load(); out != admit {
+		t.Fatalf("admission forwarded %d records, want %d (buffered prefix must replay)", out, admit)
+	}
+	if got := n.gate.admittedCount(); got != 1 {
+		t.Fatalf("admitted count %d, want 1", got)
+	}
+
+	// Post-admission records forward 1:1 on the fast path.
+	send(hot, admit)
+	if out := n.forwardedOut.Load(); out != admit+1 {
+		t.Fatalf("post-admission forwarded %d, want %d", out, admit+1)
+	}
+
+	// A scan — one record per unowned destination — forwards nothing.
+	base := n.forwardedOut.Load()
+	scanned := 0
+	for v := topology.NodeID(0); v < 64; v++ {
+		if v == hot || ring.Owner(v) != peerID {
+			continue
+		}
+		send(v, 0)
+		scanned++
+	}
+	if scanned == 0 {
+		t.Fatal("degenerate ring: peer owns only one victim")
+	}
+	if out := n.forwardedOut.Load(); out != base {
+		t.Fatalf("scan leaked %d forwards", out-base)
+	}
+
+	// A ring change resets the gate: earned admissions do not survive a
+	// re-partition they were earned under.
+	now.Store(int64(2 * time.Second))
+	n.recomputeMembership() // peer silent past FailAfter: ring shrinks to self
+	if got := n.Ring().Size(); got != 1 {
+		t.Fatalf("ring size %d, want 1", got)
+	}
+	// Single-member rings bypass the gate entirely (everything local);
+	// verify directly that a fresh ring version clears admissions.
+	if pass, _ := n.gate.filter(n.Ring().Version(), wire.Record{Victim: hot}); pass {
+		t.Fatal("admission survived a ring-version change")
+	}
+	if got := n.gate.admittedCount(); got != 0 {
+		t.Fatalf("admitted count %d after reset, want 0", got)
+	}
+}

@@ -24,6 +24,22 @@ type Config struct {
 	Self  string
 	Peers []string
 
+	// Join, when set, is the address of any live fleet member: the node
+	// starts with it as its only hint, learns the rest of the roster
+	// from gossip responses, and enters the ring by the same pure
+	// function of the alive set every member computes. Composes with
+	// Peers (the join target is simply one more initial peer).
+	Join string
+
+	// SketchAdmit, when greater than one, arms the sketch admission
+	// gate on the forwarding tier: an unowned destination must reach
+	// this guaranteed count in a count-min + space-saving sketch before
+	// its records earn forwards, and the buffered prefix is replayed
+	// into the forward queue on admission so the owner's tallies stay
+	// exact for every admitted victim. At most one means forward every
+	// unowned record (the legacy behavior).
+	SketchAdmit int
+
 	// VNodes is the virtual nodes per member on the ring (default 64).
 	VNodes int
 
@@ -98,9 +114,12 @@ func (c *Config) applyDefaults() error {
 }
 
 // peer is one remote instance: forwarding queue, gossip connection and
-// liveness state. The peer set is fixed at New; everything mutable is
-// either atomic or guarded by Node.mu (digest, cursor) or owned by a
-// single goroutine (conn/rd: the gossip loop; client: the forwarder).
+// liveness state. The peer set grows at runtime (gossip rosters and
+// runtime joins) behind an atomically swapped peerSet snapshot; a peer,
+// once added, is never removed — a silent one just stops being alive.
+// Everything mutable on a peer is either atomic or guarded by Node.mu
+// (digest, cursor) or owned by a single goroutine (conn/rd: the gossip
+// loop; client: the forwarder).
 type peer struct {
 	addr string
 	id   uint64
@@ -118,6 +137,14 @@ type peer struct {
 	rd   *wire.Reader
 }
 
+// peerSet is an immutable snapshot of the known fleet, read lock-free
+// by the ingest hot path (Route, NoteForwardedIn) and swapped
+// copy-on-write under Node.mu when a member is learned at runtime.
+type peerSet struct {
+	byID map[uint64]*peer
+	list []*peer // sorted by id
+}
+
 // Node implements pipeline.ClusterNode: the cluster tier of one ddpmd
 // instance.
 type Node struct {
@@ -128,25 +155,33 @@ type Node struct {
 	incarnation uint64
 	start       int64
 
-	ring atomic.Pointer[Ring]
+	ring    atomic.Pointer[Ring]
+	members atomic.Pointer[peerSet]
+	gate    *fwGate // sketch admission gate on forwards; nil = legacy
 
 	mu          sync.Mutex
 	ringVersion uint64
-	peers       map[uint64]*peer // immutable map; values see peer doc
-	peerList    []*peer          // stable, sorted by id
 	remoteLogs  map[uint64][]filter.Mutation
 	replicas    map[topology.NodeID]pipeline.VictimSnapshot
 	seeded      map[topology.NodeID]bool                    // seeded this ownership epoch
 	retired     map[topology.NodeID]pipeline.VictimSnapshot // TTL-swept victims' tombstones awaiting gossip
 
-	forwardedOut   atomic.Uint64
-	forwardedIn    atomic.Uint64
-	forwardDropped atomic.Uint64
-	forwardLost    atomic.Uint64
-	gossipRounds   atomic.Uint64
-	gossipFails    atomic.Uint64
-	seedsApplied   atomic.Uint64
-	takeovers      atomic.Uint64
+	handbackQ   chan pipeline.VictimSnapshot
+	handbackSeq uint64 // handback-loop goroutine only
+
+	forwardedOut     atomic.Uint64
+	forwardedIn      atomic.Uint64
+	forwardDropped   atomic.Uint64
+	forwardLost      atomic.Uint64
+	forwardSuppress  atomic.Uint64
+	gossipRounds     atomic.Uint64
+	gossipFails      atomic.Uint64
+	seedsApplied     atomic.Uint64
+	takeovers        atomic.Uint64
+	joins            atomic.Uint64
+	handbacksOut     atomic.Uint64
+	handbacksIn      atomic.Uint64
+	handbackFailures atomic.Uint64
 
 	stop   chan struct{}
 	wg     sync.WaitGroup
@@ -154,9 +189,11 @@ type Node struct {
 }
 
 // New builds and starts the cluster tier: one forwarder goroutine per
-// peer plus the gossip loop. All configured peers start presumed alive
-// (the ring covers the whole fleet immediately); a peer that never
-// answers is declared dead FailAfter from now.
+// peer plus the gossip and handback loops. All configured peers start
+// presumed alive (the ring covers the whole fleet immediately); a peer
+// that never answers is declared dead FailAfter from now. A Join
+// address seeds the roster with one live member; the rest is learned
+// from its gossip responses.
 func New(p *pipeline.Pipeline, cfg Config) (*Node, error) {
 	if err := cfg.applyDefaults(); err != nil {
 		return nil, err
@@ -167,11 +204,11 @@ func New(p *pipeline.Pipeline, cfg Config) (*Node, error) {
 		bl:         p.Blocklist(),
 		self:       MemberID(cfg.Self),
 		start:      cfg.Now(),
-		peers:      make(map[uint64]*peer, len(cfg.Peers)),
 		remoteLogs: make(map[uint64][]filter.Mutation),
 		replicas:   make(map[topology.NodeID]pipeline.VictimSnapshot),
 		seeded:     make(map[topology.NodeID]bool),
 		retired:    make(map[topology.NodeID]pipeline.VictimSnapshot),
+		handbackQ:  make(chan pipeline.VictimSnapshot, 1024),
 		stop:       make(chan struct{}),
 	}
 	n.incarnation = cfg.Incarnation
@@ -181,14 +218,25 @@ func New(p *pipeline.Pipeline, cfg Config) (*Node, error) {
 	if n.incarnation == 0 {
 		n.incarnation = 1
 	}
+	if cfg.SketchAdmit > 1 {
+		n.gate = newFwGate(cfg.SketchAdmit)
+	}
+	initial := cfg.Peers
+	if cfg.Join != "" {
+		initial = append(append([]string(nil), cfg.Peers...), cfg.Join)
+	}
+	ps := &peerSet{byID: make(map[uint64]*peer, len(initial))}
 	members := []uint64{n.self}
 	now := cfg.Now()
-	for _, addr := range cfg.Peers {
+	for _, addr := range initial {
 		id := MemberID(addr)
 		if id == n.self {
 			return nil, fmt.Errorf("cluster: peer %q collides with self %q", addr, cfg.Self)
 		}
-		if _, dup := n.peers[id]; dup {
+		if _, dup := ps.byID[id]; dup {
+			if addr == cfg.Join {
+				continue // join target already a configured peer
+			}
 			return nil, fmt.Errorf("cluster: duplicate peer %q", addr)
 		}
 		pr := &peer{
@@ -198,21 +246,24 @@ func New(p *pipeline.Pipeline, cfg Config) (*Node, error) {
 			digest: make(map[uint64]uint64),
 		}
 		pr.lastHeard.Store(now)
-		n.peers[id] = pr
+		ps.byID[id] = pr
 		members = append(members, id)
-		n.peerList = append(n.peerList, pr)
+		ps.list = append(ps.list, pr)
 	}
-	sort.Slice(n.peerList, func(i, j int) bool { return n.peerList[i].id < n.peerList[j].id })
+	sort.Slice(ps.list, func(i, j int) bool { return ps.list[i].id < ps.list[j].id })
+	n.members.Store(ps)
 	n.ringVersion = 1
 	n.ring.Store(NewRing(1, members, cfg.VNodes))
 	n.bl.SetOrigin(n.incarnation)
 	p.SetVictimExpiredHook(n.noteRetired)
-	for _, pr := range n.peerList {
+	for _, pr := range ps.list {
 		n.wg.Add(1)
 		go n.forward(pr)
 	}
 	n.wg.Add(1)
 	go n.gossipLoop()
+	n.wg.Add(1)
+	go n.handbackLoop()
 	cfg.Logf("cluster: up self=%s id=%x incarnation=%x members=%d", cfg.Self, n.self, n.incarnation, len(members))
 	return n, nil
 }
@@ -223,20 +274,79 @@ func (n *Node) Close() {
 	if !n.closed.CompareAndSwap(false, true) {
 		return
 	}
+	// Barrier: an addPeer that passed the closed check has finished its
+	// wg.Add and goroutine spawn before we wait; one that hasn't will
+	// observe closed and no-op.
+	n.mu.Lock()
+	n.mu.Unlock() //nolint:staticcheck // empty critical section is the point
 	close(n.stop)
 	n.wg.Wait()
+}
+
+// addPeer registers a member learned at runtime (a gossip roster entry
+// or a previously unknown authenticated sender) and starts its
+// forwarder. Returns the existing peer when the address is already
+// known, nil for self or when the node is closing. The new member
+// starts presumed alive and enters the ring at the next membership
+// sweep.
+func (n *Node) addPeer(addr string) *peer {
+	id := MemberID(addr)
+	if id == n.self || addr == n.cfg.Self {
+		return nil
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed.Load() {
+		return nil
+	}
+	ps := n.members.Load()
+	if pr := ps.byID[id]; pr != nil {
+		return pr
+	}
+	pr := &peer{
+		addr:   addr,
+		id:     id,
+		queue:  make(chan []wire.Record, n.cfg.ForwardQueue),
+		digest: make(map[uint64]uint64),
+	}
+	pr.lastHeard.Store(n.cfg.Now())
+	next := &peerSet{
+		byID: make(map[uint64]*peer, len(ps.list)+1),
+		list: make([]*peer, 0, len(ps.list)+1),
+	}
+	for _, old := range ps.list {
+		next.byID[old.id] = old
+		next.list = append(next.list, old)
+	}
+	next.byID[id] = pr
+	next.list = append(next.list, pr)
+	sort.Slice(next.list, func(i, j int) bool { return next.list[i].id < next.list[j].id })
+	n.members.Store(next)
+	n.joins.Add(1)
+	n.wg.Add(1)
+	go n.forward(pr)
+	n.cfg.Logf("cluster: learned member %s id=%x (known fleet=%d)", addr, id, len(next.list)+1)
+	return pr
 }
 
 // Route partitions one ingest slab by victim ownership: records this
 // instance owns stay in the slab (compacted in place) and go to the
 // pipeline; foreign records are copied into per-owner batches and
-// queued for forwarding. Consumes the slab reference. Returns records
-// accepted locally plus records queued for peers.
+// queued for forwarding. When the forwarding gate is armed, unowned
+// destinations must first earn admission in the sketch — records below
+// the threshold are absorbed (counted in forward_suppressed), and the
+// slot's buffered prefix is replayed into the forward queue the moment
+// a destination crosses it, so an admitted victim's owner still sees
+// every record. Consumes the slab reference. Returns records accepted
+// locally plus records queued for peers (suppressed records are
+// neither).
 func (n *Node) Route(s *wire.Slab) int {
 	ring := n.ring.Load()
 	if ring.Size() <= 1 {
 		return n.p.SubmitSlab(s)
 	}
+	ps := n.members.Load()
+	ringVer := ring.Version()
 	var batches map[uint64][]wire.Record
 	recs := s.Recs
 	k := 0
@@ -252,8 +362,20 @@ func (n *Node) Route(s *wire.Slab) int {
 			k++
 			continue
 		}
+		var replay []wire.Record
+		if n.gate != nil {
+			pass, buf := n.gate.filter(ringVer, recs[i])
+			if !pass {
+				n.forwardSuppress.Add(1)
+				continue
+			}
+			replay = buf
+		}
 		if batches == nil {
 			batches = make(map[uint64][]wire.Record, 2)
+		}
+		if len(replay) > 0 {
+			batches[owner] = append(batches[owner], replay...)
 		}
 		batches[owner] = append(batches[owner], recs[i])
 	}
@@ -268,7 +390,7 @@ func (n *Node) Route(s *wire.Slab) int {
 		s.Release()
 	}
 	for owner, fw := range batches {
-		accepted += n.enqueue(n.peers[owner], fw)
+		accepted += n.enqueue(ps.byID[owner], fw)
 	}
 	return accepted
 }
@@ -295,7 +417,7 @@ func (n *Node) enqueue(pr *peer, fw []wire.Record) int {
 // a forwarded frame is also proof its origin is alive.
 func (n *Node) NoteForwardedIn(origin uint64, accepted int) {
 	n.forwardedIn.Add(uint64(accepted))
-	if pr := n.peers[origin]; pr != nil {
+	if pr := n.members.Load().byID[origin]; pr != nil {
 		pr.lastHeard.Store(n.cfg.Now())
 	}
 }
@@ -379,7 +501,7 @@ func (n *Node) reroute(from *peer, rec wire.Record) {
 	case owner == from.id:
 		n.forwardLost.Add(1)
 	default:
-		if n.enqueue(n.peers[owner], []wire.Record{rec}) == 0 {
+		if n.enqueue(n.members.Load().byID[owner], []wire.Record{rec}) == 0 {
 			n.forwardLost.Add(1)
 		}
 	}
@@ -396,7 +518,7 @@ func (n *Node) gossipLoop() {
 	for {
 		select {
 		case <-n.stop:
-			for _, pr := range n.peerList {
+			for _, pr := range n.members.Load().list {
 				if pr.conn != nil {
 					pr.conn.Close()
 					pr.conn = nil
@@ -404,7 +526,7 @@ func (n *Node) gossipLoop() {
 			}
 			return
 		case <-ticker.C:
-			for _, pr := range n.peerList {
+			for _, pr := range n.members.Load().list {
 				if err := n.gossipWith(pr); err != nil {
 					n.gossipFails.Add(1)
 				}
@@ -435,7 +557,10 @@ func (n *Node) gossipWith(pr *peer) error {
 	}
 	req := n.buildMsg(pr, nil)
 	frame := wire.AppendGossip(nil, appendGossipMsg(nil, req))
-	pr.conn.SetDeadline(time.Now().Add(n.cfg.FailAfter))
+	// The deadline rides the injected clock like every other timebase
+	// here, so synthetic-time tests can never leave a gossip exchange
+	// hanging on a wall-clock deadline that will not come.
+	pr.conn.SetDeadline(time.Unix(0, n.cfg.Now()).Add(n.cfg.FailAfter))
 	if _, err := pr.conn.Write(frame); err != nil {
 		return fail(err)
 	}
@@ -472,7 +597,7 @@ func (n *Node) gossipWith(pr *peer) error {
 // takeover. Runs on a pipeline shard worker with no pipeline locks
 // held (the pipeline's victim-expired hook).
 func (n *Node) noteRetired(snap pipeline.VictimSnapshot) {
-	if !snap.Expired || len(n.peerList) == 0 {
+	if !snap.Expired || len(n.members.Load().list) == 0 {
 		return
 	}
 	n.mu.Lock()
@@ -485,8 +610,10 @@ func (n *Node) noteRetired(snap pipeline.VictimSnapshot) {
 
 // HandleGossip answers one inbound anti-entropy request (the server
 // side, called from the daemon's connection goroutines): absorb what
-// the sender pushed, then respond with our digest plus the ops and
-// replicas the sender's digest shows it lacks.
+// the sender pushed — which registers a previously unknown sender whose
+// advertised address authenticates its member id (runtime join) — then
+// respond with our digest plus the ops and replicas the sender's digest
+// shows it lacks.
 func (n *Node) HandleGossip(reqBody []byte) ([]byte, error) {
 	req, err := parseGossipMsg(reqBody)
 	if err != nil {
@@ -494,12 +621,13 @@ func (n *Node) HandleGossip(reqBody []byte) ([]byte, error) {
 	}
 	n.absorb(req)
 	var resp *gossipMsg
-	if pr := n.peers[req.Sender]; pr != nil {
+	if pr := n.members.Load().byID[req.Sender]; pr != nil {
 		resp = n.buildMsg(pr, req.Digest)
 	} else {
-		// Unknown sender (not in our configured peer set): still answer
-		// with ops off its digest so blocklists converge, but nothing
-		// liveness- or replica-related attaches to it.
+		// Sender still unknown (no advertised address, or the address
+		// does not hash to its claimed id): answer with ops off its
+		// digest so blocklists converge, but nothing liveness- or
+		// replica-related attaches to it.
 		resp = n.buildMsg(nil, req.Digest)
 	}
 	return appendGossipMsg(nil, resp), nil
@@ -511,9 +639,18 @@ func (n *Node) HandleGossip(reqBody []byte) ([]byte, error) {
 // side: learned from its last response). A nil peer builds a
 // digest+ops-only message.
 func (n *Node) buildMsg(pr *peer, reqDigest []digestEntry) *gossipMsg {
+	now := n.cfg.Now()
+	ps := n.members.Load()
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	m := &gossipMsg{Sender: n.self, RingVer: n.ring.Load().Version()}
+	m := &gossipMsg{Sender: n.self, RingVer: n.ring.Load().Version(), SenderAddr: n.cfg.Self}
+	// The roster carries every peer we currently believe alive, so a
+	// joiner that knows one member learns the rest in one exchange.
+	for _, other := range ps.list {
+		if now-other.lastHeard.Load() <= int64(n.cfg.FailAfter) {
+			m.Roster = append(m.Roster, other.addr)
+		}
+	}
 	// Our digest: own mutations plus every relayed origin.
 	m.Digest = append(m.Digest, digestEntry{Origin: n.incarnation, MaxSeq: n.bl.Seq()})
 	for origin, log := range n.remoteLogs {
@@ -531,7 +668,7 @@ func (n *Node) buildMsg(pr *peer, reqDigest []digestEntry) *gossipMsg {
 			theirs[o] = s
 		}
 	}
-	budget := newGossipBudget(len(m.Digest))
+	budget := newGossipBudget(len(m.Digest), rosterBytes(m.SenderAddr, m.Roster))
 	appendOps := func(origin uint64, log []filter.Mutation) {
 		from := theirs[origin]
 		for i := int(from); i < len(log) && budget.fitsOp(); i++ {
@@ -616,13 +753,27 @@ func (n *Node) appendReplicasLocked(pr *peer, m *gossipMsg, budget *gossipBudget
 	}
 }
 
-// absorb merges one inbound gossip message: liveness, the sender's
-// digest, its pushed mutations (per-origin contiguous logs feeding the
-// blocklist's LWW register) and any victim replicas addressed to us.
+// absorb merges one inbound gossip message: membership (an unknown
+// sender whose advertised address hashes to its claimed id, and any
+// roster entries we have never heard of, join the known fleet),
+// liveness, the sender's digest, its pushed mutations (per-origin
+// contiguous logs feeding the blocklist's LWW register) and any victim
+// replicas addressed to us.
 func (n *Node) absorb(m *gossipMsg) {
+	// Membership first, before the lock: addPeer takes n.mu itself. The
+	// id check is the authentication — member ids are the hash of the
+	// advertised address, so a sender cannot impersonate another member
+	// without also owning its address string.
+	if m.SenderAddr != "" && MemberID(m.SenderAddr) == m.Sender {
+		n.addPeer(m.SenderAddr)
+	}
+	for _, addr := range m.Roster {
+		n.addPeer(addr)
+	}
+	ps := n.members.Load()
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if pr := n.peers[m.Sender]; pr != nil {
+	if pr := ps.byID[m.Sender]; pr != nil {
 		pr.lastHeard.Store(n.cfg.Now())
 		pr.ringVer.Store(m.RingVer)
 		for k := range pr.digest {
@@ -704,36 +855,43 @@ func (n *Node) storeReplicaLocked(ring *Ring, snap pipeline.VictimSnapshot) {
 // recomputeMembership re-derives the alive set from lastHeard and, on
 // any change, installs a new ring and runs the ownership transitions:
 // stored replicas for victims now owned here are seeded (takeover),
-// and the seeded-set entries for victims no longer owned are cleared
-// so a future re-takeover can seed again.
+// the seeded-set entries for victims no longer owned are cleared so a
+// future re-takeover can seed again, and exact state held here for
+// victims the new ring assigns elsewhere is detached and handed back
+// to its owner (rejoin, join rebalance).
 func (n *Node) recomputeMembership() {
 	now := n.cfg.Now()
-	alive := []uint64{n.self}
-	for _, pr := range n.peerList {
+	ps := n.members.Load()
+	alive := make([]uint64, 1, len(ps.list)+1)
+	alive[0] = n.self
+	for _, pr := range ps.list {
 		if now-pr.lastHeard.Load() <= int64(n.cfg.FailAfter) {
 			alive = append(alive, pr.id)
 		}
 	}
+	// Compare as sorted sets unconditionally: equal sizes never imply
+	// equal membership — between two sweeps one member can vanish while
+	// another (a runtime join, say) appears, keeping the count constant
+	// but demanding a rebuild all the same.
+	sort.Slice(alive, func(i, j int) bool { return alive[i] < alive[j] })
 	cur := n.ring.Load().Members()
-	same := len(alive) == len(cur)
-	if same {
-		sort.Slice(alive, func(i, j int) bool { return alive[i] < alive[j] })
+	if len(alive) == len(cur) {
+		same := true
 		for i := range alive {
 			if alive[i] != cur[i] {
 				same = false
 				break
 			}
 		}
-	}
-	if same {
-		return
+		if same {
+			return
+		}
 	}
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	n.ringVersion++
 	ring := NewRing(n.ringVersion, alive, n.cfg.VNodes)
 	n.ring.Store(ring)
-	n.cfg.Logf("cluster: ring v%d alive=%d/%d", ring.Version(), ring.Size(), len(n.peerList)+1)
+	n.cfg.Logf("cluster: ring v%d alive=%d/%d", ring.Version(), ring.Size(), len(ps.list)+1)
 	seeds := 0
 	for v, snap := range n.replicas {
 		if ring.Owner(v) != n.self {
@@ -757,29 +915,56 @@ func (n *Node) recomputeMembership() {
 			delete(n.seeded, v)
 		}
 	}
+	n.mu.Unlock()
+	// Handback: every victim whose exact state lives here but whose new
+	// owner is another alive member is detached through its shard queue
+	// (so records already submitted are tallied into the snapshot) and
+	// shipped from the handback loop. Runs outside n.mu — the detach
+	// callback and the shard workers must never need this lock to make
+	// progress.
+	if ring.Size() > 1 {
+		moved := 0
+		for _, v := range n.p.Victims() {
+			if ring.Owner(v) == n.self {
+				continue
+			}
+			if n.p.DetachVictim(v, n.queueHandback) {
+				moved++
+			}
+		}
+		if moved > 0 {
+			n.cfg.Logf("cluster: ring v%d handing back %d victims", ring.Version(), moved)
+		}
+	}
 }
 
 // Status is the /cluster admin document.
 type Status struct {
-	Self           string         `json:"self"`
-	MemberID       uint64         `json:"member_id"`
-	Incarnation    uint64         `json:"incarnation"`
-	RingVersion    uint64         `json:"ring_version"`
-	Alive          int            `json:"alive"`
-	Members        []MemberStatus `json:"members"`
-	ForwardedOut   uint64         `json:"forwarded_out"`
-	ForwardedIn    uint64         `json:"forwarded_in"`
-	ForwardDropped uint64         `json:"forward_dropped"`
-	ForwardLost    uint64         `json:"forward_lost"`
-	ForwardQueue   int            `json:"forward_queue_len"`
-	GossipRounds   uint64         `json:"gossip_rounds"`
-	GossipFails    uint64         `json:"gossip_fails"`
-	BlocklistSeq   uint64         `json:"blocklist_seq"`
-	SeedsApplied   uint64         `json:"seeds_applied"`
-	Takeovers      uint64         `json:"takeovers"`
-	StoredReplicas int            `json:"stored_replicas"`
-	RetiredTombs   int            `json:"retired_tombstones"`
-	OwnedVictims   int            `json:"owned_victims"`
+	Self             string         `json:"self"`
+	MemberID         uint64         `json:"member_id"`
+	Incarnation      uint64         `json:"incarnation"`
+	RingVersion      uint64         `json:"ring_version"`
+	Alive            int            `json:"alive"`
+	Members          []MemberStatus `json:"members"`
+	ForwardedOut     uint64         `json:"forwarded_out"`
+	ForwardedIn      uint64         `json:"forwarded_in"`
+	ForwardDropped   uint64         `json:"forward_dropped"`
+	ForwardLost      uint64         `json:"forward_lost"`
+	ForwardSuppress  uint64         `json:"forward_suppressed"`
+	GateAdmitted     int            `json:"gate_admitted_victims"`
+	ForwardQueue     int            `json:"forward_queue_len"`
+	GossipRounds     uint64         `json:"gossip_rounds"`
+	GossipFails      uint64         `json:"gossip_fails"`
+	BlocklistSeq     uint64         `json:"blocklist_seq"`
+	SeedsApplied     uint64         `json:"seeds_applied"`
+	Takeovers        uint64         `json:"takeovers"`
+	Joins            uint64         `json:"members_learned"`
+	HandbacksOut     uint64         `json:"handbacks_sent"`
+	HandbacksIn      uint64         `json:"handbacks_received"`
+	HandbackFailures uint64         `json:"handback_failures"`
+	StoredReplicas   int            `json:"stored_replicas"`
+	RetiredTombs     int            `json:"retired_tombstones"`
+	OwnedVictims     int            `json:"owned_victims"`
 }
 
 // MemberStatus is one fleet member's liveness as this instance sees it.
@@ -810,17 +995,25 @@ func (n *Node) StatusJSON() any {
 		Members: []MemberStatus{{
 			Addr: n.cfg.Self, ID: n.self, Self: true, Alive: true, RingVersion: ring.Version(),
 		}},
-		ForwardedOut:   n.forwardedOut.Load(),
-		ForwardedIn:    n.forwardedIn.Load(),
-		ForwardDropped: n.forwardDropped.Load(),
-		ForwardLost:    n.forwardLost.Load(),
-		GossipRounds:   n.gossipRounds.Load(),
-		GossipFails:    n.gossipFails.Load(),
-		BlocklistSeq:   n.bl.Seq(),
-		SeedsApplied:   n.seedsApplied.Load(),
-		Takeovers:      n.takeovers.Load(),
+		ForwardedOut:     n.forwardedOut.Load(),
+		ForwardedIn:      n.forwardedIn.Load(),
+		ForwardDropped:   n.forwardDropped.Load(),
+		ForwardLost:      n.forwardLost.Load(),
+		ForwardSuppress:  n.forwardSuppress.Load(),
+		GossipRounds:     n.gossipRounds.Load(),
+		GossipFails:      n.gossipFails.Load(),
+		BlocklistSeq:     n.bl.Seq(),
+		SeedsApplied:     n.seedsApplied.Load(),
+		Takeovers:        n.takeovers.Load(),
+		Joins:            n.joins.Load(),
+		HandbacksOut:     n.handbacksOut.Load(),
+		HandbacksIn:      n.handbacksIn.Load(),
+		HandbackFailures: n.handbackFailures.Load(),
 	}
-	for _, pr := range n.peerList {
+	if n.gate != nil {
+		st.GateAdmitted = n.gate.admittedCount()
+	}
+	for _, pr := range n.members.Load().list {
 		st.ForwardQueue += len(pr.queue)
 		st.Members = append(st.Members, MemberStatus{
 			Addr:        pr.addr,
@@ -856,17 +1049,26 @@ func (n *Node) WriteMetrics(w io.Writer) {
 	counter("ddpmd_forwarded_in_total", "records accepted off inbound forwarding sessions", n.forwardedIn.Load())
 	counter("ddpmd_forward_dropped_total", "records shed at full forwarding queues", n.forwardDropped.Load())
 	counter("ddpmd_forward_lost_total", "forwarded records abandoned after reroute failed", n.forwardLost.Load())
+	counter("ddpmd_forward_suppressed_total", "unowned records suppressed below the forwarding sketch gate", n.forwardSuppress.Load())
 	counter("ddpmd_gossip_rounds_total", "anti-entropy rounds completed", n.gossipRounds.Load())
 	counter("ddpmd_gossip_fails_total", "per-peer gossip exchanges that errored", n.gossipFails.Load())
 	counter("ddpmd_cluster_seeds_applied_total", "victim replicas seeded into the local pipeline", n.seedsApplied.Load())
+	counter("ddpmd_cluster_joins_total", "members learned at runtime (roster or authenticated hello)", n.joins.Load())
+	counter("ddpmd_handback_sent_total", "victim states shipped back to a rejoined owner", n.handbacksOut.Load())
+	counter("ddpmd_handback_received_total", "victim-state handbacks absorbed from interim owners", n.handbacksIn.Load())
+	counter("ddpmd_handback_failed_total", "handback shipments that fell back to a stored replica", n.handbackFailures.Load())
+	ps := n.members.Load()
 	qlen := 0
-	for _, pr := range n.peerList {
+	for _, pr := range ps.list {
 		qlen += len(pr.queue)
 	}
 	gauge("ddpmd_forward_queue_len", "records batches queued for forwarding across peers", int64(qlen))
+	if n.gate != nil {
+		gauge("ddpmd_forward_gate_admitted", "unowned victims currently admitted through the forwarding gate", int64(n.gate.admittedCount()))
+	}
 	ring := n.ring.Load()
 	gauge("ddpmd_ring_version", "local consistent-hash ring generation", int64(ring.Version()))
-	gauge("ddpmd_cluster_members", "configured fleet size", int64(len(n.peerList)+1))
+	gauge("ddpmd_cluster_members", "known fleet size (static peers plus runtime joins)", int64(len(ps.list)+1))
 	gauge("ddpmd_cluster_alive", "members currently on the ring", int64(ring.Size()))
 	// Gossip lag: seconds since the least recently heard alive peer —
 	// how stale fleet-wide state (blocklist, replicas) can be here.
@@ -876,7 +1078,7 @@ func (n *Node) WriteMetrics(w io.Writer) {
 	for _, m := range ring.Members() {
 		aliveSet[m] = true
 	}
-	for _, pr := range n.peerList {
+	for _, pr := range ps.list {
 		if !aliveSet[pr.id] {
 			continue
 		}

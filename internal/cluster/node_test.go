@@ -51,7 +51,7 @@ func newTestNode(t *testing.T, self string, peers []string, incarnation uint64, 
 // exact dance gossipWith/HandleGossip do over TCP.
 func exchange(t *testing.T, server, client *Node) {
 	t.Helper()
-	pr := client.peers[server.self]
+	pr := client.members.Load().byID[server.self]
 	if pr == nil {
 		t.Fatalf("client %s does not know server %s", client.cfg.Self, server.cfg.Self)
 	}
@@ -69,9 +69,11 @@ func exchange(t *testing.T, server, client *Node) {
 
 func TestGossipCodecRoundTrip(t *testing.T) {
 	m := &gossipMsg{
-		Sender:  0xABCD,
-		RingVer: 7,
-		Digest:  []digestEntry{{Origin: 1, MaxSeq: 9}, {Origin: 2, MaxSeq: 3}},
+		Sender:     0xABCD,
+		RingVer:    7,
+		SenderAddr: "10.9.0.1:7420",
+		Roster:     []string{"10.9.0.2:7420", "10.9.0.3:7420"},
+		Digest:     []digestEntry{{Origin: 1, MaxSeq: 9}, {Origin: 2, MaxSeq: 3}},
 		Ops: []originOp{
 			{Origin: 1, Op: filter.Mutation{Seq: 8, Stamp: 11, Node: 3, Until: filter.Permanent, Victim: 63}},
 			{Origin: 2, Op: filter.Mutation{Seq: 3, Stamp: 12, Node: 4, Until: 99, Victim: topology.None, Unblock: true}},
@@ -131,7 +133,7 @@ func TestGossipBlocklistConvergence(t *testing.T) {
 	}
 
 	// A second exchange is a no-op: digests are equal, nothing re-sent.
-	pr := b.peers[a.self]
+	pr := b.members.Load().byID[a.self]
 	req := b.buildMsg(pr, nil)
 	if len(req.Ops) != 0 {
 		t.Fatalf("converged peer still pushes %d ops", len(req.Ops))
@@ -390,7 +392,7 @@ func TestReplicaShippedToSuccessor(t *testing.T) {
 	}
 
 	succ := ring.Successor(victim)
-	for _, pr := range n.peerList {
+	for _, pr := range n.members.Load().list {
 		m := n.buildMsg(pr, nil)
 		var found bool
 		for _, rep := range m.Replicas {

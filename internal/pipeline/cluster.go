@@ -37,6 +37,11 @@ type ClusterNode interface {
 	// the response body (both inner gossip payloads, already unframed).
 	HandleGossip(req []byte) ([]byte, error)
 
+	// HandleHandback absorbs one victim-state handback body (the inner
+	// payload of a TypeHandback frame, already unframed) and returns
+	// the ack value the daemon writes back to the shipper.
+	HandleHandback(body []byte) (uint64, error)
+
 	// StatusJSON is the /cluster admin document.
 	StatusJSON() any
 
@@ -119,6 +124,44 @@ func (p *Pipeline) SeedVictim(snap VictimSnapshot) bool {
 	}
 	p.shards[int(snap.Victim)%len(p.shards)].ch <- batch{seed: &snap}
 	return true
+}
+
+// DetachVictim removes one victim's exact state from the pipeline and
+// hands its final snapshot to fn — the ownership-transfer primitive a
+// cluster node uses when a membership change moves a victim to another
+// instance. Like SeedVictim it rides the owning shard's queue, so every
+// record submitted before the detach is tallied into the snapshot and
+// the single-writer discipline holds; fn runs on the shard worker with
+// no pipeline locks held (keep it non-blocking). fn's second argument
+// is false when the pipeline held no state for the victim (fn still
+// runs, so callers can sequence against the queue either way). Returns
+// false when the pipeline is closed or the victim is out of range.
+func (p *Pipeline) DetachVictim(v topology.NodeID, fn func(VictimSnapshot, bool)) bool {
+	if v < 0 || int(v) >= p.cfg.Net.NumNodes() || fn == nil {
+		return false
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return false
+	}
+	p.shards[int(v)%len(p.shards)].ch <- batch{detach: &detachReq{victim: v, fn: fn}}
+	return true
+}
+
+// applyDetach runs on the shard worker goroutine (see run).
+func (p *Pipeline) applyDetach(s *shard, req *detachReq) {
+	st := s.victims[req.victim]
+	if st == nil {
+		req.fn(VictimSnapshot{Victim: req.victim}, false)
+		return
+	}
+	snap := snapshotState(req.victim, st)
+	s.mu.Lock()
+	delete(s.victims, req.victim)
+	s.mu.Unlock()
+	p.C.VictimsDetached.Add(1)
+	req.fn(snap, true)
 }
 
 // applySeed runs on the shard worker goroutine (see run).

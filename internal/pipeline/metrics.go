@@ -62,10 +62,13 @@ func (p *Pipeline) WritePrometheus(w io.Writer, uptime time.Duration) {
 	counter("ddpmd_sketch_deferred_total", "admissions deferred at the per-shard victim-state cap", s.SketchDeferred)
 	counter("ddpmd_victims_admitted_total", "victim states materialized through the admission gate", s.VictimsAdmitted)
 	counter("ddpmd_victims_expired_total", "idle victim states swept back to sketch-only", s.VictimsExpired)
+	counter("ddpmd_victims_detached_total", "victim states handed off to a new cluster owner", s.VictimsDetached)
+	counter("ddpmd_sketch_decays_total", "windowed halvings of the admission sketches", s.SketchDecays)
 	counter("ddpmd_scheme_unbuildable_total", "records dropped because the marking scheme cannot cover the fabric", s.SchemeUnbuildable)
 
 	gauge("ddpmd_active_blocks", "blocklist entries currently in force", float64(s.ActiveBlocks))
 	gauge("ddpmd_victim_states", "victims with exact per-victim state materialized", float64(s.VictimStates))
+	gauge("ddpmd_sketch_heavy_slots", "destinations tracked in the space-saving tables below admission", float64(s.SketchHeavySlots))
 	secs := uptime.Seconds()
 	gauge("ddpmd_uptime_seconds", "time since the pipeline started", secs)
 
@@ -98,6 +101,8 @@ func (p *Pipeline) WritePrometheus(w io.Writer, uptime time.Duration) {
 		func(i int) string { return fmt.Sprintf("%d", s.ShardIdentified[i]) })
 	shardSeries("ddpmd_shard_dropped_total", "counter", "records shed per shard by backpressure",
 		func(i int) string { return fmt.Sprintf("%d", s.ShardDropped[i]) })
+	shardSeries("ddpmd_shard_gated_victims", "gauge", "sketch-gated destinations tracked per shard",
+		func(i int) string { return fmt.Sprintf("%d", s.ShardGatedVictims[i]) })
 
 	p.writeLatency(w)
 

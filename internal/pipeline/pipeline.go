@@ -261,6 +261,7 @@ type Counters struct {
 	SketchDeferred    atomic.Uint64 // admissions deferred at the per-shard victim-state cap
 	VictimsAdmitted   atomic.Uint64 // victim states materialized through the gate
 	VictimsExpired    atomic.Uint64 // victim states swept back to sketch-only by VictimTTL
+	VictimsDetached   atomic.Uint64 // victim states handed off to a new cluster owner
 	SchemeUnbuildable atomic.Uint64 // records for a fabric the marking scheme cannot cover
 }
 
@@ -275,15 +276,18 @@ type Snapshot struct {
 	BlockedHits, Alarms, Blocks                 uint64
 	SketchSuppressed, SketchReplayed            uint64
 	SketchDeferred, VictimsAdmitted             uint64
-	VictimsExpired, SchemeUnbuildable           uint64
+	VictimsExpired, VictimsDetached             uint64
+	SketchDecays, SchemeUnbuildable             uint64
 	QueueDepths                                 []int
 	ActiveBlocks                                int
 	VictimStates                                int
+	SketchHeavySlots                            int64
 
 	// Per-shard views of the worker counters, indexed by shard.
-	ShardProcessed  []uint64
-	ShardIdentified []uint64
-	ShardDropped    []uint64
+	ShardProcessed    []uint64
+	ShardIdentified   []uint64
+	ShardDropped      []uint64
+	ShardGatedVictims []int64
 }
 
 // victimState is everything the pipeline keeps per victim node. It is
@@ -324,16 +328,26 @@ type job struct {
 // Submit-entry wall clock. The receiving worker owns one slab
 // reference and releases it when done. A batch with seed set instead
 // carries a cluster victim-state replica to merge (see SeedVictim);
-// one with sweep set asks the worker to run a VictimTTL sweep over its
-// shard (done, when non-nil, receives one ack per sweep — the
-// deterministic handle SweepVictims uses); both carry a nil slab.
+// one with detach set asks the worker to snapshot-and-remove a victim's
+// state (see DetachVictim); one with sweep set asks the worker to run a
+// VictimTTL sweep over its shard (done, when non-nil, receives one ack
+// per sweep — the deterministic handle SweepVictims uses); all three
+// carry a nil slab.
 type batch struct {
 	slab       *wire.Slab
 	start, end int32
 	t0         int64
 	seed       *VictimSnapshot
+	detach     *detachReq
 	sweep      bool
 	done       chan<- struct{}
+}
+
+// detachReq asks a shard worker to hand a victim's exact state out of
+// the pipeline: snapshot it, delete it, and pass the snapshot to fn.
+type detachReq struct {
+	victim topology.NodeID
+	fn     func(VictimSnapshot, bool)
 }
 
 type shard struct {
@@ -354,6 +368,12 @@ type shard struct {
 	hh        *sketch.SpaceSaving[wire.Record]
 	gateN     uint64
 	lastSweep int64
+
+	// Sketch occupancy, published for the admin plane: decays counts
+	// windowed Halve passes, gated mirrors hh.Len() (the worker owns hh,
+	// so concurrent readers get the mirror, not the structure).
+	decays atomic.Uint64
+	gated  atomic.Int64
 
 	// Per-shard worker counters behind the shard="N" metric labels.
 	// seen and batches are worker-local latency-sampling clocks (seen
@@ -683,6 +703,10 @@ func (p *Pipeline) run(s *shard, si int) {
 			p.applySeed(s, b.seed)
 			continue
 		}
+		if b.detach != nil {
+			p.applyDetach(s, b.detach)
+			continue
+		}
 		p.processBatch(s, si, b)
 		b.slab.Release()
 		if s.pendProcessed >= flushEvery || len(s.ch) == 0 {
@@ -863,8 +887,10 @@ func (p *Pipeline) gateRecord(s *shard, v topology.NodeID, rec wire.Record, fc *
 		s.gateN = 0
 		s.cm.Halve()
 		s.hh.Halve()
+		s.decays.Add(1)
 	}
 	slot := s.hh.Touch(key, est, rec)
+	s.gated.Store(int64(s.hh.Len()))
 	if slot == nil || int(slot.Guaranteed()) < p.cfg.SketchAdmit {
 		fc.suppressed++
 		return nil
@@ -890,6 +916,7 @@ func (p *Pipeline) gateRecord(s *shard, v topology.NodeID, rec wire.Record, fc *
 		p.processGroup(s, st, v, buf, fc)
 	}
 	s.hh.Remove(key)
+	s.gated.Store(int64(s.hh.Len()))
 	return st
 }
 
@@ -1502,6 +1529,7 @@ func (p *Pipeline) Snapshot() Snapshot {
 		SketchDeferred:    p.C.SketchDeferred.Load(),
 		VictimsAdmitted:   p.C.VictimsAdmitted.Load(),
 		VictimsExpired:    p.C.VictimsExpired.Load(),
+		VictimsDetached:   p.C.VictimsDetached.Load(),
 		SchemeUnbuildable: p.C.SchemeUnbuildable.Load(),
 		ActiveBlocks:      p.bl.Len(),
 	}
@@ -1518,6 +1546,10 @@ func (p *Pipeline) Snapshot() Snapshot {
 		snap.ShardProcessed = append(snap.ShardProcessed, s.processed.Load())
 		snap.ShardIdentified = append(snap.ShardIdentified, s.identified.Load())
 		snap.ShardDropped = append(snap.ShardDropped, s.dropped.Load())
+		gated := s.gated.Load()
+		snap.ShardGatedVictims = append(snap.ShardGatedVictims, gated)
+		snap.SketchHeavySlots += gated
+		snap.SketchDecays += s.decays.Load()
 		s.mu.Lock()
 		snap.VictimStates += len(s.victims)
 		s.mu.Unlock()

@@ -1,0 +1,57 @@
+package wire
+
+// Handback extension: the frame type a cluster instance uses to ship a
+// victim's cumulative identification state back to its ring owner when
+// a membership change (a rejoin, a runtime join) re-routes the victim
+// away from the instance that accumulated it.
+//
+// TypeHandback carries an opaque snapshot payload whose layout belongs
+// to internal/cluster; the wire layer only frames and CRC-seals it.
+// Unlike gossip it is acked: the sender writes one TypeHandback frame
+// and reads one TypeAck back before releasing the state — the ack is
+// what makes dropping the local copy safe.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+const (
+	// TypeHandback is a CRC-tailed opaque victim-state handback
+	// payload. The receiver answers each frame with a TypeAck carrying
+	// the sender's sequence number plus one.
+	TypeHandback uint8 = 9
+
+	// HandbackOverhead is the crc32(4) tail sealing a handback payload.
+	HandbackOverhead = 4
+
+	// MaxHandbackBody is the largest handback body that fits one frame.
+	MaxHandbackBody = MaxFramePayload - HandbackOverhead
+)
+
+// AppendHandback appends one TypeHandback frame sealing body with a
+// CRC tail. It panics past MaxHandbackBody — senders cap their
+// snapshots instead of splitting.
+func AppendHandback(b, body []byte) []byte {
+	if len(body) > MaxHandbackBody {
+		panic(fmt.Sprintf("wire: %d-byte handback body exceeds the %d-byte limit", len(body), MaxHandbackBody))
+	}
+	b = appendHeader(b, TypeHandback, len(body)+HandbackOverhead)
+	b = append(b, body...)
+	return binary.BigEndian.AppendUint32(b, crc32.ChecksumIEEE(body))
+}
+
+// ParseHandback verifies a TypeHandback payload's CRC tail and returns
+// the body. The body aliases payload — copy it before the next
+// ReadFrame.
+func ParseHandback(payload []byte) ([]byte, error) {
+	if len(payload) < HandbackOverhead {
+		return nil, fmt.Errorf("%w: handback payload %d bytes", ErrBadFrame, len(payload))
+	}
+	body, tail := payload[:len(payload)-4], payload[len(payload)-4:]
+	if got := binary.BigEndian.Uint32(tail); got != crc32.ChecksumIEEE(body) {
+		return nil, fmt.Errorf("%w: handback crc mismatch", ErrBadFrame)
+	}
+	return body, nil
+}

@@ -332,6 +332,10 @@ func checkHeader(b []byte) (ftype uint8, n int, err error) {
 		if n < GossipOverhead {
 			return 0, 0, fmt.Errorf("%w: gossip length %d", ErrBadFrame, n)
 		}
+	case TypeHandback:
+		if n < HandbackOverhead {
+			return 0, 0, fmt.Errorf("%w: handback length %d", ErrBadFrame, n)
+		}
 	default:
 		return 0, 0, fmt.Errorf("%w: unknown frame type %d", ErrBadFrame, b[3])
 	}
@@ -570,8 +574,8 @@ func (r *Reader) NextTraced() (TracedRecord, error) {
 			for _, rec := range r.recs {
 				r.pending = append(r.pending, TracedRecord{Record: rec})
 			}
-		case TypeHello, TypeAck, TypeGossip:
-			// control and gossip frames carry no records
+		case TypeHello, TypeAck, TypeGossip, TypeHandback:
+			// control, gossip and handback frames carry no records
 		}
 	}
 	tr := r.pending[r.pendIdx]
