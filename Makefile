@@ -1,7 +1,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: check vet lint build race bench bench-gate bench-profile fuzz-smoke trace-smoke cluster-smoke run-ddpmd clean
+.PHONY: check vet lint build race bench bench-gate bench-profile fuzz-smoke trace-smoke cluster-smoke fleet-trace-smoke run-ddpmd clean
 
 ## check: lint, build, test, fuzz-smoke and trace-smoke everything (the
 ## tier-1 gate). The clustered chaos e2e — kill the victim's owner
@@ -145,6 +145,54 @@ trace-smoke: build
 	$(BIN)/ddpmd trace -http 127.0.0.1:17421 -limit 0 -json -min 1 > trace-dump.json; \
 	echo "trace-smoke: saved /debug/traces dump to trace-dump.json"
 
+## fleet-trace-smoke: cross-node tracing proof on a live three-instance
+## fleet (DESIGN.md §14) — a traced flood sprayed across every ingress
+## must yield at least one blocking record whose stitched timeline (the
+## ingress's forwarded span + the owner's block span under one id) is
+## retrievable from a member via `ddpmd fleet trace`; the stitched
+## document lands in fleet-trace-dump.json for the CI artifact. Boring
+## traces are sampled out as in trace-smoke, so both halves of the
+## timeline got there by tail sampling alone.
+fleet-trace-smoke: build
+	@set -e; \
+	$(BIN)/ddpmd serve -topo torus -dims 8x8 -tcp 127.0.0.1:37420 -http 127.0.0.1:37421 \
+		-cluster 127.0.0.1:37420 -peers 127.0.0.1:37430,127.0.0.1:37440 \
+		-trace-sample 1048576 -trace-buffer 65536 >/dev/null & \
+	p1=$$!; \
+	$(BIN)/ddpmd serve -topo torus -dims 8x8 -tcp 127.0.0.1:37430 -http 127.0.0.1:37431 \
+		-cluster 127.0.0.1:37430 -peers 127.0.0.1:37420,127.0.0.1:37440 \
+		-trace-sample 1048576 -trace-buffer 65536 >/dev/null & \
+	p2=$$!; \
+	$(BIN)/ddpmd serve -topo torus -dims 8x8 -tcp 127.0.0.1:37440 -http 127.0.0.1:37441 \
+		-cluster 127.0.0.1:37440 -peers 127.0.0.1:37420,127.0.0.1:37430 \
+		-trace-sample 1048576 -trace-buffer 65536 >/dev/null & \
+	p3=$$!; \
+	trap 'kill $$p1 $$p2 $$p3 2>/dev/null || true' EXIT INT TERM; \
+	for port in 37421 37431 37441; do \
+		ok=0; for i in $$(seq 1 50); do \
+			if $(BIN)/ddpmd status -http 127.0.0.1:$$port >/dev/null 2>&1; then ok=1; break; fi; \
+			sleep 0.1; \
+		done; \
+		[ $$ok -eq 1 ] || { echo "fleet-trace-smoke: instance on $$port never became ready"; exit 1; }; \
+	done; \
+	$(BIN)/ddpmd loadgen -topo torus -dims 8x8 -zombies 8 -trace \
+		-targets 127.0.0.1:37420,127.0.0.1:37430,127.0.0.1:37440; \
+	stitched=""; \
+	for i in $$(seq 1 30); do \
+		for port in 37421 37431 37441; do \
+			for id in $$($(BIN)/ddpmd trace -http 127.0.0.1:$$port -outcome block 2>/dev/null | awk 'NR>2{print $$1}'); do \
+				if $(BIN)/ddpmd fleet trace $$id -http 127.0.0.1:37441 -min 2 >/dev/null 2>&1; then \
+					stitched=$$id; break 3; \
+				fi; \
+			done; \
+		done; \
+		sleep 0.5; \
+	done; \
+	[ -n "$$stitched" ] || { echo "fleet-trace-smoke: no blocking record produced a stitched cross-node timeline"; exit 1; }; \
+	$(BIN)/ddpmd fleet trace $$stitched -http 127.0.0.1:37421 -min 2; \
+	$(BIN)/ddpmd fleet trace $$stitched -http 127.0.0.1:37421 -min 2 -json > fleet-trace-dump.json; \
+	echo "fleet-trace-smoke: stitched timeline for $$stitched saved to fleet-trace-dump.json"
+
 ## run-ddpmd: start the daemon on an 8x8 torus with the default ports
 run-ddpmd:
 	$(GO) run ./cmd/ddpmd serve -topo torus -dims 8x8 -tcp :7420 -http :7421
@@ -153,4 +201,4 @@ run-ddpmd:
 ## gitignored; CI uploads them before they would be cleaned)
 clean:
 	rm -rf $(BIN)
-	rm -f benchjson.test cpu.prof mem.prof trace-dump.json
+	rm -f benchjson.test cpu.prof mem.prof trace-dump.json fleet-trace-dump.json

@@ -56,13 +56,17 @@ func runClusterStatus(args []string) {
 		RingVersion uint64 `json:"ring_version"`
 		Alive       int    `json:"alive"`
 		Members     []struct {
-			Addr        string `json:"addr"`
-			ID          uint64 `json:"id"`
-			Self        bool   `json:"self"`
-			Alive       bool   `json:"alive"`
-			LastHeardMs int64  `json:"last_heard_ms"`
-			RingVersion uint64 `json:"ring_version"`
-			Delivered   uint64 `json:"forward_delivered"`
+			Addr         string `json:"addr"`
+			ID           uint64 `json:"id"`
+			Self         bool   `json:"self"`
+			Alive        bool   `json:"alive"`
+			LastHeardMs  int64  `json:"last_heard_ms"`
+			RingVersion  uint64 `json:"ring_version"`
+			Delivered    uint64 `json:"forward_delivered"`
+			Queued       uint64 `json:"forward_queued"`
+			Lost         uint64 `json:"forward_lost"`
+			LastGossipMs int64  `json:"last_gossip_ms"`
+			AdminAddr    string `json:"admin_addr"`
 		} `json:"members"`
 		ForwardedOut   uint64 `json:"forwarded_out"`
 		ForwardedIn    uint64 `json:"forwarded_in"`
@@ -84,17 +88,24 @@ func runClusterStatus(args []string) {
 	fmt.Printf("ddpmd cluster at %s — self %s (member %x), ring v%d, %d/%d alive\n",
 		*httpAddr, st.Self, st.MemberID, st.RingVersion, st.Alive, len(st.Members))
 	tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "  member\taddr\talive\tlast heard\tring\tfwd delivered")
+	fmt.Fprintln(tw, "  member\taddr\talive\tlast heard\tlast gossip\tring\tfwd queued\tdelivered\tlost")
 	for _, m := range st.Members {
 		who := fmt.Sprintf("%x", m.ID)
 		if m.Self {
 			who += " (self)"
 		}
-		heard := "-"
+		heard, gossip := "-", "-"
 		if !m.Self {
 			heard = fmt.Sprintf("%dms ago", m.LastHeardMs)
+			switch {
+			case m.LastGossipMs < 0:
+				gossip = "never"
+			default:
+				gossip = fmt.Sprintf("%dms ago", m.LastGossipMs)
+			}
 		}
-		fmt.Fprintf(tw, "  %s\t%s\t%v\t%s\tv%d\t%d\n", who, m.Addr, m.Alive, heard, m.RingVersion, m.Delivered)
+		fmt.Fprintf(tw, "  %s\t%s\t%v\t%s\t%s\tv%d\t%d\t%d\t%d\n",
+			who, m.Addr, m.Alive, heard, gossip, m.RingVersion, m.Queued, m.Delivered, m.Lost)
 	}
 	tw.Flush()
 	fmt.Println()

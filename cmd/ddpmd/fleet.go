@@ -1,0 +1,361 @@
+package main
+
+// ddpmd fleet — fleet-wide observability commands. Each starts from a
+// single member's admin plane: `fleet trace` asks that member's
+// /cluster/traces endpoint to fan the query out (the daemon knows the
+// roster and its admin addresses via gossip), while `fleet status` and
+// `fleet victims` discover the roster from /cluster themselves and
+// aggregate per-member answers client-side.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+func runFleet(args []string) {
+	if len(args) < 1 {
+		fleetUsage()
+	}
+	switch args[0] {
+	case "trace":
+		runFleetTrace(args[1:])
+	case "status":
+		runFleetStatus(args[1:])
+	case "victims":
+		runFleetVictims(args[1:])
+	default:
+		fleetUsage()
+	}
+}
+
+func fleetUsage() {
+	fmt.Fprintln(os.Stderr, "usage: ddpmd fleet trace <id> | status | victims [-http addr]")
+	os.Exit(2)
+}
+
+// fleetSpan mirrors pipeline.FleetSpan: one member's retained trace,
+// tagged with the node that holds it.
+type fleetSpan struct {
+	Node     string `json:"node"`
+	MemberID string `json:"member_id"`
+	traceEntry
+}
+
+// fleetTraceDoc mirrors pipeline.FleetTrace, the merged /cluster/traces
+// document.
+type fleetTraceDoc struct {
+	ID                 string      `json:"id"`
+	Spans              []fleetSpan `json:"spans"`
+	Errors             []string    `json:"errors"`
+	DetectionLatencyNS int64       `json:"detection_latency_ns"`
+}
+
+// runFleetTrace renders one record's cross-node timeline: every span
+// any alive member retained under the id, merged and ordered by start
+// time, with the end-to-end send-to-block latency when the timeline
+// ends in a block decision.
+func runFleetTrace(args []string) {
+	// Accept the id as the leading positional argument (`fleet trace
+	// <id> -http ...`) since flag parsing stops at the first non-flag.
+	var idArg string
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		idArg, args = args[0], args[1:]
+	}
+	fs := flag.NewFlagSet("ddpmd fleet trace", flag.ExitOnError)
+	var (
+		httpAddr = fs.String("http", "127.0.0.1:7421", "admin plane address of any fleet member")
+		id       = fs.String("id", "", "trace id in hex (or pass it as the first argument)")
+		minSpans = fs.Int("min", 0, "exit nonzero unless at least this many spans merged")
+		timeout  = fs.Duration("timeout", 10*time.Second, "HTTP timeout (covers the member fan-out)")
+		jsonOut  = fs.Bool("json", false, "emit the raw /cluster/traces JSON instead of the table")
+	)
+	fs.Parse(args)
+	if idArg != "" {
+		*id = idArg
+	}
+	if *id == "" {
+		fatal(fmt.Errorf("fleet trace: a trace id is required (hex, e.g. off a /metrics exemplar)"))
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	body, status, err := fleetGet(client, *httpAddr, "/cluster/traces?id="+*id)
+	if err != nil {
+		fatal(fmt.Errorf("fleet trace: %w", err))
+	}
+	if status != http.StatusOK {
+		fatal(fmt.Errorf("fleet trace: GET /cluster/traces: %d: %s", status, strings.TrimSpace(string(body))))
+	}
+	var doc fleetTraceDoc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		fatal(fmt.Errorf("fleet trace: bad /cluster/traces response: %w", err))
+	}
+
+	if *jsonOut {
+		os.Stdout.Write(body)
+	} else {
+		nodes := map[string]bool{}
+		for _, s := range doc.Spans {
+			nodes[s.Node] = true
+		}
+		fmt.Printf("trace %s — %d spans across %d nodes\n", doc.ID, len(doc.Spans), len(nodes))
+		if doc.DetectionLatencyNS > 0 {
+			fmt.Printf("detection latency %s (exporter send → block decision)\n",
+				fmtSpan(doc.DetectionLatencyNS))
+		}
+		if len(doc.Spans) > 0 {
+			tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+			fmt.Fprintln(tw, "  node\tmember\toutcome\tvictim\tsource\tshard\twire\tforward\tingest\tidentify\tdetect\tblock\ttotal")
+			for _, s := range doc.Spans {
+				fmt.Fprintf(tw, "  %s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+					s.Node, s.MemberID, s.Outcome, fmtNode(s.Victim), fmtNode(s.Source), fmtNode(int64(s.Shard)),
+					fmtSpan(s.WireNS), fmtSpan(s.ForwardNS), fmtSpan(s.IngestNS), fmtSpan(s.IdentifyNS),
+					fmtSpan(s.DetectNS), fmtSpan(s.BlockNS), fmtSpan(s.TotalNS))
+			}
+			tw.Flush()
+		}
+	}
+	for _, e := range doc.Errors {
+		fmt.Fprintf(os.Stderr, "fleet trace: %s\n", e)
+	}
+	if len(doc.Spans) < *minSpans {
+		fmt.Fprintf(os.Stderr, "fleet trace: %d spans merged, wanted at least %d\n", len(doc.Spans), *minSpans)
+		os.Exit(1)
+	}
+}
+
+// fleetRoster fetches one member's /cluster document and returns the
+// fleet roster as that member sees it: (addr, member id hex, alive,
+// admin address) per member, self included.
+type fleetRosterEntry struct {
+	Addr      string
+	ID        uint64
+	Self      bool
+	Alive     bool
+	AdminAddr string
+}
+
+func fleetRoster(client *http.Client, httpAddr string) []fleetRosterEntry {
+	body, status, err := fleetGet(client, httpAddr, "/cluster")
+	if err != nil {
+		fatal(fmt.Errorf("fleet: %w", err))
+	}
+	if status == http.StatusNotFound {
+		fatal(fmt.Errorf("fleet: ddpmd at %s is not in cluster mode", httpAddr))
+	}
+	if status != http.StatusOK {
+		fatal(fmt.Errorf("fleet: GET /cluster: %d: %s", status, strings.TrimSpace(string(body))))
+	}
+	var doc struct {
+		Members []struct {
+			Addr      string `json:"addr"`
+			ID        uint64 `json:"id"`
+			Self      bool   `json:"self"`
+			Alive     bool   `json:"alive"`
+			AdminAddr string `json:"admin_addr"`
+		} `json:"members"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		fatal(fmt.Errorf("fleet: bad /cluster response: %w", err))
+	}
+	out := make([]fleetRosterEntry, 0, len(doc.Members))
+	for _, m := range doc.Members {
+		e := fleetRosterEntry(m)
+		if m.Self {
+			// The queried member always answers on the address we used,
+			// even before its own gossip round advertised it.
+			if e.AdminAddr == "" {
+				e.AdminAddr = httpAddr
+			}
+			e.Alive = true
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// runFleetStatus aggregates every member's own /cluster document into
+// one per-member table: each row is a member's view of itself.
+func runFleetStatus(args []string) {
+	fs := flag.NewFlagSet("ddpmd fleet status", flag.ExitOnError)
+	var (
+		httpAddr = fs.String("http", "127.0.0.1:7421", "admin plane address of any fleet member")
+		timeout  = fs.Duration("timeout", 5*time.Second, "HTTP timeout per member")
+	)
+	fs.Parse(args)
+
+	client := &http.Client{Timeout: *timeout}
+	roster := fleetRoster(client, *httpAddr)
+	fmt.Printf("fleet of %d members (roster from %s)\n", len(roster), *httpAddr)
+	tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  member\taddr\tadmin\talive\tring\towned victims\tfwd out\tfwd in\tblocklist seq\tnote")
+	for _, m := range roster {
+		row := func(ring, owned, fwdOut, fwdIn, blSeq, note string) {
+			fmt.Fprintf(tw, "  %x\t%s\t%s\t%v\t%s\t%s\t%s\t%s\t%s\t%s\n",
+				m.ID, m.Addr, m.AdminAddr, m.Alive, ring, owned, fwdOut, fwdIn, blSeq, note)
+		}
+		if m.AdminAddr == "" {
+			row("-", "-", "-", "-", "-", "admin address not yet gossiped")
+			continue
+		}
+		body, status, err := fleetGet(client, m.AdminAddr, "/cluster")
+		if err != nil {
+			row("-", "-", "-", "-", "-", err.Error())
+			continue
+		}
+		if status != http.StatusOK {
+			row("-", "-", "-", "-", "-", fmt.Sprintf("GET /cluster: %d", status))
+			continue
+		}
+		var doc struct {
+			RingVersion  uint64 `json:"ring_version"`
+			OwnedVictims int    `json:"owned_victims"`
+			ForwardedOut uint64 `json:"forwarded_out"`
+			ForwardedIn  uint64 `json:"forwarded_in"`
+			BlocklistSeq uint64 `json:"blocklist_seq"`
+		}
+		if err := json.Unmarshal(body, &doc); err != nil {
+			row("-", "-", "-", "-", "-", fmt.Sprintf("bad /cluster response: %v", err))
+			continue
+		}
+		row(fmt.Sprintf("v%d", doc.RingVersion), fmt.Sprint(doc.OwnedVictims),
+			fmt.Sprint(doc.ForwardedOut), fmt.Sprint(doc.ForwardedIn), fmt.Sprint(doc.BlocklistSeq), "")
+	}
+	tw.Flush()
+}
+
+// runFleetVictims merges every member's /victims report into one
+// fleet-wide view. A victim appears once even when ownership moved
+// mid-attack: tallies sum across the members that held state for it.
+func runFleetVictims(args []string) {
+	fs := flag.NewFlagSet("ddpmd fleet victims", flag.ExitOnError)
+	var (
+		httpAddr = fs.String("http", "127.0.0.1:7421", "admin plane address of any fleet member")
+		topK     = fs.Int("k", 5, "top sources per victim")
+		timeout  = fs.Duration("timeout", 5*time.Second, "HTTP timeout per member")
+	)
+	fs.Parse(args)
+
+	type victimRow struct {
+		Node        int64
+		Alarmed     bool
+		Identified  int64
+		Undecodable int64
+		Sources     map[int64]int64
+		ReportedBy  []string
+	}
+	client := &http.Client{Timeout: *timeout}
+	roster := fleetRoster(client, *httpAddr)
+	merged := map[int64]*victimRow{}
+	for _, m := range roster {
+		if m.AdminAddr == "" || !m.Alive {
+			continue
+		}
+		body, status, err := fleetGet(client, m.AdminAddr, fmt.Sprintf("/victims?k=%d", *topK))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fleet victims: %s: %v\n", m.Addr, err)
+			continue
+		}
+		if status != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "fleet victims: %s: GET /victims: %d\n", m.Addr, status)
+			continue
+		}
+		var reports []struct {
+			Node        int64 `json:"node"`
+			Alarmed     bool  `json:"alarmed"`
+			Identified  int64 `json:"identified"`
+			Undecodable int64 `json:"undecodable"`
+			TopSources  []struct {
+				Node  int64 `json:"node"`
+				Count int64 `json:"count"`
+			} `json:"top_sources"`
+		}
+		if err := json.Unmarshal(body, &reports); err != nil {
+			fmt.Fprintf(os.Stderr, "fleet victims: %s: bad /victims response: %v\n", m.Addr, err)
+			continue
+		}
+		mid := fmt.Sprintf("%x", m.ID)
+		for _, r := range reports {
+			row := merged[r.Node]
+			if row == nil {
+				row = &victimRow{Node: r.Node, Sources: map[int64]int64{}}
+				merged[r.Node] = row
+			}
+			row.Alarmed = row.Alarmed || r.Alarmed
+			row.Identified += r.Identified
+			row.Undecodable += r.Undecodable
+			for _, s := range r.TopSources {
+				row.Sources[s.Node] += s.Count
+			}
+			row.ReportedBy = append(row.ReportedBy, mid)
+		}
+	}
+
+	rows := make([]*victimRow, 0, len(merged))
+	for _, r := range merged {
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Identified != rows[j].Identified {
+			return rows[i].Identified > rows[j].Identified
+		}
+		return rows[i].Node < rows[j].Node
+	})
+	fmt.Printf("%d victims with materialized state across the fleet\n", len(rows))
+	if len(rows) == 0 {
+		return
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  victim\talarmed\tidentified\tundecodable\ttop sources\treported by")
+	for _, r := range rows {
+		type sc struct {
+			node, count int64
+		}
+		srcs := make([]sc, 0, len(r.Sources))
+		for n, c := range r.Sources {
+			srcs = append(srcs, sc{n, c})
+		}
+		sort.Slice(srcs, func(i, j int) bool {
+			if srcs[i].count != srcs[j].count {
+				return srcs[i].count > srcs[j].count
+			}
+			return srcs[i].node < srcs[j].node
+		})
+		if len(srcs) > *topK {
+			srcs = srcs[:*topK]
+		}
+		parts := make([]string, len(srcs))
+		for i, s := range srcs {
+			parts[i] = fmt.Sprintf("%d(%d)", s.node, s.count)
+		}
+		top := strings.Join(parts, " ")
+		if top == "" {
+			top = "-"
+		}
+		fmt.Fprintf(tw, "  %d\t%v\t%d\t%d\t%s\t%s\n",
+			r.Node, r.Alarmed, r.Identified, r.Undecodable, top, strings.Join(r.ReportedBy, " "))
+	}
+	tw.Flush()
+}
+
+// fleetGet fetches one admin-plane path and returns the body and
+// status; transport errors come back as the error.
+func fleetGet(client *http.Client, addr, path string) ([]byte, int, error) {
+	resp, err := client.Get("http://" + addr + path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, resp.StatusCode, err
+	}
+	return body, resp.StatusCode, nil
+}

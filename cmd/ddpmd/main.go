@@ -21,6 +21,7 @@
 //	    -cluster 127.0.0.1:7420 -peers 127.0.0.1:7430,127.0.0.1:7440
 //	ddpmd loadgen -topo torus -dims 8x8 -targets 127.0.0.1:7420,127.0.0.1:7430,127.0.0.1:7440
 //	ddpmd cluster status -http 127.0.0.1:7421
+//	ddpmd fleet trace 1f3a9c0b2d4e5f60 -http 127.0.0.1:7421
 //
 // A late instance joins a running fleet with -join: it dials any live
 // member, learns the roster via gossip, and enters the ring; departing
@@ -70,13 +71,15 @@ func main() {
 		runCluster(os.Args[2:])
 	case "trace":
 		runTrace(os.Args[2:])
+	case "fleet":
+		runFleet(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ddpmd serve|loadgen|status|cluster|trace [flags] (-h for flags)")
+	fmt.Fprintln(os.Stderr, "usage: ddpmd serve|loadgen|status|cluster|trace|fleet [flags] (-h for flags)")
 	os.Exit(2)
 }
 
@@ -323,7 +326,7 @@ func runLoadgen(args []string) {
 			c, err := wire.NewClient(wire.ClientConfig{
 				Addr: a, Seed: *seed + uint64(i),
 				BufferRecords: *buffer, MaxAttempts: attempts,
-				MaxBatch: *batch,
+				MaxBatch: *batch, Trace: *trace,
 			})
 			if err != nil {
 				fatal(err)

@@ -24,8 +24,10 @@ type traceEntry struct {
 	Shard   int32  `json:"shard"`
 	StartNS int64  `json:"start_unix_nano"`
 	SentNS  int64  `json:"sent_unix_nano"`
+	Origin  string `json:"origin"`
 
 	WireNS     int64 `json:"wire_ns"`
+	ForwardNS  int64 `json:"forward_ns"`
 	IngestNS   int64 `json:"ingest_ns"`
 	IdentifyNS int64 `json:"identify_ns"`
 	DetectNS   int64 `json:"detect_ns"`
@@ -89,11 +91,11 @@ func runTrace(args []string) {
 	fmt.Printf("%d traces (newest first)\n", len(traces))
 	if len(traces) > 0 {
 		tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
-		fmt.Fprintln(tw, "  id\toutcome\tvictim\tsource\tshard\twire\tingest\tidentify\tdetect\tblock\ttotal")
+		fmt.Fprintln(tw, "  id\toutcome\tvictim\tsource\tshard\twire\tforward\tingest\tidentify\tdetect\tblock\ttotal")
 		for _, t := range traces {
-			fmt.Fprintf(tw, "  %s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			fmt.Fprintf(tw, "  %s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
 				t.ID, t.Outcome, fmtNode(t.Victim), fmtNode(t.Source), fmtNode(int64(t.Shard)),
-				fmtSpan(t.WireNS), fmtSpan(t.IngestNS), fmtSpan(t.IdentifyNS),
+				fmtSpan(t.WireNS), fmtSpan(t.ForwardNS), fmtSpan(t.IngestNS), fmtSpan(t.IdentifyNS),
 				fmtSpan(t.DetectNS), fmtSpan(t.BlockNS), fmtSpan(t.TotalNS))
 		}
 		tw.Flush()

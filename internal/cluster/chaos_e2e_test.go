@@ -79,6 +79,7 @@ func TestClusterChaosKillOwnerMidCampaign(t *testing.T) {
 			Pipeline: pipeline.Config{
 				Net: topology.NewTorus2D(8), Shards: 4, QueueLen: 1 << 15,
 				BlockThreshold: chaosBlockThreshold, BlockTTL: time.Hour,
+				TraceBuffer: 4096, TraceSampleN: 1,
 			},
 			TCPAddr:  addrs[i],
 			HTTPAddr: "127.0.0.1:0",
@@ -356,6 +357,7 @@ func TestClusterChaosKillOwnerMidCampaign(t *testing.T) {
 		Pipeline: pipeline.Config{
 			Net: topology.NewTorus2D(8), Shards: 4, QueueLen: 1 << 15,
 			BlockThreshold: chaosBlockThreshold, BlockTTL: time.Hour,
+			TraceBuffer: 4096, TraceSampleN: 1,
 		},
 		TCPAddr:  addrs[kill],
 		HTTPAddr: "127.0.0.1:0",
@@ -447,4 +449,141 @@ func TestClusterChaosKillOwnerMidCampaign(t *testing.T) {
 	waitFor("blocklist convergence at the rejoined instance", func() bool {
 		return reflect.DeepEqual(rp.Blocklist().Snapshot(), pipes[survivors[0]].Blocklist().Snapshot())
 	})
+
+	// Fleet observability: one traced record's cross-node story. A fresh
+	// victim owned by the rejoined instance is flooded with traced
+	// records through a survivor — every record crosses a forward hop —
+	// and once the flood crosses the block threshold, ANY member's
+	// /cluster/traces must return one stitched timeline for the blocking
+	// record: the survivor's forwarded span and the owner's block span
+	// under the same id, wire → forward → ingest → identify → detect →
+	// block.
+	// Victim 0 is skipped: loadgen treats a zero Victim as unset and
+	// substitutes the default, which would silently flood the wrong node.
+	ring3 := rnode.Ring()
+	v2 := topology.NodeID(-1)
+	for v := topology.NodeID(1); v < 64; v++ {
+		if v != res.Victim && ring3.Owner(v) == owner {
+			v2 = v
+			break
+		}
+	}
+	if v2 < 0 {
+		t.Fatal("rejoined owner owns no second victim")
+	}
+	var mini *loadgen.Result
+	for seed := uint64(100); seed < 200; seed++ {
+		m, err := loadgen.Generate(loadgen.Scenario{
+			Topo: core.Torus2D(8), Victim: v2, Zombies: 1, Seed: seed,
+			AttackGap: 2, Warmup: 0, Attack: 600,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The zombie must not already be blocked fleet-wide, or the flood
+		// dies as blocked_hit before it can cross the threshold again.
+		if !rp.Blocklist().BlockedAt(m.Zombies[0], time.Now().UnixNano()) {
+			mini = m
+			break
+		}
+	}
+	if mini == nil {
+		t.Fatal("no unblocked zombie found for the traced flood")
+	}
+	tcl, err := wire.NewClient(wire.ClientConfig{
+		Dial:        func() (net.Conn, error) { return net.Dial("tcp", addrs[survivors[0]]) },
+		Seed:        55,
+		MaxBatch:    200,
+		MaxAttempts: 8,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  20 * time.Millisecond,
+		AckTimeout:  5 * time.Second,
+		Trace:       true,
+	})
+	if err != nil {
+		t.Fatalf("traced client: %v", err)
+	}
+	send([]*wire.Client{tcl}, mini.Records)
+	waitFor("the traced flood to block its zombie at the rejoined owner", func() bool {
+		return rp.Blocklist().BlockedAt(mini.Zombies[0], time.Now().UnixNano())
+	})
+
+	// The owner retained the blocking record's trace — with the exporter
+	// send stamp intact across the forward hop — and observed the true
+	// send-to-block detection latency.
+	var blockTrace pipeline.Trace
+	waitFor("the blocking record's trace at the owner", func() bool {
+		ts := rp.Recorder().Snapshot(pipeline.TraceFilter{
+			Victim: int64(v2), Source: pipeline.MatchAny,
+			Outcome: pipeline.OutcomeBlock, HasOut: true, Limit: 1,
+		})
+		if len(ts) == 0 || ts[0].ID == 0 || ts[0].Sent == 0 {
+			return false
+		}
+		blockTrace = ts[0]
+		return true
+	})
+	if hist, sum := rp.DetectionLatency(); hist == nil || hist.N() == 0 || sum <= 0 {
+		t.Fatal("owner did not observe a send-to-block detection latency")
+	}
+
+	// The fleet endpoint — queried on a member that is neither the
+	// ingress nor the owner — merges both halves of the timeline.
+	idHex := fmt.Sprintf("%016x", blockTrace.ID)
+	var doc pipeline.FleetTrace
+	waitFor("a stitched cross-node timeline from /cluster/traces", func() bool {
+		resp, err := http.Get(fmt.Sprintf("http://%s/cluster/traces?id=%s",
+			daemons[survivors[1]].HTTPAddr(), idHex))
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return false
+		}
+		doc = pipeline.FleetTrace{}
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			return false
+		}
+		// Admin addresses propagate via gossip; retry until every member
+		// answered and both halves of the timeline are present.
+		return len(doc.Errors) == 0 && len(doc.Spans) >= 2
+	})
+	var fwdSpan, blockSpan *pipeline.FleetSpan
+	for i := range doc.Spans {
+		s := &doc.Spans[i]
+		switch s.Outcome {
+		case pipeline.OutcomeForwarded.String():
+			fwdSpan = s
+		case pipeline.OutcomeBlock.String():
+			blockSpan = s
+		}
+	}
+	if fwdSpan == nil || blockSpan == nil {
+		t.Fatalf("timeline missing a half: %+v", doc.Spans)
+	}
+	if fwdSpan.Node != addrs[survivors[0]] {
+		t.Fatalf("forwarded span on %s, want the ingress survivor %s", fwdSpan.Node, addrs[survivors[0]])
+	}
+	if blockSpan.Node != addrs[kill] {
+		t.Fatalf("block span on %s, want the rejoined owner %s", blockSpan.Node, addrs[kill])
+	}
+	if fwdSpan.StartNS > blockSpan.StartNS {
+		t.Fatalf("route (%d) after ingest (%d): spans out of order", fwdSpan.StartNS, blockSpan.StartNS)
+	}
+	if fwdSpan.WireNS < 0 {
+		t.Fatalf("forwarded span lost the wire span: %+v", fwdSpan)
+	}
+	for what, ns := range map[string]int64{
+		"wire": blockSpan.WireNS, "forward": blockSpan.ForwardNS,
+		"ingest": blockSpan.IngestNS, "identify": blockSpan.IdentifyNS,
+		"detect": blockSpan.DetectNS, "block": blockSpan.BlockNS,
+	} {
+		if ns < 0 {
+			t.Fatalf("block span missing its %s stage: %+v", what, blockSpan)
+		}
+	}
+	if doc.DetectionLatencyNS <= 0 {
+		t.Fatalf("merged timeline has no detection latency: %+v", doc)
+	}
 }

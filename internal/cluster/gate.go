@@ -81,8 +81,10 @@ func (g *fwGate) resetLocked(ringVer uint64) {
 // filter runs one unowned record through the gate. pass reports
 // whether the record should be forwarded; replay holds the earlier
 // buffered records of a victim admitted by this very record (forward
-// them to the owner ahead of rec — rec itself is never in replay).
-func (g *fwGate) filter(ringVer uint64, rec wire.Record) (pass bool, replay []wire.Record) {
+// them to the owner ahead of rec — rec itself is never in replay);
+// admitted reports that this very record crossed the threshold, so the
+// caller can emit the admission event exactly once per earn.
+func (g *fwGate) filter(ringVer uint64, rec wire.Record) (pass bool, replay []wire.Record, admitted bool) {
 	v := rec.Victim
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -91,7 +93,7 @@ func (g *fwGate) filter(ringVer uint64, rec wire.Record) (pass bool, replay []wi
 	}
 	if _, ok := g.admitted[v]; ok {
 		g.admitted[v] = g.gen
-		return true, nil
+		return true, nil, false
 	}
 	key := uint64(rec.Victim)
 	est := g.cm.Add(key)
@@ -108,7 +110,7 @@ func (g *fwGate) filter(ringVer uint64, rec wire.Record) (pass bool, replay []wi
 	}
 	slot := g.hh.Touch(key, est, rec)
 	if slot == nil || int(slot.Guaranteed()) < g.admit {
-		return false, nil
+		return false, nil, false
 	}
 	// Admission: replay the buffered prefix (everything before the
 	// crossing record — the buffer's last element is rec unless the
@@ -123,7 +125,7 @@ func (g *fwGate) filter(ringVer uint64, rec wire.Record) (pass bool, replay []wi
 	}
 	g.hh.Remove(key)
 	g.admitted[v] = g.gen
-	return true, replay
+	return true, replay, true
 }
 
 // admittedCount reports how many victims currently hold a forwarding

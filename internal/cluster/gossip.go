@@ -29,6 +29,8 @@ import (
 //	        then per source: node(8) count(8)
 //	senderAddr: len uint16 + bytes (the sender's advertised ingest address)
 //	nRoster uint16, then per entry: len uint16 + bytes
+//	senderAdmin: len uint16 + bytes (v3+ only: the sender's admin-plane
+//	            HTTP address, empty until its listener is bound)
 //
 // Replicas with the expired flag are tombstones: the final snapshot of
 // a victim whose owner's TTL sweep retired it, shipped so the backup
@@ -42,13 +44,14 @@ import (
 // previously unknown sender by checking MemberID(SenderAddr) == Sender
 // before admitting it to the roster.
 type gossipMsg struct {
-	Sender     uint64
-	RingVer    uint64
-	SenderAddr string
-	Digest     []digestEntry
-	Ops        []originOp
-	Replicas   []pipeline.VictimSnapshot
-	Roster     []string
+	Sender      uint64
+	RingVer     uint64
+	SenderAddr  string
+	SenderAdmin string // admin-plane HTTP address; "" on v2 messages
+	Digest      []digestEntry
+	Ops         []originOp
+	Replicas    []pipeline.VictimSnapshot
+	Roster      []string
 }
 
 // digestEntry advertises the highest contiguous mutation sequence the
@@ -66,7 +69,11 @@ type originOp struct {
 }
 
 const (
-	gossipVersion   = 2
+	// gossipVersion 3 appends the sender's admin-plane address after the
+	// roster; a v2 message (no admin section) still parses, so a mixed
+	// fleet keeps gossiping through a rolling upgrade.
+	gossipVersion   = 3
+	gossipVersionV2 = 2
 	gossipFixedSize = 1 + 8 + 8
 	digestEntrySize = 16
 	opSize          = 49
@@ -112,6 +119,8 @@ func appendGossipMsg(b []byte, m *gossipMsg) []byte {
 		b = binary.BigEndian.AppendUint16(b, uint16(len(addr)))
 		b = append(b, addr...)
 	}
+	b = binary.BigEndian.AppendUint16(b, uint16(len(m.SenderAdmin)))
+	b = append(b, m.SenderAdmin...)
 	return b
 }
 
@@ -168,8 +177,9 @@ func parseGossipMsg(b []byte) (*gossipMsg, error) {
 	if len(b) < gossipFixedSize+6 {
 		return nil, errGossipTrunc
 	}
-	if b[0] != gossipVersion {
-		return nil, fmt.Errorf("cluster: gossip version %d (want %d)", b[0], gossipVersion)
+	ver := b[0]
+	if ver != gossipVersion && ver != gossipVersionV2 {
+		return nil, fmt.Errorf("cluster: gossip version %d (want %d or %d)", ver, gossipVersionV2, gossipVersion)
 	}
 	m := &gossipMsg{
 		Sender:  binary.BigEndian.Uint64(b[1:9]),
@@ -257,6 +267,11 @@ func parseGossipMsg(b []byte) (*gossipMsg, error) {
 		}
 		m.Roster = append(m.Roster, addr)
 	}
+	if ver >= gossipVersion {
+		if m.SenderAdmin, err = takeStr(); err != nil {
+			return nil, err
+		}
+	}
 	if len(p) != 0 {
 		return nil, fmt.Errorf("cluster: %d trailing gossip bytes", len(p))
 	}
@@ -273,10 +288,10 @@ func newGossipBudget(digestEntries, addrBytes int) gossipBudget {
 	return gossipBudget{left: wire.MaxGossipBody - gossipFixedSize - 6 - digestEntries*digestEntrySize - addrBytes}
 }
 
-// rosterBytes is the encoded size of the sender-addr plus roster
-// sections of a message.
-func rosterBytes(senderAddr string, roster []string) int {
-	n := 2 + len(senderAddr) + 2
+// rosterBytes is the encoded size of the sender-addr, roster and
+// sender-admin sections of a message.
+func rosterBytes(senderAddr, senderAdmin string, roster []string) int {
+	n := 2 + len(senderAddr) + 2 + 2 + len(senderAdmin)
 	for _, a := range roster {
 		n += 2 + len(a)
 	}

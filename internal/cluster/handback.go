@@ -32,43 +32,66 @@ import (
 )
 
 const (
-	handbackVersion = 1
-	// handbackFixed is the fixed prefix of a handback body:
-	// version(1) + sender(8) + seq(8).
-	handbackFixed = 1 + 8 + 8
+	// handbackVersion 2 inserts an operation id and the shipper's ring
+	// version between the sequence number and the snapshot. The op id is
+	// the flight-recorder event id minted by the shipper: both sides
+	// commit their half of the handback under it, so the fleet trace
+	// fan-out stitches ship and seed into one timeline. v1 bodies (no
+	// op section) still parse, for rolling upgrades.
+	handbackVersion   = 2
+	handbackVersionV1 = 1
+	// handbackFixedV1 is the fixed prefix of a v1 handback body:
+	// version(1) + sender(8) + seq(8). v2 adds opID(8) + ringVer(8).
+	handbackFixedV1 = 1 + 8 + 8
+	handbackFixed   = handbackFixedV1 + 8 + 8
 
 	handbackAttempts = 3
 	handbackBackoff  = 25 * time.Millisecond
 )
 
 // handbackMsg is the body of one TypeHandback frame: who is shipping,
-// a per-shipper sequence number (acked back as seq+1), and the
-// victim's cumulative snapshot.
+// a per-shipper sequence number (acked back as seq+1), the shared
+// flight-recorder op id and shipper's ring version (zero on v1), and
+// the victim's cumulative snapshot.
 type handbackMsg struct {
-	Sender uint64
-	Seq    uint64
-	Snap   pipeline.VictimSnapshot
+	Sender  uint64
+	Seq     uint64
+	OpID    uint64
+	RingVer uint64
+	Snap    pipeline.VictimSnapshot
 }
 
 func appendHandbackMsg(b []byte, m *handbackMsg) []byte {
 	b = append(b, handbackVersion)
 	b = binary.BigEndian.AppendUint64(b, m.Sender)
 	b = binary.BigEndian.AppendUint64(b, m.Seq)
+	b = binary.BigEndian.AppendUint64(b, m.OpID)
+	b = binary.BigEndian.AppendUint64(b, m.RingVer)
 	return appendSnapshot(b, &m.Snap)
 }
 
 func parseHandbackMsg(b []byte) (*handbackMsg, error) {
-	if len(b) < handbackFixed {
+	if len(b) < handbackFixedV1 {
 		return nil, errGossipTrunc
 	}
-	if b[0] != handbackVersion {
-		return nil, fmt.Errorf("cluster: handback version %d, want %d", b[0], handbackVersion)
+	ver := b[0]
+	if ver != handbackVersion && ver != handbackVersionV1 {
+		return nil, fmt.Errorf("cluster: handback version %d, want %d or %d", ver, handbackVersionV1, handbackVersion)
 	}
 	m := &handbackMsg{
 		Sender: binary.BigEndian.Uint64(b[1:9]),
 		Seq:    binary.BigEndian.Uint64(b[9:17]),
 	}
-	snap, rest, err := parseSnapshot(b[handbackFixed:])
+	body := b[handbackFixedV1:]
+	if ver >= handbackVersion {
+		if len(b) < handbackFixed {
+			return nil, errGossipTrunc
+		}
+		m.OpID = binary.BigEndian.Uint64(b[17:25])
+		m.RingVer = binary.BigEndian.Uint64(b[25:33])
+		body = b[handbackFixed:]
+	}
+	snap, rest, err := parseSnapshot(body)
 	if err != nil {
 		return nil, err
 	}
@@ -86,10 +109,22 @@ func (n *Node) queueHandback(snap pipeline.VictimSnapshot, ok bool) {
 	if !ok {
 		return // no state existed; nothing to hand over
 	}
+	now := n.cfg.Now()
+	if fr := n.p.Recorder(); fr != nil {
+		fr.CommitEventWithID(fr.MintEventID(uint64(snap.Victim)), pipeline.OutcomeHandback, now, int64(snap.Victim))
+	}
+	if j := n.p.Journal(); j != nil {
+		j.Emit(pipeline.Event{
+			T: now, Type: pipeline.EventVictimDetached,
+			Victim: int64(snap.Victim), Source: -1, Count: snap.Identified(),
+			Detail: fmt.Sprintf("ring=v%d", n.ring.Load().Version()),
+		})
+	}
 	select {
 	case n.handbackQ <- snap:
 	default:
 		n.handbackFailures.Add(1)
+		n.handbackFallbacks.Add(1)
 		n.storeFallback(snap)
 	}
 }
@@ -133,29 +168,50 @@ func (n *Node) ship(snap pipeline.VictimSnapshot) {
 	pr := n.members.Load().byID[owner]
 	if pr == nil {
 		n.handbackFailures.Add(1)
+		n.handbackFallbacks.Add(1)
 		n.storeFallback(snap)
 		return
 	}
 	n.handbackSeq++
-	msg := handbackMsg{Sender: n.self, Seq: n.handbackSeq, Snap: snap}
+	msg := handbackMsg{Sender: n.self, Seq: n.handbackSeq, RingVer: ring.Version(), Snap: snap}
+	fr := n.p.Recorder()
+	if fr != nil {
+		// Mint the op id before shipping: the receiver commits its seed
+		// under the same id, so the fleet fan-out stitches both halves.
+		msg.OpID = fr.MintEventID(uint64(snap.Victim))
+	}
 	frame := wire.AppendHandback(nil, appendHandbackMsg(nil, &msg))
 	for attempt := 0; attempt < handbackAttempts; attempt++ {
 		if attempt > 0 {
+			n.handbackRetries.Add(1)
 			select {
 			case <-time.After(handbackBackoff << (attempt - 1)):
 			case <-n.stop:
 				n.handbackFailures.Add(1)
+				n.handbackFallbacks.Add(1)
 				n.storeFallback(snap)
 				return
 			}
 		}
 		if err := n.shipOnce(pr, frame, msg.Seq); err == nil {
 			n.handbacksOut.Add(1)
-			pr.lastHeard.Store(n.cfg.Now())
+			now := n.cfg.Now()
+			pr.lastHeard.Store(now)
+			if fr != nil {
+				fr.CommitEventWithID(msg.OpID, pipeline.OutcomeHandback, now, int64(snap.Victim))
+			}
+			if j := n.p.Journal(); j != nil {
+				j.Emit(pipeline.Event{
+					T: now, Type: pipeline.EventHandbackShip,
+					Victim: int64(snap.Victim), Source: -1, Count: snap.Identified(),
+					Detail: fmt.Sprintf("to=%x ring=v%d op=%x", owner, msg.RingVer, msg.OpID),
+				})
+			}
 			return
 		}
 	}
 	n.handbackFailures.Add(1)
+	n.handbackFallbacks.Add(1)
 	n.storeFallback(snap)
 }
 
@@ -213,13 +269,26 @@ func (n *Node) HandleHandback(body []byte) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
+	now := n.cfg.Now()
 	if pr := n.members.Load().byID[m.Sender]; pr != nil {
-		pr.lastHeard.Store(n.cfg.Now())
+		pr.lastHeard.Store(now)
 	}
 	n.mu.Lock()
 	n.storeReplicaLocked(n.ring.Load(), m.Snap)
 	n.mu.Unlock()
 	n.handbacksIn.Add(1)
+	// Commit the receive under the shipper's op id (v2 bodies carry
+	// one), stitching ship and seed into a single fleet-wide timeline.
+	if fr := n.p.Recorder(); fr != nil && m.OpID != 0 {
+		fr.CommitEventWithID(m.OpID, pipeline.OutcomeHandback, now, int64(m.Snap.Victim))
+	}
+	if j := n.p.Journal(); j != nil {
+		j.Emit(pipeline.Event{
+			T: now, Type: pipeline.EventHandbackRecv,
+			Victim: int64(m.Snap.Victim), Source: -1, Count: m.Snap.Identified(),
+			Detail: fmt.Sprintf("from=%x ring=v%d op=%x", m.Sender, m.RingVer, m.OpID),
+		})
+	}
 	n.cfg.Logf("cluster: handback received victim=%d from=%x", m.Snap.Victim, m.Sender)
 	return m.Seq + 1, nil
 }

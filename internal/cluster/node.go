@@ -98,6 +98,10 @@ func (c *Config) applyDefaults() error {
 		return fmt.Errorf("cluster: ForwardBatch %d exceeds the %d records one forwarded frame can carry",
 			c.ForwardBatch, wire.MaxRecordsPerForwarded)
 	}
+	if c.ForwardBatch > wire.MaxTracedPerForwarded {
+		return fmt.Errorf("cluster: ForwardBatch %d exceeds the %d records one traced forwarded frame can carry",
+			c.ForwardBatch, wire.MaxTracedPerForwarded)
+	}
 	if c.MaxReplicasPerMsg <= 0 {
 		c.MaxReplicasPerMsg = 8
 	}
@@ -113,6 +117,15 @@ func (c *Config) applyDefaults() error {
 	return nil
 }
 
+// fwBatch is one unit of the forwarding queue: the records bound for a
+// peer plus, when the slab carried a trace lane, their contexts (ctxs
+// is nil on the untraced path — the forwarder then ships plain
+// forwarded frames with zero per-record trace overhead).
+type fwBatch struct {
+	recs []wire.Record
+	ctxs []wire.TraceContext
+}
+
 // peer is one remote instance: forwarding queue, gossip connection and
 // liveness state. The peer set grows at runtime (gossip rosters and
 // runtime joins) behind an atomically swapped peerSet snapshot; a peer,
@@ -124,10 +137,18 @@ type peer struct {
 	addr string
 	id   uint64
 
-	queue     chan []wire.Record
-	lastHeard atomic.Int64  // unix nanos of last proof of life
-	ringVer   atomic.Uint64 // peer's last self-reported ring version
-	delivered atomic.Uint64 // records the peer acked on the forward session
+	queue      chan fwBatch
+	lastHeard  atomic.Int64  // unix nanos of last proof of life
+	lastGossip atomic.Int64  // unix nanos of the last completed gossip exchange (0 = never)
+	ringVer    atomic.Uint64 // peer's last self-reported ring version
+	queued     atomic.Uint64 // records accepted into this peer's forward queue
+	delivered  atomic.Uint64 // records the peer acked on the forward session
+	lost       atomic.Uint64 // records shed at this peer's queue or abandoned on its session
+
+	// adminAddr is the peer's admin-plane HTTP address, learned from its
+	// gossip messages — what the fleet trace fan-out queries. Empty until
+	// the first exchange that carries one.
+	adminAddr atomic.Pointer[string]
 
 	digest        map[uint64]uint64 // mutations the peer is known to hold
 	replicaCursor int               // round-robin start into owned victims
@@ -169,19 +190,27 @@ type Node struct {
 	handbackQ   chan pipeline.VictimSnapshot
 	handbackSeq uint64 // handback-loop goroutine only
 
-	forwardedOut     atomic.Uint64
-	forwardedIn      atomic.Uint64
-	forwardDropped   atomic.Uint64
-	forwardLost      atomic.Uint64
-	forwardSuppress  atomic.Uint64
-	gossipRounds     atomic.Uint64
-	gossipFails      atomic.Uint64
-	seedsApplied     atomic.Uint64
-	takeovers        atomic.Uint64
-	joins            atomic.Uint64
-	handbacksOut     atomic.Uint64
-	handbacksIn      atomic.Uint64
-	handbackFailures atomic.Uint64
+	// adminAddr is this node's own admin-plane HTTP address, set by the
+	// daemon once its listener is bound and gossiped to peers so the
+	// fleet trace fan-out can reach every member.
+	adminAddr atomic.Pointer[string]
+
+	forwardedOut      atomic.Uint64
+	forwardedIn       atomic.Uint64
+	forwardDropped    atomic.Uint64
+	forwardLost       atomic.Uint64
+	forwardSuppress   atomic.Uint64
+	gossipRounds      atomic.Uint64
+	gossipFails       atomic.Uint64
+	seedsApplied      atomic.Uint64
+	takeovers         atomic.Uint64
+	joins             atomic.Uint64
+	handbacksOut      atomic.Uint64
+	handbacksIn       atomic.Uint64
+	handbackFailures  atomic.Uint64
+	handbackRetries   atomic.Uint64
+	handbackFallbacks atomic.Uint64
+	traceDowngrades   atomic.Uint64
 
 	stop   chan struct{}
 	wg     sync.WaitGroup
@@ -242,7 +271,7 @@ func New(p *pipeline.Pipeline, cfg Config) (*Node, error) {
 		pr := &peer{
 			addr:   addr,
 			id:     id,
-			queue:  make(chan []wire.Record, cfg.ForwardQueue),
+			queue:  make(chan fwBatch, cfg.ForwardQueue),
 			digest: make(map[uint64]uint64),
 		}
 		pr.lastHeard.Store(now)
@@ -306,7 +335,7 @@ func (n *Node) addPeer(addr string) *peer {
 	pr := &peer{
 		addr:   addr,
 		id:     id,
-		queue:  make(chan []wire.Record, n.cfg.ForwardQueue),
+		queue:  make(chan fwBatch, n.cfg.ForwardQueue),
 		digest: make(map[uint64]uint64),
 	}
 	pr.lastHeard.Store(n.cfg.Now())
@@ -348,6 +377,17 @@ func (n *Node) Route(s *wire.Slab) int {
 	ps := n.members.Load()
 	ringVer := ring.Version()
 	var batches map[uint64][]wire.Record
+	var ctxBatches map[uint64][]wire.TraceContext
+	traced := s.Ctxs != nil
+	var now int64
+	var fr *pipeline.FlightRecorder
+	if traced {
+		// One clock read per slab: the route decision's timestamp, which
+		// becomes every forwarded context's Routed stamp and the start of
+		// its forward span.
+		now = n.cfg.Now()
+		fr = n.p.Recorder()
+	}
 	recs := s.Recs
 	k := 0
 	for i := range recs {
@@ -355,7 +395,7 @@ func (n *Node) Route(s *wire.Slab) int {
 		if owner == n.self {
 			if k != i {
 				recs[k] = recs[i]
-				if s.Ctxs != nil {
+				if traced {
 					s.Ctxs[k] = s.Ctxs[i]
 				}
 			}
@@ -364,23 +404,42 @@ func (n *Node) Route(s *wire.Slab) int {
 		}
 		var replay []wire.Record
 		if n.gate != nil {
-			pass, buf := n.gate.filter(ringVer, recs[i])
+			pass, buf, admitted := n.gate.filter(ringVer, recs[i])
 			if !pass {
 				n.forwardSuppress.Add(1)
 				continue
+			}
+			if admitted {
+				n.noteGateAdmit(recs[i].Victim, owner, ringVer)
 			}
 			replay = buf
 		}
 		if batches == nil {
 			batches = make(map[uint64][]wire.Record, 2)
+			if traced {
+				ctxBatches = make(map[uint64][]wire.TraceContext, 2)
+			}
 		}
 		if len(replay) > 0 {
 			batches[owner] = append(batches[owner], replay...)
+			if traced {
+				// Replayed prefix records predate the trace lane being
+				// consulted for them; they ride the hop untraced.
+				ctxBatches[owner] = append(ctxBatches[owner], make([]wire.TraceContext, len(replay))...)
+			}
 		}
 		batches[owner] = append(batches[owner], recs[i])
+		if traced {
+			ctx := s.Ctxs[i]
+			if ctx.ID != 0 {
+				ctx.Routed = now
+				n.traceForwarded(fr, &recs[i], &ctx, owner)
+			}
+			ctxBatches[owner] = append(ctxBatches[owner], ctx)
+		}
 	}
 	s.Recs = recs[:k]
-	if s.Ctxs != nil {
+	if traced {
 		s.Ctxs = s.Ctxs[:k]
 	}
 	accepted := 0
@@ -390,25 +449,71 @@ func (n *Node) Route(s *wire.Slab) int {
 		s.Release()
 	}
 	for owner, fw := range batches {
-		accepted += n.enqueue(ps.byID[owner], fw)
+		var ctxs []wire.TraceContext
+		if traced {
+			ctxs = ctxBatches[owner]
+		}
+		accepted += n.enqueue(ps.byID[owner], fw, ctxs)
 	}
 	return accepted
+}
+
+// traceForwarded commits the origin-side half of a forwarded record's
+// timeline: the span from exporter send to the route decision, with the
+// owner's member id attached. The owner's ingest then commits the
+// other half under the same trace id; the fleet fan-out stitches both.
+func (n *Node) traceForwarded(fr *pipeline.FlightRecorder, rec *wire.Record, ctx *wire.TraceContext, owner uint64) {
+	if fr == nil {
+		return
+	}
+	t := pipeline.Trace{
+		ID: ctx.ID, Sent: ctx.Sent, Start: ctx.Routed,
+		Victim: int64(rec.Victim), Source: -1, Shard: -1,
+		Outcome: pipeline.OutcomeForwarded, Origin: owner,
+		Wire: pipeline.SpanMissing, Forward: pipeline.SpanMissing,
+		Ingest: pipeline.SpanMissing, Identify: pipeline.SpanMissing,
+		Detect: pipeline.SpanMissing, Block: pipeline.SpanMissing,
+	}
+	if ctx.Sent > 0 {
+		t.Wire = ctx.Routed - ctx.Sent
+	}
+	fr.Commit(&t)
+}
+
+// noteGateAdmit records a fwGate admission as an always-retained
+// cluster event: a journal line plus a synthetic flight-recorder trace,
+// both carrying the owner and ring version the admission happened
+// under.
+func (n *Node) noteGateAdmit(victim topology.NodeID, owner, ringVer uint64) {
+	now := n.cfg.Now()
+	if fr := n.p.Recorder(); fr != nil {
+		fr.CommitEventWithID(fr.MintEventID(uint64(victim)), pipeline.OutcomeGateAdmit, now, int64(victim))
+	}
+	if j := n.p.Journal(); j != nil {
+		j.Emit(pipeline.Event{
+			T: now, Type: pipeline.EventGateAdmit,
+			Victim: int64(victim), Source: -1,
+			Detail: fmt.Sprintf("owner=%x ring=v%d", owner, ringVer),
+		})
+	}
 }
 
 // enqueue offers one batch to a peer's forwarding queue, shedding
 // (counted) when the queue is full — ingest never blocks on a slow or
 // dead peer.
-func (n *Node) enqueue(pr *peer, fw []wire.Record) int {
+func (n *Node) enqueue(pr *peer, fw []wire.Record, ctxs []wire.TraceContext) int {
 	if pr == nil {
 		n.forwardDropped.Add(uint64(len(fw)))
 		return 0
 	}
 	select {
-	case pr.queue <- fw:
+	case pr.queue <- fwBatch{recs: fw, ctxs: ctxs}:
 		n.forwardedOut.Add(uint64(len(fw)))
+		pr.queued.Add(uint64(len(fw)))
 		return len(fw)
 	default:
 		n.forwardDropped.Add(uint64(len(fw)))
+		pr.lost.Add(uint64(len(fw)))
 		return 0
 	}
 }
@@ -438,11 +543,28 @@ func (n *Node) forward(pr *peer) {
 		BackoffBase:   5 * time.Millisecond,
 		BackoffMax:    250 * time.Millisecond,
 		ForwardOrigin: n.self,
-		OnLost:        func(rec wire.Record) { n.reroute(pr, rec) },
+		// Negotiate the trace lane on every forward session; batches
+		// without contexts still ship as plain forwarded frames, so the
+		// untraced hot path pays nothing for the offer.
+		Trace:            true,
+		OnTraceDowngrade: func() { n.noteTraceDowngrade(pr) },
+		OnLost:           func(rec wire.Record) { n.reroute(pr, rec) },
 	})
 	if err != nil {
 		n.cfg.Logf("cluster: forwarder %s: %v", pr.addr, err)
 		return
+	}
+	var tbuf []wire.TracedRecord
+	send := func(fw fwBatch) {
+		if fw.ctxs == nil {
+			client.Send(fw.recs)
+			return
+		}
+		tbuf = tbuf[:0]
+		for i := range fw.recs {
+			tbuf = append(tbuf, wire.TracedRecord{Record: fw.recs[i], Ctx: fw.ctxs[i]})
+		}
+		client.SendTraced(tbuf)
 	}
 	flushDelivered := func() {
 		client.Flush()
@@ -451,14 +573,14 @@ func (n *Node) forward(pr *peer) {
 	for {
 		select {
 		case fw := <-pr.queue:
-			client.Send(fw)
+			send(fw)
 			// Opportunistically drain whatever queued while sending,
 			// then flush so forwarding latency stays one queue-pass.
 		drain:
 			for {
 				select {
 				case fw := <-pr.queue:
-					client.Send(fw)
+					send(fw)
 				default:
 					break drain
 				}
@@ -468,7 +590,7 @@ func (n *Node) forward(pr *peer) {
 			for {
 				select {
 				case fw := <-pr.queue:
-					client.Send(fw)
+					send(fw)
 					continue
 				default:
 				}
@@ -479,6 +601,22 @@ func (n *Node) forward(pr *peer) {
 			pr.delivered.Store(client.Delivered())
 			return
 		}
+	}
+}
+
+// noteTraceDowngrade records that a forward peer's hello did not echo
+// the trace flag: contexts for records forwarded there are shed at the
+// wire client (delivery is unaffected). Fires once per established
+// connection; an always-retained journal line marks the interop
+// downgrade so a mixed-version fleet is diagnosable from one node.
+func (n *Node) noteTraceDowngrade(pr *peer) {
+	n.traceDowngrades.Add(1)
+	n.cfg.Logf("cluster: peer %s did not negotiate the trace lane; forwarding untraced", pr.addr)
+	if j := n.p.Journal(); j != nil {
+		j.Emit(pipeline.Event{
+			T: n.cfg.Now(), Type: pipeline.EventTraceDowngrade,
+			Victim: -1, Source: -1, Stream: pr.id, Detail: pr.addr,
+		})
 	}
 }
 
@@ -500,8 +638,9 @@ func (n *Node) reroute(from *peer, rec wire.Record) {
 		}
 	case owner == from.id:
 		n.forwardLost.Add(1)
+		from.lost.Add(1)
 	default:
-		if n.enqueue(n.members.Load().byID[owner], []wire.Record{rec}) == 0 {
+		if n.enqueue(n.members.Load().byID[owner], []wire.Record{rec}, nil) == 0 {
 			n.forwardLost.Add(1)
 		}
 	}
@@ -531,9 +670,40 @@ func (n *Node) gossipLoop() {
 					n.gossipFails.Add(1)
 				}
 			}
-			n.gossipRounds.Add(1)
+			round := n.gossipRounds.Add(1)
+			n.noteGossipRound(round)
 			n.recomputeMembership()
 		}
+	}
+}
+
+// gossipJournalEvery samples the per-round gossip event 1-in-N: a
+// 500ms cadence would write 172k journal lines a day per node if every
+// round landed, so the audit trail carries a periodic summary instead
+// (round counter, alive set, cumulative failures) — enough to bound
+// when anti-entropy last ran without drowning the attack events.
+const gossipJournalEvery = 16
+
+// noteGossipRound emits the sampled anti-entropy summary: a journal
+// line plus a synthetic flight-recorder event, both carrying the round
+// number and the alive/known member counts.
+func (n *Node) noteGossipRound(round uint64) {
+	if round%gossipJournalEvery != 0 {
+		return
+	}
+	now := n.cfg.Now()
+	ring := n.ring.Load()
+	known := len(n.members.Load().list) + 1
+	if fr := n.p.Recorder(); fr != nil {
+		fr.CommitEventWithID(fr.MintEventID(round), pipeline.OutcomeGossip, now, -1)
+	}
+	if j := n.p.Journal(); j != nil {
+		j.Emit(pipeline.Event{
+			T: now, Type: pipeline.EventGossipRound,
+			Victim: -1, Source: -1, Count: int64(round),
+			Detail: fmt.Sprintf("round=%d alive=%d/%d fails=%d ring=v%d",
+				round, ring.Size(), known, n.gossipFails.Load(), ring.Version()),
+		})
 	}
 }
 
@@ -580,6 +750,7 @@ func (n *Node) gossipWith(pr *peer) error {
 		return fail(err)
 	}
 	n.absorb(resp)
+	pr.lastGossip.Store(n.cfg.Now())
 	// A complete exchange confirms the peer absorbed our request,
 	// including any tombstones it carried; stop re-shipping those.
 	n.mu.Lock()
@@ -644,6 +815,9 @@ func (n *Node) buildMsg(pr *peer, reqDigest []digestEntry) *gossipMsg {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	m := &gossipMsg{Sender: n.self, RingVer: n.ring.Load().Version(), SenderAddr: n.cfg.Self}
+	if admin := n.adminAddr.Load(); admin != nil {
+		m.SenderAdmin = *admin
+	}
 	// The roster carries every peer we currently believe alive, so a
 	// joiner that knows one member learns the rest in one exchange.
 	for _, other := range ps.list {
@@ -668,7 +842,7 @@ func (n *Node) buildMsg(pr *peer, reqDigest []digestEntry) *gossipMsg {
 			theirs[o] = s
 		}
 	}
-	budget := newGossipBudget(len(m.Digest), rosterBytes(m.SenderAddr, m.Roster))
+	budget := newGossipBudget(len(m.Digest), rosterBytes(m.SenderAddr, m.SenderAdmin, m.Roster))
 	appendOps := func(origin uint64, log []filter.Mutation) {
 		from := theirs[origin]
 		for i := int(from); i < len(log) && budget.fitsOp(); i++ {
@@ -775,7 +949,12 @@ func (n *Node) absorb(m *gossipMsg) {
 	defer n.mu.Unlock()
 	if pr := ps.byID[m.Sender]; pr != nil {
 		pr.lastHeard.Store(n.cfg.Now())
+		pr.lastGossip.Store(n.cfg.Now())
 		pr.ringVer.Store(m.RingVer)
+		if m.SenderAdmin != "" {
+			admin := m.SenderAdmin
+			pr.adminAddr.Store(&admin)
+		}
 		for k := range pr.digest {
 			delete(pr.digest, k)
 		}
@@ -916,6 +1095,7 @@ func (n *Node) recomputeMembership() {
 		}
 	}
 	n.mu.Unlock()
+	n.noteRingChange(ring, alive, seeds)
 	// Handback: every victim whose exact state lives here but whose new
 	// owner is another alive member is detached through its shard queue
 	// (so records already submitted are tallied into the snapshot) and
@@ -938,44 +1118,95 @@ func (n *Node) recomputeMembership() {
 	}
 }
 
-// Status is the /cluster admin document.
-type Status struct {
-	Self             string         `json:"self"`
-	MemberID         uint64         `json:"member_id"`
-	Incarnation      uint64         `json:"incarnation"`
-	RingVersion      uint64         `json:"ring_version"`
-	Alive            int            `json:"alive"`
-	Members          []MemberStatus `json:"members"`
-	ForwardedOut     uint64         `json:"forwarded_out"`
-	ForwardedIn      uint64         `json:"forwarded_in"`
-	ForwardDropped   uint64         `json:"forward_dropped"`
-	ForwardLost      uint64         `json:"forward_lost"`
-	ForwardSuppress  uint64         `json:"forward_suppressed"`
-	GateAdmitted     int            `json:"gate_admitted_victims"`
-	ForwardQueue     int            `json:"forward_queue_len"`
-	GossipRounds     uint64         `json:"gossip_rounds"`
-	GossipFails      uint64         `json:"gossip_fails"`
-	BlocklistSeq     uint64         `json:"blocklist_seq"`
-	SeedsApplied     uint64         `json:"seeds_applied"`
-	Takeovers        uint64         `json:"takeovers"`
-	Joins            uint64         `json:"members_learned"`
-	HandbacksOut     uint64         `json:"handbacks_sent"`
-	HandbacksIn      uint64         `json:"handbacks_received"`
-	HandbackFailures uint64         `json:"handback_failures"`
-	StoredReplicas   int            `json:"stored_replicas"`
-	RetiredTombs     int            `json:"retired_tombstones"`
-	OwnedVictims     int            `json:"owned_victims"`
+// noteRingChange emits the always-retained record of an ownership-ring
+// rebuild — journal line plus synthetic flight-recorder event, with the
+// new ring version and member set in Detail — and, when the rebuild
+// seeded stored replicas, a companion takeover event carrying the seed
+// count. Runs outside n.mu.
+func (n *Node) noteRingChange(ring *Ring, alive []uint64, seeds int) {
+	now := n.cfg.Now()
+	fr := n.p.Recorder()
+	j := n.p.Journal()
+	if fr != nil {
+		fr.CommitEventWithID(fr.MintEventID(ring.Version()), pipeline.OutcomeRingChange, now, -1)
+	}
+	if j != nil {
+		members := make([]byte, 0, len(alive)*17)
+		for i, m := range alive {
+			if i > 0 {
+				members = append(members, ' ')
+			}
+			members = fmt.Appendf(members, "%x", m)
+		}
+		j.Emit(pipeline.Event{
+			T: now, Type: pipeline.EventRingChange,
+			Victim: -1, Source: -1, Count: int64(len(alive)),
+			Detail: fmt.Sprintf("ring=v%d members=%s", ring.Version(), members),
+		})
+	}
+	if seeds > 0 {
+		if fr != nil {
+			fr.CommitEventWithID(fr.MintEventID(ring.Version()^uint64(seeds)), pipeline.OutcomeTakeover, now, -1)
+		}
+		if j != nil {
+			j.Emit(pipeline.Event{
+				T: now, Type: pipeline.EventTakeover,
+				Victim: -1, Source: -1, Count: int64(seeds),
+				Detail: fmt.Sprintf("ring=v%d seeded=%d", ring.Version(), seeds),
+			})
+		}
+	}
 }
 
-// MemberStatus is one fleet member's liveness as this instance sees it.
+// Status is the /cluster admin document.
+type Status struct {
+	Self              string         `json:"self"`
+	MemberID          uint64         `json:"member_id"`
+	Incarnation       uint64         `json:"incarnation"`
+	RingVersion       uint64         `json:"ring_version"`
+	Alive             int            `json:"alive"`
+	Members           []MemberStatus `json:"members"`
+	ForwardedOut      uint64         `json:"forwarded_out"`
+	ForwardedIn       uint64         `json:"forwarded_in"`
+	ForwardDropped    uint64         `json:"forward_dropped"`
+	ForwardLost       uint64         `json:"forward_lost"`
+	ForwardSuppress   uint64         `json:"forward_suppressed"`
+	GateAdmitted      int            `json:"gate_admitted_victims"`
+	ForwardQueue      int            `json:"forward_queue_len"`
+	GossipRounds      uint64         `json:"gossip_rounds"`
+	GossipFails       uint64         `json:"gossip_fails"`
+	BlocklistSeq      uint64         `json:"blocklist_seq"`
+	SeedsApplied      uint64         `json:"seeds_applied"`
+	Takeovers         uint64         `json:"takeovers"`
+	Joins             uint64         `json:"members_learned"`
+	HandbacksOut      uint64         `json:"handbacks_sent"`
+	HandbacksIn       uint64         `json:"handbacks_received"`
+	HandbackFailures  uint64         `json:"handback_failures"`
+	HandbackRetries   uint64         `json:"handback_retries"`
+	HandbackFallbacks uint64         `json:"handback_fallback_replicas"`
+	TraceDowngrades   uint64         `json:"trace_downgrades"`
+	StoredReplicas    int            `json:"stored_replicas"`
+	RetiredTombs      int            `json:"retired_tombstones"`
+	OwnedVictims      int            `json:"owned_victims"`
+}
+
+// MemberStatus is one fleet member's liveness as this instance sees it,
+// plus the local forward-session lag toward it: Queued is what Route
+// accepted into its queue, Delivered what the peer acked, Lost what was
+// shed at the queue or abandoned on the session — queued − delivered −
+// lost is in flight.
 type MemberStatus struct {
-	Addr        string `json:"addr"`
-	ID          uint64 `json:"id"`
-	Self        bool   `json:"self,omitempty"`
-	Alive       bool   `json:"alive"`
-	LastHeardMs int64  `json:"last_heard_ms,omitempty"`
-	RingVersion uint64 `json:"ring_version,omitempty"`
-	Delivered   uint64 `json:"forward_delivered,omitempty"`
+	Addr         string `json:"addr"`
+	ID           uint64 `json:"id"`
+	Self         bool   `json:"self,omitempty"`
+	Alive        bool   `json:"alive"`
+	LastHeardMs  int64  `json:"last_heard_ms,omitempty"`
+	LastGossipMs int64  `json:"last_gossip_ms,omitempty"` // -1 = never exchanged
+	RingVersion  uint64 `json:"ring_version,omitempty"`
+	Queued       uint64 `json:"forward_queued,omitempty"`
+	Delivered    uint64 `json:"forward_delivered,omitempty"`
+	Lost         uint64 `json:"forward_lost,omitempty"`
+	AdminAddr    string `json:"admin_addr,omitempty"`
 }
 
 // StatusJSON implements pipeline.ClusterNode.
@@ -995,35 +1226,52 @@ func (n *Node) StatusJSON() any {
 		Members: []MemberStatus{{
 			Addr: n.cfg.Self, ID: n.self, Self: true, Alive: true, RingVersion: ring.Version(),
 		}},
-		ForwardedOut:     n.forwardedOut.Load(),
-		ForwardedIn:      n.forwardedIn.Load(),
-		ForwardDropped:   n.forwardDropped.Load(),
-		ForwardLost:      n.forwardLost.Load(),
-		ForwardSuppress:  n.forwardSuppress.Load(),
-		GossipRounds:     n.gossipRounds.Load(),
-		GossipFails:      n.gossipFails.Load(),
-		BlocklistSeq:     n.bl.Seq(),
-		SeedsApplied:     n.seedsApplied.Load(),
-		Takeovers:        n.takeovers.Load(),
-		Joins:            n.joins.Load(),
-		HandbacksOut:     n.handbacksOut.Load(),
-		HandbacksIn:      n.handbacksIn.Load(),
-		HandbackFailures: n.handbackFailures.Load(),
+		ForwardedOut:      n.forwardedOut.Load(),
+		ForwardedIn:       n.forwardedIn.Load(),
+		ForwardDropped:    n.forwardDropped.Load(),
+		ForwardLost:       n.forwardLost.Load(),
+		ForwardSuppress:   n.forwardSuppress.Load(),
+		GossipRounds:      n.gossipRounds.Load(),
+		GossipFails:       n.gossipFails.Load(),
+		BlocklistSeq:      n.bl.Seq(),
+		SeedsApplied:      n.seedsApplied.Load(),
+		Takeovers:         n.takeovers.Load(),
+		Joins:             n.joins.Load(),
+		HandbacksOut:      n.handbacksOut.Load(),
+		HandbacksIn:       n.handbacksIn.Load(),
+		HandbackFailures:  n.handbackFailures.Load(),
+		HandbackRetries:   n.handbackRetries.Load(),
+		HandbackFallbacks: n.handbackFallbacks.Load(),
+		TraceDowngrades:   n.traceDowngrades.Load(),
 	}
 	if n.gate != nil {
 		st.GateAdmitted = n.gate.admittedCount()
 	}
+	if admin := n.adminAddr.Load(); admin != nil {
+		st.Members[0].AdminAddr = *admin
+	}
 	for _, pr := range n.members.Load().list {
 		st.ForwardQueue += len(pr.queue)
-		st.Members = append(st.Members, MemberStatus{
-			Addr:        pr.addr,
-			ID:          pr.id,
-			Alive:       aliveSet[pr.id],
-			LastHeardMs: (now - pr.lastHeard.Load()) / int64(time.Millisecond),
-			RingVersion: pr.ringVer.Load(),
-			Delivered:   pr.delivered.Load(),
-		})
+		ms := MemberStatus{
+			Addr:         pr.addr,
+			ID:           pr.id,
+			Alive:        aliveSet[pr.id],
+			LastHeardMs:  (now - pr.lastHeard.Load()) / int64(time.Millisecond),
+			LastGossipMs: -1,
+			RingVersion:  pr.ringVer.Load(),
+			Queued:       pr.queued.Load(),
+			Delivered:    pr.delivered.Load(),
+			Lost:         pr.lost.Load(),
+		}
+		if lg := pr.lastGossip.Load(); lg != 0 {
+			ms.LastGossipMs = (now - lg) / int64(time.Millisecond)
+		}
+		if admin := pr.adminAddr.Load(); admin != nil {
+			ms.AdminAddr = *admin
+		}
+		st.Members = append(st.Members, ms)
 	}
+	sort.Slice(st.Members, func(i, j int) bool { return st.Members[i].ID < st.Members[j].ID })
 	n.mu.Lock()
 	st.StoredReplicas = len(n.replicas)
 	st.RetiredTombs = len(n.retired)
@@ -1057,6 +1305,10 @@ func (n *Node) WriteMetrics(w io.Writer) {
 	counter("ddpmd_handback_sent_total", "victim states shipped back to a rejoined owner", n.handbacksOut.Load())
 	counter("ddpmd_handback_received_total", "victim-state handbacks absorbed from interim owners", n.handbacksIn.Load())
 	counter("ddpmd_handback_failed_total", "handback shipments that fell back to a stored replica", n.handbackFailures.Load())
+	counter("ddpmd_handback_shipped_total", "handback snapshots delivered to their new owner", n.handbacksOut.Load())
+	counter("ddpmd_handback_retries_total", "handback shipment attempts beyond the first", n.handbackRetries.Load())
+	counter("ddpmd_handback_fallback_replicas_total", "handbacks that degraded to a locally stored replica", n.handbackFallbacks.Load())
+	counter("ddpmd_trace_downgrades_total", "forward sessions established without the trace lane", n.traceDowngrades.Load())
 	ps := n.members.Load()
 	qlen := 0
 	for _, pr := range ps.list {
@@ -1089,6 +1341,37 @@ func (n *Node) WriteMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# HELP ddpmd_gossip_lag_seconds seconds since the least recently heard alive peer\n"+
 		"# TYPE ddpmd_gossip_lag_seconds gauge\nddpmd_gossip_lag_seconds %.3f\n",
 		float64(lagNS)/float64(time.Second))
+}
+
+// SetAdminAddr records this node's admin-plane HTTP address once the
+// daemon's listener is bound; it rides every subsequent gossip message
+// so peers can answer fleet-wide trace queries.
+func (n *Node) SetAdminAddr(addr string) {
+	n.adminAddr.Store(&addr)
+}
+
+// FleetMembers implements the pipeline's fleet-lister hook: the known
+// fleet (self first, then peers sorted by id) with each member's
+// admin-plane address as far as gossip has revealed it.
+func (n *Node) FleetMembers() []pipeline.FleetMember {
+	ring := n.ring.Load()
+	aliveSet := make(map[uint64]bool, ring.Size())
+	for _, m := range ring.Members() {
+		aliveSet[m] = true
+	}
+	self := pipeline.FleetMember{Addr: n.cfg.Self, ID: n.self, Self: true, Alive: true}
+	if admin := n.adminAddr.Load(); admin != nil {
+		self.AdminAddr = *admin
+	}
+	out := []pipeline.FleetMember{self}
+	for _, pr := range n.members.Load().list {
+		fm := pipeline.FleetMember{Addr: pr.addr, ID: pr.id, Alive: aliveSet[pr.id]}
+		if admin := pr.adminAddr.Load(); admin != nil {
+			fm.AdminAddr = *admin
+		}
+		out = append(out, fm)
+	}
+	return out
 }
 
 // Ring exposes the current ring (tests, status rendering).

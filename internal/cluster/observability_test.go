@@ -1,0 +1,254 @@
+package cluster
+
+// Fleet-observability unit tests: the per-peer forward-session lag
+// surfaced through StatusJSON, and the trace-lane downgrade against a
+// forward-only (pre-trace) peer — records must still arrive exactly,
+// with the downgrade recorded in the audit journal.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/pipeline"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// TestStatusForwardSessionLag: /cluster's member entries carry the
+// local forward-session lag toward each peer (queued/delivered/lost),
+// the age of the last completed gossip exchange (-1 = never), the
+// gossiped admin address, and are sorted by member id.
+func TestStatusForwardSessionLag(t *testing.T) {
+	var now atomic.Int64
+	now.Store(int64(time.Second))
+	addrs := []string{"10.7.0.1:1", "10.7.0.2:1", "10.7.0.3:1"}
+	a, pa := newTestNode(t, addrs[0], []string{addrs[1], addrs[2]}, 701, &now)
+	b, _ := newTestNode(t, addrs[1], []string{addrs[0], addrs[2]}, 702, &now)
+
+	// Route a slab: records for peer-owned victims land in the peers'
+	// forward queues, counted per peer as queued.
+	ring := a.Ring()
+	s := pa.GetSlab()
+	wantQueued := map[uint64]uint64{}
+	for i := 0; i < 256; i++ {
+		v := topology.NodeID(i % 64)
+		s.Append(wire.Record{Victim: v, MF: uint16(i), Topo: pa.TopoID()})
+		if owner := ring.Owner(v); owner != a.self {
+			wantQueued[owner]++
+		}
+	}
+	a.Route(s)
+
+	// One completed gossip exchange with b (which has advertised an
+	// admin address), none with c; then let 250ms pass.
+	b.SetAdminAddr("10.7.0.2:7421")
+	exchange(t, a, b)
+	now.Add(int64(250 * time.Millisecond))
+
+	body, err := json.Marshal(a.StatusJSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("StatusJSON does not round-trip: %v", err)
+	}
+	if len(st.Members) != 3 {
+		t.Fatalf("%d members, want 3", len(st.Members))
+	}
+	for i := 1; i < len(st.Members); i++ {
+		if st.Members[i-1].ID > st.Members[i].ID {
+			t.Fatalf("members not sorted by id: %x before %x", st.Members[i-1].ID, st.Members[i].ID)
+		}
+	}
+	byID := map[uint64]MemberStatus{}
+	for _, m := range st.Members {
+		byID[m.ID] = m
+	}
+	mb, mc := byID[MemberID(addrs[1])], byID[MemberID(addrs[2])]
+	if mb.LastGossipMs != 250 {
+		t.Fatalf("b last_gossip_ms = %d, want 250", mb.LastGossipMs)
+	}
+	if mb.AdminAddr != "10.7.0.2:7421" {
+		t.Fatalf("b admin_addr = %q, want the gossiped one", mb.AdminAddr)
+	}
+	if mc.LastGossipMs != -1 {
+		t.Fatalf("c last_gossip_ms = %d, want -1 (never exchanged)", mc.LastGossipMs)
+	}
+	if mc.AdminAddr != "" {
+		t.Fatalf("c admin_addr = %q, want empty", mc.AdminAddr)
+	}
+	for _, addr := range addrs[1:] {
+		id := MemberID(addr)
+		m := byID[id]
+		if m.Queued != wantQueued[id] {
+			t.Fatalf("peer %s forward_queued = %d, want %d", addr, m.Queued, wantQueued[id])
+		}
+		// The harness has no network: nothing can have been acked, and
+		// nothing was shed at the (empty) queues.
+		if m.Delivered != 0 {
+			t.Fatalf("peer %s forward_delivered = %d with no network", addr, m.Delivered)
+		}
+	}
+
+	// FleetMembers mirrors the same roster for the aggregation plane:
+	// self first, then peers, with b's gossiped admin address attached.
+	fm := a.FleetMembers()
+	if len(fm) != 3 || !fm[0].Self || fm[0].ID != a.self {
+		t.Fatalf("FleetMembers = %+v, want self first of 3", fm)
+	}
+	var gotAdmin string
+	for _, m := range fm[1:] {
+		if m.ID == MemberID(addrs[1]) {
+			gotAdmin = m.AdminAddr
+		}
+	}
+	if gotAdmin != "10.7.0.2:7421" {
+		t.Fatalf("fleet member admin addr = %q, want the gossiped one", gotAdmin)
+	}
+}
+
+// TestForwardTraceDowngradeInterop: forwarding traced records to a peer
+// that negotiates HelloFlagForward but not HelloFlagTrace (a pre-trace
+// build) must deliver every record exactly — as plain forwarded frames,
+// contexts shed — and mark the downgrade on the counter and in the
+// audit journal.
+func TestForwardTraceDowngradeInterop(t *testing.T) {
+	// A forward-only peer: echoes the forward flag, never the trace
+	// flag, acks whatever plain forwarded frames arrive.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var received, tracedFrames atomic.Uint64
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				rd := wire.NewReader(conn)
+				var accepted uint64
+				for {
+					ftype, payload, err := rd.ReadFrame()
+					if err != nil {
+						return
+					}
+					switch ftype {
+					case wire.TypeHello:
+						_, _, flags, err := wire.ParseHelloFlags(payload)
+						if err != nil {
+							return
+						}
+						conn.Write(wire.AppendAckFlags(nil, accepted, flags&wire.HelloFlagForward))
+					case wire.TypeForwarded:
+						_, _, recs, err := wire.ParseForwarded(payload, nil)
+						if err != nil {
+							return
+						}
+						accepted += uint64(len(recs))
+						received.Add(uint64(len(recs)))
+						conn.Write(wire.AppendAck(nil, accepted))
+					case wire.TypeTracedForwarded:
+						tracedFrames.Add(1)
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+
+	var jbuf bytes.Buffer
+	j := pipeline.NewJournal(&jbuf, 64)
+	p, err := pipeline.New(pipeline.Config{
+		Net: topology.NewTorus2D(8), Shards: 2, QueueLen: 1 << 12,
+		BlockThreshold: 1 << 30, BlockTTL: time.Hour,
+		Journal: j, TraceBuffer: 256, TraceSampleN: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peerAddr := ln.Addr().String()
+	n, err := New(p, Config{
+		Self: "10.8.0.1:1", Peers: []string{peerAddr},
+		GossipInterval: time.Hour, FailAfter: time.Hour,
+		Logf: t.Logf,
+	})
+	if err != nil {
+		p.Close()
+		t.Fatal(err)
+	}
+	defer func() {
+		n.Close()
+		p.Close()
+	}()
+
+	// Traced records for peer-owned victims only, so everything in the
+	// slab crosses the downgraded forward session.
+	ring := n.Ring()
+	peerID := MemberID(peerAddr)
+	s := p.GetSlab()
+	sent := 0
+	for i := 0; sent < 40 && i < 256; i++ {
+		v := topology.NodeID(i % 64)
+		if ring.Owner(v) != peerID {
+			continue
+		}
+		s.AppendTraced(wire.TracedRecord{
+			Record: wire.Record{Victim: v, MF: uint16(i), Topo: p.TopoID()},
+			Ctx:    wire.TraceContext{ID: uint64(i + 1), Sent: int64(1000 + i)},
+		})
+		sent++
+	}
+	if sent == 0 {
+		t.Fatal("peer owns nothing")
+	}
+	if got := n.Route(s); got != sent {
+		t.Fatalf("Route accepted %d of %d", got, sent)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for received.Load() < uint64(sent) {
+		if time.Now().After(deadline) {
+			t.Fatalf("peer received %d of %d records", received.Load(), sent)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := tracedFrames.Load(); got != 0 {
+		t.Fatalf("%d traced frames reached a peer that refused the trace lane", got)
+	}
+	if got := n.traceDowngrades.Load(); got != 1 {
+		t.Fatalf("traceDowngrades = %d, want 1 (once per established connection)", got)
+	}
+
+	// The journal carries the downgrade, attributed to the peer.
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, line := range bytes.Split(jbuf.Bytes(), []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var ev pipeline.Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("bad journal line %q: %v", line, err)
+		}
+		if ev.Type == pipeline.EventTraceDowngrade {
+			found = true
+			if ev.Detail != peerAddr || ev.Stream != peerID {
+				t.Fatalf("downgrade event misattributed: %+v", ev)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no trace_downgraded event in the journal")
+	}
+}

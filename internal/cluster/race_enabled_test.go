@@ -1,0 +1,7 @@
+//go:build race
+
+package cluster
+
+// raceEnabled reports whether this build runs under the race detector,
+// whose instrumentation perturbs allocation counts.
+const raceEnabled = true

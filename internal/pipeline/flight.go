@@ -33,6 +33,12 @@ const (
 	OutcomeRejected                   // failed validation (topo mismatch, bad victim, closed)
 	OutcomeResync                     // synthetic stream-level event: reader skipped to next magic
 	OutcomeSuppressed                 // tallied sketch-only, below the admission threshold
+	OutcomeForwarded                  // origin-side record of a traced record relayed to its owner
+	OutcomeRingChange                 // synthetic cluster event: ownership ring rebuilt
+	OutcomeGossip                     // synthetic cluster event: anti-entropy round
+	OutcomeHandback                   // synthetic cluster event: victim detach / handback ship / seed
+	OutcomeTakeover                   // synthetic cluster event: replica seeded on owner takeover
+	OutcomeGateAdmit                  // synthetic cluster event: fwGate admitted a victim for forwarding
 	numOutcomes
 )
 
@@ -40,6 +46,7 @@ const (
 var outcomeNames = [numOutcomes]string{
 	"identified", "undecodable", "blocked_hit", "alarm", "block",
 	"drop", "rejected", "resync", "suppressed",
+	"forwarded", "ring_change", "gossip", "handback", "takeover", "gate_admit",
 }
 
 func (o Outcome) String() string {
@@ -69,8 +76,12 @@ const SpanMissing int64 = -1
 //
 // Span semantics (all nanoseconds):
 //
-//	Wire     exporter Send stamp → daemon Submit entry (wall-clock
-//	         delta across hosts; skew-prone, still invaluable)
+//	Wire     exporter Send stamp → first daemon's Submit entry (or, for
+//	         a forwarded record, → the origin's route decision):
+//	         wall-clock delta across hosts; skew-prone, still invaluable
+//	Forward  origin's route decision → owner's Submit entry (route →
+//	         forward queue → wire → remote ingest); SpanMissing unless
+//	         the record crossed a cluster forward hop
 //	Ingest   Submit entry → shard worker dequeue (validation + queue wait)
 //	Identify victim-state lookup + MF decode
 //	Detect   CUSUM/entropy update + alarm latch
@@ -83,8 +94,9 @@ type Trace struct {
 	Source  int64 // identified source; -1 when unknown/undecodable
 	Shard   int32
 	Outcome Outcome
+	Origin  uint64 // forwarding member id for records that crossed a hop (0 = none)
 
-	Wire, Ingest, Identify, Detect, Block int64 // spans; SpanMissing = not reached
+	Wire, Forward, Ingest, Identify, Detect, Block int64 // spans; SpanMissing = not reached
 }
 
 // Total sums the daemon-side spans (Wire excluded: it crosses clocks).
@@ -109,7 +121,7 @@ func (t *Trace) Interesting(slowNS int64) bool {
 	if slowNS <= 0 {
 		return false
 	}
-	for _, d := range [...]int64{t.Wire, t.Ingest, t.Identify, t.Detect, t.Block} {
+	for _, d := range [...]int64{t.Wire, t.Forward, t.Ingest, t.Identify, t.Detect, t.Block} {
 		if d > slowNS {
 			return true
 		}
@@ -203,14 +215,30 @@ func (r *FlightRecorder) Commit(t *Trace) bool {
 // kinds is probabilistic either way.
 func (r *FlightRecorder) CommitEvent(outcome Outcome, now int64, stream uint64) uint64 {
 	id := wire.SplitMix64(r.synthSeq.Add(1)^stream) | 1<<63
+	r.CommitEventWithID(id, outcome, now, -1)
+	return id
+}
+
+// CommitEventWithID retains a synthetic event under a caller-supplied
+// id — the cluster-op path, where the same operation committed on two
+// nodes (a handback's ship and its seed, say) must share one id so the
+// fleet trace fan-out stitches both halves into a single timeline.
+// victim is -1 for operations without one.
+func (r *FlightRecorder) CommitEventWithID(id uint64, outcome Outcome, now int64, victim int64) {
 	t := Trace{
-		ID: id, Start: now, Victim: -1, Source: -1, Shard: -1,
+		ID: id, Start: now, Victim: victim, Source: -1, Shard: -1,
 		Outcome: outcome,
-		Wire:    SpanMissing, Ingest: SpanMissing, Identify: SpanMissing,
-		Detect: SpanMissing, Block: SpanMissing,
+		Wire:    SpanMissing, Forward: SpanMissing, Ingest: SpanMissing,
+		Identify: SpanMissing, Detect: SpanMissing, Block: SpanMissing,
 	}
 	r.Commit(&t)
-	return id
+}
+
+// MintEventID generates a synthetic-event id without committing — the
+// handback shipper mints the op id first so it can ride the wire to
+// the receiver before either side commits.
+func (r *FlightRecorder) MintEventID(stream uint64) uint64 {
+	return wire.SplitMix64(r.synthSeq.Add(1)^stream) | 1<<63
 }
 
 // TraceFilter selects traces for Snapshot. Start from AllTraces() and

@@ -105,6 +105,7 @@ func (p *Pipeline) WritePrometheus(w io.Writer, uptime time.Duration) {
 		func(i int) string { return fmt.Sprintf("%d", s.ShardGatedVictims[i]) })
 
 	p.writeLatency(w)
+	p.writeDetectionLatency(w)
 
 	if fr := p.fr; fr != nil {
 		counter("ddpmd_trace_observed_total", "completed traces offered to the flight recorder", fr.Observed())
@@ -117,6 +118,32 @@ func (p *Pipeline) WritePrometheus(w io.Writer, uptime time.Duration) {
 		counter("ddpmd_journal_written_total", "attack-audit events flushed to the journal", j.Written())
 		counter("ddpmd_journal_dropped_total", "attack-audit events shed by the bounded journal queue", j.Dropped())
 	}
+}
+
+// writeDetectionLatency emits the send-to-block latency histogram: the
+// wall-clock delta between a traced record's exporter send stamp and
+// the block decision it pushed over the threshold, unsampled, observed
+// on whichever node owned the victim at block time (the send stamp
+// rides the forward lane, so the series stays correct across owner
+// changes). Absent when tracing is disabled.
+func (p *Pipeline) writeDetectionLatency(w io.Writer) {
+	if p.detLat.hist == nil {
+		return
+	}
+	h := p.detLat.hist.Snapshot()
+	const name = "ddpmd_detection_latency_seconds"
+	fmt.Fprintf(w, "# HELP %s exporter send to block decision, across cluster hops\n# TYPE %s histogram\n", name, name)
+	bins := h.Bins()
+	under, _ := h.OutOfRange()
+	cum := under
+	for i, c := range bins {
+		cum += c
+		le := math.Exp2(p.detLat.hist.BinUpperBound(i)) / 1e9
+		fmt.Fprintf(w, "%s_bucket{le=\"%.9g\"} %d\n", name, le, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.N())
+	fmt.Fprintf(w, "%s_sum %.9g\n", name, float64(p.detLat.sumNS.Load())/1e9)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.N())
 }
 
 // writeLatency emits the per-stage latency histograms. Buckets live in

@@ -227,6 +227,15 @@ const (
 	latBins = 60
 )
 
+// Detection latency — exporter send stamp to the block decision —
+// crosses hosts and possibly a forward hop, so its range runs wider
+// than the stage histograms: 2^10ns (~1µs) to 2^40ns (~18min).
+const (
+	detLatLo   = 10
+	detLatHi   = 40
+	detLatBins = 60
+)
+
 // stageLat is one stage's telemetry: the sharded histogram plus an
 // exact nanosecond sum for the Prometheus _sum series (the histogram's
 // own mean would be a bin-midpoint approximation).
@@ -439,6 +448,7 @@ type Pipeline struct {
 	C Counters
 
 	lat        [numStages]stageLat
+	detLat     stageLat // send-to-block detection latency (traced records only)
 	sampleOn   bool
 	sampleMask uint64        // pow2-1: sample when count&mask == 0
 	submitSeq  atomic.Uint64 // ingest-stage sampling clock, one tick per submitted slab
@@ -476,6 +486,7 @@ func New(cfg Config) (*Pipeline, error) {
 	}
 	if cfg.TraceBuffer > 0 {
 		p.fr = NewFlightRecorder(cfg.TraceBuffer, cfg.TraceSampleN, cfg.TraceSlowThreshold)
+		p.detLat.hist = stats.NewAtomicHistogram(detLatLo, detLatHi, detLatBins, cfg.Shards)
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		s := &shard{
@@ -647,13 +658,39 @@ func (p *Pipeline) traceIngestFail(traced bool, tr *wire.TracedRecord, t0 time.T
 	t := Trace{
 		ID: tr.Ctx.ID, Sent: tr.Ctx.Sent, Start: t0.UnixNano(),
 		Victim: int64(tr.Victim), Source: -1, Shard: -1, Outcome: out,
-		Wire: SpanMissing, Ingest: SpanMissing, Identify: SpanMissing,
-		Detect: SpanMissing, Block: SpanMissing,
+		Wire: SpanMissing, Forward: SpanMissing, Ingest: SpanMissing,
+		Identify: SpanMissing, Detect: SpanMissing, Block: SpanMissing,
 	}
-	if tr.Ctx.Sent > 0 {
+	if tr.Ctx.Routed > 0 {
+		if tr.Ctx.Sent > 0 {
+			t.Wire = tr.Ctx.Routed - tr.Ctx.Sent
+		}
+		t.Forward = t.Start - tr.Ctx.Routed
+		t.Origin = tr.Ctx.Origin
+	} else if tr.Ctx.Sent > 0 {
 		t.Wire = t.Start - tr.Ctx.Sent
 	}
 	p.commitTrace(&t)
+}
+
+// observeDetection records one send-to-block detection latency sample.
+// Unlike the stage histograms it is unsampled — blocks are rare and
+// each one's latency is the paper's headline quantity.
+func (p *Pipeline) observeDetection(hint uint64, ns int64) {
+	if p.detLat.hist == nil || ns <= 0 {
+		return
+	}
+	p.detLat.sumNS.Add(ns)
+	p.detLat.hist.Observe(hint, stats.Log2NS(ns))
+}
+
+// DetectionLatency returns the send-to-block histogram and exact
+// nanosecond sum (nil histogram when tracing is disabled).
+func (p *Pipeline) DetectionLatency() (*stats.Histogram, int64) {
+	if p.detLat.hist == nil {
+		return nil, 0
+	}
+	return p.detLat.hist.Snapshot(), p.detLat.sumNS.Load()
 }
 
 // commitTrace offers a completed trace to the flight recorder and, if
@@ -1053,10 +1090,21 @@ func (p *Pipeline) process(s *shard, si int, j job) {
 		*tr = Trace{
 			ID: j.tc.ID, Sent: j.tc.Sent, Start: j.t0,
 			Victim: int64(rec.Victim), Source: -1, Shard: int32(si),
-			Wire: SpanMissing, Ingest: SpanMissing, Identify: SpanMissing,
-			Detect: SpanMissing, Block: SpanMissing,
+			Wire: SpanMissing, Forward: SpanMissing, Ingest: SpanMissing,
+			Identify: SpanMissing, Detect: SpanMissing, Block: SpanMissing,
 		}
-		if j.tc.Sent > 0 && j.t0 > 0 {
+		if j.tc.Routed > 0 {
+			// The record crossed a cluster forward hop: Wire ends at the
+			// origin's route decision, Forward covers route → forward
+			// queue → wire → this node's Submit entry.
+			if j.tc.Sent > 0 {
+				tr.Wire = j.tc.Routed - j.tc.Sent
+			}
+			if j.t0 > 0 {
+				tr.Forward = j.t0 - j.tc.Routed
+			}
+			tr.Origin = j.tc.Origin
+		} else if j.tc.Sent > 0 && j.t0 > 0 {
 			tr.Wire = j.t0 - j.tc.Sent
 		}
 		if j.t0 > 0 {
@@ -1174,6 +1222,12 @@ func (p *Pipeline) process(s *shard, si int, j job) {
 			p.C.Blocks.Add(1)
 			blockedNow = true
 			p.journalBlock(now, rec.Victim, src, cnt, until, st)
+			if traced && j.tc.Sent > 0 {
+				// True send-to-block latency: the exporter's original send
+				// stamp survives forwarding, so this holds across owner
+				// changes and cluster hops.
+				p.observeDetection(uint64(si), now-j.tc.Sent)
+			}
 		}
 	}
 	if timed {

@@ -155,6 +155,7 @@ func Start(cfg ServerConfig) (*Daemon, error) {
 		mux.HandleFunc("/blocklist", d.handleBlocklist)
 		mux.HandleFunc("/victims", d.handleVictims)
 		mux.HandleFunc("/cluster", d.handleCluster)
+		mux.HandleFunc("/cluster/traces", d.handleFleetTraces)
 		mux.HandleFunc("/debug/traces", d.handleTraces)
 		if cfg.EnablePprof {
 			mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -169,6 +170,11 @@ func Start(cfg ServerConfig) (*Daemon, error) {
 				d.fail(fmt.Errorf("pipeline: admin serve: %w", err))
 			}
 		}()
+		// Tell the cluster tier where the admin plane landed so it can
+		// gossip the address; peers use it for fleet trace fan-out.
+		if c, ok := d.cluster.(interface{ SetAdminAddr(string) }); ok {
+			c.SetAdminAddr(d.httpLn.Addr().String())
+		}
 	}
 	return d, nil
 }
@@ -649,6 +655,28 @@ func (d *Daemon) serveSession(conn net.Conn, r *wire.Reader, helloPayload []byte
 				s.Release()
 				d.decodeErrs.Add(1)
 				d.journalStream(EventSessionLoss, streamID, "forwarded frame rejected")
+				return
+			}
+			c, fresh, ok := submitSlab(seq, s, true)
+			if !ok {
+				return
+			}
+			d.cluster.NoteForwardedIn(origin, int(fresh))
+			if !d.writeAck(conn, &scratch, c, ackFlags) {
+				return
+			}
+		case wire.TypeTracedForwarded:
+			if d.cluster == nil {
+				d.decodeErrs.Add(1)
+				d.journalStream(EventSessionLoss, streamID, "forwarded frame without cluster tier")
+				return
+			}
+			s := d.p.GetSlab()
+			origin, seq, err := s.AppendTracedForwardedPayload(payload)
+			if err != nil {
+				s.Release()
+				d.decodeErrs.Add(1)
+				d.journalStream(EventSessionLoss, streamID, "traced forwarded frame rejected")
 				return
 			}
 			c, fresh, ok := submitSlab(seq, s, true)

@@ -27,8 +27,10 @@ type TraceJSON struct {
 	Shard   int32  `json:"shard"`
 	StartNS int64  `json:"start_unix_nano"`
 	SentNS  int64  `json:"sent_unix_nano,omitempty"`
+	Origin  string `json:"origin,omitempty"` // forwarding member id (hex) when the record crossed a hop
 
 	WireNS     int64 `json:"wire_ns"`
+	ForwardNS  int64 `json:"forward_ns"`
 	IngestNS   int64 `json:"ingest_ns"`
 	IdentifyNS int64 `json:"identify_ns"`
 	DetectNS   int64 `json:"detect_ns"`
@@ -38,7 +40,7 @@ type TraceJSON struct {
 
 // ToJSON converts a recorder trace to its admin-plane shape.
 func (t *Trace) ToJSON() TraceJSON {
-	return TraceJSON{
+	j := TraceJSON{
 		ID:      fmt.Sprintf("%016x", t.ID),
 		Outcome: t.Outcome.String(),
 		Victim:  t.Victim,
@@ -48,12 +50,17 @@ func (t *Trace) ToJSON() TraceJSON {
 		SentNS:  t.Sent,
 
 		WireNS:     t.Wire,
+		ForwardNS:  t.Forward,
 		IngestNS:   t.Ingest,
 		IdentifyNS: t.Identify,
 		DetectNS:   t.Detect,
 		BlockNS:    t.Block,
 		TotalNS:    t.Total(),
 	}
+	if t.Origin != 0 {
+		j.Origin = fmt.Sprintf("%x", t.Origin)
+	}
+	return j
 }
 
 // parseTraceFilter builds a recorder filter from /debug/traces query

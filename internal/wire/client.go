@@ -115,9 +115,18 @@ type ClientConfig struct {
 	// origin-instance id, and the session hello carries
 	// HelloFlagForward. A server that does not echo the flag (cluster
 	// mode off) fails the connection — forwarded records must never be
-	// silently tallied as first-hand ingest. Mutually exclusive with
-	// Trace: forwarded frames carry no trace contexts.
+	// silently tallied as first-hand ingest. Combined with Trace the
+	// client ships TypeTracedForwarded frames instead, carrying each
+	// record's trace context across the hop (contexts are supplied by
+	// SendTraced, not stamped); a peer that echoes forwarding but not
+	// tracing downgrades the connection to plain forwarded frames.
 	ForwardOrigin uint64
+
+	// OnTraceDowngrade fires once per established connection on which
+	// Trace was requested but the server did not echo HelloFlagTrace —
+	// the clean-downgrade audit hook (the cluster node journals a
+	// trace_downgraded event from it). Records still flow untraced.
+	OnTraceDowngrade func()
 }
 
 func (c *ClientConfig) applyDefaults() {
@@ -178,12 +187,13 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 			cfg.MaxBatch, MaxTracedPerSealed)
 	}
 	if cfg.ForwardOrigin != 0 {
-		if cfg.Trace {
-			return nil, errors.New("wire: ForwardOrigin and Trace are mutually exclusive")
-		}
 		if cfg.MaxBatch > MaxRecordsPerForwarded {
 			return nil, fmt.Errorf("wire: forwarding MaxBatch %d exceeds the %d records one forwarded frame can carry",
 				cfg.MaxBatch, MaxRecordsPerForwarded)
+		}
+		if cfg.Trace && cfg.MaxBatch > MaxTracedPerForwarded {
+			return nil, fmt.Errorf("wire: traced forwarding MaxBatch %d exceeds the %d records one traced forwarded frame can carry",
+				cfg.MaxBatch, MaxTracedPerForwarded)
 		}
 	}
 	cfg.applyDefaults()
@@ -254,10 +264,46 @@ func (c *Client) Send(recs []Record) error {
 	return nil
 }
 
+// SendTraced offers records that already carry trace contexts — the
+// cluster forward path, where contexts were minted by the original
+// exporter and must cross the hop unchanged rather than be re-stamped.
+// Zero-context entries ride along untraced. Buffering, shedding and
+// the counters behave exactly like Send.
+func (c *Client) SendTraced(trs []TracedRecord) error {
+	if c.closed {
+		return ErrClientClosed
+	}
+	for len(trs) > 0 {
+		free := c.cfg.BufferRecords - len(c.buf)
+		if free == 0 {
+			err := c.pump()
+			if len(c.buf) < c.cfg.BufferRecords {
+				continue
+			}
+			c.sent += uint64(len(trs))
+			for _, tr := range trs {
+				c.drop(tr.Record)
+			}
+			return fmt.Errorf("wire: client shed %d records: %w", len(trs), err)
+		}
+		n := min(free, len(trs))
+		c.sent += uint64(n)
+		c.buf = append(c.buf, trs[:n]...)
+		trs = trs[n:]
+		if len(c.buf) >= c.cfg.MaxBatch {
+			c.pump()
+		}
+	}
+	return nil
+}
+
 // stamp mints the next trace context, or a zero one when tracing is
-// off.
+// off. Forwarding clients never stamp: their contexts were minted by
+// the original exporter and arrive through SendTraced — a record
+// forwarded through Send rides the hop untraced rather than acquiring
+// a second identity.
 func (c *Client) stamp() TraceContext {
-	if !c.cfg.Trace {
+	if !c.cfg.Trace || c.cfg.ForwardOrigin != 0 {
 		return TraceContext{}
 	}
 	c.traceSeq++
@@ -390,6 +436,9 @@ func (c *Client) connect() error {
 	// server's legacy ack (flags 0) downgrades this connection to plain
 	// sealed frames, shedding contexts but never records.
 	c.traceOK = c.cfg.Trace && ackFlags&HelloFlagTrace != 0
+	if c.cfg.Trace && !c.traceOK && c.cfg.OnTraceDowngrade != nil {
+		c.cfg.OnTraceDowngrade()
+	}
 	// Forwarding has no downgrade: a server that won't take forwarded
 	// frames (cluster mode off) must not receive these records at all,
 	// so refusal is a connection failure the backoff loop retries.
@@ -418,7 +467,9 @@ func (c *Client) shipAndAwait() error {
 		seq := c.base + uint64(c.next)
 		batch := c.buf[c.next : c.next+n]
 		switch {
-		case c.traceOK:
+		case c.traceOK && c.cfg.ForwardOrigin != 0 && batchTraced(batch):
+			c.scratch = AppendTracedForwarded(c.scratch[:0], c.cfg.ForwardOrigin, seq, batch)
+		case c.traceOK && c.cfg.ForwardOrigin == 0:
 			c.scratch = AppendTracedSealed(c.scratch[:0], seq, batch)
 		case c.cfg.ForwardOrigin != 0:
 			c.plain = c.plain[:0]
@@ -453,6 +504,19 @@ func (c *Client) shipAndAwait() error {
 		c.backoff = 0 // acked progress: reset the attempt budget
 	}
 	return nil
+}
+
+// batchTraced reports whether any record of a batch carries a trace
+// context. An all-zero batch on a traced forwarding session ships as a
+// plain forwarded frame — the untraced forward hot path pays no
+// per-record wire overhead for the negotiated trace lane.
+func batchTraced(batch []TracedRecord) bool {
+	for i := range batch {
+		if batch[i].Ctx.ID != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // readAck reads frames until a TypeAck arrives, bounded by AckTimeout.

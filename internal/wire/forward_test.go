@@ -241,8 +241,269 @@ func TestForwardClientNegotiation(t *testing.T) {
 	})
 }
 
-func TestForwardOriginTraceExclusive(t *testing.T) {
-	if _, err := NewClient(ClientConfig{ForwardOrigin: 1, Trace: true}); err == nil {
-		t.Fatal("NewClient accepted ForwardOrigin+Trace")
+func fwdTestTraced(n int) []TracedRecord {
+	recs := fwdTestRecords(n)
+	trs := make([]TracedRecord, n)
+	for i, r := range recs {
+		trs[i] = TracedRecord{Record: r, Ctx: TraceContext{
+			ID:     uint64(0xC0FFEE00 + i),
+			Sent:   int64(1000 + i),
+			Routed: int64(2000 + i),
+		}}
 	}
+	return trs
+}
+
+func TestTracedForwardedRoundTrip(t *testing.T) {
+	trs := fwdTestTraced(5)
+	b := AppendTracedForwarded(nil, 0xFEEDFACE, 42, trs)
+
+	ftype, n, err := checkHeader(b)
+	if err != nil {
+		t.Fatalf("checkHeader: %v", err)
+	}
+	if ftype != TypeTracedForwarded {
+		t.Fatalf("frame type = %d, want %d", ftype, TypeTracedForwarded)
+	}
+	origin, seq, out, err := ParseTracedForwarded(b[HeaderSize:HeaderSize+n], nil)
+	if err != nil {
+		t.Fatalf("ParseTracedForwarded: %v", err)
+	}
+	if origin != 0xFEEDFACE || seq != 42 {
+		t.Fatalf("origin/seq = %#x/%d, want 0xfeedface/42", origin, seq)
+	}
+	if len(out) != len(trs) {
+		t.Fatalf("decoded %d records, want %d", len(out), len(trs))
+	}
+	for i := range trs {
+		want := trs[i]
+		want.Ctx.Origin = 0xFEEDFACE // parse stamps the frame origin per record
+		if out[i] != want {
+			t.Fatalf("record %d = %+v, want %+v", i, out[i], want)
+		}
+	}
+}
+
+func TestTracedForwardedCorruptionDetected(t *testing.T) {
+	b := AppendTracedForwarded(nil, 1, 0, fwdTestTraced(3))
+	b[HeaderSize+30] ^= 0xFF
+	if _, _, _, err := ParseTracedForwarded(b[HeaderSize:], nil); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("corrupted traced forwarded frame parsed: err = %v", err)
+	}
+}
+
+func TestTracedForwardedSlabDecode(t *testing.T) {
+	trs := fwdTestTraced(9)
+	b := AppendTracedForwarded(nil, 77, 13, trs)
+
+	pool := NewSlabPool(1)
+	s := pool.Get()
+	defer s.Release()
+	origin, seq, err := s.AppendTracedForwardedPayload(b[HeaderSize:])
+	if err != nil {
+		t.Fatalf("AppendTracedForwardedPayload: %v", err)
+	}
+	if origin != 77 || seq != 13 {
+		t.Fatalf("origin/seq = %d/%d, want 77/13", origin, seq)
+	}
+	if len(s.Recs) != len(trs) || len(s.Ctxs) != len(trs) {
+		t.Fatalf("slab holds %d records / %d ctxs, want %d", len(s.Recs), len(s.Ctxs), len(trs))
+	}
+	for i, tr := range trs {
+		if s.Recs[i] != tr.Record {
+			t.Fatalf("record %d = %+v, want %+v", i, s.Recs[i], tr.Record)
+		}
+		want := tr.Ctx
+		want.Origin = 77
+		if s.Ctxs[i] != want {
+			t.Fatalf("ctx %d = %+v, want %+v", i, s.Ctxs[i], want)
+		}
+	}
+}
+
+// TestTracedForwardedReaderStripsHopLane: the generic stream reader
+// unwraps traced forwarded frames keeping id+sent but shedding the
+// cluster-internal hop lane, so its output always re-encodes as plain
+// 16-byte trace contexts (the fuzz round-trip contract).
+func TestTracedForwardedReaderStripsHopLane(t *testing.T) {
+	trs := fwdTestTraced(4)
+	b := AppendTracedForwarded(nil, 5, 0, trs)
+	r := NewReader(bytes.NewReader(b))
+	for i := range trs {
+		got, err := r.NextTraced()
+		if err != nil {
+			t.Fatalf("NextTraced %d: %v", i, err)
+		}
+		want := trs[i]
+		want.Ctx.Routed, want.Ctx.Origin = 0, 0
+		if got != want {
+			t.Fatalf("record %d = %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+// TestTracedForwardNegotiation covers the three server answers to a
+// traced forwarding hello: both flags echoed → TypeTracedForwarded
+// frames with contexts intact; forward-only echoed → downgrade to
+// plain TypeForwarded (records delivered, contexts shed, the
+// OnTraceDowngrade hook fired); no forward echo → hard failure as
+// before.
+func TestTracedForwardNegotiation(t *testing.T) {
+	type result struct {
+		tracedFrames int
+		plainFrames  int
+		trs          []TracedRecord
+	}
+	serve := func(t *testing.T, echoMask uint32) (addr string, done <-chan result) {
+		t.Helper()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		ch := make(chan result, 1)
+		go func() {
+			defer ln.Close()
+			var res result
+			conn, err := ln.Accept()
+			if err != nil {
+				ch <- res
+				return
+			}
+			defer conn.Close()
+			rd := NewReader(conn)
+			var accepted uint64
+			for {
+				ftype, payload, err := rd.ReadFrame()
+				if err != nil {
+					ch <- res
+					return
+				}
+				switch ftype {
+				case TypeHello:
+					_, _, flags, err := ParseHelloFlags(payload)
+					if err != nil {
+						ch <- res
+						return
+					}
+					conn.Write(AppendAckFlags(nil, accepted, flags&echoMask))
+				case TypeTracedForwarded:
+					_, _, trs, err := ParseTracedForwarded(payload, nil)
+					if err != nil {
+						ch <- res
+						return
+					}
+					res.tracedFrames++
+					res.trs = append(res.trs, trs...)
+					accepted += uint64(len(trs))
+					conn.Write(AppendAck(nil, accepted))
+				case TypeForwarded:
+					_, _, recs, err := ParseForwarded(payload, nil)
+					if err != nil {
+						ch <- res
+						return
+					}
+					res.plainFrames++
+					for _, r := range recs {
+						res.trs = append(res.trs, TracedRecord{Record: r})
+					}
+					accepted += uint64(len(recs))
+					conn.Write(AppendAck(nil, accepted))
+				}
+			}
+		}()
+		return ln.Addr().String(), ch
+	}
+
+	t.Run("both-echoed", func(t *testing.T) {
+		addr, done := serve(t, HelloFlagForward|HelloFlagTrace)
+		c, err := NewClient(ClientConfig{Addr: addr, ForwardOrigin: 0xABCD, Trace: true, MaxAttempts: 3})
+		if err != nil {
+			t.Fatalf("NewClient: %v", err)
+		}
+		trs := fwdTestTraced(6)
+		if err := c.SendTraced(trs); err != nil {
+			t.Fatalf("SendTraced: %v", err)
+		}
+		if err := c.Flush(); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+		c.Close()
+		res := <-done
+		if res.tracedFrames == 0 || res.plainFrames != 0 {
+			t.Fatalf("frames traced=%d plain=%d, want traced only", res.tracedFrames, res.plainFrames)
+		}
+		if len(res.trs) != len(trs) {
+			t.Fatalf("server saw %d records, want %d", len(res.trs), len(trs))
+		}
+		for i, tr := range trs {
+			want := tr
+			want.Ctx.Origin = 0xABCD
+			if res.trs[i] != want {
+				t.Fatalf("record %d = %+v, want %+v", i, res.trs[i], want)
+			}
+		}
+	})
+
+	t.Run("trace-downgraded", func(t *testing.T) {
+		addr, done := serve(t, HelloFlagForward)
+		downgrades := 0
+		c, err := NewClient(ClientConfig{
+			Addr: addr, ForwardOrigin: 0xABCD, Trace: true, MaxAttempts: 3,
+			OnTraceDowngrade: func() { downgrades++ },
+		})
+		if err != nil {
+			t.Fatalf("NewClient: %v", err)
+		}
+		trs := fwdTestTraced(6)
+		if err := c.SendTraced(trs); err != nil {
+			t.Fatalf("SendTraced: %v", err)
+		}
+		if err := c.Flush(); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+		c.Close()
+		res := <-done
+		if res.plainFrames == 0 || res.tracedFrames != 0 {
+			t.Fatalf("frames traced=%d plain=%d, want plain only", res.tracedFrames, res.plainFrames)
+		}
+		if len(res.trs) != len(trs) {
+			t.Fatalf("server saw %d records, want %d (downgrade must not lose records)", len(res.trs), len(trs))
+		}
+		for i, tr := range trs {
+			if res.trs[i].Record != tr.Record {
+				t.Fatalf("record %d = %+v, want %+v", i, res.trs[i].Record, tr.Record)
+			}
+			if res.trs[i].Ctx != (TraceContext{}) {
+				t.Fatalf("record %d kept a context across a downgrade: %+v", i, res.trs[i].Ctx)
+			}
+		}
+		if downgrades == 0 {
+			t.Fatal("OnTraceDowngrade never fired")
+		}
+	})
+
+	t.Run("forward-refused", func(t *testing.T) {
+		addr, done := serve(t, HelloFlagTrace)
+		c, err := NewClient(ClientConfig{
+			Addr: addr, ForwardOrigin: 0xABCD, Trace: true,
+			MaxAttempts: 2, Sleep: func(time.Duration) {},
+		})
+		if err != nil {
+			t.Fatalf("NewClient: %v", err)
+		}
+		if err := c.SendTraced(fwdTestTraced(2)); err != nil {
+			t.Fatalf("SendTraced should buffer without error, got %v", err)
+		}
+		if err := c.Flush(); err == nil {
+			t.Fatal("Flush succeeded against a forward-refusing server")
+		}
+		if got := c.Delivered(); got != 0 {
+			t.Fatalf("Delivered = %d, want 0", got)
+		}
+		c.Close()
+		res := <-done
+		if len(res.trs) != 0 {
+			t.Fatalf("refusing server still got %d records", len(res.trs))
+		}
+	})
 }

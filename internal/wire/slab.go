@@ -225,6 +225,44 @@ func (s *Slab) AppendForwardedPayload(payload []byte) (origin, seq uint64, err e
 	return binary.BigEndian.Uint64(body[0:8]), binary.BigEndian.Uint64(body[8:16]), s.appendPlain(body[16:])
 }
 
+// AppendTracedForwardedPayload verifies and decodes a
+// TypeTracedForwarded payload into the slab, keeping the full
+// forward-hop contexts (id, sent, routed, origin), and returning the
+// relaying instance's origin id and the batch's cumulative sequence
+// number in the forward stream.
+func (s *Slab) AppendTracedForwardedPayload(payload []byte) (origin, seq uint64, err error) {
+	if len(payload) < TracedForwardedOverhead || (len(payload)-TracedForwardedOverhead)%TracedFwdRecordSize != 0 {
+		return 0, 0, fmt.Errorf("%w: traced forwarded payload %d bytes", ErrBadFrame, len(payload))
+	}
+	if (len(payload)-TracedForwardedOverhead)/TracedFwdRecordSize > s.Free() {
+		return 0, 0, ErrSlabFull
+	}
+	body, tail := payload[:len(payload)-4], payload[len(payload)-4:]
+	if got := binary.BigEndian.Uint32(tail); got != crc32.ChecksumIEEE(body) {
+		return 0, 0, fmt.Errorf("%w: traced forwarded crc mismatch", ErrBadFrame)
+	}
+	origin = binary.BigEndian.Uint64(body[0:8])
+	seq = binary.BigEndian.Uint64(body[8:16])
+	if s.Recs == nil {
+		s.Recs = s.recsBuf[:0]
+	}
+	s.ensureCtxs()
+	for off := 16; off+TracedFwdRecordSize <= len(body); off += TracedFwdRecordSize {
+		rec, err := DecodeRecord(body[off:])
+		if err != nil {
+			return 0, 0, err
+		}
+		s.Recs = append(s.Recs, rec)
+		s.Ctxs = append(s.Ctxs, TraceContext{
+			ID:     binary.BigEndian.Uint64(body[off+RecordSize : off+RecordSize+8]),
+			Sent:   int64(binary.BigEndian.Uint64(body[off+RecordSize+8 : off+RecordSize+16])),
+			Routed: int64(binary.BigEndian.Uint64(body[off+RecordSize+16 : off+RecordSize+24])),
+			Origin: origin,
+		})
+	}
+	return origin, seq, nil
+}
+
 // AppendTracedSealedPayload verifies and decodes a TypeTracedSealed
 // payload into the slab, keeping contexts and returning the sequence.
 func (s *Slab) AppendTracedSealedPayload(payload []byte) (seq uint64, err error) {

@@ -55,9 +55,18 @@ const (
 // TraceContext is the per-record tracing extension. A zero ID means
 // "untraced": legacy frames decode to records with a zero context, and
 // the pipeline skips span capture for them.
+//
+// Routed and Origin are the cluster forward-hop lane: a non-owning
+// instance stamps Routed when it decides to forward the record and
+// Origin names itself, so the owner can stitch a forward span into the
+// timeline. They ride only TypeTracedForwarded frames (FwdCtxSize) —
+// the exporter-facing 16-byte encoding of TypeTracedRecords and
+// TypeTracedSealed is unchanged and never carries them.
 type TraceContext struct {
-	ID   uint64 // trace id, unique per exporter stream
-	Sent int64  // exporter send time, unix nanoseconds (0 = unknown)
+	ID     uint64 // trace id, unique per exporter stream
+	Sent   int64  // exporter send time, unix nanoseconds (0 = unknown)
+	Routed int64  // forward-hop route time at the origin instance (0 = not forwarded)
+	Origin uint64 // forwarding instance's member id (0 = not forwarded)
 }
 
 // TracedRecord pairs a Record with its trace context.
@@ -66,7 +75,9 @@ type TracedRecord struct {
 	Ctx TraceContext
 }
 
-// AppendTraceContext appends tc's 16-byte encoding to b.
+// AppendTraceContext appends tc's 16-byte encoding (id + sent) to b.
+// The forward-hop fields (Routed, Origin) are not part of this layout;
+// they are carried only by TypeTracedForwarded frames.
 func AppendTraceContext(b []byte, tc TraceContext) []byte {
 	var buf [TraceCtxSize]byte
 	binary.BigEndian.PutUint64(buf[0:8], tc.ID)

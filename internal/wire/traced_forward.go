@@ -1,0 +1,105 @@
+package wire
+
+// Traced forwarding extension: the cluster sibling of TypeForwarded
+// that keeps each record's trace context across the forward hop. A
+// non-owning instance that ingested a traced record relays it to the
+// consistent-hash owner of the record's victim without dropping the
+// trace id or the exporter's original send timestamp, and adds the
+// route timestamp taken when the relay decided to forward — the owner
+// stitches a `forward` span (route → queue → wire → remote ingest)
+// into the record's timeline and can still observe true send-to-block
+// latency across the hop.
+//
+// Negotiation mirrors the existing flags: a forwarding session client
+// sets HelloFlagForward|HelloFlagTrace in its hello, and sends
+// TypeTracedForwarded only when the server echoed BOTH. A server that
+// echoes forwarding but not tracing gets plain TypeForwarded frames —
+// records are delivered unchanged, contexts are shed (the clean
+// downgrade the trace extension has always promised). Legacy peers and
+// existing fuzz corpora parse unchanged: this is a new frame type, not
+// a change to any existing layout.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+const (
+	// TypeTracedForwarded is a forwarded session frame whose records
+	// carry a forward-hop trace context: origin-instance id, cumulative
+	// sequence number, N×(record + id + sent + routed), CRC tail.
+	TypeTracedForwarded uint8 = 10
+
+	// TracedForwardedOverhead is the non-record part of the payload:
+	// origin(8) + seq(8) leading, crc32(4) trailing.
+	TracedForwardedOverhead = 20
+
+	// FwdCtxSize is the per-record forward-hop context: trace id(8) +
+	// exporter send time(8) + origin route time(8). It is wider than
+	// the exporter-facing TraceCtxSize because the hop adds the route
+	// timestamp the owner needs for the forward span.
+	FwdCtxSize = 24
+
+	// TracedFwdRecordSize is one record plus its forward-hop context.
+	TracedFwdRecordSize = RecordSize + FwdCtxSize
+
+	// MaxTracedPerForwarded is the per-frame record capacity of a
+	// traced forwarded frame under the 16-bit payload length.
+	MaxTracedPerForwarded = (MaxFramePayload - TracedForwardedOverhead) / TracedFwdRecordSize
+)
+
+// AppendTracedForwarded appends one traced forwarded session frame:
+// the relaying instance's origin id, the cumulative index of trs[0] in
+// the forward stream, and the records each followed by its forward-hop
+// context (id, sent, routed), CRC-sealed like AppendForwarded. It
+// panics past MaxTracedPerForwarded — splitting is the Client's job.
+func AppendTracedForwarded(b []byte, origin, seq uint64, trs []TracedRecord) []byte {
+	if len(trs) > MaxTracedPerForwarded {
+		panic(fmt.Sprintf("wire: %d records exceed the %d-record traced-forwarded-frame limit", len(trs), MaxTracedPerForwarded))
+	}
+	b = appendHeader(b, TypeTracedForwarded, TracedForwardedOverhead+len(trs)*TracedFwdRecordSize)
+	start := len(b)
+	b = binary.BigEndian.AppendUint64(b, origin)
+	b = binary.BigEndian.AppendUint64(b, seq)
+	for _, tr := range trs {
+		b = AppendRecord(b, tr.Record)
+		b = binary.BigEndian.AppendUint64(b, tr.Ctx.ID)
+		b = binary.BigEndian.AppendUint64(b, uint64(tr.Ctx.Sent))
+		b = binary.BigEndian.AppendUint64(b, uint64(tr.Ctx.Routed))
+	}
+	return binary.BigEndian.AppendUint32(b, crc32.ChecksumIEEE(b[start:]))
+}
+
+// ParseTracedForwarded decodes a TypeTracedForwarded payload, appending
+// the traced records to trs (pass a reused slice's [:0] to avoid
+// per-frame allocation). Each decoded context carries the frame-level
+// origin id in Ctx.Origin so per-record consumers don't need to thread
+// it separately.
+func ParseTracedForwarded(payload []byte, trs []TracedRecord) (origin, seq uint64, out []TracedRecord, err error) {
+	if len(payload) < TracedForwardedOverhead || (len(payload)-TracedForwardedOverhead)%TracedFwdRecordSize != 0 {
+		return 0, 0, nil, fmt.Errorf("%w: traced forwarded payload %d bytes", ErrBadFrame, len(payload))
+	}
+	body, tail := payload[:len(payload)-4], payload[len(payload)-4:]
+	if got := binary.BigEndian.Uint32(tail); got != crc32.ChecksumIEEE(body) {
+		return 0, 0, nil, fmt.Errorf("%w: traced forwarded crc mismatch", ErrBadFrame)
+	}
+	origin = binary.BigEndian.Uint64(body[0:8])
+	seq = binary.BigEndian.Uint64(body[8:16])
+	for off := 16; off < len(body); off += TracedFwdRecordSize {
+		rec, err := DecodeRecord(body[off:])
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		trs = append(trs, TracedRecord{
+			Record: rec,
+			Ctx: TraceContext{
+				ID:     binary.BigEndian.Uint64(body[off+RecordSize : off+RecordSize+8]),
+				Sent:   int64(binary.BigEndian.Uint64(body[off+RecordSize+8 : off+RecordSize+16])),
+				Routed: int64(binary.BigEndian.Uint64(body[off+RecordSize+16 : off+RecordSize+24])),
+				Origin: origin,
+			},
+		})
+	}
+	return origin, seq, trs, nil
+}

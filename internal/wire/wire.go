@@ -328,6 +328,10 @@ func checkHeader(b []byte) (ftype uint8, n int, err error) {
 		if n < ForwardedOverhead || (n-ForwardedOverhead)%RecordSize != 0 {
 			return 0, 0, fmt.Errorf("%w: forwarded length %d", ErrBadFrame, n)
 		}
+	case TypeTracedForwarded:
+		if n < TracedForwardedOverhead || (n-TracedForwardedOverhead)%TracedFwdRecordSize != 0 {
+			return 0, 0, fmt.Errorf("%w: traced forwarded length %d", ErrBadFrame, n)
+		}
 	case TypeGossip:
 		if n < GossipOverhead {
 			return 0, 0, fmt.Errorf("%w: gossip length %d", ErrBadFrame, n)
@@ -573,6 +577,18 @@ func (r *Reader) NextTraced() (TracedRecord, error) {
 			}
 			for _, rec := range r.recs {
 				r.pending = append(r.pending, TracedRecord{Record: rec})
+			}
+		case TypeTracedForwarded:
+			if _, _, r.pending, err = ParseTracedForwarded(payload, r.pending); err != nil {
+				return TracedRecord{}, err
+			}
+			// NextTraced exposes the exporter-facing context only: the
+			// forward-hop lane (Routed, Origin) is cluster-internal and
+			// must not leak into contexts that re-encode as 16-byte
+			// trace frames. The slab decoder keeps the full context.
+			for i := range r.pending {
+				r.pending[i].Ctx.Routed = 0
+				r.pending[i].Ctx.Origin = 0
 			}
 		case TypeHello, TypeAck, TypeGossip, TypeHandback:
 			// control, gossip and handback frames carry no records
